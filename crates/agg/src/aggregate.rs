@@ -1,0 +1,167 @@
+//! The user-defined aggregate API (paper §2.2.3).
+
+/// Structural properties of an aggregate that overlay construction exploits
+/// (paper §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AggProps {
+    /// The aggregate tolerates a writer contributing along multiple
+    /// overlay paths (MAX, MIN, UNIQUE): enables the denser overlays of
+    /// VNM_D (§3.2.4).
+    pub duplicate_insensitive: bool,
+    /// The aggregate supports efficient subtraction of a contribution
+    /// (SUM, COUNT, frequency-map TOP-K): enables negative edges / VNM_N
+    /// (§3.2.3).
+    pub subtractable: bool,
+}
+
+/// An aggregate function `F` with its partial aggregate object (PAO) algebra.
+///
+/// Stream values are `i64` (the paper assumes homogeneous content streams;
+/// §2.1 notes relaxing this is straightforward — for TOP-K the value is the
+/// *item* being counted). A PAO must represent the multiset of in-window
+/// values it has absorbed faithfully enough that:
+///
+/// * `insert`/`remove` are exact inverses,
+/// * `merge` is commutative and associative,
+/// * `unmerge` inverts `merge` **when [`AggProps::subtractable`]**,
+/// * `finalize` depends only on the represented multiset (so that, for
+///   duplicate-insensitive aggregates, double-counting a writer along two
+///   overlay paths cannot change the answer).
+///
+/// These laws are what the overlay-equivalence property tests check.
+pub trait Aggregate: Send + Sync + 'static {
+    /// Partial aggregate object maintained at overlay nodes.
+    type Partial: Clone + Send + Sync + 'static;
+    /// Final answer type returned to the querier.
+    type Output: PartialEq + Clone + std::fmt::Debug;
+
+    /// Human-readable name ("SUM", "MAX", ...).
+    fn name(&self) -> &'static str;
+
+    /// INITIALIZE: the PAO over zero inputs (identity of `merge`).
+    fn empty(&self) -> Self::Partial;
+
+    /// Absorb one raw stream value.
+    fn insert(&self, p: &mut Self::Partial, v: i64);
+
+    /// Retract one raw stream value (window expiry). The value is guaranteed
+    /// to have been inserted before.
+    fn remove(&self, p: &mut Self::Partial, v: i64);
+
+    /// Merge another PAO into `into`.
+    fn merge(&self, into: &mut Self::Partial, other: &Self::Partial);
+
+    /// Subtract a previously merged PAO from `into` (negative edges).
+    ///
+    /// Only called when [`AggProps::subtractable`] is set, except that
+    /// implementations whose representation happens to support retraction
+    /// (e.g. the multiset behind MAX) may also be exercised by window
+    /// expiry paths.
+    fn unmerge(&self, into: &mut Self::Partial, other: &Self::Partial);
+
+    /// The paper's `UPDATE(PAO, PAO_old, PAO_new)`: one input changed from
+    /// `old` to `new`. Default = `unmerge(old); merge(new)`.
+    fn update(&self, p: &mut Self::Partial, old: &Self::Partial, new: &Self::Partial) {
+        self.unmerge(p, old);
+        self.merge(p, new);
+    }
+
+    /// FINALIZE: compute the answer from the PAO.
+    fn finalize(&self, p: &Self::Partial) -> Self::Output;
+
+    /// Structural properties (duplicate insensitivity, subtractability).
+    fn props(&self) -> AggProps;
+
+    /// `H(k)`: average cost of one push into an aggregation node with `k`
+    /// inputs, in abstract cost units (§4.2). E.g. `∝ 1` for SUM,
+    /// `∝ log₂ k` for MAX's priority queue.
+    fn push_cost(&self, k: usize) -> f64;
+
+    /// `L(k)`: average cost of one pull at an aggregation node with `k`
+    /// inputs (`∝ k` for the built-ins).
+    fn pull_cost(&self, k: usize) -> f64;
+
+    /// Approximate heap size of a PAO in bytes (memory accounting, Fig 10b).
+    fn partial_size_bytes(&self, _p: &Self::Partial) -> usize {
+        std::mem::size_of::<Self::Partial>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal user-defined aggregate exercising the default `update`:
+    /// counts values, implemented outside `builtins` exactly the way a
+    /// library user would.
+    struct EvenCount;
+
+    impl Aggregate for EvenCount {
+        type Partial = i64;
+        type Output = i64;
+
+        fn name(&self) -> &'static str {
+            "EVEN_COUNT"
+        }
+        fn empty(&self) -> i64 {
+            0
+        }
+        fn insert(&self, p: &mut i64, v: i64) {
+            if v % 2 == 0 {
+                *p += 1;
+            }
+        }
+        fn remove(&self, p: &mut i64, v: i64) {
+            if v % 2 == 0 {
+                *p -= 1;
+            }
+        }
+        fn merge(&self, into: &mut i64, other: &i64) {
+            *into += *other;
+        }
+        fn unmerge(&self, into: &mut i64, other: &i64) {
+            *into -= *other;
+        }
+        fn finalize(&self, p: &i64) -> i64 {
+            *p
+        }
+        fn props(&self) -> AggProps {
+            AggProps {
+                duplicate_insensitive: false,
+                subtractable: true,
+            }
+        }
+        fn push_cost(&self, _k: usize) -> f64 {
+            1.0
+        }
+        fn pull_cost(&self, k: usize) -> f64 {
+            k as f64
+        }
+    }
+
+    #[test]
+    fn user_defined_aggregate_via_trait() {
+        let a = EvenCount;
+        let mut p = a.empty();
+        for v in [1, 2, 3, 4, 6] {
+            a.insert(&mut p, v);
+        }
+        assert_eq!(a.finalize(&p), 3);
+        a.remove(&mut p, 4);
+        assert_eq!(a.finalize(&p), 2);
+    }
+
+    #[test]
+    fn default_update_is_unmerge_then_merge() {
+        let a = EvenCount;
+        let mut acc = a.empty();
+        let mut old = a.empty();
+        a.insert(&mut old, 2); // old input PAO: one even
+        a.merge(&mut acc, &old);
+        let mut new = a.empty();
+        a.insert(&mut new, 2);
+        a.insert(&mut new, 4); // new input PAO: two evens
+        a.update(&mut acc, &old, &new);
+        assert_eq!(a.finalize(&acc), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! DISTINCT — the number of distinct values among the inputs.
+//!
+//! Kept as a multiplicity map so retraction (window expiry) and negative
+//! edges both work exactly; the *set*-based variant the paper calls UNIQUE
+//! would be duplicate-insensitive but lossy under retraction, so we expose
+//! the exact group-structured form.
+
+use crate::aggregate::{AggProps, Aggregate};
+use eagr_util::FastMap;
+
+/// COUNT(DISTINCT) over in-window values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Distinct;
+
+impl Aggregate for Distinct {
+    type Partial = FastMap<i64, i64>;
+    type Output = usize;
+
+    fn name(&self) -> &'static str {
+        "DISTINCT"
+    }
+    fn empty(&self) -> Self::Partial {
+        FastMap::default()
+    }
+    #[inline]
+    fn insert(&self, p: &mut Self::Partial, v: i64) {
+        let e = p.entry(v).or_insert(0);
+        *e += 1;
+        if *e == 0 {
+            p.remove(&v);
+        }
+    }
+    #[inline]
+    fn remove(&self, p: &mut Self::Partial, v: i64) {
+        let e = p.entry(v).or_insert(0);
+        *e -= 1;
+        if *e == 0 {
+            p.remove(&v);
+        }
+    }
+    fn merge(&self, into: &mut Self::Partial, other: &Self::Partial) {
+        for (&v, &c) in other {
+            let e = into.entry(v).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                into.remove(&v);
+            }
+        }
+    }
+    fn unmerge(&self, into: &mut Self::Partial, other: &Self::Partial) {
+        for (&v, &c) in other {
+            let e = into.entry(v).or_insert(0);
+            *e -= c;
+            if *e == 0 {
+                into.remove(&v);
+            }
+        }
+    }
+    fn finalize(&self, p: &Self::Partial) -> usize {
+        p.values().filter(|&&c| c > 0).count()
+    }
+    fn props(&self) -> AggProps {
+        AggProps {
+            duplicate_insensitive: false,
+            subtractable: true,
+        }
+    }
+    fn push_cost(&self, _k: usize) -> f64 {
+        3.0
+    }
+    fn pull_cost(&self, k: usize) -> f64 {
+        6.0 * k as f64
+    }
+    fn partial_size_bytes(&self, p: &Self::Partial) -> usize {
+        std::mem::size_of::<Self::Partial>() + p.capacity() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct() {
+        let d = Distinct;
+        let mut p = d.empty();
+        for v in [1, 1, 2, 3, 3, 3] {
+            d.insert(&mut p, v);
+        }
+        assert_eq!(d.finalize(&p), 3);
+    }
+
+    #[test]
+    fn retraction_exact() {
+        let d = Distinct;
+        let mut p = d.empty();
+        d.insert(&mut p, 5);
+        d.insert(&mut p, 5);
+        d.remove(&mut p, 5);
+        assert_eq!(d.finalize(&p), 1, "one copy of 5 remains");
+        d.remove(&mut p, 5);
+        assert_eq!(d.finalize(&p), 0);
+        assert!(p.is_empty(), "empty map after full retraction");
+    }
+
+    #[test]
+    fn merge_unmerge_inverse() {
+        let d = Distinct;
+        let mut a = d.empty();
+        d.insert(&mut a, 1);
+        let mut b = d.empty();
+        d.insert(&mut b, 1);
+        d.insert(&mut b, 2);
+        d.merge(&mut a, &b);
+        assert_eq!(d.finalize(&a), 2);
+        d.unmerge(&mut a, &b);
+        assert_eq!(d.finalize(&a), 1);
+    }
+}

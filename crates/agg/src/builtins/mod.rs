@@ -1,0 +1,20 @@
+//! Built-in aggregate functions (paper §2.1: "sum, max, min, top-k, etc.").
+//!
+//! | Aggregate | PAO | duplicate-insensitive | subtractable | H(k) | L(k) |
+//! |---|---|---|---|---|---|
+//! | [`Sum`] | running sum | no | yes | ∝1 | ∝k |
+//! | [`Count`] | running count | no | yes | ∝1 | ∝k |
+//! | [`Avg`] | (sum, count) | no | yes | ∝1 | ∝k |
+//! | [`Max`]/[`Min`] | multiset (the paper's "priority queue", §4.2) | yes | no | ∝log₂k | ∝k |
+//! | [`TopK`] | frequency map (holistic; generalizes *mode*, §5.1) | no | yes | ∝1 | ∝k |
+//! | [`Distinct`] | multiplicity map | no | yes | ∝1 | ∝k |
+
+mod distinct;
+mod minmax;
+mod numeric;
+mod topk;
+
+pub use distinct::Distinct;
+pub use minmax::{Max, Min, MultisetPao};
+pub use numeric::{Avg, AvgPao, Count, Sum};
+pub use topk::{FreqMapPao, TopK};

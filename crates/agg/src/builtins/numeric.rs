@@ -1,0 +1,232 @@
+//! SUM, COUNT, and AVG — the distributive/algebraic aggregates with O(1)
+//! pushes and exact subtraction.
+
+use crate::aggregate::{AggProps, Aggregate};
+
+/// SUM over the in-window values of the neighborhood (the paper's running
+/// example, Fig 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sum;
+
+impl Aggregate for Sum {
+    type Partial = i64;
+    type Output = i64;
+
+    fn name(&self) -> &'static str {
+        "SUM"
+    }
+    fn empty(&self) -> i64 {
+        0
+    }
+    #[inline]
+    fn insert(&self, p: &mut i64, v: i64) {
+        *p = p.wrapping_add(v);
+    }
+    #[inline]
+    fn remove(&self, p: &mut i64, v: i64) {
+        *p = p.wrapping_sub(v);
+    }
+    #[inline]
+    fn merge(&self, into: &mut i64, other: &i64) {
+        *into = into.wrapping_add(*other);
+    }
+    #[inline]
+    fn unmerge(&self, into: &mut i64, other: &i64) {
+        *into = into.wrapping_sub(*other);
+    }
+    fn finalize(&self, p: &i64) -> i64 {
+        *p
+    }
+    fn props(&self) -> AggProps {
+        AggProps {
+            duplicate_insensitive: false,
+            subtractable: true,
+        }
+    }
+    fn push_cost(&self, _k: usize) -> f64 {
+        1.0
+    }
+    fn pull_cost(&self, k: usize) -> f64 {
+        k as f64
+    }
+}
+
+/// COUNT of in-window values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Count;
+
+impl Aggregate for Count {
+    type Partial = i64;
+    type Output = i64;
+
+    fn name(&self) -> &'static str {
+        "COUNT"
+    }
+    fn empty(&self) -> i64 {
+        0
+    }
+    #[inline]
+    fn insert(&self, p: &mut i64, _v: i64) {
+        *p += 1;
+    }
+    #[inline]
+    fn remove(&self, p: &mut i64, _v: i64) {
+        *p -= 1;
+    }
+    #[inline]
+    fn merge(&self, into: &mut i64, other: &i64) {
+        *into += *other;
+    }
+    #[inline]
+    fn unmerge(&self, into: &mut i64, other: &i64) {
+        *into -= *other;
+    }
+    fn finalize(&self, p: &i64) -> i64 {
+        *p
+    }
+    fn props(&self) -> AggProps {
+        AggProps {
+            duplicate_insensitive: false,
+            subtractable: true,
+        }
+    }
+    fn push_cost(&self, _k: usize) -> f64 {
+        1.0
+    }
+    fn pull_cost(&self, k: usize) -> f64 {
+        k as f64
+    }
+}
+
+/// PAO of [`Avg`]: an algebraic aggregate is a tuple of distributive ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AvgPao {
+    /// Sum of in-window values.
+    pub sum: i64,
+    /// Number of in-window values.
+    pub count: i64,
+}
+
+/// AVG over in-window values; `None` over an empty window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Avg;
+
+impl Aggregate for Avg {
+    type Partial = AvgPao;
+    type Output = Option<f64>;
+
+    fn name(&self) -> &'static str {
+        "AVG"
+    }
+    fn empty(&self) -> AvgPao {
+        AvgPao::default()
+    }
+    #[inline]
+    fn insert(&self, p: &mut AvgPao, v: i64) {
+        p.sum = p.sum.wrapping_add(v);
+        p.count += 1;
+    }
+    #[inline]
+    fn remove(&self, p: &mut AvgPao, v: i64) {
+        p.sum = p.sum.wrapping_sub(v);
+        p.count -= 1;
+    }
+    #[inline]
+    fn merge(&self, into: &mut AvgPao, other: &AvgPao) {
+        into.sum = into.sum.wrapping_add(other.sum);
+        into.count += other.count;
+    }
+    #[inline]
+    fn unmerge(&self, into: &mut AvgPao, other: &AvgPao) {
+        into.sum = into.sum.wrapping_sub(other.sum);
+        into.count -= other.count;
+    }
+    fn finalize(&self, p: &AvgPao) -> Option<f64> {
+        (p.count != 0).then(|| p.sum as f64 / p.count as f64)
+    }
+    fn props(&self) -> AggProps {
+        AggProps {
+            duplicate_insensitive: false,
+            subtractable: true,
+        }
+    }
+    fn push_cost(&self, _k: usize) -> f64 {
+        1.0
+    }
+    fn pull_cost(&self, k: usize) -> f64 {
+        k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_algebra() {
+        let s = Sum;
+        let mut a = s.empty();
+        s.insert(&mut a, 3);
+        s.insert(&mut a, 4);
+        let mut b = s.empty();
+        s.insert(&mut b, 10);
+        s.merge(&mut a, &b);
+        assert_eq!(s.finalize(&a), 17);
+        s.unmerge(&mut a, &b);
+        assert_eq!(s.finalize(&a), 7);
+        s.remove(&mut a, 3);
+        assert_eq!(s.finalize(&a), 4);
+    }
+
+    #[test]
+    fn sum_paper_example_reader_a() {
+        // Fig 1(b): read on a = 9 + 3 + 1 + 6 = 19 (latest writes of c,d,e,f).
+        let s = Sum;
+        let mut p = s.empty();
+        for v in [9, 3, 1, 6] {
+            s.insert(&mut p, v);
+        }
+        assert_eq!(s.finalize(&p), 19);
+    }
+
+    #[test]
+    fn count_ignores_value() {
+        let c = Count;
+        let mut p = c.empty();
+        c.insert(&mut p, 100);
+        c.insert(&mut p, -100);
+        assert_eq!(c.finalize(&p), 2);
+        c.remove(&mut p, 100);
+        assert_eq!(c.finalize(&p), 1);
+    }
+
+    #[test]
+    fn avg_empty_is_none() {
+        let a = Avg;
+        assert_eq!(a.finalize(&a.empty()), None);
+        let mut p = a.empty();
+        a.insert(&mut p, 4);
+        a.insert(&mut p, 8);
+        assert_eq!(a.finalize(&p), Some(6.0));
+        a.remove(&mut p, 8);
+        assert_eq!(a.finalize(&p), Some(4.0));
+        a.remove(&mut p, 4);
+        assert_eq!(a.finalize(&p), None);
+    }
+
+    #[test]
+    fn sum_wrapping_does_not_panic() {
+        let s = Sum;
+        let mut p = i64::MAX;
+        s.insert(&mut p, 1); // would overflow with checked arithmetic
+        s.remove(&mut p, 1);
+        assert_eq!(p, i64::MAX);
+    }
+
+    #[test]
+    fn cost_shapes() {
+        let s = Sum;
+        assert_eq!(s.push_cost(100), s.push_cost(1));
+        assert!(s.pull_cost(100) > s.pull_cost(10));
+    }
+}

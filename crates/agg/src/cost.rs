@@ -1,0 +1,223 @@
+//! Push/pull cost functions `H(k)` and `L(k)` (paper §4.2).
+//!
+//! `H(k)` is the average cost of one push into an aggregation node with `k`
+//! inputs and `L(k)` the average cost of one pull from it. The paper assumes
+//! they are "either provided, or are computed through a calibration process
+//! where we invoke the aggregation function for a range of different inputs
+//! and learn the H() and L() functions" — [`calibrate`] implements that
+//! process, fitting the scale of an assumed shape (constant / logarithmic /
+//! linear) by timing the aggregate's own operations.
+
+use crate::aggregate::Aggregate;
+use std::time::Instant;
+
+/// A parametric cost curve in the fan-in `k`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CostFn {
+    /// `cost = a` (e.g. SUM pushes).
+    Constant(f64),
+    /// `cost = a · log₂(max(k, 2))` (e.g. MAX pushes via a priority queue).
+    Log(f64),
+    /// `cost = a · k` (pulls of the built-ins).
+    Linear(f64),
+}
+
+impl CostFn {
+    /// Evaluate the curve at fan-in `k`.
+    #[inline]
+    pub fn eval(&self, k: usize) -> f64 {
+        match *self {
+            CostFn::Constant(a) => a,
+            CostFn::Log(a) => a * (k.max(2) as f64).log2(),
+            CostFn::Linear(a) => a * k as f64,
+        }
+    }
+
+    /// Scale the curve by a factor (used to sweep push:pull cost ratios,
+    /// Fig 13c).
+    pub fn scaled(&self, factor: f64) -> CostFn {
+        match *self {
+            CostFn::Constant(a) => CostFn::Constant(a * factor),
+            CostFn::Log(a) => CostFn::Log(a * factor),
+            CostFn::Linear(a) => CostFn::Linear(a * factor),
+        }
+    }
+}
+
+/// The (H, L) pair used by dataflow decisions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// `H(k)`: cost of one push.
+    pub push: CostFn,
+    /// `L(k)`: cost of one pull.
+    pub pull: CostFn,
+}
+
+impl CostModel {
+    /// `H(k)`.
+    #[inline]
+    pub fn push_cost(&self, k: usize) -> f64 {
+        self.push.eval(k)
+    }
+
+    /// `L(k)`.
+    #[inline]
+    pub fn pull_cost(&self, k: usize) -> f64 {
+        self.pull.eval(k)
+    }
+
+    /// Take `H`/`L` directly from an aggregate's declared costs, sampled at
+    /// representative fan-ins to recover the scale of its declared shape.
+    pub fn from_aggregate<A: Aggregate>(agg: &A) -> CostModel {
+        // Recover the constants by probing the declared curves.
+        let h1 = agg.push_cost(2);
+        let h2 = agg.push_cost(1024);
+        let push = if (h2 - h1).abs() < 1e-9 {
+            CostFn::Constant(h1)
+        } else {
+            // log2(1024)=10, log2(2)=1: solve a·log2(k).
+            CostFn::Log((h2 - h1) / 9.0 * 1.0f64.max(1.0)).scaled(1.0)
+        };
+        let l1 = agg.pull_cost(1);
+        let pull = CostFn::Linear(l1.max(1e-9));
+        CostModel { push, pull }
+    }
+
+    /// The paper's illustrative model for SUM: `H(k) = 1`, `L(k) = k`
+    /// (used in Figs 5 and 7).
+    pub fn unit_sum() -> CostModel {
+        CostModel {
+            push: CostFn::Constant(1.0),
+            pull: CostFn::Linear(1.0),
+        }
+    }
+}
+
+/// Calibrate `H` and `L` for an aggregate by timing its own operations
+/// (paper §4.2's "calibration process").
+///
+/// For each fan-in `k` in `fan_ins` the routine times (a) one `insert` into
+/// a PAO built over `k` values — a push — and (b) merging `k` singleton PAOs
+/// — a pull. It then fits the scale of the aggregate's declared shape by
+/// least squares and returns the fitted [`CostModel`] with costs in
+/// nanoseconds.
+pub fn calibrate<A: Aggregate>(agg: &A, fan_ins: &[usize], reps: usize) -> CostModel {
+    assert!(!fan_ins.is_empty() && reps > 0);
+    let mut push_samples = Vec::with_capacity(fan_ins.len());
+    let mut pull_samples = Vec::with_capacity(fan_ins.len());
+
+    for &k in fan_ins {
+        // Build a PAO over k values and singleton PAOs for merging.
+        let mut base = agg.empty();
+        let singles: Vec<A::Partial> = (0..k)
+            .map(|i| {
+                let mut s = agg.empty();
+                agg.insert(&mut s, i as i64 % 17);
+                agg.insert(&mut base, i as i64 % 17);
+                s
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        for r in 0..reps {
+            agg.insert(&mut base, (r % 17) as i64);
+            agg.remove(&mut base, (r % 17) as i64);
+        }
+        // Each rep did an insert+remove pair; halve for a single push.
+        let push_ns = t0.elapsed().as_nanos() as f64 / (2 * reps) as f64;
+
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            let mut acc = agg.empty();
+            for s in &singles {
+                agg.merge(&mut acc, s);
+            }
+            std::hint::black_box(&acc);
+        }
+        let pull_ns = t1.elapsed().as_nanos() as f64 / reps as f64;
+
+        push_samples.push((k, push_ns));
+        pull_samples.push((k, pull_ns));
+    }
+
+    // Fit the scale of the declared shapes by least squares on the basis
+    // function: a = Σ(y·b) / Σ(b²) where b is the shape evaluated at k.
+    let declared_push_varies =
+        (agg.push_cost(fan_ins[fan_ins.len() - 1]) - agg.push_cost(fan_ins[0])).abs() > 1e-9;
+    let push = if declared_push_varies {
+        CostFn::Log(fit_scale(&push_samples, |k| (k.max(2) as f64).log2()))
+    } else {
+        CostFn::Constant(
+            push_samples.iter().map(|&(_, y)| y).sum::<f64>() / push_samples.len() as f64,
+        )
+    };
+    let pull = CostFn::Linear(fit_scale(&pull_samples, |k| k as f64));
+    CostModel { push, pull }
+}
+
+fn fit_scale(samples: &[(usize, f64)], basis: impl Fn(usize) -> f64) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(k, y) in samples {
+        let b = basis(k);
+        num += y * b;
+        den += b * b;
+    }
+    if den == 0.0 {
+        1.0
+    } else {
+        (num / den).max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::{Max, Sum};
+
+    #[test]
+    fn cost_fn_shapes() {
+        assert_eq!(CostFn::Constant(2.0).eval(1000), 2.0);
+        assert_eq!(CostFn::Linear(2.0).eval(10), 20.0);
+        assert!((CostFn::Log(1.0).eval(1024) - 10.0).abs() < 1e-12);
+        assert!((CostFn::Log(1.0).eval(0) - 1.0).abs() < 1e-12, "clamped at k=2");
+    }
+
+    #[test]
+    fn scaled() {
+        assert_eq!(CostFn::Linear(1.0).scaled(3.0).eval(2), 6.0);
+        assert_eq!(CostFn::Constant(1.0).scaled(0.5).eval(9), 0.5);
+    }
+
+    #[test]
+    fn unit_sum_matches_paper_figures() {
+        // Fig 5 uses H(k)=1, L(k)=k.
+        let m = CostModel::unit_sum();
+        assert_eq!(m.push_cost(60), 1.0);
+        assert_eq!(m.pull_cost(60), 60.0);
+    }
+
+    #[test]
+    fn calibration_produces_positive_costs() {
+        let m = calibrate(&Sum, &[1, 8, 64], 200);
+        assert!(m.push_cost(10) > 0.0);
+        assert!(m.pull_cost(10) > 0.0);
+        // Pull of a 64-input node costs more than of a 1-input node.
+        assert!(m.pull_cost(64) > m.pull_cost(1));
+    }
+
+    #[test]
+    fn calibration_shape_follows_declaration() {
+        let sum = calibrate(&Sum, &[2, 16, 128], 100);
+        assert!(matches!(sum.push, CostFn::Constant(_)), "SUM push is O(1)");
+        let max = calibrate(&Max, &[2, 16, 128], 100);
+        assert!(matches!(max.push, CostFn::Log(_)), "MAX push is O(log k)");
+    }
+
+    #[test]
+    fn fit_scale_recovers_linear_coefficient() {
+        let samples: Vec<(usize, f64)> = (1..=10).map(|k| (k, 3.0 * k as f64)).collect();
+        let a = fit_scale(&samples, |k| k as f64);
+        assert!((a - 3.0).abs() < 1e-9);
+    }
+}

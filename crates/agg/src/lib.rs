@@ -1,0 +1,34 @@
+//! The EAGr aggregation framework (paper §2.2).
+//!
+//! The central abstraction is the [`Aggregate`] trait — the user-defined
+//! aggregate API of §2.2.3 (INITIALIZE / UPDATE / FINALIZE plus the MERGE
+//! capability the overlay requires) — expressed as a *partial aggregate
+//! object* (PAO) algebra:
+//!
+//! * [`Aggregate::empty`] — INITIALIZE: a PAO over zero inputs,
+//! * [`Aggregate::insert`] / [`Aggregate::remove`] — apply a raw stream
+//!   value entering / leaving a sliding window,
+//! * [`Aggregate::merge`] / [`Aggregate::unmerge`] — combine PAOs across
+//!   overlay edges (`unmerge` implements the paper's *negative edges*),
+//! * [`Aggregate::finalize`] — FINALIZE: produce the query answer.
+//!
+//! Two structural properties drive overlay construction (§3.1):
+//! [`AggProps::duplicate_insensitive`] permits multiple writer→reader paths
+//! (MAX/MIN/UNIQUE-style aggregates), and [`AggProps::subtractable`] permits
+//! negative edges (SUM/COUNT/TOP-K-style aggregates).
+//!
+//! Built-in aggregates live in [`builtins`]; sliding windows (time- and
+//! tuple-based, §2.1) in [`window`]; the push/pull cost functions `H(k)` and
+//! `L(k)` with their calibration routine (§4.2) in [`cost`].
+
+pub mod aggregate;
+pub mod builtins;
+pub mod cost;
+pub mod op;
+pub mod window;
+
+pub use aggregate::{AggProps, Aggregate};
+pub use builtins::{Avg, Count, Distinct, Max, Min, Sum, TopK};
+pub use cost::{calibrate, CostFn, CostModel};
+pub use op::{DeltaOp, Sign};
+pub use window::{WindowBuffer, WindowSpec};

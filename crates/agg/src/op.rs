@@ -1,0 +1,115 @@
+//! Elementary delta operations flowing through the overlay.
+//!
+//! All built-in PAOs are homomorphic images of the multiset of in-window raw
+//! values, so the execution engine propagates elementary `Insert`/`Remove`
+//! ops through push-annotated overlay nodes instead of old/new PAO pairs
+//! (see DESIGN.md, "Delta-op execution"). Crossing a *negative* overlay edge
+//! flips the op's sign — that is exactly the "subtract the contribution"
+//! semantics of §2.2.1.
+
+/// Edge sign in the overlay: positive edges contribute, negative edges
+/// subtract (paper §2.2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Normal contributing edge.
+    Pos,
+    /// Negative edge: the upstream aggregate is subtracted downstream.
+    Neg,
+}
+
+impl Sign {
+    /// Compose two signs (crossing a negative edge flips polarity).
+    #[inline]
+    pub fn compose(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Pos, s) | (s, Sign::Pos) => s,
+            (Sign::Neg, Sign::Neg) => Sign::Pos,
+        }
+    }
+
+    /// True for [`Sign::Neg`].
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        matches!(self, Sign::Neg)
+    }
+}
+
+/// An elementary update to the multiset of in-window values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// A value entered a window.
+    Insert(i64),
+    /// A value left a window.
+    Remove(i64),
+}
+
+impl DeltaOp {
+    /// The op as seen across an edge of the given sign.
+    #[inline]
+    pub fn signed(self, sign: Sign) -> DeltaOp {
+        match sign {
+            Sign::Pos => self,
+            Sign::Neg => self.flip(),
+        }
+    }
+
+    /// Insert ↔ Remove.
+    #[inline]
+    pub fn flip(self) -> DeltaOp {
+        match self {
+            DeltaOp::Insert(v) => DeltaOp::Remove(v),
+            DeltaOp::Remove(v) => DeltaOp::Insert(v),
+        }
+    }
+
+    /// The raw value carried by the op.
+    #[inline]
+    pub fn value(self) -> i64 {
+        match self {
+            DeltaOp::Insert(v) | DeltaOp::Remove(v) => v,
+        }
+    }
+
+    /// Apply this op to a PAO through an aggregate.
+    #[inline]
+    pub fn apply<A: crate::Aggregate>(self, agg: &A, p: &mut A::Partial) {
+        match self {
+            DeltaOp::Insert(v) => agg.insert(p, v),
+            DeltaOp::Remove(v) => agg.remove(p, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::Sum;
+    use crate::Aggregate;
+
+    #[test]
+    fn sign_composition() {
+        assert_eq!(Sign::Pos.compose(Sign::Pos), Sign::Pos);
+        assert_eq!(Sign::Pos.compose(Sign::Neg), Sign::Neg);
+        assert_eq!(Sign::Neg.compose(Sign::Pos), Sign::Neg);
+        assert_eq!(Sign::Neg.compose(Sign::Neg), Sign::Pos);
+    }
+
+    #[test]
+    fn flip_roundtrip() {
+        let op = DeltaOp::Insert(5);
+        assert_eq!(op.flip(), DeltaOp::Remove(5));
+        assert_eq!(op.flip().flip(), op);
+        assert_eq!(op.signed(Sign::Neg), DeltaOp::Remove(5));
+        assert_eq!(op.signed(Sign::Pos), op);
+    }
+
+    #[test]
+    fn apply_through_aggregate() {
+        let s = Sum;
+        let mut p = s.empty();
+        DeltaOp::Insert(10).apply(&s, &mut p);
+        DeltaOp::Insert(5).apply(&s, &mut p);
+        DeltaOp::Remove(10).apply(&s, &mut p);
+        assert_eq!(s.finalize(&p), 5);
+    }
+}

@@ -1,0 +1,193 @@
+//! Criterion microbenchmarks of the primitives whose costs the paper's
+//! cost model parameterizes (§4.2): aggregate pushes/pulls (validating the
+//! H(k)/L(k) shapes), FP-tree mining, shingles, Dinic max-flow, and single
+//! engine operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eagr::agg::{Aggregate, Max, Sum, TopK, WindowSpec};
+use eagr::exec::EngineCore;
+use eagr::flow::{Decisions, Dinic};
+use eagr::gen::Dataset;
+use eagr::graph::{BipartiteGraph, Neighborhood, NodeId};
+use eagr::overlay::fptree::FpTree;
+use eagr::overlay::shingle::shingles;
+use eagr::overlay::Overlay;
+use eagr::util::SplitMix64;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+/// H(k): one push (insert+remove pair) into a PAO of k values.
+fn bench_push_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_H_of_k");
+    for k in [16usize, 256, 4096] {
+        group.bench_with_input(BenchmarkId::new("sum", k), &k, |b, &k| {
+            let mut p = Sum.empty();
+            for i in 0..k {
+                Sum.insert(&mut p, i as i64);
+            }
+            b.iter(|| {
+                Sum.insert(&mut p, 7);
+                Sum.remove(&mut p, 7);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("max", k), &k, |b, &k| {
+            let m = Max;
+            let mut p = m.empty();
+            for i in 0..k {
+                m.insert(&mut p, i as i64);
+            }
+            b.iter(|| {
+                m.insert(&mut p, 7);
+                m.remove(&mut p, 7);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("topk", k), &k, |b, &k| {
+            let t = TopK::new(10);
+            let mut p = t.empty();
+            for i in 0..k {
+                t.insert(&mut p, (i % 97) as i64);
+            }
+            b.iter(|| {
+                t.insert(&mut p, 7);
+                t.remove(&mut p, 7);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// L(k): merging k singleton PAOs (a pull over k inputs).
+fn bench_pull_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pull_L_of_k");
+    for k in [16usize, 256] {
+        group.bench_with_input(BenchmarkId::new("sum", k), &k, |b, &k| {
+            let singles: Vec<i64> = (0..k as i64).collect();
+            b.iter(|| {
+                let mut acc = Sum.empty();
+                for s in &singles {
+                    Sum.merge(&mut acc, s);
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("topk", k), &k, |b, &k| {
+            let t = TopK::new(10);
+            let singles: Vec<_> = (0..k)
+                .map(|i| {
+                    let mut p = t.empty();
+                    t.insert(&mut p, (i % 13) as i64);
+                    p
+                })
+                .collect();
+            b.iter(|| {
+                let mut acc = t.empty();
+                for s in &singles {
+                    t.merge(&mut acc, s);
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shingles(c: &mut Criterion) {
+    let list: Vec<u32> = (0..200).collect();
+    c.bench_function("shingle_signature_200_items", |b| {
+        b.iter(|| shingles(&list, 2, 42))
+    });
+}
+
+fn bench_fptree(c: &mut Criterion) {
+    // One VNM group: 100 readers with overlapping 20-item lists.
+    let mut rng = SplitMix64::new(5);
+    let lists: Vec<Vec<u32>> = (0..100)
+        .map(|_| {
+            let mut l: Vec<u32> = (0..60).filter(|_| rng.chance(0.33)).collect();
+            if l.is_empty() {
+                l.push(rng.index(60) as u32);
+            }
+            l
+        })
+        .collect();
+    c.bench_function("fptree_build_and_mine_group100", |b| {
+        b.iter(|| {
+            let mut t = FpTree::new();
+            for (i, l) in lists.iter().enumerate() {
+                t.insert_path(i as u32, l, |_| false);
+            }
+            t.best_biclique(2)
+        })
+    });
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    c.bench_function("dinic_layered_1k_nodes", |b| {
+        b.iter(|| {
+            // Layered DAG: 3 layers of ~330 nodes.
+            let n = 1000;
+            let mut d = Dinic::new(n + 2);
+            let (s, t) = (n, n + 1);
+            let mut rng = SplitMix64::new(9);
+            for v in 0..330 {
+                d.add_edge(s, v, rng.range(1, 100) as i64);
+            }
+            for v in 0..330 {
+                for _ in 0..3 {
+                    d.add_edge(v, 330 + rng.index(330), eagr::flow::maxflow::INF);
+                }
+            }
+            for v in 330..660 {
+                for _ in 0..3 {
+                    d.add_edge(v, 660 + rng.index(330), eagr::flow::maxflow::INF);
+                }
+            }
+            for v in 660..990 {
+                d.add_edge(v, t, rng.range(1, 100) as i64);
+            }
+            d.max_flow(s, t)
+        })
+    });
+}
+
+fn bench_engine_ops(c: &mut Criterion) {
+    let g = Dataset::LiveJournalLike.build(0.2, 0xBEE);
+    let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+    let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+    let push_core = EngineCore::new(Sum, Arc::clone(&ov), &Decisions::all_push(&ov), WindowSpec::Tuple(1));
+    let pull_core = EngineCore::new(Sum, Arc::clone(&ov), &Decisions::all_pull(&ov), WindowSpec::Tuple(1));
+    let mut rng = SplitMix64::new(3);
+    for v in g.nodes() {
+        push_core.write(v, 1, 0);
+        pull_core.write(v, 1, 0);
+    }
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    c.bench_function("engine_write_all_push", |b| {
+        let mut ts = 1;
+        b.iter(|| {
+            let v = *rng.choose(&nodes);
+            ts += 1;
+            push_core.write(v, 7, ts)
+        })
+    });
+    c.bench_function("engine_read_push_reader", |b| {
+        b.iter(|| push_core.read(*rng.choose(&nodes)))
+    });
+    c.bench_function("engine_read_pull_reader", |b| {
+        b.iter(|| pull_core.read(*rng.choose(&nodes)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_push_cost, bench_pull_cost, bench_shingles, bench_fptree, bench_maxflow, bench_engine_ops
+}
+criterion_main!(benches);

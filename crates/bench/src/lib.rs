@@ -1,0 +1,89 @@
+//! Shared plumbing for the EAGr experiment harnesses.
+//!
+//! Every figure of the paper's evaluation (§5) has a bench target that
+//! regenerates its series on scaled-down synthetic stand-ins of the paper's
+//! datasets. Absolute numbers differ from the paper (different hardware,
+//! scaled graphs); the *shapes* — who wins, by what factor, where the
+//! crossovers sit — are what EXPERIMENTS.md records.
+//!
+//! Set `EAGR_BENCH_SCALE` (default `1.0`) to grow or shrink every graph and
+//! workload together, e.g. `EAGR_BENCH_SCALE=4 cargo bench --bench
+//! fig14_throughput`.
+
+use eagr::agg::AggProps;
+use std::io::Write as _;
+
+/// Global size multiplier from `EAGR_BENCH_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("EAGR_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Properties of a subtractable, duplicate-sensitive aggregate (SUM-like).
+pub fn sum_props() -> AggProps {
+    AggProps {
+        duplicate_insensitive: false,
+        subtractable: true,
+    }
+}
+
+/// Properties of a duplicate-insensitive aggregate (MAX-like).
+pub fn max_props() -> AggProps {
+    AggProps {
+        duplicate_insensitive: true,
+        subtractable: false,
+    }
+}
+
+/// Simple fixed-width table printer for the figure series.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Start a table by printing the header row.
+    pub fn new(header: &[&str]) -> Self {
+        let widths: Vec<usize> = header.iter().map(|h| h.len().max(10)).collect();
+        let t = Self { widths };
+        t.print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        let rule: Vec<String> = t.widths.iter().map(|&w| "-".repeat(w)).collect();
+        t.print_row(&rule);
+        t
+    }
+
+    /// Print one aligned row.
+    pub fn print_row(&self, cells: &[String]) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        for (i, c) in cells.iter().enumerate() {
+            let w = self.widths.get(i).copied().unwrap_or(10);
+            let _ = write!(lock, "{c:>w$}  ");
+        }
+        let _ = writeln!(lock);
+    }
+
+    /// Row from mixed displayables.
+    pub fn row(&self, cells: &[&dyn std::fmt::Display]) {
+        self.print_row(&cells.iter().map(|c| format!("{c}")).collect::<Vec<_>>());
+    }
+}
+
+/// Print a figure banner.
+pub fn banner(fig: &str, caption: &str) {
+    println!("\n=== {fig} — {caption} ===");
+    println!("(scaled synthetic stand-ins; compare shapes with the paper, not absolutes)\n");
+}
+
+/// Format a float compactly.
+pub fn f(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}

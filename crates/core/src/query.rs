@@ -1,0 +1,103 @@
+//! The ego-centric aggregate query ⟨F, w, N, pred⟩ (paper §2.1).
+
+use eagr_agg::{Aggregate, WindowSpec};
+use eagr_graph::{Neighborhood, NodeId};
+use std::sync::Arc;
+
+/// Continuous vs quasi-continuous execution (§1 draws this distinction:
+/// continuous results must track every update; quasi-continuous results are
+/// only needed on reads, enabling *selective* pre-computation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Results kept up to date on every update (anomaly detection). Maps to
+    /// all-push execution over the shared overlay.
+    Continuous,
+    /// Results produced on demand (trend feeds); the §4 planner chooses
+    /// push/pull per node.
+    QuasiContinuous,
+}
+
+/// Node predicate selecting which nodes get readers.
+pub type NodePredicate = Arc<dyn Fn(NodeId) -> bool + Send + Sync>;
+
+/// An ego-centric aggregate query: aggregate function `F`, sliding window
+/// `w`, neighborhood function `N`, and reader predicate `pred`.
+#[derive(Clone)]
+pub struct EgoQuery<A: Aggregate> {
+    /// The aggregate function `F`.
+    pub aggregate: A,
+    /// Sliding window over each content stream.
+    pub window: WindowSpec,
+    /// Neighborhood selection function `N`.
+    pub neighborhood: Neighborhood,
+    /// Which nodes the aggregate is computed for.
+    pub predicate: NodePredicate,
+    /// Continuous or quasi-continuous.
+    pub mode: QueryMode,
+}
+
+impl<A: Aggregate> EgoQuery<A> {
+    /// A query over every node's 1-hop in-neighborhood with the latest
+    /// value per neighbor (the paper's running example ⟨F, c=1, N, true⟩).
+    pub fn new(aggregate: A) -> Self {
+        Self {
+            aggregate,
+            window: WindowSpec::Tuple(1),
+            neighborhood: Neighborhood::In,
+            predicate: Arc::new(|_| true),
+            mode: QueryMode::QuasiContinuous,
+        }
+    }
+
+    /// Set the sliding window.
+    pub fn window(mut self, w: WindowSpec) -> Self {
+        self.window = w;
+        self
+    }
+
+    /// Set the neighborhood function.
+    pub fn neighborhood(mut self, n: Neighborhood) -> Self {
+        self.neighborhood = n;
+        self
+    }
+
+    /// Restrict the readers.
+    pub fn filter(mut self, pred: impl Fn(NodeId) -> bool + Send + Sync + 'static) -> Self {
+        self.predicate = Arc::new(pred);
+        self
+    }
+
+    /// Set continuous/quasi-continuous execution.
+    pub fn mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_agg::Sum;
+
+    #[test]
+    fn builder_defaults_match_paper_example() {
+        let q = EgoQuery::new(Sum);
+        assert_eq!(q.window, WindowSpec::Tuple(1));
+        assert!(matches!(q.neighborhood, Neighborhood::In));
+        assert_eq!(q.mode, QueryMode::QuasiContinuous);
+        assert!((q.predicate)(NodeId(5)));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let q = EgoQuery::new(Sum)
+            .window(WindowSpec::Time(60))
+            .neighborhood(Neighborhood::KHopIn(2))
+            .filter(|v| v.0 < 10)
+            .mode(QueryMode::Continuous);
+        assert_eq!(q.window, WindowSpec::Time(60));
+        assert_eq!(q.mode, QueryMode::Continuous);
+        assert!((q.predicate)(NodeId(9)));
+        assert!(!(q.predicate)(NodeId(10)));
+    }
+}

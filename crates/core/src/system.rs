@@ -1,0 +1,374 @@
+//! The one-stop EAGr system facade: data graph + query → bipartite graph →
+//! overlay → dataflow plan → execution engine.
+
+use crate::query::{EgoQuery, QueryMode};
+use eagr_agg::{Aggregate, CostModel};
+use eagr_exec::{AdaptiveEngine, EngineCore, ParallelConfig, ParallelEngine};
+use eagr_flow::{plan, DecisionAlgorithm, Plan, PlannerConfig, Rates};
+use eagr_gen::Event;
+use eagr_graph::{BipartiteGraph, DataGraph, NodeId};
+use eagr_overlay::{
+    build_iob, build_vnm, metrics, IobConfig, IterationStats, Overlay, VnmConfig,
+};
+use std::sync::Arc;
+
+/// Which overlay construction algorithm to run (§3.2 + the direct/baseline
+/// structure).
+#[derive(Clone, Debug)]
+pub enum OverlayAlgorithm {
+    /// No sharing: the bipartite graph itself (used by the all-push and
+    /// all-pull baselines of §5.1).
+    Direct,
+    /// Plain VNM with a fixed chunk size.
+    Vnm {
+        /// Reader-group size.
+        chunk_size: usize,
+    },
+    /// VNM_A — adaptive chunk size (§3.2.2).
+    Vnma,
+    /// VNM_N — negative edges (§3.2.3); requires a subtractable aggregate.
+    Vnmn,
+    /// VNM_D — duplicate paths (§3.2.4); requires duplicate insensitivity.
+    Vnmd,
+    /// IOB — incremental overlay building (§3.2.5).
+    Iob,
+}
+
+/// Builder for an [`EagrSystem`].
+pub struct SystemBuilder<A: Aggregate> {
+    query: EgoQuery<A>,
+    overlay_algorithm: OverlayAlgorithm,
+    decision_algorithm: DecisionAlgorithm,
+    rates: Option<Rates>,
+    cost: Option<CostModel>,
+    split: bool,
+    writer_window: usize,
+}
+
+impl<A: Aggregate + Clone> SystemBuilder<A> {
+    /// Start building a system for a query.
+    pub fn new(query: EgoQuery<A>) -> Self {
+        Self {
+            query,
+            overlay_algorithm: OverlayAlgorithm::Vnma,
+            decision_algorithm: DecisionAlgorithm::MaxFlow,
+            rates: None,
+            cost: None,
+            split: true,
+            writer_window: 1,
+        }
+    }
+
+    /// Choose the overlay construction algorithm (default VNM_A).
+    pub fn overlay(mut self, alg: OverlayAlgorithm) -> Self {
+        self.overlay_algorithm = alg;
+        self
+    }
+
+    /// Choose the dataflow decision procedure (default max-flow).
+    pub fn decisions(mut self, alg: DecisionAlgorithm) -> Self {
+        self.decision_algorithm = alg;
+        self
+    }
+
+    /// Provide expected read/write rates (default: uniform 1:1).
+    pub fn rates(mut self, rates: Rates) -> Self {
+        self.rates = Some(rates);
+        self
+    }
+
+    /// Provide a cost model (default: derived from the aggregate's declared
+    /// `H`/`L`).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Enable/disable §4.7 node splitting (default on).
+    pub fn split(mut self, on: bool) -> Self {
+        self.split = on;
+        self
+    }
+
+    /// Expected in-window values per writer, for the cost model (§4.2).
+    pub fn writer_window(mut self, w: usize) -> Self {
+        self.writer_window = w;
+        self
+    }
+
+    /// Compile the system against a data graph.
+    pub fn build(self, graph: &DataGraph) -> EagrSystem<A> {
+        let props = self.query.aggregate.props();
+        let pred = Arc::clone(&self.query.predicate);
+        let ag = BipartiteGraph::build(graph, &self.query.neighborhood, move |v| pred(v));
+
+        let (overlay, construction) = match &self.overlay_algorithm {
+            OverlayAlgorithm::Direct => (Overlay::direct_from_bipartite(&ag), Vec::new()),
+            OverlayAlgorithm::Vnm { chunk_size } => {
+                build_vnm(&ag, &VnmConfig::vnm(*chunk_size, props))
+            }
+            OverlayAlgorithm::Vnma => build_vnm(&ag, &VnmConfig::vnma(props)),
+            OverlayAlgorithm::Vnmn => build_vnm(&ag, &VnmConfig::vnmn(props)),
+            OverlayAlgorithm::Vnmd => build_vnm(&ag, &VnmConfig::vnmd(props)),
+            OverlayAlgorithm::Iob => build_iob(&ag, &IobConfig::default()),
+        };
+
+        let rates = self
+            .rates
+            .unwrap_or_else(|| Rates::uniform(graph.id_bound(), 1.0));
+        let cost = self
+            .cost
+            .unwrap_or_else(|| CostModel::from_aggregate(&self.query.aggregate));
+        // Continuous queries must keep every result up to date: all push.
+        let algorithm = match self.query.mode {
+            QueryMode::Continuous => DecisionAlgorithm::AllPush,
+            QueryMode::QuasiContinuous => self.decision_algorithm,
+        };
+        let p = plan(
+            overlay,
+            &rates,
+            &cost,
+            &PlannerConfig {
+                algorithm,
+                split: self.split,
+                writer_window: self.writer_window,
+                push_amplification: 2.0,
+            },
+        );
+        let core = EngineCore::new(
+            self.query.aggregate.clone(),
+            Arc::new(p.overlay.clone()),
+            &p.decisions,
+            self.query.window,
+        );
+        EagrSystem {
+            core: Arc::new(core),
+            plan: p,
+            bipartite: ag,
+            construction,
+            cost,
+            writer_window: self.writer_window,
+        }
+    }
+}
+
+/// A compiled, runnable EAGr instance.
+pub struct EagrSystem<A: Aggregate> {
+    core: Arc<EngineCore<A>>,
+    plan: Plan,
+    bipartite: BipartiteGraph,
+    construction: Vec<IterationStats>,
+    cost: CostModel,
+    writer_window: usize,
+}
+
+/// Structural summary of a compiled system.
+#[derive(Clone, Debug)]
+pub struct SystemStats {
+    /// Bipartite edges (|E'| of AG).
+    pub bipartite_edges: usize,
+    /// Overlay edges (|E''|) after any §4.7 splitting.
+    pub overlay_edges: usize,
+    /// Sharing index (§3.1), measured on the overlay as constructed
+    /// (before §4.7 splitting, which deliberately adds edges).
+    pub sharing_index: f64,
+    /// Partial aggregation nodes.
+    pub partial_nodes: usize,
+    /// Push-annotated overlay nodes.
+    pub push_nodes: usize,
+    /// §4.7 splits applied.
+    pub splits: usize,
+    /// Mean reader depth (Fig 11a).
+    pub average_depth: f64,
+    /// Modeled total cost of the installed decisions.
+    pub modeled_cost: f64,
+}
+
+impl<A: Aggregate> EagrSystem<A> {
+    /// Start building a system for a query.
+    pub fn builder(query: EgoQuery<A>) -> SystemBuilder<A>
+    where
+        A: Clone,
+    {
+        SystemBuilder::new(query)
+    }
+
+    /// Apply a content update (a *write* on `v`).
+    pub fn write(&self, v: NodeId, value: i64, ts: u64) -> usize {
+        self.core.write(v, value, ts)
+    }
+
+    /// Evaluate the query at `v` (a *read* on `v`).
+    pub fn read(&self, v: NodeId) -> Option<A::Output> {
+        self.core.read(v)
+    }
+
+    /// Expire time-window values.
+    pub fn advance_time(&self, ts: u64) -> usize {
+        self.core.advance_time(ts)
+    }
+
+    /// Apply a generated event stream; returns (writes, reads) executed.
+    pub fn run_events(&self, events: &[Event]) -> (usize, usize) {
+        let mut writes = 0;
+        let mut reads = 0;
+        for (ts, e) in events.iter().enumerate() {
+            match *e {
+                Event::Write { node, value } => {
+                    self.write(node, value, ts as u64);
+                    writes += 1;
+                }
+                Event::Read { node } => {
+                    std::hint::black_box(self.read(node));
+                    reads += 1;
+                }
+            }
+        }
+        (writes, reads)
+    }
+
+    /// The shared engine core (for parallel or adaptive execution).
+    pub fn core(&self) -> &Arc<EngineCore<A>> {
+        &self.core
+    }
+
+    /// Spawn a multi-threaded engine over this system's state.
+    pub fn parallel(&self, cfg: ParallelConfig) -> ParallelEngine<A>
+    where
+        A::Output: Send,
+    {
+        ParallelEngine::new(Arc::clone(&self.core), cfg)
+    }
+
+    /// Wrap the engine with §4.8 runtime adaptation.
+    pub fn adaptive(&self, check_every: u64) -> AdaptiveEngine<A> {
+        AdaptiveEngine::new(
+            Arc::clone(&self.core),
+            self.cost,
+            self.writer_window,
+            check_every,
+        )
+    }
+
+    /// The compiled overlay.
+    pub fn overlay(&self) -> &Overlay {
+        &self.plan.overlay
+    }
+
+    /// The dataflow plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The bipartite writer/reader graph the overlay was compiled from.
+    pub fn bipartite(&self) -> &BipartiteGraph {
+        &self.bipartite
+    }
+
+    /// Per-iteration construction statistics (empty for `Direct`).
+    pub fn construction_stats(&self) -> &[IterationStats] {
+        &self.construction
+    }
+
+    /// Structural summary.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            bipartite_edges: self.bipartite.edge_count(),
+            overlay_edges: self.plan.overlay.edge_count(),
+            sharing_index: self.plan.pre_split_sharing_index,
+            partial_nodes: self.plan.overlay.partial_count(),
+            push_nodes: self.plan.decisions.push_count(),
+            splits: self.plan.splits,
+            average_depth: metrics::average_depth(&self.plan.overlay),
+            modeled_cost: self.plan.modeled_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::NaiveOracle;
+    use crate::query::EgoQuery;
+    use eagr_agg::{Max, Sum, TopK, WindowSpec};
+    use eagr_gen::{generate_events, social_graph, WorkloadConfig};
+    use eagr_graph::Neighborhood;
+
+    #[test]
+    fn end_to_end_sum_matches_oracle() {
+        let g = social_graph(200, 4, 9);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum))
+            .overlay(OverlayAlgorithm::Vnma)
+            .build(&g);
+        let mut oracle = NaiveOracle::new(Sum, WindowSpec::Tuple(1), Neighborhood::In);
+        let events = generate_events(
+            200,
+            &WorkloadConfig {
+                events: 5000,
+                ..Default::default()
+            },
+        );
+        for (ts, e) in events.iter().enumerate() {
+            if let Event::Write { node, value } = *e {
+                sys.write(node, value, ts as u64);
+                oracle.write(node, value, ts as u64);
+            }
+        }
+        for v in 0..200u32 {
+            let got = sys.read(NodeId(v));
+            let want = oracle.read(&g, NodeId(v));
+            if got.is_some() {
+                assert_eq!(got.unwrap(), want, "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_mode_forces_push() {
+        let g = social_graph(100, 3, 1);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum).mode(QueryMode::Continuous)).build(&g);
+        // Every overlay node must be push.
+        let st = sys.stats();
+        assert_eq!(st.push_nodes, sys.overlay().node_count());
+    }
+
+    #[test]
+    fn duplicate_insensitive_aggregate_uses_vnmd() {
+        let g = social_graph(150, 4, 2);
+        let sys = EagrSystem::builder(EgoQuery::new(Max))
+            .overlay(OverlayAlgorithm::Vnmd)
+            .build(&g);
+        assert!(sys.stats().sharing_index >= 0.0);
+        sys.write(NodeId(0), 5, 0);
+        let _ = sys.read(NodeId(1));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = social_graph(150, 4, 3);
+        let sys = EagrSystem::builder(EgoQuery::new(TopK::new(5)))
+            .overlay(OverlayAlgorithm::Vnmn)
+            .build(&g);
+        let st = sys.stats();
+        assert_eq!(st.bipartite_edges, sys.bipartite().edge_count());
+        assert!(st.sharing_index <= 1.0);
+        assert!(st.push_nodes <= sys.overlay().node_count());
+        assert!(st.average_depth >= 1.0);
+    }
+
+    #[test]
+    fn run_events_counts() {
+        let g = social_graph(80, 3, 4);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        let events = generate_events(
+            80,
+            &WorkloadConfig {
+                events: 1000,
+                write_to_read: 1.0,
+                ..Default::default()
+            },
+        );
+        let (w, r) = sys.run_events(&events);
+        assert_eq!(w + r, 1000);
+    }
+}

@@ -1,0 +1,22 @@
+//! Execution engines for EAGr overlays (paper §2.2.2).
+//!
+//! * [`core`] — [`EngineCore`]: overlay-frozen runtime state (windows, PAO
+//!   slots, atomic decisions, observation counters) with the write/read
+//!   execution flow.
+//! * [`engine`] — the single-threaded reference engine.
+//! * [`parallel`] — the two-pool multi-threaded engine (queueing-model
+//!   writes, uni-thread reads).
+//! * [`adaptive`] — the §4.8 runtime decision adaptation.
+//! * [`metrics`] — latency recording and throughput computation.
+
+pub mod adaptive;
+pub mod core;
+pub mod engine;
+pub mod metrics;
+pub mod parallel;
+
+pub use crate::core::EngineCore;
+pub use adaptive::AdaptiveEngine;
+pub use engine::Engine;
+pub use metrics::{throughput, LatencyRecorder};
+pub use parallel::{ParallelConfig, ParallelEngine};

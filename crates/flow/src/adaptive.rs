@@ -1,0 +1,184 @@
+//! Adapting dataflow decisions to workload drift (§4.8).
+//!
+//! Decisions can be changed unilaterally only at the **push/pull frontier**:
+//! a pull node whose upstream nodes are all push may become push, and a push
+//! node whose downstream nodes are all pull may become pull — any other flip
+//! would violate the §4.3 consistency constraint without cascading changes.
+//!
+//! The execution engine monitors observed push/pull counts at frontier
+//! nodes over a recent window and calls [`adapt_frontier`] periodically;
+//! each call flips the frontier nodes whose observed frequencies now favor
+//! the other decision.
+
+use crate::decide::{Decision, Decisions, Frequencies};
+use eagr_agg::CostModel;
+use eagr_overlay::{Overlay, OverlayId, OverlayKind};
+
+/// Which side of the frontier a node sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontierSide {
+    /// Pull node with all-push inputs: may flip to push.
+    PullBoundary,
+    /// Push node with all-pull consumers: may flip to pull.
+    PushBoundary,
+}
+
+/// The current push/pull frontier (§4.8): the only nodes whose decision can
+/// change without cascading, and the only ones that need monitoring.
+pub fn frontier(ov: &Overlay, d: &Decisions) -> Vec<(OverlayId, FrontierSide)> {
+    let mut out = Vec::new();
+    for n in ov.ids() {
+        if matches!(ov.kind(n), OverlayKind::Writer(_)) {
+            continue; // writers always push
+        }
+        if d.is_push(n) {
+            let all_consumers_pull = !ov.outputs(n).is_empty()
+                && ov.outputs(n).iter().all(|&(t, _)| !d.is_push(t));
+            let is_sink = ov.outputs(n).is_empty();
+            if all_consumers_pull || is_sink {
+                out.push((n, FrontierSide::PushBoundary));
+            }
+        } else {
+            let all_inputs_push = ov.inputs(n).iter().all(|&(f, _)| d.is_push(f));
+            if all_inputs_push {
+                out.push((n, FrontierSide::PullBoundary));
+            }
+        }
+    }
+    out
+}
+
+/// Hysteresis: a flip requires the preferred side to be at least this much
+/// cheaper (§4.8 only reconsiders when observed frequencies are
+/// "significantly different"; without a margin, near-tie nodes flap on
+/// every observation window).
+const FLIP_MARGIN: f64 = 0.9;
+
+/// Minimum observed activity (pushes + pulls) before a node's decision may
+/// be reconsidered — cold nodes carry no evidence either way.
+const MIN_OBSERVATIONS: f64 = 8.0;
+
+/// Flip frontier decisions that the observed frequencies no longer support.
+/// Returns the number of flips. `observed` carries the recently measured
+/// push/pull frequencies (same shape as the planning-time
+/// [`Frequencies`]).
+pub fn adapt_frontier(
+    ov: &Overlay,
+    d: &mut Decisions,
+    observed: &Frequencies,
+    cost: &CostModel,
+    writer_window: usize,
+) -> usize {
+    let mut flips = 0;
+    for (n, side) in frontier(ov, d) {
+        let k = match ov.kind(n) {
+            OverlayKind::Writer(_) => writer_window.max(1),
+            _ => ov.fan_in(n).max(1),
+        };
+        if observed.fh[n.idx()] + observed.fl[n.idx()] < MIN_OBSERVATIONS {
+            continue;
+        }
+        let push_cost = observed.fh[n.idx()] * cost.push_cost(k);
+        let pull_cost = observed.fl[n.idx()] * cost.pull_cost(k);
+        match side {
+            FrontierSide::PullBoundary if push_cost < pull_cost * FLIP_MARGIN => {
+                d.of[n.idx()] = Decision::Push;
+                flips += 1;
+            }
+            FrontierSide::PushBoundary if pull_cost < push_cost * FLIP_MARGIN => {
+                d.of[n.idx()] = Decision::Pull;
+                flips += 1;
+            }
+            _ => {}
+        }
+    }
+    debug_assert!(d.is_valid(ov));
+    flips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::{decide_maxflow, node_costs, propagate_frequencies, Rates};
+    use eagr_graph::{paper_example_graph, BipartiteGraph, Neighborhood};
+
+    fn paper_overlay() -> Overlay {
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        Overlay::direct_from_bipartite(&ag)
+    }
+
+    #[test]
+    fn frontier_of_all_pull_is_reader_boundary() {
+        let ov = paper_overlay();
+        let d = Decisions::all_pull(&ov);
+        let f = frontier(&ov, &d);
+        // Every reader has all-push (writer) inputs ⇒ pull boundary;
+        // writers are excluded.
+        assert_eq!(f.len(), 7);
+        assert!(f.iter().all(|&(_, s)| s == FrontierSide::PullBoundary));
+    }
+
+    #[test]
+    fn workload_shift_flips_decisions() {
+        let ov = paper_overlay();
+        // Plan for a write-heavy workload: readers end up pull.
+        let plan_rates = Rates::uniform(7, 100.0);
+        let f = propagate_frequencies(&ov, &plan_rates);
+        let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+        let mut d = decide_maxflow(&ov, &costs).decisions;
+        let pull_readers_before = ov.readers().filter(|&(r, _)| !d.is_push(r)).count();
+        assert_eq!(pull_readers_before, 7);
+
+        // The workload shifts to read-heavy; adapt using observed counts
+        // over a window (large enough to clear the evidence threshold).
+        let observed_rates = Rates {
+            read: vec![100.0; 7],
+            write: vec![1.0; 7],
+        };
+        let observed = propagate_frequencies(&ov, &observed_rates);
+        let flips = adapt_frontier(&ov, &mut d, &observed, &CostModel::unit_sum(), 1);
+        assert!(flips > 0);
+        let pull_readers_after = ov.readers().filter(|&(r, _)| !d.is_push(r)).count();
+        assert!(pull_readers_after < pull_readers_before);
+        assert!(d.is_valid(&ov));
+    }
+
+    #[test]
+    fn stable_workload_no_flips() {
+        let ov = paper_overlay();
+        let rates = Rates::uniform(7, 1.0);
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+        let mut d = decide_maxflow(&ov, &costs).decisions;
+        // Same observed frequencies: the optimum is already installed, so
+        // no frontier flip can improve it.
+        let flips = adapt_frontier(&ov, &mut d, &f, &CostModel::unit_sum(), 1);
+        assert_eq!(flips, 0);
+    }
+
+    #[test]
+    fn repeated_adaptation_converges() {
+        let ov = paper_overlay();
+        let mut d = Decisions::all_pull(&ov);
+        let observed = propagate_frequencies(
+            &ov,
+            &Rates {
+                read: vec![100.0; 7],
+                write: vec![1.0; 7],
+            },
+        );
+        let mut total = 0;
+        for _ in 0..10 {
+            let flips = adapt_frontier(&ov, &mut d, &observed, &CostModel::unit_sum(), 1);
+            total += flips;
+            if flips == 0 {
+                break;
+            }
+        }
+        assert!(total > 0);
+        // Converged state is valid and read-favoring.
+        assert!(d.is_valid(&ov));
+        let f = frontier(&ov, &d);
+        assert!(!f.is_empty());
+    }
+}

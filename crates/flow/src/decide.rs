@@ -1,0 +1,611 @@
+//! Optimal push/pull dataflow decisions (paper §4.1–§4.5).
+//!
+//! The pipeline:
+//!
+//! 1. [`propagate_frequencies`] — compute push frequencies `fh` (writers
+//!    seeded with write rates, summed downstream) and pull frequencies `fl`
+//!    (readers seeded with read rates, summed upstream) (§4.1, Fig 5ii);
+//! 2. [`node_costs`] — per-node `PUSH(v) = fh·H(k)` and `PULL(v) = fl·L(k)`
+//!    unit costs (§4.2), with writers charged at the expected window fill;
+//! 3. weights `w(v) = PULL(v) − PUSH(v)`, integer-scaled (§4.4's DMP);
+//! 4. [`prune`] — rules P1/P2 assign forced decisions and shrink the graph
+//!    (§4.5, Theorem 4.2 shows this preserves optimality);
+//! 5. connected components of the remainder, each solved by an s-t min
+//!    cut on the augmented graph (Theorem 4.1) via [Dinic](crate::maxflow).
+//!
+//! Writers are forced to *push* at the end (§2.2.1: "the writer nodes are
+//! always annotated push") — a safe override since writers have no inputs.
+
+use crate::maxflow::{Dinic, INF};
+use eagr_agg::CostModel;
+use eagr_overlay::{Overlay, OverlayId, OverlayKind};
+
+/// Fixed-point scale for converting f64 cost weights to the i64 capacities
+/// of the min-cut network.
+const WEIGHT_SCALE: f64 = (1u64 << 20) as f64;
+
+/// Weight pinning writers to the push side (§2.2.1: "the writer nodes are
+/// always annotated push"): large enough that no realistic pull benefit can
+/// outweigh it, small enough that summing all capacities cannot overflow.
+const WRITER_FORCE: i64 = 1 << 42;
+
+/// Per-data-node read/write rates (events per unit time), indexed by data
+/// node id. The paper models these as Zipfian (§5.1).
+#[derive(Clone, Debug, Default)]
+pub struct Rates {
+    /// `r(v)`: read (query) frequency per data node.
+    pub read: Vec<f64>,
+    /// `w(v)`: write (update) frequency per data node.
+    pub write: Vec<f64>,
+}
+
+impl Rates {
+    /// Uniform rates with a given write:read ratio (reads normalized to 1).
+    pub fn uniform(n: usize, write_to_read: f64) -> Self {
+        Self {
+            read: vec![1.0; n],
+            write: vec![write_to_read; n],
+        }
+    }
+
+    fn read_of(&self, v: u32) -> f64 {
+        self.read.get(v as usize).copied().unwrap_or(0.0)
+    }
+
+    fn write_of(&self, v: u32) -> f64 {
+        self.write.get(v as usize).copied().unwrap_or(0.0)
+    }
+}
+
+/// Push (`fh`) and pull (`fl`) frequencies per overlay node (§4.1).
+#[derive(Clone, Debug)]
+pub struct Frequencies {
+    /// `fh(u)`: pushes arriving at `u` if everything is push-annotated.
+    pub fh: Vec<f64>,
+    /// `fl(u)`: pulls arriving at `u` if everything is pull-annotated.
+    pub fl: Vec<f64>,
+}
+
+/// Compute `fh`/`fl` by summing along the overlay edges (negative edges
+/// carry data just like positive ones — a subtraction is still a push).
+pub fn propagate_frequencies(ov: &Overlay, rates: &Rates) -> Frequencies {
+    let n = ov.node_count();
+    let mut fh = vec![0.0; n];
+    let mut fl = vec![0.0; n];
+    let order = ov.topo_order();
+    for &u in &order {
+        match ov.kind(u) {
+            OverlayKind::Writer(w) => fh[u.idx()] += rates.write_of(w.0),
+            OverlayKind::Reader(_) => {}
+            OverlayKind::Partial => {}
+        }
+        let f = fh[u.idx()];
+        for &(t, _) in ov.outputs(u) {
+            fh[t.idx()] += f;
+        }
+    }
+    for &u in order.iter().rev() {
+        if let OverlayKind::Reader(r) = ov.kind(u) {
+            fl[u.idx()] += rates.read_of(r.0);
+        }
+        let f = fl[u.idx()];
+        for &(s, _) in ov.inputs(u) {
+            fl[s.idx()] += f;
+        }
+    }
+    Frequencies { fh, fl }
+}
+
+/// Per-node unit costs: `(PUSH(v), PULL(v))` (§4.2).
+///
+/// `writer_window` is the expected number of in-window values at a writer —
+/// the paper implicitly assigns `w` inputs to each writer so its costs are
+/// `H(w)`/`L(w)`.
+pub fn node_costs(
+    ov: &Overlay,
+    freqs: &Frequencies,
+    cost: &CostModel,
+    writer_window: usize,
+) -> Vec<(f64, f64)> {
+    // Arena-indexed (retired nodes keep a zero-cost slot) so that
+    // `costs[id.idx()]` is always valid.
+    let mut out = vec![(0.0, 0.0); ov.node_count()];
+    for n in ov.ids() {
+        let k = match ov.kind(n) {
+            OverlayKind::Writer(_) => writer_window.max(1),
+            _ => ov.fan_in(n).max(1),
+        };
+        let push = freqs.fh[n.idx()] * cost.push_cost(k);
+        let pull = freqs.fl[n.idx()] * cost.pull_cost(k);
+        out[n.idx()] = (push, pull);
+    }
+    out
+}
+
+/// A push/pull decision per overlay node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the node's PAO incrementally up to date.
+    Push,
+    /// Compute on demand.
+    Pull,
+}
+
+/// The dataflow decisions for an overlay.
+#[derive(Clone, Debug)]
+pub struct Decisions {
+    /// Indexed by overlay node id.
+    pub of: Vec<Decision>,
+}
+
+impl Decisions {
+    /// All-push decisions (the data-streams/CEP baseline, §5.1).
+    pub fn all_push(ov: &Overlay) -> Self {
+        Self {
+            of: vec![Decision::Push; ov.node_count()],
+        }
+    }
+
+    /// All-pull decisions (the social-network baseline, §5.1). Writers stay
+    /// push per §2.2.1.
+    pub fn all_pull(ov: &Overlay) -> Self {
+        let mut of = vec![Decision::Pull; ov.node_count()];
+        for (w, _) in ov.writers() {
+            of[w.idx()] = Decision::Push;
+        }
+        Self { of }
+    }
+
+    /// Is the node push-annotated?
+    #[inline]
+    pub fn is_push(&self, n: OverlayId) -> bool {
+        self.of[n.idx()] == Decision::Push
+    }
+
+    /// Check the §4.3 consistency constraint: no edge from a pull node to a
+    /// push node.
+    pub fn is_valid(&self, ov: &Overlay) -> bool {
+        ov.ids().all(|u| {
+            self.is_push(u)
+                || ov
+                    .outputs(u)
+                    .iter()
+                    .all(|&(t, _)| !self.is_push(t))
+        })
+    }
+
+    /// Total expected cost `Σ_{v∈X} PUSH(v) + Σ_{v∈Y} PULL(v)` under the
+    /// given per-node unit costs (arena-indexed, as produced by
+    /// [`node_costs`]).
+    pub fn total_cost(&self, ov: &Overlay, costs: &[(f64, f64)]) -> f64 {
+        ov.ids()
+            .map(|n| {
+                let (push, pull) = costs[n.idx()];
+                if self.is_push(n) {
+                    push
+                } else {
+                    pull
+                }
+            })
+            .sum()
+    }
+
+    /// Number of push-annotated nodes.
+    pub fn push_count(&self) -> usize {
+        self.of.iter().filter(|&&d| d == Decision::Push).count()
+    }
+}
+
+/// What pruning (§4.5) left behind, for Fig 12 reporting.
+#[derive(Clone, Debug, Default)]
+pub struct PruneStats {
+    /// Overlay nodes before pruning, split (graph nodes, virtual nodes).
+    pub before: (usize, usize),
+    /// Overlay nodes remaining after pruning, split (graph, virtual).
+    pub after: (usize, usize),
+    /// Number of connected components among the survivors.
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+}
+
+/// Outcome of the full §4 decision procedure.
+#[derive(Clone, Debug)]
+pub struct DecisionOutcome {
+    /// The decisions.
+    pub decisions: Decisions,
+    /// Pruning effectiveness (Fig 12).
+    pub prune: PruneStats,
+}
+
+/// Apply pruning rules P1/P2 (§4.5). Returns per-node forced decisions
+/// (`None` = survives to the min-cut phase).
+pub fn prune(ov: &Overlay, weights: &[i64]) -> Vec<Option<Decision>> {
+    let n = ov.node_count();
+    let mut forced: Vec<Option<Decision>> = vec![None; n];
+    // Live in-degree / out-degree over surviving nodes.
+    let mut indeg: Vec<usize> = vec![0; n];
+    let mut outdeg: Vec<usize> = vec![0; n];
+    let ids: Vec<OverlayId> = ov.ids().collect();
+    for &u in &ids {
+        indeg[u.idx()] = ov.inputs(u).len();
+        outdeg[u.idx()] = ov.outputs(u).len();
+    }
+    let mut queue: Vec<OverlayId> = ids
+        .iter()
+        .copied()
+        .filter(|&u| {
+            (weights[u.idx()] >= 0 && indeg[u.idx()] == 0)
+                || (weights[u.idx()] < 0 && outdeg[u.idx()] == 0)
+        })
+        .collect();
+    while let Some(u) = queue.pop() {
+        if forced[u.idx()].is_some() {
+            continue;
+        }
+        if weights[u.idx()] >= 0 && indeg[u.idx()] == 0 {
+            // P1: a positive-weight source can safely push.
+            forced[u.idx()] = Some(Decision::Push);
+            for &(t, _) in ov.outputs(u) {
+                if forced[t.idx()].is_none() {
+                    indeg[t.idx()] -= 1;
+                    if (weights[t.idx()] >= 0 && indeg[t.idx()] == 0)
+                        || (weights[t.idx()] < 0 && outdeg[t.idx()] == 0)
+                    {
+                        queue.push(t);
+                    }
+                }
+            }
+        } else if weights[u.idx()] < 0 && outdeg[u.idx()] == 0 {
+            // P2: a negative-weight sink can safely pull.
+            forced[u.idx()] = Some(Decision::Pull);
+            for &(s, _) in ov.inputs(u) {
+                if forced[s.idx()].is_none() {
+                    outdeg[s.idx()] -= 1;
+                    if (weights[s.idx()] >= 0 && indeg[s.idx()] == 0)
+                        || (weights[s.idx()] < 0 && outdeg[s.idx()] == 0)
+                    {
+                        queue.push(s);
+                    }
+                }
+            }
+        }
+    }
+    forced
+}
+
+/// Integer DMP weights `w(v) = PULL(v) − PUSH(v)`, fixed-point scaled.
+pub fn dmp_weights(costs: &[(f64, f64)]) -> Vec<i64> {
+    costs
+        .iter()
+        .map(|&(push, pull)| ((pull - push) * WEIGHT_SCALE).round() as i64)
+        .collect()
+}
+
+/// Solve the dataflow decision problem exactly: prune, split into connected
+/// components, and run a min cut per component (§4.4–§4.5).
+pub fn decide_maxflow(ov: &Overlay, costs: &[(f64, f64)]) -> DecisionOutcome {
+    let mut weights = dmp_weights(costs);
+    // Writers always push (§2.2.1): encode the constraint in the weights so
+    // the min cut itself honors it (P1 then prunes every writer instantly,
+    // since writers have no inputs).
+    for (w, _) in ov.writers() {
+        weights[w.idx()] = WRITER_FORCE;
+    }
+    let forced = prune(ov, &weights);
+
+    // Pruning stats (Fig 12): graph vs virtual node split.
+    let is_graph_node = |n: OverlayId| !matches!(ov.kind(n), OverlayKind::Partial);
+    let mut before = (0usize, 0usize);
+    let mut after = (0usize, 0usize);
+    for n in ov.ids() {
+        if is_graph_node(n) {
+            before.0 += 1;
+        } else {
+            before.1 += 1;
+        }
+        if forced[n.idx()].is_none() {
+            if is_graph_node(n) {
+                after.0 += 1;
+            } else {
+                after.1 += 1;
+            }
+        }
+    }
+
+    // Connected components (undirected) over surviving nodes.
+    let n = ov.node_count();
+    let mut comp: Vec<i32> = vec![-1; n];
+    let mut components: Vec<Vec<OverlayId>> = Vec::new();
+    for start in ov.ids() {
+        if forced[start.idx()].is_some() || comp[start.idx()] >= 0 {
+            continue;
+        }
+        let cid = components.len() as i32;
+        let mut stack = vec![start];
+        comp[start.idx()] = cid;
+        let mut members = Vec::new();
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            let neighbors = ov
+                .outputs(u)
+                .iter()
+                .map(|&(t, _)| t)
+                .chain(ov.inputs(u).iter().map(|&(s, _)| s));
+            for v in neighbors {
+                if forced[v.idx()].is_none() && comp[v.idx()] < 0 {
+                    comp[v.idx()] = cid;
+                    stack.push(v);
+                }
+            }
+        }
+        components.push(members);
+    }
+
+    let mut of: Vec<Decision> = forced
+        .iter()
+        .map(|f| f.unwrap_or(Decision::Push))
+        .collect();
+
+    // Solve each component independently (Theorem 4.2 lets us ignore
+    // pruned neighbors entirely).
+    for members in &components {
+        solve_component(ov, &weights, members, &mut of);
+    }
+
+    debug_assert!(ov.writers().all(|(w, _)| of[w.idx()] == Decision::Push));
+
+    let largest = components.iter().map(|c| c.len()).max().unwrap_or(0);
+    let outcome = Decisions { of };
+    debug_assert!(outcome.is_valid(ov));
+    DecisionOutcome {
+        decisions: outcome,
+        prune: PruneStats {
+            before,
+            after,
+            components: components.len(),
+            largest_component: largest,
+        },
+    }
+}
+
+/// Min-cut solve of one component: build the augmented graph H' (Fig 5iii),
+/// run max-flow, and read the partition off the residual graph.
+fn solve_component(ov: &Overlay, weights: &[i64], members: &[OverlayId], of: &mut [Decision]) {
+    // Local indexing: 0 = s, 1 = t, 2.. = members.
+    let mut local: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for (i, &m) in members.iter().enumerate() {
+        local.insert(m.0, i + 2);
+    }
+    let mut net = Dinic::new(members.len() + 2);
+    for &m in members {
+        let w = weights[m.idx()];
+        let li = local[&m.0];
+        if w < 0 {
+            net.add_edge(0, li, -w); // s → v with capacity −w(v)
+        } else if w > 0 {
+            net.add_edge(li, 1, w); // v → t with capacity w(v)
+        }
+        for &(t, _) in ov.outputs(m) {
+            if let Some(&lt) = local.get(&t.0) {
+                net.add_edge(li, lt, INF);
+            }
+        }
+    }
+    net.max_flow(0, 1);
+    let side = net.min_cut_side(0);
+    for &m in members {
+        // Reachable from s in the residual ⇒ Y (pull); the rest ⇒ X (push).
+        of[m.idx()] = if side[local[&m.0]] {
+            Decision::Pull
+        } else {
+            Decision::Push
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_agg::CostModel;
+    use eagr_graph::{paper_example_graph, BipartiteGraph, Neighborhood, NodeId};
+
+    fn direct_paper_overlay() -> Overlay {
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        Overlay::direct_from_bipartite(&ag)
+    }
+
+    fn unit_cost() -> CostModel {
+        CostModel::unit_sum()
+    }
+
+    /// Brute-force optimal decisions for tiny overlays.
+    fn brute_force(ov: &Overlay, costs: &[(f64, f64)]) -> f64 {
+        let ids: Vec<OverlayId> = ov.ids().collect();
+        let n = ids.len();
+        assert!(n <= 20, "brute force only for tiny overlays");
+        let mut best = f64::INFINITY;
+        'outer: for mask in 0u32..(1 << n) {
+            // bit set = push.
+            let is_push = |id: OverlayId| {
+                let pos = ids.iter().position(|&x| x == id).unwrap();
+                mask & (1 << pos) != 0
+            };
+            // Constraint: no pull → push edge.
+            for &u in &ids {
+                if !is_push(u) {
+                    for &(t, _) in ov.outputs(u) {
+                        if is_push(t) {
+                            continue 'outer;
+                        }
+                    }
+                }
+            }
+            // Writers always push.
+            for (w, _) in ov.writers() {
+                if !is_push(w) {
+                    continue 'outer;
+                }
+            }
+            let cost: f64 = ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| {
+                    if mask & (1 << i) != 0 {
+                        costs[id.idx()].0
+                    } else {
+                        costs[id.idx()].1
+                    }
+                })
+                .sum();
+            best = best.min(cost);
+        }
+        best
+    }
+
+    #[test]
+    fn frequencies_propagate() {
+        let ov = direct_paper_overlay();
+        let n = 7;
+        let rates = Rates::uniform(n, 2.0);
+        let f = propagate_frequencies(&ov, &rates);
+        // Reader a has 4 inputs, each pushing at rate 2 ⇒ fh = 8.
+        let ar = ov.reader(NodeId(0)).unwrap();
+        assert!((f.fh[ar.idx()] - 8.0).abs() < 1e-12);
+        // Writer a feeds 5 readers, each read at rate 1 ⇒ fl = 5.
+        let aw = ov.writer(NodeId(0)).unwrap();
+        assert!((f.fl[aw.idx()] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxflow_matches_brute_force_on_paper_overlay() {
+        let ov = direct_paper_overlay();
+        let rates = Rates::uniform(7, 1.0);
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &unit_cost(), 1);
+        let out = decide_maxflow(&ov, &costs);
+        assert!(out.decisions.is_valid(&ov));
+        let got = out.decisions.total_cost(&ov, &costs);
+        let want = brute_force(&ov, &costs);
+        assert!(
+            (got - want).abs() < 1e-3,
+            "maxflow cost {got} vs brute force {want} (fixed-point rounding)"
+        );
+    }
+
+    #[test]
+    fn maxflow_beats_baselines_on_mixed_workload() {
+        let ov = direct_paper_overlay();
+        let mut rates = Rates::uniform(7, 1.0);
+        // Readers 0..3 hot, writers 4..6 hot.
+        for v in 0..4 {
+            rates.read[v] = 50.0;
+        }
+        for v in 4..7 {
+            rates.write[v] = 50.0;
+        }
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &unit_cost(), 1);
+        let out = decide_maxflow(&ov, &costs);
+        let opt = out.decisions.total_cost(&ov, &costs);
+        let push = Decisions::all_push(&ov).total_cost(&ov, &costs);
+        let pull = Decisions::all_pull(&ov).total_cost(&ov, &costs);
+        assert!(opt <= push + 1e-9);
+        assert!(opt <= pull + 1e-9);
+    }
+
+    #[test]
+    fn pruning_preserves_optimality() {
+        // Random-ish rates over the paper overlay: decisions with pruning
+        // must cost the same as brute force (Theorem 4.2).
+        let ov = direct_paper_overlay();
+        let mut rates = Rates::uniform(7, 1.0);
+        for v in 0..7 {
+            rates.read[v] = ((v * 7 + 3) % 11) as f64 + 0.5;
+            rates.write[v] = ((v * 5 + 1) % 13) as f64 + 0.5;
+        }
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &unit_cost(), 1);
+        let out = decide_maxflow(&ov, &costs);
+        let want = brute_force(&ov, &costs);
+        let got = out.decisions.total_cost(&ov, &costs);
+        assert!((got - want).abs() < 1e-3);
+        // Pruning must have removed something on this skewed workload.
+        let total_after = out.prune.after.0 + out.prune.after.1;
+        let total_before = out.prune.before.0 + out.prune.before.1;
+        assert!(total_after <= total_before);
+    }
+
+    #[test]
+    fn all_push_and_all_pull_are_valid() {
+        let ov = direct_paper_overlay();
+        assert!(Decisions::all_push(&ov).is_valid(&ov));
+        assert!(Decisions::all_pull(&ov).is_valid(&ov));
+    }
+
+    #[test]
+    fn read_heavy_prefers_push_write_heavy_prefers_pull() {
+        let ov = direct_paper_overlay();
+        // Extremely read-heavy.
+        let mut rates = Rates::uniform(7, 1.0);
+        for v in 0..7 {
+            rates.read[v] = 1000.0;
+            rates.write[v] = 0.01;
+        }
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &unit_cost(), 1);
+        let out = decide_maxflow(&ov, &costs);
+        let readers_push = ov
+            .readers()
+            .filter(|&(r, _)| out.decisions.is_push(r))
+            .count();
+        assert_eq!(readers_push, 7, "read-heavy ⇒ precompute everything");
+
+        // Extremely write-heavy.
+        let mut rates = Rates::uniform(7, 1.0);
+        for v in 0..7 {
+            rates.read[v] = 0.01;
+            rates.write[v] = 1000.0;
+        }
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &unit_cost(), 1);
+        let out = decide_maxflow(&ov, &costs);
+        let readers_pull = ov
+            .readers()
+            .filter(|&(r, _)| !out.decisions.is_push(r))
+            .count();
+        assert_eq!(readers_pull, 7, "write-heavy ⇒ compute on demand");
+    }
+
+    #[test]
+    fn fig5_conflict_resolved_globally() {
+        // Reproduce the paper's Fig 5 conflict: a chain i3 → sr where i3
+        // prefers pull but sr prefers push; both cannot have their local
+        // optimum. Build: writer x → i3 → sr(reader) with crafted costs.
+        let mut ov = {
+            let ag = BipartiteGraph::from_input_lists(
+                2,
+                vec![(NodeId(1), vec![NodeId(0)])],
+            );
+            Overlay::direct_from_bipartite(&ag)
+        };
+        let w = ov.writer(NodeId(0)).unwrap();
+        let r = ov.reader(NodeId(1)).unwrap();
+        ov.remove_edge(w, r, eagr_agg::Sign::Pos);
+        let p = ov.add_partial(&[w]);
+        ov.add_edge(p, r, eagr_agg::Sign::Pos);
+        // Costs: (PUSH, PULL) — writer must push; p: push 10 / pull 6
+        // (prefers pull); r: push 70 / pull 120 (prefers push).
+        let mut costs = vec![(0.0, 0.0); ov.node_count()];
+        costs[w.idx()] = (3.0, 10.0);
+        costs[p.idx()] = (10.0, 6.0);
+        costs[r.idx()] = (70.0, 120.0);
+        let out = decide_maxflow(&ov, &costs);
+        // Globally: push everything costs 3+10+70 = 83; pull p and r costs
+        // 3+6+120 = 129; push p, pull r = 3+10+120=133 — so all-push wins.
+        assert!(out.decisions.is_push(p));
+        assert!(out.decisions.is_push(r));
+        let got = out.decisions.total_cost(&ov, &costs);
+        assert!((got - 83.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! The greedy linear-time alternative to the max-flow algorithm (§4.6).
+//!
+//! A single pass over the overlay in topological (BFS-from-writers) order,
+//! with three states — push, pull, and *tentative pull* — maintaining the
+//! paper's two invariants:
+//!
+//! 1. a tentative-pull node is never downstream of a pull or tentative-pull
+//!    node,
+//! 2. a push node is never downstream of a pull or tentative-pull node.
+//!
+//! The paper keeps it as a fallback "in case the pruning step results in a
+//! very large connected component"; we also use it as a fast baseline in
+//! the ablation benches.
+
+use crate::decide::{Decision, Decisions};
+use eagr_overlay::{Overlay, OverlayKind};
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Push,
+    Pull,
+    TentativePull,
+}
+
+/// Run the greedy §4.6 algorithm. `costs[n] = (PUSH(n), PULL(n))`.
+pub fn decide_greedy(ov: &Overlay, costs: &[(f64, f64)]) -> Decisions {
+    let n = ov.node_count();
+    let mut state: Vec<State> = vec![State::Push; n];
+    for u in ov.topo_order() {
+        if ov.is_retired(u) {
+            continue;
+        }
+        // Writers always push.
+        if matches!(ov.kind(u), OverlayKind::Writer(_)) {
+            state[u.idx()] = State::Push;
+            continue;
+        }
+        let (push_cost, pull_cost) = costs[u.idx()];
+        let inputs: Vec<_> = ov.inputs(u).iter().map(|&(f, _)| f).collect();
+        let any_pull = inputs.iter().any(|f| state[f.idx()] == State::Pull);
+        let tentative: Vec<_> = inputs
+            .iter()
+            .copied()
+            .filter(|f| state[f.idx()] == State::TentativePull)
+            .collect();
+
+        if any_pull {
+            // Rule 1: a pull input forces pull.
+            state[u.idx()] = State::Pull;
+            // Tentative inputs below a pull node become final pulls.
+            for f in tentative {
+                state[f.idx()] = State::Pull;
+            }
+        } else if push_cost > pull_cost {
+            // The node prefers pull.
+            if tentative.is_empty() {
+                // Rule 3: all inputs push ⇒ tentative pull.
+                state[u.idx()] = State::TentativePull;
+            } else {
+                // Rule 2: finalize the tentative inputs as pulls.
+                state[u.idx()] = State::Pull;
+                for f in tentative {
+                    state[f.idx()] = State::Pull;
+                }
+            }
+        } else {
+            // The node prefers push.
+            if tentative.is_empty() {
+                // Rule 4: all inputs push ⇒ push.
+                state[u.idx()] = State::Push;
+            } else {
+                // Rule 5: local greedy over the tentative inputs + u.
+                let cost_if_push: f64 = tentative.iter().map(|f| costs[f.idx()].0).sum::<f64>()
+                    + push_cost;
+                let cost_if_pull: f64 = tentative.iter().map(|f| costs[f.idx()].1).sum::<f64>()
+                    + pull_cost;
+                if cost_if_push <= cost_if_pull {
+                    for f in tentative {
+                        state[f.idx()] = State::Push;
+                    }
+                    state[u.idx()] = State::Push;
+                } else {
+                    for f in tentative {
+                        state[f.idx()] = State::Pull;
+                    }
+                    state[u.idx()] = State::Pull;
+                }
+            }
+        }
+    }
+    let of = state
+        .into_iter()
+        .map(|s| match s {
+            State::Push => Decision::Push,
+            // Leftover tentative pulls become pulls (§4.6).
+            State::Pull | State::TentativePull => Decision::Pull,
+        })
+        .collect();
+    Decisions { of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::{decide_maxflow, node_costs, propagate_frequencies, Rates};
+    use eagr_agg::CostModel;
+    use eagr_graph::{paper_example_graph, BipartiteGraph, Neighborhood};
+    use eagr_overlay::{build_vnm, VnmConfig};
+
+    fn paper_overlay() -> Overlay {
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        Overlay::direct_from_bipartite(&ag)
+    }
+
+    #[test]
+    fn greedy_produces_valid_decisions() {
+        let ov = paper_overlay();
+        for ratio in [0.05, 0.5, 1.0, 5.0, 20.0] {
+            let rates = Rates::uniform(7, ratio);
+            let f = propagate_frequencies(&ov, &rates);
+            let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+            let d = decide_greedy(&ov, &costs);
+            assert!(d.is_valid(&ov), "invalid decisions at ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn greedy_matches_maxflow_at_extremes() {
+        let ov = paper_overlay();
+        for ratio in [0.001, 1000.0] {
+            let rates = Rates::uniform(7, ratio);
+            let f = propagate_frequencies(&ov, &rates);
+            let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+            let g = decide_greedy(&ov, &costs);
+            let m = decide_maxflow(&ov, &costs).decisions;
+            assert!(
+                (g.total_cost(&ov, &costs) - m.total_cost(&ov, &costs)).abs() < 1e-6,
+                "extreme workloads have obvious optima; ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_maxflow() {
+        // On a multi-level overlay with mixed rates the greedy answer is
+        // valid and no better than optimal.
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        let props = eagr_agg::AggProps {
+            duplicate_insensitive: false,
+            subtractable: true,
+        };
+        let (ov, _) = build_vnm(&ag, &VnmConfig::vnm(10, props));
+        let mut rates = Rates::uniform(7, 1.0);
+        for v in 0..7 {
+            rates.read[v] = ((v * 3 + 1) % 5) as f64 + 0.5;
+            rates.write[v] = ((v * 2 + 3) % 7) as f64 + 0.5;
+        }
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+        let g = decide_greedy(&ov, &costs);
+        let m = decide_maxflow(&ov, &costs).decisions;
+        assert!(g.is_valid(&ov));
+        assert!(g.total_cost(&ov, &costs) >= m.total_cost(&ov, &costs) - 1e-6);
+    }
+}

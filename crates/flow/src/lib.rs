@@ -1,0 +1,29 @@
+//! Push/pull dataflow decisions for EAGr overlays (paper §4).
+//!
+//! * [`decide`] — frequency propagation (§4.1), cost assignment (§4.2), the
+//!   Difference-Maximizing-Partition reduction and its min-cut solution
+//!   (§4.3–§4.4), and the P1/P2 pruning + connected-component decomposition
+//!   (§4.5).
+//! * [`maxflow`] — Dinic's algorithm (exact min cut, replacing the paper's
+//!   Ford–Fulkerson).
+//! * [`greedy`] — the linear-time greedy alternative (§4.6).
+//! * [`split`] — partial pre-computation by splitting nodes (§4.7).
+//! * [`adaptive`] — frontier monitoring and decision flipping (§4.8).
+//! * [`plan`] — a one-call planner tying the pieces together.
+
+pub mod adaptive;
+pub mod decide;
+pub mod greedy;
+pub mod maxflow;
+pub mod plan;
+pub mod split;
+
+pub use adaptive::{adapt_frontier, frontier, FrontierSide};
+pub use decide::{
+    decide_maxflow, dmp_weights, node_costs, propagate_frequencies, prune, Decision,
+    DecisionOutcome, Decisions, Frequencies, PruneStats, Rates,
+};
+pub use greedy::decide_greedy;
+pub use maxflow::Dinic;
+pub use plan::{plan, DecisionAlgorithm, Plan, PlannerConfig};
+pub use split::split_for_partial_precomputation;

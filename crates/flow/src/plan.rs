@@ -1,0 +1,208 @@
+//! One-call dataflow planning: frequencies → costs → decisions → optional
+//! node splitting.
+//!
+//! [`plan`] is what the execution layer and the benches call; it bundles
+//! the §4 pipeline with the §5.1 baseline policies.
+
+use crate::adaptive;
+use crate::decide::{
+    decide_maxflow, node_costs, propagate_frequencies, Decisions, Frequencies, PruneStats, Rates,
+};
+use crate::greedy::decide_greedy;
+use crate::split::split_for_partial_precomputation;
+use eagr_agg::CostModel;
+use eagr_overlay::Overlay;
+
+/// Which decision procedure to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionAlgorithm {
+    /// Exact min-cut solution (§4.4) with pruning (§4.5).
+    MaxFlow,
+    /// Linear-time greedy (§4.6).
+    Greedy,
+    /// Everything push (CEP-style baseline).
+    AllPush,
+    /// Readers/partials pull (social-network-style baseline).
+    AllPull,
+}
+
+/// Planner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerConfig {
+    /// Decision procedure.
+    pub algorithm: DecisionAlgorithm,
+    /// Apply §4.7 node splitting after deciding.
+    pub split: bool,
+    /// Expected in-window values per writer (cost of writer pushes/pulls).
+    pub writer_window: usize,
+    /// Delta ops generated per write event. Once a sliding window is warm,
+    /// every write produces an insert *and* an expiry removal, so pushes
+    /// cost ≈2 ops each; planning with the raw write rate would undercount
+    /// push work and over-push.
+    pub push_amplification: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: DecisionAlgorithm::MaxFlow,
+            split: true,
+            writer_window: 1,
+            push_amplification: 2.0,
+        }
+    }
+}
+
+/// A fully planned overlay: the (possibly split-augmented) overlay, its
+/// decisions, and diagnostics.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The overlay (ownership moves here because splitting mutates it).
+    pub overlay: Overlay,
+    /// Push/pull decision per overlay node.
+    pub decisions: Decisions,
+    /// Planning-time frequencies (extended for split nodes).
+    pub freqs: Frequencies,
+    /// Pruning stats from the max-flow path (defaults for other
+    /// algorithms).
+    pub prune: PruneStats,
+    /// Number of §4.7 splits applied.
+    pub splits: usize,
+    /// Overlay edge count before splitting (splitting trades edges for
+    /// computation, so the §3.1 sharing index is defined pre-split).
+    pub pre_split_edges: usize,
+    /// Sharing index of the overlay as constructed (pre-split).
+    pub pre_split_sharing_index: f64,
+    /// Modeled total cost of the final decisions.
+    pub modeled_cost: f64,
+}
+
+/// Run the §4 pipeline on an overlay.
+pub fn plan(mut overlay: Overlay, rates: &Rates, cost: &CostModel, cfg: &PlannerConfig) -> Plan {
+    let eff_rates = Rates {
+        read: rates.read.clone(),
+        write: rates
+            .write
+            .iter()
+            .map(|w| w * cfg.push_amplification.max(1.0))
+            .collect(),
+    };
+    let mut freqs = propagate_frequencies(&overlay, &eff_rates);
+    let costs = node_costs(&overlay, &freqs, cost, cfg.writer_window);
+    let (mut decisions, prune) = match cfg.algorithm {
+        DecisionAlgorithm::MaxFlow => {
+            let out = decide_maxflow(&overlay, &costs);
+            (out.decisions, out.prune)
+        }
+        DecisionAlgorithm::Greedy => (decide_greedy(&overlay, &costs), PruneStats::default()),
+        DecisionAlgorithm::AllPush => (Decisions::all_push(&overlay), PruneStats::default()),
+        DecisionAlgorithm::AllPull => (Decisions::all_pull(&overlay), PruneStats::default()),
+    };
+    let pre_split_edges = overlay.edge_count();
+    let pre_split_sharing_index = overlay.sharing_index();
+    let splits = if cfg.split && cfg.algorithm != DecisionAlgorithm::AllPush {
+        split_for_partial_precomputation(&mut overlay, &mut decisions, &mut freqs, cost)
+    } else {
+        0
+    };
+    let final_costs = node_costs(&overlay, &freqs, cost, cfg.writer_window);
+    let modeled_cost = decisions.total_cost(&overlay, &final_costs);
+    Plan {
+        overlay,
+        decisions,
+        freqs,
+        prune,
+        splits,
+        pre_split_edges,
+        pre_split_sharing_index,
+        modeled_cost,
+    }
+}
+
+impl Plan {
+    /// Re-run the §4.8 frontier adaptation with freshly observed
+    /// frequencies. Returns the number of decision flips.
+    pub fn adapt(&mut self, observed: &Frequencies, cost: &CostModel, writer_window: usize) -> usize {
+        adaptive::adapt_frontier(&self.overlay, &mut self.decisions, observed, cost, writer_window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_graph::{paper_example_graph, BipartiteGraph, Neighborhood};
+
+    fn paper_overlay() -> Overlay {
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        Overlay::direct_from_bipartite(&ag)
+    }
+
+    #[test]
+    fn planner_produces_valid_plans_for_all_algorithms() {
+        for alg in [
+            DecisionAlgorithm::MaxFlow,
+            DecisionAlgorithm::Greedy,
+            DecisionAlgorithm::AllPush,
+            DecisionAlgorithm::AllPull,
+        ] {
+            let p = plan(
+                paper_overlay(),
+                &Rates::uniform(7, 1.0),
+                &CostModel::unit_sum(),
+                &PlannerConfig {
+                    algorithm: alg,
+                    split: false,
+                    writer_window: 1,
+                    push_amplification: 2.0,
+                },
+            );
+            assert!(p.decisions.is_valid(&p.overlay), "{alg:?}");
+            assert!(p.modeled_cost.is_finite());
+        }
+    }
+
+    #[test]
+    fn maxflow_plan_cheapest() {
+        let rates = Rates::uniform(7, 2.0);
+        let cost = CostModel::unit_sum();
+        let base = PlannerConfig {
+            algorithm: DecisionAlgorithm::MaxFlow,
+            split: false,
+            writer_window: 1,
+            push_amplification: 2.0,
+        };
+        let opt = plan(paper_overlay(), &rates, &cost, &base).modeled_cost;
+        for alg in [
+            DecisionAlgorithm::Greedy,
+            DecisionAlgorithm::AllPush,
+            DecisionAlgorithm::AllPull,
+        ] {
+            let c = plan(paper_overlay(), &rates, &cost, &PlannerConfig { algorithm: alg, ..base })
+                .modeled_cost;
+            assert!(opt <= c + 1e-9, "maxflow {opt} vs {alg:?} {c}");
+        }
+    }
+
+    #[test]
+    fn splitting_never_raises_modeled_cost() {
+        let rates = {
+            let mut r = Rates::uniform(7, 1.0);
+            // Skew: a couple of very hot writers.
+            r.write[4] = 80.0;
+            r.write[5] = 60.0;
+            r
+        };
+        let cost = CostModel::unit_sum();
+        let unsplit = plan(
+            paper_overlay(),
+            &rates,
+            &cost,
+            &PlannerConfig {
+                split: false,
+                ..PlannerConfig::default()
+            },
+        );
+        let split = plan(paper_overlay(), &rates, &cost, &PlannerConfig::default());
+        assert!(split.modeled_cost <= unsplit.modeled_cost + 1e-6);
+    }
+}

@@ -1,0 +1,197 @@
+//! Partial pre-computation by splitting aggregation nodes (§4.7, Fig 7).
+//!
+//! A pull-annotated node with some rarely-updated inputs wastes work
+//! re-reading those inputs on every pull. Splitting carves the
+//! low-push-frequency inputs into a push-annotated sub-aggregate `v'`
+//! feeding the original node, so each pull touches `k − l + 1` inputs
+//! instead of `k` while `v'` absorbs the (rare) pushes.
+//!
+//! For each pull node we sort its push-annotated positive inputs by push
+//! frequency `f₁ ≤ … ≤ f_k` and choose the prefix length `l` minimizing
+//!
+//! ```text
+//! cost(l) = H(l)·Σ_{i≤l} f_i  +  f·L(k − l + 1)
+//! ```
+//!
+//! (`f` = the node's pull frequency); `l = 0` is "don't split". A split is
+//! applied when the interior minimum improves on `cost(0)`.
+
+use crate::decide::{Decision, Decisions, Frequencies};
+use eagr_agg::{CostModel, Sign};
+use eagr_overlay::{Overlay, OverlayId, OverlayKind};
+
+/// Split beneficial pull nodes; returns the number of splits applied.
+/// `decisions` grows with the new (push) sub-aggregates; frequencies are
+/// extended for the new nodes so downstream consumers stay analyzable.
+pub fn split_for_partial_precomputation(
+    ov: &mut Overlay,
+    decisions: &mut Decisions,
+    freqs: &mut Frequencies,
+    cost: &CostModel,
+) -> usize {
+    let candidates: Vec<OverlayId> = ov
+        .ids()
+        .filter(|&n| {
+            !matches!(ov.kind(n), OverlayKind::Writer(_))
+                && decisions.of[n.idx()] == Decision::Pull
+                && ov.fan_in(n) >= 3
+        })
+        .collect();
+
+    let mut splits = 0;
+    for v in candidates {
+        let k = ov.fan_in(v);
+        // Only push-annotated positive inputs can move under a push v'.
+        let mut movable: Vec<(f64, OverlayId)> = ov
+            .inputs(v)
+            .iter()
+            .filter(|&&(f, s)| s == Sign::Pos && decisions.of[f.idx()] == Decision::Push)
+            .map(|&(f, _)| (freqs.fh[f.idx()], f))
+            .collect();
+        if movable.len() < 2 {
+            continue;
+        }
+        movable.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        let f_pull = freqs.fl[v.idx()];
+        let baseline = f_pull * cost.pull_cost(k);
+        let mut best = (0usize, baseline);
+        let mut prefix_sum = 0.0;
+        for l in 1..=movable.len() {
+            prefix_sum += movable[l - 1].0;
+            if l == k {
+                break; // must leave at least one original input
+            }
+            let c = prefix_sum * cost.push_cost(l) + f_pull * cost.pull_cost(k - l + 1);
+            if c < best.1 {
+                best = (l, c);
+            }
+        }
+        let (l, best_cost) = best;
+        if l == 0 || l < 2 || best_cost >= baseline {
+            // l = 1 would create a pass-through node: no saving in practice.
+            continue;
+        }
+
+        let moved: Vec<OverlayId> = movable[..l].iter().map(|&(_, id)| id).collect();
+        let vprime = ov.add_partial(&moved);
+        for &m in &moved {
+            let removed = ov.remove_edge(m, v, Sign::Pos);
+            debug_assert!(removed);
+        }
+        ov.add_edge(vprime, v, Sign::Pos);
+
+        // Bookkeeping for the new node: push-annotated, with the moved
+        // inputs' combined push frequency; it is pulled as often as v.
+        let fh_new: f64 = moved.iter().map(|&m| freqs.fh[m.idx()]).sum();
+        decisions.of.push(Decision::Push);
+        freqs.fh.push(fh_new);
+        freqs.fl.push(freqs.fl[v.idx()]);
+        debug_assert_eq!(decisions.of.len(), ov.node_count());
+        splits += 1;
+    }
+    debug_assert!(decisions.is_valid(ov));
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::{node_costs, propagate_frequencies, Rates};
+    use eagr_graph::{BipartiteGraph, NodeId};
+
+    /// The Fig 7 scenario: one pull aggregator with four cold writers and
+    /// one hot writer.
+    fn fig7_overlay() -> (Overlay, Rates) {
+        // Writers 0..5 feed reader 10 through their direct edges.
+        let ag = BipartiteGraph::from_input_lists(
+            11,
+            vec![(NodeId(10), (0..5).map(NodeId).collect())],
+        );
+        let ov = Overlay::direct_from_bipartite(&ag);
+        let mut rates = Rates::uniform(11, 1.0);
+        // Cold writers 0..4 (rate 1,2,3,4), hot writer 4 (rate 25); reads
+        // at 15 (Fig 7 numbers).
+        rates.write[0] = 1.0;
+        rates.write[1] = 2.0;
+        rates.write[2] = 3.0;
+        rates.write[3] = 4.0;
+        rates.write[4] = 25.0;
+        for r in rates.read.iter_mut() {
+            *r = 0.0;
+        }
+        rates.read[10] = 15.0;
+        (ov, rates)
+    }
+
+    #[test]
+    fn splits_fig7_like_node() {
+        let (mut ov, rates) = fig7_overlay();
+        let mut freqs = propagate_frequencies(&ov, &rates);
+        // Force the reader to pull (as in Fig 7: cost 90 unsplit).
+        let mut d = Decisions::all_pull(&ov);
+        let before_nodes = ov.node_count();
+        let splits =
+            split_for_partial_precomputation(&mut ov, &mut d, &mut freqs, &CostModel::unit_sum());
+        assert_eq!(splits, 1);
+        assert_eq!(ov.node_count(), before_nodes + 1);
+        // The new node aggregates the four cold writers and is push.
+        let vprime = eagr_overlay::OverlayId((before_nodes) as u32);
+        assert_eq!(ov.coverage(vprime), &[0, 1, 2, 3]);
+        assert_eq!(d.of[vprime.idx()], Decision::Push);
+        // The reader now has 2 inputs: v' and the hot writer.
+        let rid = ov.reader(NodeId(10)).unwrap();
+        assert_eq!(ov.fan_in(rid), 2);
+        assert!(d.is_valid(&ov));
+    }
+
+    #[test]
+    fn split_reduces_modeled_cost() {
+        let (mut ov, rates) = fig7_overlay();
+        let cost = CostModel::unit_sum();
+        let freqs0 = propagate_frequencies(&ov, &rates);
+        let d0 = Decisions::all_pull(&ov);
+        let costs0 = node_costs(&ov, &freqs0, &cost, 1);
+        let before = d0.total_cost(&ov, &costs0);
+
+        let mut freqs = propagate_frequencies(&ov, &rates);
+        let mut d = Decisions::all_pull(&ov);
+        split_for_partial_precomputation(&mut ov, &mut d, &mut freqs, &cost);
+        let costs1 = node_costs(&ov, &freqs, &cost, 1);
+        let after = d.total_cost(&ov, &costs1);
+        // Fig 7: 90 → 60.
+        assert!(
+            after < before,
+            "split should cut modeled cost: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn no_split_when_all_inputs_hot() {
+        let ag = BipartiteGraph::from_input_lists(
+            11,
+            vec![(NodeId(10), (0..5).map(NodeId).collect())],
+        );
+        let mut ov = Overlay::direct_from_bipartite(&ag);
+        let mut rates = Rates::uniform(11, 1.0);
+        for w in rates.write.iter_mut() {
+            *w = 100.0; // uniformly hot: pre-aggregating saves nothing
+        }
+        rates.read[10] = 1.0;
+        let mut freqs = propagate_frequencies(&ov, &rates);
+        let mut d = Decisions::all_pull(&ov);
+        let splits =
+            split_for_partial_precomputation(&mut ov, &mut d, &mut freqs, &CostModel::unit_sum());
+        assert_eq!(splits, 0);
+    }
+
+    #[test]
+    fn push_nodes_not_split() {
+        let (mut ov, rates) = fig7_overlay();
+        let mut freqs = propagate_frequencies(&ov, &rates);
+        let mut d = Decisions::all_push(&ov);
+        let splits =
+            split_for_partial_precomputation(&mut ov, &mut d, &mut freqs, &CostModel::unit_sum());
+        assert_eq!(splits, 0, "splitting only benefits pull nodes");
+    }
+}

@@ -1,0 +1,17 @@
+//! Synthetic datasets, workloads, and traces for EAGr experiments (§5.1).
+//!
+//! * [`graphs`] — preferential-attachment "social" graphs, copying-model
+//!   "web" graphs, Erdős–Rényi controls, and named scaled stand-ins for the
+//!   paper's datasets ([`Dataset`]).
+//! * [`workload`] — Zipfian read/write rate assignment and mixed event
+//!   streams with a configurable write:read ratio.
+//! * [`trace`] — the two-phase shifting trace standing in for the EPA-HTTP
+//!   packet trace of Fig 13(a).
+
+pub mod graphs;
+pub mod trace;
+pub mod workload;
+
+pub use graphs::{erdos_renyi, social_graph, web_graph, Dataset};
+pub use trace::{shifting_trace, TraceConfig};
+pub use workload::{generate_events, zipf_rates, Event, WorkloadConfig};

@@ -1,0 +1,156 @@
+//! A shifting activity trace — the EPA-HTTP stand-in (§5.3, Fig 13a).
+//!
+//! The paper replays a real HTTP packet trace and, "at a half-way point,
+//! modified the read/write frequencies by increasing the read frequencies
+//! of a set of nodes with the highest read latencies till that point" —
+//! i.e. reads move onto previously *cold* nodes, invalidating static
+//! dataflow decisions. This generator reproduces exactly that shape
+//! synthetically (the real trace is not redistributable; DESIGN.md records
+//! the substitution).
+
+use crate::workload::{generate_events, Event, WorkloadConfig};
+use eagr_util::SplitMix64;
+
+/// Two-phase trace configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Events per phase (total = 2×).
+    pub events_per_phase: usize,
+    /// Write:read ratio (both phases).
+    pub write_to_read: f64,
+    /// Zipf exponent of node activity.
+    pub exponent: f64,
+    /// Fraction of nodes whose read popularity is boosted in phase 2
+    /// (drawn from the cold tail of phase 1).
+    pub shift_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            events_per_phase: 50_000,
+            write_to_read: 1.0,
+            exponent: 1.0,
+            shift_fraction: 0.2,
+            seed: 0xEA67,
+        }
+    }
+}
+
+/// Generate the two-phase trace. Phase 1 is an ordinary Zipfian stream;
+/// phase 2 continues the *same* stream (same node ranking — content
+/// production does not move) but redirects reads onto previously cold
+/// nodes: attention moves.
+pub fn shifting_trace(n_nodes: usize, cfg: &TraceConfig) -> Vec<Event> {
+    let base = WorkloadConfig {
+        events: 2 * cfg.events_per_phase,
+        write_to_read: cfg.write_to_read,
+        exponent: cfg.exponent,
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let full = generate_events(n_nodes, &base);
+    let mut events: Vec<Event> = full[..cfg.events_per_phase].to_vec();
+
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xABCD);
+    let shift = ((n_nodes as f64 * cfg.shift_fraction) as usize).max(1);
+    for &e in &full[cfg.events_per_phase..] {
+        match e {
+            Event::Write { .. } => events.push(e),
+            Event::Read { node } => {
+                // Rotate the node id space so the tail of the phase-1
+                // ranking receives the hot reads.
+                let rotated = (node.0 as usize + n_nodes - shift) % n_nodes;
+                // Occasionally keep the original target so the shift is a
+                // redistribution, not a total swap.
+                let target = if rng.chance(0.85) {
+                    rotated as u32
+                } else {
+                    node.0
+                };
+                events.push(Event::Read {
+                    node: eagr_graph::NodeId(target),
+                });
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_util::FastMap;
+
+    fn read_histogram(events: &[Event], n: usize) -> Vec<usize> {
+        let mut h = vec![0usize; n];
+        for e in events {
+            if let Event::Read { node } = e {
+                h[node.0 as usize] += 1;
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn two_phases_with_expected_size() {
+        let cfg = TraceConfig {
+            events_per_phase: 10_000,
+            ..Default::default()
+        };
+        let t = shifting_trace(64, &cfg);
+        assert_eq!(t.len(), 20_000);
+    }
+
+    #[test]
+    fn read_popularity_shifts_between_phases() {
+        let cfg = TraceConfig {
+            events_per_phase: 40_000,
+            shift_fraction: 0.3,
+            ..Default::default()
+        };
+        let n = 100;
+        let t = shifting_trace(n, &cfg);
+        let h1 = read_histogram(&t[..cfg.events_per_phase], n);
+        let h2 = read_histogram(&t[cfg.events_per_phase..], n);
+        // The hottest phase-1 reader must lose most of its traffic.
+        let hot1 = h1.iter().enumerate().max_by_key(|&(_, c)| *c).unwrap().0;
+        assert!(
+            (h2[hot1] as f64) < 0.5 * h1[hot1] as f64,
+            "phase-1 hot node {hot1}: {} → {}",
+            h1[hot1],
+            h2[hot1]
+        );
+        // And some node must gain substantially.
+        let gained = (0..n).any(|v| h2[v] > h1[v] * 2 + 50);
+        assert!(gained, "someone must become hot in phase 2");
+    }
+
+    #[test]
+    fn writes_do_not_shift() {
+        let cfg = TraceConfig {
+            events_per_phase: 30_000,
+            ..Default::default()
+        };
+        let n = 50;
+        let t = shifting_trace(n, &cfg);
+        let mut w1: FastMap<u32, usize> = FastMap::default();
+        let mut w2: FastMap<u32, usize> = FastMap::default();
+        for e in &t[..cfg.events_per_phase] {
+            if let Event::Write { node, .. } = e {
+                *w1.entry(node.0).or_insert(0) += 1;
+            }
+        }
+        for e in &t[cfg.events_per_phase..] {
+            if let Event::Write { node, .. } = e {
+                *w2.entry(node.0).or_insert(0) += 1;
+            }
+        }
+        // The hottest writer stays the hottest.
+        let hot1 = w1.iter().max_by_key(|&(_, c)| *c).unwrap().0;
+        let hot2 = w2.iter().max_by_key(|&(_, c)| *c).unwrap().0;
+        assert_eq!(hot1, hot2);
+    }
+}

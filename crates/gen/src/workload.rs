@@ -1,0 +1,185 @@
+//! Zipfian read/write workloads (§5.1).
+//!
+//! "We generate those synthetically using a Zipfian distribution ... we
+//! assume that the read frequency of a node is linearly related to its
+//! write frequency; we vary the write-to-read ratio itself."
+//!
+//! [`zipf_rates`] assigns static per-node frequencies (the planner input);
+//! [`generate_events`] samples a concrete event stream from them (the
+//! engine input).
+
+use eagr_flow::Rates;
+use eagr_graph::NodeId;
+use eagr_util::{SplitMix64, Zipf};
+
+/// One workload event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A content update at a node (the value models a topic/metric).
+    Write {
+        /// Updated node.
+        node: NodeId,
+        /// Stream value.
+        value: i64,
+    },
+    /// A query for a node's ego-centric aggregate.
+    Read {
+        /// Queried node.
+        node: NodeId,
+    },
+}
+
+impl Event {
+    /// The node the event touches.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Event::Write { node, .. } | Event::Read { node } => node,
+        }
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Event::Write { .. })
+    }
+}
+
+/// Assign Zipfian read/write rates over `n` nodes.
+///
+/// Node activity ranks are a random permutation (hub nodes are not
+/// automatically the most active); read rates sum to `n`, write rates to
+/// `n × write_to_read`.
+pub fn zipf_rates(n: usize, exponent: f64, write_to_read: f64, seed: u64) -> Rates {
+    assert!(n > 0);
+    let mut rng = SplitMix64::new(seed);
+    let mut ranks: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut ranks);
+    let weights = Zipf::weights(n, exponent);
+    let total: f64 = weights.iter().sum();
+    let mut read = vec![0.0; n];
+    let mut write = vec![0.0; n];
+    for (node, &rank) in ranks.iter().enumerate() {
+        let share = weights[rank] / total; // fraction of all activity
+        read[node] = share * n as f64;
+        write[node] = share * n as f64 * write_to_read;
+    }
+    Rates { read, write }
+}
+
+/// Configuration for event-stream sampling.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Total events to generate.
+    pub events: usize,
+    /// Write:read ratio (Fig 14a sweeps 0.05 … 20).
+    pub write_to_read: f64,
+    /// Zipf exponent of node activity.
+    pub exponent: f64,
+    /// Number of distinct stream values ("topics" for TOP-K).
+    pub value_universe: usize,
+    /// Zipf exponent of the value distribution.
+    pub value_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            events: 100_000,
+            write_to_read: 1.0,
+            exponent: 1.0,
+            value_universe: 1000,
+            value_exponent: 1.0,
+            seed: 0xEA67,
+        }
+    }
+}
+
+/// Sample a mixed event stream: nodes Zipfian-ranked, event kind Bernoulli
+/// by the write:read ratio, write values Zipfian over the topic universe.
+pub fn generate_events(n_nodes: usize, cfg: &WorkloadConfig) -> Vec<Event> {
+    assert!(n_nodes > 0);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let node_dist = Zipf::new(n_nodes, cfg.exponent);
+    let value_dist = Zipf::new(cfg.value_universe.max(1), cfg.value_exponent);
+    let mut ranks: Vec<u32> = (0..n_nodes as u32).collect();
+    rng.shuffle(&mut ranks);
+    let p_write = cfg.write_to_read / (1.0 + cfg.write_to_read);
+    (0..cfg.events)
+        .map(|_| {
+            let node = NodeId(ranks[node_dist.sample(&mut rng)]);
+            if rng.chance(p_write) {
+                Event::Write {
+                    node,
+                    value: value_dist.sample(&mut rng) as i64,
+                }
+            } else {
+                Event::Read { node }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_sum_to_expected_totals() {
+        let r = zipf_rates(100, 1.0, 2.0, 1);
+        let read_sum: f64 = r.read.iter().sum();
+        let write_sum: f64 = r.write.iter().sum();
+        assert!((read_sum - 100.0).abs() < 1e-6);
+        assert!((write_sum - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rates_are_skewed() {
+        let r = zipf_rates(1000, 1.0, 1.0, 2);
+        let mut sorted = r.read.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top10: f64 = sorted[..10].iter().sum();
+        let total: f64 = sorted.iter().sum();
+        assert!(top10 / total > 0.2, "Zipf(1.0) top-10 share {}", top10 / total);
+    }
+
+    #[test]
+    fn read_write_linearly_related() {
+        let r = zipf_rates(50, 1.2, 3.0, 3);
+        for v in 0..50 {
+            assert!((r.write[v] - 3.0 * r.read[v]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn event_mix_matches_ratio() {
+        let cfg = WorkloadConfig {
+            events: 100_000,
+            write_to_read: 4.0,
+            ..Default::default()
+        };
+        let ev = generate_events(100, &cfg);
+        let writes = ev.iter().filter(|e| e.is_write()).count();
+        let frac = writes as f64 / ev.len() as f64;
+        assert!((frac - 0.8).abs() < 0.01, "write fraction {frac}");
+    }
+
+    #[test]
+    fn events_deterministic() {
+        let cfg = WorkloadConfig::default();
+        let a = generate_events(64, &cfg);
+        let b = generate_events(64, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn events_within_node_bounds() {
+        let cfg = WorkloadConfig {
+            events: 10_000,
+            ..Default::default()
+        };
+        for e in generate_events(32, &cfg) {
+            assert!(e.node().0 < 32);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The bipartite writer/reader graph `AG(V', E')` (paper §3.1, Fig 1c).
+//!
+//! Given a data graph and a query ⟨F, w, N, pred⟩, every node acts as a
+//! writer `v_w`, and every node satisfying `pred` contributes a reader `v_r`
+//! whose *input list* is `{u_w | u ∈ N(v)}`. The overlay construction
+//! algorithms (FP-tree mining, VNM, IOB) all operate on this bipartite view,
+//! and the overlay's *sharing index* is defined relative to its edge count.
+
+use crate::data_graph::{DataGraph, NodeId};
+use crate::neighborhood::Neighborhood;
+
+/// The bipartite writer/reader graph.
+///
+/// Writers are identified by their data-graph [`NodeId`]; readers are dense
+/// indexes `0..reader_count()` with a mapping back to their data-graph node.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    /// `readers[i]` is the data-graph node of reader `i`.
+    readers: Vec<NodeId>,
+    /// `inputs[i]` is reader `i`'s input list (deduplicated, sorted).
+    inputs: Vec<Vec<NodeId>>,
+    /// Number of writer slots (= data-graph id bound).
+    writer_bound: usize,
+    /// `writer_out_degree[w]` = number of readers whose input list contains
+    /// writer `w` (the writer's "frequency of occurrence", used by the
+    /// FP-tree sort order, §3.2.1).
+    writer_out_degree: Vec<u32>,
+    /// Total number of bipartite edges.
+    edge_count: usize,
+}
+
+impl BipartiteGraph {
+    /// Build `AG` from a data graph, a neighborhood function, and a
+    /// predicate selecting reader nodes.
+    ///
+    /// Readers with empty input lists are skipped: they have nothing to
+    /// aggregate (matching Fig 1(c), where a reader is present for every
+    /// node but a writer only feeds readers it can reach).
+    pub fn build(
+        g: &DataGraph,
+        neighborhood: &Neighborhood,
+        pred: impl Fn(NodeId) -> bool,
+    ) -> Self {
+        let mut readers = Vec::new();
+        let mut inputs = Vec::new();
+        let writer_bound = g.id_bound();
+        let mut writer_out_degree = vec![0u32; writer_bound];
+        let mut edge_count = 0;
+        for v in g.nodes() {
+            if !pred(v) {
+                continue;
+            }
+            let mut list = neighborhood.select(g, v);
+            if list.is_empty() {
+                continue;
+            }
+            list.sort_unstable();
+            list.dedup();
+            for &w in &list {
+                writer_out_degree[w.idx()] += 1;
+            }
+            edge_count += list.len();
+            readers.push(v);
+            inputs.push(list);
+        }
+        Self {
+            readers,
+            inputs,
+            writer_bound,
+            writer_out_degree,
+            edge_count,
+        }
+    }
+
+    /// Build from explicit reader input lists (used by tests and by overlay
+    /// algorithms that synthesize bipartite instances).
+    pub fn from_input_lists(writer_bound: usize, lists: Vec<(NodeId, Vec<NodeId>)>) -> Self {
+        let mut writer_out_degree = vec![0u32; writer_bound];
+        let mut edge_count = 0;
+        let mut readers = Vec::with_capacity(lists.len());
+        let mut inputs = Vec::with_capacity(lists.len());
+        for (r, mut list) in lists {
+            list.sort_unstable();
+            list.dedup();
+            for &w in &list {
+                writer_out_degree[w.idx()] += 1;
+            }
+            edge_count += list.len();
+            readers.push(r);
+            inputs.push(list);
+        }
+        Self {
+            readers,
+            inputs,
+            writer_bound,
+            writer_out_degree,
+            edge_count,
+        }
+    }
+
+    /// Number of readers.
+    pub fn reader_count(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// Upper bound on writer ids.
+    pub fn writer_bound(&self) -> usize {
+        self.writer_bound
+    }
+
+    /// The data-graph node of reader `i`.
+    pub fn reader_node(&self, i: usize) -> NodeId {
+        self.readers[i]
+    }
+
+    /// Reader `i`'s input list (sorted, deduplicated writer ids).
+    pub fn inputs(&self, i: usize) -> &[NodeId] {
+        &self.inputs[i]
+    }
+
+    /// Number of readers that aggregate writer `w`.
+    pub fn writer_out_degree(&self, w: NodeId) -> u32 {
+        self.writer_out_degree[w.idx()]
+    }
+
+    /// Total bipartite edge count — the denominator of the sharing index.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over `(reader_index, reader_node, input_list)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, NodeId, &[NodeId])> + '_ {
+        self.readers
+            .iter()
+            .enumerate()
+            .map(move |(i, &r)| (i, r, self.inputs[i].as_slice()))
+    }
+
+    /// Writers that actually feed at least one reader.
+    pub fn active_writers(&self) -> Vec<NodeId> {
+        (0..self.writer_bound)
+            .filter(|&w| self.writer_out_degree[w] > 0)
+            .map(|w| NodeId(w as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_graph::paper_example_graph;
+
+    #[test]
+    fn paper_example_bipartite() {
+        let g = paper_example_graph();
+        let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        // All 7 nodes have nonempty N(v), so all are readers.
+        assert_eq!(ag.reader_count(), 7);
+        // 35 edges total (sum of input-list sizes).
+        assert_eq!(ag.edge_count(), 35);
+        // Writer g (node 6) feeds no reader.
+        assert_eq!(ag.writer_out_degree(NodeId(6)), 0);
+        assert_eq!(ag.active_writers().len(), 6);
+        // Writer d (node 3) appears in every input list (self-loop
+        // included) → out-degree 7, the top of the FP-tree sort order.
+        assert_eq!(ag.writer_out_degree(NodeId(3)), 7);
+    }
+
+    #[test]
+    fn predicate_filters_readers() {
+        let g = paper_example_graph();
+        let ag = BipartiteGraph::build(&g, &Neighborhood::In, |v| v.0 < 2);
+        assert_eq!(ag.reader_count(), 2);
+        assert_eq!(ag.edge_count(), 4 + 3); // |N(a)| + |N(b)|
+    }
+
+    #[test]
+    fn empty_neighborhoods_skipped() {
+        let g = DataGraph::from_edges(3, &[(0, 1)]);
+        let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        // Only node 1 has an in-neighbor.
+        assert_eq!(ag.reader_count(), 1);
+        assert_eq!(ag.reader_node(0), NodeId(1));
+        assert_eq!(ag.inputs(0), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn input_lists_deduplicated_and_sorted() {
+        let ag = BipartiteGraph::from_input_lists(
+            5,
+            vec![(NodeId(0), vec![NodeId(3), NodeId(1), NodeId(3), NodeId(2)])],
+        );
+        assert_eq!(ag.inputs(0), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(ag.edge_count(), 3);
+        assert_eq!(ag.writer_out_degree(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn two_hop_bipartite_is_larger() {
+        let g = paper_example_graph();
+        let one = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        let two = BipartiteGraph::build(&g, &Neighborhood::KHopIn(2), |_| true);
+        assert!(two.edge_count() >= one.edge_count());
+    }
+}

@@ -1,0 +1,146 @@
+//! Immutable CSR (compressed sparse row) snapshots of a [`DataGraph`].
+//!
+//! The dynamic graph's `Vec<Vec<NodeId>>` adjacency is convenient for
+//! mutation but cache-hostile for bulk traversal. Overlay construction and
+//! the bipartite build iterate every neighborhood once per run; freezing the
+//! graph into two flat arrays (offsets + targets) makes those scans
+//! sequential. Snapshots are cheap to rebuild after a batch of structural
+//! changes — matching the paper's assumption that "the data graph itself
+//! changes relatively slowly".
+
+use crate::data_graph::{DataGraph, NodeId};
+
+/// A frozen adjacency view: one direction (out- or in-neighbors) of a
+/// [`DataGraph`] in CSR form.
+#[derive(Clone, Debug)]
+pub struct CsrSnapshot {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`.
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrSnapshot {
+    /// Freeze the *out*-adjacency of `g`.
+    pub fn out_edges(g: &DataGraph) -> Self {
+        Self::build(g, |g, v| g.out_neighbors(v))
+    }
+
+    /// Freeze the *in*-adjacency of `g`.
+    pub fn in_edges(g: &DataGraph) -> Self {
+        Self::build(g, |g, v| g.in_neighbors(v))
+    }
+
+    fn build(g: &DataGraph, nbrs: impl Fn(&DataGraph, NodeId) -> &[NodeId]) -> Self {
+        let n = g.id_bound();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.edge_count());
+        offsets.push(0);
+        for i in 0..n as u32 {
+            let v = NodeId(i);
+            if g.contains(v) {
+                targets.extend_from_slice(nbrs(g, v));
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of node slots (the data graph's id bound, including
+    /// tombstoned ids, which simply have empty rows).
+    pub fn node_slots(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `v` (empty for out-of-range or tombstoned ids).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.idx();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Iterate `(node, neighbors)` rows with non-empty neighbor lists.
+    pub fn rows(&self) -> impl Iterator<Item = (NodeId, &[NodeId])> + '_ {
+        (0..self.node_slots() as u32).filter_map(move |i| {
+            let v = NodeId(i);
+            let ns = self.neighbors(v);
+            (!ns.is_empty()).then_some((v, ns))
+        })
+    }
+
+    /// Heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.capacity() * 4 + self.targets.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_graph::paper_example_graph;
+
+    #[test]
+    fn snapshot_matches_dynamic_adjacency() {
+        let g = paper_example_graph();
+        let out = CsrSnapshot::out_edges(&g);
+        let inc = CsrSnapshot::in_edges(&g);
+        assert_eq!(out.edge_count(), g.edge_count());
+        assert_eq!(inc.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            assert_eq!(out.neighbors(v), g.out_neighbors(v));
+            assert_eq!(inc.neighbors(v), g.in_neighbors(v));
+            assert_eq!(out.degree(v), g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn tombstoned_nodes_have_empty_rows() {
+        let mut g = paper_example_graph();
+        g.remove_node(NodeId(3));
+        let out = CsrSnapshot::out_edges(&g);
+        assert!(out.neighbors(NodeId(3)).is_empty());
+        assert_eq!(out.edge_count(), g.edge_count());
+        // Neighbor lists of others no longer mention the removed node.
+        for (_, ns) in out.rows() {
+            assert!(!ns.contains(&NodeId(3)));
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_empty() {
+        let g = paper_example_graph();
+        let out = CsrSnapshot::out_edges(&g);
+        assert!(out.neighbors(NodeId(10_000)).is_empty());
+        assert_eq!(out.degree(NodeId(10_000)), 0);
+    }
+
+    #[test]
+    fn rows_iterate_nonempty_only() {
+        let g = paper_example_graph();
+        let out = CsrSnapshot::out_edges(&g);
+        // Node g (6) has out-degree 0: it must not appear.
+        assert!(out.rows().all(|(v, _)| v != NodeId(6)));
+        let total: usize = out.rows().map(|(_, ns)| ns.len()).sum();
+        assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let g = paper_example_graph();
+        let out = CsrSnapshot::out_edges(&g);
+        assert!(out.memory_bytes() >= g.edge_count() * 4);
+    }
+}

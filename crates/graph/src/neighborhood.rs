@@ -1,0 +1,164 @@
+//! Neighborhood selection functions `N()` (paper §2.1).
+//!
+//! `N(v)` produces the list of nodes whose content streams form the input of
+//! the ego-centric aggregate at `v`. The paper's running example uses
+//! `N(x) = {y | y → x}` (in-neighbors); the framework also supports
+//! out-neighbor, undirected, multi-hop (§5.4, Fig 14c evaluates 2-hop), and
+//! filtered neighborhoods ("only aggregating over subsets of
+//! neighborhoods", §1).
+
+use crate::data_graph::{DataGraph, NodeId};
+use std::sync::Arc;
+
+/// Predicate used by [`Neighborhood::Filtered`] to keep a subset of a base
+/// neighborhood. Receives `(ego, candidate)`.
+pub type NeighborFilter = Arc<dyn Fn(NodeId, NodeId) -> bool + Send + Sync>;
+
+/// A neighborhood selection function.
+#[derive(Clone)]
+pub enum Neighborhood {
+    /// `{y | y → v}` — nodes with an edge *into* `v` (the paper's default).
+    In,
+    /// `{y | v → y}` — nodes `v` points to (e.g. "follows" feeds).
+    Out,
+    /// Union of in- and out-neighbors.
+    Undirected,
+    /// All distinct nodes within `k` hops following incoming edges,
+    /// excluding `v` itself. `KHopIn(1)` ≡ `In`.
+    KHopIn(usize),
+    /// All distinct nodes within `k` hops following outgoing edges.
+    KHopOut(usize),
+    /// A base neighborhood restricted by a predicate.
+    Filtered {
+        /// Neighborhood to filter.
+        base: Box<Neighborhood>,
+        /// Keep `u ∈ base(v)` iff `filter(v, u)`.
+        filter: NeighborFilter,
+    },
+}
+
+impl std::fmt::Debug for Neighborhood {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Neighborhood::In => write!(f, "In"),
+            Neighborhood::Out => write!(f, "Out"),
+            Neighborhood::Undirected => write!(f, "Undirected"),
+            Neighborhood::KHopIn(k) => write!(f, "KHopIn({k})"),
+            Neighborhood::KHopOut(k) => write!(f, "KHopOut({k})"),
+            Neighborhood::Filtered { base, .. } => write!(f, "Filtered({base:?})"),
+        }
+    }
+}
+
+impl Neighborhood {
+    /// Materialize `N(v)` as a deduplicated node list (order unspecified,
+    /// `v` never included).
+    pub fn select(&self, g: &DataGraph, v: NodeId) -> Vec<NodeId> {
+        match self {
+            Neighborhood::In => g.in_neighbors(v).to_vec(),
+            Neighborhood::Out => g.out_neighbors(v).to_vec(),
+            Neighborhood::Undirected => {
+                let mut all = g.in_neighbors(v).to_vec();
+                for &u in g.out_neighbors(v) {
+                    if !all.contains(&u) {
+                        all.push(u);
+                    }
+                }
+                all
+            }
+            Neighborhood::KHopIn(k) => g.in_neighbors_k_hop(v, *k),
+            Neighborhood::KHopOut(k) => g.out_neighbors_k_hop(v, *k),
+            Neighborhood::Filtered { base, filter } => base
+                .select(g, v)
+                .into_iter()
+                .filter(|&u| filter(v, u))
+                .collect(),
+        }
+    }
+
+    /// Convenience constructor for a filtered neighborhood.
+    pub fn filtered(
+        base: Neighborhood,
+        filter: impl Fn(NodeId, NodeId) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Neighborhood::Filtered {
+            base: Box::new(base),
+            filter: Arc::new(filter),
+        }
+    }
+
+    /// The hop radius this neighborhood spans (used by incremental overlay
+    /// maintenance to bound which readers an edge change can affect).
+    pub fn radius(&self) -> usize {
+        match self {
+            Neighborhood::In | Neighborhood::Out | Neighborhood::Undirected => 1,
+            Neighborhood::KHopIn(k) | Neighborhood::KHopOut(k) => *k,
+            Neighborhood::Filtered { base, .. } => base.radius(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_graph::paper_example_graph;
+
+    fn sorted(mut v: Vec<NodeId>) -> Vec<u32> {
+        v.sort();
+        v.into_iter().map(|n| n.0).collect()
+    }
+
+    #[test]
+    fn in_neighborhood_matches_paper() {
+        let g = paper_example_graph();
+        // N(a) = {c, d, e, f} per Fig 1(b).
+        assert_eq!(sorted(Neighborhood::In.select(&g, NodeId(0))), vec![2, 3, 4, 5]);
+        // N(g) = everything.
+        assert_eq!(
+            sorted(Neighborhood::In.select(&g, NodeId(6))),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn out_neighborhood() {
+        let g = DataGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        assert_eq!(sorted(Neighborhood::Out.select(&g, NodeId(0))), vec![1, 2]);
+        assert!(Neighborhood::Out.select(&g, NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn undirected_deduplicates() {
+        let g = DataGraph::from_edges(3, &[(0, 1), (1, 0), (2, 0)]);
+        assert_eq!(
+            sorted(Neighborhood::Undirected.select(&g, NodeId(0))),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn two_hop() {
+        let g = DataGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(sorted(Neighborhood::KHopIn(2).select(&g, NodeId(3))), vec![1, 2]);
+        assert_eq!(sorted(Neighborhood::KHopOut(2).select(&g, NodeId(0))), vec![1, 2]);
+        assert_eq!(Neighborhood::KHopIn(1).select(&g, NodeId(3)).len(), 1);
+    }
+
+    #[test]
+    fn filtered_neighborhood() {
+        let g = paper_example_graph();
+        // Keep only even-id neighbors of g.
+        let n = Neighborhood::filtered(Neighborhood::In, |_, u| u.0 % 2 == 0);
+        assert_eq!(sorted(n.select(&g, NodeId(6))), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn radius() {
+        assert_eq!(Neighborhood::In.radius(), 1);
+        assert_eq!(Neighborhood::KHopIn(3).radius(), 3);
+        assert_eq!(
+            Neighborhood::filtered(Neighborhood::KHopOut(2), |_, _| true).radius(),
+            2
+        );
+    }
+}

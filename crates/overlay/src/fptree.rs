@@ -1,0 +1,430 @@
+//! FP-tree construction and biclique mining (paper §3.2.1, Fig 3).
+//!
+//! The FP-tree is built over one *group* of readers (VNM's chunking keeps
+//! groups small). A path `P` from the root to a node corresponds to a
+//! candidate biclique between the items on `P` and the readers supporting
+//! the last node; its quality is
+//!
+//! ```text
+//! benefit(P) = L(P)·|S(P)| − L(P) − |S(P)| − penalty(P)
+//! ```
+//!
+//! where the penalty term is `Σ_P |S'(x)|` for VNM_N's negative edges
+//! (§3.2.3) and `Σ_P |S_mined(x)|` for VNM_D's reused edges (§3.2.4); both
+//! are tracked here as a single per-node accumulated [`penalty`] weight.
+//!
+//! Mining proposes candidates; the driver in [`crate::vnm`] *validates* each
+//! candidate against the live overlay before rewiring, so tree staleness can
+//! only cost compression, never correctness.
+
+use eagr_util::FastSet;
+
+const ROOT: u32 = 0;
+
+#[derive(Clone, Debug)]
+struct FpNode {
+    /// The item (overlay node id as raw u32); unused for the root.
+    item: u32,
+    parent: u32,
+    depth: u32,
+    children: Vec<u32>,
+    /// Readers (group-local indices) whose insertion path includes this
+    /// node — the union of the paper's `S`, `S'`, and `S_mined` memberships.
+    members: Vec<u32>,
+    /// Σ over members of the number of penalized items on the path up to
+    /// and including this node (negative-edge or mined-edge count).
+    penalty: u32,
+}
+
+/// An FP-tree over one reader group.
+#[derive(Clone, Debug)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+}
+
+/// A mined biclique candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// Items on the path (raw overlay ids, root-side first).
+    pub items: Vec<u32>,
+    /// Group-local reader indices supporting the path's last node.
+    pub readers: Vec<u32>,
+    /// Estimated `benefit(P)`.
+    pub benefit: i64,
+}
+
+impl Default for FpTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FpTree {
+    /// An empty tree (just the root).
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![FpNode {
+                item: u32::MAX,
+                parent: u32::MAX,
+                depth: 0,
+                children: Vec::new(),
+                members: Vec::new(),
+                penalty: 0,
+            }],
+        }
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    fn child_with_item(&self, n: u32, item: u32) -> Option<u32> {
+        self.nodes[n as usize]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c as usize].item == item)
+    }
+
+    fn add_child(&mut self, parent: u32, item: u32) -> u32 {
+        let id = self.nodes.len() as u32;
+        let depth = self.nodes[parent as usize].depth + 1;
+        self.nodes.push(FpNode {
+            item,
+            parent,
+            depth,
+            children: Vec::new(),
+            members: Vec::new(),
+            penalty: 0,
+        });
+        self.nodes[parent as usize].children.push(id);
+        id
+    }
+
+    #[inline]
+    fn join(&mut self, node: u32, reader: u32, penalized_so_far: u32) {
+        let n = &mut self.nodes[node as usize];
+        n.members.push(reader);
+        n.penalty += penalized_so_far;
+    }
+
+    /// Insert a reader along the longest matching prefix of `sorted_items`
+    /// (the basic FP-tree insertion, §3.2.1), creating a new branch for the
+    /// remainder. `is_penalized(item)` marks items whose membership carries
+    /// a penalty (VNM_D's mined items); plain VNM passes `|_| false`.
+    pub fn insert_path(
+        &mut self,
+        reader: u32,
+        sorted_items: &[u32],
+        mut is_penalized: impl FnMut(u32) -> bool,
+    ) {
+        let mut cur = ROOT;
+        let mut penalized = 0u32;
+        for &item in sorted_items {
+            let next = match self.child_with_item(cur, item) {
+                Some(c) => c,
+                None => self.add_child(cur, item),
+            };
+            if is_penalized(item) {
+                penalized += 1;
+            }
+            self.join(next, reader, penalized);
+            cur = next;
+        }
+    }
+
+    /// VNM_N insertion (§3.2.3): breadth-first explore the tree allowing up
+    /// to `max_neg_per_path` path items *not* in the reader's item set
+    /// (those become negative edges), add the reader along up to
+    /// `max_paths` best-scoring paths, and grow a branch with the remaining
+    /// items below the best path.
+    ///
+    /// Returns the number of paths the reader joined.
+    pub fn insert_with_negatives(
+        &mut self,
+        reader: u32,
+        item_set: &FastSet<u32>,
+        sorted_items: &[u32],
+        max_paths: usize,
+        max_neg_per_path: usize,
+    ) -> usize {
+        debug_assert!(max_paths >= 1);
+        // BFS accumulating (node, matched, negs); prune on negs overflow.
+        // Score of stopping at a node: matched − 1 − negs, i.e. the edges
+        // the reader would save if the path became a biclique feeding it.
+        let mut best: Vec<(i64, u32, u32)> = Vec::new(); // (score, node, negs)
+        let mut stack: Vec<(u32, u32, u32)> = vec![(ROOT, 0, 0)]; // (node, matched, negs)
+        while let Some((n, matched, negs)) = stack.pop() {
+            if n != ROOT {
+                let score = matched as i64 - 1 - negs as i64;
+                if score > 0 {
+                    best.push((score, n, negs));
+                }
+            }
+            for &c in &self.nodes[n as usize].children {
+                let hit = item_set.contains(&self.nodes[c as usize].item);
+                let (m2, g2) = if hit { (matched + 1, negs) } else { (matched, negs + 1) };
+                if g2 as usize <= max_neg_per_path {
+                    stack.push((c, m2, g2));
+                }
+            }
+        }
+        if best.is_empty() {
+            self.insert_path(reader, sorted_items, |_| false);
+            return 1;
+        }
+        best.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        best.truncate(max_paths);
+
+        // Join the reader along each chosen path; on the best path, grow a
+        // branch with its still-unmatched items.
+        let mut paths_joined = 0;
+        for (rank, &(_score, node, _negs)) in best.iter().enumerate() {
+            // Walk root→node joining with running penalty.
+            let path = self.path_nodes(node);
+            let mut penalized = 0u32;
+            for &pn in &path {
+                if !item_set.contains(&self.nodes[pn as usize].item) {
+                    penalized += 1;
+                }
+                self.join(pn, reader, penalized);
+            }
+            paths_joined += 1;
+            if rank == 0 {
+                let on_path: FastSet<u32> = path
+                    .iter()
+                    .map(|&pn| self.nodes[pn as usize].item)
+                    .collect();
+                let mut cur = node;
+                for &item in sorted_items {
+                    if on_path.contains(&item) {
+                        continue;
+                    }
+                    let next = match self.child_with_item(cur, item) {
+                        Some(c) => c,
+                        None => self.add_child(cur, item),
+                    };
+                    self.join(next, reader, penalized);
+                    cur = next;
+                }
+            }
+        }
+        paths_joined
+    }
+
+    /// Nodes on the path root→`node` (excluding the root, root-side first).
+    fn path_nodes(&self, node: u32) -> Vec<u32> {
+        let mut path = Vec::with_capacity(self.nodes[node as usize].depth as usize);
+        let mut cur = node;
+        while cur != ROOT {
+            path.push(cur);
+            cur = self.nodes[cur as usize].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Items on the path root→`node`.
+    pub fn path_items(&self, node: u32) -> Vec<u32> {
+        self.path_nodes(node)
+            .into_iter()
+            .map(|n| self.nodes[n as usize].item)
+            .collect()
+    }
+
+    /// The highest-benefit biclique in the tree, if any has
+    /// `benefit > 0` and at least `min_support` supporting readers.
+    ///
+    /// Linear in the tree size (§3.2.1: "Such a biclique can be found in
+    /// time linear to the size of the FP-Tree").
+    pub fn best_biclique(&self, min_support: usize) -> Option<Candidate> {
+        let mut best: Option<(i64, u32, u32)> = None; // (benefit, depth, node)
+        for (idx, n) in self.nodes.iter().enumerate().skip(1) {
+            let support = n.members.len() as i64;
+            if (support as usize) < min_support {
+                continue;
+            }
+            let depth = n.depth as i64;
+            let benefit = depth * support - depth - support - n.penalty as i64;
+            // Ties broken toward deeper paths: same benefit with more items
+            // shared means fewer leftover direct edges elsewhere.
+            if benefit > 0
+                && best.is_none_or(|(b, d, _)| benefit > b || (benefit == b && n.depth > d))
+            {
+                best = Some((benefit, n.depth, idx as u32));
+            }
+        }
+        best.map(|(benefit, _depth, node)| Candidate {
+            items: self.path_items(node),
+            readers: self.nodes[node as usize].members.clone(),
+            benefit,
+        })
+    }
+
+    /// All positive-benefit candidates, best first (used by tests and by
+    /// diagnostics; the driver re-mines after each rewire instead).
+    pub fn all_candidates(&self, min_support: usize) -> Vec<Candidate> {
+        let mut all: Vec<Candidate> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(idx, n)| {
+                let support = n.members.len() as i64;
+                if (support as usize) < min_support {
+                    return None;
+                }
+                let depth = n.depth as i64;
+                let benefit = depth * support - depth - support - n.penalty as i64;
+                (benefit > 0).then(|| Candidate {
+                    items: self.path_items(idx as u32),
+                    readers: n.members.clone(),
+                    benefit,
+                })
+            })
+            .collect();
+        all.sort_by(|a, b| b.benefit.cmp(&a.benefit));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> FastSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    /// The paper's Fig 3(a): readers a_r {d,c,e,f}, b_r {d,e,f}, e_r
+    /// {d,c,a,b} (items pre-sorted in the global order d,c,e,f,a,b).
+    fn paper_tree() -> FpTree {
+        let mut t = FpTree::new();
+        t.insert_path(0, &[3, 2, 4, 5], |_| false); // a_r: d c e f
+        t.insert_path(1, &[3, 4, 5], |_| false); // b_r: d e f
+        t.insert_path(2, &[3, 2, 0, 1], |_| false); // e_r: d c a b
+        t
+    }
+
+    #[test]
+    fn build_matches_fig3a() {
+        let t = paper_tree();
+        // d{a_r, b_r, e_r} at depth 1 under the root.
+        let d = t.child_with_item(ROOT, 3).unwrap();
+        assert_eq!(t.nodes[d as usize].members, vec![0, 1, 2]);
+        // c{a_r, e_r} under d.
+        let c = t.child_with_item(d, 2).unwrap();
+        assert_eq!(t.nodes[c as usize].members, vec![0, 2]);
+        // b_r branched at d with e{b_r}.
+        let e_under_d = t.child_with_item(d, 4).unwrap();
+        assert_eq!(t.nodes[e_under_d as usize].members, vec![1]);
+        // e_r branched at c with a{e_r}, b{e_r}.
+        let a_under_c = t.child_with_item(c, 0).unwrap();
+        assert_eq!(t.nodes[a_under_c as usize].members, vec![2]);
+    }
+
+    #[test]
+    fn reader_cr_extends_longest_prefix() {
+        // §3.2.1: "for reader c_r, the longest prefix ... is d,c,e,f" — wait,
+        // c_r's list is {d,e,f,a,b}; the paper adds it along d c e f for
+        // illustration of prefix matching with its own list. We verify the
+        // mechanism: inserting {d,c,e,f} extends the a_r path.
+        let mut t = paper_tree();
+        let before = t.len();
+        t.insert_path(3, &[3, 2, 4, 5], |_| false);
+        assert_eq!(t.len(), before, "full prefix match creates no nodes");
+        let d = t.child_with_item(ROOT, 3).unwrap();
+        let c = t.child_with_item(d, 2).unwrap();
+        let e = t.child_with_item(c, 4).unwrap();
+        let f = t.child_with_item(e, 5).unwrap();
+        assert_eq!(t.nodes[f as usize].members, vec![0, 3]);
+    }
+
+    #[test]
+    fn best_biclique_on_paper_tree() {
+        let mut t = paper_tree();
+        t.insert_path(3, &[3, 2, 4, 5], |_| false); // c_r–like reader
+        let cand = t.best_biclique(2).unwrap();
+        // Path d,c,e,f with readers {a_r, c_r}: benefit 4·2−4−2 = 2.
+        assert_eq!(cand.items, vec![3, 2, 4, 5]);
+        assert_eq!(cand.readers, vec![0, 3]);
+        assert_eq!(cand.benefit, 2);
+    }
+
+    #[test]
+    fn no_biclique_when_nothing_shared() {
+        let mut t = FpTree::new();
+        t.insert_path(0, &[1, 2], |_| false);
+        t.insert_path(1, &[3, 4], |_| false);
+        assert_eq!(t.best_biclique(2), None);
+    }
+
+    #[test]
+    fn negative_insertion_fig3b() {
+        // Fig 3(b): with negative edges allowed, e_r {d,c,a,b} joins the
+        // path d,c,e,f using negatives at e and f... with k2 small it joins
+        // shorter prefixes. We check b_r {d,e,f} can join d,c,e with one
+        // negative at c.
+        let mut t = FpTree::new();
+        t.insert_path(0, &[3, 2, 4, 5], |_| false); // a_r
+        let joined = t.insert_with_negatives(1, &set(&[3, 4, 5]), &[3, 4, 5], 2, 5);
+        assert!(joined >= 1);
+        // b_r should appear as a member somewhere below c (penalized path).
+        let d = t.child_with_item(ROOT, 3).unwrap();
+        let c = t.child_with_item(d, 2).unwrap();
+        let e = t.child_with_item(c, 4).unwrap();
+        assert!(t.nodes[e as usize].members.contains(&1));
+        assert!(t.nodes[e as usize].penalty >= 1, "negative membership carries penalty");
+    }
+
+    #[test]
+    fn negative_insertion_respects_k2() {
+        let mut t = FpTree::new();
+        t.insert_path(0, &[1, 2, 3, 4], |_| false);
+        // Reader sharing nothing: every path position needs a negative; with
+        // k2 = 0 it must fall back to plain insertion (fresh branch).
+        let joined = t.insert_with_negatives(1, &set(&[9]), &[9], 2, 0);
+        assert_eq!(joined, 1);
+        assert!(t.child_with_item(ROOT, 9).is_some(), "fresh branch created");
+    }
+
+    #[test]
+    fn penalty_reduces_benefit() {
+        let mut t = FpTree::new();
+        t.insert_path(0, &[1, 2, 3, 4], |_| false);
+        t.insert_path(1, &[1, 2, 3, 4], |_| false);
+        let plain = t.best_biclique(2).unwrap().benefit;
+        assert_eq!(plain, 2); // 4·2 − 4 − 2
+        let mut t2 = FpTree::new();
+        t2.insert_path(0, &[1, 2, 3, 4], |_| false);
+        // Same membership but item 2 penalized for reader 1 (mined edge).
+        t2.insert_path(1, &[1, 2, 3, 4], |it| it == 2);
+        let penalized = t2.best_biclique(2).unwrap().benefit;
+        assert_eq!(penalized, plain - 1);
+    }
+
+    #[test]
+    fn mined_penalty_vnmd_semantics() {
+        // VNM_D: reader 1's edge to item 4 was already covered elsewhere;
+        // inserting with the penalty flag models S_mined. A long-enough
+        // shared path still yields a positive-benefit candidate.
+        let mut t = FpTree::new();
+        t.insert_path(0, &[1, 2, 3, 4], |_| false);
+        t.insert_path(1, &[1, 2, 3, 4], |it| it == 4);
+        let cand = t.best_biclique(2).unwrap();
+        assert_eq!(cand.items, vec![1, 2, 3, 4]);
+        // benefit = 4·2 − 4 − 2 − 1 = 1.
+        assert_eq!(cand.benefit, 1);
+        // A 2-item path with a penalty is not worth mining: 2·2−2−2−1 < 0.
+        let mut t2 = FpTree::new();
+        t2.insert_path(0, &[1, 2], |_| false);
+        t2.insert_path(1, &[1, 2], |it| it == 2);
+        assert_eq!(t2.best_biclique(2), None);
+    }
+}

@@ -1,0 +1,188 @@
+//! Overlay metrics: sharing index trajectories, depth distributions, and
+//! construction-cost accounting (Figs 8–11).
+
+use crate::overlay::{Overlay, OverlayId, OverlayKind};
+
+/// Per-iteration statistics emitted by the construction algorithms — the
+/// series behind Fig 8 (sharing index), Fig 10a (running time), and Fig 10b
+/// (memory).
+#[derive(Clone, Debug)]
+pub struct IterationStats {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Overlay edge count after the iteration.
+    pub edges: usize,
+    /// Sharing index after the iteration.
+    pub sharing_index: f64,
+    /// Bicliques (partial nodes) created this iteration.
+    pub bicliques: usize,
+    /// Total edges saved this iteration.
+    pub benefit: i64,
+    /// Reader-group size used this iteration (VNM family).
+    pub chunk_size: usize,
+    /// Wall time of this iteration, milliseconds.
+    pub elapsed_ms: f64,
+    /// Wall time since construction started, milliseconds.
+    pub cumulative_ms: f64,
+    /// Approximate overlay heap footprint after the iteration, bytes.
+    pub memory_bytes: usize,
+}
+
+/// Overlay depth of every reader: the length (in edges) of the longest path
+/// from any of its input writers (Fig 11a). A reader fed directly by
+/// writers has depth 1.
+pub fn reader_depths(ov: &Overlay) -> Vec<(OverlayId, u32)> {
+    let order = ov.topo_order();
+    let mut depth = vec![0u32; ov.node_count()];
+    for &n in &order {
+        let d = ov
+            .inputs(n)
+            .iter()
+            .map(|&(f, _)| depth[f.idx()] + 1)
+            .max()
+            .unwrap_or(0);
+        depth[n.idx()] = d;
+    }
+    ov.readers().map(|(id, _)| (id, depth[id.idx()])).collect()
+}
+
+/// Cumulative distribution of reader depths: `(depth, fraction of readers
+/// with depth ≤ depth)` — the curve of Fig 11(a).
+pub fn depth_cdf(ov: &Overlay) -> Vec<(u32, f64)> {
+    let mut depths: Vec<u32> = reader_depths(ov).into_iter().map(|(_, d)| d).collect();
+    if depths.is_empty() {
+        return Vec::new();
+    }
+    depths.sort_unstable();
+    let n = depths.len() as f64;
+    let mut cdf = Vec::new();
+    let mut i = 0;
+    while i < depths.len() {
+        let d = depths[i];
+        let mut j = i;
+        while j < depths.len() && depths[j] == d {
+            j += 1;
+        }
+        cdf.push((d, j as f64 / n));
+        i = j;
+    }
+    cdf
+}
+
+/// Mean reader depth (the paper reports 4.66 for IOB vs 3.44 for VNM_A on
+/// LiveJournal).
+pub fn average_depth(ov: &Overlay) -> f64 {
+    let depths = reader_depths(ov);
+    if depths.is_empty() {
+        return 0.0;
+    }
+    depths.iter().map(|&(_, d)| d as f64).sum::<f64>() / depths.len() as f64
+}
+
+/// Count of negative edges in the overlay.
+pub fn negative_edge_count(ov: &Overlay) -> usize {
+    ov.ids()
+        .map(|n| {
+            ov.inputs(n)
+                .iter()
+                .filter(|&&(_, s)| s.is_negative())
+                .count()
+        })
+        .sum()
+}
+
+/// Breakdown of overlay node counts by kind: `(writers, readers, partials)`.
+pub fn node_breakdown(ov: &Overlay) -> (usize, usize, usize) {
+    let mut w = 0;
+    let mut r = 0;
+    let mut p = 0;
+    for n in ov.ids() {
+        match ov.kind(n) {
+            OverlayKind::Writer(_) => w += 1,
+            OverlayKind::Reader(_) => r += 1,
+            OverlayKind::Partial => p += 1,
+        }
+    }
+    (w, r, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_agg::Sign;
+    use eagr_graph::{paper_example_graph, BipartiteGraph, Neighborhood, NodeId};
+
+    fn direct_paper_overlay() -> Overlay {
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        Overlay::direct_from_bipartite(&ag)
+    }
+
+    #[test]
+    fn direct_overlay_depth_is_one() {
+        let ov = direct_paper_overlay();
+        for (_, d) in reader_depths(&ov) {
+            assert_eq!(d, 1);
+        }
+        assert_eq!(average_depth(&ov), 1.0);
+        assert_eq!(depth_cdf(&ov), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn partial_node_increases_depth() {
+        let mut ov = direct_paper_overlay();
+        let w: Vec<_> = ov.writers().map(|(id, _)| id).collect();
+        let p = ov.add_partial(&w[..2]);
+        let r = ov.reader(NodeId(6)).unwrap();
+        ov.add_edge(p, r, Sign::Pos);
+        let depths = reader_depths(&ov);
+        let d6 = depths.iter().find(|&&(id, _)| id == r).unwrap().1;
+        assert_eq!(d6, 2);
+    }
+
+    #[test]
+    fn multi_level_depth() {
+        let mut ov = direct_paper_overlay();
+        let w: Vec<_> = ov.writers().map(|(id, _)| id).collect();
+        let p1 = ov.add_partial(&w[..2]);
+        let p2 = ov.add_partial(&[p1, w[2]]);
+        let r = ov.reader(NodeId(6)).unwrap();
+        ov.add_edge(p2, r, Sign::Pos);
+        let d = reader_depths(&ov)
+            .iter()
+            .find(|&&(id, _)| id == r)
+            .unwrap()
+            .1;
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut ov = direct_paper_overlay();
+        let w: Vec<_> = ov.writers().map(|(id, _)| id).collect();
+        let p = ov.add_partial(&w[..3]);
+        let r = ov.reader(NodeId(5)).unwrap();
+        ov.add_edge(p, r, Sign::Pos);
+        let cdf = depth_cdf(&ov);
+        for pair in cdf.windows(2) {
+            assert!(pair[1].0 > pair[0].0);
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_edges_counted() {
+        let mut ov = direct_paper_overlay();
+        assert_eq!(negative_edge_count(&ov), 0);
+        let w = ov.writer(NodeId(0)).unwrap();
+        let r = ov.reader(NodeId(0)).unwrap();
+        ov.add_edge(w, r, Sign::Neg);
+        assert_eq!(negative_edge_count(&ov), 1);
+    }
+
+    #[test]
+    fn breakdown() {
+        let ov = direct_paper_overlay();
+        assert_eq!(node_breakdown(&ov), (6, 7, 0));
+    }
+}

@@ -1,0 +1,513 @@
+//! The aggregation overlay graph `OG(V'', E'')` (paper §2.2.1).
+//!
+//! Three kinds of nodes — writers, readers, and partial aggregators — form a
+//! DAG whose edges carry a [`Sign`]: positive edges contribute an upstream
+//! PAO, negative edges subtract it (§2.2.1's "negative edges"). The overlay
+//! is an arena of `u32`-indexed nodes; construction algorithms mutate it
+//! through `&mut self`, and execution freezes it behind `&self`.
+//!
+//! Invariants maintained by every construction path in this crate:
+//!
+//! * the overlay is acyclic; writers are sources, readers are sinks;
+//! * readers never feed other nodes (§3.2.5 footnote);
+//! * negative edges point only at readers, and only exist for subtractable
+//!   aggregates;
+//! * for every (writer, reader) pair the *net* contribution (signed path
+//!   count) is exactly 1 for duplicate-sensitive aggregates and ≥ 1 for
+//!   duplicate-insensitive ones ([`crate::validate`] checks this).
+
+use eagr_agg::Sign;
+use eagr_graph::{BipartiteGraph, NodeId};
+use eagr_util::FastMap;
+
+/// Index of a node in the overlay arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OverlayId(pub u32);
+
+impl OverlayId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for OverlayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// What an overlay node is (paper §2.2.1's three node types).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverlayKind {
+    /// A writer `v_w`, tied to a data-graph node. Always annotated push.
+    Writer(NodeId),
+    /// A reader `v_r`, tied to a data-graph node satisfying the query
+    /// predicate; holds the query answer for that node.
+    Reader(NodeId),
+    /// A partial aggregation ("virtual") node introduced by overlay
+    /// construction.
+    Partial,
+}
+
+/// A directed, signed overlay edge endpoint.
+pub type SignedEdge = (OverlayId, Sign);
+
+/// The aggregation overlay graph.
+#[derive(Clone, Debug)]
+pub struct Overlay {
+    kinds: Vec<OverlayKind>,
+    /// Upstream endpoints per node (the node's *inputs*).
+    inputs: Vec<Vec<SignedEdge>>,
+    /// Downstream endpoints per node (the node's *consumers*).
+    outputs: Vec<Vec<SignedEdge>>,
+    /// Data node → writer overlay node.
+    writer_ids: FastMap<NodeId, OverlayId>,
+    /// Data node → reader overlay node.
+    reader_ids: FastMap<NodeId, OverlayId>,
+    /// `coverage[n]` = I(n): sorted data-graph writer ids the node
+    /// transitively aggregates (positive edges only). Writers: singleton;
+    /// readers: not maintained (derivable; their net coverage is validated
+    /// instead).
+    coverage: Vec<Vec<u32>>,
+    /// Edge count of the bipartite graph this overlay was derived from —
+    /// the denominator of the sharing index (§3.1).
+    ag_edge_count: usize,
+    /// Live edge count (positive + negative).
+    edge_count: usize,
+    /// Tombstones for retired nodes (dynamic maintenance, §3.3). Retired
+    /// ids stay allocated so indexes remain stable.
+    dead: Vec<bool>,
+}
+
+impl Overlay {
+    /// The *direct* overlay for a bipartite graph: one writer per active
+    /// writer, one reader per reader, and a positive edge writer → reader
+    /// for every bipartite edge. This is both the starting point of the
+    /// VNM/IOB algorithms and the execution structure of the all-push /
+    /// all-pull baselines (§5.1).
+    pub fn direct_from_bipartite(ag: &BipartiteGraph) -> Self {
+        let mut ov = Self::empty(ag.edge_count());
+        for w in ag.active_writers() {
+            ov.add_writer(w);
+        }
+        for (i, r, inputs) in ag.iter() {
+            let rid = ov.add_reader(r);
+            debug_assert_eq!(i + ag.active_writers().len(), rid.idx());
+            for &w in inputs {
+                let wid = ov.writer(w).expect("writer added above");
+                ov.add_edge(wid, rid, Sign::Pos);
+            }
+        }
+        ov
+    }
+
+    /// An overlay with writers and readers (no edges yet); used by IOB,
+    /// which adds readers one at a time.
+    pub fn skeleton_from_bipartite(ag: &BipartiteGraph) -> Self {
+        let mut ov = Self::empty(ag.edge_count());
+        for w in ag.active_writers() {
+            ov.add_writer(w);
+        }
+        ov
+    }
+
+    fn empty(ag_edge_count: usize) -> Self {
+        Self {
+            kinds: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            writer_ids: FastMap::default(),
+            reader_ids: FastMap::default(),
+            coverage: Vec::new(),
+            ag_edge_count,
+            edge_count: 0,
+            dead: Vec::new(),
+        }
+    }
+
+    fn push_node(&mut self, kind: OverlayKind, coverage: Vec<u32>) -> OverlayId {
+        let id = OverlayId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.inputs.push(Vec::new());
+        self.outputs.push(Vec::new());
+        self.coverage.push(coverage);
+        self.dead.push(false);
+        id
+    }
+
+    /// Retire a node: remove all its incident edges and tombstone it.
+    /// Its id stays allocated (indexes remain stable) but it disappears
+    /// from [`ids`](Self::ids), [`readers`](Self::readers),
+    /// [`writers`](Self::writers), and the writer/reader lookups.
+    pub fn retire_node(&mut self, n: OverlayId) {
+        let outs = self.outputs[n.idx()].clone();
+        for (t, s) in outs {
+            self.remove_edge(n, t, s);
+        }
+        let ins = self.inputs[n.idx()].clone();
+        for (f, s) in ins {
+            self.remove_edge(f, n, s);
+        }
+        match self.kinds[n.idx()] {
+            OverlayKind::Writer(w) => {
+                self.writer_ids.remove(&w);
+            }
+            OverlayKind::Reader(r) => {
+                self.reader_ids.remove(&r);
+            }
+            OverlayKind::Partial => {}
+        }
+        self.coverage[n.idx()].clear();
+        self.dead[n.idx()] = true;
+    }
+
+    /// Whether a node has been retired.
+    #[inline]
+    pub fn is_retired(&self, n: OverlayId) -> bool {
+        self.dead[n.idx()]
+    }
+
+    /// Add a writer node for data node `w`.
+    ///
+    /// # Panics
+    /// Panics if `w` already has a writer node.
+    pub fn add_writer(&mut self, w: NodeId) -> OverlayId {
+        let id = self.push_node(OverlayKind::Writer(w), vec![w.0]);
+        let prev = self.writer_ids.insert(w, id);
+        assert!(prev.is_none(), "duplicate writer for {w:?}");
+        id
+    }
+
+    /// Add a reader node for data node `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` already has a reader node.
+    pub fn add_reader(&mut self, r: NodeId) -> OverlayId {
+        let id = self.push_node(OverlayKind::Reader(r), Vec::new());
+        let prev = self.reader_ids.insert(r, id);
+        assert!(prev.is_none(), "duplicate reader for {r:?}");
+        id
+    }
+
+    /// Add a partial aggregation node whose inputs are `items` (positive
+    /// edges). Coverage is the union of the items' coverage.
+    ///
+    /// # Panics
+    /// Panics if any item is a reader (readers cannot feed aggregators).
+    pub fn add_partial(&mut self, items: &[OverlayId]) -> OverlayId {
+        let mut cov: Vec<u32> = Vec::new();
+        for &it in items {
+            assert!(
+                !matches!(self.kinds[it.idx()], OverlayKind::Reader(_)),
+                "reader cannot feed an aggregator"
+            );
+            cov.extend_from_slice(&self.coverage[it.idx()]);
+        }
+        cov.sort_unstable();
+        cov.dedup();
+        let id = self.push_node(OverlayKind::Partial, cov);
+        for &it in items {
+            self.add_edge(it, id, Sign::Pos);
+        }
+        id
+    }
+
+    /// Add a signed edge `from → to`. (Readers feeding other nodes violate
+    /// the overlay invariant; [`crate::validate`] reports it.)
+    pub fn add_edge(&mut self, from: OverlayId, to: OverlayId, sign: Sign) {
+        self.outputs[from.idx()].push((to, sign));
+        self.inputs[to.idx()].push((from, sign));
+        self.edge_count += 1;
+    }
+
+    /// Remove the signed edge `from → to` (first occurrence). Returns
+    /// whether an edge was removed.
+    pub fn remove_edge(&mut self, from: OverlayId, to: OverlayId, sign: Sign) -> bool {
+        let outs = &mut self.outputs[from.idx()];
+        let Some(pos) = outs.iter().position(|&(t, s)| t == to && s == sign) else {
+            return false;
+        };
+        outs.swap_remove(pos);
+        let ins = &mut self.inputs[to.idx()];
+        let ipos = ins
+            .iter()
+            .position(|&(f, s)| f == from && s == sign)
+            .expect("edge lists out of sync");
+        ins.swap_remove(ipos);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Number of overlay nodes.
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of overlay edges (positive + negative) — the numerator of the
+    /// sharing index.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Edge count of the originating bipartite graph.
+    pub fn ag_edge_count(&self) -> usize {
+        self.ag_edge_count
+    }
+
+    /// The sharing index `1 − |E''| / |E'|` (§3.1).
+    pub fn sharing_index(&self) -> f64 {
+        if self.ag_edge_count == 0 {
+            0.0
+        } else {
+            1.0 - self.edge_count as f64 / self.ag_edge_count as f64
+        }
+    }
+
+    /// Kind of a node.
+    #[inline]
+    pub fn kind(&self, n: OverlayId) -> OverlayKind {
+        self.kinds[n.idx()]
+    }
+
+    /// Upstream signed endpoints of `n`.
+    #[inline]
+    pub fn inputs(&self, n: OverlayId) -> &[SignedEdge] {
+        &self.inputs[n.idx()]
+    }
+
+    /// Downstream signed endpoints of `n`.
+    #[inline]
+    pub fn outputs(&self, n: OverlayId) -> &[SignedEdge] {
+        &self.outputs[n.idx()]
+    }
+
+    /// Fan-in of `n` (the `k` of the cost functions `H(k)`/`L(k)`).
+    #[inline]
+    pub fn fan_in(&self, n: OverlayId) -> usize {
+        self.inputs[n.idx()].len()
+    }
+
+    /// Writer overlay node for data node `w`, if present.
+    pub fn writer(&self, w: NodeId) -> Option<OverlayId> {
+        self.writer_ids.get(&w).copied()
+    }
+
+    /// Reader overlay node for data node `r`, if present.
+    pub fn reader(&self, r: NodeId) -> Option<OverlayId> {
+        self.reader_ids.get(&r).copied()
+    }
+
+    /// `I(n)` — sorted data-graph writer ids node `n` transitively
+    /// aggregates along positive edges (empty for readers: validated, not
+    /// stored).
+    pub fn coverage(&self, n: OverlayId) -> &[u32] {
+        &self.coverage[n.idx()]
+    }
+
+    /// All live overlay ids.
+    pub fn ids(&self) -> impl Iterator<Item = OverlayId> + '_ {
+        (0..self.kinds.len() as u32)
+            .map(OverlayId)
+            .filter(|id| !self.dead[id.idx()])
+    }
+
+    /// Number of live nodes (excludes tombstones).
+    pub fn live_node_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// All live reader ids with their data node.
+    pub fn readers(&self) -> impl Iterator<Item = (OverlayId, NodeId)> + '_ {
+        self.kinds.iter().enumerate().filter_map(|(i, k)| match k {
+            OverlayKind::Reader(r) if !self.dead[i] => Some((OverlayId(i as u32), *r)),
+            _ => None,
+        })
+    }
+
+    /// All live writer ids with their data node.
+    pub fn writers(&self) -> impl Iterator<Item = (OverlayId, NodeId)> + '_ {
+        self.kinds.iter().enumerate().filter_map(|(i, k)| match k {
+            OverlayKind::Writer(w) if !self.dead[i] => Some((OverlayId(i as u32), *w)),
+            _ => None,
+        })
+    }
+
+    /// Number of live partial aggregation nodes.
+    pub fn partial_count(&self) -> usize {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(i, k)| matches!(k, OverlayKind::Partial) && !self.dead[*i])
+            .count()
+    }
+
+    /// Remove the writer coverage entry `w` from a node's coverage list
+    /// (node deletion maintenance, §3.3).
+    pub(crate) fn coverage_remove(&mut self, n: OverlayId, w: u32) {
+        if let Ok(pos) = self.coverage[n.idx()].binary_search(&w) {
+            self.coverage[n.idx()].remove(pos);
+        }
+    }
+
+    /// A topological order (writers first). Panics if the overlay has a
+    /// cycle — construction algorithms must never produce one.
+    pub fn topo_order(&self) -> Vec<OverlayId> {
+        let n = self.kinds.len();
+        let mut indeg: Vec<u32> = (0..n).map(|i| self.inputs[i].len() as u32).collect();
+        let mut queue: Vec<OverlayId> = (0..n as u32)
+            .map(OverlayId)
+            .filter(|id| indeg[id.idx()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for &(v, _) in &self.outputs[u.idx()] {
+                indeg[v.idx()] -= 1;
+                if indeg[v.idx()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "overlay contains a cycle");
+        order
+    }
+
+    /// Approximate heap footprint in bytes (Fig 10b memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        let edge = std::mem::size_of::<SignedEdge>();
+        let mut total = self.kinds.len()
+            * (std::mem::size_of::<OverlayKind>() + 2 * std::mem::size_of::<Vec<SignedEdge>>());
+        for i in 0..self.kinds.len() {
+            total += (self.inputs[i].capacity() + self.outputs[i].capacity()) * edge;
+            total += self.coverage[i].capacity() * 4;
+        }
+        total += (self.writer_ids.len() + self.reader_ids.len()) * 16;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_graph::{paper_example_graph, Neighborhood};
+
+    fn paper_ag() -> BipartiteGraph {
+        BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true)
+    }
+
+    #[test]
+    fn direct_overlay_mirrors_ag() {
+        let ag = paper_ag();
+        let ov = Overlay::direct_from_bipartite(&ag);
+        // 6 active writers (g writes to nobody) + 7 readers.
+        assert_eq!(ov.node_count(), 13);
+        assert_eq!(ov.edge_count(), 35);
+        assert_eq!(ov.ag_edge_count(), 35);
+        assert_eq!(ov.sharing_index(), 0.0);
+        assert_eq!(ov.partial_count(), 0);
+    }
+
+    #[test]
+    fn partial_node_shares_edges() {
+        // Reproduce Fig 1(d)'s PA1: aggregate {a_w, b_w, c_w} and feed the
+        // readers whose lists contain all three.
+        let ag = paper_ag();
+        let mut ov = Overlay::direct_from_bipartite(&ag);
+        let items: Vec<OverlayId> = [0u32, 1, 2]
+            .iter()
+            .map(|&w| ov.writer(NodeId(w)).unwrap())
+            .collect();
+        let before = ov.edge_count();
+        let pa1 = ov.add_partial(&items);
+        assert_eq!(ov.coverage(pa1), &[0, 1, 2]);
+        // Rewire reader g_r: drop its three direct edges, add one from PA1.
+        let gr = ov.reader(NodeId(6)).unwrap();
+        for &it in &items {
+            assert!(ov.remove_edge(it, gr, Sign::Pos));
+        }
+        ov.add_edge(pa1, gr, Sign::Pos);
+        // Net: +3 (into PA1) −3 (removed) +1 (PA1→g_r) = +1 edge here, but
+        // each further reader sharing PA1 saves 2 more.
+        assert_eq!(ov.edge_count(), before + 1);
+    }
+
+    #[test]
+    fn sharing_index_improves_with_sharing() {
+        let ag = paper_ag();
+        let mut ov = Overlay::direct_from_bipartite(&ag);
+        let items: Vec<OverlayId> = [0u32, 1, 2]
+            .iter()
+            .map(|&w| ov.writer(NodeId(w)).unwrap())
+            .collect();
+        let pa1 = ov.add_partial(&items);
+        // Readers c,d,e,f,g all contain {a,b,c} in their input lists —
+        // exactly the five readers PA1 serves in Fig 1(d).
+        for r in [2u32, 3, 4, 5, 6] {
+            let rid = ov.reader(NodeId(r)).unwrap();
+            for &it in &items {
+                assert!(ov.remove_edge(it, rid, Sign::Pos), "reader {r} had the edge");
+            }
+            ov.add_edge(pa1, rid, Sign::Pos);
+        }
+        // 5 readers × 3 edges = 15 removed; 3 + 5 added ⇒ 35 − 15 + 8 = 28.
+        assert_eq!(ov.edge_count(), 28);
+        assert!((ov.sharing_index() - 0.2).abs() < 1e-9, "SI = 1 − 28/35 = 0.2");
+    }
+
+    #[test]
+    fn topo_order_writers_first() {
+        let ag = paper_ag();
+        let mut ov = Overlay::direct_from_bipartite(&ag);
+        let w: Vec<OverlayId> = ov.writers().map(|(id, _)| id).collect();
+        let p = ov.add_partial(&w[..2]);
+        let order = ov.topo_order();
+        let pos = |id: OverlayId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(w[0]) < pos(p));
+        assert!(pos(w[1]) < pos(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "reader cannot feed an aggregator")]
+    fn reader_cannot_feed_partial() {
+        let ag = paper_ag();
+        let mut ov = Overlay::direct_from_bipartite(&ag);
+        let r = ov.reader(NodeId(0)).unwrap();
+        ov.add_partial(&[r]);
+    }
+
+    #[test]
+    fn remove_missing_edge_is_noop() {
+        let ag = paper_ag();
+        let mut ov = Overlay::direct_from_bipartite(&ag);
+        let w = ov.writer(NodeId(0)).unwrap();
+        let r = ov.reader(NodeId(0)).unwrap();
+        // No edge a_w → a_r (a ∉ N(a)).
+        assert!(!ov.remove_edge(w, r, Sign::Pos));
+        assert_eq!(ov.edge_count(), 35);
+    }
+
+    #[test]
+    fn negative_edges_counted() {
+        let ag = paper_ag();
+        let mut ov = Overlay::direct_from_bipartite(&ag);
+        let w = ov.writer(NodeId(0)).unwrap();
+        let r = ov.reader(NodeId(0)).unwrap();
+        let before = ov.edge_count();
+        ov.add_edge(w, r, Sign::Neg);
+        assert_eq!(ov.edge_count(), before + 1);
+        assert!(ov.remove_edge(w, r, Sign::Neg));
+        assert_eq!(ov.edge_count(), before);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let ag = paper_ag();
+        let ov = Overlay::direct_from_bipartite(&ag);
+        assert!(ov.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Min-hash shingle ordering of readers (paper §3.2.1).
+//!
+//! VNM groups readers before mining so that readers with similar input lists
+//! land in the same chunk: "Shingle of a reader is effectively a signature of
+//! its input writers. If two readers have very similar adjacency lists, then
+//! with high probability, their shingle values will also be the same."
+//!
+//! A shingle is the minimum of a seeded hash over the reader's items; we
+//! compute `num_shingles` of them per reader and sort readers
+//! lexicographically by their shingle vectors.
+
+use eagr_util::SplitMix64;
+
+#[inline]
+fn seeded_hash(seed: u64, item: u32) -> u64 {
+    // One round of SplitMix64's finalizer keyed by the seed — cheap and
+    // well-mixed, which is all min-hashing needs.
+    let mut z = (item as u64).wrapping_add(seed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Min-hash signature of one item list.
+pub fn shingles(items: &[u32], num_shingles: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..num_shingles)
+        .map(|_| {
+            let s = rng.next_u64();
+            items
+                .iter()
+                .map(|&it| seeded_hash(s, it))
+                .min()
+                .unwrap_or(u64::MAX)
+        })
+        .collect()
+}
+
+/// Order readers (given their item lists) by lexicographic shingle
+/// signature. Returns the permutation of reader indices.
+pub fn shingle_order(lists: &[Vec<u32>], num_shingles: usize, seed: u64) -> Vec<usize> {
+    let mut keyed: Vec<(Vec<u64>, usize)> = lists
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (shingles(l, num_shingles, seed), i))
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_lists_identical_shingles() {
+        let a = shingles(&[1, 2, 3], 3, 42);
+        let b = shingles(&[3, 2, 1], 3, 42);
+        assert_eq!(a, b, "shingles are set signatures, order-independent");
+    }
+
+    #[test]
+    fn similar_lists_tend_to_share_shingles() {
+        // Jaccard-similar lists share each min-hash with probability equal
+        // to their similarity; with 90% overlap most shingles match.
+        let base: Vec<u32> = (0..100).collect();
+        let mut similar = base.clone();
+        similar[0] = 1000; // 99/101 Jaccard
+        let disjoint: Vec<u32> = (200..300).collect();
+        let s_base = shingles(&base, 8, 7);
+        let s_sim = shingles(&similar, 8, 7);
+        let s_dis = shingles(&disjoint, 8, 7);
+        let matches = |a: &[u64], b: &[u64]| a.iter().zip(b).filter(|(x, y)| x == y).count();
+        assert!(matches(&s_base, &s_sim) >= 6);
+        assert_eq!(matches(&s_base, &s_dis), 0);
+    }
+
+    #[test]
+    fn order_groups_similar_readers() {
+        // Readers 0 and 2 share a list; they must be adjacent in the order.
+        let lists = vec![
+            vec![1, 2, 3],
+            vec![100, 200, 300],
+            vec![1, 2, 3],
+            vec![7, 8, 9],
+        ];
+        let order = shingle_order(&lists, 4, 99);
+        let pos0 = order.iter().position(|&i| i == 0).unwrap();
+        let pos2 = order.iter().position(|&i| i == 2).unwrap();
+        assert_eq!(pos0.abs_diff(pos2), 1);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn empty_list_handled() {
+        let s = shingles(&[], 2, 1);
+        assert_eq!(s, vec![u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let lists: Vec<Vec<u32>> = (0..20).map(|i| vec![i, i + 1]).collect();
+        let mut order = shingle_order(&lists, 2, 5);
+        order.sort_unstable();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,330 @@
+//! Overlay correctness validation (paper §2.2.1's single-path requirement).
+//!
+//! "For correctness, there can only be one (directed) path from a writer to
+//! a reader in an overlay graph" — with two exceptions: duplicate-insensitive
+//! aggregates may have multiple paths, and negative edges may cancel
+//! duplicate contributions.
+//!
+//! [`validate`] checks the *net contribution* of every writer to every
+//! reader by signed path counting over a topological order:
+//!
+//! * duplicate-sensitive: net contribution of each writer in `N(r)` must be
+//!   exactly 1, and of every other writer exactly 0;
+//! * duplicate-insensitive: ≥ 1 for neighborhood writers, 0 for others, and
+//!   never negative anywhere.
+//!
+//! This is `O(V·W)` in the worst case and meant for tests, debugging, and
+//! assertions on small-to-medium overlays — construction keeps the invariant
+//! by design; validation proves it.
+
+use crate::overlay::{Overlay, OverlayId, OverlayKind};
+use eagr_agg::AggProps;
+use eagr_util::FastMap;
+
+/// Why an overlay failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationError {
+    /// A reader has an outgoing edge.
+    ReaderWithOutput(OverlayId),
+    /// A writer has an incoming edge.
+    WriterWithInput(OverlayId),
+    /// A negative edge exists but the aggregate cannot subtract.
+    NegativeEdgeNotAllowed(OverlayId),
+    /// Net contribution of `writer` to `reader` was `got`, expected `want`
+    /// (or at least `want` for duplicate-insensitive aggregates).
+    WrongContribution {
+        /// Reader overlay node.
+        reader: OverlayId,
+        /// Writer data id.
+        writer: u32,
+        /// Signed path count observed.
+        got: i64,
+        /// Expected count (exact or minimum).
+        want: i64,
+    },
+    /// A non-reader node has negative net multiplicity for some writer
+    /// (an aggregation node would hold a negative contribution).
+    NegativeMultiplicity(OverlayId),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::ReaderWithOutput(n) => write!(f, "reader {n:?} has an output edge"),
+            ValidationError::WriterWithInput(n) => write!(f, "writer {n:?} has an input edge"),
+            ValidationError::NegativeEdgeNotAllowed(n) => {
+                write!(f, "negative edge into {n:?} but aggregate is not subtractable")
+            }
+            ValidationError::WrongContribution {
+                reader,
+                writer,
+                got,
+                want,
+            } => write!(
+                f,
+                "reader {reader:?}: writer {writer} contributes {got}, expected {want}"
+            ),
+            ValidationError::NegativeMultiplicity(n) => {
+                write!(f, "node {n:?} holds a negative writer multiplicity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate the overlay against the expected per-reader writer coverage.
+///
+/// The expected coverage of a reader is taken from the overlay's own record
+/// of reader original inputs — callers that rewired neighborhoods (dynamic
+/// maintenance) pass the current expectation explicitly via
+/// [`validate_against`].
+pub fn validate(ov: &Overlay, props: AggProps) -> Result<(), ValidationError> {
+    // Expected coverage: net writer multiset must equal what a direct
+    // overlay would deliver. We reconstruct it from signed path counts of
+    // the *writers present*, compared against... the readers' own inputs at
+    // direct-build time are not stored, so here we check structural
+    // invariants plus consistency: each reader's net coverage must be a
+    // {0,1}-vector (or ≥0 for duplicate-insensitive) and must equal the
+    // union implied by its positive-input coverages minus negatives.
+    validate_against(ov, props, |r| expected_from_structure(ov, r))
+}
+
+/// Compute the expected coverage of a reader from the overlay structure
+/// itself: sum of positive-input coverages, minus one per negative input —
+/// i.e. what the construction *intended*. Combined with the net-path check
+/// this catches double counting and missing contributions.
+fn expected_from_structure(ov: &Overlay, r: OverlayId) -> FastMap<u32, i64> {
+    let mut want: FastMap<u32, i64> = FastMap::default();
+    for &(f, s) in ov.inputs(r) {
+        let delta = if s.is_negative() { -1 } else { 1 };
+        for &w in ov.coverage(f) {
+            *want.entry(w).or_insert(0) += delta;
+        }
+    }
+    // Clamp multiplicities: the *intended* net coverage is presence (1) per
+    // writer; duplicate-insensitive overlays may intend more.
+    want.retain(|_, c| *c != 0);
+    want
+}
+
+/// Validate the overlay against the bipartite graph it was built from: every
+/// reader must net-receive exactly its original input-list writers (the
+/// strongest form of the §2.2.1 invariant).
+pub fn validate_vs_bipartite(
+    ov: &Overlay,
+    props: AggProps,
+    ag: &eagr_graph::BipartiteGraph,
+) -> Result<(), ValidationError> {
+    let mut want_by_reader: FastMap<OverlayId, FastMap<u32, i64>> = FastMap::default();
+    for (i, r, inputs) in ag.iter() {
+        let _ = i;
+        if let Some(rid) = ov.reader(r) {
+            let want: FastMap<u32, i64> = inputs.iter().map(|w| (w.0, 1)).collect();
+            want_by_reader.insert(rid, want);
+        }
+    }
+    validate_against(ov, props, |r| {
+        want_by_reader.get(&r).cloned().unwrap_or_default()
+    })
+}
+
+/// Validate with an explicit expectation: `expected(r)` returns the writer
+/// multiset the reader should net-receive (data ids → multiplicity; for
+/// duplicate-sensitive aggregates every multiplicity must be exactly the
+/// expected one; for duplicate-insensitive, at least 1 where expected > 0).
+pub fn validate_against(
+    ov: &Overlay,
+    props: AggProps,
+    expected: impl Fn(OverlayId) -> FastMap<u32, i64>,
+) -> Result<(), ValidationError> {
+    // Structural checks.
+    for n in ov.ids() {
+        match ov.kind(n) {
+            OverlayKind::Reader(_) => {
+                if !ov.outputs(n).is_empty() {
+                    return Err(ValidationError::ReaderWithOutput(n));
+                }
+            }
+            OverlayKind::Writer(_) => {
+                if !ov.inputs(n).is_empty() {
+                    return Err(ValidationError::WriterWithInput(n));
+                }
+            }
+            OverlayKind::Partial => {}
+        }
+        if !props.subtractable {
+            let has_neg = ov.inputs(n).iter().any(|&(_, s)| s.is_negative());
+            if has_neg {
+                return Err(ValidationError::NegativeEdgeNotAllowed(n));
+            }
+        }
+    }
+
+    // Signed path counting in topological order: mult[n] maps writer data
+    // id → net multiplicity at n.
+    let order = ov.topo_order(); // also asserts acyclicity
+    let mut mult: Vec<FastMap<u32, i64>> = vec![FastMap::default(); ov.node_count()];
+    for &n in &order {
+        if let OverlayKind::Writer(w) = ov.kind(n) {
+            mult[n.idx()].insert(w.0, 1);
+        }
+        // Push to consumers.
+        let m = std::mem::take(&mut mult[n.idx()]);
+        for &(t, s) in ov.outputs(n) {
+            let delta = if s.is_negative() { -1 } else { 1 };
+            for (&w, &c) in &m {
+                *mult[t.idx()].entry(w).or_insert(0) += c * delta;
+            }
+        }
+        mult[n.idx()] = m;
+
+        // Aggregation nodes must never hold net-negative contributions.
+        if !matches!(ov.kind(n), OverlayKind::Reader(_)) {
+            if mult[n.idx()].values().any(|&c| c < 0) {
+                return Err(ValidationError::NegativeMultiplicity(n));
+            }
+        }
+    }
+
+    for (r, _) in ov.readers() {
+        let want = expected(r);
+        let got = &mult[r.idx()];
+        // Every expected writer present with the right multiplicity.
+        for (&w, &want_c) in &want {
+            let got_c = got.get(&w).copied().unwrap_or(0);
+            let ok = if props.duplicate_insensitive {
+                got_c >= want_c.min(1) && got_c >= 1
+            } else {
+                got_c == want_c
+            };
+            if !ok {
+                return Err(ValidationError::WrongContribution {
+                    reader: r,
+                    writer: w,
+                    got: got_c,
+                    want: want_c,
+                });
+            }
+        }
+        // No foreign contributions.
+        for (&w, &got_c) in got {
+            if got_c != 0 && !want.contains_key(&w) {
+                return Err(ValidationError::WrongContribution {
+                    reader: r,
+                    writer: w,
+                    got: got_c,
+                    want: 0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::Overlay;
+    use eagr_agg::Sign;
+    use eagr_graph::{paper_example_graph, BipartiteGraph, Neighborhood, NodeId};
+
+    fn sum_props() -> AggProps {
+        AggProps {
+            duplicate_insensitive: false,
+            subtractable: true,
+        }
+    }
+
+    fn max_props() -> AggProps {
+        AggProps {
+            duplicate_insensitive: true,
+            subtractable: false,
+        }
+    }
+
+    fn direct_paper_overlay() -> Overlay {
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        Overlay::direct_from_bipartite(&ag)
+    }
+
+    #[test]
+    fn direct_overlay_is_valid() {
+        let ov = direct_paper_overlay();
+        validate(&ov, sum_props()).unwrap();
+        validate(&ov, max_props()).unwrap();
+    }
+
+    #[test]
+    fn duplicate_path_caught_for_sum() {
+        let mut ov = direct_paper_overlay();
+        // Reader a already receives c directly; add a partial over {c} too.
+        let cw = ov.writer(NodeId(2)).unwrap();
+        let p = ov.add_partial(&[cw]);
+        let ar = ov.reader(NodeId(0)).unwrap();
+        ov.add_edge(p, ar, Sign::Pos);
+        // Structure-implied expectation counts c twice, so the *intended*
+        // coverage is 2 — but a duplicate-sensitive overlay should never
+        // intend that. Validate against the true neighborhood instead.
+        let err = validate_against(&ov, sum_props(), |r| {
+            let mut want = eagr_util::FastMap::default();
+            if r == ar {
+                for w in [2u32, 3, 4, 5] {
+                    want.insert(w, 1);
+                }
+            } else {
+                want = super::expected_from_structure(&ov, r);
+            }
+            want
+        })
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::WrongContribution { .. }));
+    }
+
+    #[test]
+    fn duplicate_path_fine_for_max() {
+        let mut ov = direct_paper_overlay();
+        let cw = ov.writer(NodeId(2)).unwrap();
+        let p = ov.add_partial(&[cw]);
+        let ar = ov.reader(NodeId(0)).unwrap();
+        ov.add_edge(p, ar, Sign::Pos);
+        validate(&ov, max_props()).unwrap();
+    }
+
+    #[test]
+    fn negative_edge_cancels_duplicate() {
+        let mut ov = direct_paper_overlay();
+        // Give reader a a partial over {c, d} plus direct edges already
+        // present: cancel the duplicates with negative edges.
+        let cw = ov.writer(NodeId(2)).unwrap();
+        let dw = ov.writer(NodeId(3)).unwrap();
+        let p = ov.add_partial(&[cw, dw]);
+        let ar = ov.reader(NodeId(0)).unwrap();
+        ov.add_edge(p, ar, Sign::Pos);
+        ov.add_edge(cw, ar, Sign::Neg);
+        ov.add_edge(dw, ar, Sign::Neg);
+        validate(&ov, sum_props()).unwrap();
+    }
+
+    #[test]
+    fn negative_edge_rejected_for_max() {
+        let mut ov = direct_paper_overlay();
+        let cw = ov.writer(NodeId(2)).unwrap();
+        let ar = ov.reader(NodeId(0)).unwrap();
+        ov.add_edge(cw, ar, Sign::Neg);
+        let err = validate(&ov, max_props()).unwrap_err();
+        assert!(matches!(err, ValidationError::NegativeEdgeNotAllowed(_)));
+    }
+
+    #[test]
+    fn reader_feeding_node_rejected() {
+        let mut ov = direct_paper_overlay();
+        let ar = ov.reader(NodeId(0)).unwrap();
+        let br = ov.reader(NodeId(1)).unwrap();
+        // Force an illegal edge reader → reader (bypassing add_partial's
+        // assertion by adding a raw edge).
+        ov.add_edge(ar, br, Sign::Pos);
+        let err = validate(&ov, sum_props()).unwrap_err();
+        assert_eq!(err, ValidationError::ReaderWithOutput(ar));
+    }
+}

@@ -1,0 +1,603 @@
+//! The VNM family of overlay construction algorithms (paper §3.2.1–§3.2.4).
+//!
+//! All four variants share one skeleton per iteration:
+//!
+//! 1. order readers by min-hash [shingles](crate::shingle) of their *current*
+//!    input lists,
+//! 2. chunk the order into groups (equal-sized; VNM_D lets consecutive
+//!    groups overlap by `p`%),
+//! 3. per group, repeatedly build an [FP-tree](crate::fptree) over the
+//!    group's current lists, mine the best-benefit biclique, and replace it
+//!    with a partial aggregation node — rebuilding the tree after each
+//!    extraction ("ideally we should remove the corresponding edges and
+//!    reconstruct the FP-Tree", §3.2.1).
+//!
+//! Variants differ in the tree insertion (plain prefix / negative-edge BFS /
+//! mined-edge penalties) and in how a mined candidate may be applied. Every
+//! candidate is **validated against the live overlay** before rewiring
+//! ([`apply_candidate`]), so the trees are purely advisory: a stale or
+//! over-optimistic candidate costs compression, never correctness.
+//!
+//! VNM_A (§3.2.2) additionally adapts the chunk size between iterations: it
+//! keeps the smallest chunk size that retains ≥ `keep_fraction` of the
+//! benefit observed in the current iteration.
+
+use crate::fptree::FpTree;
+use crate::metrics::IterationStats;
+use crate::overlay::{Overlay, OverlayId};
+use crate::shingle::shingle_order;
+use eagr_agg::{AggProps, Sign};
+use eagr_graph::BipartiteGraph;
+use eagr_util::{FastMap, FastSet};
+use std::time::Instant;
+
+/// Which VNM variant to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VnmVariant {
+    /// Plain VNM (Buehrer-style): exact bicliques only.
+    Plain,
+    /// VNM_N (§3.2.3): quasi-bicliques completed by negative edges.
+    Negative {
+        /// `k1`: maximum FP-tree paths a reader may join on insertion.
+        max_paths: usize,
+        /// `k2`: maximum negative edges per path.
+        max_neg_per_path: usize,
+    },
+    /// VNM_D (§3.2.4): duplicate-insensitive reuse of mined edges, with
+    /// overlapping reader groups.
+    Duplicate {
+        /// Percentage (0–100) of readers shared by consecutive groups.
+        overlap_pct: u32,
+    },
+}
+
+/// Configuration of a VNM run.
+#[derive(Clone, Debug)]
+pub struct VnmConfig {
+    /// Variant to execute.
+    pub variant: VnmVariant,
+    /// Initial reader-group size (the paper uses 100 for VNM_A's first
+    /// iteration).
+    pub chunk_size: usize,
+    /// Adapt the chunk size between iterations (VNM_A). When `false` the
+    /// chunk size stays fixed (plain VNM behaviour).
+    pub adaptive: bool,
+    /// VNM_A keep fraction (paper: 0.9; insensitive in 0.8–1.0).
+    pub keep_fraction: f64,
+    /// Number of outer iterations.
+    pub iterations: usize,
+    /// Min-hash shingles per reader.
+    pub num_shingles: usize,
+    /// RNG seed for the shingle hash functions.
+    pub seed: u64,
+    /// Properties of the aggregate the overlay will execute; gates negative
+    /// edges (subtractable) and duplicate paths (duplicate-insensitive).
+    pub props: AggProps,
+}
+
+impl VnmConfig {
+    /// Plain VNM with a fixed chunk size.
+    pub fn vnm(chunk_size: usize, props: AggProps) -> Self {
+        Self {
+            variant: VnmVariant::Plain,
+            chunk_size,
+            adaptive: false,
+            keep_fraction: 0.9,
+            iterations: 10,
+            num_shingles: 2,
+            seed: 0xEA67,
+            props,
+        }
+    }
+
+    /// VNM_A: adaptive chunk size starting at 100 (§3.2.2).
+    pub fn vnma(props: AggProps) -> Self {
+        Self {
+            adaptive: true,
+            ..Self::vnm(100, props)
+        }
+    }
+
+    /// VNM_N with the paper's defaults (`k2 = 5`; `k1 = 2` paths).
+    ///
+    /// # Panics
+    /// Panics if the aggregate is not subtractable — negative edges "should
+    /// only be used when the subtraction operation is efficiently
+    /// computable" (§2.2.1).
+    pub fn vnmn(props: AggProps) -> Self {
+        assert!(
+            props.subtractable,
+            "VNM_N requires a subtractable aggregate"
+        );
+        Self {
+            variant: VnmVariant::Negative {
+                max_paths: 2,
+                max_neg_per_path: 5,
+            },
+            adaptive: true,
+            ..Self::vnm(100, props)
+        }
+    }
+
+    /// VNM_D with 20% group overlap (the paper's Fig 10 setting).
+    ///
+    /// # Panics
+    /// Panics if the aggregate is duplicate-sensitive.
+    pub fn vnmd(props: AggProps) -> Self {
+        assert!(
+            props.duplicate_insensitive,
+            "VNM_D requires a duplicate-insensitive aggregate"
+        );
+        Self {
+            variant: VnmVariant::Duplicate { overlap_pct: 20 },
+            adaptive: true,
+            ..Self::vnm(100, props)
+        }
+    }
+}
+
+/// How a mined candidate may be applied to the overlay.
+#[derive(Clone, Copy, Debug)]
+enum RewireMode {
+    /// Reader must contain every item (plain VNM / VNM_A).
+    Exact,
+    /// Missing items (≤ `max_neg`) are compensated by negative edges.
+    Negative { max_neg: usize },
+    /// Missing items are tolerated outright (duplicate-insensitive).
+    Duplicate,
+}
+
+/// Per-reader context the validator needs beyond the live overlay.
+struct ReaderCtx {
+    /// Original writer coverage (data-graph ids) of the reader.
+    orig_cov: FastSet<u32>,
+    /// Original input list as *overlay writer ids*, sorted.
+    orig_items: Vec<u32>,
+}
+
+/// Outcome of applying one candidate.
+#[derive(Debug, Default)]
+struct ApplyOutcome {
+    applied: bool,
+    support: usize,
+    edges_saved: i64,
+}
+
+/// Validate a mined candidate against the live overlay and rewire the
+/// eligible readers through a fresh partial node. Returns what happened.
+fn apply_candidate(
+    ov: &mut Overlay,
+    items: &[u32],
+    readers: &[OverlayId],
+    mode: RewireMode,
+    ctx: &FastMap<OverlayId, ReaderCtx>,
+) -> ApplyOutcome {
+    let item_ids: Vec<OverlayId> = items.iter().map(|&i| OverlayId(i)).collect();
+
+    // Candidate items must have pairwise-disjoint coverage for
+    // duplicate-sensitive aggregates (the partial node would otherwise
+    // double-count internally).
+    if !matches!(mode, RewireMode::Duplicate) {
+        let total: usize = item_ids.iter().map(|&i| ov.coverage(i).len()).sum();
+        let mut union: Vec<u32> = item_ids
+            .iter()
+            .flat_map(|&i| ov.coverage(i).iter().copied())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        if union.len() != total {
+            return ApplyOutcome::default();
+        }
+    }
+
+    // Per-reader eligibility and gain. Readers may appear multiple times in
+    // the support of a VNM_N tree (a reader joins up to k1 paths); rewire
+    // each at most once.
+    let mut seen: FastSet<u32> = FastSet::default();
+    let mut eligible: Vec<(OverlayId, Vec<OverlayId>, Vec<OverlayId>, i64)> = Vec::new();
+    for &r in readers {
+        if !seen.insert(r.0) {
+            continue;
+        }
+        let pos: FastSet<u32> = ov
+            .inputs(r)
+            .iter()
+            .filter(|&&(_, s)| s == Sign::Pos)
+            .map(|&(f, _)| f.0)
+            .collect();
+        let matched: Vec<OverlayId> = item_ids.iter().copied().filter(|i| pos.contains(&i.0)).collect();
+        let missing: Vec<OverlayId> = item_ids.iter().copied().filter(|i| !pos.contains(&i.0)).collect();
+        let gain = match mode {
+            RewireMode::Exact => {
+                if !missing.is_empty() {
+                    continue;
+                }
+                matched.len() as i64 - 1
+            }
+            RewireMode::Negative { max_neg } => {
+                if missing.len() > max_neg {
+                    continue;
+                }
+                matched.len() as i64 - 1 - missing.len() as i64
+            }
+            RewireMode::Duplicate => {
+                // Every item's coverage must lie inside the reader's
+                // original neighborhood — duplicates are fine, foreign
+                // writers are not.
+                let rc = &ctx[&r];
+                let ok = missing
+                    .iter()
+                    .all(|&m| ov.coverage(m).iter().all(|w| rc.orig_cov.contains(w)));
+                if !ok {
+                    continue;
+                }
+                matched.len() as i64 - 1
+            }
+        };
+        if gain > 0 {
+            eligible.push((r, matched, missing, gain));
+        }
+    }
+
+    let total_gain: i64 = eligible.iter().map(|e| e.3).sum::<i64>() - items.len() as i64;
+    if eligible.len() < 2 || total_gain <= 0 {
+        return ApplyOutcome::default();
+    }
+
+    let edges_before = ov.edge_count() as i64;
+    let v = ov.add_partial(&item_ids);
+    for (r, matched, missing, _) in &eligible {
+        for &m in matched {
+            let removed = ov.remove_edge(m, *r, Sign::Pos);
+            debug_assert!(removed, "matched edge must exist");
+        }
+        ov.add_edge(v, *r, Sign::Pos);
+        if matches!(mode, RewireMode::Negative { .. }) {
+            for &m in missing {
+                ov.add_edge(m, *r, Sign::Neg);
+            }
+        }
+    }
+    ApplyOutcome {
+        applied: true,
+        support: eligible.len(),
+        edges_saved: edges_before - ov.edge_count() as i64,
+    }
+}
+
+/// Current positive input items of a reader, as raw overlay ids.
+fn pos_items(ov: &Overlay, r: OverlayId) -> Vec<u32> {
+    ov.inputs(r)
+        .iter()
+        .filter(|&&(_, s)| s == Sign::Pos)
+        .map(|&(f, _)| f.0)
+        .collect()
+}
+
+/// Sort `list` in descending frequency order (standard FP-tree order so
+/// common items share prefixes near the root), tie-broken by id.
+///
+/// The paper's §3.2.1 prose says "increasing order", but its own worked
+/// example (d_w first, the highest-frequency writer) follows the standard
+/// descending convention, which we adopt.
+fn sort_by_frequency(list: &mut [u32], freq: &FastMap<u32, u32>) {
+    list.sort_unstable_by(|a, b| {
+        let fa = freq.get(a).copied().unwrap_or(0);
+        let fb = freq.get(b).copied().unwrap_or(0);
+        fb.cmp(&fa).then(a.cmp(b))
+    });
+}
+
+/// Run a VNM-family construction and return the overlay plus per-iteration
+/// statistics (the series plotted in Figs 8–10).
+pub fn build_vnm(ag: &BipartiteGraph, cfg: &VnmConfig) -> (Overlay, Vec<IterationStats>) {
+    let mut ov = Overlay::direct_from_bipartite(ag);
+    // Reader contexts: original coverage, original writer items.
+    let mut ctx: FastMap<OverlayId, ReaderCtx> = FastMap::default();
+    for (i, _r, inputs) in ag.iter() {
+        let rid = ov
+            .reader(ag.reader_node(i))
+            .expect("reader exists in direct overlay");
+        let orig_cov: FastSet<u32> = inputs.iter().map(|w| w.0).collect();
+        let mut orig_items: Vec<u32> = inputs
+            .iter()
+            .map(|&w| ov.writer(w).expect("writer exists").0)
+            .collect();
+        orig_items.sort_unstable();
+        ctx.insert(rid, ReaderCtx { orig_cov, orig_items });
+    }
+
+    let mode = match cfg.variant {
+        VnmVariant::Plain => RewireMode::Exact,
+        VnmVariant::Negative {
+            max_neg_per_path, ..
+        } => RewireMode::Negative {
+            max_neg: max_neg_per_path,
+        },
+        VnmVariant::Duplicate { .. } => RewireMode::Duplicate,
+    };
+
+    let mut stats = Vec::with_capacity(cfg.iterations);
+    let mut chunk = cfg.chunk_size.max(2);
+    let started = Instant::now();
+
+    for iter in 0..cfg.iterations {
+        let t0 = Instant::now();
+        let readers: Vec<OverlayId> = ov
+            .readers()
+            .map(|(id, _)| id)
+            .filter(|&id| pos_items(&ov, id).len() >= 2)
+            .collect();
+        if readers.is_empty() {
+            break;
+        }
+        let lists: Vec<Vec<u32>> = readers.iter().map(|&r| pos_items(&ov, r)).collect();
+        let order = shingle_order(&lists, cfg.num_shingles, cfg.seed ^ (iter as u64) << 32);
+
+        // Chunk boundaries, with optional overlap for VNM_D.
+        let step = match cfg.variant {
+            VnmVariant::Duplicate { overlap_pct } => {
+                let ov_count = chunk * overlap_pct as usize / 100;
+                (chunk - ov_count).max(1)
+            }
+            _ => chunk,
+        };
+
+        let mut bicliques = 0usize;
+        let mut iter_benefit: i64 = 0;
+        // Benefit histogram by support size for VNM_A's adaptation rule.
+        let mut benefit_by_support: FastMap<usize, i64> = FastMap::default();
+
+        let mut start = 0;
+        while start < order.len() {
+            let group: Vec<OverlayId> = order[start..(start + chunk).min(order.len())]
+                .iter()
+                .map(|&i| readers[i])
+                .collect();
+            start += step;
+
+            // Mine the group to exhaustion (bounded for safety).
+            for _round in 0..64 {
+                let applied = mine_group_once(&mut ov, &group, cfg, mode, &ctx);
+                match applied {
+                    Some(outcome) if outcome.applied => {
+                        bicliques += 1;
+                        iter_benefit += outcome.edges_saved;
+                        *benefit_by_support.entry(outcome.support).or_insert(0) +=
+                            outcome.edges_saved;
+                    }
+                    _ => break,
+                }
+            }
+            if start >= order.len() {
+                break;
+            }
+        }
+
+        stats.push(IterationStats {
+            iteration: iter,
+            edges: ov.edge_count(),
+            sharing_index: ov.sharing_index(),
+            bicliques,
+            benefit: iter_benefit,
+            chunk_size: chunk,
+            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+            cumulative_ms: started.elapsed().as_secs_f64() * 1e3,
+            memory_bytes: ov.memory_bytes(),
+        });
+
+        if iter_benefit == 0 {
+            break; // converged
+        }
+
+        // VNM_A chunk adaptation (§3.2.2): smallest c ≤ chunk keeping
+        // ≥ keep_fraction of this iteration's benefit.
+        if cfg.adaptive && !benefit_by_support.is_empty() {
+            let total: i64 = benefit_by_support.values().sum();
+            let mut sizes: Vec<usize> = benefit_by_support.keys().copied().collect();
+            sizes.sort_unstable();
+            let mut acc = 0i64;
+            for s in sizes {
+                acc += benefit_by_support[&s];
+                if acc as f64 > cfg.keep_fraction * total as f64 {
+                    chunk = s.max(2).min(chunk);
+                    break;
+                }
+            }
+        }
+    }
+
+    (ov, stats)
+}
+
+/// Build the variant tree over the group's current lists, mine the single
+/// best candidate, and apply it. `None` when the group has nothing to mine.
+fn mine_group_once(
+    ov: &mut Overlay,
+    group: &[OverlayId],
+    cfg: &VnmConfig,
+    mode: RewireMode,
+    ctx: &FastMap<OverlayId, ReaderCtx>,
+) -> Option<ApplyOutcome> {
+    // Current lists and item frequencies within the group.
+    let lists: Vec<Vec<u32>> = group.iter().map(|&r| pos_items(ov, r)).collect();
+    let mut freq: FastMap<u32, u32> = FastMap::default();
+    for l in &lists {
+        for &it in l {
+            *freq.entry(it).or_insert(0) += 1;
+        }
+    }
+
+    let mut tree = FpTree::new();
+    for (local, (&r, list)) in group.iter().zip(&lists).enumerate() {
+        if list.len() < 2 && !matches!(cfg.variant, VnmVariant::Duplicate { .. }) {
+            continue;
+        }
+        match cfg.variant {
+            VnmVariant::Plain => {
+                let mut sorted = list.clone();
+                sort_by_frequency(&mut sorted, &freq);
+                tree.insert_path(local as u32, &sorted, |_| false);
+            }
+            VnmVariant::Negative {
+                max_paths,
+                max_neg_per_path,
+            } => {
+                let mut sorted = list.clone();
+                sort_by_frequency(&mut sorted, &freq);
+                let set: FastSet<u32> = list.iter().copied().collect();
+                tree.insert_with_negatives(local as u32, &set, &sorted, max_paths, max_neg_per_path);
+            }
+            VnmVariant::Duplicate { .. } => {
+                // Insertion list = current items ∪ original writer items not
+                // currently direct inputs; the latter carry the S_mined
+                // penalty.
+                let cur: FastSet<u32> = list.iter().copied().collect();
+                let rc = &ctx[&r];
+                let mut sorted: Vec<u32> = list.clone();
+                for &wi in &rc.orig_items {
+                    if !cur.contains(&wi) {
+                        sorted.push(wi);
+                    }
+                }
+                if sorted.len() < 2 {
+                    continue;
+                }
+                sort_by_frequency(&mut sorted, &freq);
+                tree.insert_path(local as u32, &sorted, |it| !cur.contains(&it));
+            }
+        }
+    }
+
+    let cand = tree.best_biclique(2)?;
+    let cand_readers: Vec<OverlayId> = cand.readers.iter().map(|&l| group[l as usize]).collect();
+    Some(apply_candidate(ov, &cand.items, &cand_readers, mode, ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_graph::{paper_example_graph, Neighborhood};
+
+    fn paper_ag() -> BipartiteGraph {
+        BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true)
+    }
+
+    fn sum_props() -> AggProps {
+        AggProps {
+            duplicate_insensitive: false,
+            subtractable: true,
+        }
+    }
+
+    fn max_props() -> AggProps {
+        AggProps {
+            duplicate_insensitive: true,
+            subtractable: false,
+        }
+    }
+
+    #[test]
+    fn vnm_compresses_paper_example() {
+        let ag = paper_ag();
+        let (ov, stats) = build_vnm(&ag, &VnmConfig::vnm(10, sum_props()));
+        assert!(ov.sharing_index() > 0.0, "SI = {}", ov.sharing_index());
+        assert!(ov.partial_count() >= 1);
+        assert!(!stats.is_empty());
+        // Edge count must strictly beat the bipartite graph.
+        assert!(ov.edge_count() < ag.edge_count());
+    }
+
+    #[test]
+    fn vnma_adapts_chunk_size() {
+        let ag = paper_ag();
+        let cfg = VnmConfig::vnma(sum_props());
+        let (_ov, stats) = build_vnm(&ag, &cfg);
+        assert!(stats[0].chunk_size == 100);
+    }
+
+    #[test]
+    fn vnmn_uses_negative_edges_when_profitable() {
+        let ag = paper_ag();
+        let (ov, _) = build_vnm(&ag, &VnmConfig::vnmn(sum_props()));
+        assert!(ov.sharing_index() > 0.0);
+        // The paper's example (Fig 2b) finds negative-edge overlays for this
+        // graph; at minimum the overlay must remain consistent.
+        let neg_edges = ov
+            .ids()
+            .flat_map(|n| ov.inputs(n).iter().copied().collect::<Vec<_>>())
+            .filter(|&(_, s)| s == Sign::Neg)
+            .count();
+        let _ = neg_edges; // may be 0 on tiny graphs; correctness checked below
+        crate::validate::validate_vs_bipartite(&ov, sum_props(), &ag).unwrap();
+    }
+
+    #[test]
+    fn vnmd_allows_duplicate_paths() {
+        let ag = paper_ag();
+        let (ov, _) = build_vnm(&ag, &VnmConfig::vnmd(max_props()));
+        assert!(ov.sharing_index() > 0.0);
+        crate::validate::validate_vs_bipartite(&ov, max_props(), &ag).unwrap();
+    }
+
+    #[test]
+    fn sharing_index_non_decreasing_over_iterations() {
+        let ag = paper_ag();
+        let (_, stats) = build_vnm(&ag, &VnmConfig::vnma(sum_props()));
+        for w in stats.windows(2) {
+            assert!(w[1].sharing_index >= w[0].sharing_index - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "subtractable")]
+    fn vnmn_rejects_non_subtractable() {
+        VnmConfig::vnmn(max_props());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate-insensitive")]
+    fn vnmd_rejects_duplicate_sensitive() {
+        VnmConfig::vnmd(sum_props());
+    }
+
+    #[test]
+    fn vnm_overlay_validates_for_sum() {
+        let ag = paper_ag();
+        let (ov, _) = build_vnm(&ag, &VnmConfig::vnm(10, sum_props()));
+        crate::validate::validate_vs_bipartite(&ov, sum_props(), &ag).unwrap();
+    }
+
+    #[test]
+    fn exact_rewire_preserves_contribution() {
+        // Hand-run apply_candidate on the Fig 1(d) PA1 biclique.
+        let ag = paper_ag();
+        let mut ov = Overlay::direct_from_bipartite(&ag);
+        let mut ctx: FastMap<OverlayId, ReaderCtx> = FastMap::default();
+        for (i, _r, inputs) in ag.iter() {
+            let rid = ov.reader(ag.reader_node(i)).unwrap();
+            ctx.insert(
+                rid,
+                ReaderCtx {
+                    orig_cov: inputs.iter().map(|w| w.0).collect(),
+                    orig_items: inputs.iter().map(|&w| ov.writer(w).unwrap().0).collect(),
+                },
+            );
+        }
+        let items: Vec<u32> = [0u32, 1, 2]
+            .iter()
+            .map(|&w| ov.writer(eagr_graph::NodeId(w)).unwrap().0)
+            .collect();
+        let readers: Vec<OverlayId> = [2u32, 3, 4, 5, 6]
+            .iter()
+            .map(|&r| ov.reader(eagr_graph::NodeId(r)).unwrap())
+            .collect();
+        let out = apply_candidate(&mut ov, &items, &readers, RewireMode::Exact, &ctx);
+        assert!(out.applied);
+        // All five readers c,d,e,f,g contain {a,b,c}: Fig 1(d)'s PA1.
+        assert_eq!(out.support, 5);
+        // 15 removed, 3 + 5 added ⇒ 7 saved.
+        assert_eq!(out.edges_saved, 7);
+        crate::validate::validate_vs_bipartite(&ov, sum_props(), &ag).unwrap();
+    }
+}

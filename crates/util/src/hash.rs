@@ -1,0 +1,147 @@
+//! A fast, non-cryptographic hasher in the style of rustc's FxHash.
+//!
+//! The workspace hashes almost exclusively small integer keys (node ids,
+//! overlay ids, stream values). SipHash's HashDoS protection buys nothing
+//! here and costs real throughput, so we use the classic
+//! multiply-rotate-xor construction. Implemented in-repo because the
+//! `rustc-hash` crate is outside the sanctioned dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio derived odd multiplier (same constant family as FxHash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast `Hasher` for small keys. Not DoS-resistant; never expose to
+/// untrusted adversarial input.
+#[derive(Default, Clone, Copy)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+/// `HashSet` keyed with [`FastHasher`].
+pub type FastSet<K> = std::collections::HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one("abc"), hash_one("abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn byte_tail_handling() {
+        // Slices shorter than / not a multiple of 8 bytes must still hash.
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 4]));
+        assert_ne!(
+            hash_one([1u8, 2, 3, 4, 5, 6, 7, 8, 9]),
+            hash_one([1u8, 2, 3, 4, 5, 6, 7, 8, 10])
+        );
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u32, u32> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000 {
+            assert_eq!(m[&i], i * 2);
+        }
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn reasonable_distribution() {
+        // Low-entropy sequential keys should not collide in the low bits
+        // (hashbrown uses the high bits too, but catching a degenerate
+        // constant-output hasher is the point).
+        let mut seen = FastSet::default();
+        for i in 0u64..10_000 {
+            seen.insert(hash_one(i) >> 48);
+        }
+        assert!(seen.len() > 1000, "top bits look degenerate: {}", seen.len());
+    }
+}

@@ -1,0 +1,24 @@
+//! Substrate utilities for the EAGr workspace.
+//!
+//! This crate deliberately has no heavyweight dependencies: it provides the
+//! small, hot primitives the rest of the system is built on —
+//!
+//! * [`hash`] — a fast FxHash-style hasher and the [`FastMap`]/[`FastSet`]
+//!   aliases used throughout the workspace (graph adjacency is integer-keyed,
+//!   where SipHash is needlessly slow),
+//! * [`rng`] — a tiny, deterministic xoshiro256**-based random number
+//!   generator so experiments are reproducible bit-for-bit,
+//! * [`zipf`] — a Zipfian sampler (read/write activity in the paper is
+//!   modeled as Zipfian, §5.1),
+//! * [`stats`] — online statistics and percentile summaries used by the
+//!   execution engine's latency/throughput instrumentation.
+
+pub mod hash;
+pub mod rng;
+pub mod stats;
+pub mod zipf;
+
+pub use hash::{FastHasher, FastMap, FastSet};
+pub use rng::SplitMix64;
+pub use stats::{percentile, LatencySummary, OnlineStats};
+pub use zipf::Zipf;

@@ -1,0 +1,143 @@
+//! Zipfian sampling.
+//!
+//! The paper generates per-node read/write activity from a Zipfian
+//! distribution ("event rates in many applications ... have been shown to
+//! follow a Zipfian distribution", §5.1). This module provides both an exact
+//! inverse-CDF sampler (good up to a few million ranks) and direct access to
+//! the rank weights for assigning static frequencies.
+
+use crate::rng::SplitMix64;
+
+/// Zipfian distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k+1)^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[k] = P(rank <= k)`.
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Build a Zipfian distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { cdf, s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees n > 0
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // First k with cdf[k] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Unnormalized weights for all ranks (useful for static frequency
+    /// assignment: frequency of the node at rank k ∝ `weights[k]`).
+    pub fn weights(n: usize, s: f64) -> Vec<f64> {
+        (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_most_likely() {
+        let z = Zipf::new(50, 1.2);
+        for k in 1..50 {
+            assert!(z.pmf(0) >= z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf_roughly() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = SplitMix64::new(123);
+        let mut counts = [0usize; 10];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..10 {
+            let observed = counts[k] as f64 / trials as f64;
+            let expected = z.pmf(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed:.4} vs expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn weights_decreasing() {
+        let w = Zipf::weights(5, 1.0);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Adapting dataflow decisions to workload drift (paper §4.8, Fig 13a).
+//!
+//! The system is planned for a write-heavy workload (readers mostly pull);
+//! halfway through, attention shifts — previously cold nodes become
+//! read-hot. Static decisions degrade; the adaptive controller flips the
+//! push/pull frontier back to health. The example prints per-batch service
+//! cost (PAO updates + pull evaluations) for static vs adaptive execution.
+//!
+//! ```text
+//! cargo run --release --example adaptive_workload
+//! ```
+
+use eagr::gen::{shifting_trace, Event, TraceConfig};
+use eagr::prelude::*;
+use std::time::Instant;
+
+fn run(
+    label: &str,
+    g: &DataGraph,
+    trace: &[Event],
+    adapt_every: Option<u64>,
+) -> Vec<f64> {
+    let n = g.id_bound();
+    let sys = EagrSystem::builder(EgoQuery::new(Sum))
+        .overlay(eagr::OverlayAlgorithm::Vnma)
+        .rates(eagr::gen::zipf_rates(n, 1.0, 1.0, 7))
+        .build(g);
+    let adaptive = sys.adaptive(adapt_every.unwrap_or(u64::MAX));
+    let batch = trace.len() / 20;
+    let mut per_batch = Vec::new();
+    let mut ts = 0u64;
+    for chunk in trace.chunks(batch) {
+        let t0 = Instant::now();
+        for e in chunk {
+            match *e {
+                Event::Write { node, value } => {
+                    if adapt_every.is_some() {
+                        adaptive.write(node, value, ts);
+                    } else {
+                        sys.write(node, value, ts);
+                    }
+                }
+                Event::Read { node } => {
+                    if adapt_every.is_some() {
+                        std::hint::black_box(adaptive.read(node));
+                    } else {
+                        std::hint::black_box(sys.read(node));
+                    }
+                }
+            }
+            ts += 1;
+        }
+        per_batch.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    println!(
+        "{label:<10} flips = {:<4} batch ms: {}",
+        adaptive.total_flips(),
+        per_batch
+            .iter()
+            .map(|ms| format!("{ms:.0}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    per_batch
+}
+
+fn main() {
+    let n = 3_000;
+    let g = eagr::gen::social_graph(n, 6, 0xADA7);
+    let trace = shifting_trace(
+        n,
+        &TraceConfig {
+            events_per_phase: 150_000,
+            write_to_read: 1.0,
+            shift_fraction: 0.3,
+            ..Default::default()
+        },
+    );
+    println!(
+        "{} events over a {n}-node graph; read popularity shifts at the midpoint\n",
+        trace.len()
+    );
+    let static_ms = run("static", &g, &trace, None);
+    let adaptive_ms = run("adaptive", &g, &trace, Some(10_000));
+
+    let late = |xs: &[f64]| xs[xs.len() - 5..].iter().sum::<f64>() / 5.0;
+    println!(
+        "\npost-shift average batch time: static {:.0} ms vs adaptive {:.0} ms",
+        late(&static_ms),
+        late(&adaptive_ms)
+    );
+}

@@ -1,0 +1,78 @@
+//! Personalized trend detection in a social network (the paper's §1
+//! motivating example): every user continuously sees the TOP-K topics their
+//! friends have posted about recently — a *quasi-continuous* query, so the
+//! planner mixes pre-computation (hot readers) with on-demand evaluation
+//! (cold readers).
+//!
+//! ```text
+//! cargo run --release --example social_trends
+//! ```
+
+use eagr::gen::{generate_events, social_graph, zipf_rates, WorkloadConfig};
+use eagr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = 5_000;
+    println!("building a {n}-user social graph (preferential attachment)...");
+    let g = social_graph(n, 8, 0xFEED);
+
+    // Zipfian activity: a few users generate most posts and most feed loads.
+    let rates = zipf_rates(n, 1.0, 1.0, 7);
+
+    // TOP-3 topics over each user's last 5 posts per friend.
+    let query = EgoQuery::new(TopK::new(3))
+        .window(WindowSpec::Tuple(5))
+        .neighborhood(Neighborhood::In);
+
+    let t0 = Instant::now();
+    let sys = EagrSystem::builder(query)
+        .overlay(eagr::OverlayAlgorithm::Vnmn) // TOP-K is subtractable
+        .rates(rates)
+        .writer_window(5)
+        .build(&g);
+    let st = sys.stats();
+    println!(
+        "compiled in {:.1?}: sharing index {:.3}, {} partial aggregators, {} splits, {}/{} push nodes",
+        t0.elapsed(),
+        st.sharing_index,
+        st.partial_nodes,
+        st.splits,
+        st.push_nodes,
+        sys.overlay().node_count()
+    );
+
+    // Drive a mixed posting/feed-loading workload.
+    let events = generate_events(
+        n,
+        &WorkloadConfig {
+            events: 200_000,
+            write_to_read: 2.0, // twice as many posts as feed loads
+            value_universe: 500, // 500 trending topics
+            ..Default::default()
+        },
+    );
+    let t1 = Instant::now();
+    let (posts, loads) = sys.run_events(&events);
+    let dt = t1.elapsed();
+    println!(
+        "replayed {posts} posts + {loads} feed loads in {:.2?} ({:.0} ops/s)",
+        dt,
+        throughput(posts + loads, dt)
+    );
+
+    // Show a few users' personalized trends.
+    println!("\nsample personalized trends (topic, mentions among friends):");
+    let mut shown = 0;
+    for v in 0..n as u32 {
+        if let Some(trends) = sys.read(NodeId(v)) {
+            if trends.len() >= 3 {
+                println!("  user {v}: {trends:?}");
+                shown += 1;
+                if shown == 5 {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Optimality guarantees of the §4 decision machinery on randomized
+//! instances: the max-flow solution must match exhaustive enumeration
+//! (Theorem 4.1), pruning must not change it (Theorem 4.2), and the greedy
+//! fallback must be valid and never better than optimal.
+
+use eagr::agg::CostModel;
+use eagr::flow::{
+    decide_greedy, decide_maxflow, node_costs, propagate_frequencies, Decisions, Rates,
+};
+use eagr::graph::{BipartiteGraph, NodeId};
+use eagr::overlay::{build_vnm, Overlay, OverlayId, VnmConfig};
+use eagr::util::SplitMix64;
+
+/// Exhaustive minimum over all constraint-respecting partitions.
+fn brute_force(ov: &Overlay, costs: &[(f64, f64)]) -> f64 {
+    let ids: Vec<OverlayId> = ov.ids().collect();
+    let n = ids.len();
+    assert!(n <= 22, "instance too large for brute force");
+    let mut best = f64::INFINITY;
+    'outer: for mask in 0u32..(1u32 << n) {
+        let pos = |id: OverlayId| ids.iter().position(|&x| x == id).unwrap();
+        let is_push = |id: OverlayId| mask & (1 << pos(id)) != 0;
+        for &u in &ids {
+            if !is_push(u) {
+                for &(t, _) in ov.outputs(u) {
+                    if is_push(t) {
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        for (w, _) in ov.writers() {
+            if !is_push(w) {
+                continue 'outer;
+            }
+        }
+        let cost: f64 = ids
+            .iter()
+            .map(|&id| {
+                if is_push(id) {
+                    costs[id.idx()].0
+                } else {
+                    costs[id.idx()].1
+                }
+            })
+            .sum();
+        best = best.min(cost);
+    }
+    best
+}
+
+/// A small random multi-level overlay plus random rates.
+fn random_instance(seed: u64) -> (Overlay, Rates) {
+    let mut rng = SplitMix64::new(seed);
+    let writers = 3 + rng.index(3); // 3..=5
+    let readers = 3 + rng.index(3);
+    let mut lists = Vec::new();
+    for r in 0..readers {
+        let mut inputs = Vec::new();
+        for w in 0..writers {
+            if rng.chance(0.6) {
+                inputs.push(NodeId(w as u32));
+            }
+        }
+        if inputs.is_empty() {
+            inputs.push(NodeId(rng.index(writers) as u32));
+        }
+        lists.push((NodeId((100 + r) as u32), inputs));
+    }
+    let ag = BipartiteGraph::from_input_lists(200, lists);
+    let props = eagr::agg::AggProps {
+        duplicate_insensitive: false,
+        subtractable: true,
+    };
+    let (ov, _) = build_vnm(&ag, &VnmConfig::vnm(8, props));
+    let n = 200;
+    let mut rates = Rates::uniform(n, 1.0);
+    for v in 0..n {
+        rates.read[v] = rng.range(1, 40) as f64;
+        rates.write[v] = rng.range(1, 40) as f64;
+    }
+    (ov, rates)
+}
+
+#[test]
+fn maxflow_is_optimal_on_random_instances() {
+    for seed in 0..40u64 {
+        let (ov, rates) = random_instance(seed);
+        if ov.ids().count() > 22 {
+            continue;
+        }
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+        let out = decide_maxflow(&ov, &costs);
+        assert!(out.decisions.is_valid(&ov), "seed {seed}");
+        let got = out.decisions.total_cost(&ov, &costs);
+        let want = brute_force(&ov, &costs);
+        assert!(
+            (got - want).abs() < 1e-3,
+            "seed {seed}: maxflow {got} vs brute force {want}"
+        );
+    }
+}
+
+#[test]
+fn greedy_is_valid_and_not_better_than_optimal() {
+    for seed in 100..140u64 {
+        let (ov, rates) = random_instance(seed);
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+        let g = decide_greedy(&ov, &costs);
+        assert!(g.is_valid(&ov), "seed {seed}");
+        let m = decide_maxflow(&ov, &costs).decisions;
+        assert!(
+            g.total_cost(&ov, &costs) >= m.total_cost(&ov, &costs) - 1e-3,
+            "seed {seed}: greedy beat the optimum?!"
+        );
+    }
+}
+
+#[test]
+fn baselines_bracket_the_optimum() {
+    for seed in 200..220u64 {
+        let (ov, rates) = random_instance(seed);
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+        let opt = decide_maxflow(&ov, &costs).decisions.total_cost(&ov, &costs);
+        let push = Decisions::all_push(&ov).total_cost(&ov, &costs);
+        let pull = Decisions::all_pull(&ov).total_cost(&ov, &costs);
+        assert!(opt <= push + 1e-9, "seed {seed}");
+        assert!(opt <= pull + 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn costlier_pulls_push_the_frontier_forward() {
+    // As L(k) grows relative to H(k), the optimal plan must monotonically
+    // prefer push (the mechanism behind Fig 13c).
+    let (ov, rates) = random_instance(7);
+    let f = propagate_frequencies(&ov, &rates);
+    let mut last_push_count = 0usize;
+    for scale in [0.25, 1.0, 4.0, 16.0] {
+        let cost = CostModel {
+            push: eagr::agg::CostFn::Constant(1.0),
+            pull: eagr::agg::CostFn::Linear(scale),
+        };
+        let costs = node_costs(&ov, &f, &cost, 1);
+        let d = decide_maxflow(&ov, &costs).decisions;
+        let pushes = d.push_count();
+        assert!(
+            pushes >= last_push_count,
+            "push count must not shrink as pulls get pricier"
+        );
+        last_push_count = pushes;
+    }
+}

@@ -1,0 +1,183 @@
+//! Larger end-to-end scenarios: realistic workloads, windows, splitting,
+//! time-based expiry, and the system-level stats surface.
+
+use eagr::gen::{generate_events, social_graph, web_graph, Event, WorkloadConfig};
+use eagr::prelude::*;
+use eagr::OverlayAlgorithm;
+
+#[test]
+fn trend_feed_scenario_with_splitting() {
+    // A 400-node social graph, skewed Zipfian workload, TOP-K trends,
+    // max-flow decisions with §4.7 splitting enabled.
+    let n = 400;
+    let g = social_graph(n, 6, 101);
+    let rates = eagr::gen::zipf_rates(n, 1.0, 2.0, 7);
+    let sys = EagrSystem::builder(EgoQuery::new(TopK::new(5)))
+        .overlay(OverlayAlgorithm::Vnmn)
+        .rates(rates)
+        .split(true)
+        .build(&g);
+    let mut oracle = NaiveOracle::new(TopK::new(5), WindowSpec::Tuple(1), Neighborhood::In);
+    let events = generate_events(
+        n,
+        &WorkloadConfig {
+            events: 10_000,
+            write_to_read: 2.0,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    for (ts, e) in events.iter().enumerate() {
+        match *e {
+            Event::Write { node, value } => {
+                sys.write(node, value, ts as u64);
+                oracle.write(node, value, ts as u64);
+            }
+            Event::Read { node } => {
+                if let Some(got) = sys.read(node) {
+                    assert_eq!(got, oracle.read(&g, node));
+                }
+            }
+        }
+    }
+    let st = sys.stats();
+    assert!(st.sharing_index > 0.0, "social graph should still share some");
+    assert!(st.overlay_edges < st.bipartite_edges);
+}
+
+#[test]
+fn time_windows_with_expiry() {
+    let n = 120;
+    let g = web_graph(n, 6, 0.85, 7);
+    let window = WindowSpec::Time(50);
+    let sys = EagrSystem::builder(EgoQuery::new(Sum).window(window))
+        .overlay(OverlayAlgorithm::Vnma)
+        .build(&g);
+    let mut oracle = NaiveOracle::new(Sum, window, Neighborhood::In);
+    let events = generate_events(
+        n,
+        &WorkloadConfig {
+            events: 4000,
+            write_to_read: 8.0,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    for (ts, e) in events.iter().enumerate() {
+        let ts = ts as u64;
+        match *e {
+            Event::Write { node, value } => {
+                sys.write(node, value, ts);
+                oracle.write(node, value, ts);
+            }
+            Event::Read { node } => {
+                // Expire both sides to the same watermark before comparing.
+                sys.advance_time(ts);
+                oracle.advance_time(ts);
+                if let Some(got) = sys.read(node) {
+                    assert_eq!(got, oracle.read(&g, node), "at ts {ts}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn wide_tuple_windows() {
+    let n = 100;
+    let g = social_graph(n, 4, 13);
+    let window = WindowSpec::Tuple(10);
+    let sys = EagrSystem::builder(EgoQuery::new(Avg).window(window))
+        .overlay(OverlayAlgorithm::Vnma)
+        .writer_window(10)
+        .build(&g);
+    let mut oracle = NaiveOracle::new(Avg, window, Neighborhood::In);
+    let events = generate_events(
+        n,
+        &WorkloadConfig {
+            events: 5000,
+            write_to_read: 5.0,
+            seed: 17,
+            ..Default::default()
+        },
+    );
+    for (ts, e) in events.iter().enumerate() {
+        match *e {
+            Event::Write { node, value } => {
+                sys.write(node, value, ts as u64);
+                oracle.write(node, value, ts as u64);
+            }
+            Event::Read { node } => {
+                if let Some(got) = sys.read(node) {
+                    let want = oracle.read(&g, node);
+                    match (got, want) {
+                        (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                        (a, b) => assert_eq!(a, b),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reader_predicate_limits_queries() {
+    let n = 200;
+    let g = social_graph(n, 4, 23);
+    let sys = EagrSystem::builder(EgoQuery::new(Count).filter(|v| v.0 < 50))
+        .overlay(OverlayAlgorithm::Vnma)
+        .build(&g);
+    sys.write(NodeId(60), 1, 0);
+    // Nodes ≥ 50 have no readers.
+    assert_eq!(sys.read(NodeId(60)), None);
+    assert_eq!(sys.read(NodeId(199)), None);
+    // Nodes < 50 answer (possibly 0).
+    let answered = (0..50).filter(|&v| sys.read(NodeId(v)).is_some()).count();
+    assert!(answered > 0);
+}
+
+#[test]
+fn quiet_system_returns_identity_values() {
+    let g = social_graph(50, 3, 31);
+    let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+    for v in g.nodes() {
+        if let Some(s) = sys.read(v) {
+            assert_eq!(s, 0, "no writes yet");
+        }
+    }
+    let sys_max = EagrSystem::builder(EgoQuery::new(Max)).build(&g);
+    for v in g.nodes() {
+        if let Some(m) = sys_max.read(v) {
+            assert_eq!(m, None, "empty window has no max");
+        }
+    }
+}
+
+#[test]
+fn overlay_beats_baseline_in_modeled_cost() {
+    // The modeled cost of the optimal plan on the shared overlay must beat
+    // both baselines on the *direct* structure — the analytical version of
+    // the paper's Fig 14(a) claim.
+    let n = 300;
+    let g = social_graph(n, 6, 47);
+    let rates = eagr::gen::zipf_rates(n, 1.0, 1.0, 3);
+    let shared = EagrSystem::builder(EgoQuery::new(Sum))
+        .overlay(OverlayAlgorithm::Vnmn)
+        .rates(rates.clone())
+        .build(&g);
+    let push = EagrSystem::builder(EgoQuery::new(Sum))
+        .overlay(OverlayAlgorithm::Direct)
+        .decisions(DecisionAlgorithm::AllPush)
+        .split(false)
+        .rates(rates.clone())
+        .build(&g);
+    let pull = EagrSystem::builder(EgoQuery::new(Sum))
+        .overlay(OverlayAlgorithm::Direct)
+        .decisions(DecisionAlgorithm::AllPull)
+        .split(false)
+        .rates(rates)
+        .build(&g);
+    let c = |s: &EagrSystem<Sum>| s.stats().modeled_cost;
+    assert!(c(&shared) < c(&push), "{} !< {}", c(&shared), c(&push));
+    assert!(c(&shared) < c(&pull), "{} !< {}", c(&shared), c(&pull));
+}

