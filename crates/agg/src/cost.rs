@@ -180,7 +180,10 @@ mod tests {
         assert_eq!(CostFn::Constant(2.0).eval(1000), 2.0);
         assert_eq!(CostFn::Linear(2.0).eval(10), 20.0);
         assert!((CostFn::Log(1.0).eval(1024) - 10.0).abs() < 1e-12);
-        assert!((CostFn::Log(1.0).eval(0) - 1.0).abs() < 1e-12, "clamped at k=2");
+        assert!(
+            (CostFn::Log(1.0).eval(0) - 1.0).abs() < 1e-12,
+            "clamped at k=2"
+        );
     }
 
     #[test]

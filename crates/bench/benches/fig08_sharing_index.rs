@@ -25,7 +25,7 @@ fn main() {
     );
     let sc = 0.4 * scale();
     for ds in Dataset::all() {
-        let g = ds.build(sc, 0xF16_8);
+        let g = ds.build(sc, 0xF168);
         let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
         println!(
             "\n[{}] {} nodes, {} bipartite edges",

@@ -11,7 +11,10 @@ use eagr::overlay::{build_vnm, VnmConfig};
 use eagr_bench::{banner, f, scale, sum_props, Table};
 
 fn main() {
-    banner("Figure 9", "sharing index vs chunk size: VNM (fixed) vs VNMA (adaptive)");
+    banner(
+        "Figure 9",
+        "sharing index vs chunk size: VNM (fixed) vs VNMA (adaptive)",
+    );
     let chunks = [4usize, 8, 16, 32, 64, 100];
     let sc = 0.4 * scale();
     let datasets = [
@@ -20,10 +23,17 @@ fn main() {
         Dataset::LiveJournalLike,
     ];
     let t = Table::new(&[
-        "graph", "c=4", "c=8", "c=16", "c=32", "c=64", "c=100", "VNMA(100)",
+        "graph",
+        "c=4",
+        "c=8",
+        "c=16",
+        "c=32",
+        "c=64",
+        "c=100",
+        "VNMA(100)",
     ]);
     for ds in datasets {
-        let g = ds.build(sc, 0xF16_9);
+        let g = ds.build(sc, 0xF169);
         let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
         let mut cells: Vec<String> = vec![ds.name().to_string()];
         for &c in &chunks {

@@ -29,7 +29,7 @@ fn main() {
         "Figure 10",
         "(a) cumulative running time and (b) memory per iteration, LiveJournal-like",
     );
-    let g = Dataset::LiveJournalLike.build(0.6 * scale(), 0xF16_10);
+    let g = Dataset::LiveJournalLike.build(0.6 * scale(), 0xF1610);
     let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
     println!(
         "graph: {} nodes, {} bipartite edges\n",

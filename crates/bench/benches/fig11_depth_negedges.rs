@@ -17,7 +17,7 @@ fn main() {
         "Figure 11(a)",
         "CDF of overlay depth: IOB vs VNMA (LiveJournal-like)",
     );
-    let g = Dataset::LiveJournalLike.build(0.5 * scale(), 0xF16_11);
+    let g = Dataset::LiveJournalLike.build(0.5 * scale(), 0xF1611);
     let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
 
     let (ov_a, _) = build_vnm(&ag, &VnmConfig::vnma(sum_props()));
@@ -44,7 +44,7 @@ fn main() {
         Dataset::GplusLike,
         Dataset::Eu2005Like,
     ] {
-        let g = ds.build(0.35 * scale(), 0xF16_11b);
+        let g = ds.build(0.35 * scale(), 0xF1611B);
         let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
         let mut cells = vec![ds.name().to_string()];
         for k2 in 0..=5usize {

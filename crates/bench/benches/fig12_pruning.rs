@@ -47,18 +47,15 @@ fn main() {
     ]);
     let sc = 0.4 * scale();
     for ds in Dataset::all() {
-        let g = ds.build(sc, 0xF16_12);
+        let g = ds.build(sc, 0xF1612);
         let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
         let (ov, _) = build_vnm(&ag, &VnmConfig::vnma(sum_props()));
         let rates = zipf_rates(g.id_bound(), 1.0, 1.0, 3);
         prune_row(&t, ds.name(), &ov, &rates);
     }
 
-    banner(
-        "Figure 12(b)",
-        "pruning vs write:read ratio (uk2002-like)",
-    );
-    let g = Dataset::Uk2002Like.build(0.4 * scale(), 0xF16_12b);
+    banner("Figure 12(b)", "pruning vs write:read ratio (uk2002-like)");
+    let g = Dataset::Uk2002Like.build(0.4 * scale(), 0xF1612B);
     let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
     let (ov, _) = build_vnm(&ag, &VnmConfig::vnma(sum_props()));
     let t = Table::new(&[

@@ -40,7 +40,12 @@ fn make_plan(ov: &Overlay, rates: &Rates, cost: &CostModel, alg: DecisionAlgorit
 }
 
 fn engine<A: Aggregate + Clone>(agg: A, p: &Plan) -> EngineCore<A> {
-    EngineCore::new(agg, Arc::new(p.overlay.clone()), &p.decisions, WindowSpec::Tuple(1))
+    EngineCore::new(
+        agg,
+        Arc::new(p.overlay.clone()),
+        &p.decisions,
+        WindowSpec::Tuple(1),
+    )
 }
 
 /// Measured rates from a trace prefix (what a deployed system would have
@@ -137,7 +142,12 @@ fn fig13b() {
             ..Default::default()
         },
     );
-    let t = Table::new(&["aggregate", "all-push (ops/s)", "dataflow (ops/s)", "all-pull (ops/s)"]);
+    let t = Table::new(&[
+        "aggregate",
+        "all-push (ops/s)",
+        "dataflow (ops/s)",
+        "all-pull (ops/s)",
+    ]);
     macro_rules! row {
         ($name:literal, $agg:expr) => {{
             let cost = CostModel::from_aggregate(&$agg);
@@ -187,7 +197,13 @@ fn fig13c() {
             ..Default::default()
         },
     );
-    let t = Table::new(&["push:pull cost", "worst ms", "p95 ms", "avg ms", "push nodes"]);
+    let t = Table::new(&[
+        "push:pull cost",
+        "worst ms",
+        "p95 ms",
+        "avg ms",
+        "push nodes",
+    ]);
     let run = |label: &str, alg: DecisionAlgorithm, pull_scale: f64| {
         let cost = CostModel {
             push: CostFn::Constant(4.0),
@@ -212,7 +228,14 @@ fn fig13c() {
         ]);
     };
     run("all-pull", DecisionAlgorithm::AllPull, 1.0);
-    for (label, s) in [("1:1", 1.0), ("1:2", 2.0), ("1:5", 5.0), ("1:10", 10.0), ("1:20", 20.0), ("1:30", 30.0)] {
+    for (label, s) in [
+        ("1:1", 1.0),
+        ("1:2", 2.0),
+        ("1:5", 5.0),
+        ("1:10", 10.0),
+        ("1:20", 20.0),
+        ("1:30", 30.0),
+    ] {
         run(label, DecisionAlgorithm::MaxFlow, s);
     }
     run("all-push", DecisionAlgorithm::AllPush, 1.0);
@@ -224,7 +247,9 @@ fn fig13d() {
         "Figure 13(d)",
         "throughput vs serving threads (TOP-K; plateau at core count)",
     );
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(2);
     println!("machine cores: {cores}\n");
     let g = Dataset::LiveJournalLike.build(0.4 * scale(), 0xF13D);
     let n = g.id_bound();
@@ -274,7 +299,10 @@ fn fig13d() {
         t.print_row(&cells);
     }
     println!("\nexpect: throughput grows with threads then plateaus near the core count;");
-    println!("the overlay approach dominates at every thread count. ({})", f(scale()));
+    println!(
+        "the overlay approach dominates at every thread count. ({})",
+        f(scale())
+    );
 }
 
 fn main() {

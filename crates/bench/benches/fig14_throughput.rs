@@ -43,7 +43,12 @@ fn run_plan<A: Aggregate + Clone>(
             push_amplification: 2.0,
         },
     );
-    let core = EngineCore::new(agg, Arc::new(p.overlay.clone()), &p.decisions, WindowSpec::Tuple(1));
+    let core = EngineCore::new(
+        agg,
+        Arc::new(p.overlay.clone()),
+        &p.decisions,
+        WindowSpec::Tuple(1),
+    );
     let t0 = Instant::now();
     for (i, e) in events.iter().enumerate() {
         match *e {
@@ -107,11 +112,61 @@ fn fig14a() {
                 let events = events_for(n, ratio, count);
                 let cells = vec![
                     format!("{ratio}"),
-                    format!("{:.0}", run_plan($agg, &direct, &rates, DecisionAlgorithm::AllPush, false, &events)),
-                    format!("{:.0}", run_plan($agg, &direct, &rates, DecisionAlgorithm::AllPull, false, &events)),
-                    format!("{:.0}", run_plan($agg, &vnma, &rates, DecisionAlgorithm::MaxFlow, true, &events)),
-                    format!("{:.0}", run_plan($agg, $special, &rates, DecisionAlgorithm::MaxFlow, true, &events)),
-                    format!("{:.0}", run_plan($agg, &iob, &rates, DecisionAlgorithm::MaxFlow, true, &events)),
+                    format!(
+                        "{:.0}",
+                        run_plan(
+                            $agg,
+                            &direct,
+                            &rates,
+                            DecisionAlgorithm::AllPush,
+                            false,
+                            &events
+                        )
+                    ),
+                    format!(
+                        "{:.0}",
+                        run_plan(
+                            $agg,
+                            &direct,
+                            &rates,
+                            DecisionAlgorithm::AllPull,
+                            false,
+                            &events
+                        )
+                    ),
+                    format!(
+                        "{:.0}",
+                        run_plan(
+                            $agg,
+                            &vnma,
+                            &rates,
+                            DecisionAlgorithm::MaxFlow,
+                            true,
+                            &events
+                        )
+                    ),
+                    format!(
+                        "{:.0}",
+                        run_plan(
+                            $agg,
+                            $special,
+                            &rates,
+                            DecisionAlgorithm::MaxFlow,
+                            true,
+                            &events
+                        )
+                    ),
+                    format!(
+                        "{:.0}",
+                        run_plan(
+                            $agg,
+                            &iob,
+                            &rates,
+                            DecisionAlgorithm::MaxFlow,
+                            true,
+                            &events
+                        )
+                    ),
                 ];
                 t.print_row(&cells);
             }
@@ -144,8 +199,22 @@ fn fig14b() {
         let s_off = run_plan(Sum, &ov, &rates, DecisionAlgorithm::MaxFlow, false, &events);
         let m_on = run_plan(Max, &ov, &rates, DecisionAlgorithm::MaxFlow, true, &events);
         let m_off = run_plan(Max, &ov, &rates, DecisionAlgorithm::MaxFlow, false, &events);
-        let k_on = run_plan(TopK::new(10), &ov, &rates, DecisionAlgorithm::MaxFlow, true, &events);
-        let k_off = run_plan(TopK::new(10), &ov, &rates, DecisionAlgorithm::MaxFlow, false, &events);
+        let k_on = run_plan(
+            TopK::new(10),
+            &ov,
+            &rates,
+            DecisionAlgorithm::MaxFlow,
+            true,
+            &events,
+        );
+        let k_off = run_plan(
+            TopK::new(10),
+            &ov,
+            &rates,
+            DecisionAlgorithm::MaxFlow,
+            false,
+            &events,
+        );
         t.row(&[
             &format!("{ratio}"),
             &gain(s_on, s_off),
@@ -179,9 +248,39 @@ fn fig14c() {
         ($name:literal, $agg:expr) => {{
             t.row(&[
                 &$name,
-                &format!("{:.0}", run_plan($agg, &direct, &rates, DecisionAlgorithm::AllPush, false, &events)),
-                &format!("{:.0}", run_plan($agg, &vnma, &rates, DecisionAlgorithm::MaxFlow, true, &events)),
-                &format!("{:.0}", run_plan($agg, &direct, &rates, DecisionAlgorithm::AllPull, false, &events)),
+                &format!(
+                    "{:.0}",
+                    run_plan(
+                        $agg,
+                        &direct,
+                        &rates,
+                        DecisionAlgorithm::AllPush,
+                        false,
+                        &events
+                    )
+                ),
+                &format!(
+                    "{:.0}",
+                    run_plan(
+                        $agg,
+                        &vnma,
+                        &rates,
+                        DecisionAlgorithm::MaxFlow,
+                        true,
+                        &events
+                    )
+                ),
+                &format!(
+                    "{:.0}",
+                    run_plan(
+                        $agg,
+                        &direct,
+                        &rates,
+                        DecisionAlgorithm::AllPull,
+                        false,
+                        &events
+                    )
+                ),
             ]);
         }};
     }

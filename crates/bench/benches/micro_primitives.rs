@@ -161,8 +161,18 @@ fn bench_engine_ops(c: &mut Criterion) {
     let g = Dataset::LiveJournalLike.build(0.2, 0xBEE);
     let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
     let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
-    let push_core = EngineCore::new(Sum, Arc::clone(&ov), &Decisions::all_push(&ov), WindowSpec::Tuple(1));
-    let pull_core = EngineCore::new(Sum, Arc::clone(&ov), &Decisions::all_pull(&ov), WindowSpec::Tuple(1));
+    let push_core = EngineCore::new(
+        Sum,
+        Arc::clone(&ov),
+        &Decisions::all_push(&ov),
+        WindowSpec::Tuple(1),
+    );
+    let pull_core = EngineCore::new(
+        Sum,
+        Arc::clone(&ov),
+        &Decisions::all_pull(&ov),
+        WindowSpec::Tuple(1),
+    );
     let mut rng = SplitMix64::new(3);
     for v in g.nodes() {
         push_core.write(v, 1, 0);

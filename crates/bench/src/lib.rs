@@ -8,18 +8,34 @@
 //!
 //! Set `EAGR_BENCH_SCALE` (default `1.0`) to grow or shrink every graph and
 //! workload together, e.g. `EAGR_BENCH_SCALE=4 cargo bench --bench
-//! fig14_throughput`.
+//! fig14_throughput`. Passing `--quick` to a figure harness (`cargo bench
+//! --bench fig14_throughput -- --quick`) divides the scale by four — the
+//! smoke mode nightly CI uses to keep bench code from rotting.
 
 use eagr::agg::AggProps;
 use std::io::Write as _;
 
-/// Global size multiplier from `EAGR_BENCH_SCALE`.
+/// Scale divisor applied when `--quick` is passed to a figure harness.
+const QUICK_DIVISOR: f64 = 4.0;
+
+/// Whether `--quick` was passed on the bench binary's command line.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Global size multiplier from `EAGR_BENCH_SCALE`, divided by
+/// [`QUICK_DIVISOR`] in `--quick` mode.
 pub fn scale() -> f64 {
-    std::env::var("EAGR_BENCH_SCALE")
+    let base = std::env::var("EAGR_BENCH_SCALE")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .filter(|&s| s > 0.0)
-        .unwrap_or(1.0)
+        .unwrap_or(1.0);
+    if quick() {
+        base / QUICK_DIVISOR
+    } else {
+        base
+    }
 }
 
 /// Properties of a subtractable, duplicate-sensitive aggregate (SUM-like).

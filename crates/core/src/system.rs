@@ -7,9 +7,7 @@ use eagr_exec::{AdaptiveEngine, EngineCore, ParallelConfig, ParallelEngine};
 use eagr_flow::{plan, DecisionAlgorithm, Plan, PlannerConfig, Rates};
 use eagr_gen::Event;
 use eagr_graph::{BipartiteGraph, DataGraph, NodeId};
-use eagr_overlay::{
-    build_iob, build_vnm, metrics, IobConfig, IterationStats, Overlay, VnmConfig,
-};
+use eagr_overlay::{build_iob, build_vnm, metrics, IobConfig, IterationStats, Overlay, VnmConfig};
 use std::sync::Arc;
 
 /// Which overlay construction algorithm to run (§3.2 + the direct/baseline
@@ -317,8 +315,8 @@ mod tests {
         for v in 0..200u32 {
             let got = sys.read(NodeId(v));
             let want = oracle.read(&g, NodeId(v));
-            if got.is_some() {
-                assert_eq!(got.unwrap(), want, "node {v}");
+            if let Some(got) = got {
+                assert_eq!(got, want, "node {v}");
             }
         }
     }

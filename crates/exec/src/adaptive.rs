@@ -125,7 +125,10 @@ mod tests {
         for i in 0..500u32 {
             eng.read(NodeId(i % 7));
         }
-        assert!(eng.total_flips() > 0, "read-heavy load must flip pulls to pushes");
+        assert!(
+            eng.total_flips() > 0,
+            "read-heavy load must flip pulls to pushes"
+        );
         // Results stay correct after adaptation.
         let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
         for (i, r, inputs) in ag.iter() {

@@ -55,9 +55,7 @@ impl<A: Aggregate> EngineCore<A> {
         let windows = (0..n as u32)
             .map(|i| {
                 let id = OverlayId(i);
-                if !overlay.is_retired(id)
-                    && matches!(overlay.kind(id), OverlayKind::Writer(_))
-                {
+                if !overlay.is_retired(id) && matches!(overlay.kind(id), OverlayKind::Writer(_)) {
                     Some(Mutex::new(WindowBuffer::new(window)))
                 } else {
                     None

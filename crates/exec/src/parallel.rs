@@ -164,8 +164,7 @@ where
     /// queueing model).
     pub fn submit_write(&self, v: NodeId, value: i64, ts: u64) {
         let tasks = self.core.write_local(v, value, ts);
-        self.pending
-            .fetch_add(tasks.len() as u64, Ordering::AcqRel);
+        self.pending.fetch_add(tasks.len() as u64, Ordering::AcqRel);
         for (n, op) in tasks {
             self.write_tx
                 .send(WriteMsg::Micro(n, op))

@@ -32,8 +32,8 @@ pub fn frontier(ov: &Overlay, d: &Decisions) -> Vec<(OverlayId, FrontierSide)> {
             continue; // writers always push
         }
         if d.is_push(n) {
-            let all_consumers_pull = !ov.outputs(n).is_empty()
-                && ov.outputs(n).iter().all(|&(t, _)| !d.is_push(t));
+            let all_consumers_pull =
+                !ov.outputs(n).is_empty() && ov.outputs(n).iter().all(|&(t, _)| !d.is_push(t));
             let is_sink = ov.outputs(n).is_empty();
             if all_consumers_pull || is_sink {
                 out.push((n, FrontierSide::PushBoundary));

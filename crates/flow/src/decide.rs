@@ -165,13 +165,8 @@ impl Decisions {
     /// Check the §4.3 consistency constraint: no edge from a pull node to a
     /// push node.
     pub fn is_valid(&self, ov: &Overlay) -> bool {
-        ov.ids().all(|u| {
-            self.is_push(u)
-                || ov
-                    .outputs(u)
-                    .iter()
-                    .all(|&(t, _)| !self.is_push(t))
-        })
+        ov.ids()
+            .all(|u| self.is_push(u) || ov.outputs(u).iter().all(|&(t, _)| !self.is_push(t)))
     }
 
     /// Total expected cost `Σ_{v∈X} PUSH(v) + Σ_{v∈Y} PULL(v)` under the
@@ -342,10 +337,7 @@ pub fn decide_maxflow(ov: &Overlay, costs: &[(f64, f64)]) -> DecisionOutcome {
         components.push(members);
     }
 
-    let mut of: Vec<Decision> = forced
-        .iter()
-        .map(|f| f.unwrap_or(Decision::Push))
-        .collect();
+    let mut of: Vec<Decision> = forced.iter().map(|f| f.unwrap_or(Decision::Push)).collect();
 
     // Solve each component independently (Theorem 4.2 lets us ignore
     // pruned neighbors entirely).
@@ -583,10 +575,7 @@ mod tests {
         // prefers pull but sr prefers push; both cannot have their local
         // optimum. Build: writer x → i3 → sr(reader) with crafted costs.
         let mut ov = {
-            let ag = BipartiteGraph::from_input_lists(
-                2,
-                vec![(NodeId(1), vec![NodeId(0)])],
-            );
+            let ag = BipartiteGraph::from_input_lists(2, vec![(NodeId(1), vec![NodeId(0)])]);
             Overlay::direct_from_bipartite(&ag)
         };
         let w = ov.writer(NodeId(0)).unwrap();

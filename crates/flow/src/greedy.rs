@@ -70,10 +70,10 @@ pub fn decide_greedy(ov: &Overlay, costs: &[(f64, f64)]) -> Decisions {
                 state[u.idx()] = State::Push;
             } else {
                 // Rule 5: local greedy over the tentative inputs + u.
-                let cost_if_push: f64 = tentative.iter().map(|f| costs[f.idx()].0).sum::<f64>()
-                    + push_cost;
-                let cost_if_pull: f64 = tentative.iter().map(|f| costs[f.idx()].1).sum::<f64>()
-                    + pull_cost;
+                let cost_if_push: f64 =
+                    tentative.iter().map(|f| costs[f.idx()].0).sum::<f64>() + push_cost;
+                let cost_if_pull: f64 =
+                    tentative.iter().map(|f| costs[f.idx()].1).sum::<f64>() + pull_cost;
                 if cost_if_push <= cost_if_pull {
                     for f in tentative {
                         state[f.idx()] = State::Push;

@@ -46,7 +46,10 @@ impl Dinic {
         let id = self.edges.len() as u32;
         self.edges.push(Edge { to: v as u32, cap });
         self.adj[u].push(id);
-        self.edges.push(Edge { to: u as u32, cap: 0 });
+        self.edges.push(Edge {
+            to: u as u32,
+            cap: 0,
+        });
         self.adj[v].push(id + 1);
     }
 

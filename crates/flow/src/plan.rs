@@ -122,8 +122,19 @@ pub fn plan(mut overlay: Overlay, rates: &Rates, cost: &CostModel, cfg: &Planner
 impl Plan {
     /// Re-run the §4.8 frontier adaptation with freshly observed
     /// frequencies. Returns the number of decision flips.
-    pub fn adapt(&mut self, observed: &Frequencies, cost: &CostModel, writer_window: usize) -> usize {
-        adaptive::adapt_frontier(&self.overlay, &mut self.decisions, observed, cost, writer_window)
+    pub fn adapt(
+        &mut self,
+        observed: &Frequencies,
+        cost: &CostModel,
+        writer_window: usize,
+    ) -> usize {
+        adaptive::adapt_frontier(
+            &self.overlay,
+            &mut self.decisions,
+            observed,
+            cost,
+            writer_window,
+        )
     }
 }
 
@@ -177,8 +188,16 @@ mod tests {
             DecisionAlgorithm::AllPush,
             DecisionAlgorithm::AllPull,
         ] {
-            let c = plan(paper_overlay(), &rates, &cost, &PlannerConfig { algorithm: alg, ..base })
-                .modeled_cost;
+            let c = plan(
+                paper_overlay(),
+                &rates,
+                &cost,
+                &PlannerConfig {
+                    algorithm: alg,
+                    ..base
+                },
+            )
+            .modeled_cost;
             assert!(opt <= c + 1e-9, "maxflow {opt} vs {alg:?} {c}");
         }
     }

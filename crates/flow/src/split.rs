@@ -104,10 +104,8 @@ mod tests {
     /// one hot writer.
     fn fig7_overlay() -> (Overlay, Rates) {
         // Writers 0..5 feed reader 10 through their direct edges.
-        let ag = BipartiteGraph::from_input_lists(
-            11,
-            vec![(NodeId(10), (0..5).map(NodeId).collect())],
-        );
+        let ag =
+            BipartiteGraph::from_input_lists(11, vec![(NodeId(10), (0..5).map(NodeId).collect())]);
         let ov = Overlay::direct_from_bipartite(&ag);
         let mut rates = Rates::uniform(11, 1.0);
         // Cold writers 0..4 (rate 1,2,3,4), hot writer 4 (rate 25); reads
@@ -168,10 +166,8 @@ mod tests {
 
     #[test]
     fn no_split_when_all_inputs_hot() {
-        let ag = BipartiteGraph::from_input_lists(
-            11,
-            vec![(NodeId(10), (0..5).map(NodeId).collect())],
-        );
+        let ag =
+            BipartiteGraph::from_input_lists(11, vec![(NodeId(10), (0..5).map(NodeId).collect())]);
         let mut ov = Overlay::direct_from_bipartite(&ag);
         let mut rates = Rates::uniform(11, 1.0);
         for w in rates.write.iter_mut() {

@@ -140,7 +140,11 @@ mod tests {
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let top10: f64 = sorted[..10].iter().sum();
         let total: f64 = sorted.iter().sum();
-        assert!(top10 / total > 0.2, "Zipf(1.0) top-10 share {}", top10 / total);
+        assert!(
+            top10 / total > 0.2,
+            "Zipf(1.0) top-10 share {}",
+            top10 / total
+        );
     }
 
     #[test]

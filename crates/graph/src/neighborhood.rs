@@ -112,7 +112,10 @@ mod tests {
     fn in_neighborhood_matches_paper() {
         let g = paper_example_graph();
         // N(a) = {c, d, e, f} per Fig 1(b).
-        assert_eq!(sorted(Neighborhood::In.select(&g, NodeId(0))), vec![2, 3, 4, 5]);
+        assert_eq!(
+            sorted(Neighborhood::In.select(&g, NodeId(0))),
+            vec![2, 3, 4, 5]
+        );
         // N(g) = everything.
         assert_eq!(
             sorted(Neighborhood::In.select(&g, NodeId(6))),
@@ -139,8 +142,14 @@ mod tests {
     #[test]
     fn two_hop() {
         let g = DataGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        assert_eq!(sorted(Neighborhood::KHopIn(2).select(&g, NodeId(3))), vec![1, 2]);
-        assert_eq!(sorted(Neighborhood::KHopOut(2).select(&g, NodeId(0))), vec![1, 2]);
+        assert_eq!(
+            sorted(Neighborhood::KHopIn(2).select(&g, NodeId(3))),
+            vec![1, 2]
+        );
+        assert_eq!(
+            sorted(Neighborhood::KHopOut(2).select(&g, NodeId(0))),
+            vec![1, 2]
+        );
         assert_eq!(Neighborhood::KHopIn(1).select(&g, NodeId(3)).len(), 1);
     }
 

@@ -521,8 +521,10 @@ mod tests {
         // Simpler: large Δ through rebuild — add many edges; the
         // direct-edge threshold eventually rebuilds the reader.
         let _ = (&mut g, &mut dynov); // base fixture unused in this test
-        let mut cfg = DynamicConfig::default();
-        cfg.direct_edge_threshold = 3;
+        let cfg = DynamicConfig {
+            direct_edge_threshold: 3,
+            ..Default::default()
+        };
         let g2 = paper_example_graph();
         let ag = BipartiteGraph::build(&g2, &nbh, |_| true);
         let (ov, _) = build_iob(&ag, &IobConfig::default());

@@ -169,7 +169,11 @@ impl FpTree {
             }
             for &c in &self.nodes[n as usize].children {
                 let hit = item_set.contains(&self.nodes[c as usize].item);
-                let (m2, g2) = if hit { (matched + 1, negs) } else { (matched, negs + 1) };
+                let (m2, g2) = if hit {
+                    (matched + 1, negs)
+                } else {
+                    (matched, negs + 1)
+                };
                 if g2 as usize <= max_neg_per_path {
                     stack.push((c, m2, g2));
                 }
@@ -289,7 +293,7 @@ impl FpTree {
                 })
             })
             .collect();
-        all.sort_by(|a, b| b.benefit.cmp(&a.benefit));
+        all.sort_by_key(|c| std::cmp::Reverse(c.benefit));
         all
     }
 }
@@ -380,7 +384,10 @@ mod tests {
         let c = t.child_with_item(d, 2).unwrap();
         let e = t.child_with_item(c, 4).unwrap();
         assert!(t.nodes[e as usize].members.contains(&1));
-        assert!(t.nodes[e as usize].penalty >= 1, "negative membership carries penalty");
+        assert!(
+            t.nodes[e as usize].penalty >= 1,
+            "negative membership carries penalty"
+        );
     }
 
     #[test]

@@ -361,9 +361,7 @@ impl IobState {
             // (and anything as large) via the bound; the carving may create
             // sub-aggregates shared with other parts of the overlay.
             let new_inputs = self.cover_bounded(&my_cov, my_len);
-            if new_inputs.len() < self.overlay.fan_in(v)
-                && new_inputs.iter().all(|&n| n != v)
-            {
+            if new_inputs.len() < self.overlay.fan_in(v) && new_inputs.iter().all(|&n| n != v) {
                 let old: Vec<_> = self.overlay.inputs(v).to_vec();
                 for (f, s) in old {
                     self.overlay.remove_edge(f, v, s);
@@ -509,6 +507,7 @@ mod tests {
         let n = |v: u32| NodeId(v);
         st.add_reader(n(4), &[n(0), n(1), n(2), n(3)]); // e_r
         st.add_reader(n(6), &[n(0), n(1), n(2), n(3), n(4), n(5)]); // g_r
+
         // One partial node covering {a,b,c,d} shared by e_r and g_r.
         assert_eq!(st.overlay.partial_count(), 1);
         let p = st

@@ -450,13 +450,19 @@ mod tests {
         for r in [2u32, 3, 4, 5, 6] {
             let rid = ov.reader(NodeId(r)).unwrap();
             for &it in &items {
-                assert!(ov.remove_edge(it, rid, Sign::Pos), "reader {r} had the edge");
+                assert!(
+                    ov.remove_edge(it, rid, Sign::Pos),
+                    "reader {r} had the edge"
+                );
             }
             ov.add_edge(pa1, rid, Sign::Pos);
         }
         // 5 readers × 3 edges = 15 removed; 3 + 5 added ⇒ 35 − 15 + 8 = 28.
         assert_eq!(ov.edge_count(), 28);
-        assert!((ov.sharing_index() - 0.2).abs() < 1e-9, "SI = 1 − 28/35 = 0.2");
+        assert!(
+            (ov.sharing_index() - 0.2).abs() < 1e-9,
+            "SI = 1 − 28/35 = 0.2"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl std::fmt::Display for ValidationError {
             ValidationError::ReaderWithOutput(n) => write!(f, "reader {n:?} has an output edge"),
             ValidationError::WriterWithInput(n) => write!(f, "writer {n:?} has an input edge"),
             ValidationError::NegativeEdgeNotAllowed(n) => {
-                write!(f, "negative edge into {n:?} but aggregate is not subtractable")
+                write!(
+                    f,
+                    "negative edge into {n:?} but aggregate is not subtractable"
+                )
             }
             ValidationError::WrongContribution {
                 reader,
@@ -180,10 +183,8 @@ pub fn validate_against(
         mult[n.idx()] = m;
 
         // Aggregation nodes must never hold net-negative contributions.
-        if !matches!(ov.kind(n), OverlayKind::Reader(_)) {
-            if mult[n.idx()].values().any(|&c| c < 0) {
-                return Err(ValidationError::NegativeMultiplicity(n));
-            }
+        if !matches!(ov.kind(n), OverlayKind::Reader(_)) && mult[n.idx()].values().any(|&c| c < 0) {
+            return Err(ValidationError::NegativeMultiplicity(n));
         }
     }
 

@@ -205,8 +205,16 @@ fn apply_candidate(
             .filter(|&&(_, s)| s == Sign::Pos)
             .map(|&(f, _)| f.0)
             .collect();
-        let matched: Vec<OverlayId> = item_ids.iter().copied().filter(|i| pos.contains(&i.0)).collect();
-        let missing: Vec<OverlayId> = item_ids.iter().copied().filter(|i| !pos.contains(&i.0)).collect();
+        let matched: Vec<OverlayId> = item_ids
+            .iter()
+            .copied()
+            .filter(|i| pos.contains(&i.0))
+            .collect();
+        let missing: Vec<OverlayId> = item_ids
+            .iter()
+            .copied()
+            .filter(|i| !pos.contains(&i.0))
+            .collect();
         let gain = match mode {
             RewireMode::Exact => {
                 if !missing.is_empty() {
@@ -304,7 +312,13 @@ pub fn build_vnm(ag: &BipartiteGraph, cfg: &VnmConfig) -> (Overlay, Vec<Iteratio
             .map(|&w| ov.writer(w).expect("writer exists").0)
             .collect();
         orig_items.sort_unstable();
-        ctx.insert(rid, ReaderCtx { orig_cov, orig_items });
+        ctx.insert(
+            rid,
+            ReaderCtx {
+                orig_cov,
+                orig_items,
+            },
+        );
     }
 
     let mode = match cfg.variant {
@@ -446,7 +460,13 @@ fn mine_group_once(
                 let mut sorted = list.clone();
                 sort_by_frequency(&mut sorted, &freq);
                 let set: FastSet<u32> = list.iter().copied().collect();
-                tree.insert_with_negatives(local as u32, &set, &sorted, max_paths, max_neg_per_path);
+                tree.insert_with_negatives(
+                    local as u32,
+                    &set,
+                    &sorted,
+                    max_paths,
+                    max_neg_per_path,
+                );
             }
             VnmVariant::Duplicate { .. } => {
                 // Insertion list = current items ∪ original writer items not
@@ -525,7 +545,7 @@ mod tests {
         // graph; at minimum the overlay must remain consistent.
         let neg_edges = ov
             .ids()
-            .flat_map(|n| ov.inputs(n).iter().copied().collect::<Vec<_>>())
+            .flat_map(|n| ov.inputs(n).to_vec())
             .filter(|&(_, s)| s == Sign::Neg)
             .count();
         let _ = neg_edges; // may be 0 on tiny graphs; correctness checked below

@@ -142,6 +142,10 @@ mod tests {
         for i in 0u64..10_000 {
             seen.insert(hash_one(i) >> 48);
         }
-        assert!(seen.len() > 1000, "top bits look degenerate: {}", seen.len());
+        assert!(
+            seen.len() > 1000,
+            "top bits look degenerate: {}",
+            seen.len()
+        );
     }
 }

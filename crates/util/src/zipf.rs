@@ -24,7 +24,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not finite and non-negative.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -114,8 +117,8 @@ mod tests {
         for _ in 0..trials {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..10 {
-            let observed = counts[k] as f64 / trials as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / trials as f64;
             let expected = z.pmf(k);
             assert!(
                 (observed - expected).abs() < 0.01,

@@ -14,12 +14,7 @@ use eagr::gen::{shifting_trace, Event, TraceConfig};
 use eagr::prelude::*;
 use std::time::Instant;
 
-fn run(
-    label: &str,
-    g: &DataGraph,
-    trace: &[Event],
-    adapt_every: Option<u64>,
-) -> Vec<f64> {
+fn run(label: &str, g: &DataGraph, trace: &[Event], adapt_every: Option<u64>) -> Vec<f64> {
     let n = g.id_bound();
     let sys = EagrSystem::builder(EgoQuery::new(Sum))
         .overlay(eagr::OverlayAlgorithm::Vnma)

@@ -54,8 +54,8 @@ fn main() {
         }
     }
     let mean = baseline.iter().sum::<f64>() / baseline.len() as f64;
-    let sd = (baseline.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / baseline.len() as f64)
-        .sqrt();
+    let sd =
+        (baseline.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / baseline.len() as f64).sqrt();
     println!("baseline neighborhood activity: mean {mean:.1}, σ {sd:.1}");
 
     // Attack phase: a colluding clique floods calls around node 42.
@@ -89,7 +89,9 @@ fn main() {
         println!("  node {v}: {c} calls in its ego network");
     }
     assert!(
-        flagged.iter().any(|&(v, _)| v == hot.0 || suspects.iter().any(|s| s.0 == v)),
+        flagged
+            .iter()
+            .any(|&(v, _)| v == hot.0 || suspects.iter().any(|s| s.0 == v)),
         "the flooded neighborhood must be flagged"
     );
     println!("\nflagged set includes the flooded neighborhood ✓");

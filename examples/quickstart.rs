@@ -15,7 +15,11 @@ use eagr::prelude::*;
 fn main() {
     // 1. The data graph G(V, E) — Fig 1(a).
     let g = paper_example_graph();
-    println!("data graph: {} nodes, {} edges", g.node_count(), g.edge_count());
+    println!(
+        "data graph: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
 
     // 2. The ego-centric aggregate query ⟨F, w, N, pred⟩: SUM of the most
     //    recent value written by each in-neighbor, for every node.

@@ -47,7 +47,7 @@ fn main() {
         n,
         &WorkloadConfig {
             events: 200_000,
-            write_to_read: 2.0, // twice as many posts as feed loads
+            write_to_read: 2.0,  // twice as many posts as feed loads
             value_universe: 500, // 500 trending topics
             ..Default::default()
         },

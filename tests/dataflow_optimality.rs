@@ -124,7 +124,9 @@ fn baselines_bracket_the_optimum() {
         let (ov, rates) = random_instance(seed);
         let f = propagate_frequencies(&ov, &rates);
         let costs = node_costs(&ov, &f, &CostModel::unit_sum(), 1);
-        let opt = decide_maxflow(&ov, &costs).decisions.total_cost(&ov, &costs);
+        let opt = decide_maxflow(&ov, &costs)
+            .decisions
+            .total_cost(&ov, &costs);
         let push = Decisions::all_push(&ov).total_cost(&ov, &costs);
         let pull = Decisions::all_pull(&ov).total_cost(&ov, &costs);
         assert!(opt <= push + 1e-9, "seed {seed}");

@@ -156,8 +156,10 @@ fn bulk_neighborhood_growth_builds_aggregates() {
     let nbh = Neighborhood::In;
     let ag = BipartiteGraph::build(&g, &nbh, |_| true);
     let (ov, _) = build_iob(&ag, &IobConfig::default());
-    let mut cfg = DynamicConfig::default();
-    cfg.delta_threshold = 2;
+    let cfg = DynamicConfig {
+        delta_threshold: 2,
+        ..Default::default()
+    };
     let mut dynov = DynamicOverlay::new(ov, nbh.clone(), sum_props(), cfg);
 
     // Two readers acquire the same 12 new in-neighbors; the repair should

@@ -41,7 +41,10 @@ fn trend_feed_scenario_with_splitting() {
         }
     }
     let st = sys.stats();
-    assert!(st.sharing_index > 0.0, "social graph should still share some");
+    assert!(
+        st.sharing_index > 0.0,
+        "social graph should still share some"
+    );
     assert!(st.overlay_edges < st.bipartite_edges);
 }
 

@@ -113,18 +113,66 @@ fn max_across_duplicate_insensitive_overlays() {
 fn all_aggregates_on_vnmn_overlay() {
     // Negative edges exercise `unmerge` on every subtractable aggregate.
     let g = social_graph(120, 5, 33);
-    replay_and_check(&g, Sum, WindowSpec::Tuple(3), Neighborhood::In,
-        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 3);
-    replay_and_check(&g, Count, WindowSpec::Tuple(3), Neighborhood::In,
-        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 4);
-    replay_and_check(&g, TopK::new(3), WindowSpec::Tuple(3), Neighborhood::In,
-        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 5);
-    replay_and_check(&g, Distinct, WindowSpec::Tuple(3), Neighborhood::In,
-        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 6);
-    replay_and_check(&g, Avg, WindowSpec::Tuple(3), Neighborhood::In,
-        OverlayAlgorithm::Vnmn, DecisionAlgorithm::MaxFlow, 2500, 7);
-    replay_and_check(&g, Min, WindowSpec::Tuple(3), Neighborhood::In,
-        OverlayAlgorithm::Vnma, DecisionAlgorithm::MaxFlow, 2500, 8);
+    replay_and_check(
+        &g,
+        Sum,
+        WindowSpec::Tuple(3),
+        Neighborhood::In,
+        OverlayAlgorithm::Vnmn,
+        DecisionAlgorithm::MaxFlow,
+        2500,
+        3,
+    );
+    replay_and_check(
+        &g,
+        Count,
+        WindowSpec::Tuple(3),
+        Neighborhood::In,
+        OverlayAlgorithm::Vnmn,
+        DecisionAlgorithm::MaxFlow,
+        2500,
+        4,
+    );
+    replay_and_check(
+        &g,
+        TopK::new(3),
+        WindowSpec::Tuple(3),
+        Neighborhood::In,
+        OverlayAlgorithm::Vnmn,
+        DecisionAlgorithm::MaxFlow,
+        2500,
+        5,
+    );
+    replay_and_check(
+        &g,
+        Distinct,
+        WindowSpec::Tuple(3),
+        Neighborhood::In,
+        OverlayAlgorithm::Vnmn,
+        DecisionAlgorithm::MaxFlow,
+        2500,
+        6,
+    );
+    replay_and_check(
+        &g,
+        Avg,
+        WindowSpec::Tuple(3),
+        Neighborhood::In,
+        OverlayAlgorithm::Vnmn,
+        DecisionAlgorithm::MaxFlow,
+        2500,
+        7,
+    );
+    replay_and_check(
+        &g,
+        Min,
+        WindowSpec::Tuple(3),
+        Neighborhood::In,
+        OverlayAlgorithm::Vnma,
+        DecisionAlgorithm::MaxFlow,
+        2500,
+        8,
+    );
 }
 
 #[test]
@@ -169,10 +217,26 @@ fn two_hop_neighborhoods() {
 #[test]
 fn out_and_undirected_neighborhoods() {
     let g = web_graph(100, 6, 0.8, 66);
-    replay_and_check(&g, Sum, WindowSpec::Tuple(1), Neighborhood::Out,
-        OverlayAlgorithm::Vnma, DecisionAlgorithm::MaxFlow, 1500, 11);
-    replay_and_check(&g, Sum, WindowSpec::Tuple(1), Neighborhood::Undirected,
-        OverlayAlgorithm::Vnma, DecisionAlgorithm::MaxFlow, 1500, 12);
+    replay_and_check(
+        &g,
+        Sum,
+        WindowSpec::Tuple(1),
+        Neighborhood::Out,
+        OverlayAlgorithm::Vnma,
+        DecisionAlgorithm::MaxFlow,
+        1500,
+        11,
+    );
+    replay_and_check(
+        &g,
+        Sum,
+        WindowSpec::Tuple(1),
+        Neighborhood::Undirected,
+        OverlayAlgorithm::Vnma,
+        DecisionAlgorithm::MaxFlow,
+        1500,
+        12,
+    );
 }
 
 #[test]

@@ -20,7 +20,11 @@ use proptest::prelude::*;
 
 /// Model-check one aggregate: any interleaving of inserts and removes
 /// (removes only of present values) must finalize like the multiset model.
-fn check_against_multiset<A: Aggregate>(agg: &A, ops: &[(bool, i64)], model_finalize: impl Fn(&[i64]) -> A::Output) {
+fn check_against_multiset<A: Aggregate>(
+    agg: &A,
+    ops: &[(bool, i64)],
+    model_finalize: impl Fn(&[i64]) -> A::Output,
+) {
     let mut p = agg.empty();
     let mut model: Vec<i64> = Vec::new();
     for &(insert, v) in ops {
@@ -137,7 +141,7 @@ proptest! {
             w.push(now, v, &mut sink);
         }
         // All retained timestamps are within the horizon.
-        prop_assert!(w.len() >= 1); // the newest value always survives
+        prop_assert!(!w.is_empty()); // the newest value always survives
         let newest_cutoff = now.checked_sub(horizon);
         if let Some(cut) = newest_cutoff {
             let _ = cut;

@@ -1,0 +1,49 @@
+//! Smoke test pinning the public facade API exactly as the crate-level
+//! doctest in `crates/core/src/lib.rs` presents it: builder construction,
+//! write/read round-trip, and the prelude surface. If this breaks, the
+//! README / doc quick-start is broken too.
+
+use eagr::prelude::*;
+
+#[test]
+fn quickstart_doctest_path_works() {
+    // Mirrors the `eagr` crate-level doctest line for line.
+    let g = eagr::gen::social_graph(200, 4, 7);
+    let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+
+    sys.write(NodeId(3), 10, 0);
+    sys.write(NodeId(5), 32, 1);
+    let trend = sys.read(NodeId(0));
+    assert!(trend.is_some());
+}
+
+#[test]
+fn facade_reexports_all_subsystem_modules() {
+    // One symbol per re-exported module: if a module vanishes from the
+    // facade, this stops compiling.
+    let _ = eagr::util::SplitMix64::new(1);
+    let g = eagr::graph::DataGraph::with_nodes(2);
+    let _ = eagr::agg::Sum;
+    let ag = eagr::graph::BipartiteGraph::build(&g, &eagr::graph::Neighborhood::In, |_| true);
+    let _ = eagr::overlay::Overlay::direct_from_bipartite(&ag);
+    let _ = eagr::flow::Rates::uniform(2, 1.0);
+    let _ = eagr::exec::ParallelConfig::default();
+    let _ = eagr::gen::erdos_renyi(4, 1.0, 1);
+}
+
+#[test]
+fn write_then_read_reflects_neighbor_values() {
+    // A concrete graph where the expected aggregate is computable by hand:
+    // the paper's 7-node running example under SUM over in-neighbors.
+    let g = eagr::graph::paper_example_graph();
+    let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+    for (ts, v) in g.nodes().enumerate() {
+        sys.write(v, 1, ts as u64);
+    }
+    for v in g.nodes() {
+        let n = g.in_neighbors(v).len() as i64;
+        if n > 0 {
+            assert_eq!(sys.read(v), Some(n), "reader {v:?}");
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! A std-based stand-in for the `crossbeam` channels (see
+//! `vendor/README.md`). Only [`channel`] is provided.
+
+pub mod channel;

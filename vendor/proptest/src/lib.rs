@@ -1,0 +1,133 @@
+//! Deterministic stand-in for the `proptest` property-testing framework
+//! (see `vendor/README.md`).
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` header, `ident in strategy` argument
+//! binding, range / tuple / `collection::vec` / [`any`] strategies, and the
+//! `prop_assert*` macros. Differences from the real crate:
+//!
+//! * generation is **deterministic** — the RNG is seeded from the test's
+//!   module path and name, so every run explores the same cases (good for
+//!   CI reproducibility, bad for discovering brand-new counterexamples);
+//! * there is **no shrinking** — a failing case panics with the iteration
+//!   number; re-running reproduces it exactly;
+//! * `prop_assert!` / `prop_assert_eq!` panic immediately instead of
+//!   returning `Err(TestCaseError)`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ..) {..}`
+/// becomes a `#[test]` that generates `cases` inputs and runs the body on
+/// each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut __proptest_rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __proptest_case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    let case_fn = || $body;
+                    case_fn();
+                    let _ = __proptest_case;
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -50i64..50, y in 1usize..8, z in 0.25f64..0.75) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..8).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn vec_of_tuples_sizes(v in crate::collection::vec((any::<bool>(), 0i64..10), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for (_, x) in v {
+                prop_assert!((0..10).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::TestRng;
+        let s = crate::collection::vec(0i64..1000, 5..50);
+        let mut a = TestRng::from_name("det");
+        let mut b = TestRng::from_name("det");
+        for _ in 0..10 {
+            prop_assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}
