@@ -5,10 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eagr::agg::{Aggregate, Max, Sum, TopK, WindowSpec};
-use eagr::exec::EngineCore;
+use eagr::exec::{EngineCore, ParallelConfig, ParallelEngine, ShardedConfig, ShardedEngine};
 use eagr::flow::{Decisions, Dinic};
-use eagr::gen::Dataset;
-use eagr::graph::{BipartiteGraph, Neighborhood, NodeId};
+use eagr::gen::{generate_events, Dataset, Event, WorkloadConfig};
+use eagr::graph::{BipartiteGraph, Neighborhood, NodeId, PartitionStrategy};
 use eagr::overlay::fptree::FpTree;
 use eagr::overlay::shingle::shingles;
 use eagr::overlay::Overlay;
@@ -17,10 +17,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn quick() -> Criterion {
+    // `--quick` (nightly CI) shrinks the sampling further so the full
+    // criterion suite stays a smoke test.
+    let (samples, measure_ms, warm_ms) = if eagr_bench::quick() {
+        (10, 200, 100)
+    } else {
+        (20, 600, 200)
+    };
     Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_millis(600))
-        .warm_up_time(Duration::from_millis(200))
+        .sample_size(samples)
+        .measurement_time(Duration::from_millis(measure_ms))
+        .warm_up_time(Duration::from_millis(warm_ms))
 }
 
 /// H(k): one push (insert+remove pair) into a PAO of k values.
@@ -195,9 +202,91 @@ fn bench_engine_ops(c: &mut Criterion) {
     });
 }
 
+/// Write ingestion paths over the same graph, decisions, and event batch:
+/// per-event single-threaded, per-event two-pool (queueing model), and
+/// sharded batch ingestion — the micro view of fig14(d).
+fn bench_write_ingestion(c: &mut Criterion) {
+    let g = Dataset::LiveJournalLike.build(0.2, 0xF00D);
+    let n = g.id_bound();
+    let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+    let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+    let decisions = Decisions::all_push(&ov);
+    let batch: Vec<Event> = generate_events(
+        n,
+        &WorkloadConfig {
+            events: 2000,
+            write_to_read: 1e9,
+            seed: 0xF00D,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("write_ingestion_2k_events");
+
+    let single = EngineCore::new(Sum, Arc::clone(&ov), &decisions, WindowSpec::Tuple(1));
+    let mut ts = 0u64;
+    group.bench_function("per_event_single_thread", |b| {
+        b.iter(|| {
+            for e in &batch {
+                if let Event::Write { node, value } = *e {
+                    single.write(node, value, ts);
+                    ts += 1;
+                }
+            }
+        })
+    });
+
+    let pooled = ParallelEngine::new(
+        Arc::new(EngineCore::new(
+            Sum,
+            Arc::clone(&ov),
+            &decisions,
+            WindowSpec::Tuple(1),
+        )),
+        ParallelConfig::default(),
+    );
+    let mut ts = 0u64;
+    group.bench_function("per_event_two_pool_drained", |b| {
+        b.iter(|| {
+            for e in &batch {
+                if let Event::Write { node, value } = *e {
+                    pooled.submit_write(node, value, ts);
+                    ts += 1;
+                }
+            }
+            pooled.drain();
+        })
+    });
+
+    for shards in [2usize, 4] {
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &decisions,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards,
+                strategy: PartitionStrategy::Chunk { chunk_size: 64 },
+                channel_capacity: 1 << 12,
+            },
+        );
+        let mut ts = 0u64;
+        group.bench_function(format!("batched_sharded_x{shards}_epoch"), |b| {
+            b.iter(|| {
+                // Borrowing entry point: no per-iteration batch clone, so
+                // the timed region matches the per-event variants.
+                eng.ingest_epoch_at(&batch, ts);
+                ts += batch.len() as u64;
+            })
+        });
+        eng.shutdown();
+    }
+    pooled.shutdown();
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_push_cost, bench_pull_cost, bench_shingles, bench_fptree, bench_maxflow, bench_engine_ops
+    targets = bench_push_cost, bench_pull_cost, bench_shingles, bench_fptree, bench_maxflow, bench_engine_ops, bench_write_ingestion
 }
 criterion_main!(benches);

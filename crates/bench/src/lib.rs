@@ -24,7 +24,7 @@ pub fn quick() -> bool {
 }
 
 /// Global size multiplier from `EAGR_BENCH_SCALE`, divided by
-/// [`QUICK_DIVISOR`] in `--quick` mode.
+/// `QUICK_DIVISOR` (4) in `--quick` mode.
 pub fn scale() -> f64 {
     let base = std::env::var("EAGR_BENCH_SCALE")
         .ok()

@@ -33,8 +33,8 @@
 //! | [`agg`] | aggregate API (PAOs), built-ins, windows, cost model | §2.2.3, §4.2 |
 //! | [`overlay`] | overlay structure, FP-tree mining, VNM/VNM_A/VNM_N/VNM_D, IOB, dynamic maintenance | §2.2.1, §3 |
 //! | [`flow`] | push/pull frequencies, max-flow decisions, pruning, greedy, splitting, adaptation | §4 |
-//! | [`exec`] | single-/multi-threaded engines, runtime adaptation, metrics | §2.2.2 |
-//! | [`gen`] | synthetic graphs, Zipfian workloads, shifting traces | §5.1 |
+//! | [`exec`] | single-threaded, two-pool, and sharded engines; runtime adaptation; metrics | §2.2.2 |
+//! | [`gen`] | synthetic graphs, Zipfian workloads, event batches, shifting traces | §5.1 |
 
 pub mod oracle;
 pub mod query;
@@ -42,7 +42,7 @@ pub mod system;
 
 pub use oracle::NaiveOracle;
 pub use query::{EgoQuery, NodePredicate, QueryMode};
-pub use system::{EagrSystem, OverlayAlgorithm, SystemBuilder, SystemStats};
+pub use system::{EagrSystem, ExecutionMode, OverlayAlgorithm, SystemBuilder, SystemStats};
 
 pub use eagr_agg as agg;
 pub use eagr_exec as exec;
@@ -56,11 +56,12 @@ pub use eagr_util as util;
 pub mod prelude {
     pub use crate::oracle::NaiveOracle;
     pub use crate::query::{EgoQuery, QueryMode};
-    pub use crate::system::{EagrSystem, OverlayAlgorithm, SystemStats};
+    pub use crate::system::{EagrSystem, ExecutionMode, OverlayAlgorithm, SystemStats};
     pub use eagr_agg::{
         Aggregate, Avg, CostModel, Count, Distinct, Max, Min, Sum, TopK, WindowSpec,
     };
-    pub use eagr_exec::{throughput, LatencyRecorder, ParallelConfig};
+    pub use eagr_exec::{throughput, LatencyRecorder, ParallelConfig, ShardedConfig};
     pub use eagr_flow::{DecisionAlgorithm, Rates};
+    pub use eagr_gen::{batch_events, EventBatch};
     pub use eagr_graph::{DataGraph, Neighborhood, NodeId};
 }

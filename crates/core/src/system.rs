@@ -3,12 +3,35 @@
 
 use crate::query::{EgoQuery, QueryMode};
 use eagr_agg::{Aggregate, CostModel};
-use eagr_exec::{AdaptiveEngine, EngineCore, ParallelConfig, ParallelEngine};
+use eagr_exec::{
+    AdaptiveEngine, EngineCore, ParallelConfig, ParallelEngine, ShardedConfig, ShardedEngine,
+};
 use eagr_flow::{plan, DecisionAlgorithm, Plan, PlannerConfig, Rates};
-use eagr_gen::Event;
+use eagr_gen::{Event, EventBatch};
 use eagr_graph::{BipartiteGraph, DataGraph, NodeId};
 use eagr_overlay::{build_iob, build_vnm, metrics, IobConfig, IterationStats, Overlay, VnmConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// How a compiled system executes its workload.
+#[derive(Clone, Copy, Debug)]
+pub enum ExecutionMode {
+    /// The §2.2.2 uni-thread baseline: every operation runs synchronously
+    /// on the calling thread.
+    SingleThreaded,
+    /// The paper's two-pool model: batch ingestion fans writes out as
+    /// PAO-granularity micro-tasks over a shared queue (point `write`s and
+    /// `read`s stay synchronous on the shared core).
+    TwoPool(ParallelConfig),
+    /// The shard-owned runtime: overlay nodes are partitioned across
+    /// worker-owned shards, writes are ingested in batches, and
+    /// cross-shard propagation travels as batched deltas drained in
+    /// epochs.
+    Sharded {
+        /// Number of shards (owning worker threads).
+        shards: usize,
+    },
+}
 
 /// Which overlay construction algorithm to run (§3.2 + the direct/baseline
 /// structure).
@@ -37,6 +60,7 @@ pub struct SystemBuilder<A: Aggregate> {
     query: EgoQuery<A>,
     overlay_algorithm: OverlayAlgorithm,
     decision_algorithm: DecisionAlgorithm,
+    execution: ExecutionMode,
     rates: Option<Rates>,
     cost: Option<CostModel>,
     split: bool,
@@ -50,11 +74,18 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
             query,
             overlay_algorithm: OverlayAlgorithm::Vnma,
             decision_algorithm: DecisionAlgorithm::MaxFlow,
+            execution: ExecutionMode::SingleThreaded,
             rates: None,
             cost: None,
             split: true,
             writer_window: 1,
         }
+    }
+
+    /// Choose the execution mode (default single-threaded).
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
     }
 
     /// Choose the overlay construction algorithm (default VNM_A).
@@ -95,7 +126,10 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     }
 
     /// Compile the system against a data graph.
-    pub fn build(self, graph: &DataGraph) -> EagrSystem<A> {
+    pub fn build(self, graph: &DataGraph) -> EagrSystem<A>
+    where
+        A::Output: Send,
+    {
         let props = self.query.aggregate.props();
         let pred = Arc::clone(&self.query.predicate);
         let ag = BipartiteGraph::build(graph, &self.query.neighborhood, move |v| pred(v));
@@ -122,7 +156,7 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
             QueryMode::Continuous => DecisionAlgorithm::AllPush,
             QueryMode::QuasiContinuous => self.decision_algorithm,
         };
-        let p = plan(
+        let mut p = plan(
             overlay,
             &rates,
             &cost,
@@ -133,31 +167,76 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
                 push_amplification: 2.0,
             },
         );
-        let core = EngineCore::new(
-            self.query.aggregate.clone(),
-            Arc::new(p.overlay.clone()),
-            &p.decisions,
-            self.query.window,
-        );
+        let runtime = match self.execution {
+            ExecutionMode::SingleThreaded => {
+                let core = EngineCore::new(
+                    self.query.aggregate.clone(),
+                    Arc::new(p.overlay.clone()),
+                    &p.decisions,
+                    self.query.window,
+                );
+                Runtime::Local(Arc::new(core))
+            }
+            ExecutionMode::TwoPool(cfg) => {
+                let core = Arc::new(EngineCore::new(
+                    self.query.aggregate.clone(),
+                    Arc::new(p.overlay.clone()),
+                    &p.decisions,
+                    self.query.window,
+                ));
+                let engine = ParallelEngine::new(Arc::clone(&core), cfg);
+                Runtime::TwoPool { core, engine }
+            }
+            ExecutionMode::Sharded { shards } => {
+                let cfg = ShardedConfig::with_shards(shards.max(1));
+                // The plan carries the partition so planner and engine
+                // agree on shard ownership.
+                p = p.with_partition(cfg.shards, cfg.strategy);
+                let engine = ShardedEngine::from_plan(
+                    &p,
+                    self.query.aggregate.clone(),
+                    self.query.window,
+                    &cfg,
+                );
+                Runtime::Sharded(engine)
+            }
+        };
         EagrSystem {
-            core: Arc::new(core),
+            runtime,
             plan: p,
             bipartite: ag,
             construction,
             cost,
             writer_window: self.writer_window,
+            clock: AtomicU64::new(0),
         }
     }
 }
 
+/// The engine a compiled system dispatches to, per [`ExecutionMode`].
+enum Runtime<A: Aggregate> {
+    /// Synchronous execution on the shared core.
+    Local(Arc<EngineCore<A>>),
+    /// Shared core + resident two-pool engine for batch ingestion.
+    TwoPool {
+        core: Arc<EngineCore<A>>,
+        engine: ParallelEngine<A>,
+    },
+    /// Shard-owned runtime (PAOs live in shard slabs inside the engine).
+    Sharded(ShardedEngine<A>),
+}
+
 /// A compiled, runnable EAGr instance.
 pub struct EagrSystem<A: Aggregate> {
-    core: Arc<EngineCore<A>>,
+    runtime: Runtime<A>,
     plan: Plan,
     bipartite: BipartiteGraph,
     construction: Vec<IterationStats>,
     cost: CostModel,
     writer_window: usize,
+    /// Timestamp source for [`EagrSystem::ingest`]: events are stamped
+    /// with consecutive stream positions across calls.
+    clock: AtomicU64,
 }
 
 /// Structural summary of a compiled system.
@@ -192,56 +271,167 @@ impl<A: Aggregate> EagrSystem<A> {
     }
 
     /// Apply a content update (a *write* on `v`).
+    ///
+    /// Synchronous in the local modes; in [`ExecutionMode::Sharded`] the
+    /// write is routed to its owning shard and drained (one single-event
+    /// epoch) — use [`ingest`](Self::ingest) / [`write_batch`](Self::write_batch)
+    /// for throughput. Returns PAO updates performed where known (0 in
+    /// sharded mode).
     pub fn write(&self, v: NodeId, value: i64, ts: u64) -> usize {
-        self.core.write(v, value, ts)
+        match &self.runtime {
+            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.write(v, value, ts),
+            Runtime::Sharded(eng) => {
+                eng.submit_write(v, value, ts);
+                eng.drain();
+                0
+            }
+        }
     }
 
     /// Evaluate the query at `v` (a *read* on `v`).
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
-        self.core.read(v)
+        match &self.runtime {
+            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.read(v),
+            Runtime::Sharded(eng) => eng.read(v),
+        }
     }
 
     /// Expire time-window values.
     pub fn advance_time(&self, ts: u64) -> usize {
-        self.core.advance_time(ts)
+        match &self.runtime {
+            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.advance_time(ts),
+            Runtime::Sharded(eng) => eng.core().advance_time(ts),
+        }
+    }
+
+    /// Apply one timestamped batch through the mode's batch path and wait
+    /// for it to be fully applied; returns `(writes, reads)` executed.
+    ///
+    /// * single-threaded — synchronous replay;
+    /// * two-pool — writes become queued micro-tasks, fire-and-forget
+    ///   reads go to the read pool, then the pools are drained;
+    /// * sharded — one ingestion epoch ([`ShardedEngine::ingest_epoch`]).
+    pub fn write_batch(&self, batch: &EventBatch) -> (usize, usize)
+    where
+        A::Output: Send,
+    {
+        self.apply_batch(&batch.events, batch.base_ts)
+    }
+
+    /// Ingest a run of events through the mode's batch path, stamping them
+    /// with consecutive stream positions (continuing across calls);
+    /// returns `(writes, reads)` executed. Equivalent to
+    /// [`write_batch`](Self::write_batch) with an automatic base
+    /// timestamp.
+    pub fn ingest(&self, events: &[Event]) -> (usize, usize)
+    where
+        A::Output: Send,
+    {
+        let base_ts = self.clock.fetch_add(events.len() as u64, Ordering::Relaxed);
+        self.apply_batch(events, base_ts)
+    }
+
+    /// The shared borrowing batch path behind [`write_batch`](Self::write_batch)
+    /// and [`ingest`](Self::ingest); event `i` carries `base_ts + i`.
+    fn apply_batch(&self, events: &[Event], base_ts: u64) -> (usize, usize)
+    where
+        A::Output: Send,
+    {
+        // Keep the ingest clock ahead of explicitly timestamped batches so
+        // mixed use of write_batch and ingest stays monotonic.
+        self.clock
+            .fetch_max(base_ts + events.len() as u64, Ordering::Relaxed);
+        match &self.runtime {
+            Runtime::Local(core) => {
+                let mut writes = 0;
+                let mut reads = 0;
+                for (i, e) in events.iter().enumerate() {
+                    match *e {
+                        Event::Write { node, value } => {
+                            core.write(node, value, base_ts + i as u64);
+                            writes += 1;
+                        }
+                        Event::Read { node } => {
+                            std::hint::black_box(core.read(node));
+                            reads += 1;
+                        }
+                    }
+                }
+                (writes, reads)
+            }
+            Runtime::TwoPool { engine, .. } => {
+                let mut writes = 0;
+                let mut reads = 0;
+                for (i, e) in events.iter().enumerate() {
+                    match *e {
+                        Event::Write { node, value } => {
+                            engine.submit_write(node, value, base_ts + i as u64);
+                            writes += 1;
+                        }
+                        Event::Read { node } => {
+                            engine.submit_read(node);
+                            reads += 1;
+                        }
+                    }
+                }
+                engine.drain();
+                (writes, reads)
+            }
+            Runtime::Sharded(eng) => eng.ingest_epoch_at(events, base_ts),
+        }
     }
 
     /// Apply a generated event stream; returns (writes, reads) executed.
-    pub fn run_events(&self, events: &[Event]) -> (usize, usize) {
-        let mut writes = 0;
-        let mut reads = 0;
-        for (ts, e) in events.iter().enumerate() {
-            match *e {
-                Event::Write { node, value } => {
-                    self.write(node, value, ts as u64);
-                    writes += 1;
-                }
-                Event::Read { node } => {
-                    std::hint::black_box(self.read(node));
-                    reads += 1;
-                }
-            }
-        }
-        (writes, reads)
+    pub fn run_events(&self, events: &[Event]) -> (usize, usize)
+    where
+        A::Output: Send,
+    {
+        self.ingest(events)
+    }
+
+    /// Current stream position of the [`ingest`](Self::ingest) clock: the
+    /// timestamp the next auto-stamped event will receive.
+    pub fn stream_position(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
     }
 
     /// The shared engine core (for parallel or adaptive execution).
+    ///
+    /// # Panics
+    /// Panics in [`ExecutionMode::Sharded`], where PAO state lives in
+    /// shard slabs — use [`sharded_engine`](Self::sharded_engine) instead.
     pub fn core(&self) -> &Arc<EngineCore<A>> {
-        &self.core
+        match &self.runtime {
+            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core,
+            Runtime::Sharded(_) => {
+                panic!("core() requires a local execution mode; use sharded_engine()")
+            }
+        }
     }
 
-    /// Spawn a multi-threaded engine over this system's state.
+    /// The resident sharded engine, when built with
+    /// [`ExecutionMode::Sharded`].
+    pub fn sharded_engine(&self) -> Option<&ShardedEngine<A>> {
+        match &self.runtime {
+            Runtime::Sharded(eng) => Some(eng),
+            _ => None,
+        }
+    }
+
+    /// Spawn a multi-threaded engine over this system's state (local
+    /// modes only; see [`core`](Self::core)).
     pub fn parallel(&self, cfg: ParallelConfig) -> ParallelEngine<A>
     where
         A::Output: Send,
     {
-        ParallelEngine::new(Arc::clone(&self.core), cfg)
+        ParallelEngine::new(Arc::clone(self.core()), cfg)
     }
 
-    /// Wrap the engine with §4.8 runtime adaptation.
+    /// Wrap the engine with §4.8 runtime adaptation (local modes only; see
+    /// [`core`](Self::core)).
     pub fn adaptive(&self, check_every: u64) -> AdaptiveEngine<A> {
         AdaptiveEngine::new(
-            Arc::clone(&self.core),
+            Arc::clone(self.core()),
             self.cost,
             self.writer_window,
             check_every,
@@ -352,6 +542,119 @@ mod tests {
         assert!(st.sharing_index <= 1.0);
         assert!(st.push_nodes <= sys.overlay().node_count());
         assert!(st.average_depth >= 1.0);
+    }
+
+    #[test]
+    fn sharded_mode_matches_oracle_after_epochs() {
+        let g = social_graph(150, 4, 11);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum))
+            .overlay(OverlayAlgorithm::Vnma)
+            .execution(ExecutionMode::Sharded { shards: 4 })
+            .build(&g);
+        assert!(sys.sharded_engine().is_some());
+        let mut oracle = NaiveOracle::new(Sum, WindowSpec::Tuple(1), Neighborhood::In);
+        let events = generate_events(
+            150,
+            &WorkloadConfig {
+                events: 4000,
+                write_to_read: 1e9,
+                seed: 12,
+                ..Default::default()
+            },
+        );
+        let mut ts = 0u64;
+        for batch in eagr_gen::batch_events(&events, 512, 0) {
+            sys.write_batch(&batch);
+            for (e, _) in batch.iter_timed() {
+                if let Event::Write { node, value } = *e {
+                    oracle.write(node, value, ts);
+                }
+                ts += 1;
+            }
+        }
+        for v in 0..150u32 {
+            if let Some(got) = sys.read(NodeId(v)) {
+                assert_eq!(got, oracle.read(&g, NodeId(v)), "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_pool_mode_ingests_batches() {
+        let g = social_graph(100, 3, 13);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum))
+            .execution(ExecutionMode::TwoPool(ParallelConfig {
+                write_threads: 2,
+                read_threads: 1,
+            }))
+            .build(&g);
+        let events = generate_events(
+            100,
+            &WorkloadConfig {
+                events: 2000,
+                write_to_read: 3.0,
+                seed: 14,
+                ..Default::default()
+            },
+        );
+        let (w, r) = sys.ingest(&events);
+        assert_eq!(w + r, 2000);
+        // Point ops remain synchronous on the shared core.
+        sys.write(NodeId(0), 5, 1_000_000);
+        let _ = sys.read(NodeId(1));
+    }
+
+    #[test]
+    fn ingest_clock_is_monotonic_across_calls() {
+        let g = social_graph(60, 3, 15);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        let events = generate_events(
+            60,
+            &WorkloadConfig {
+                events: 100,
+                ..Default::default()
+            },
+        );
+        sys.ingest(&events);
+        assert_eq!(sys.stream_position(), 100);
+        // An explicitly timestamped batch pushes the clock forward…
+        sys.write_batch(&eagr_gen::EventBatch::new(500, events.clone()));
+        assert_eq!(sys.stream_position(), 600);
+        // …so a later ingest never re-issues timestamps 100..200.
+        sys.ingest(&events);
+        assert_eq!(sys.stream_position(), 700);
+    }
+
+    #[test]
+    fn batch_counts_agree_across_modes() {
+        // paper_example_graph: node g feeds nobody, so its writes have no
+        // overlay writer — they must still count as processed writes in
+        // every mode.
+        let g = eagr_graph::paper_example_graph();
+        let events = generate_events(
+            7,
+            &WorkloadConfig {
+                events: 500,
+                write_to_read: 2.0,
+                seed: 17,
+                ..Default::default()
+            },
+        );
+        let single = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        let sharded = EagrSystem::builder(EgoQuery::new(Sum))
+            .execution(ExecutionMode::Sharded { shards: 3 })
+            .build(&g);
+        assert_eq!(single.ingest(&events), sharded.ingest(&events));
+    }
+
+    #[test]
+    #[should_panic(expected = "core() requires a local execution mode")]
+    fn core_access_panics_in_sharded_mode() {
+        let g = social_graph(50, 3, 16);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum))
+            .execution(ExecutionMode::Sharded { shards: 2 })
+            .build(&g);
+        let _ = sys.core();
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //!
 //! * one [`WindowBuffer`] per writer (the content streams `S_v` under the
 //!   query's sliding window),
-//! * one PAO slot per overlay node behind a `parking_lot::RwLock` (the
-//!   paper's "explicit synchronization" choice for thread safety),
+//! * one PAO slot per overlay node in a pluggable [`PaoStore`] backend —
+//!   per-PAO `RwLock`s ([`LockedStore`], the paper's "explicit
+//!   synchronization" choice) for the single-threaded and two-pool engines,
+//!   or shard slabs ([`crate::store::ShardedStore`]) for the sharded
+//!   runtime,
 //! * an atomic push/pull flag per node — dataflow decisions are consulted
 //!   on every op and flipped rarely (§4.8), so they live in `AtomicBool`s
 //!   rather than under a lock,
@@ -18,22 +21,29 @@
 //! slightly stale state under concurrency — the paper explicitly accepts
 //! this ("we ignore the potential for such inconsistencies").
 
+use crate::store::{LockedStore, PaoStore};
 use eagr_agg::{Aggregate, DeltaOp, Sign, WindowBuffer, WindowSpec};
 use eagr_flow::{Decision, Decisions, Frequencies};
 use eagr_graph::NodeId;
 use eagr_overlay::{Overlay, OverlayId, OverlayKind};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared engine state; both the single-threaded [`Engine`](crate::Engine)
-/// and the multi-threaded [`ParallelEngine`](crate::ParallelEngine) run on
-/// top of it.
-pub struct EngineCore<A: Aggregate> {
+/// Shared engine state, generic over the PAO storage backend `S`. The
+/// single-threaded [`Engine`](crate::Engine), the two-pool
+/// [`ParallelEngine`](crate::ParallelEngine), and the shard-owned
+/// [`ShardedEngine`](crate::ShardedEngine) all run on top of it — the first
+/// two over the default [`LockedStore`], the last over a
+/// [`crate::store::ShardedStore`].
+pub struct EngineCore<
+    A: Aggregate,
+    S: PaoStore<A::Partial> = LockedStore<<A as Aggregate>::Partial>,
+> {
     agg: A,
     overlay: Arc<Overlay>,
     push_flag: Vec<AtomicBool>,
-    partials: Vec<RwLock<A::Partial>>,
+    store: S,
     windows: Vec<Option<Mutex<WindowBuffer>>>,
     /// Ops applied at each node (observed push activity).
     pushed: Vec<AtomicU64>,
@@ -42,16 +52,34 @@ pub struct EngineCore<A: Aggregate> {
 }
 
 impl<A: Aggregate> EngineCore<A> {
-    /// Build the runtime state for an overlay + decisions.
+    /// Build the runtime state for an overlay + decisions over the default
+    /// per-PAO-lock storage.
     pub fn new(agg: A, overlay: Arc<Overlay>, decisions: &Decisions, window: WindowSpec) -> Self {
+        let store = LockedStore::new(overlay.node_count(), || agg.empty());
+        Self::with_store(agg, overlay, decisions, window, store)
+    }
+}
+
+impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
+    /// Build the runtime state over an explicit PAO storage backend.
+    ///
+    /// # Panics
+    /// Panics if `decisions` or `store` do not cover every overlay node.
+    pub fn with_store(
+        agg: A,
+        overlay: Arc<Overlay>,
+        decisions: &Decisions,
+        window: WindowSpec,
+        store: S,
+    ) -> Self {
         let n = overlay.node_count();
         assert_eq!(decisions.of.len(), n, "decisions must cover every node");
+        assert_eq!(store.len(), n, "store must cover every node");
         let push_flag = decisions
             .of
             .iter()
             .map(|&d| AtomicBool::new(d == Decision::Push))
             .collect();
-        let partials = (0..n).map(|_| RwLock::new(agg.empty())).collect();
         let windows = (0..n as u32)
             .map(|i| {
                 let id = OverlayId(i);
@@ -68,7 +96,7 @@ impl<A: Aggregate> EngineCore<A> {
             agg,
             overlay,
             push_flag,
-            partials,
+            store,
             windows,
             pushed,
             pulled,
@@ -85,20 +113,32 @@ impl<A: Aggregate> EngineCore<A> {
         &self.overlay
     }
 
+    /// The PAO storage backend (e.g. for shard-scoped batch access).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
     /// Is node `n` currently push-annotated?
     #[inline]
     pub fn is_push(&self, n: OverlayId) -> bool {
         self.push_flag[n.idx()].load(Ordering::Relaxed)
     }
 
+    /// Record one PAO update at `n` in the observed-push counters. Callers
+    /// that bypass [`apply_op`](Self::apply_op) by mutating PAOs through a
+    /// shard guard must call this per applied op so §4.8 adaptation keeps
+    /// seeing true frequencies.
+    #[inline]
+    pub fn record_push(&self, n: OverlayId) {
+        self.pushed[n.idx()].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Apply one delta op at a node's PAO and return it ready for further
     /// propagation. Increments the observed-push counter.
     #[inline]
     fn apply_at(&self, n: OverlayId, op: DeltaOp) {
-        let mut p = self.partials[n.idx()].write();
-        op.apply(&self.agg, &mut p);
-        drop(p);
-        self.pushed[n.idx()].fetch_add(1, Ordering::Relaxed);
+        self.store.with_mut(n.idx(), |p| op.apply(&self.agg, p));
+        self.record_push(n);
     }
 
     /// Process a write at data node `v` fully (uni-thread model): shift the
@@ -109,7 +149,7 @@ impl<A: Aggregate> EngineCore<A> {
         let Some(wid) = self.overlay.writer(v) else {
             return 0; // writer feeds no reader: drop the update
         };
-        let ops = self.ingest(wid, value, ts);
+        let ops = self.window_ops(wid, value, ts);
         let mut done = 0;
         let mut stack: Vec<(OverlayId, DeltaOp)> = Vec::with_capacity(8);
         for op in ops {
@@ -126,8 +166,9 @@ impl<A: Aggregate> EngineCore<A> {
     }
 
     /// Shift the writer's window and return the delta ops (insert + any
-    /// expirations).
-    fn ingest(&self, wid: OverlayId, value: i64, ts: u64) -> Vec<DeltaOp> {
+    /// expirations). Public so shard-owning workers can ingest windows for
+    /// their own writers; callers must keep per-writer submission order.
+    pub fn window_ops(&self, wid: OverlayId, value: i64, ts: u64) -> Vec<DeltaOp> {
         let mut expired = Vec::new();
         let mut win = self.windows[wid.idx()]
             .as_ref()
@@ -147,7 +188,7 @@ impl<A: Aggregate> EngineCore<A> {
         let Some(wid) = self.overlay.writer(v) else {
             return Vec::new();
         };
-        let ops = self.ingest(wid, value, ts);
+        let ops = self.window_ops(wid, value, ts);
         let mut tasks = Vec::new();
         for op in ops {
             self.apply_at(wid, op);
@@ -207,8 +248,7 @@ impl<A: Aggregate> EngineCore<A> {
         let rid = self.overlay.reader(v)?;
         self.pulled[rid.idx()].fetch_add(1, Ordering::Relaxed);
         if self.is_push(rid) {
-            let p = self.partials[rid.idx()].read();
-            Some(self.agg.finalize(&p))
+            Some(self.store.with_read(rid.idx(), |p| self.agg.finalize(p)))
         } else {
             let p = self.eval_pull(rid);
             Some(self.agg.finalize(&p))
@@ -222,11 +262,10 @@ impl<A: Aggregate> EngineCore<A> {
         for &(f, sign) in self.overlay.inputs(n) {
             self.pulled[f.idx()].fetch_add(1, Ordering::Relaxed);
             if self.is_push(f) {
-                let p = self.partials[f.idx()].read();
-                match sign {
-                    Sign::Pos => self.agg.merge(&mut acc, &p),
-                    Sign::Neg => self.agg.unmerge(&mut acc, &p),
-                }
+                self.store.with_read(f.idx(), |p| match sign {
+                    Sign::Pos => self.agg.merge(&mut acc, p),
+                    Sign::Neg => self.agg.unmerge(&mut acc, p),
+                });
             } else {
                 let p = self.eval_pull(f);
                 match sign {
@@ -267,9 +306,10 @@ impl<A: Aggregate> EngineCore<A> {
         if push {
             // Materialize: compute the PAO as a pull would, then install.
             let fresh = self.eval_pull(n);
-            *self.partials[n.idx()].write() = fresh;
+            self.store.with_mut(n.idx(), |p| *p = fresh);
         } else {
-            *self.partials[n.idx()].write() = self.agg.empty();
+            let empty = self.agg.empty();
+            self.store.with_mut(n.idx(), |p| *p = empty);
         }
     }
 

@@ -1,11 +1,17 @@
 //! Execution engines for EAGr overlays (paper §2.2.2).
 //!
+//! * [`store`] — pluggable PAO storage: per-PAO locks ([`store::LockedStore`])
+//!   or shard slabs ([`store::ShardedStore`]) behind the [`store::PaoStore`]
+//!   trait.
 //! * [`core`] — [`EngineCore`]: overlay-frozen runtime state (windows, PAO
-//!   slots, atomic decisions, observation counters) with the write/read
-//!   execution flow.
+//!   store, atomic decisions, observation counters) with the write/read
+//!   execution flow, generic over the storage backend.
 //! * [`engine`] — the single-threaded reference engine.
 //! * [`parallel`] — the two-pool multi-threaded engine (queueing-model
 //!   writes, uni-thread reads).
+//! * [`sharded`] — the shard-owned, batch-ingesting runtime: workers own
+//!   disjoint PAO shards and exchange batched cross-shard deltas over
+//!   bounded channels, drained in epochs.
 //! * [`adaptive`] — the §4.8 runtime decision adaptation.
 //! * [`metrics`] — latency recording and throughput computation.
 
@@ -14,9 +20,13 @@ pub mod core;
 pub mod engine;
 pub mod metrics;
 pub mod parallel;
+pub mod sharded;
+pub mod store;
 
 pub use crate::core::EngineCore;
 pub use adaptive::AdaptiveEngine;
 pub use engine::Engine;
 pub use metrics::{throughput, LatencyRecorder};
 pub use parallel::{ParallelConfig, ParallelEngine};
+pub use sharded::{ShardedConfig, ShardedCore, ShardedEngine};
+pub use store::{LockedStore, PaoStore, ShardedStore};

@@ -35,13 +35,20 @@ pub struct ParallelConfig {
 }
 
 impl Default for ParallelConfig {
+    /// Split the available cores between the two pools, always reserving
+    /// at least one writer *and* one reader: on a single-core box
+    /// (`available_parallelism() == 1`) the naive `cores / 2` split would
+    /// degenerate both pools to the same size, so the core count is floored
+    /// at 2 before splitting.
     fn default() -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4);
+            .unwrap_or(4)
+            .max(2);
+        let write_threads = (cores / 2).max(1);
         Self {
-            write_threads: (cores / 2).max(1),
-            read_threads: (cores / 2).max(1),
+            write_threads,
+            read_threads: (cores - write_threads).max(1),
         }
     }
 }
@@ -204,14 +211,33 @@ where
     /// Drain, stop the pools, and join the workers.
     pub fn shutdown(mut self) {
         self.drain();
+        self.stop_workers();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<A: Aggregate> ParallelEngine<A> {
+    fn stop_workers(&self) {
         for _ in 0..self.cfg.write_threads {
             let _ = self.write_tx.send(WriteMsg::Stop);
         }
         for _ in 0..self.cfg.read_threads {
             let _ = self.read_tx.send(ReadMsg::Stop);
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+    }
+}
+
+impl<A: Aggregate> Drop for ParallelEngine<A> {
+    /// Every write worker holds a `write_tx` clone (to enqueue follow-on
+    /// micro-tasks), so the write channel never disconnects on its own —
+    /// without explicit stops an abandoned engine would leak its write
+    /// pool forever. Queued work still drains first (stops are FIFO behind
+    /// it); workers are not joined here so drop never blocks on them.
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.stop_workers();
         }
     }
 }
@@ -318,6 +344,33 @@ mod tests {
         eng.drain();
         assert_eq!(eng.reads_completed(), 50);
         eng.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_stops_workers() {
+        // An abandoned engine must release its pools: write workers hold
+        // their own tx clones, so only the Drop-sent stops let them exit.
+        let core = parallel_core(true);
+        let eng = ParallelEngine::new(
+            core,
+            ParallelConfig {
+                write_threads: 2,
+                read_threads: 1,
+            },
+        );
+        eng.submit_write(NodeId(2), 6, 0);
+        eng.drain();
+        drop(eng); // must not hang, and must terminate the pools
+    }
+
+    #[test]
+    fn default_config_reserves_both_pools() {
+        // Whatever available_parallelism() reports (including 1), the
+        // default split must keep at least one thread in each pool and
+        // never size a pool to zero.
+        let cfg = ParallelConfig::default();
+        assert!(cfg.write_threads >= 1);
+        assert!(cfg.read_threads >= 1);
     }
 
     #[test]

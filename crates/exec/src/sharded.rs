@@ -1,0 +1,612 @@
+//! The shard-owned, batch-ingesting engine runtime.
+//!
+//! The two-pool engine of [`crate::parallel`] follows the paper's queueing
+//! model literally: every write is subdivided into PAO-granularity
+//! micro-tasks over one shared MPMC channel, and every micro-task takes a
+//! per-PAO lock. That is faithful to §2.2.2 but leaves throughput on the
+//! table: one channel round-trip and one lock acquisition *per PAO update*.
+//!
+//! [`ShardedEngine`] restructures the write path around partitioning and
+//! batching instead:
+//!
+//! * overlay nodes are partitioned into shards (see
+//!   [`eagr_graph::partition`]); one worker thread **owns** each shard and
+//!   is the only thread that mutates its PAOs;
+//! * writes arrive as [`EventBatch`]es and are routed to the shard owning
+//!   the writer node; the worker locks its shard slab once per batch and
+//!   applies every op with plain indexed access — no per-PAO locking on the
+//!   hot path;
+//! * push propagation that crosses a shard boundary is *not* sent op by op:
+//!   each worker accumulates per-destination-shard delta outboxes while
+//!   processing a batch and flushes them as single messages over bounded
+//!   channels (backpressure instead of unbounded queue growth);
+//! * [`drain`](ShardedEngine::drain) is an epoch barrier: it returns once
+//!   every routed batch and every transitively generated cross-shard delta
+//!   batch has been applied, at which point the engine state equals the
+//!   single-threaded reference replay of the same stream.
+//!
+//! Reads run on the calling thread through the shard slab read locks and
+//! may observe partially propagated state between epochs — the same relaxed
+//! consistency the paper accepts for the two-pool engine.
+
+use crate::core::EngineCore;
+use crate::store::ShardedStore;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use eagr_agg::{Aggregate, DeltaOp, WindowSpec};
+use eagr_flow::{Decisions, Plan};
+use eagr_gen::{Event, EventBatch};
+use eagr_graph::{NodeId, Partition, PartitionStrategy, Partitioner, ShardId};
+use eagr_overlay::{Overlay, OverlayId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of the sharded runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfig {
+    /// Number of shards = number of owning worker threads.
+    pub shards: usize,
+    /// Node→shard assignment strategy.
+    pub strategy: PartitionStrategy,
+    /// Capacity of each shard's inbox (messages, each carrying a batch).
+    /// Senders block when an inbox is full — bounded-channel backpressure.
+    pub channel_capacity: usize,
+}
+
+impl ShardedConfig {
+    /// `shards` shards with the default chunk-locality strategy.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self {
+            shards: cores.clamp(2, 16),
+            // Overlay construction allocates chunk-mates consecutively, so
+            // chunked partitioning co-locates partials with their readers.
+            strategy: PartitionStrategy::Chunk { chunk_size: 64 },
+            channel_capacity: 1 << 12,
+        }
+    }
+}
+
+/// Messages flowing into one shard's inbox.
+enum ShardMsg {
+    /// Writes whose *writer node* the shard owns: `(writer, value, ts)` in
+    /// submission order.
+    Writes(Vec<(OverlayId, i64, u64)>),
+    /// Propagated delta ops targeting nodes the shard owns.
+    Deltas(Vec<(OverlayId, DeltaOp)>),
+    /// Terminate the worker.
+    Stop,
+}
+
+/// The sharded core type: an [`EngineCore`] over shard-slab PAO storage.
+pub type ShardedCore<A> = EngineCore<A, ShardedStore<<A as Aggregate>::Partial>>;
+
+/// Shard-owned, batch-ingesting multi-threaded engine.
+pub struct ShardedEngine<A: Aggregate> {
+    core: Arc<ShardedCore<A>>,
+    partition: Arc<Partition>,
+    txs: Vec<Sender<ShardMsg>>,
+    pending: Arc<AtomicU64>,
+    cross_deltas: Arc<AtomicU64>,
+    epochs: AtomicU64,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<A: Aggregate> ShardedEngine<A> {
+    /// Build the sharded runtime for an overlay + decisions and spawn one
+    /// owning worker per shard.
+    pub fn new(
+        agg: A,
+        overlay: Arc<Overlay>,
+        decisions: &Decisions,
+        window: WindowSpec,
+        cfg: &ShardedConfig,
+    ) -> Self {
+        let partition = Partitioner::new(cfg.shards, cfg.strategy).partition(overlay.node_count());
+        Self::with_partition(
+            agg,
+            overlay,
+            decisions,
+            window,
+            partition,
+            cfg.channel_capacity,
+        )
+    }
+
+    /// Build from a dataflow [`Plan`]. Reuses the partition the plan
+    /// carries when it matches `cfg.shards`; otherwise derives a fresh one
+    /// from `cfg`.
+    pub fn from_plan(plan: &Plan, agg: A, window: WindowSpec, cfg: &ShardedConfig) -> Self {
+        let overlay = Arc::new(plan.overlay.clone());
+        match &plan.partition {
+            Some(p) if p.shards == cfg.shards && p.len() == overlay.node_count() => {
+                Self::with_partition(
+                    agg,
+                    overlay,
+                    &plan.decisions,
+                    window,
+                    p.clone(),
+                    cfg.channel_capacity,
+                )
+            }
+            _ => Self::new(agg, overlay, &plan.decisions, window, cfg),
+        }
+    }
+
+    /// Build over an explicit node partition.
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover every overlay node.
+    pub fn with_partition(
+        agg: A,
+        overlay: Arc<Overlay>,
+        decisions: &Decisions,
+        window: WindowSpec,
+        partition: Partition,
+        channel_capacity: usize,
+    ) -> Self {
+        assert_eq!(
+            partition.len(),
+            overlay.node_count(),
+            "partition must cover every overlay node"
+        );
+        assert!(channel_capacity > 0, "channel capacity must be positive");
+        let store = ShardedStore::new(&partition, || agg.empty());
+        let core = Arc::new(EngineCore::with_store(
+            agg, overlay, decisions, window, store,
+        ));
+        let partition = Arc::new(partition);
+        let shards = partition.shards;
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = bounded::<ShardMsg>(channel_capacity);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let pending = Arc::new(AtomicU64::new(0));
+        let cross_deltas = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, rx) in rxs.into_iter().enumerate() {
+            let worker = ShardWorker {
+                core: Arc::clone(&core),
+                partition: Arc::clone(&partition),
+                shard: ShardId(shard as u32),
+                rx,
+                txs: txs.clone(),
+                pending: Arc::clone(&pending),
+                cross_deltas: Arc::clone(&cross_deltas),
+            };
+            let h = std::thread::Builder::new()
+                .name(format!("eagr-shard-{shard}"))
+                .spawn(move || worker.run())
+                .expect("spawn shard worker");
+            handles.push(h);
+        }
+        Self {
+            core,
+            partition,
+            txs,
+            pending,
+            cross_deltas,
+            epochs: AtomicU64::new(0),
+            handles,
+        }
+    }
+
+    /// The shared core (shard-slab storage).
+    pub fn core(&self) -> &Arc<ShardedCore<A>> {
+        &self.core
+    }
+
+    /// The node→shard assignment in use.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.partition.shards
+    }
+
+    /// Route one batch of events into the shards and return
+    /// `(writes, reads)` processed — a write counts even when its node has
+    /// no overlay writer (the event is consumed and dropped, exactly like
+    /// [`EngineCore::write`]), so counts agree across execution modes.
+    /// Writes are grouped per owning shard and enqueued as one message per
+    /// shard; reads are evaluated inline on the calling thread (and may
+    /// observe in-flight state). Call [`drain`](Self::drain) to close the
+    /// epoch.
+    ///
+    /// Per-writer ordering is preserved for batches submitted from one
+    /// thread: a writer's updates always travel to the same shard inbox in
+    /// submission order.
+    pub fn ingest(&self, batch: &EventBatch) -> (usize, usize) {
+        self.ingest_at(&batch.events, batch.base_ts)
+    }
+
+    /// Borrowing equivalent of [`ingest`](Self::ingest): event `i` carries
+    /// timestamp `base_ts + i`.
+    pub fn ingest_at(&self, events: &[Event], base_ts: u64) -> (usize, usize) {
+        let overlay = self.core.overlay();
+        let mut per_shard: Vec<Vec<(OverlayId, i64, u64)>> = vec![Vec::new(); self.shard_count()];
+        let mut writes = 0;
+        let mut reads = 0;
+        for (i, e) in events.iter().enumerate() {
+            let ts = base_ts + i as u64;
+            match *e {
+                Event::Write { node, value } => {
+                    if let Some(wid) = overlay.writer(node) {
+                        per_shard[self.partition.shard_of(wid.idx()).idx()].push((wid, value, ts));
+                    }
+                    writes += 1;
+                }
+                Event::Read { node } => {
+                    std::hint::black_box(self.core.read(node));
+                    reads += 1;
+                }
+            }
+        }
+        for (shard, group) in per_shard.into_iter().enumerate() {
+            if !group.is_empty() {
+                self.pending.fetch_add(1, Ordering::AcqRel);
+                self.txs[shard]
+                    .send(ShardMsg::Writes(group))
+                    .expect("shard worker alive");
+            }
+        }
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+        (writes, reads)
+    }
+
+    /// Ingest a batch and drain it — one full epoch.
+    pub fn ingest_epoch(&self, batch: &EventBatch) -> (usize, usize) {
+        let counts = self.ingest(batch);
+        self.drain();
+        counts
+    }
+
+    /// Borrowing equivalent of [`ingest_epoch`](Self::ingest_epoch).
+    pub fn ingest_epoch_at(&self, events: &[Event], base_ts: u64) -> (usize, usize) {
+        let counts = self.ingest_at(events, base_ts);
+        self.drain();
+        counts
+    }
+
+    /// Route a single write (convenience; prefer [`ingest`](Self::ingest)
+    /// for throughput).
+    pub fn submit_write(&self, v: NodeId, value: i64, ts: u64) {
+        if let Some(wid) = self.core.overlay().writer(v) {
+            self.pending.fetch_add(1, Ordering::AcqRel);
+            self.txs[self.partition.shard_of(wid.idx()).idx()]
+                .send(ShardMsg::Writes(vec![(wid, value, ts)]))
+                .expect("shard worker alive");
+        }
+    }
+
+    /// Evaluate a read on the calling thread. Between
+    /// [`drain`](Self::drain)s this may observe partially propagated
+    /// writes (the paper's relaxed consistency).
+    pub fn read(&self, v: NodeId) -> Option<A::Output> {
+        self.core.read(v)
+    }
+
+    /// Epoch barrier: block until every routed batch and all transitively
+    /// generated cross-shard deltas have been applied.
+    pub fn drain(&self) {
+        while self.pending.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of [`ingest`](Self::ingest) calls so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Total delta ops shipped across shard boundaries so far.
+    pub fn cross_shard_deltas(&self) -> u64 {
+        self.cross_deltas.load(Ordering::Acquire)
+    }
+
+    /// Drain, stop the workers, and join them.
+    pub fn shutdown(mut self) {
+        self.drain();
+        self.stop_workers();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn stop_workers(&self) {
+        for tx in &self.txs {
+            let _ = tx.send(ShardMsg::Stop);
+        }
+    }
+}
+
+impl<A: Aggregate> Drop for ShardedEngine<A> {
+    /// Workers hold each other's senders, so dropping the engine's own
+    /// senders alone would never disconnect the inboxes; send explicit
+    /// stops (without joining) so the threads exit.
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.stop_workers();
+        }
+    }
+}
+
+/// Per-shard worker state.
+struct ShardWorker<A: Aggregate> {
+    core: Arc<ShardedCore<A>>,
+    partition: Arc<Partition>,
+    shard: ShardId,
+    rx: Receiver<ShardMsg>,
+    txs: Vec<Sender<ShardMsg>>,
+    pending: Arc<AtomicU64>,
+    cross_deltas: Arc<AtomicU64>,
+}
+
+impl<A: Aggregate> ShardWorker<A> {
+    fn run(self) {
+        let shards = self.partition.shards;
+        // Per-destination-shard outboxes, reused across messages.
+        let mut outbox: Vec<Vec<(OverlayId, DeltaOp)>> = vec![Vec::new(); shards];
+        let mut stack: Vec<(OverlayId, DeltaOp)> = Vec::with_capacity(32);
+        let mut stopping = false;
+        while !stopping {
+            let Ok(msg) = self.rx.recv() else { break };
+            // `owed` counts pending-counted messages applied but whose
+            // decrement is deferred until their cross-shard deltas are
+            // shipped — so `pending` can never hit zero while deltas sit
+            // in an outbox.
+            let mut owed = 0u64;
+            stopping = self.handle(msg, &mut owed, &mut stack, &mut outbox);
+            // Ship every outbox batch without ever blocking on a full
+            // peer inbox: two workers blocked sending to each other's
+            // full queues would deadlock, so on backpressure this worker
+            // services its *own* inbox instead and retries.
+            loop {
+                let mut shipped_all = true;
+                for (dest, buf) in outbox.iter_mut().enumerate() {
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    let batch = std::mem::take(buf);
+                    let n = batch.len() as u64;
+                    // Count the message before it becomes visible to the
+                    // receiver (its decrement must never race ahead).
+                    self.pending.fetch_add(1, Ordering::AcqRel);
+                    match self.txs[dest].try_send(ShardMsg::Deltas(batch)) {
+                        Ok(()) => {
+                            self.cross_deltas.fetch_add(n, Ordering::AcqRel);
+                        }
+                        Err(e) if e.is_full() => {
+                            self.pending.fetch_sub(1, Ordering::AcqRel);
+                            let ShardMsg::Deltas(batch) = e.into_inner() else {
+                                unreachable!("only deltas are flushed")
+                            };
+                            *buf = batch;
+                            shipped_all = false;
+                        }
+                        Err(_) => {
+                            // Receiver gone: the engine is shutting down
+                            // and the delta can no longer be delivered.
+                            self.pending.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
+                }
+                if shipped_all {
+                    break;
+                }
+                match self.rx.try_recv() {
+                    Ok(m) => {
+                        if self.handle(m, &mut owed, &mut stack, &mut outbox) {
+                            stopping = true;
+                        }
+                    }
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+            if owed > 0 {
+                self.pending.fetch_sub(owed, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Apply one inbox message; returns `true` for [`ShardMsg::Stop`].
+    fn handle(
+        &self,
+        msg: ShardMsg,
+        owed: &mut u64,
+        stack: &mut Vec<(OverlayId, DeltaOp)>,
+        outbox: &mut [Vec<(OverlayId, DeltaOp)>],
+    ) -> bool {
+        match msg {
+            ShardMsg::Writes(group) => {
+                *owed += 1;
+                let mut slab = self.core.store().lock_shard(self.shard);
+                for (wid, value, ts) in group {
+                    for op in self.core.window_ops(wid, value, ts) {
+                        stack.push((wid, op));
+                        self.cascade(&mut slab, stack, outbox);
+                    }
+                }
+                false
+            }
+            ShardMsg::Deltas(group) => {
+                *owed += 1;
+                let mut slab = self.core.store().lock_shard(self.shard);
+                for (n, op) in group {
+                    stack.push((n, op));
+                    self.cascade(&mut slab, stack, outbox);
+                }
+                false
+            }
+            ShardMsg::Stop => true,
+        }
+    }
+
+    /// Apply every stacked op owned by this shard, following push edges:
+    /// same-shard consumers are applied in the same slab pass, cross-shard
+    /// consumers accumulate in the outboxes.
+    fn cascade(
+        &self,
+        slab: &mut crate::store::ShardGuard<'_, A::Partial>,
+        stack: &mut Vec<(OverlayId, DeltaOp)>,
+        outbox: &mut [Vec<(OverlayId, DeltaOp)>],
+    ) {
+        let agg = self.core.aggregate();
+        let overlay = self.core.overlay();
+        while let Some((n, op)) = stack.pop() {
+            op.apply(agg, slab.get_mut(n.idx()));
+            self.core.record_push(n);
+            for &(t, sign) in overlay.outputs(n) {
+                if self.core.is_push(t) {
+                    let routed = op.signed(sign);
+                    let dest = self.partition.shard_of(t.idx());
+                    if dest == self.shard {
+                        stack.push((t, routed));
+                    } else {
+                        outbox[dest.idx()].push((t, routed));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_agg::Sum;
+    use eagr_graph::{paper_example_graph, BipartiteGraph, Neighborhood};
+    use eagr_util::SplitMix64;
+
+    fn paper_parts() -> (Arc<Overlay>, Decisions) {
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+        let d = Decisions::all_push(&ov);
+        (ov, d)
+    }
+
+    fn sharded(shards: usize) -> ShardedEngine<Sum> {
+        let (ov, d) = paper_parts();
+        ShardedEngine::new(
+            Sum,
+            ov,
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn paper_example_matches_reference_after_drain() {
+        let eng = sharded(4);
+        let streams: [(u32, &[i64]); 7] = [
+            (0, &[1, 4]),
+            (1, &[3, 7]),
+            (2, &[6, 9]),
+            (3, &[8, 4, 3]),
+            (4, &[5, 9, 1]),
+            (5, &[3, 6, 6]),
+            (6, &[5]),
+        ];
+        let mut events = Vec::new();
+        for (node, vals) in streams {
+            for &v in vals {
+                events.push(Event::Write {
+                    node: NodeId(node),
+                    value: v,
+                });
+            }
+        }
+        eng.ingest_epoch(&EventBatch::new(0, events));
+        let want = [19, 10, 30, 30, 23, 30, 30];
+        for (v, &w) in want.iter().enumerate() {
+            assert_eq!(eng.read(NodeId(v as u32)), Some(w), "reader {v}");
+        }
+        assert_eq!(eng.epochs(), 1);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn random_batches_converge_to_sequential_replay() {
+        let eng = sharded(3);
+        let (ov, d) = paper_parts();
+        let reference = EngineCore::new(Sum, ov, &d, WindowSpec::Tuple(1));
+        let mut rng = SplitMix64::new(99);
+        let mut ts = 0u64;
+        for _ in 0..20 {
+            let events: Vec<Event> = (0..50)
+                .map(|_| Event::Write {
+                    node: NodeId(rng.index(7) as u32),
+                    value: rng.range(0, 50) as i64,
+                })
+                .collect();
+            for (i, e) in events.iter().enumerate() {
+                if let Event::Write { node, value } = *e {
+                    reference.write(node, value, ts + i as u64);
+                }
+            }
+            eng.ingest(&EventBatch::new(ts, events));
+            ts += 50;
+        }
+        eng.drain();
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "reader {v}");
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn cross_shard_deltas_are_counted() {
+        // 4 shards over 13 overlay nodes: some writer→reader push edge must
+        // cross a shard boundary.
+        let eng = sharded(4);
+        let events: Vec<Event> = (0..7u32)
+            .map(|n| Event::Write {
+                node: NodeId(n),
+                value: 1,
+            })
+            .collect();
+        eng.ingest_epoch(&EventBatch::new(0, events));
+        assert!(eng.cross_shard_deltas() > 0, "expected cross-shard traffic");
+        eng.shutdown();
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_local_execution() {
+        let eng = sharded(1);
+        eng.submit_write(NodeId(2), 6, 0);
+        eng.submit_write(NodeId(2), 9, 1);
+        eng.drain();
+        assert_eq!(eng.read(NodeId(0)), Some(9));
+        assert_eq!(eng.cross_shard_deltas(), 0);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_stops_workers() {
+        let eng = sharded(2);
+        eng.submit_write(NodeId(2), 6, 0);
+        eng.drain();
+        drop(eng); // must not hang or leak a deadlocked worker
+    }
+}

@@ -1,0 +1,223 @@
+//! PAO storage backends for the execution core.
+//!
+//! [`EngineCore`](crate::EngineCore) is generic over how partial aggregate
+//! objects are stored and synchronized, behind the [`PaoStore`] trait:
+//!
+//! * [`LockedStore`] — one `RwLock` per PAO, the paper's "explicit
+//!   synchronization" choice. Backs the single-threaded
+//!   [`Engine`](crate::Engine) and the two-pool
+//!   [`ParallelEngine`](crate::ParallelEngine), whose write pool lets any
+//!   worker touch any PAO.
+//! * [`ShardedStore`] — PAOs partitioned into shard slabs, each behind one
+//!   `RwLock`. The [`ShardedEngine`](crate::ShardedEngine) worker that owns
+//!   a shard locks its slab **once per batch** ([`ShardedStore::lock_shard`])
+//!   and then mutates PAOs with plain indexed access — no per-PAO locking on
+//!   the hot path. Concurrent readers take the slab read lock through the
+//!   same [`PaoStore`] interface.
+
+use eagr_graph::{Partition, ShardId};
+use parking_lot::{RwLock, RwLockWriteGuard};
+
+/// Storage of one partial aggregate object per overlay node.
+///
+/// Implementations provide closure-scoped exclusive and shared access by
+/// node index; how much state one lock covers (a single PAO, a whole shard)
+/// is the implementation's choice.
+pub trait PaoStore<P>: Send + Sync {
+    /// Number of slots.
+    fn len(&self) -> usize;
+
+    /// Whether the store has zero slots.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run `f` with exclusive access to slot `idx`.
+    fn with_mut<R>(&self, idx: usize, f: impl FnOnce(&mut P) -> R) -> R;
+
+    /// Run `f` with shared access to slot `idx`.
+    fn with_read<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R;
+}
+
+/// One `RwLock` per PAO (the original execution-core layout).
+pub struct LockedStore<P> {
+    slots: Vec<RwLock<P>>,
+}
+
+impl<P: Send + Sync> LockedStore<P> {
+    /// A store of `n` slots, each initialized by `init`.
+    pub fn new(n: usize, mut init: impl FnMut() -> P) -> Self {
+        Self {
+            slots: (0..n).map(|_| RwLock::new(init())).collect(),
+        }
+    }
+}
+
+impl<P: Send + Sync> PaoStore<P> for LockedStore<P> {
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn with_mut<R>(&self, idx: usize, f: impl FnOnce(&mut P) -> R) -> R {
+        f(&mut self.slots[idx].write())
+    }
+
+    #[inline]
+    fn with_read<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
+        f(&self.slots[idx].read())
+    }
+}
+
+/// Shard-partitioned PAO slabs: slot `idx` lives at `slab[shard_of(idx)]
+/// [offset(idx)]`, and each slab is guarded by a single `RwLock`.
+pub struct ShardedStore<P> {
+    /// Global index → (shard, offset-within-slab).
+    loc: Vec<(u32, u32)>,
+    slabs: Vec<RwLock<Vec<P>>>,
+}
+
+impl<P: Send + Sync> ShardedStore<P> {
+    /// Build shard slabs for the given node partition, initializing every
+    /// slot with `init`.
+    pub fn new(partition: &Partition, mut init: impl FnMut() -> P) -> Self {
+        let mut sizes = vec![0u32; partition.shards];
+        let loc: Vec<(u32, u32)> = partition
+            .of
+            .iter()
+            .map(|s| {
+                let off = sizes[s.idx()];
+                sizes[s.idx()] += 1;
+                (s.0, off)
+            })
+            .collect();
+        let slabs = sizes
+            .iter()
+            .map(|&sz| RwLock::new((0..sz).map(|_| init()).collect()))
+            .collect();
+        Self { loc, slabs }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// Shard owning global slot `idx`.
+    #[inline]
+    pub fn shard_of(&self, idx: usize) -> ShardId {
+        ShardId(self.loc[idx].0)
+    }
+
+    /// Take the write lock of one shard's slab for the duration of a batch.
+    /// The returned guard resolves *global* node indexes; it panics if
+    /// asked for a node outside the locked shard.
+    pub fn lock_shard(&self, shard: ShardId) -> ShardGuard<'_, P> {
+        ShardGuard {
+            slab: self.slabs[shard.idx()].write(),
+            loc: &self.loc,
+            shard: shard.0,
+        }
+    }
+}
+
+/// Exclusive access to one shard's PAO slab, indexed by global node index.
+pub struct ShardGuard<'a, P> {
+    slab: RwLockWriteGuard<'a, Vec<P>>,
+    loc: &'a [(u32, u32)],
+    shard: u32,
+}
+
+impl<P> ShardGuard<'_, P> {
+    /// Mutable access to the PAO at global index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not belong to the locked shard.
+    #[inline]
+    pub fn get_mut(&mut self, idx: usize) -> &mut P {
+        let (shard, off) = self.loc[idx];
+        assert_eq!(
+            shard, self.shard,
+            "node {idx} not owned by shard {}",
+            self.shard
+        );
+        &mut self.slab[off as usize]
+    }
+}
+
+impl<P: Send + Sync> PaoStore<P> for ShardedStore<P> {
+    fn len(&self) -> usize {
+        self.loc.len()
+    }
+
+    #[inline]
+    fn with_mut<R>(&self, idx: usize, f: impl FnOnce(&mut P) -> R) -> R {
+        let (shard, off) = self.loc[idx];
+        f(&mut self.slabs[shard as usize].write()[off as usize])
+    }
+
+    #[inline]
+    fn with_read<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
+        let (shard, off) = self.loc[idx];
+        f(&self.slabs[shard as usize].read()[off as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_graph::Partitioner;
+
+    #[test]
+    fn locked_store_round_trips() {
+        let store = LockedStore::new(4, || 0i64);
+        assert_eq!(store.len(), 4);
+        assert!(!store.is_empty());
+        store.with_mut(2, |p| *p = 7);
+        assert_eq!(store.with_read(2, |p| *p), 7);
+        assert_eq!(store.with_read(0, |p| *p), 0);
+    }
+
+    #[test]
+    fn sharded_store_places_every_slot() {
+        let part = Partitioner::hash(3).partition(100);
+        let store = ShardedStore::new(&part, || 0i64);
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.shard_count(), 3);
+        for i in 0..100 {
+            store.with_mut(i, |p| *p = i as i64);
+        }
+        for i in 0..100 {
+            assert_eq!(store.with_read(i, |p| *p), i as i64);
+            assert_eq!(store.shard_of(i), part.shard_of(i));
+        }
+    }
+
+    #[test]
+    fn shard_guard_resolves_global_indexes() {
+        let part = Partitioner::chunked(2, 4).partition(16);
+        let store = ShardedStore::new(&part, || 0i64);
+        let owned: Vec<usize> = (0..16)
+            .filter(|&i| part.shard_of(i) == ShardId(0))
+            .collect();
+        {
+            let mut g = store.lock_shard(ShardId(0));
+            for &i in &owned {
+                *g.get_mut(i) = 40 + i as i64;
+            }
+        }
+        for &i in &owned {
+            assert_eq!(store.with_read(i, |p| *p), 40 + i as i64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned by shard")]
+    fn shard_guard_rejects_foreign_nodes() {
+        let part = Partitioner::chunked(2, 1).partition(4);
+        let store = ShardedStore::new(&part, || 0i64);
+        let mut g = store.lock_shard(ShardId(0));
+        // Index 1 belongs to shard 1 under chunk_size 1 / 2 shards.
+        let _ = g.get_mut(1);
+    }
+}

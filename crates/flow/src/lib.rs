@@ -9,7 +9,7 @@
 //! * [`greedy`] — the linear-time greedy alternative (§4.6).
 //! * [`split`] — partial pre-computation by splitting nodes (§4.7).
 //! * [`adaptive`] — frontier monitoring and decision flipping (§4.8).
-//! * [`plan`] — a one-call planner tying the pieces together.
+//! * [`plan`](mod@plan) — a one-call planner tying the pieces together.
 
 pub mod adaptive;
 pub mod decide;

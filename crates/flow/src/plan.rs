@@ -11,6 +11,7 @@ use crate::decide::{
 use crate::greedy::decide_greedy;
 use crate::split::split_for_partial_precomputation;
 use eagr_agg::CostModel;
+use eagr_graph::{Partition, PartitionStrategy, Partitioner};
 use eagr_overlay::Overlay;
 
 /// Which decision procedure to run.
@@ -75,6 +76,11 @@ pub struct Plan {
     pub pre_split_sharing_index: f64,
     /// Modeled total cost of the final decisions.
     pub modeled_cost: f64,
+    /// Node→shard assignment for sharded execution, if one has been
+    /// attached with [`Plan::with_partition`]. Carried on the plan so the
+    /// planner and every engine instantiated from the plan agree on shard
+    /// ownership.
+    pub partition: Option<Partition>,
 }
 
 /// Run the §4 pipeline on an overlay.
@@ -116,10 +122,20 @@ pub fn plan(mut overlay: Overlay, rates: &Rates, cost: &CostModel, cfg: &Planner
         pre_split_edges,
         pre_split_sharing_index,
         modeled_cost,
+        partition: None,
     }
 }
 
 impl Plan {
+    /// Attach a node→shard partition over this plan's overlay, for sharded
+    /// execution. Partitioning happens *after* §4.7 splitting so split
+    /// nodes are covered too.
+    pub fn with_partition(mut self, shards: usize, strategy: PartitionStrategy) -> Self {
+        self.partition =
+            Some(Partitioner::new(shards, strategy).partition(self.overlay.node_count()));
+        self
+    }
+
     /// Re-run the §4.8 frontier adaptation with freshly observed
     /// frequencies. Returns the number of decision flips.
     pub fn adapt(
@@ -200,6 +216,22 @@ mod tests {
             .modeled_cost;
             assert!(opt <= c + 1e-9, "maxflow {opt} vs {alg:?} {c}");
         }
+    }
+
+    #[test]
+    fn plan_carries_partition_over_split_overlay() {
+        let p = plan(
+            paper_overlay(),
+            &Rates::uniform(7, 1.0),
+            &CostModel::unit_sum(),
+            &PlannerConfig::default(),
+        );
+        assert!(p.partition.is_none(), "partition is opt-in");
+        let n = p.overlay.node_count();
+        let p = p.with_partition(4, PartitionStrategy::Hash);
+        let part = p.partition.as_ref().expect("partition attached");
+        assert_eq!(part.len(), n, "covers every node incl. §4.7 splits");
+        assert_eq!(part.shards, 4);
     }
 
     #[test]

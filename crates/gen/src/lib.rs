@@ -5,13 +5,17 @@
 //!   paper's datasets ([`Dataset`]).
 //! * [`workload`] — Zipfian read/write rate assignment and mixed event
 //!   streams with a configurable write:read ratio.
+//! * [`batch`] — [`EventBatch`]: timestamped runs of the event stream for
+//!   the batched/sharded ingestion path.
 //! * [`trace`] — the two-phase shifting trace standing in for the EPA-HTTP
 //!   packet trace of Fig 13(a).
 
+pub mod batch;
 pub mod graphs;
 pub mod trace;
 pub mod workload;
 
+pub use batch::{batch_events, EventBatch};
 pub use graphs::{erdos_renyi, social_graph, web_graph, Dataset};
 pub use trace::{shifting_trace, TraceConfig};
 pub use workload::{generate_events, zipf_rates, Event, WorkloadConfig};

@@ -10,13 +10,17 @@
 //!   derived from a data graph and a query: for each node `v` satisfying the
 //!   query predicate there is a reader `v_r` whose input list is
 //!   `{u_w | u ∈ N(v)}` (§3.1, Fig 1c).
+//! * [`partition`] — node→shard assignment ([`Partitioner`], [`Partition`])
+//!   for the sharded engine runtime.
 
 pub mod bipartite;
 pub mod csr;
 pub mod data_graph;
 pub mod neighborhood;
+pub mod partition;
 
 pub use bipartite::BipartiteGraph;
 pub use csr::CsrSnapshot;
 pub use data_graph::{paper_example_graph, DataGraph, NodeId};
 pub use neighborhood::Neighborhood;
+pub use partition::{Partition, PartitionStrategy, Partitioner, ShardId};

@@ -1,0 +1,243 @@
+//! Node-to-shard partitioning for the sharded engine runtime.
+//!
+//! The sharded execution model assigns every overlay node to exactly one
+//! [`ShardId`]; the worker that owns a shard is the only thread that
+//! mutates the PAOs of that shard's nodes, so the hot write path needs no
+//! per-PAO locking. This module is deliberately index-based (it maps plain
+//! `usize` arena indexes, not a specific id type) so it can partition any
+//! arena-allocated node space — the overlay uses it via `OverlayId::idx()`.
+//!
+//! Two strategies are provided:
+//!
+//! * [`PartitionStrategy::Hash`] — a multiplicative bit-mix of the index.
+//!   Spreads load evenly regardless of id allocation order; baseline
+//!   strategy with no locality assumptions.
+//! * [`PartitionStrategy::Chunk`] — contiguous blocks of `chunk_size`
+//!   indexes land on the same shard, round-robin across shards. Overlay
+//!   construction allocates the readers of one VNM chunk (and the partial
+//!   nodes feeding them) consecutively, so chunk partitioning co-locates a
+//!   partial aggregation node with most of its consumers and turns would-be
+//!   cross-shard deltas into local applies.
+
+/// Identifier of one shard in a sharded engine runtime.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The shard as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// How node indexes are mapped to shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Stateless multiplicative hash of the index — uniform spread, no
+    /// locality.
+    Hash,
+    /// Blocks of `chunk_size` consecutive indexes share a shard,
+    /// round-robin over shards — exploits the allocation locality of
+    /// overlay construction (one VNM chunk ⇒ consecutive ids).
+    Chunk {
+        /// Number of consecutive indexes per block.
+        chunk_size: usize,
+    },
+}
+
+/// SplitMix64 finalizer: a full-avalanche bit mix, so consecutive indexes
+/// land on unrelated shards.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps node indexes to [`ShardId`]s. Pure and deterministic: the same
+/// `(shards, strategy)` pair always produces the same mapping, so every
+/// component (planner, engine, tests) can re-derive it independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partitioner {
+    shards: u32,
+    strategy: PartitionStrategy,
+}
+
+impl Partitioner {
+    /// A partitioner over `shards` shards with the given strategy.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or a chunk strategy has `chunk_size == 0`.
+    pub fn new(shards: usize, strategy: PartitionStrategy) -> Self {
+        assert!(shards > 0, "at least one shard");
+        if let PartitionStrategy::Chunk { chunk_size } = strategy {
+            assert!(chunk_size > 0, "chunk_size must be positive");
+        }
+        Self {
+            shards: shards as u32,
+            strategy,
+        }
+    }
+
+    /// Hash partitioner over `shards` shards.
+    pub fn hash(shards: usize) -> Self {
+        Self::new(shards, PartitionStrategy::Hash)
+    }
+
+    /// Chunk-locality partitioner over `shards` shards.
+    pub fn chunked(shards: usize, chunk_size: usize) -> Self {
+        Self::new(shards, PartitionStrategy::Chunk { chunk_size })
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The strategy in use.
+    #[inline]
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Shard owning node index `idx`.
+    #[inline]
+    pub fn shard_of(&self, idx: usize) -> ShardId {
+        let s = match self.strategy {
+            PartitionStrategy::Hash => mix(idx as u64) % self.shards as u64,
+            PartitionStrategy::Chunk { chunk_size } => {
+                (idx / chunk_size) as u64 % self.shards as u64
+            }
+        };
+        ShardId(s as u32)
+    }
+
+    /// Materialize the mapping for an `n`-node arena.
+    pub fn partition(&self, n: usize) -> Partition {
+        Partition {
+            of: (0..n).map(|i| self.shard_of(i)).collect(),
+            shards: self.shard_count(),
+            strategy: self.strategy,
+        }
+    }
+}
+
+/// A materialized node→shard assignment for a fixed-size node arena, as
+/// produced by [`Partitioner::partition`]. Dataflow plans carry one of
+/// these so the execution layer and the planner agree on shard ownership.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Shard per node index.
+    pub of: Vec<ShardId>,
+    /// Number of shards.
+    pub shards: usize,
+    /// The strategy this partition was derived with.
+    pub strategy: PartitionStrategy,
+}
+
+impl Partition {
+    /// Shard owning node index `idx`.
+    #[inline]
+    pub fn shard_of(&self, idx: usize) -> ShardId {
+        self.of[idx]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.of.len()
+    }
+
+    /// Whether the partition covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.of.is_empty()
+    }
+
+    /// Node count per shard (load-balance diagnostics).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.shards];
+        for s in &self.of {
+            sizes[s.idx()] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        for strategy in [
+            PartitionStrategy::Hash,
+            PartitionStrategy::Chunk { chunk_size: 8 },
+        ] {
+            let a = Partitioner::new(4, strategy).partition(1000);
+            let b = Partitioner::new(4, strategy).partition(1000);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn all_shards_in_range() {
+        for shards in 1..9 {
+            let p = Partitioner::hash(shards);
+            for i in 0..500 {
+                assert!(p.shard_of(i).idx() < shards);
+            }
+            let c = Partitioner::chunked(shards, 16);
+            for i in 0..500 {
+                assert!(c.shard_of(i).idx() < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spread_is_balanced() {
+        let part = Partitioner::hash(8).partition(8000);
+        let sizes = part.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 8000);
+        for &s in &sizes {
+            // Within ±30% of the mean for a decent mixer.
+            assert!(s > 700 && s < 1300, "shard size {s} badly unbalanced");
+        }
+    }
+
+    #[test]
+    fn chunk_strategy_keeps_blocks_together() {
+        let p = Partitioner::chunked(4, 32);
+        for block in 0..10 {
+            let first = p.shard_of(block * 32);
+            for i in 0..32 {
+                assert_eq!(p.shard_of(block * 32 + i), first);
+            }
+        }
+        // Consecutive blocks rotate across shards.
+        assert_ne!(p.shard_of(0), p.shard_of(32));
+    }
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let p = Partitioner::hash(1);
+        for i in 0..100 {
+            assert_eq!(p.shard_of(i), ShardId(0));
+        }
+    }
+
+    #[test]
+    fn partition_len_and_sizes_consistent() {
+        let part = Partitioner::chunked(3, 5).partition(47);
+        assert_eq!(part.len(), 47);
+        assert!(!part.is_empty());
+        assert_eq!(part.shard_sizes().iter().sum::<usize>(), 47);
+    }
+}

@@ -11,7 +11,7 @@
 //!
 //! where the penalty term is `Σ_P |S'(x)|` for VNM_N's negative edges
 //! (§3.2.3) and `Σ_P |S_mined(x)|` for VNM_D's reused edges (§3.2.4); both
-//! are tracked here as a single per-node accumulated [`penalty`] weight.
+//! are tracked here as a single per-node accumulated penalty weight.
 //!
 //! Mining proposes candidates; the driver in [`crate::vnm`] *validates* each
 //! candidate against the live overlay before rewiring, so tree staleness can

@@ -11,7 +11,8 @@
 //!   (§3.2.5), also the engine behind dynamic maintenance.
 //! * [`dynamic`] — incremental overlay updates on data-graph changes (§3.3).
 //! * [`metrics`] — sharing index, depth CDFs, construction cost accounting.
-//! * [`validate`] — net-contribution validation of the §2.2.1 invariant.
+//! * [`validate`](mod@validate) — net-contribution validation of the
+//!   §2.2.1 invariant.
 
 pub mod dynamic;
 pub mod fptree;

@@ -14,7 +14,7 @@
 //!   aggregates;
 //! * for every (writer, reader) pair the *net* contribution (signed path
 //!   count) is exactly 1 for duplicate-sensitive aggregates and ≥ 1 for
-//!   duplicate-insensitive ones ([`crate::validate`] checks this).
+//!   duplicate-insensitive ones ([`mod@crate::validate`] checks this).
 
 use eagr_agg::Sign;
 use eagr_graph::{BipartiteGraph, NodeId};
@@ -215,7 +215,7 @@ impl Overlay {
     }
 
     /// Add a signed edge `from → to`. (Readers feeding other nodes violate
-    /// the overlay invariant; [`crate::validate`] reports it.)
+    /// the overlay invariant; [`mod@crate::validate`] reports it.)
     pub fn add_edge(&mut self, from: OverlayId, to: OverlayId, sign: Sign) {
         self.outputs[from.idx()].push((to, sign));
         self.inputs[to.idx()].push((from, sign));

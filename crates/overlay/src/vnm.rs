@@ -15,7 +15,7 @@
 //! Variants differ in the tree insertion (plain prefix / negative-edge BFS /
 //! mined-edge penalties) and in how a mined candidate may be applied. Every
 //! candidate is **validated against the live overlay** before rewiring
-//! ([`apply_candidate`]), so the trees are purely advisory: a stale or
+//! (`apply_candidate`), so the trees are purely advisory: a stale or
 //! over-optimistic candidate costs compression, never correctness.
 //!
 //! VNM_A (§3.2.2) additionally adapts the chunk size between iterations: it

@@ -21,6 +21,7 @@ fn replay_and_check<A>(
     seed: u64,
 ) where
     A: Aggregate + Clone,
+    A::Output: Send,
 {
     let sys = EagrSystem::builder(
         EgoQuery::new(agg.clone())

@@ -8,13 +8,15 @@
 //! * engine ≡ oracle on arbitrary event interleavings.
 
 use eagr::agg::{Aggregate, Count, Distinct, Max, Min, Sum, TopK, WindowBuffer, WindowSpec};
-use eagr::flow::{decide_maxflow, node_costs, propagate_frequencies, Rates};
-use eagr::gen::Event;
-use eagr::graph::{BipartiteGraph, DataGraph, Neighborhood, NodeId};
-use eagr::overlay::{build_iob, build_vnm, validate_vs_bipartite, IobConfig, VnmConfig};
+use eagr::exec::{Engine, EngineCore, ShardedConfig, ShardedEngine};
+use eagr::flow::{decide_maxflow, node_costs, propagate_frequencies, Decisions, Rates};
+use eagr::gen::{batch_events, Event};
+use eagr::graph::{BipartiteGraph, DataGraph, Neighborhood, NodeId, PartitionStrategy};
+use eagr::overlay::{build_iob, build_vnm, validate_vs_bipartite, IobConfig, Overlay, VnmConfig};
 use eagr::prelude::*;
 use eagr::{EagrSystem, NaiveOracle, OverlayAlgorithm};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 // ---------- aggregate algebra ----------
 
@@ -212,6 +214,78 @@ proptest! {
         // Writers always push.
         for (w, _) in ov.writers() {
             prop_assert!(out.decisions.is_push(w));
+        }
+    }
+
+    // ---------- sharded ≡ single-threaded reference ----------
+
+    #[test]
+    fn sharded_engine_equals_reference_after_drain(
+        seed in 0u64..100,
+        shards in 2usize..6,
+        chunked in any::<bool>(),
+        agg_pick in 0usize..3,
+        events in proptest::collection::vec((0u32..30, -50i64..50), 20..300),
+        batch_size in 1usize..64,
+    ) {
+        fn check<A: Aggregate + Clone>(
+            agg: A,
+            ov: &Arc<Overlay>,
+            d: &Decisions,
+            shards: usize,
+            strategy: PartitionStrategy,
+            events: &[(u32, i64)],
+            batch_size: usize,
+        ) {
+            let reference = Engine::from_core(Arc::new(EngineCore::new(
+                agg.clone(),
+                Arc::clone(ov),
+                d,
+                WindowSpec::Tuple(1),
+            )));
+            let sharded = ShardedEngine::new(
+                agg,
+                Arc::clone(ov),
+                d,
+                WindowSpec::Tuple(1),
+                &ShardedConfig { shards, strategy, channel_capacity: 64 },
+            );
+            let stream: Vec<Event> = events
+                .iter()
+                .map(|&(n, v)| Event::Write { node: NodeId(n), value: v })
+                .collect();
+            for (ts, e) in stream.iter().enumerate() {
+                if let Event::Write { node, value } = *e {
+                    reference.write(node, value, ts as u64);
+                }
+            }
+            for batch in batch_events(&stream, batch_size, 0) {
+                sharded.ingest(&batch);
+            }
+            sharded.drain();
+            for n in 0..30u32 {
+                assert_eq!(
+                    sharded.read(NodeId(n)),
+                    reference.read(NodeId(n)),
+                    "node {n} diverged ({shards} shards, {strategy:?})"
+                );
+            }
+            sharded.shutdown();
+        }
+
+        let g = eagr::gen::social_graph(30, 3, seed);
+        let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+        let d = Decisions::all_push(&ov);
+        let strategy = if chunked {
+            PartitionStrategy::Chunk { chunk_size: 8 }
+        } else {
+            PartitionStrategy::Hash
+        };
+        match agg_pick {
+            0 => check(Sum, &ov, &d, shards, strategy, &events, batch_size),
+            1 => check(Count, &ov, &d, shards, strategy, &events, batch_size),
+            _ => check(Max, &ov, &d, shards, strategy, &events, batch_size),
         }
     }
 

@@ -1,0 +1,262 @@
+//! The sharded engine runtime: partitioner determinism, cross-shard push
+//! delivery, and epoch-drain completeness under concurrent reads.
+
+use eagr::exec::{EngineCore, ShardedConfig, ShardedEngine};
+use eagr::flow::Decisions;
+use eagr::gen::{batch_events, generate_events, social_graph, Event, WorkloadConfig};
+use eagr::graph::{BipartiteGraph, PartitionStrategy, Partitioner};
+use eagr::overlay::Overlay;
+use eagr::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn all_push_parts(n: usize, seed: u64) -> (DataGraph, Arc<Overlay>, Decisions) {
+    let g = social_graph(n, 4, seed);
+    let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+    let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+    let d = Decisions::all_push(&ov);
+    (g, ov, d)
+}
+
+fn sharded_over(
+    ov: &Arc<Overlay>,
+    d: &Decisions,
+    shards: usize,
+    strategy: PartitionStrategy,
+) -> ShardedEngine<Sum> {
+    ShardedEngine::new(
+        Sum,
+        Arc::clone(ov),
+        d,
+        WindowSpec::Tuple(1),
+        &ShardedConfig {
+            shards,
+            strategy,
+            channel_capacity: 256,
+        },
+    )
+}
+
+// ---------- partitioner determinism ----------
+
+#[test]
+fn partitioner_is_deterministic_and_total() {
+    for strategy in [
+        PartitionStrategy::Hash,
+        PartitionStrategy::Chunk { chunk_size: 16 },
+    ] {
+        for shards in [1usize, 2, 4, 7] {
+            let a = Partitioner::new(shards, strategy).partition(2000);
+            let b = Partitioner::new(shards, strategy).partition(2000);
+            assert_eq!(a, b, "{strategy:?}/{shards} must be reproducible");
+            assert_eq!(a.len(), 2000);
+            for i in 0..2000 {
+                assert!(a.shard_of(i).idx() < shards);
+                // Point lookups agree with the materialized mapping.
+                assert_eq!(
+                    Partitioner::new(shards, strategy).shard_of(i),
+                    a.shard_of(i)
+                );
+            }
+            assert_eq!(a.shard_sizes().iter().sum::<usize>(), 2000);
+        }
+    }
+}
+
+#[test]
+fn engine_partition_matches_standalone_partitioner() {
+    let (_, ov, d) = all_push_parts(120, 21);
+    let strategy = PartitionStrategy::Chunk { chunk_size: 32 };
+    let eng = sharded_over(&ov, &d, 4, strategy);
+    let expect = Partitioner::new(4, strategy).partition(ov.node_count());
+    assert_eq!(*eng.partition(), expect);
+    eng.shutdown();
+}
+
+// ---------- cross-shard push delivery ----------
+
+#[test]
+fn cross_shard_pushes_are_delivered_exactly() {
+    // Writers and their push consumers land on different shards under a
+    // hash partition; after drain the state must equal a single-threaded
+    // replay and cross-shard traffic must actually have happened.
+    let (g, ov, d) = all_push_parts(200, 22);
+    let eng = sharded_over(&ov, &d, 4, PartitionStrategy::Hash);
+    let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+    let events = generate_events(
+        200,
+        &WorkloadConfig {
+            events: 5000,
+            write_to_read: 1e9,
+            seed: 23,
+            ..Default::default()
+        },
+    );
+    for (ts, e) in events.iter().enumerate() {
+        if let Event::Write { node, value } = *e {
+            reference.write(node, value, ts as u64);
+        }
+    }
+    for batch in batch_events(&events, 640, 0) {
+        eng.ingest(&batch);
+    }
+    eng.drain();
+    assert!(
+        eng.cross_shard_deltas() > 0,
+        "a 4-shard hash partition of a social graph must ship cross-shard deltas"
+    );
+    for v in g.nodes() {
+        assert_eq!(eng.read(v), reference.read(v), "node {v:?}");
+    }
+    eng.shutdown();
+}
+
+#[test]
+fn chunk_locality_reduces_cross_shard_traffic_or_stays_correct() {
+    // Chunk partitioning must stay correct; on VNM overlays (chunk-mates
+    // allocated consecutively) it usually also ships fewer deltas than
+    // hash. Correctness is asserted; the traffic relation is reported via
+    // the counters but not asserted (it is workload-dependent).
+    let g = social_graph(300, 5, 24);
+    let sys = EagrSystem::builder(EgoQuery::new(Sum))
+        .overlay(eagr::OverlayAlgorithm::Vnma)
+        .decisions(DecisionAlgorithm::AllPush)
+        .build(&g);
+    let plan = sys.plan();
+    let events = generate_events(
+        300,
+        &WorkloadConfig {
+            events: 4000,
+            write_to_read: 1e9,
+            seed: 25,
+            ..Default::default()
+        },
+    );
+    let mut results = Vec::new();
+    for strategy in [
+        PartitionStrategy::Hash,
+        PartitionStrategy::Chunk { chunk_size: 64 },
+    ] {
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::new(plan.overlay.clone()),
+            &plan.decisions,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards: 4,
+                strategy,
+                channel_capacity: 256,
+            },
+        );
+        for batch in batch_events(&events, 512, 0) {
+            eng.ingest(&batch);
+        }
+        eng.drain();
+        let mut reads = Vec::new();
+        for v in g.nodes() {
+            reads.push(eng.read(v));
+        }
+        results.push(reads);
+        eng.shutdown();
+    }
+    assert_eq!(
+        results[0], results[1],
+        "strategy choice must never change results"
+    );
+}
+
+// ---------- epoch-drain completeness under concurrent reads ----------
+
+#[test]
+fn drain_completes_while_readers_hammer_the_engine() {
+    let (g, ov, d) = all_push_parts(150, 26);
+    let eng = Arc::new(sharded_over(&ov, &d, 4, PartitionStrategy::Hash));
+    let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+    let events = generate_events(
+        150,
+        &WorkloadConfig {
+            events: 6000,
+            write_to_read: 1e9,
+            seed: 27,
+            ..Default::default()
+        },
+    );
+    for (ts, e) in events.iter().enumerate() {
+        if let Event::Write { node, value } = *e {
+            reference.write(node, value, ts as u64);
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Concurrent readers: results mid-epoch are relaxed (may be
+        // partial) but must never deadlock or crash, and drain() must
+        // still terminate while they run.
+        for t in 0..3u32 {
+            let eng = Arc::clone(&eng);
+            let stop = Arc::clone(&stop);
+            let nodes: Vec<NodeId> = g.nodes().collect();
+            s.spawn(move || {
+                let mut i = t as usize;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(eng.read(nodes[i % nodes.len()]));
+                    i += 1;
+                }
+            });
+        }
+        for batch in batch_events(&events, 500, 0) {
+            eng.ingest_epoch(&batch); // drain inside the epoch loop
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    // After the final drain every write is fully propagated: the state
+    // equals the sequential reference.
+    for v in g.nodes() {
+        assert_eq!(eng.read(v), reference.read(v), "node {v:?}");
+    }
+    match Arc::try_unwrap(eng) {
+        Ok(e) => e.shutdown(),
+        Err(_) => panic!("engine still shared"),
+    }
+}
+
+#[test]
+fn interleaved_reads_and_writes_through_the_facade() {
+    // Mixed batches through EagrSystem in sharded mode: reads inside a
+    // batch run inline and tolerate in-flight writes; each write_batch
+    // call is a full epoch so the next batch observes everything prior.
+    let g = social_graph(100, 4, 28);
+    let sys = EagrSystem::builder(EgoQuery::new(Count))
+        .decisions(DecisionAlgorithm::AllPush)
+        .execution(eagr::ExecutionMode::Sharded { shards: 3 })
+        .build(&g);
+    let events = generate_events(
+        100,
+        &WorkloadConfig {
+            events: 3000,
+            write_to_read: 2.0,
+            seed: 29,
+            ..Default::default()
+        },
+    );
+    let mut writes = 0;
+    let mut reads = 0;
+    for batch in batch_events(&events, 256, 0) {
+        let (w, r) = sys.write_batch(&batch);
+        writes += w;
+        reads += r;
+    }
+    assert_eq!(reads, events.iter().filter(|e| !e.is_write()).count());
+    assert!(writes > 0);
+    // Post-drain answers equal the oracle.
+    let mut oracle = NaiveOracle::new(Count, WindowSpec::Tuple(1), Neighborhood::In);
+    for (ts, e) in events.iter().enumerate() {
+        if let Event::Write { node, value } = *e {
+            oracle.write(node, value, ts as u64);
+        }
+    }
+    for v in g.nodes() {
+        if let Some(got) = sys.read(v) {
+            assert_eq!(got, oracle.read(&g, v), "node {v:?}");
+        }
+    }
+}

@@ -29,6 +29,50 @@ impl<T> fmt::Display for SendError<T> {
 
 impl<T> std::error::Error for SendError<T> {}
 
+/// Error returned by [`Sender::try_send`]. Carries the unsent message back
+/// to the caller in both cases.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+        }
+    }
+
+    /// Whether the failure was a full channel (as opposed to disconnect).
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and every
 /// sender has been dropped.
 #[derive(PartialEq, Eq, Clone, Copy, Debug)]
@@ -101,6 +145,25 @@ impl<T> Sender<T> {
                     state = self.shared.not_full.wait(state).expect("channel mutex");
                 }
                 _ => break,
+            }
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Deliver `msg` only if the channel has room right now; never blocks.
+    /// Returns the message inside the error when the channel is full or
+    /// every receiver is gone.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel mutex");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if state.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
             }
         }
         state.queue.push_back(msg);
@@ -242,6 +305,24 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = bounded::<u8>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        match tx.try_send(3) {
+            Err(e) if e.is_full() => assert_eq!(e.into_inner(), 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        match tx.try_send(4) {
+            Err(TrySendError::Disconnected(4)) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
 
     #[test]
     fn fifo_order_single_consumer() {

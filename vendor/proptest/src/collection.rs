@@ -41,7 +41,7 @@ impl From<usize> for SizeRange {
 }
 
 /// Strategy producing `Vec`s of values from an element strategy (see
-/// [`vec`]).
+/// [`vec()`](fn@vec)).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
