@@ -15,9 +15,9 @@ use eagr::agg::{Aggregate, CostModel, Max, Sum, TopK, WindowSpec};
 use eagr::exec::{EngineCore, ParallelConfig, ParallelEngine, ShardedConfig, ShardedEngine};
 use eagr::flow::{plan, DecisionAlgorithm, Decisions, PlannerConfig, Rates};
 use eagr::gen::{batch_events, generate_events, zipf_rates, Dataset, Event, WorkloadConfig};
-use eagr::graph::{BipartiteGraph, Neighborhood, PartitionStrategy};
+use eagr::graph::{BipartiteGraph, Neighborhood, PartitionStrategy, DEFAULT_CHUNK_SIZE};
 use eagr::overlay::{build_iob, build_vnm, IobConfig, Overlay, VnmConfig};
-use eagr_bench::{banner, max_props, scale, sum_props, Table};
+use eagr_bench::{banner, max_props, scale, sum_props, write_json_artifact, Json, Table};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -293,7 +293,11 @@ fn fig14c() {
 /// Write-ingestion comparison (beyond the paper): the same all-push
 /// workload pushed through (1) the single-threaded reference engine event
 /// by event, (2) the two-pool queueing-model engine event by event, and
-/// (3) the sharded runtime in ingestion epochs, at several shard counts.
+/// (3) the sharded runtime in ingestion epochs, at several shard counts ×
+/// the three partition strategies (hash, chunk-locality, edge-cut).
+///
+/// Emits `BENCH_fig14.json` (ops/s + cross-shard delta counters per
+/// engine/strategy) so nightly CI tracks the perf trajectory across PRs.
 fn fig14d() {
     banner(
         "Figure 14(d) [extension]",
@@ -322,6 +326,7 @@ fn fig14d() {
         events.len()
     );
     let t = Table::new(&["engine", "ops/s", "vs single", "cross-shard deltas"]);
+    let mut rows: Vec<Json> = Vec::new();
 
     // (1) Single-threaded reference, event at a time.
     let single = {
@@ -335,6 +340,10 @@ fn fig14d() {
         events.len() as f64 / t0.elapsed().as_secs_f64()
     };
     t.row(&[&"single-thread", &format!("{single:.0}"), &"1.00x", &"-"]);
+    rows.push(Json::obj(vec![
+        ("engine", Json::Str("single-thread".into())),
+        ("ops_per_s", Json::Num(single)),
+    ]));
 
     // (2) Two-pool queueing model, event at a time.
     {
@@ -359,14 +368,23 @@ fn fig14d() {
             &format!("{:.2}x", ops / single),
             &"-",
         ]);
+        rows.push(Json::obj(vec![
+            ("engine", Json::Str("two-pool".into())),
+            ("ops_per_s", Json::Num(ops)),
+        ]));
         eng.shutdown();
     }
 
-    // (3) Sharded ingestion at several shard counts × both strategies.
+    // (3) Sharded ingestion at several shard counts × all three partition
+    // strategies. Edge-cut derives the map from the overlay's push
+    // topology; its cross-shard delta column is the one to watch.
     for shards in [2usize, 4, 8] {
         for strategy in [
             PartitionStrategy::Hash,
-            PartitionStrategy::Chunk { chunk_size: 64 },
+            PartitionStrategy::Chunk {
+                chunk_size: DEFAULT_CHUNK_SIZE,
+            },
+            PartitionStrategy::EdgeCut,
         ] {
             let eng = ShardedEngine::new(
                 Sum,
@@ -386,21 +404,44 @@ fn fig14d() {
             }
             eng.drain();
             let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
-            let label = match strategy {
-                PartitionStrategy::Hash => format!("sharded x{shards} (hash)"),
-                PartitionStrategy::Chunk { .. } => format!("sharded x{shards} (chunk)"),
+            let sname = match strategy {
+                PartitionStrategy::Hash => "hash",
+                PartitionStrategy::Chunk { .. } => "chunk",
+                PartitionStrategy::EdgeCut => "edge-cut",
             };
             t.row(&[
-                &label,
+                &format!("sharded x{shards} ({sname})"),
                 &format!("{ops:.0}"),
                 &format!("{:.2}x", ops / single),
                 &format!("{}", eng.cross_shard_deltas()),
             ]);
+            rows.push(Json::obj(vec![
+                ("engine", Json::Str("sharded".into())),
+                ("shards", Json::Num(shards as f64)),
+                ("strategy", Json::Str(sname.into())),
+                ("ops_per_s", Json::Num(ops)),
+                (
+                    "cross_shard_deltas",
+                    Json::Num(eng.cross_shard_deltas() as f64),
+                ),
+                ("local_applies", Json::Num(eng.local_applies() as f64)),
+            ]));
             eng.shutdown();
         }
     }
     println!("\nexpect: sharded ingestion ≫ two-pool per-event (no per-PAO locks, no per-op");
-    println!("channel round-trips); chunk partitioning ships fewer cross-shard deltas than hash.");
+    println!("channel round-trips); edge-cut ships the fewest cross-shard deltas, then chunk,");
+    println!("then hash — identical answers in all cases.");
+    write_json_artifact(
+        "fig14",
+        &Json::obj(vec![
+            ("figure", Json::Str("fig14d".into())),
+            ("scale", Json::Num(scale())),
+            ("events", Json::Num(events.len() as f64)),
+            ("batch", Json::Num(batch as f64)),
+            ("rows", Json::Arr(rows)),
+        ]),
+    );
 }
 
 fn main() {

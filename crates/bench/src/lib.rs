@@ -93,6 +93,85 @@ pub fn banner(fig: &str, caption: &str) {
     println!("(scaled synthetic stand-ins; compare shapes with the paper, not absolutes)\n");
 }
 
+/// Minimal JSON value for machine-readable bench artifacts. The vendored
+/// dependency set has no serde, and the artifacts are small flat
+/// summaries — a four-variant tree and a renderer are all that's needed
+/// for nightly CI to track the perf trajectory across PRs.
+pub enum Json {
+    /// A number (rendered with enough precision for ops/s and counters).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    "null".to_string() // JSON has no NaN/inf
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
+                    format!("{}", *x as i64)
+                } else {
+                    format!("{x}")
+                }
+            }
+            Json::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+                out
+            }
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(Json::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(pairs) => {
+                let inner: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", Json::Str(k.clone()).render(), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Write a machine-readable bench artifact as `BENCH_<name>.json` in
+/// `EAGR_BENCH_JSON_DIR` (default: the current directory). Nightly CI
+/// captures these files so the perf trajectory is tracked across PRs; a
+/// write failure only warns — producing numbers on stdout must never be
+/// blocked by a read-only filesystem.
+pub fn write_json_artifact(name: &str, json: &Json) {
+    let dir = std::env::var("EAGR_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, json.render() + "\n") {
+        Ok(()) => println!("[machine-readable results: {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// Format a float compactly.
 pub fn f(x: f64) -> String {
     if x.abs() >= 1000.0 {

@@ -190,8 +190,10 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
             ExecutionMode::Sharded { shards } => {
                 let cfg = ShardedConfig::with_shards(shards.max(1));
                 // The plan carries the partition so planner and engine
-                // agree on shard ownership.
-                p = p.with_partition(cfg.shards, cfg.strategy);
+                // agree on shard ownership; the planner scores hash, chunk,
+                // and edge-cut candidates by modeled cross-shard delta
+                // volume and keeps the cheapest.
+                p = p.with_auto_partition(cfg.shards);
                 let engine = ShardedEngine::from_plan(
                     &p,
                     self.query.aggregate.clone(),
@@ -278,6 +280,10 @@ impl<A: Aggregate> EagrSystem<A> {
     /// for throughput. Returns PAO updates performed where known (0 in
     /// sharded mode).
     pub fn write(&self, v: NodeId, value: i64, ts: u64) -> usize {
+        // Keep the ingest clock ahead of explicitly timestamped point
+        // writes (same guard as `apply_batch`): a later `ingest` must
+        // never re-issue `ts` or stamp events before it.
+        self.clock.fetch_max(ts + 1, Ordering::Relaxed);
         match &self.runtime {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.write(v, value, ts),
             Runtime::Sharded(eng) => {
@@ -296,11 +302,18 @@ impl<A: Aggregate> EagrSystem<A> {
         }
     }
 
-    /// Expire time-window values.
+    /// Expire time-window values. Returns PAO updates performed.
+    ///
+    /// In [`ExecutionMode::Sharded`] the sweep is routed through the shard
+    /// inboxes — each owning worker expires its own writers' windows — and
+    /// drained as one epoch, so it is safe to call concurrently with
+    /// ingestion (the caller thread never mutates shard-owned state). The
+    /// returned count then covers everything applied while the sweep
+    /// drained, including concurrently ingested writes.
     pub fn advance_time(&self, ts: u64) -> usize {
         match &self.runtime {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.advance_time(ts),
-            Runtime::Sharded(eng) => eng.core().advance_time(ts),
+            Runtime::Sharded(eng) => eng.advance_time_epoch(ts) as usize,
         }
     }
 
@@ -623,6 +636,77 @@ mod tests {
         // …so a later ingest never re-issues timestamps 100..200.
         sys.ingest(&events);
         assert_eq!(sys.stream_position(), 700);
+    }
+
+    #[test]
+    fn point_write_advances_ingest_clock_in_every_mode() {
+        let g = social_graph(60, 3, 15);
+        let modes = [
+            ExecutionMode::SingleThreaded,
+            ExecutionMode::TwoPool(ParallelConfig {
+                write_threads: 1,
+                read_threads: 1,
+            }),
+            ExecutionMode::Sharded { shards: 2 },
+        ];
+        for mode in modes {
+            let sys = EagrSystem::builder(EgoQuery::new(Sum))
+                .execution(mode)
+                .build(&g);
+            // A point write with a large explicit timestamp must advance
+            // the shared stream clock…
+            sys.write(NodeId(0), 7, 500);
+            assert_eq!(sys.stream_position(), 501, "{mode:?}");
+            // …so a later ingest stamps strictly-later timestamps instead
+            // of re-issuing 0..100.
+            let events = generate_events(
+                60,
+                &WorkloadConfig {
+                    events: 100,
+                    ..Default::default()
+                },
+            );
+            sys.ingest(&events);
+            assert_eq!(sys.stream_position(), 601, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_advance_time_matches_local_expiration() {
+        let g = social_graph(80, 4, 31);
+        let build = |mode| {
+            EagrSystem::builder(EgoQuery::new(Sum).window(WindowSpec::Time(50)))
+                .decisions(DecisionAlgorithm::AllPush)
+                .execution(mode)
+                .build(&g)
+        };
+        let local = build(ExecutionMode::SingleThreaded);
+        let sharded = build(ExecutionMode::Sharded { shards: 3 });
+        let events = generate_events(
+            80,
+            &WorkloadConfig {
+                events: 2000,
+                write_to_read: 1e9,
+                seed: 32,
+                ..Default::default()
+            },
+        );
+        for batch in eagr_gen::batch_events(&events, 250, 0) {
+            local.write_batch(&batch);
+            sharded.write_batch(&batch);
+        }
+        // Expire most of the stream; the sharded sweep runs on the shard
+        // workers, the local one on the caller thread — same answers.
+        let applied = sharded.advance_time(1900);
+        assert!(applied > 0, "expirations must be applied");
+        local.advance_time(1900);
+        for v in 0..80u32 {
+            assert_eq!(
+                sharded.read(NodeId(v)),
+                local.read(NodeId(v)),
+                "node {v} after expiration"
+            );
+        }
     }
 
     #[test]

@@ -213,22 +213,28 @@ impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
         }
     }
 
+    /// Advance one writer's window to `ts` and return the expirations as
+    /// `Remove` delta ops, *without* applying them. Public so shard-owning
+    /// workers can expire the windows of their own writers and route the
+    /// removals through their shard-local cascade — the caller-thread
+    /// equivalent is [`advance_time`](Self::advance_time).
+    pub fn expire_ops(&self, wid: OverlayId, ts: u64) -> Vec<DeltaOp> {
+        let mut expired = Vec::new();
+        self.windows[wid.idx()]
+            .as_ref()
+            .expect("writer has a window")
+            .lock()
+            .advance(ts, &mut expired);
+        expired.into_iter().map(DeltaOp::Remove).collect()
+    }
+
     /// Advance time to `ts` (time-based windows): expire stale values at
     /// every writer and propagate the removals. Returns PAO updates done.
     pub fn advance_time(&self, ts: u64) -> usize {
         let mut done = 0;
         let mut stack = Vec::new();
         for (wid, _) in self.overlay.writers() {
-            let mut expired = Vec::new();
-            {
-                let mut win = self.windows[wid.idx()]
-                    .as_ref()
-                    .expect("writer has a window")
-                    .lock();
-                win.advance(ts, &mut expired);
-            }
-            for v in expired {
-                let op = DeltaOp::Remove(v);
+            for op in self.expire_ops(wid, ts) {
                 self.apply_at(wid, op);
                 done += 1;
                 self.fan_out(wid, op, &mut stack);

@@ -28,5 +28,5 @@ pub use adaptive::AdaptiveEngine;
 pub use engine::Engine;
 pub use metrics::{throughput, LatencyRecorder};
 pub use parallel::{ParallelConfig, ParallelEngine};
-pub use sharded::{ShardedConfig, ShardedCore, ShardedEngine};
+pub use sharded::{ShardStats, ShardedConfig, ShardedCore, ShardedEngine};
 pub use store::{LockedStore, PaoStore, ShardedStore};

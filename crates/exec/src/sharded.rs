@@ -23,7 +23,19 @@
 //! * [`drain`](ShardedEngine::drain) is an epoch barrier: it returns once
 //!   every routed batch and every transitively generated cross-shard delta
 //!   batch has been applied, at which point the engine state equals the
-//!   single-threaded reference replay of the same stream.
+//!   single-threaded reference replay of the same stream;
+//! * time-window expiration ([`advance_time`](ShardedEngine::advance_time))
+//!   travels through the same inboxes as writes: each shard's worker
+//!   expires the windows of the writers *it owns* and cascades the
+//!   removals through its own slab — the caller thread never mutates
+//!   shard-owned PAOs, preserving the single-writer invariant;
+//! * the node→shard map can be structure-aware: with
+//!   [`PartitionStrategy::EdgeCut`] the engine derives an affinity
+//!   partition from the overlay's push topology (or accepts a precomputed
+//!   one from the planner via [`ShardedEngine::from_plan`] /
+//!   [`ShardedEngine::with_partition`]), and per-shard
+//!   [`ShardStats`] counters make the resulting cross-shard delta
+//!   reduction measurable.
 //!
 //! Reads run on the calling thread through the shard slab read locks and
 //! may observe partially propagated state between epochs — the same relaxed
@@ -35,8 +47,11 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use eagr_agg::{Aggregate, DeltaOp, WindowSpec};
 use eagr_flow::{Decisions, Plan};
 use eagr_gen::{Event, EventBatch};
-use eagr_graph::{NodeId, Partition, PartitionStrategy, Partitioner, ShardId};
-use eagr_overlay::{Overlay, OverlayId};
+use eagr_graph::{
+    edge_cut_partition, EdgeCutConfig, NodeId, Partition, PartitionStrategy, Partitioner, ShardId,
+    DEFAULT_CHUNK_SIZE,
+};
+use eagr_overlay::{Overlay, OverlayId, PushEdgeView};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -72,7 +87,9 @@ impl Default for ShardedConfig {
             shards: cores.clamp(2, 16),
             // Overlay construction allocates chunk-mates consecutively, so
             // chunked partitioning co-locates partials with their readers.
-            strategy: PartitionStrategy::Chunk { chunk_size: 64 },
+            strategy: PartitionStrategy::Chunk {
+                chunk_size: DEFAULT_CHUNK_SIZE,
+            },
             channel_capacity: 1 << 12,
         }
     }
@@ -85,8 +102,28 @@ enum ShardMsg {
     Writes(Vec<(OverlayId, i64, u64)>),
     /// Propagated delta ops targeting nodes the shard owns.
     Deltas(Vec<(OverlayId, DeltaOp)>),
+    /// Expire time windows up to `ts` for every writer the shard owns and
+    /// cascade the removals (the sharded form of
+    /// [`EngineCore::advance_time`]).
+    Expire(u64),
     /// Terminate the worker.
     Stop,
+}
+
+/// Per-shard runtime counters ([`ShardedEngine::shard_stats`]): how much
+/// work stayed local and how much was shipped to peers — the observable the
+/// partition strategies compete on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard.
+    pub shard: ShardId,
+    /// Overlay nodes the shard owns.
+    pub nodes: usize,
+    /// Delta ops this shard's worker applied to its own slab (local work,
+    /// including ops that arrived from peers).
+    pub local_applies: u64,
+    /// Delta ops this shard's worker shipped to *other* shards' inboxes.
+    pub cross_deltas_out: u64,
 }
 
 /// The sharded core type: an [`EngineCore`] over shard-slab PAO storage.
@@ -96,16 +133,24 @@ pub type ShardedCore<A> = EngineCore<A, ShardedStore<<A as Aggregate>::Partial>>
 pub struct ShardedEngine<A: Aggregate> {
     core: Arc<ShardedCore<A>>,
     partition: Arc<Partition>,
+    window: WindowSpec,
     txs: Vec<Sender<ShardMsg>>,
     pending: Arc<AtomicU64>,
-    cross_deltas: Arc<AtomicU64>,
+    /// Per-shard deltas shipped to peers (indexed by sending shard).
+    cross_out: Arc<Vec<AtomicU64>>,
+    /// Per-shard delta ops applied locally (indexed by owning shard).
+    local: Arc<Vec<AtomicU64>>,
     epochs: AtomicU64,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl<A: Aggregate> ShardedEngine<A> {
     /// Build the sharded runtime for an overlay + decisions and spawn one
-    /// owning worker per shard.
+    /// owning worker per shard. [`PartitionStrategy::EdgeCut`] derives the
+    /// node→shard map from the overlay's push topology under `decisions`
+    /// (uniform rate prior — hand a planner-weighted map to
+    /// [`with_partition`](Self::with_partition) for rate-aware cuts); the
+    /// index-based strategies go through a plain [`Partitioner`].
     pub fn new(
         agg: A,
         overlay: Arc<Overlay>,
@@ -113,7 +158,13 @@ impl<A: Aggregate> ShardedEngine<A> {
         window: WindowSpec,
         cfg: &ShardedConfig,
     ) -> Self {
-        let partition = Partitioner::new(cfg.shards, cfg.strategy).partition(overlay.node_count());
+        let partition = match cfg.strategy {
+            PartitionStrategy::EdgeCut => {
+                let view = PushEdgeView::new(&overlay, |n| decisions.is_push(n));
+                edge_cut_partition(&view, cfg.shards, &EdgeCutConfig::default())
+            }
+            strategy => Partitioner::new(cfg.shards, strategy).partition(overlay.node_count()),
+        };
         Self::with_partition(
             agg,
             overlay,
@@ -176,17 +227,28 @@ impl<A: Aggregate> ShardedEngine<A> {
             rxs.push(rx);
         }
         let pending = Arc::new(AtomicU64::new(0));
-        let cross_deltas = Arc::new(AtomicU64::new(0));
+        let cross_out: Arc<Vec<AtomicU64>> =
+            Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
+        let local: Arc<Vec<AtomicU64>> = Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
+        // Each worker expires the windows of exactly the writers it owns,
+        // so window mutation follows the same single-writer discipline as
+        // PAO mutation.
+        let mut writers_by_shard: Vec<Vec<OverlayId>> = vec![Vec::new(); shards];
+        for (wid, _) in core.overlay().writers() {
+            writers_by_shard[partition.shard_of(wid.idx()).idx()].push(wid);
+        }
         let mut handles = Vec::with_capacity(shards);
         for (shard, rx) in rxs.into_iter().enumerate() {
             let worker = ShardWorker {
                 core: Arc::clone(&core),
                 partition: Arc::clone(&partition),
                 shard: ShardId(shard as u32),
+                writers: std::mem::take(&mut writers_by_shard[shard]),
                 rx,
                 txs: txs.clone(),
                 pending: Arc::clone(&pending),
-                cross_deltas: Arc::clone(&cross_deltas),
+                cross_out: Arc::clone(&cross_out),
+                local: Arc::clone(&local),
             };
             let h = std::thread::Builder::new()
                 .name(format!("eagr-shard-{shard}"))
@@ -197,9 +259,11 @@ impl<A: Aggregate> ShardedEngine<A> {
         Self {
             core,
             partition,
+            window,
             txs,
             pending,
-            cross_deltas,
+            cross_out,
+            local,
             epochs: AtomicU64::new(0),
             handles,
         }
@@ -302,6 +366,39 @@ impl<A: Aggregate> ShardedEngine<A> {
         self.core.read(v)
     }
 
+    /// Route a window-expiration sweep up to `ts` through every shard's
+    /// inbox. Each owning worker expires the windows of its own writers
+    /// and cascades the removals — the caller thread touches no shard
+    /// state, so this is safe to call concurrently with
+    /// [`ingest`](Self::ingest). Per-writer ordering against writes holds
+    /// for a single submitting thread: the expiration lands in each inbox
+    /// after the writes submitted before it. Call [`drain`](Self::drain)
+    /// (or use [`advance_time_epoch`](Self::advance_time_epoch)) to wait
+    /// for the sweep to be fully applied.
+    pub fn advance_time(&self, ts: u64) {
+        // Only time windows ever expire by clock (WindowBuffer::advance is
+        // a no-op otherwise): skip the slab-locking per-writer sweep
+        // entirely for tuple/unbounded windows.
+        if !matches!(self.window, WindowSpec::Time(_)) {
+            return;
+        }
+        for tx in &self.txs {
+            self.pending.fetch_add(1, Ordering::AcqRel);
+            tx.send(ShardMsg::Expire(ts)).expect("shard worker alive");
+        }
+    }
+
+    /// [`advance_time`](Self::advance_time) followed by a drain; returns
+    /// the PAO updates applied while the sweep drained (includes any
+    /// concurrently ingested writes — an exact per-sweep count would
+    /// require stopping the world).
+    pub fn advance_time_epoch(&self, ts: u64) -> u64 {
+        let before = self.local_applies();
+        self.advance_time(ts);
+        self.drain();
+        self.local_applies() - before
+    }
+
     /// Epoch barrier: block until every routed batch and all transitively
     /// generated cross-shard deltas have been applied.
     pub fn drain(&self) {
@@ -317,7 +414,30 @@ impl<A: Aggregate> ShardedEngine<A> {
 
     /// Total delta ops shipped across shard boundaries so far.
     pub fn cross_shard_deltas(&self) -> u64 {
-        self.cross_deltas.load(Ordering::Acquire)
+        self.cross_out
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Total delta ops applied to shard slabs so far.
+    pub fn local_applies(&self) -> u64 {
+        self.local.iter().map(|c| c.load(Ordering::Acquire)).sum()
+    }
+
+    /// Per-shard work counters: slab applies and deltas shipped to peers,
+    /// plus the node count each shard owns. Meaningful after a
+    /// [`drain`](Self::drain); between epochs the numbers are in flight.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let sizes = self.partition.shard_sizes();
+        (0..self.shard_count())
+            .map(|s| ShardStats {
+                shard: ShardId(s as u32),
+                nodes: sizes[s],
+                local_applies: self.local[s].load(Ordering::Acquire),
+                cross_deltas_out: self.cross_out[s].load(Ordering::Acquire),
+            })
+            .collect()
     }
 
     /// Drain, stop the workers, and join them.
@@ -352,10 +472,13 @@ struct ShardWorker<A: Aggregate> {
     core: Arc<ShardedCore<A>>,
     partition: Arc<Partition>,
     shard: ShardId,
+    /// Writer nodes this shard owns (window expiration targets).
+    writers: Vec<OverlayId>,
     rx: Receiver<ShardMsg>,
     txs: Vec<Sender<ShardMsg>>,
     pending: Arc<AtomicU64>,
-    cross_deltas: Arc<AtomicU64>,
+    cross_out: Arc<Vec<AtomicU64>>,
+    local: Arc<Vec<AtomicU64>>,
 }
 
 impl<A: Aggregate> ShardWorker<A> {
@@ -390,7 +513,7 @@ impl<A: Aggregate> ShardWorker<A> {
                     self.pending.fetch_add(1, Ordering::AcqRel);
                     match self.txs[dest].try_send(ShardMsg::Deltas(batch)) {
                         Ok(()) => {
-                            self.cross_deltas.fetch_add(n, Ordering::AcqRel);
+                            self.cross_out[self.shard.idx()].fetch_add(n, Ordering::AcqRel);
                         }
                         Err(e) if e.is_full() => {
                             self.pending.fetch_sub(1, Ordering::AcqRel);
@@ -454,6 +577,17 @@ impl<A: Aggregate> ShardWorker<A> {
                 }
                 false
             }
+            ShardMsg::Expire(ts) => {
+                *owed += 1;
+                let mut slab = self.core.store().lock_shard(self.shard);
+                for &wid in &self.writers {
+                    for op in self.core.expire_ops(wid, ts) {
+                        stack.push((wid, op));
+                        self.cascade(&mut slab, stack, outbox);
+                    }
+                }
+                false
+            }
             ShardMsg::Stop => true,
         }
     }
@@ -472,6 +606,7 @@ impl<A: Aggregate> ShardWorker<A> {
         while let Some((n, op)) = stack.pop() {
             op.apply(agg, slab.get_mut(n.idx()));
             self.core.record_push(n);
+            self.local[self.shard.idx()].fetch_add(1, Ordering::Relaxed);
             for &(t, sign) in overlay.outputs(n) {
                 if self.core.is_push(t) {
                     let routed = op.signed(sign);
@@ -608,5 +743,96 @@ mod tests {
         eng.submit_write(NodeId(2), 6, 0);
         eng.drain();
         drop(eng); // must not hang or leak a deadlocked worker
+    }
+
+    #[test]
+    fn edge_cut_strategy_builds_and_matches_reference() {
+        let (ov, d) = paper_parts();
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards: 3,
+                strategy: PartitionStrategy::EdgeCut,
+                channel_capacity: 64,
+            },
+        );
+        assert_eq!(eng.partition().strategy, PartitionStrategy::EdgeCut);
+        assert_eq!(eng.partition().len(), ov.node_count());
+        let reference = EngineCore::new(Sum, ov, &d, WindowSpec::Tuple(1));
+        for (ts, (node, value)) in [(2u32, 6i64), (3, 8), (4, 5), (2, 9), (5, 3)]
+            .into_iter()
+            .enumerate()
+        {
+            reference.write(NodeId(node), value, ts as u64);
+            eng.submit_write(NodeId(node), value, ts as u64);
+        }
+        eng.drain();
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "reader {v}");
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn advance_time_expires_through_shard_inboxes() {
+        let (ov, d) = paper_parts();
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Time(10),
+            &ShardedConfig {
+                shards: 4,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+            },
+        );
+        let reference = EngineCore::new(Sum, ov, &d, WindowSpec::Time(10));
+        for (node, value, ts) in [(2u32, 5i64, 0u64), (3, 7, 5)] {
+            eng.submit_write(NodeId(node), value, ts);
+            reference.write(NodeId(node), value, ts);
+        }
+        eng.drain();
+        assert_eq!(eng.read(NodeId(0)), Some(12));
+        // t = 11: the t=0 write expires everywhere, including across shards.
+        let applied = eng.advance_time_epoch(11);
+        reference.advance_time(11);
+        assert!(applied > 0, "expiration must apply PAO updates");
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "reader {v}");
+        }
+        // Advancing past everything empties the windows identically.
+        eng.advance_time_epoch(1000);
+        reference.advance_time(1000);
+        assert_eq!(eng.read(NodeId(0)), Some(0));
+        assert_eq!(eng.read(NodeId(0)), reference.read(NodeId(0)));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn shard_stats_account_all_work() {
+        let eng = sharded(4);
+        let events: Vec<Event> = (0..7u32)
+            .map(|n| Event::Write {
+                node: NodeId(n),
+                value: 1,
+            })
+            .collect();
+        eng.ingest_epoch(&EventBatch::new(0, events));
+        let stats = eng.shard_stats();
+        assert_eq!(stats.len(), 4);
+        let nodes: usize = stats.iter().map(|s| s.nodes).sum();
+        assert_eq!(nodes, eng.partition().len());
+        let local: u64 = stats.iter().map(|s| s.local_applies).sum();
+        let cross: u64 = stats.iter().map(|s| s.cross_deltas_out).sum();
+        assert_eq!(local, eng.local_applies());
+        assert_eq!(cross, eng.cross_shard_deltas());
+        // Every op lands in some slab; cross-shard ops are a subset.
+        assert!(local >= cross);
+        assert!(local > 0);
+        eng.shutdown();
     }
 }

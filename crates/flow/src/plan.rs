@@ -11,8 +11,11 @@ use crate::decide::{
 use crate::greedy::decide_greedy;
 use crate::split::split_for_partial_precomputation;
 use eagr_agg::CostModel;
-use eagr_graph::{Partition, PartitionStrategy, Partitioner};
-use eagr_overlay::Overlay;
+use eagr_graph::{
+    edge_cut_partition, EdgeCutConfig, Partition, PartitionStrategy, Partitioner,
+    DEFAULT_CHUNK_SIZE,
+};
+use eagr_overlay::{Overlay, PushEdgeView};
 
 /// Which decision procedure to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,11 +132,70 @@ pub fn plan(mut overlay: Overlay, rates: &Rates, cost: &CostModel, cfg: &Planner
 impl Plan {
     /// Attach a node→shard partition over this plan's overlay, for sharded
     /// execution. Partitioning happens *after* §4.7 splitting so split
-    /// nodes are covered too.
+    /// nodes are covered too. [`PartitionStrategy::EdgeCut`] derives the
+    /// map from the plan's own push topology and frequencies (see
+    /// [`push_view`](Self::push_view)); the index-based strategies go
+    /// through a plain [`Partitioner`].
     pub fn with_partition(mut self, shards: usize, strategy: PartitionStrategy) -> Self {
-        self.partition =
-            Some(Partitioner::new(shards, strategy).partition(self.overlay.node_count()));
+        self.partition = Some(match strategy {
+            PartitionStrategy::EdgeCut => {
+                edge_cut_partition(&self.push_view(), shards, &EdgeCutConfig::default())
+            }
+            _ => Partitioner::new(shards, strategy).partition(self.overlay.node_count()),
+        });
         self
+    }
+
+    /// Attach the cheapest of the three partition strategies, scored by the
+    /// fraction of modeled delta volume each would ship across shards
+    /// ([`PushEdgeView::cut_fraction`]). This is the cost model the system
+    /// builder uses in sharded mode: chunk partitioning wins on overlays
+    /// whose allocation order already clusters consumers, edge-cut wins
+    /// when the push topology disagrees with the id layout, and hash is the
+    /// structure-blind floor. Index-based candidates are scored first, so
+    /// on ties the cheaper-to-derive strategy is kept.
+    pub fn with_auto_partition(mut self, shards: usize) -> Self {
+        let view = self.push_view();
+        let n = self.overlay.node_count();
+        let candidates = [
+            Partitioner::new(
+                shards,
+                PartitionStrategy::Chunk {
+                    chunk_size: DEFAULT_CHUNK_SIZE,
+                },
+            )
+            .partition(n),
+            Partitioner::new(shards, PartitionStrategy::Hash).partition(n),
+            edge_cut_partition(&view, shards, &EdgeCutConfig::default()),
+        ];
+        self.partition = candidates
+            .into_iter()
+            .map(|cand| (view.cut_fraction(&cand), cand))
+            // min_by keeps the *first* of equally cheap candidates, so ties
+            // go to the cheaper-to-derive index-based strategies.
+            .min_by(|(a, _), (b, _)| a.total_cmp(b))
+            .map(|(_, p)| p);
+        self
+    }
+
+    /// The weighted push-edge affinity view of this plan: push edges the
+    /// execution cascade will follow, weighted by the planner's propagated
+    /// push frequencies (`fh`). Nodes the rate model considers silent keep
+    /// a small positive weight so pure structure still guides the
+    /// partitioner when rates are unknown.
+    pub fn push_view(&self) -> PushEdgeView {
+        PushEdgeView::weighted(
+            &self.overlay,
+            |n| self.decisions.is_push(n),
+            |n| {
+                let fh = self.freqs.fh[n.idx()];
+                if fh > 0.0 {
+                    fh
+                } else {
+                    1e-3
+                }
+            },
+        )
     }
 
     /// Re-run the §4.8 frontier adaptation with freshly observed
@@ -232,6 +294,50 @@ mod tests {
         let part = p.partition.as_ref().expect("partition attached");
         assert_eq!(part.len(), n, "covers every node incl. §4.7 splits");
         assert_eq!(part.shards, 4);
+    }
+
+    #[test]
+    fn edge_cut_partition_derives_from_push_view() {
+        let p = plan(
+            paper_overlay(),
+            &Rates::uniform(7, 1.0),
+            &CostModel::unit_sum(),
+            &PlannerConfig::default(),
+        );
+        let n = p.overlay.node_count();
+        let p = p.with_partition(3, PartitionStrategy::EdgeCut);
+        let part = p.partition.as_ref().expect("partition attached");
+        assert_eq!(part.len(), n);
+        assert_eq!(part.shards, 3);
+        assert_eq!(part.strategy, PartitionStrategy::EdgeCut);
+        // The derived cut never ships more than the structure-blind hash.
+        let view = p.push_view();
+        let hash = Partitioner::hash(3).partition(n);
+        assert!(view.cut_fraction(part) <= view.cut_fraction(&hash) + 1e-9);
+    }
+
+    #[test]
+    fn auto_partition_picks_the_cheapest_cut() {
+        let p = plan(
+            paper_overlay(),
+            &Rates::uniform(7, 1.0),
+            &CostModel::unit_sum(),
+            &PlannerConfig::default(),
+        );
+        let p = p.with_auto_partition(4);
+        let part = p.partition.as_ref().expect("partition attached");
+        let view = p.push_view();
+        let auto_cost = view.cut_fraction(part);
+        for strategy in [
+            PartitionStrategy::Hash,
+            PartitionStrategy::Chunk { chunk_size: 64 },
+        ] {
+            let cand = Partitioner::new(4, strategy).partition(p.overlay.node_count());
+            assert!(
+                auto_cost <= view.cut_fraction(&cand) + 1e-9,
+                "auto ({auto_cost}) must not lose to {strategy:?}"
+            );
+        }
     }
 
     #[test]

@@ -23,4 +23,7 @@ pub use bipartite::BipartiteGraph;
 pub use csr::CsrSnapshot;
 pub use data_graph::{paper_example_graph, DataGraph, NodeId};
 pub use neighborhood::Neighborhood;
-pub use partition::{Partition, PartitionStrategy, Partitioner, ShardId};
+pub use partition::{
+    edge_cut_partition, AffinityGraph, EdgeCutConfig, Partition, PartitionStrategy, Partitioner,
+    ShardId, DEFAULT_CHUNK_SIZE,
+};

@@ -7,7 +7,7 @@
 //! `usize` arena indexes, not a specific id type) so it can partition any
 //! arena-allocated node space — the overlay uses it via `OverlayId::idx()`.
 //!
-//! Two strategies are provided:
+//! Three strategies are provided:
 //!
 //! * [`PartitionStrategy::Hash`] — a multiplicative bit-mix of the index.
 //!   Spreads load evenly regardless of id allocation order; baseline
@@ -18,6 +18,14 @@
 //!   nodes feeding them) consecutively, so chunk partitioning co-locates a
 //!   partial aggregation node with most of its consumers and turns would-be
 //!   cross-shard deltas into local applies.
+//! * [`PartitionStrategy::EdgeCut`] — structure-aware: minimize the weight
+//!   of affinity edges crossing shard boundaries under a balance
+//!   constraint, computed by the greedy LDG-style streaming assigner
+//!   [`edge_cut_partition`] over an [`AffinityGraph`] (for EAGr, the
+//!   overlay's weighted push topology). Not index-derivable: a
+//!   [`Partitioner`] cannot be constructed with it — the materialized
+//!   [`Partition`] must be built from the affinity view and handed to the
+//!   engine.
 
 /// Identifier of one shard in a sharded engine runtime.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -37,6 +45,12 @@ impl std::fmt::Debug for ShardId {
     }
 }
 
+/// Default block size of [`PartitionStrategy::Chunk`]: matches the typical
+/// VNM reader-group allocation run, and is the single definition the
+/// engine's default config and the planner's auto-scored chunk candidate
+/// both use (tune it in one place).
+pub const DEFAULT_CHUNK_SIZE: usize = 64;
+
 /// How node indexes are mapped to shards.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PartitionStrategy {
@@ -50,6 +64,142 @@ pub enum PartitionStrategy {
         /// Number of consecutive indexes per block.
         chunk_size: usize,
     },
+    /// Affinity-derived edge-cut assignment ([`edge_cut_partition`]):
+    /// neighbors in the affinity graph gravitate to the same shard so
+    /// cross-shard traffic shrinks. Only valid on a materialized
+    /// [`Partition`]; [`Partitioner::new`] rejects it.
+    EdgeCut,
+}
+
+/// Read-only weighted neighbor view consumed by [`edge_cut_partition`].
+///
+/// Lives in this crate (below the overlay) so the assigner can partition
+/// any arena-indexed structure; `eagr_overlay`'s push-edge view implements
+/// it over the overlay's push topology.
+pub trait AffinityGraph {
+    /// Number of nodes in the arena.
+    fn node_count(&self) -> usize;
+
+    /// Weighted neighbors of node `idx`: `(neighbor index, affinity)`.
+    /// Affinity is symmetric intent — if `a` lists `b`, `b` should list
+    /// `a` with the same weight for the assigner's scores to be stable.
+    fn neighbors(&self, idx: usize) -> &[(u32, f32)];
+}
+
+/// Tuning knobs of the streaming edge-cut assigner.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeCutConfig {
+    /// Maximum shard load as a multiple of the perfectly balanced load
+    /// `n / shards`. `1.0` forces exact balance (degenerates to
+    /// round-robin tie-breaking); `1.1` allows 10% skew.
+    pub balance: f64,
+    /// Refinement passes after the initial streaming pass. During
+    /// refinement every node reconsiders its shard with the complete
+    /// assignment known, moving only when the move strictly reduces the
+    /// weight of cut edges and respects the balance cap.
+    pub passes: usize,
+}
+
+impl Default for EdgeCutConfig {
+    fn default() -> Self {
+        Self {
+            balance: 1.1,
+            passes: 2,
+        }
+    }
+}
+
+/// Greedy LDG-style streaming edge-cut partitioner (Stanton–Kliot linear
+/// deterministic greedy, plus bounded refinement passes).
+///
+/// Nodes are processed in arena order; each is assigned to the shard
+/// maximizing `affinity(node, shard) × (1 − load/capacity)` — neighbor
+/// affinity pulls nodes toward their consumers, the load penalty keeps
+/// shards balanced. Isolated nodes fall back to the least-loaded shard, so
+/// the result is always total and deterministic.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn edge_cut_partition<G: AffinityGraph + ?Sized>(
+    g: &G,
+    shards: usize,
+    cfg: &EdgeCutConfig,
+) -> Partition {
+    assert!(shards > 0, "at least one shard");
+    let n = g.node_count();
+    let capacity = ((n as f64 / shards as f64) * cfg.balance.max(1.0))
+        .ceil()
+        .max(1.0);
+    let mut of: Vec<ShardId> = vec![ShardId(u32::MAX); n];
+    let mut load = vec![0usize; shards];
+    let mut score = vec![0.0f64; shards];
+    // Streaming pass: place each node next to its already-placed neighbors.
+    for v in 0..n {
+        for s in score.iter_mut() {
+            *s = 0.0;
+        }
+        for &(u, w) in g.neighbors(v) {
+            let owner = of[u as usize];
+            if owner != ShardId(u32::MAX) {
+                score[owner.idx()] += w as f64;
+            }
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for s in 0..shards {
+            if load[s] as f64 >= capacity {
+                continue;
+            }
+            let penalty = 1.0 - load[s] as f64 / capacity;
+            // Affinity-weighted when the node has placed neighbors; the
+            // pure load penalty (least-loaded) otherwise.
+            let sc = if score[s] > 0.0 {
+                score[s] * penalty
+            } else {
+                penalty * 1e-9
+            };
+            if sc > best_score {
+                best_score = sc;
+                best = s;
+            }
+        }
+        of[v] = ShardId(best as u32);
+        load[best] += 1;
+    }
+    // Refinement passes: with the full assignment known, greedily move
+    // nodes whose affinity to another shard exceeds their local affinity.
+    for _ in 0..cfg.passes {
+        let mut moved = false;
+        for v in 0..n {
+            for s in score.iter_mut() {
+                *s = 0.0;
+            }
+            for &(u, w) in g.neighbors(v) {
+                score[of[u as usize].idx()] += w as f64;
+            }
+            let cur = of[v].idx();
+            let mut best = cur;
+            for s in 0..shards {
+                if s != cur && score[s] > score[best] && (load[s] as f64) < capacity {
+                    best = s;
+                }
+            }
+            if best != cur {
+                load[cur] -= 1;
+                load[best] += 1;
+                of[v] = ShardId(best as u32);
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    Partition {
+        of,
+        shards,
+        strategy: PartitionStrategy::EdgeCut,
+    }
 }
 
 /// SplitMix64 finalizer: a full-avalanche bit mix, so consecutive indexes
@@ -75,11 +225,19 @@ impl Partitioner {
     /// A partitioner over `shards` shards with the given strategy.
     ///
     /// # Panics
-    /// Panics if `shards == 0` or a chunk strategy has `chunk_size == 0`.
+    /// Panics if `shards == 0`, a chunk strategy has `chunk_size == 0`, or
+    /// the strategy is [`PartitionStrategy::EdgeCut`] (not index-derivable
+    /// — build the map with [`edge_cut_partition`] instead).
     pub fn new(shards: usize, strategy: PartitionStrategy) -> Self {
         assert!(shards > 0, "at least one shard");
-        if let PartitionStrategy::Chunk { chunk_size } = strategy {
-            assert!(chunk_size > 0, "chunk_size must be positive");
+        match strategy {
+            PartitionStrategy::Chunk { chunk_size } => {
+                assert!(chunk_size > 0, "chunk_size must be positive");
+            }
+            PartitionStrategy::EdgeCut => {
+                panic!("EdgeCut is not index-derivable; use edge_cut_partition")
+            }
+            PartitionStrategy::Hash => {}
         }
         Self {
             shards: shards as u32,
@@ -117,6 +275,8 @@ impl Partitioner {
             PartitionStrategy::Chunk { chunk_size } => {
                 (idx / chunk_size) as u64 % self.shards as u64
             }
+            // Rejected by the constructor.
+            PartitionStrategy::EdgeCut => unreachable!("EdgeCut has no index formula"),
         };
         ShardId(s as u32)
     }
@@ -168,6 +328,34 @@ impl Partition {
             sizes[s.idx()] += 1;
         }
         sizes
+    }
+
+    /// Total weight of affinity edges this partition cuts (each symmetric
+    /// edge counted once). The objective [`edge_cut_partition`] minimizes,
+    /// and the score the planner compares candidate strategies by: cut
+    /// weight is proportional to the cross-shard delta volume the sharded
+    /// engine will ship.
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover the view's node arena — a
+    /// partition scored against a view of a different (e.g. post-split)
+    /// overlay is a caller bug, not a quantity with a meaning.
+    pub fn cut_weight<G: AffinityGraph + ?Sized>(&self, g: &G) -> f64 {
+        assert_eq!(
+            self.of.len(),
+            g.node_count(),
+            "partition must cover every node of the affinity view"
+        );
+        let mut cut = 0.0;
+        for v in 0..self.of.len() {
+            for &(u, w) in g.neighbors(v) {
+                if self.of[u as usize] != self.of[v] {
+                    cut += w as f64;
+                }
+            }
+        }
+        // A symmetric view lists every edge from both endpoints.
+        cut / 2.0
     }
 }
 
@@ -239,5 +427,111 @@ mod tests {
         assert_eq!(part.len(), 47);
         assert!(!part.is_empty());
         assert_eq!(part.shard_sizes().iter().sum::<usize>(), 47);
+    }
+
+    /// Adjacency-list affinity graph for the assigner tests.
+    struct Adj(Vec<Vec<(u32, f32)>>);
+
+    impl Adj {
+        /// `k` disjoint cliques of `size` nodes, unit weights.
+        fn cliques(k: usize, size: usize) -> Self {
+            let mut adj = vec![Vec::new(); k * size];
+            for c in 0..k {
+                for i in 0..size {
+                    for j in 0..size {
+                        if i != j {
+                            adj[c * size + i].push(((c * size + j) as u32, 1.0));
+                        }
+                    }
+                }
+            }
+            Self(adj)
+        }
+    }
+
+    impl AffinityGraph for Adj {
+        fn node_count(&self) -> usize {
+            self.0.len()
+        }
+        fn neighbors(&self, idx: usize) -> &[(u32, f32)] {
+            &self.0[idx]
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "EdgeCut is not index-derivable")]
+    fn partitioner_rejects_edge_cut() {
+        let _ = Partitioner::new(4, PartitionStrategy::EdgeCut);
+    }
+
+    #[test]
+    fn edge_cut_keeps_cliques_whole() {
+        // 4 cliques of 25 onto 4 shards: a perfect assignment cuts nothing.
+        let g = Adj::cliques(4, 25);
+        let part = edge_cut_partition(&g, 4, &EdgeCutConfig::default());
+        assert_eq!(part.len(), 100);
+        assert_eq!(part.strategy, PartitionStrategy::EdgeCut);
+        assert_eq!(part.cut_weight(&g), 0.0, "cliques must not be split");
+        for c in 0..4 {
+            let first = part.shard_of(c * 25);
+            for i in 0..25 {
+                assert_eq!(part.shard_of(c * 25 + i), first, "clique {c} split");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cut_beats_hash_on_clustered_graphs() {
+        let g = Adj::cliques(8, 16);
+        let ec = edge_cut_partition(&g, 4, &EdgeCutConfig::default());
+        let hash = Partitioner::hash(4).partition(g.node_count());
+        assert!(
+            ec.cut_weight(&g) < hash.cut_weight(&g) / 2.0,
+            "edge cut {} vs hash {}",
+            ec.cut_weight(&g),
+            hash.cut_weight(&g)
+        );
+    }
+
+    #[test]
+    fn edge_cut_respects_balance_cap() {
+        // One giant clique: affinity says "one shard", the balance cap
+        // forces a spread.
+        let g = Adj::cliques(1, 120);
+        let part = edge_cut_partition(
+            &g,
+            4,
+            &EdgeCutConfig {
+                balance: 1.1,
+                passes: 2,
+            },
+        );
+        let cap = ((120.0 / 4.0) * 1.1f64).ceil() as usize;
+        for (s, &sz) in part.shard_sizes().iter().enumerate() {
+            assert!(sz <= cap, "shard {s} holds {sz} > cap {cap}");
+        }
+        assert_eq!(part.shard_sizes().iter().sum::<usize>(), 120);
+    }
+
+    #[test]
+    fn edge_cut_is_deterministic_and_total() {
+        let g = Adj::cliques(5, 9);
+        let a = edge_cut_partition(&g, 3, &EdgeCutConfig::default());
+        let b = edge_cut_partition(&g, 3, &EdgeCutConfig::default());
+        assert_eq!(a, b);
+        for i in 0..g.node_count() {
+            assert!(a.shard_of(i).idx() < 3);
+        }
+    }
+
+    #[test]
+    fn edge_cut_handles_isolated_nodes() {
+        let g = Adj(vec![Vec::new(); 10]);
+        let part = edge_cut_partition(&g, 3, &EdgeCutConfig::default());
+        assert_eq!(part.len(), 10);
+        // Isolated nodes spread by load: no shard exceeds the cap.
+        let sizes = part.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s <= 4));
     }
 }

@@ -11,6 +11,8 @@
 //!   (§3.2.5), also the engine behind dynamic maintenance.
 //! * [`dynamic`] — incremental overlay updates on data-graph changes (§3.3).
 //! * [`metrics`] — sharing index, depth CDFs, construction cost accounting.
+//! * [`pushview`] — the weighted push-edge affinity view consumed by the
+//!   edge-cut shard partitioner.
 //! * [`validate`](mod@validate) — net-contribution validation of the
 //!   §2.2.1 invariant.
 
@@ -19,6 +21,7 @@ pub mod fptree;
 pub mod iob;
 pub mod metrics;
 pub mod overlay;
+pub mod pushview;
 pub mod shingle;
 pub mod validate;
 pub mod vnm;
@@ -27,5 +30,6 @@ pub use dynamic::{DynamicConfig, DynamicOverlay};
 pub use iob::{build_iob, IobConfig, IobState};
 pub use metrics::IterationStats;
 pub use overlay::{Overlay, OverlayId, OverlayKind, SignedEdge};
+pub use pushview::PushEdgeView;
 pub use validate::{validate, validate_against, validate_vs_bipartite, ValidationError};
 pub use vnm::{build_vnm, VnmConfig, VnmVariant};

@@ -1,0 +1,180 @@
+//! Weighted push-edge view of an overlay — the affinity input of the
+//! edge-cut shard partitioner.
+//!
+//! The sharded runtime's dominant cost is cross-shard delta traffic: every
+//! push edge whose endpoints live on different shards turns a plain slab
+//! write into a channel message. [`PushEdgeView`] projects the overlay down
+//! to exactly the edges the execution cascade follows — node → push
+//! consumer — weighted by how many deltas are expected to traverse them, so
+//! [`eagr_graph::partition::edge_cut_partition`] can co-locate partial
+//! aggregation nodes with their consumers (§2.2's partial-aggregation
+//! sharing, kept worker-local the way differential dataflow keeps shared
+//! arrangements off the cross-worker channels).
+//!
+//! The view is symmetric (each edge listed from both endpoints): cut cost
+//! does not depend on edge direction, and the streaming assigner scores
+//! placed neighbors regardless of which endpoint arrived first.
+
+use crate::overlay::{Overlay, OverlayId, OverlayKind};
+use eagr_graph::{AffinityGraph, Partition};
+
+/// Symmetric weighted adjacency over the overlay arena, restricted to
+/// delta-carrying push edges.
+#[derive(Clone, Debug)]
+pub struct PushEdgeView {
+    adj: Vec<Vec<(u32, f32)>>,
+    edges: usize,
+    total_weight: f64,
+}
+
+impl PushEdgeView {
+    /// The push topology under `is_push`, with every edge weighted by the
+    /// source's fan-out share of one delta: a uniform "every writer is
+    /// equally hot" prior. Deltas flow along `n → t` only when `t` is
+    /// push-annotated (the cascade's rule) and `n` itself receives deltas
+    /// (`n` is push — writers always are, §2.2.1).
+    pub fn new(overlay: &Overlay, is_push: impl Fn(OverlayId) -> bool) -> Self {
+        Self::weighted(overlay, is_push, |_| 1.0)
+    }
+
+    /// The push topology with per-node delta-rate hints: `rate_of(n)` is
+    /// the expected deltas per unit time *emitted* by `n` (e.g. the
+    /// planner's propagated push frequency `fh`, or observed push counters
+    /// at runtime). Every outgoing push edge of `n` carries that rate.
+    pub fn weighted(
+        overlay: &Overlay,
+        is_push: impl Fn(OverlayId) -> bool,
+        rate_of: impl Fn(OverlayId) -> f64,
+    ) -> Self {
+        let n = overlay.node_count();
+        let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+        let mut edges = 0;
+        let mut total_weight = 0.0;
+        for src in overlay.ids() {
+            if !is_push(src) && !matches!(overlay.kind(src), OverlayKind::Writer(_)) {
+                continue; // pull non-writers emit no deltas
+            }
+            let w = rate_of(src).max(0.0) as f32;
+            if w == 0.0 {
+                continue;
+            }
+            for &(dst, _sign) in overlay.outputs(src) {
+                if !is_push(dst) {
+                    continue; // the cascade never ships deltas to pull nodes
+                }
+                adj[src.idx()].push((dst.0, w));
+                adj[dst.idx()].push((src.0, w));
+                edges += 1;
+                total_weight += w as f64;
+            }
+        }
+        Self {
+            adj,
+            edges,
+            total_weight,
+        }
+    }
+
+    /// Number of (directed) push edges in the view.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Sum of all edge weights — the delta volume a worst-case partition
+    /// (everything cut) would ship.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The share of delta volume `partition` ships across shards:
+    /// `cut_weight / total_weight`, in `[0, 1]`. `0` when the view has no
+    /// edges.
+    pub fn cut_fraction(&self, partition: &Partition) -> f64 {
+        if self.total_weight == 0.0 {
+            0.0
+        } else {
+            partition.cut_weight(self) / self.total_weight
+        }
+    }
+}
+
+impl AffinityGraph for PushEdgeView {
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    #[inline]
+    fn neighbors(&self, idx: usize) -> &[(u32, f32)] {
+        &self.adj[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_graph::{
+        edge_cut_partition, paper_example_graph, BipartiteGraph, EdgeCutConfig, Neighborhood,
+        Partitioner,
+    };
+
+    fn paper_overlay() -> Overlay {
+        let ag = BipartiteGraph::build(&paper_example_graph(), &Neighborhood::In, |_| true);
+        Overlay::direct_from_bipartite(&ag)
+    }
+
+    #[test]
+    fn all_push_view_mirrors_overlay_edges() {
+        let ov = paper_overlay();
+        let view = PushEdgeView::new(&ov, |_| true);
+        assert_eq!(view.node_count(), ov.node_count());
+        assert_eq!(view.edge_count(), ov.edge_count());
+        assert_eq!(view.total_weight(), ov.edge_count() as f64);
+    }
+
+    #[test]
+    fn pull_consumers_are_excluded() {
+        let ov = paper_overlay();
+        // Nothing push ⇒ no delta ever ships ⇒ empty view.
+        let view = PushEdgeView::new(&ov, |_| false);
+        assert_eq!(view.edge_count(), 0);
+        assert_eq!(view.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn weights_follow_rate_hints() {
+        let ov = paper_overlay();
+        let hot = ov.writers().next().unwrap().0;
+        let view = PushEdgeView::weighted(&ov, |_| true, |n| if n == hot { 10.0 } else { 1.0 });
+        let fan_out = ov.outputs(hot).len() as f64;
+        let rest = (ov.edge_count() as f64) - fan_out;
+        assert!((view.total_weight() - (rest + 10.0 * fan_out)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn view_is_symmetric() {
+        let ov = paper_overlay();
+        let view = PushEdgeView::new(&ov, |_| true);
+        for v in 0..view.node_count() {
+            for &(u, w) in view.neighbors(v) {
+                assert!(
+                    view.neighbors(u as usize)
+                        .iter()
+                        .any(|&(b, bw)| b as usize == v && bw == w),
+                    "edge {v}↔{u} missing its mirror"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cut_fraction_orders_partitions_sensibly() {
+        let ov = paper_overlay();
+        let view = PushEdgeView::new(&ov, |_| true);
+        let single = Partitioner::hash(1).partition(ov.node_count());
+        assert_eq!(view.cut_fraction(&single), 0.0, "one shard cuts nothing");
+        let hash = Partitioner::hash(4).partition(ov.node_count());
+        let ec = edge_cut_partition(&view, 4, &EdgeCutConfig::default());
+        assert!(view.cut_fraction(&ec) <= view.cut_fraction(&hash) + 1e-9);
+        assert!(view.cut_fraction(&hash) <= 1.0);
+    }
+}
