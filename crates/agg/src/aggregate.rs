@@ -32,8 +32,9 @@ pub struct AggProps {
 pub trait Aggregate: Send + Sync + 'static {
     /// Partial aggregate object maintained at overlay nodes.
     type Partial: Clone + Send + Sync + 'static;
-    /// Final answer type returned to the querier.
-    type Output: PartialEq + Clone + std::fmt::Debug;
+    /// Final answer type returned to the querier. `Send` so shard-executed
+    /// reads can return answers across worker threads.
+    type Output: PartialEq + Clone + std::fmt::Debug + Send;
 
     /// Human-readable name ("SUM", "MAX", ...).
     fn name(&self) -> &'static str;

@@ -26,7 +26,16 @@ pub enum WindowSpec {
 impl WindowSpec {
     /// Expected number of in-window values for cost modeling (§4.2 assigns
     /// a writer `w` inputs where `w` is the average window fill).
-    pub fn expected_size(&self, avg_write_interval: f64) -> f64 {
+    ///
+    /// `avg_write_interval` is the mean time between two writes of one
+    /// writer; `stream_horizon` is the stream length (in the same time
+    /// units) the plan is expected to serve. A landmark window
+    /// ([`WindowSpec::Unbounded`]) never expires anything, so its fill is
+    /// the writer's entire history — writer rate × stream horizon — not the
+    /// single value it was previously modeled as holding (which made the §4
+    /// cost model wildly underestimate the pull cost of running
+    /// aggregates).
+    pub fn expected_size(&self, avg_write_interval: f64, stream_horizon: f64) -> f64 {
         match self {
             WindowSpec::Tuple(c) => *c as f64,
             WindowSpec::Time(t) => {
@@ -36,7 +45,13 @@ impl WindowSpec {
                     (*t as f64 / avg_write_interval).max(1.0)
                 }
             }
-            WindowSpec::Unbounded => 1.0,
+            WindowSpec::Unbounded => {
+                if avg_write_interval <= 0.0 {
+                    1.0
+                } else {
+                    (stream_horizon / avg_write_interval).max(1.0)
+                }
+            }
         }
     }
 }
@@ -192,9 +207,14 @@ mod tests {
 
     #[test]
     fn expected_size() {
-        assert_eq!(WindowSpec::Tuple(10).expected_size(123.0), 10.0);
-        assert_eq!(WindowSpec::Time(100).expected_size(10.0), 10.0);
-        assert_eq!(WindowSpec::Time(100).expected_size(1000.0), 1.0);
-        assert_eq!(WindowSpec::Unbounded.expected_size(1.0), 1.0);
+        assert_eq!(WindowSpec::Tuple(10).expected_size(123.0, 1e6), 10.0);
+        assert_eq!(WindowSpec::Time(100).expected_size(10.0, 1e6), 10.0);
+        assert_eq!(WindowSpec::Time(100).expected_size(1000.0, 1e6), 1.0);
+        // Landmark fill = writer rate × stream horizon, not 1.
+        assert_eq!(WindowSpec::Unbounded.expected_size(1.0, 10_000.0), 10_000.0);
+        assert_eq!(WindowSpec::Unbounded.expected_size(4.0, 10_000.0), 2500.0);
+        // Degenerate inputs clamp to one value.
+        assert_eq!(WindowSpec::Unbounded.expected_size(0.0, 10_000.0), 1.0);
+        assert_eq!(WindowSpec::Unbounded.expected_size(1.0, 0.0), 1.0);
     }
 }

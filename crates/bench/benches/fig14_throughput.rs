@@ -444,9 +444,160 @@ fn fig14d() {
     );
 }
 
+/// Read-service comparison (beyond the paper): mixed read/write streams at
+/// read-heavy ratios over a **pull-heavy plan** (the workload ROADMAP item
+/// (c) names — pull trees used to serialize on the submitting thread).
+/// Reads are evaluated either on the caller thread (a slab read lock *per
+/// pull input*) or shard-executed via [`ShardedEngine::read_batch`]
+/// (routed through the shard inboxes; the owning worker snapshots its slab
+/// once per batch and — thanks to the planner's read-locality pass that
+/// co-locates each pull reader with its heaviest input shard — resolves
+/// most pull inputs with plain indexed access; epoch-consistent answers).
+/// Writes go through identical ingestion epochs in both modes, so the
+/// delta is the read path alone.
+///
+/// Emits `BENCH_fig14_reads.json` so nightly CI tracks shard-executed read
+/// throughput across PRs.
+fn fig14e() {
+    banner(
+        "Figure 14(e) [extension]",
+        "read mixes, pull-heavy plan: caller-thread reads vs shard-executed read_batch (ops/s)",
+    );
+    let g = Dataset::LiveJournalLike.build(0.25 * scale(), 0xF14E);
+    let n = g.id_bound();
+    let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+    // All-pull decisions (writers still push, §2.2.1): every read walks a
+    // pull tree. The plan carries the hash partition plus the read-locality
+    // co-location pass, so both engines below agree on shard ownership.
+    let p = plan(
+        Overlay::direct_from_bipartite(&ag),
+        &Rates::uniform(n, 1.0),
+        &CostModel::unit_sum(),
+        &PlannerConfig {
+            algorithm: DecisionAlgorithm::AllPull,
+            split: false,
+            writer_window: 1,
+            push_amplification: 2.0,
+        },
+    )
+    .with_partition(4, PartitionStrategy::Hash);
+    let count = (40_000.0 * scale()) as usize;
+    let batch = 2048;
+    println!(
+        "graph {} nodes / {} overlay edges; {} events; batch = {batch}; 4 shards",
+        g.node_count(),
+        p.overlay.edge_count(),
+        count
+    );
+    println!("(hash partition + pull readers co-located with their heaviest input shard)\n");
+    let t = Table::new(&[
+        "mix (r:w)",
+        "read path",
+        "ops/s",
+        "vs caller",
+        "reads served",
+    ]);
+    let mut rows: Vec<Json> = Vec::new();
+    // write_to_read = writes per read: 1.0 ⇒ 50/50, 1/9 ⇒ 90% reads.
+    for (mix, w2r) in [("50/50", 1.0), ("90/10", 1.0 / 9.0)] {
+        let events = generate_events(
+            n,
+            &WorkloadConfig {
+                events: count,
+                write_to_read: w2r,
+                seed: 0xF14E ^ (w2r * 100.0) as u64,
+                ..Default::default()
+            },
+        );
+        // Pre-split every batch so both modes pay the same routing work.
+        let split: Vec<(Vec<Event>, Vec<eagr::graph::NodeId>)> = batch_events(&events, batch, 0)
+            .into_iter()
+            .map(|b| {
+                let writes: Vec<Event> =
+                    b.events.iter().filter(|e| e.is_write()).copied().collect();
+                let reads = b
+                    .events
+                    .iter()
+                    .filter_map(|e| match *e {
+                        Event::Read { node } => Some(node),
+                        _ => None,
+                    })
+                    .collect();
+                (writes, reads)
+            })
+            .collect();
+        let mut caller_ops = 0.0;
+        for shard_reads in [false, true] {
+            let eng = ShardedEngine::from_plan(
+                &p,
+                Sum,
+                WindowSpec::Tuple(1),
+                &ShardedConfig {
+                    shards: 4,
+                    strategy: PartitionStrategy::Hash,
+                    channel_capacity: 1 << 12,
+                },
+            );
+            let t0 = Instant::now();
+            let mut ts = 0u64;
+            for (writes, reads) in &split {
+                eng.ingest_epoch_at(writes, ts);
+                ts += writes.len() as u64;
+                if shard_reads {
+                    std::hint::black_box(eng.read_batch(reads));
+                } else {
+                    for &v in reads {
+                        std::hint::black_box(eng.read(v));
+                    }
+                }
+            }
+            let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
+            let path = if shard_reads {
+                "shard-executed"
+            } else {
+                "caller-thread"
+            };
+            if !shard_reads {
+                caller_ops = ops;
+            }
+            t.row(&[
+                &mix,
+                &path,
+                &format!("{ops:.0}"),
+                &format!("{:.2}x", ops / caller_ops),
+                &format!("{}", eng.reads_served()),
+            ]);
+            rows.push(Json::obj(vec![
+                ("mix", Json::Str(mix.into())),
+                ("write_to_read", Json::Num(w2r)),
+                ("read_path", Json::Str(path.into())),
+                ("ops_per_s", Json::Num(ops)),
+                ("reads_served", Json::Num(eng.reads_served() as f64)),
+            ]));
+            eng.shutdown();
+        }
+    }
+    println!("\nexpect: shard-executed read batches ≥ caller-thread reads even on one core");
+    println!("(the worker snapshots its slab once per batch and reads co-located pull inputs");
+    println!("with plain indexed access, vs one slab lock per pull input on the caller), and");
+    println!("the gap grows with cores: read batches fan out across the shard workers.");
+    write_json_artifact(
+        "fig14_reads",
+        &Json::obj(vec![
+            ("figure", Json::Str("fig14e".into())),
+            ("scale", Json::Num(scale())),
+            ("events", Json::Num(count as f64)),
+            ("batch", Json::Num(batch as f64)),
+            ("shards", Json::Num(4.0)),
+            ("rows", Json::Arr(rows)),
+        ]),
+    );
+}
+
 fn main() {
     fig14a();
     fig14b();
     fig14c();
     fig14d();
+    fig14e();
 }

@@ -24,9 +24,11 @@ pub enum ExecutionMode {
     /// `read`s stay synchronous on the shared core).
     TwoPool(ParallelConfig),
     /// The shard-owned runtime: overlay nodes are partitioned across
-    /// worker-owned shards, writes are ingested in batches, and
-    /// cross-shard propagation travels as batched deltas drained in
-    /// epochs.
+    /// worker-owned shards, writes are ingested in batches, cross-shard
+    /// propagation travels as batched deltas drained in epochs, and reads
+    /// are shard-executed — routed through the shard inboxes so the owning
+    /// worker evaluates them epoch-consistently (the caller thread never
+    /// evaluates shard-owned PAO state).
     Sharded {
         /// Number of shards (owning worker threads).
         shards: usize,
@@ -55,6 +57,11 @@ pub enum OverlayAlgorithm {
     Iob,
 }
 
+/// Default stream horizon (time units ≈ events) used to estimate the fill
+/// of landmark windows when the caller does not provide one (see
+/// [`SystemBuilder::stream_horizon`]).
+const DEFAULT_STREAM_HORIZON: f64 = 10_000.0;
+
 /// Builder for an [`EagrSystem`].
 pub struct SystemBuilder<A: Aggregate> {
     query: EgoQuery<A>,
@@ -64,7 +71,8 @@ pub struct SystemBuilder<A: Aggregate> {
     rates: Option<Rates>,
     cost: Option<CostModel>,
     split: bool,
-    writer_window: usize,
+    writer_window: Option<usize>,
+    stream_horizon: f64,
 }
 
 impl<A: Aggregate + Clone> SystemBuilder<A> {
@@ -78,7 +86,8 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
             rates: None,
             cost: None,
             split: true,
-            writer_window: 1,
+            writer_window: None,
+            stream_horizon: DEFAULT_STREAM_HORIZON,
         }
     }
 
@@ -120,8 +129,23 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     }
 
     /// Expected in-window values per writer, for the cost model (§4.2).
+    /// When not set it is derived from the query's window spec via
+    /// [`eagr_agg::WindowSpec::expected_size`]: tuple windows hold `c`
+    /// values, time and landmark windows are estimated from the mean write
+    /// rate (and, for landmark windows, the
+    /// [`stream_horizon`](Self::stream_horizon)), so a running aggregate's
+    /// pull cost reflects the whole history it would re-scan.
     pub fn writer_window(mut self, w: usize) -> Self {
-        self.writer_window = w;
+        self.writer_window = Some(w);
+        self
+    }
+
+    /// Expected stream length in time units, used to estimate the window
+    /// fill of landmark ([`eagr_agg::WindowSpec::Unbounded`]) queries when
+    /// [`writer_window`](Self::writer_window) is not set explicitly
+    /// (default: 10 000).
+    pub fn stream_horizon(mut self, horizon: f64) -> Self {
+        self.stream_horizon = horizon;
         self
     }
 
@@ -151,6 +175,29 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
         let cost = self
             .cost
             .unwrap_or_else(|| CostModel::from_aggregate(&self.query.aggregate));
+        // Window fill for the §4.2 cost model: explicit hint, or estimated
+        // from the window spec and the mean write rate. Landmark windows
+        // fill with the writer's whole history (rate × stream horizon) —
+        // pricing them as one value made pull plans look absurdly cheap
+        // for running aggregates.
+        let writer_window = self.writer_window.unwrap_or_else(|| {
+            let positive: Vec<f64> = rates.write.iter().copied().filter(|&w| w > 0.0).collect();
+            let mean_rate = if positive.is_empty() {
+                1.0
+            } else {
+                positive.iter().sum::<f64>() / positive.len() as f64
+            };
+            let interval = if mean_rate > 0.0 {
+                1.0 / mean_rate
+            } else {
+                1.0
+            };
+            self.query
+                .window
+                .expected_size(interval, self.stream_horizon)
+                .round()
+                .max(1.0) as usize
+        });
         // Continuous queries must keep every result up to date: all push.
         let algorithm = match self.query.mode {
             QueryMode::Continuous => DecisionAlgorithm::AllPush,
@@ -163,7 +210,7 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
             &PlannerConfig {
                 algorithm,
                 split: self.split,
-                writer_window: self.writer_window,
+                writer_window,
                 push_amplification: 2.0,
             },
         );
@@ -209,7 +256,7 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
             bipartite: ag,
             construction,
             cost,
-            writer_window: self.writer_window,
+            writer_window,
             clock: AtomicU64::new(0),
         }
     }
@@ -295,10 +342,54 @@ impl<A: Aggregate> EagrSystem<A> {
     }
 
     /// Evaluate the query at `v` (a *read* on `v`).
+    ///
+    /// Synchronous on the shared core in the local modes. In
+    /// [`ExecutionMode::Sharded`] the read is routed to the shard worker
+    /// owning its reader and evaluated there, epoch-consistently
+    /// ([`ShardedEngine::read_service`]) — the caller thread never
+    /// evaluates shard-owned PAO state. That consistency is not free: each
+    /// call pins the epoch gate and drains in-flight work, briefly
+    /// pausing concurrent ingestion. Use [`read_batch`](Self::read_batch)
+    /// to amortize that cost over many reads, or
+    /// [`read_relaxed`](Self::read_relaxed) for cheap polling that
+    /// tolerates mid-epoch state.
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
         match &self.runtime {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.read(v),
+            Runtime::Sharded(eng) => eng.read_service(v),
+        }
+    }
+
+    /// Evaluate the query at `v` without consistency guarantees: identical
+    /// to [`read`](Self::read) in the local modes, but in
+    /// [`ExecutionMode::Sharded`] it evaluates on the calling thread
+    /// through the slab read locks ([`ShardedEngine::read`]) — no epoch
+    /// gate, no drain, no pause of concurrent ingestion. Between epochs it
+    /// may observe partially propagated writes (the relaxed consistency
+    /// the paper accepts); after a drain it equals [`read`](Self::read).
+    /// The right choice for hot polling loops and monitoring probes.
+    pub fn read_relaxed(&self, v: NodeId) -> Option<A::Output> {
+        match &self.runtime {
+            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.read(v),
             Runtime::Sharded(eng) => eng.read(v),
+        }
+    }
+
+    /// Evaluate a batch of reads; result `i` answers the query at
+    /// `nodes[i]` (`None` when the node has no reader).
+    ///
+    /// Mode-aware routing: the local modes evaluate synchronously on the
+    /// shared core; [`ExecutionMode::Sharded`] fans the batch out to the
+    /// shard workers owning each reader ([`ShardedEngine::read_batch`]),
+    /// where push finalizes and the local part of pull trees run against
+    /// the worker's own slab — epoch-consistent even under concurrent
+    /// ingestion.
+    pub fn read_batch(&self, nodes: &[NodeId]) -> Vec<Option<A::Output>> {
+        match &self.runtime {
+            Runtime::Local(core) | Runtime::TwoPool { core, .. } => {
+                nodes.iter().map(|&v| core.read(v)).collect()
+            }
+            Runtime::Sharded(eng) => eng.read_batch(nodes),
         }
     }
 
@@ -590,6 +681,99 @@ mod tests {
                 assert_eq!(got, oracle.read(&g, NodeId(v)), "node {v}");
             }
         }
+    }
+
+    #[test]
+    fn read_batch_agrees_across_modes() {
+        let g = social_graph(120, 4, 41);
+        let events = generate_events(
+            120,
+            &WorkloadConfig {
+                events: 3000,
+                write_to_read: 1e9,
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let nodes: Vec<NodeId> = (0..120u32).map(NodeId).collect();
+        let modes = [
+            ExecutionMode::SingleThreaded,
+            ExecutionMode::TwoPool(ParallelConfig {
+                write_threads: 2,
+                read_threads: 1,
+            }),
+            ExecutionMode::Sharded { shards: 4 },
+        ];
+        let mut answers = Vec::new();
+        for mode in modes {
+            let sys = EagrSystem::builder(EgoQuery::new(Sum))
+                .execution(mode)
+                .build(&g);
+            sys.ingest(&events);
+            let batch = sys.read_batch(&nodes);
+            // Point reads and batch reads agree within a mode.
+            for (i, &v) in nodes.iter().enumerate() {
+                assert_eq!(batch[i], sys.read(v), "node {v:?}");
+            }
+            answers.push(batch);
+        }
+        assert_eq!(answers[0], answers[1], "two-pool diverged from single");
+        assert_eq!(answers[0], answers[2], "sharded diverged from single");
+    }
+
+    #[test]
+    fn relaxed_reads_agree_after_drain() {
+        let g = social_graph(80, 4, 45);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum))
+            .execution(ExecutionMode::Sharded { shards: 3 })
+            .build(&g);
+        let events = generate_events(
+            80,
+            &WorkloadConfig {
+                events: 1500,
+                write_to_read: 1e9,
+                seed: 46,
+                ..Default::default()
+            },
+        );
+        sys.ingest(&events); // full epoch: everything drained
+        for v in 0..80u32 {
+            // With no in-flight writes the relaxed caller-thread path and
+            // the epoch-consistent shard-executed path must agree.
+            assert_eq!(sys.read_relaxed(NodeId(v)), sys.read(NodeId(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn landmark_window_defaults_to_push_heavy_plans() {
+        // Regression for the Unbounded cost-model bug at the facade level:
+        // the builder derives the writer window from the query's window
+        // spec, so a landmark-window plan prices pulls at whole-history
+        // scans and flips push-heavy even on write-heavy rates.
+        let g = social_graph(120, 4, 43);
+        let write_heavy = Rates::uniform(120, 5.0);
+        let tuple = EagrSystem::builder(EgoQuery::new(Sum).window(WindowSpec::Tuple(1)))
+            .overlay(OverlayAlgorithm::Direct)
+            .rates(write_heavy.clone())
+            .cost_model(CostModel::unit_sum())
+            .split(false)
+            .build(&g);
+        let landmark = EagrSystem::builder(EgoQuery::new(Sum).window(WindowSpec::Unbounded))
+            .overlay(OverlayAlgorithm::Direct)
+            .rates(write_heavy)
+            .cost_model(CostModel::unit_sum())
+            .split(false)
+            .build(&g);
+        let n = landmark.overlay().node_count();
+        assert_eq!(
+            landmark.stats().push_nodes,
+            n,
+            "whole-history pulls must push everything"
+        );
+        assert!(
+            tuple.stats().push_nodes < n,
+            "single-value windows on write-heavy rates must leave pull nodes"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! slightly stale state under concurrency — the paper explicitly accepts
 //! this ("we ignore the potential for such inconsistencies").
 
-use crate::store::{LockedStore, PaoStore};
+use crate::store::{LockedStore, PaoReader, PaoStore, StoreReader};
 use eagr_agg::{Aggregate, DeltaOp, Sign, WindowBuffer, WindowSpec};
 use eagr_flow::{Decision, Decisions, Frequencies};
 use eagr_graph::NodeId;
@@ -251,12 +251,23 @@ impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
     /// Evaluate a read at data node `v` (uni-thread model). `None` if `v`
     /// has no reader in the overlay.
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
+        self.read_via(v, &StoreReader(&self.store))
+    }
+
+    /// Evaluate a read at data node `v`, resolving PAOs through an explicit
+    /// [`PaoReader`]. This is the shard-executed read entry point: a shard
+    /// worker hands a [`crate::store::ShardSnapshot`] of its own slab so
+    /// push finalizes and the local portion of a pull subtree read with
+    /// plain indexed access, while cross-shard pull fan-out falls through
+    /// to the foreign slabs' read locks. Semantics (including the observed
+    /// pull counters) are identical to [`read`](Self::read).
+    pub fn read_via<Rd: PaoReader<A::Partial>>(&self, v: NodeId, pao: &Rd) -> Option<A::Output> {
         let rid = self.overlay.reader(v)?;
         self.pulled[rid.idx()].fetch_add(1, Ordering::Relaxed);
         if self.is_push(rid) {
-            Some(self.store.with_read(rid.idx(), |p| self.agg.finalize(p)))
+            Some(pao.with_pao(rid.idx(), |p| self.agg.finalize(p)))
         } else {
-            let p = self.eval_pull(rid);
+            let p = self.eval_pull_via(rid, pao);
             Some(self.agg.finalize(&p))
         }
     }
@@ -264,16 +275,22 @@ impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
     /// Recursively compute the PAO of a pull node by merging its upstream
     /// PAOs (§2.2.2's execution flow for pull nodes).
     fn eval_pull(&self, n: OverlayId) -> A::Partial {
+        self.eval_pull_via(n, &StoreReader(&self.store))
+    }
+
+    /// [`eval_pull`](Self::eval_pull) over an explicit [`PaoReader`] (see
+    /// [`read_via`](Self::read_via)).
+    fn eval_pull_via<Rd: PaoReader<A::Partial>>(&self, n: OverlayId, pao: &Rd) -> A::Partial {
         let mut acc = self.agg.empty();
         for &(f, sign) in self.overlay.inputs(n) {
             self.pulled[f.idx()].fetch_add(1, Ordering::Relaxed);
             if self.is_push(f) {
-                self.store.with_read(f.idx(), |p| match sign {
+                pao.with_pao(f.idx(), |p| match sign {
                     Sign::Pos => self.agg.merge(&mut acc, p),
                     Sign::Neg => self.agg.unmerge(&mut acc, p),
                 });
             } else {
-                let p = self.eval_pull(f);
+                let p = self.eval_pull_via(f, pao);
                 match sign {
                     Sign::Pos => self.agg.merge(&mut acc, &p),
                     Sign::Neg => self.agg.unmerge(&mut acc, &p),

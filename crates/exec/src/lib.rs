@@ -29,4 +29,4 @@ pub use engine::Engine;
 pub use metrics::{throughput, LatencyRecorder};
 pub use parallel::{ParallelConfig, ParallelEngine};
 pub use sharded::{ShardStats, ShardedConfig, ShardedCore, ShardedEngine};
-pub use store::{LockedStore, PaoStore, ShardedStore};
+pub use store::{LockedStore, PaoReader, PaoStore, ShardSnapshot, ShardedStore, StoreReader};

@@ -37,9 +37,21 @@
 //!   [`ShardStats`] counters make the resulting cross-shard delta
 //!   reduction measurable.
 //!
-//! Reads run on the calling thread through the shard slab read locks and
-//! may observe partially propagated state between epochs — the same relaxed
-//! consistency the paper accepts for the two-pool engine.
+//! Reads are shard-executed too: [`read_batch`](ShardedEngine::read_batch)
+//! routes read requests through the same inboxes, so the owning worker
+//! evaluates push-side finalizes and the local portion of pull trees
+//! against its own slab (one read lock per batch, plain indexed access),
+//! with cross-shard pull fan-out falling through to the foreign slabs' read
+//! locks. An epoch gate makes the batch **epoch-consistent**: the batch is
+//! stamped at entry, pins the epoch (ingestion submitted concurrently
+//! waits), and drains in-flight deltas first, so a read never observes a
+//! torn epoch — every answer equals the single-threaded reference replay of
+//! the exact stream prefix ingested before the batch. The caller-thread
+//! [`read`](ShardedEngine::read) escape hatch remains for relaxed
+//! mid-epoch probes (the consistency the paper accepts for the two-pool
+//! engine), and reads inside a mixed [`ingest`](ShardedEngine::ingest)
+//! batch are shipped to their owning shard fire-and-forget — the caller
+//! thread never evaluates shard-owned PAO state on the batch path.
 
 use crate::core::EngineCore;
 use crate::store::ShardedStore;
@@ -52,6 +64,7 @@ use eagr_graph::{
     DEFAULT_CHUNK_SIZE,
 };
 use eagr_overlay::{Overlay, OverlayId, PushEdgeView};
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -95,13 +108,29 @@ impl Default for ShardedConfig {
     }
 }
 
+/// One shard's answers to a read batch: `(result slot, answer)` pairs.
+type ReadReplies<A> = Vec<(usize, Option<<A as Aggregate>::Output>)>;
+
 /// Messages flowing into one shard's inbox.
-enum ShardMsg {
+enum ShardMsg<A: Aggregate> {
     /// Writes whose *writer node* the shard owns: `(writer, value, ts)` in
     /// submission order.
     Writes(Vec<(OverlayId, i64, u64)>),
     /// Propagated delta ops targeting nodes the shard owns.
     Deltas(Vec<(OverlayId, DeltaOp)>),
+    /// Read requests whose *reader node* the shard owns: `(result slot,
+    /// data node)`. The worker evaluates them against a read snapshot of
+    /// its own slab (push finalizes and the local part of pull trees read
+    /// lock-free; cross-shard pull inputs go through the foreign slabs'
+    /// read locks) and sends the answers back over `reply`. `None` marks a
+    /// fire-and-forget read (a read event inside a mixed ingest batch):
+    /// evaluated and dropped, like [`crate::ParallelEngine`]'s read pool.
+    Reads {
+        /// `(slot in the caller's result vector, data node to read)`.
+        targets: Vec<(usize, NodeId)>,
+        /// Completion channel for [`ShardedEngine::read_batch`].
+        reply: Option<Sender<ReadReplies<A>>>,
+    },
     /// Expire time windows up to `ts` for every writer the shard owns and
     /// cascade the removals (the sharded form of
     /// [`EngineCore::advance_time`]).
@@ -124,6 +153,11 @@ pub struct ShardStats {
     pub local_applies: u64,
     /// Delta ops this shard's worker shipped to *other* shards' inboxes.
     pub cross_deltas_out: u64,
+    /// Read requests this shard's worker evaluated (both
+    /// [`ShardedEngine::read_batch`] requests and fire-and-forget reads
+    /// inside mixed ingest batches). Trustworthy per-shard read load for
+    /// §4.8-style re-partitioning.
+    pub reads_served: u64,
 }
 
 /// The sharded core type: an [`EngineCore`] over shard-slab PAO storage.
@@ -134,12 +168,20 @@ pub struct ShardedEngine<A: Aggregate> {
     core: Arc<ShardedCore<A>>,
     partition: Arc<Partition>,
     window: WindowSpec,
-    txs: Vec<Sender<ShardMsg>>,
+    txs: Vec<Sender<ShardMsg<A>>>,
     pending: Arc<AtomicU64>,
     /// Per-shard deltas shipped to peers (indexed by sending shard).
     cross_out: Arc<Vec<AtomicU64>>,
     /// Per-shard delta ops applied locally (indexed by owning shard).
     local: Arc<Vec<AtomicU64>>,
+    /// Per-shard read requests served (indexed by owning shard).
+    reads: Arc<Vec<AtomicU64>>,
+    /// Epoch gate for shard-executed reads: write submission holds it
+    /// shared, [`read_batch`](Self::read_batch) holds it exclusively while
+    /// it drains and evaluates — so an epoch-consistent read batch never
+    /// interleaves with a concurrently submitted epoch (the epoch-stamped
+    /// snapshot rule).
+    epoch_gate: RwLock<()>,
     epochs: AtomicU64,
     handles: Vec<JoinHandle<()>>,
 }
@@ -222,7 +264,7 @@ impl<A: Aggregate> ShardedEngine<A> {
         let mut txs = Vec::with_capacity(shards);
         let mut rxs = Vec::with_capacity(shards);
         for _ in 0..shards {
-            let (tx, rx) = bounded::<ShardMsg>(channel_capacity);
+            let (tx, rx) = bounded::<ShardMsg<A>>(channel_capacity);
             txs.push(tx);
             rxs.push(rx);
         }
@@ -230,6 +272,7 @@ impl<A: Aggregate> ShardedEngine<A> {
         let cross_out: Arc<Vec<AtomicU64>> =
             Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
         let local: Arc<Vec<AtomicU64>> = Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
+        let reads: Arc<Vec<AtomicU64>> = Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
         // Each worker expires the windows of exactly the writers it owns,
         // so window mutation follows the same single-writer discipline as
         // PAO mutation.
@@ -249,6 +292,7 @@ impl<A: Aggregate> ShardedEngine<A> {
                 pending: Arc::clone(&pending),
                 cross_out: Arc::clone(&cross_out),
                 local: Arc::clone(&local),
+                reads: Arc::clone(&reads),
             };
             let h = std::thread::Builder::new()
                 .name(format!("eagr-shard-{shard}"))
@@ -264,6 +308,8 @@ impl<A: Aggregate> ShardedEngine<A> {
             pending,
             cross_out,
             local,
+            reads,
+            epoch_gate: RwLock::new(()),
             epochs: AtomicU64::new(0),
             handles,
         }
@@ -289,9 +335,12 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// no overlay writer (the event is consumed and dropped, exactly like
     /// [`EngineCore::write`]), so counts agree across execution modes.
     /// Writes are grouped per owning shard and enqueued as one message per
-    /// shard; reads are evaluated inline on the calling thread (and may
-    /// observe in-flight state). Call [`drain`](Self::drain) to close the
-    /// epoch.
+    /// shard; read events are shipped to the shard owning their reader as
+    /// fire-and-forget requests (evaluated by the owning worker, relaxed
+    /// mid-epoch consistency) — the caller thread never evaluates
+    /// shard-owned PAO state. Call [`drain`](Self::drain) to close the
+    /// epoch. For reads whose answers you need, use
+    /// [`read_batch`](Self::read_batch).
     ///
     /// Per-writer ordering is preserved for batches submitted from one
     /// thread: a writer's updates always travel to the same shard inbox in
@@ -305,6 +354,7 @@ impl<A: Aggregate> ShardedEngine<A> {
     pub fn ingest_at(&self, events: &[Event], base_ts: u64) -> (usize, usize) {
         let overlay = self.core.overlay();
         let mut per_shard: Vec<Vec<(OverlayId, i64, u64)>> = vec![Vec::new(); self.shard_count()];
+        let mut reads_per_shard: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); self.shard_count()];
         let mut writes = 0;
         let mut reads = 0;
         for (i, e) in events.iter().enumerate() {
@@ -317,16 +367,32 @@ impl<A: Aggregate> ShardedEngine<A> {
                     writes += 1;
                 }
                 Event::Read { node } => {
-                    std::hint::black_box(self.core.read(node));
+                    if let Some(rid) = overlay.reader(node) {
+                        reads_per_shard[self.partition.shard_of(rid.idx()).idx()].push((i, node));
+                    }
                     reads += 1;
                 }
             }
         }
+        // Hold the epoch gate shared during submission so an
+        // epoch-consistent read_batch never interleaves mid-epoch.
+        let _gate = self.epoch_gate.read();
         for (shard, group) in per_shard.into_iter().enumerate() {
             if !group.is_empty() {
                 self.pending.fetch_add(1, Ordering::AcqRel);
                 self.txs[shard]
                     .send(ShardMsg::Writes(group))
+                    .expect("shard worker alive");
+            }
+        }
+        for (shard, targets) in reads_per_shard.into_iter().enumerate() {
+            if !targets.is_empty() {
+                self.pending.fetch_add(1, Ordering::AcqRel);
+                self.txs[shard]
+                    .send(ShardMsg::Reads {
+                        targets,
+                        reply: None,
+                    })
                     .expect("shard worker alive");
             }
         }
@@ -352,6 +418,7 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// for throughput).
     pub fn submit_write(&self, v: NodeId, value: i64, ts: u64) {
         if let Some(wid) = self.core.overlay().writer(v) {
+            let _gate = self.epoch_gate.read();
             self.pending.fetch_add(1, Ordering::AcqRel);
             self.txs[self.partition.shard_of(wid.idx()).idx()]
                 .send(ShardMsg::Writes(vec![(wid, value, ts)]))
@@ -361,9 +428,78 @@ impl<A: Aggregate> ShardedEngine<A> {
 
     /// Evaluate a read on the calling thread. Between
     /// [`drain`](Self::drain)s this may observe partially propagated
-    /// writes (the paper's relaxed consistency).
+    /// writes (the paper's relaxed consistency). For shard-executed,
+    /// epoch-consistent reads use [`read_batch`](Self::read_batch) /
+    /// [`read_service`](Self::read_service).
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
         self.core.read(v)
+    }
+
+    /// Evaluate a batch of reads **on the shard workers**, epoch-
+    /// consistently: result `i` answers the query at `nodes[i]` (`None`
+    /// when the node has no reader in the overlay).
+    ///
+    /// The batch follows the epoch-stamped snapshot rule: it takes the
+    /// epoch gate exclusively (concurrently submitted ingestion waits at
+    /// the gate), drains every in-flight batch and cross-shard delta, then
+    /// fans the requests out to the shards owning each reader. Every
+    /// answer therefore equals the single-threaded reference replay of the
+    /// exact event-stream prefix ingested before the batch — a read can
+    /// never observe a torn epoch, no matter how many threads are
+    /// ingesting.
+    ///
+    /// Each owning worker serves its requests against a read snapshot of
+    /// its own slab (one lock per batch, plain indexed access — the read
+    /// analog of the batched write path) and resolves cross-shard pull
+    /// subtrees through the foreign slabs' read locks. The caller thread
+    /// only routes requests and collects replies; it never evaluates
+    /// shard-owned PAO state.
+    pub fn read_batch(&self, nodes: &[NodeId]) -> Vec<Option<A::Output>> {
+        let _gate = self.epoch_gate.write();
+        self.drain();
+        let overlay = self.core.overlay();
+        let mut results: Vec<Option<A::Output>> = vec![None; nodes.len()];
+        let mut per_shard: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); self.shard_count()];
+        for (i, &v) in nodes.iter().enumerate() {
+            if let Some(rid) = overlay.reader(v) {
+                per_shard[self.partition.shard_of(rid.idx()).idx()].push((i, v));
+            }
+        }
+        let (reply, replies) = bounded::<ReadReplies<A>>(self.shard_count());
+        let mut outstanding = 0usize;
+        for (shard, targets) in per_shard.into_iter().enumerate() {
+            if !targets.is_empty() {
+                self.pending.fetch_add(1, Ordering::AcqRel);
+                self.txs[shard]
+                    .send(ShardMsg::Reads {
+                        targets,
+                        reply: Some(reply.clone()),
+                    })
+                    .expect("shard worker alive");
+                outstanding += 1;
+            }
+        }
+        drop(reply);
+        for _ in 0..outstanding {
+            for (slot, answer) in replies.recv().expect("shard worker replies") {
+                results[slot] = answer;
+            }
+        }
+        results
+    }
+
+    /// Evaluate one read on the shard worker owning its reader — the
+    /// single-request form of [`read_batch`](Self::read_batch), with the
+    /// same epoch-consistent semantics.
+    pub fn read_service(&self, v: NodeId) -> Option<A::Output> {
+        self.read_batch(std::slice::from_ref(&v))
+            .pop()
+            .unwrap_or(None)
+    }
+
+    /// Total read requests served by the shard workers so far.
+    pub fn reads_served(&self) -> u64 {
+        self.reads.iter().map(|c| c.load(Ordering::Acquire)).sum()
     }
 
     /// Route a window-expiration sweep up to `ts` through every shard's
@@ -382,6 +518,7 @@ impl<A: Aggregate> ShardedEngine<A> {
         if !matches!(self.window, WindowSpec::Time(_)) {
             return;
         }
+        let _gate = self.epoch_gate.read();
         for tx in &self.txs {
             self.pending.fetch_add(1, Ordering::AcqRel);
             tx.send(ShardMsg::Expire(ts)).expect("shard worker alive");
@@ -425,9 +562,9 @@ impl<A: Aggregate> ShardedEngine<A> {
         self.local.iter().map(|c| c.load(Ordering::Acquire)).sum()
     }
 
-    /// Per-shard work counters: slab applies and deltas shipped to peers,
-    /// plus the node count each shard owns. Meaningful after a
-    /// [`drain`](Self::drain); between epochs the numbers are in flight.
+    /// Per-shard work counters: slab applies, deltas shipped to peers, and
+    /// reads served, plus the node count each shard owns. Meaningful after
+    /// a [`drain`](Self::drain); between epochs the numbers are in flight.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         let sizes = self.partition.shard_sizes();
         (0..self.shard_count())
@@ -436,6 +573,7 @@ impl<A: Aggregate> ShardedEngine<A> {
                 nodes: sizes[s],
                 local_applies: self.local[s].load(Ordering::Acquire),
                 cross_deltas_out: self.cross_out[s].load(Ordering::Acquire),
+                reads_served: self.reads[s].load(Ordering::Acquire),
             })
             .collect()
     }
@@ -474,11 +612,12 @@ struct ShardWorker<A: Aggregate> {
     shard: ShardId,
     /// Writer nodes this shard owns (window expiration targets).
     writers: Vec<OverlayId>,
-    rx: Receiver<ShardMsg>,
-    txs: Vec<Sender<ShardMsg>>,
+    rx: Receiver<ShardMsg<A>>,
+    txs: Vec<Sender<ShardMsg<A>>>,
     pending: Arc<AtomicU64>,
     cross_out: Arc<Vec<AtomicU64>>,
     local: Arc<Vec<AtomicU64>>,
+    reads: Arc<Vec<AtomicU64>>,
 }
 
 impl<A: Aggregate> ShardWorker<A> {
@@ -551,7 +690,7 @@ impl<A: Aggregate> ShardWorker<A> {
     /// Apply one inbox message; returns `true` for [`ShardMsg::Stop`].
     fn handle(
         &self,
-        msg: ShardMsg,
+        msg: ShardMsg<A>,
         owed: &mut u64,
         stack: &mut Vec<(OverlayId, DeltaOp)>,
         outbox: &mut [Vec<(OverlayId, DeltaOp)>],
@@ -574,6 +713,36 @@ impl<A: Aggregate> ShardWorker<A> {
                 for (n, op) in group {
                     stack.push((n, op));
                     self.cascade(&mut slab, stack, outbox);
+                }
+                false
+            }
+            ShardMsg::Reads { targets, reply } => {
+                *owed += 1;
+                // One slab read lock per request batch: local PAOs (push
+                // finalizes, the local part of pull trees) resolve with
+                // plain indexed access; cross-shard pull inputs fall
+                // through to the foreign slabs' read locks. This worker is
+                // the only writer of its slab, so snapshotting it cannot
+                // self-deadlock, and foreign access takes exactly one lock
+                // at a time, so no lock cycle can form.
+                let snap = self.core.store().snapshot_shard(self.shard);
+                self.reads[self.shard.idx()].fetch_add(targets.len() as u64, Ordering::AcqRel);
+                match reply {
+                    Some(tx) => {
+                        let answers: ReadReplies<A> = targets
+                            .into_iter()
+                            .map(|(slot, v)| (slot, self.core.read_via(v, &snap)))
+                            .collect();
+                        // A dropped receiver means the requesting thread
+                        // gave up (engine shutdown) — nothing to deliver.
+                        let _ = tx.send(answers);
+                    }
+                    None => {
+                        // Fire-and-forget reads from a mixed ingest batch.
+                        for (_, v) in targets {
+                            std::hint::black_box(self.core.read_via(v, &snap));
+                        }
+                    }
                 }
                 false
             }
@@ -833,6 +1002,109 @@ mod tests {
         // Every op lands in some slab; cross-shard ops are a subset.
         assert!(local >= cross);
         assert!(local > 0);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn read_batch_matches_point_reads_after_drain() {
+        let eng = sharded(4);
+        let events: Vec<Event> = (0..7u32)
+            .map(|n| Event::Write {
+                node: NodeId(n),
+                value: 2 * n as i64 + 1,
+            })
+            .collect();
+        eng.ingest_epoch(&EventBatch::new(0, events));
+        let nodes: Vec<NodeId> = (0..7u32).map(NodeId).collect();
+        let batch = eng.read_batch(&nodes);
+        assert_eq!(batch.len(), 7);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(batch[i], eng.read(v), "node {v:?}");
+            assert_eq!(eng.read_service(v), eng.read(v), "node {v:?}");
+        }
+        // Every answered request was served by a shard worker.
+        assert!(eng.reads_served() > 0);
+        let per_shard: u64 = eng.shard_stats().iter().map(|s| s.reads_served).sum();
+        assert_eq!(per_shard, eng.reads_served());
+        eng.shutdown();
+    }
+
+    #[test]
+    fn read_batch_drains_pending_epochs_first() {
+        let eng = sharded(3);
+        let events: Vec<Event> = (0..7u32)
+            .map(|n| Event::Write {
+                node: NodeId(n),
+                value: 10,
+            })
+            .collect();
+        // No explicit drain: read_batch must settle the epoch itself.
+        eng.ingest(&EventBatch::new(0, events));
+        let answers = eng.read_batch(&[NodeId(0)]);
+        assert_eq!(answers, vec![Some(40)]); // a sums {c, d, e, f}, 10 each
+        eng.shutdown();
+    }
+
+    #[test]
+    fn read_batch_reports_none_for_nodes_without_reader() {
+        let eng = sharded(2);
+        let answers = eng.read_batch(&[NodeId(1000), NodeId(0)]);
+        assert_eq!(answers[0], None);
+        assert_eq!(answers[1], Some(0));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn mixed_ingest_routes_reads_to_shard_workers() {
+        let eng = sharded(4);
+        let mut events = Vec::new();
+        for n in 0..7u32 {
+            events.push(Event::Write {
+                node: NodeId(n),
+                value: 1,
+            });
+            events.push(Event::Read { node: NodeId(n) });
+        }
+        let (w, r) = eng.ingest_epoch(&EventBatch::new(0, events));
+        assert_eq!((w, r), (7, 7));
+        // Every read event was evaluated by its owning worker, not the
+        // caller thread.
+        assert_eq!(eng.reads_served(), 7);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn read_batch_with_pull_readers_crosses_shards() {
+        // All-pull decisions (writers still push): every read evaluates a
+        // pull tree whose inputs are spread across shards by the hash
+        // partition — the owning worker resolves foreign inputs through
+        // the peer slabs' read locks.
+        let (ov, _) = paper_parts();
+        let d = Decisions::all_pull(&ov);
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards: 4,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+            },
+        );
+        let reference = EngineCore::new(Sum, ov, &d, WindowSpec::Tuple(1));
+        for (ts, (node, value)) in [(2u32, 6i64), (3, 8), (4, 5), (5, 3), (6, 9)]
+            .into_iter()
+            .enumerate()
+        {
+            reference.write(NodeId(node), value, ts as u64);
+            eng.submit_write(NodeId(node), value, ts as u64);
+        }
+        let nodes: Vec<NodeId> = (0..7u32).map(NodeId).collect();
+        let got = eng.read_batch(&nodes);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(got[i], reference.read(v), "pull reader {v:?}");
+        }
         eng.shutdown();
     }
 }

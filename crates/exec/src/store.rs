@@ -16,7 +16,7 @@
 //!   same [`PaoStore`] interface.
 
 use eagr_graph::{Partition, ShardId};
-use parking_lot::{RwLock, RwLockWriteGuard};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Storage of one partial aggregate object per overlay node.
 ///
@@ -37,6 +37,28 @@ pub trait PaoStore<P>: Send + Sync {
 
     /// Run `f` with shared access to slot `idx`.
     fn with_read<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R;
+}
+
+/// Read-only PAO resolution, decoupled from [`PaoStore`]'s locking so read
+/// evaluation can amortize lock acquisition: [`StoreReader`] reads through
+/// a store's own locks, while a [`ShardSnapshot`] resolves the locked
+/// shard's slots with plain indexed access and only touches peer locks for
+/// foreign nodes. [`crate::EngineCore`]'s `read_via` / pull-evaluation
+/// entry points are generic over this trait.
+pub trait PaoReader<P> {
+    /// Run `f` with shared access to the PAO at slot `idx`.
+    fn with_pao<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R;
+}
+
+/// [`PaoReader`] adapter over any [`PaoStore`]: every access goes through
+/// the store's own per-slot (or per-slab) read locks.
+pub struct StoreReader<'a, S>(pub &'a S);
+
+impl<P, S: PaoStore<P>> PaoReader<P> for StoreReader<'_, S> {
+    #[inline]
+    fn with_pao<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
+        self.0.with_read(idx, f)
+    }
 }
 
 /// One `RwLock` per PAO (the original execution-core layout).
@@ -117,6 +139,41 @@ impl<P: Send + Sync> ShardedStore<P> {
             slab: self.slabs[shard.idx()].write(),
             loc: &self.loc,
             shard: shard.0,
+        }
+    }
+
+    /// Take the read lock of one shard's slab for the duration of a read
+    /// batch. The snapshot resolves the locked shard's nodes with plain
+    /// indexed access — one lock per batch instead of one per read — and
+    /// falls through to per-slab read locks for foreign nodes (a
+    /// cross-shard pull subtree).
+    pub fn snapshot_shard(&self, shard: ShardId) -> ShardSnapshot<'_, P> {
+        ShardSnapshot {
+            slab: self.slabs[shard.idx()].read(),
+            store: self,
+            shard: shard.0,
+        }
+    }
+}
+
+/// Shared access to one shard's PAO slab (see
+/// [`ShardedStore::snapshot_shard`]), resolving *global* node indexes:
+/// locked-shard slots read lock-free through the held guard, foreign slots
+/// through their own slab's read lock.
+pub struct ShardSnapshot<'a, P> {
+    slab: RwLockReadGuard<'a, Vec<P>>,
+    store: &'a ShardedStore<P>,
+    shard: u32,
+}
+
+impl<P: Send + Sync> PaoReader<P> for ShardSnapshot<'_, P> {
+    #[inline]
+    fn with_pao<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
+        let (shard, off) = self.store.loc[idx];
+        if shard == self.shard {
+            f(&self.slab[off as usize])
+        } else {
+            self.store.with_read(idx, f)
         }
     }
 }
@@ -209,6 +266,28 @@ mod tests {
         for &i in &owned {
             assert_eq!(store.with_read(i, |p| *p), 40 + i as i64);
         }
+    }
+
+    #[test]
+    fn shard_snapshot_resolves_local_and_foreign_nodes() {
+        let part = Partitioner::chunked(2, 4).partition(16);
+        let store = ShardedStore::new(&part, || 0i64);
+        for i in 0..16 {
+            store.with_mut(i, |p| *p = 100 + i as i64);
+        }
+        let snap = store.snapshot_shard(ShardId(0));
+        for i in 0..16 {
+            // Local slots read through the held guard, foreign ones through
+            // their own slab lock — same answers either way.
+            assert_eq!(snap.with_pao(i, |p| *p), 100 + i as i64);
+        }
+    }
+
+    #[test]
+    fn store_reader_matches_with_read() {
+        let store = LockedStore::new(3, || 0i64);
+        store.with_mut(1, |p| *p = 9);
+        assert_eq!(StoreReader(&store).with_pao(1, |p| *p), 9);
     }
 
     #[test]

@@ -100,23 +100,41 @@ pub fn propagate_frequencies(ov: &Overlay, rates: &Rates) -> Frequencies {
 ///
 /// `writer_window` is the expected number of in-window values at a writer —
 /// the paper implicitly assigns `w` inputs to each writer so its costs are
-/// `H(w)`/`L(w)`.
+/// `H(w)`/`L(w)`. The same fill also prices *pulling from* a writer: a pull
+/// node evaluating an input writer scans that writer's `w` in-window
+/// values, so each writer input counts as `w` values toward the pull
+/// fan-in (non-writer inputs contribute their single merged PAO). With
+/// `writer_window == 1` this degenerates to the plain fan-in. Landmark
+/// windows ([`eagr_agg::WindowSpec::Unbounded`]) make the distinction
+/// dramatic: their fill grows with the whole stream, so pull plans over
+/// them are priced accordingly instead of as single-value windows.
 pub fn node_costs(
     ov: &Overlay,
     freqs: &Frequencies,
     cost: &CostModel,
     writer_window: usize,
 ) -> Vec<(f64, f64)> {
+    let w = writer_window.max(1);
     // Arena-indexed (retired nodes keep a zero-cost slot) so that
     // `costs[id.idx()]` is always valid.
     let mut out = vec![(0.0, 0.0); ov.node_count()];
     for n in ov.ids() {
-        let k = match ov.kind(n) {
-            OverlayKind::Writer(_) => writer_window.max(1),
-            _ => ov.fan_in(n).max(1),
+        let (push_k, pull_k) = match ov.kind(n) {
+            OverlayKind::Writer(_) => (w, w),
+            _ => {
+                let pull_k: usize = ov
+                    .inputs(n)
+                    .iter()
+                    .map(|&(f, _)| match ov.kind(f) {
+                        OverlayKind::Writer(_) => w,
+                        _ => 1,
+                    })
+                    .sum();
+                (ov.fan_in(n).max(1), pull_k.max(1))
+            }
         };
-        let push = freqs.fh[n.idx()] * cost.push_cost(k);
-        let pull = freqs.fl[n.idx()] * cost.pull_cost(k);
+        let push = freqs.fh[n.idx()] * cost.push_cost(push_k);
+        let pull = freqs.fl[n.idx()] * cost.pull_cost(pull_k);
         out[n.idx()] = (push, pull);
     }
     out
@@ -526,6 +544,52 @@ mod tests {
         let total_after = out.prune.after.0 + out.prune.after.1;
         let total_before = out.prune.before.0 + out.prune.before.1;
         assert!(total_after <= total_before);
+    }
+
+    #[test]
+    fn landmark_window_fill_flips_decisions_to_push() {
+        // Regression for the WindowSpec::Unbounded cost-model bug: landmark
+        // windows were modeled as holding one value, so a moderately
+        // write-heavy workload looked pull-friendly even though every pull
+        // would re-scan the writers' entire histories.
+        let ov = direct_paper_overlay();
+        let rates = Rates::uniform(7, 5.0); // writes 5× hotter than reads
+        let f = propagate_frequencies(&ov, &rates);
+
+        // The buggy fill: Unbounded.expected_size() returned 1.0.
+        let costs_bug = node_costs(&ov, &f, &unit_cost(), 1);
+        let bug = decide_maxflow(&ov, &costs_bug);
+        let pull_readers_bug = ov
+            .readers()
+            .filter(|&(r, _)| !bug.decisions.is_push(r))
+            .count();
+        assert!(
+            pull_readers_bug > 0,
+            "write-heavy + single-value windows must leave some readers pull"
+        );
+
+        // The fixed fill: one write per tick over a 10k-tick stream.
+        let fill = eagr_agg::WindowSpec::Unbounded.expected_size(1.0, 10_000.0) as usize;
+        assert_eq!(fill, 10_000);
+        let costs_fixed = node_costs(&ov, &f, &unit_cost(), fill);
+        let out = decide_maxflow(&ov, &costs_fixed);
+        for (r, _) in ov.readers() {
+            assert!(
+                out.decisions.is_push(r),
+                "landmark windows make every pull re-scan whole histories: reader {r:?} must push"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_writer_window_keeps_plain_fan_in_pull_costs() {
+        // writer_window == 1 must degenerate to the old model exactly.
+        let ov = direct_paper_overlay();
+        let f = propagate_frequencies(&ov, &Rates::uniform(7, 1.0));
+        let costs = node_costs(&ov, &f, &unit_cost(), 1);
+        let ar = ov.reader(NodeId(0)).unwrap();
+        // Reader a has 4 inputs and read rate 1 ⇒ PULL = 1·L(4) = 4.
+        assert!((costs[ar.idx()].1 - 4.0).abs() < 1e-12);
     }
 
     #[test]

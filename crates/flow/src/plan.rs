@@ -12,10 +12,10 @@ use crate::greedy::decide_greedy;
 use crate::split::split_for_partial_precomputation;
 use eagr_agg::CostModel;
 use eagr_graph::{
-    edge_cut_partition, EdgeCutConfig, Partition, PartitionStrategy, Partitioner,
+    edge_cut_partition, EdgeCutConfig, Partition, PartitionStrategy, Partitioner, ShardId,
     DEFAULT_CHUNK_SIZE,
 };
-use eagr_overlay::{Overlay, PushEdgeView};
+use eagr_overlay::{Overlay, OverlayKind, PushEdgeView};
 
 /// Which decision procedure to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -136,13 +136,18 @@ impl Plan {
     /// map from the plan's own push topology and frequencies (see
     /// [`push_view`](Self::push_view)); the index-based strategies go
     /// through a plain [`Partitioner`].
+    /// Whatever the strategy, a read-locality pass then co-locates every
+    /// pull reader with its heaviest input shard, so a shard-executed read
+    /// evaluates most of its pull tree against the worker's own slab.
     pub fn with_partition(mut self, shards: usize, strategy: PartitionStrategy) -> Self {
-        self.partition = Some(match strategy {
+        let mut partition = match strategy {
             PartitionStrategy::EdgeCut => {
                 edge_cut_partition(&self.push_view(), shards, &EdgeCutConfig::default())
             }
             _ => Partitioner::new(shards, strategy).partition(self.overlay.node_count()),
-        });
+        };
+        self.colocate_pull_readers(&mut partition);
+        self.partition = Some(partition);
         self
     }
 
@@ -174,8 +179,54 @@ impl Plan {
             // min_by keeps the *first* of equally cheap candidates, so ties
             // go to the cheaper-to-derive index-based strategies.
             .min_by(|(a, _), (b, _)| a.total_cmp(b))
-            .map(|(_, p)| p);
+            .map(|(_, mut p)| {
+                self.colocate_pull_readers(&mut p);
+                p
+            });
         self
+    }
+
+    /// Read-locality pass: reassign every pull-annotated reader to the
+    /// shard holding the largest share of its input weight, so the worker
+    /// that owns the reader evaluates most of its pull tree against its own
+    /// slab instead of taking foreign slab locks per input.
+    ///
+    /// Inputs are weighted by the planner's propagated push frequencies
+    /// `fh` — the same affinities [`push_view`](Self::push_view) feeds the
+    /// edge-cut partitioner. Moving a pull reader is free for the write
+    /// path: pull nodes receive no deltas (the cascade stops at them), so
+    /// the reassignment cannot create cross-shard delta traffic or skew
+    /// write-path load; it only concentrates each reader's pull evaluation
+    /// where its data lives.
+    fn colocate_pull_readers(&self, partition: &mut Partition) {
+        let shards = partition.shards;
+        let mut weight = vec![0.0f64; shards];
+        for n in self.overlay.ids() {
+            if self.decisions.is_push(n) || !matches!(self.overlay.kind(n), OverlayKind::Reader(_))
+            {
+                continue;
+            }
+            let inputs = self.overlay.inputs(n);
+            if inputs.is_empty() {
+                continue;
+            }
+            weight.iter_mut().for_each(|w| *w = 0.0);
+            for &(f, _) in inputs {
+                // Silent nodes keep a floor weight so structure still
+                // guides the choice when rates are unknown.
+                let fh = self.freqs.fh[f.idx()].max(1e-3);
+                weight[partition.of[f.idx()].idx()] += fh;
+            }
+            let best = weight
+                .iter()
+                .enumerate()
+                // max_by keeps the *last* max; compare (w, -idx) so ties go
+                // to the lowest shard id deterministically.
+                .max_by(|(i, a), (j, b)| a.total_cmp(b).then(j.cmp(i)))
+                .map(|(s, _)| s)
+                .expect("at least one shard");
+            partition.of[n.idx()] = ShardId(best as u32);
+        }
     }
 
     /// The weighted push-edge affinity view of this plan: push edges the
@@ -337,6 +388,51 @@ mod tests {
                 auto_cost <= view.cut_fraction(&cand) + 1e-9,
                 "auto ({auto_cost}) must not lose to {strategy:?}"
             );
+        }
+    }
+
+    #[test]
+    fn pull_readers_are_colocated_with_their_heaviest_input_shard() {
+        // All-pull plan: every reader is pull-annotated, so the
+        // read-locality pass must land each on the shard holding the
+        // largest fh-weighted share of its inputs.
+        let p = plan(
+            paper_overlay(),
+            &Rates::uniform(7, 1.0),
+            &CostModel::unit_sum(),
+            &PlannerConfig {
+                algorithm: DecisionAlgorithm::AllPull,
+                split: false,
+                writer_window: 1,
+                push_amplification: 2.0,
+            },
+        );
+        let p = p.with_partition(3, PartitionStrategy::Hash);
+        let part = p.partition.as_ref().expect("partition attached");
+        for n in p.overlay.ids() {
+            if p.decisions.is_push(n) || !matches!(p.overlay.kind(n), OverlayKind::Reader(_)) {
+                continue;
+            }
+            let inputs = p.overlay.inputs(n);
+            if inputs.is_empty() {
+                continue;
+            }
+            let mut weight = vec![0.0f64; part.shards];
+            for &(f, _) in inputs {
+                weight[part.shard_of(f.idx()).idx()] += p.freqs.fh[f.idx()].max(1e-3);
+            }
+            let own = weight[part.shard_of(n.idx()).idx()];
+            assert!(
+                weight.iter().all(|&w| w <= own + 1e-12),
+                "reader {n:?} owns weight {own}, but a peer shard holds more: {weight:?}"
+            );
+        }
+        // The write path is untouched: push nodes keep their hash shard.
+        let hash = Partitioner::hash(3).partition(p.overlay.node_count());
+        for n in p.overlay.ids() {
+            if p.decisions.is_push(n) {
+                assert_eq!(part.shard_of(n.idx()), hash.shard_of(n.idx()));
+            }
         }
     }
 

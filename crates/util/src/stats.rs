@@ -64,14 +64,22 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
-    /// Minimum observation (`+inf` when empty).
+    /// Minimum observation (0 when empty, matching [`mean`](Self::mean)).
     pub fn min(&self) -> f64 {
-        self.min
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
     }
 
-    /// Maximum observation (`-inf` when empty).
+    /// Maximum observation (0 when empty, matching [`mean`](Self::mean)).
     pub fn max(&self) -> f64 {
-        self.max
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     /// Merge another accumulator into this one (parallel reduction).
@@ -98,11 +106,16 @@ impl OnlineStats {
 /// Exact percentile of a sample by sorting (nearest-rank method).
 ///
 /// Returns 0.0 for an empty slice. `q` is in `[0, 1]`.
+///
+/// Sorting uses [`f64::total_cmp`], so NaN samples never panic (the old
+/// `partial_cmp().unwrap()` did): positive NaNs order after `+inf` and
+/// negative NaNs before `-inf`. A sample containing positive NaNs therefore
+/// reports them as its top percentiles rather than aborting mid-benchmark.
 pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(f64::total_cmp);
     let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
     samples[rank - 1]
 }
@@ -120,6 +133,10 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarize a sample of latencies (consumed: the slice is sorted).
+    ///
+    /// NaN samples are tolerated — [`percentile`] sorts with
+    /// [`f64::total_cmp`], so they surface as NaN `worst`/`p95`/`avg`
+    /// values instead of panicking.
     pub fn from_samples(samples: &mut [f64]) -> Self {
         if samples.is_empty() {
             return Self {
@@ -199,5 +216,36 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.variance(), 0.0);
         assert_eq!(s.count(), 0);
+        // min/max agree with mean() on the empty accumulator instead of
+        // leaking the ±inf sentinels.
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_merge_still_works() {
+        // The 0.0 accessors must not disturb the ±inf sentinels merge()
+        // relies on.
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.record(3.0);
+        b.record(-2.0);
+        a.merge(&b);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        // Regression: partial_cmp().unwrap() panicked on NaN latencies
+        // (e.g. a 0/0 ops-per-second division leaking into a summary).
+        let mut xs = vec![2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(percentile(&mut xs, 0.5), 2.0);
+        // Positive NaN orders after +inf under total_cmp: it is the "worst".
+        assert!(percentile(&mut xs, 1.0).is_nan());
+        let mut ys = vec![f64::NAN, 4.0, 1.0];
+        let s = LatencySummary::from_samples(&mut ys);
+        assert!(s.worst.is_nan());
+        assert!(s.avg.is_nan());
     }
 }

@@ -48,9 +48,12 @@ impl Zipf {
         self.cdf.len()
     }
 
-    /// True if the distribution has a single rank.
+    /// True if the distribution has zero ranks. Computed from the actual
+    /// rank table rather than hard-coded (construction guarantees `n > 0`,
+    /// so this is always `false` — but it must stay consistent with
+    /// [`len`](Self::len) if that invariant ever changes).
     pub fn is_empty(&self) -> bool {
-        false // construction guarantees n > 0
+        self.cdf.is_empty()
     }
 
     /// The exponent `s`.
@@ -65,9 +68,12 @@ impl Zipf {
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
-    /// Probability mass of a rank.
+    /// Probability mass of a rank. Ranks outside `0..len()` have zero mass
+    /// (rather than the index-out-of-bounds panic this used to be).
     pub fn pmf(&self, rank: usize) -> f64 {
-        if rank == 0 {
+        if rank >= self.cdf.len() {
+            0.0
+        } else if rank == 0 {
             self.cdf[0]
         } else {
             self.cdf[rank] - self.cdf[rank - 1]
@@ -134,6 +140,26 @@ mod tests {
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 3);
         }
+    }
+
+    #[test]
+    fn pmf_out_of_range_is_zero() {
+        // Regression: pmf(len()) used to panic with index-out-of-bounds.
+        let z = Zipf::new(10, 1.0);
+        assert_eq!(z.pmf(10), 0.0);
+        assert_eq!(z.pmf(usize::MAX), 0.0);
+        // In-range mass is untouched by the clamp.
+        assert!(z.pmf(9) > 0.0);
+    }
+
+    #[test]
+    fn is_empty_reflects_rank_count() {
+        // Regression: is_empty() was hard-coded to false instead of being
+        // derived from the rank table.
+        let z = Zipf::new(1, 1.0);
+        assert!(!z.is_empty());
+        assert_eq!(z.len(), 1);
+        assert_eq!(z.pmf(0), 1.0);
     }
 
     #[test]

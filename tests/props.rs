@@ -270,6 +270,19 @@ proptest! {
                     "node {n} diverged ({shards} shards, {strategy:?})"
                 );
             }
+            // Shard-executed reads must agree with the reference too: the
+            // whole batch is evaluated by the owning workers (push
+            // finalizes and pull trees alike), never the caller thread.
+            let nodes: Vec<NodeId> = (0..30u32).map(NodeId).collect();
+            let served = sharded.read_batch(&nodes);
+            for (i, &v) in nodes.iter().enumerate() {
+                assert_eq!(
+                    served[i],
+                    reference.read(v),
+                    "shard-executed read {v:?} diverged ({shards} shards, {strategy:?})"
+                );
+            }
+            assert!(sharded.reads_served() > 0, "workers must serve the batch");
             sharded.shutdown();
         }
 

@@ -289,6 +289,114 @@ fn advance_time_runs_concurrently_with_sharded_ingest() {
     }
 }
 
+// ---------- shard-executed reads during ingestion ----------
+
+#[test]
+fn read_batch_is_epoch_consistent_under_concurrent_ingest() {
+    // A reader thread hammers read_batch while the main thread ingests
+    // epochs. The epoch-stamped snapshot rule says every batch must observe
+    // exactly the state after some whole number of ingested epochs — never
+    // a torn epoch. We precompute the single-threaded reference answers at
+    // every epoch boundary and require each observed batch to equal one of
+    // them (and the final batch to equal the last boundary).
+    let (g, ov, d) = all_push_parts(100, 51);
+    let eng = Arc::new(sharded_over(&ov, &d, 4, PartitionStrategy::Hash));
+    let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+    let events = generate_events(
+        100,
+        &WorkloadConfig {
+            events: 4000,
+            write_to_read: 1e9,
+            seed: 52,
+            ..Default::default()
+        },
+    );
+    let probes: Vec<NodeId> = g.nodes().collect();
+    let batches = batch_events(&events, 200, 0);
+    // Reference answers after 0, 1, …, K epochs.
+    let mut boundaries: Vec<Vec<Option<i64>>> = Vec::with_capacity(batches.len() + 1);
+    boundaries.push(probes.iter().map(|&v| reference.read(v)).collect());
+    for b in &batches {
+        for (e, ts) in b.iter_timed() {
+            if let Event::Write { node, value } = *e {
+                reference.write(node, value, ts);
+            }
+        }
+        boundaries.push(probes.iter().map(|&v| reference.read(v)).collect());
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let observed = std::thread::scope(|s| {
+        let reader_eng = Arc::clone(&eng);
+        let reader_stop = Arc::clone(&stop);
+        let reader_probes = probes.clone();
+        let reader = s.spawn(move || {
+            let mut seen = Vec::new();
+            while !reader_stop.load(Ordering::Relaxed) {
+                seen.push(reader_eng.read_batch(&reader_probes));
+            }
+            seen
+        });
+        for b in &batches {
+            eng.ingest_epoch(b);
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().expect("reader thread")
+    });
+    assert!(
+        !observed.is_empty(),
+        "reader thread never completed a batch"
+    );
+    for (i, snap) in observed.iter().enumerate() {
+        assert!(
+            boundaries.contains(snap),
+            "observed batch {i} matches no epoch boundary (torn epoch)"
+        );
+    }
+    // After everything drained, the service answers the final boundary.
+    let last = eng.read_batch(&probes);
+    assert_eq!(&last, boundaries.last().unwrap(), "final state diverged");
+    assert!(eng.reads_served() > 0);
+    match Arc::try_unwrap(eng) {
+        Ok(e) => e.shutdown(),
+        Err(_) => panic!("engine still shared"),
+    }
+}
+
+#[test]
+fn facade_read_batch_routes_to_shard_workers() {
+    // EagrSystem in sharded mode must shard-execute both read_batch and
+    // point reads (the read counters prove the workers did the work), and
+    // the answers must match the single-threaded facade on the same
+    // stream.
+    let g = social_graph(90, 4, 53);
+    let events = generate_events(
+        90,
+        &WorkloadConfig {
+            events: 2500,
+            write_to_read: 3.0,
+            seed: 54,
+            ..Default::default()
+        },
+    );
+    let single = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+    let sharded = EagrSystem::builder(EgoQuery::new(Sum))
+        .execution(eagr::ExecutionMode::Sharded { shards: 4 })
+        .build(&g);
+    assert_eq!(single.ingest(&events), sharded.ingest(&events));
+    let eng = sharded.sharded_engine().expect("sharded runtime");
+    let after_ingest = eng.reads_served();
+    assert!(
+        after_ingest > 0,
+        "read events inside mixed batches must be shard-executed"
+    );
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    assert_eq!(single.read_batch(&nodes), sharded.read_batch(&nodes));
+    assert!(
+        eng.reads_served() > after_ingest,
+        "read_batch must be served by the workers"
+    );
+}
+
 // ---------- epoch-drain completeness under concurrent reads ----------
 
 #[test]
