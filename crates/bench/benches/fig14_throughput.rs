@@ -12,9 +12,13 @@
 //! yields >2× near 1:1 and ≈1× at the extremes; 2-hop gains exceed 1-hop.
 
 use eagr::agg::{Aggregate, CostModel, Max, Sum, TopK, WindowSpec};
-use eagr::exec::{EngineCore, ParallelConfig, ParallelEngine, ShardedConfig, ShardedEngine};
+use eagr::exec::{
+    EngineCore, ParallelConfig, ParallelEngine, RebalancePolicy, ShardedConfig, ShardedEngine,
+};
 use eagr::flow::{plan, DecisionAlgorithm, Decisions, PlannerConfig, Rates};
-use eagr::gen::{batch_events, generate_events, zipf_rates, Dataset, Event, WorkloadConfig};
+use eagr::gen::{
+    batch_events, generate_events, rotating_hot_set, zipf_rates, Dataset, Event, WorkloadConfig,
+};
 use eagr::graph::{BipartiteGraph, Neighborhood, PartitionStrategy, DEFAULT_CHUNK_SIZE};
 use eagr::overlay::{build_iob, build_vnm, IobConfig, Overlay, VnmConfig};
 use eagr_bench::{banner, max_props, scale, sum_props, write_json_artifact, Json, Table};
@@ -22,6 +26,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const RATIOS: [f64; 5] = [0.05, 0.2, 1.0, 5.0, 20.0];
+
+/// Repeats for every throughput row the `bench-check` CI gate consumes
+/// (fig14 d/e/f). Noise — scheduler preemption, a cold cache, a yield
+/// storm in a drain loop — only ever *slows* a run, so best-of-k is a
+/// robust throughput estimator where a single window flakes well past the
+/// gate's 25% tolerance on small shared runners.
+const GATE_REPEATS: usize = 3;
+
+/// Best (maximum) ops/s over [`GATE_REPEATS`] runs of `run`.
+fn best_ops(mut run: impl FnMut() -> f64) -> f64 {
+    (0..GATE_REPEATS).map(|_| run()).fold(f64::MIN, f64::max)
+}
 
 fn run_plan<A: Aggregate + Clone>(
     agg: A,
@@ -308,7 +324,11 @@ fn fig14d() {
     let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
     let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
     let decisions = Decisions::all_push(&ov);
-    let count = (60_000.0 * scale()) as usize;
+    // Floor the timed loop even at the smallest --quick scales: the
+    // bench-check CI gate compares per-row ops/s ratios, and a
+    // sub-millisecond measurement window would put scheduler noise inside
+    // the 25% tolerance.
+    let count = ((60_000.0 * scale()) as usize).max(16_000);
     let events: Vec<Event> = generate_events(
         n,
         &WorkloadConfig {
@@ -328,8 +348,9 @@ fn fig14d() {
     let t = Table::new(&["engine", "ops/s", "vs single", "cross-shard deltas"]);
     let mut rows: Vec<Json> = Vec::new();
 
-    // (1) Single-threaded reference, event at a time.
-    let single = {
+    // (1) Single-threaded reference, event at a time (best of
+    // GATE_REPEATS fresh engines, like every gated row below).
+    let single = best_ops(|| {
         let core = EngineCore::new(Sum, Arc::clone(&ov), &decisions, WindowSpec::Tuple(1));
         let t0 = Instant::now();
         for (ts, e) in events.iter().enumerate() {
@@ -338,7 +359,7 @@ fn fig14d() {
             }
         }
         events.len() as f64 / t0.elapsed().as_secs_f64()
-    };
+    });
     t.row(&[&"single-thread", &format!("{single:.0}"), &"1.00x", &"-"]);
     rows.push(Json::obj(vec![
         ("engine", Json::Str("single-thread".into())),
@@ -347,21 +368,25 @@ fn fig14d() {
 
     // (2) Two-pool queueing model, event at a time.
     {
-        let core = Arc::new(EngineCore::new(
-            Sum,
-            Arc::clone(&ov),
-            &decisions,
-            WindowSpec::Tuple(1),
-        ));
-        let eng = ParallelEngine::new(Arc::clone(&core), ParallelConfig::default());
-        let t0 = Instant::now();
-        for (ts, e) in events.iter().enumerate() {
-            if let Event::Write { node, value } = *e {
-                eng.submit_write(node, value, ts as u64);
+        let ops = best_ops(|| {
+            let core = Arc::new(EngineCore::new(
+                Sum,
+                Arc::clone(&ov),
+                &decisions,
+                WindowSpec::Tuple(1),
+            ));
+            let eng = ParallelEngine::new(Arc::clone(&core), ParallelConfig::default());
+            let t0 = Instant::now();
+            for (ts, e) in events.iter().enumerate() {
+                if let Event::Write { node, value } = *e {
+                    eng.submit_write(node, value, ts as u64);
+                }
             }
-        }
-        eng.drain();
-        let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
+            eng.drain();
+            let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
+            eng.shutdown();
+            ops
+        });
         t.row(&[
             &"two-pool per-event",
             &format!("{ops:.0}"),
@@ -372,12 +397,13 @@ fn fig14d() {
             ("engine", Json::Str("two-pool".into())),
             ("ops_per_s", Json::Num(ops)),
         ]));
-        eng.shutdown();
     }
 
     // (3) Sharded ingestion at several shard counts × all three partition
     // strategies. Edge-cut derives the map from the overlay's push
-    // topology; its cross-shard delta column is the one to watch.
+    // topology; its cross-shard delta column is the one to watch. The
+    // delta counters are deterministic (routing depends only on the map
+    // and the workload), so taking them from the last repeat is exact.
     for shards in [2usize, 4, 8] {
         for strategy in [
             PartitionStrategy::Hash,
@@ -386,24 +412,33 @@ fn fig14d() {
             },
             PartitionStrategy::EdgeCut,
         ] {
-            let eng = ShardedEngine::new(
-                Sum,
-                Arc::clone(&ov),
-                &decisions,
-                WindowSpec::Tuple(1),
-                &ShardedConfig {
-                    shards,
-                    strategy,
-                    channel_capacity: 1 << 12,
-                },
-            );
             let batches = batch_events(&events, batch, 0);
-            let t0 = Instant::now();
-            for b in &batches {
-                eng.ingest(b);
-            }
-            eng.drain();
-            let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
+            let mut cross = 0u64;
+            let mut local = 0u64;
+            let ops = best_ops(|| {
+                let eng = ShardedEngine::new(
+                    Sum,
+                    Arc::clone(&ov),
+                    &decisions,
+                    WindowSpec::Tuple(1),
+                    &ShardedConfig {
+                        shards,
+                        strategy,
+                        channel_capacity: 1 << 12,
+                        rebalance: RebalancePolicy::default(),
+                    },
+                );
+                let t0 = Instant::now();
+                for b in &batches {
+                    eng.ingest(b);
+                }
+                eng.drain();
+                let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
+                cross = eng.cross_shard_deltas();
+                local = eng.local_applies();
+                eng.shutdown();
+                ops
+            });
             let sname = match strategy {
                 PartitionStrategy::Hash => "hash",
                 PartitionStrategy::Chunk { .. } => "chunk",
@@ -413,20 +448,16 @@ fn fig14d() {
                 &format!("sharded x{shards} ({sname})"),
                 &format!("{ops:.0}"),
                 &format!("{:.2}x", ops / single),
-                &format!("{}", eng.cross_shard_deltas()),
+                &format!("{cross}"),
             ]);
             rows.push(Json::obj(vec![
                 ("engine", Json::Str("sharded".into())),
                 ("shards", Json::Num(shards as f64)),
                 ("strategy", Json::Str(sname.into())),
                 ("ops_per_s", Json::Num(ops)),
-                (
-                    "cross_shard_deltas",
-                    Json::Num(eng.cross_shard_deltas() as f64),
-                ),
-                ("local_applies", Json::Num(eng.local_applies() as f64)),
+                ("cross_shard_deltas", Json::Num(cross as f64)),
+                ("local_applies", Json::Num(local as f64)),
             ]));
-            eng.shutdown();
         }
     }
     println!("\nexpect: sharded ingestion ≫ two-pool per-event (no per-PAO locks, no per-op");
@@ -481,7 +512,9 @@ fn fig14e() {
         },
     )
     .with_partition(4, PartitionStrategy::Hash);
-    let count = (40_000.0 * scale()) as usize;
+    // Event floor for the same reason as fig14d: keep the gated timing
+    // windows well clear of scheduler-noise territory in --quick mode.
+    let count = ((40_000.0 * scale()) as usize).max(16_000);
     let batch = 2048;
     println!(
         "graph {} nodes / {} overlay edges; {} events; batch = {batch}; 4 shards",
@@ -528,30 +561,37 @@ fn fig14e() {
             .collect();
         let mut caller_ops = 0.0;
         for shard_reads in [false, true] {
-            let eng = ShardedEngine::from_plan(
-                &p,
-                Sum,
-                WindowSpec::Tuple(1),
-                &ShardedConfig {
-                    shards: 4,
-                    strategy: PartitionStrategy::Hash,
-                    channel_capacity: 1 << 12,
-                },
-            );
-            let t0 = Instant::now();
-            let mut ts = 0u64;
-            for (writes, reads) in &split {
-                eng.ingest_epoch_at(writes, ts);
-                ts += writes.len() as u64;
-                if shard_reads {
-                    std::hint::black_box(eng.read_batch(reads));
-                } else {
-                    for &v in reads {
-                        std::hint::black_box(eng.read(v));
+            let mut reads_served = 0u64;
+            let ops = best_ops(|| {
+                let eng = ShardedEngine::from_plan(
+                    &p,
+                    Sum,
+                    WindowSpec::Tuple(1),
+                    &ShardedConfig {
+                        shards: 4,
+                        strategy: PartitionStrategy::Hash,
+                        channel_capacity: 1 << 12,
+                        rebalance: RebalancePolicy::default(),
+                    },
+                );
+                let t0 = Instant::now();
+                let mut ts = 0u64;
+                for (writes, reads) in &split {
+                    eng.ingest_epoch_at(writes, ts);
+                    ts += writes.len() as u64;
+                    if shard_reads {
+                        std::hint::black_box(eng.read_batch(reads));
+                    } else {
+                        for &v in reads {
+                            std::hint::black_box(eng.read(v));
+                        }
                     }
                 }
-            }
-            let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
+                let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
+                reads_served = eng.reads_served();
+                eng.shutdown();
+                ops
+            });
             let path = if shard_reads {
                 "shard-executed"
             } else {
@@ -565,16 +605,15 @@ fn fig14e() {
                 &path,
                 &format!("{ops:.0}"),
                 &format!("{:.2}x", ops / caller_ops),
-                &format!("{}", eng.reads_served()),
+                &format!("{reads_served}"),
             ]);
             rows.push(Json::obj(vec![
                 ("mix", Json::Str(mix.into())),
                 ("write_to_read", Json::Num(w2r)),
                 ("read_path", Json::Str(path.into())),
                 ("ops_per_s", Json::Num(ops)),
-                ("reads_served", Json::Num(eng.reads_served() as f64)),
+                ("reads_served", Json::Num(reads_served as f64)),
             ]));
-            eng.shutdown();
         }
     }
     println!("\nexpect: shard-executed read batches ≥ caller-thread reads even on one core");
@@ -594,10 +633,199 @@ fn fig14e() {
     );
 }
 
+/// Live-rebalancing comparison (beyond the paper, §4.8 closed loop): a
+/// Zipf hot-set **drift** workload ([`rotating_hot_set`]) over a map tuned
+/// to phase-0 traffic. The frozen engine keeps the stale planning-time
+/// map; the `RebalancePolicy`-enabled engine re-partitions itself from the
+/// observed push counters every few ingestion epochs, live-migrating PAO
+/// state under the epoch fence. The cross-shard delta counters per rotated
+/// phase are the observable; answers are identical by construction
+/// (`tests/sharding.rs` pins the ≥20% reduction and the differential).
+///
+/// Emits `BENCH_fig14_rebalance.json`; the `bench-check` CI gate asserts
+/// the reduction invariant never regresses.
+fn fig14f() {
+    banner(
+        "Figure 14(f) [extension]",
+        "hot-set drift: frozen planning-time map vs live rebalancing (cross-shard deltas)",
+    );
+    let g = Dataset::LiveJournalLike.build(0.5 * scale(), 0xF14F);
+    let n = g.id_bound();
+    let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+    let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+    let decisions = Decisions::all_push(&ov);
+    // Event floor for the same reason as fig14d (per-phase timing rows
+    // feed the bench-check gate).
+    let per_phase = ((20_000.0 * scale()) as usize).max(8_000);
+    let phases = rotating_hot_set(
+        n,
+        &WorkloadConfig {
+            events: per_phase,
+            write_to_read: 1e9,
+            exponent: 1.2,
+            seed: 0xF14F,
+            ..Default::default()
+        },
+        4,
+    );
+    // ~10 ingestion epochs per phase at any scale, so the every-2-epochs
+    // policy gets several in-phase adaptation points even in --quick mode.
+    let batch = (per_phase / 10).max(128);
+    let shards = 4;
+    println!(
+        "graph {} nodes / {} overlay edges; {} phases x {} write events; batch = {batch}; {shards} shards\n",
+        g.node_count(),
+        ov.edge_count(),
+        phases.len(),
+        per_phase,
+    );
+    // Tune the starting map to phase-0 observed traffic: this *is* the
+    // planning-time map — perfect for the rates it saw, stale the moment
+    // the hot set rotates.
+    let stale_map = {
+        let tuner = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &decisions,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards,
+                strategy: PartitionStrategy::EdgeCut,
+                channel_capacity: 1 << 12,
+                rebalance: RebalancePolicy {
+                    min_cut_gain: 0.0,
+                    max_move_fraction: 1.0,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        for b in batch_events(&phases[0], batch, 0) {
+            tuner.ingest_epoch(&b);
+        }
+        tuner.rebalance();
+        let map = tuner.partition();
+        tuner.shutdown();
+        map
+    };
+    let t = Table::new(&["engine", "phase", "cross-shard deltas", "ops/s"]);
+    let mut rows: Vec<Json> = Vec::new();
+    for (mode, policy) in [
+        ("frozen", RebalancePolicy::manual()),
+        (
+            "rebalance",
+            RebalancePolicy {
+                every_epochs: 2,
+                min_cut_gain: 0.01,
+                max_move_fraction: 0.5,
+                ..RebalancePolicy::default()
+            },
+        ),
+    ] {
+        // Repeat the whole phase sequence GATE_REPEATS times with fresh
+        // engines and keep per-phase best ops/s (the gated observable).
+        // The delta counters and rebalance decisions are deterministic —
+        // every repeat replays identically — so counters come from the
+        // last repeat.
+        let mut phase_cross = vec![0u64; phases.len()];
+        let mut phase_ops = vec![f64::MIN; phases.len()];
+        let mut rebalances = 0u64;
+        let mut migrated = 0u64;
+        for _ in 0..GATE_REPEATS {
+            let eng = ShardedEngine::with_partition(
+                Sum,
+                Arc::clone(&ov),
+                &decisions,
+                WindowSpec::Tuple(1),
+                stale_map.clone(),
+                &ShardedConfig {
+                    shards,
+                    strategy: PartitionStrategy::EdgeCut,
+                    channel_capacity: 1 << 12,
+                    rebalance: policy,
+                },
+            );
+            let mut ts = 0u64;
+            for (k, phase) in phases.iter().enumerate() {
+                let c0 = eng.cross_shard_deltas();
+                let t0 = Instant::now();
+                for b in batch_events(phase, batch, ts) {
+                    eng.ingest_epoch(&b);
+                }
+                let ops = phase.len() as f64 / t0.elapsed().as_secs_f64();
+                ts += phase.len() as u64;
+                phase_cross[k] = eng.cross_shard_deltas() - c0;
+                phase_ops[k] = phase_ops[k].max(ops);
+            }
+            rebalances = eng.rebalances();
+            migrated = eng.nodes_migrated();
+            eng.shutdown();
+        }
+        for (k, (&cross, &ops)) in phase_cross.iter().zip(&phase_ops).enumerate() {
+            t.row(&[
+                &mode,
+                &format!("{k}"),
+                &format!("{cross}"),
+                &format!("{ops:.0}"),
+            ]);
+            rows.push(Json::obj(vec![
+                ("engine", Json::Str(mode.into())),
+                ("phase", Json::Num(k as f64)),
+                ("cross_shard_deltas", Json::Num(cross as f64)),
+                ("ops_per_s", Json::Num(ops)),
+            ]));
+        }
+        if mode == "rebalance" {
+            println!("  ({rebalances} rebalances committed, {migrated} nodes migrated)");
+            rows.push(Json::obj(vec![
+                ("engine", Json::Str("rebalance-summary".into())),
+                ("rebalances", Json::Num(rebalances as f64)),
+                ("nodes_migrated", Json::Num(migrated as f64)),
+            ]));
+        }
+    }
+    println!("\nexpect: both engines ship the same deltas in phase 0 (same starting map);");
+    println!("from phase 1 on, the frozen stale map keeps paying the rotated hot set's full");
+    println!("cross-shard cost while the policy-driven engine re-tunes and ships far fewer.");
+    write_json_artifact(
+        "fig14_rebalance",
+        &Json::obj(vec![
+            ("figure", Json::Str("fig14f".into())),
+            ("scale", Json::Num(scale())),
+            ("events_per_phase", Json::Num(per_phase as f64)),
+            ("phases", Json::Num(phases.len() as f64)),
+            ("batch", Json::Num(batch as f64)),
+            ("shards", Json::Num(shards as f64)),
+            ("rows", Json::Arr(rows)),
+        ]),
+    );
+}
+
 fn main() {
-    fig14a();
-    fig14b();
-    fig14c();
-    fig14d();
-    fig14e();
+    // `--only <letters>` restricts to a subset of the sub-figures (e.g.
+    // `--only def` runs just the machine-readable extension benches) — how
+    // the PR-gating bench-check CI job avoids paying for fig14(a–c).
+    let args: Vec<String> = std::env::args().collect();
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1).cloned());
+    let run = |letter: char| only.as_deref().is_none_or(|s| s.contains(letter));
+    if run('a') {
+        fig14a();
+    }
+    if run('b') {
+        fig14b();
+    }
+    if run('c') {
+        fig14c();
+    }
+    if run('d') {
+        fig14d();
+    }
+    if run('e') {
+        fig14e();
+    }
+    if run('f') {
+        fig14f();
+    }
 }

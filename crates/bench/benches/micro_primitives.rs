@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eagr::agg::{Aggregate, Max, Sum, TopK, WindowSpec};
-use eagr::exec::{EngineCore, ParallelConfig, ParallelEngine, ShardedConfig, ShardedEngine};
+use eagr::exec::{
+    EngineCore, ParallelConfig, ParallelEngine, RebalancePolicy, ShardedConfig, ShardedEngine,
+};
 use eagr::flow::{Decisions, Dinic};
 use eagr::gen::{generate_events, Dataset, Event, WorkloadConfig};
 use eagr::graph::{BipartiteGraph, Neighborhood, NodeId, PartitionStrategy};
@@ -267,6 +269,7 @@ fn bench_write_ingestion(c: &mut Criterion) {
                 shards,
                 strategy: PartitionStrategy::Chunk { chunk_size: 64 },
                 channel_capacity: 1 << 12,
+                rebalance: RebalancePolicy::default(),
             },
         );
         let mut ts = 0u64;

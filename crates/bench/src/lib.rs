@@ -114,6 +114,55 @@ impl Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
+    /// Parse a JSON document (the inverse of [`render`](Self::render),
+    /// covering the full value grammar the artifacts use: numbers,
+    /// strings, arrays, objects, and the `null` the renderer emits for
+    /// non-finite numbers — parsed as NaN). This is what the
+    /// `bench_check` regression gate reads committed baselines and fresh
+    /// `BENCH_*.json` artifacts back with.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Render to a compact JSON string.
     pub fn render(&self) -> String {
         match self {
@@ -158,6 +207,150 @@ impl Json {
     }
 }
 
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&byte) => {
+                        // Consume one UTF-8 scalar, sized from its leading
+                        // byte — validating only this character keeps
+                        // string decoding O(len) instead of re-checking
+                        // the whole document per character.
+                        let len = match byte {
+                            0x00..=0x7F => 1,
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk = b
+                            .get(*pos..*pos + len)
+                            .ok_or_else(|| format!("truncated utf8 at byte {pos}"))?;
+                        let c = std::str::from_utf8(chunk)
+                            .map_err(|e| e.to_string())?
+                            .chars()
+                            .next()
+                            .ok_or("utf8 decode")?;
+                        out.push(c);
+                        *pos += len;
+                    }
+                }
+            }
+        }
+        Some(b'n') => {
+            if b[*pos..].starts_with(b"null") {
+                *pos += 4;
+                Ok(Json::Num(f64::NAN)) // the renderer's stand-in for NaN/inf
+            } else {
+                Err(format!("unexpected token at byte {pos}"))
+            }
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .map_err(|e| e.to_string())?
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("invalid number at byte {start}"))
+        }
+    }
+}
+
 /// Write a machine-readable bench artifact as `BENCH_<name>.json` in
 /// `EAGR_BENCH_JSON_DIR` (default: the current directory). Nightly CI
 /// captures these files so the perf trajectory is tracked across PRs; a
@@ -180,5 +373,59 @@ pub fn f(x: f64) -> String {
         format!("{x:.1}")
     } else {
         format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_through_parse() {
+        let doc = Json::obj(vec![
+            ("figure", Json::Str("fig14d".into())),
+            ("scale", Json::Num(0.0625)),
+            ("note", Json::Str("quotes \" and \\ and\nnewlines".into())),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj(vec![
+                        ("engine", Json::Str("sharded".into())),
+                        ("shards", Json::Num(4.0)),
+                        ("ops_per_s", Json::Num(123456.789)),
+                    ]),
+                    Json::Num(-3.0),
+                ]),
+            ),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).expect("parse back");
+        assert_eq!(back.render(), text, "render∘parse must be identity");
+        assert_eq!(back.get("figure").and_then(Json::as_str), Some("fig14d"));
+        assert_eq!(back.get("scale").and_then(Json::as_num), Some(0.0625));
+        let rows = back.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("ops_per_s").and_then(Json::as_num),
+            Some(123456.789)
+        );
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_null() {
+        let v = Json::parse(" { \"a\" : [ 1 , null ] , \"b\" : \"x\" } ").unwrap();
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_num(), Some(1.0));
+        assert!(arr[1].as_num().unwrap().is_nan());
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("nope").is_err());
     }
 }

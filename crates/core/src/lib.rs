@@ -60,7 +60,10 @@ pub mod prelude {
     pub use eagr_agg::{
         Aggregate, Avg, CostModel, Count, Distinct, Max, Min, Sum, TopK, WindowSpec,
     };
-    pub use eagr_exec::{throughput, LatencyRecorder, ParallelConfig, ShardedConfig};
+    pub use eagr_exec::{
+        throughput, LatencyRecorder, ParallelConfig, RebalanceOutcome, RebalancePolicy,
+        ShardedConfig,
+    };
     pub use eagr_flow::{DecisionAlgorithm, Rates};
     pub use eagr_gen::{batch_events, EventBatch};
     pub use eagr_graph::{DataGraph, Neighborhood, NodeId};

@@ -4,7 +4,8 @@
 use crate::query::{EgoQuery, QueryMode};
 use eagr_agg::{Aggregate, CostModel};
 use eagr_exec::{
-    AdaptiveEngine, EngineCore, ParallelConfig, ParallelEngine, ShardedConfig, ShardedEngine,
+    AdaptiveEngine, EngineCore, ParallelConfig, ParallelEngine, RebalanceOutcome, RebalancePolicy,
+    ShardedConfig, ShardedEngine,
 };
 use eagr_flow::{plan, DecisionAlgorithm, Plan, PlannerConfig, Rates};
 use eagr_gen::{Event, EventBatch};
@@ -28,7 +29,10 @@ pub enum ExecutionMode {
     /// propagation travels as batched deltas drained in epochs, and reads
     /// are shard-executed — routed through the shard inboxes so the owning
     /// worker evaluates them epoch-consistently (the caller thread never
-    /// evaluates shard-owned PAO state).
+    /// evaluates shard-owned PAO state). The node→shard map is live: set a
+    /// [`RebalancePolicy`] ([`SystemBuilder::rebalance`]) to let the
+    /// engine periodically re-partition itself from observed load, or call
+    /// [`EagrSystem::rebalance`] manually.
     Sharded {
         /// Number of shards (owning worker threads).
         shards: usize,
@@ -73,6 +77,7 @@ pub struct SystemBuilder<A: Aggregate> {
     split: bool,
     writer_window: Option<usize>,
     stream_horizon: f64,
+    rebalance: RebalancePolicy,
 }
 
 impl<A: Aggregate + Clone> SystemBuilder<A> {
@@ -88,6 +93,7 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
             split: true,
             writer_window: None,
             stream_horizon: DEFAULT_STREAM_HORIZON,
+            rebalance: RebalancePolicy::default(),
         }
     }
 
@@ -125,6 +131,14 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     /// Enable/disable §4.7 node splitting (default on).
     pub fn split(mut self, on: bool) -> Self {
         self.split = on;
+        self
+    }
+
+    /// Live shard-rebalancing policy for [`ExecutionMode::Sharded`]
+    /// (default: manual-only — [`EagrSystem::rebalance`] works, nothing
+    /// fires automatically). Ignored by the local modes.
+    pub fn rebalance(mut self, policy: RebalancePolicy) -> Self {
+        self.rebalance = policy;
         self
     }
 
@@ -235,7 +249,10 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
                 Runtime::TwoPool { core, engine }
             }
             ExecutionMode::Sharded { shards } => {
-                let cfg = ShardedConfig::with_shards(shards.max(1));
+                let cfg = ShardedConfig {
+                    rebalance: self.rebalance,
+                    ..ShardedConfig::with_shards(shards.max(1))
+                };
                 // The plan carries the partition so planner and engine
                 // agree on shard ownership; the planner scores hash, chunk,
                 // and edge-cut candidates by modeled cross-shard delta
@@ -520,6 +537,15 @@ impl<A: Aggregate> EagrSystem<A> {
             Runtime::Sharded(eng) => Some(eng),
             _ => None,
         }
+    }
+
+    /// Manually trigger one live shard rebalance
+    /// ([`ShardedEngine::rebalance`]): refine the node→shard map from
+    /// observed load and migrate the affected PAO state, epoch-fenced
+    /// against concurrent ingestion and reads. `None` in the local modes
+    /// (there is nothing to rebalance).
+    pub fn rebalance(&self) -> Option<RebalanceOutcome> {
+        self.sharded_engine().map(|eng| eng.rebalance())
     }
 
     /// Spawn a multi-threaded engine over this system's state (local

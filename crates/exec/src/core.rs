@@ -359,6 +359,18 @@ impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
         Frequencies { fh, fl }
     }
 
+    /// Per-node applied-op counts since the last
+    /// [`reset_observed`](Self::reset_observed), indexed by overlay node:
+    /// the raw §4.8 observables live shard rebalancing weighs its affinity
+    /// view with (each applied op at `n` is re-emitted along every
+    /// outgoing push edge of `n`).
+    pub fn observed_push_counts(&self) -> Vec<u64> {
+        self.pushed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Reset the observation window.
     pub fn reset_observed(&self) {
         for c in &self.pushed {

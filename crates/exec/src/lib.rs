@@ -28,5 +28,8 @@ pub use adaptive::AdaptiveEngine;
 pub use engine::Engine;
 pub use metrics::{throughput, LatencyRecorder};
 pub use parallel::{ParallelConfig, ParallelEngine};
-pub use sharded::{ShardStats, ShardedConfig, ShardedCore, ShardedEngine};
+pub use sharded::{
+    LivePartition, RebalanceOutcome, RebalancePolicy, ShardStats, ShardedConfig, ShardedCore,
+    ShardedEngine,
+};
 pub use store::{LockedStore, PaoReader, PaoStore, ShardSnapshot, ShardedStore, StoreReader};

@@ -52,22 +52,112 @@
 //! engine), and reads inside a mixed [`ingest`](ShardedEngine::ingest)
 //! batch are shipped to their owning shard fire-and-forget — the caller
 //! thread never evaluates shard-owned PAO state on the batch path.
+//!
+//! The node→shard map itself is **live**: whatever map the engine starts
+//! from (planner-derived or index-based), write rates drift away from the
+//! rates it was derived under, so [`ShardedEngine::rebalance`] refines the
+//! map against the *observed* per-node delta counters and migrates the
+//! affected PAO state between slabs under an epoch fence — concurrent
+//! ingestion waits at the gate, epoch-consistent reads serialize with the
+//! handoff, and relaxed reads resolve through atomically republished slot
+//! locations, so answers are identical before, during, and after a
+//! migration. A [`RebalancePolicy`] on [`ShardedConfig`] can fire the loop
+//! automatically every N ingestion epochs, committing only when the
+//! modeled cut improvement clears a threshold.
 
 use crate::core::EngineCore;
-use crate::store::ShardedStore;
+use crate::store::{PaoReader, ShardedStore};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eagr_agg::{Aggregate, DeltaOp, WindowSpec};
 use eagr_flow::{Decisions, Plan};
 use eagr_gen::{Event, EventBatch};
 use eagr_graph::{
-    edge_cut_partition, EdgeCutConfig, NodeId, Partition, PartitionStrategy, Partitioner, ShardId,
-    DEFAULT_CHUNK_SIZE,
+    edge_cut_partition, refine_partition, EdgeCutConfig, NodeId, Partition, PartitionStrategy,
+    Partitioner, RefineConfig, ShardId, DEFAULT_CHUNK_SIZE,
 };
-use eagr_overlay::{Overlay, OverlayId, PushEdgeView};
+use eagr_overlay::{Overlay, OverlayId, OverlayKind, PushEdgeView};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// When and how aggressively the engine re-partitions itself from observed
+/// load (§4.8: the planning-time partition drifts out of date as write
+/// rates move; the observed push counters feed a periodic re-partition).
+///
+/// The refinement is *incremental*: it keeps the current map and migrates
+/// only a bounded set of highest-gain nodes ([`refine_partition`]), and it
+/// only commits when the modeled cut improvement clears
+/// [`min_cut_gain`](Self::min_cut_gain) — a rebalance that would barely
+/// help is skipped before any state moves.
+///
+/// Memory note: every migrated node permanently orphans one PAO slot in
+/// its old slab (see [`ShardedEngine::orphaned_pao_slots`]), so an
+/// aggressive `every_epochs` on a perpetually drifting stream grows slab
+/// memory without bound until compaction lands (ROADMAP follow-up); size
+/// `min_cut_gain`/`max_move_fraction` accordingly on long-lived engines.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalancePolicy {
+    /// Trigger a rebalance automatically after every `every_epochs`
+    /// ingestion epochs ([`ShardedEngine::ingest`] calls). `0` disables
+    /// the automatic trigger; [`ShardedEngine::rebalance`] stays available
+    /// manually.
+    pub every_epochs: u64,
+    /// Required relative cut improvement (fraction of the current observed
+    /// cut weight) for a refinement to be committed. Below it the
+    /// rebalance is a no-op and no state migrates.
+    pub min_cut_gain: f64,
+    /// Bound on the fraction of overlay nodes migrated per rebalance
+    /// (forwarded to [`RefineConfig::max_move_fraction`]).
+    pub max_move_fraction: f64,
+    /// Shard-load balance cap, as a multiple of the perfectly balanced
+    /// load (forwarded to [`RefineConfig::balance`]).
+    pub balance: f64,
+}
+
+impl RebalancePolicy {
+    /// Automatic rebalancing after every `epochs` ingestion epochs, with
+    /// the default thresholds.
+    pub fn every(epochs: u64) -> Self {
+        Self {
+            every_epochs: epochs,
+            ..Self::default()
+        }
+    }
+
+    /// Manual-only policy (the default): `rebalance()` works, nothing
+    /// fires on its own.
+    pub fn manual() -> Self {
+        Self::default()
+    }
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        Self {
+            every_epochs: 0,
+            min_cut_gain: 0.05,
+            max_move_fraction: 0.15,
+            balance: 1.1,
+        }
+    }
+}
+
+/// What one [`ShardedEngine::rebalance`] call did.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RebalanceOutcome {
+    /// Nodes whose PAO state was migrated to a new owning shard (0 when
+    /// the refinement found nothing worth moving or the gain threshold was
+    /// not met).
+    pub moved: usize,
+    /// Observed-traffic cut weight of the map before refinement.
+    pub cut_before: f64,
+    /// Observed-traffic cut weight of the refined map (equals the final
+    /// map only when `committed`).
+    pub cut_after: f64,
+    /// Whether the refined map was installed and state migrated.
+    pub committed: bool,
+}
 
 /// Configuration of the sharded runtime.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +169,8 @@ pub struct ShardedConfig {
     /// Capacity of each shard's inbox (messages, each carrying a batch).
     /// Senders block when an inbox is full — bounded-channel backpressure.
     pub channel_capacity: usize,
+    /// Live rebalancing policy (default: manual-only).
+    pub rebalance: RebalancePolicy,
 }
 
 impl ShardedConfig {
@@ -104,7 +196,78 @@ impl Default for ShardedConfig {
                 chunk_size: DEFAULT_CHUNK_SIZE,
             },
             channel_capacity: 1 << 12,
+            rebalance: RebalancePolicy::default(),
         }
+    }
+}
+
+/// The engine's *live* node→shard map: one atomic word per node, so the
+/// routing layer, the shard workers, and the rebalancer share a single map
+/// that migration can republish entry by entry without locking the hot
+/// path.
+///
+/// Reads are `Relaxed` — every mutation happens with the epoch gate held
+/// exclusively and all workers drained, and the gate/channel
+/// release–acquire pairs that resume traffic afterwards carry the updated
+/// entries to every thread that routes with them.
+pub struct LivePartition {
+    of: Vec<AtomicU32>,
+    shards: usize,
+    strategy: PartitionStrategy,
+}
+
+impl LivePartition {
+    fn new(p: &Partition) -> Self {
+        Self {
+            of: p.of.iter().map(|s| AtomicU32::new(s.0)).collect(),
+            shards: p.shards,
+            strategy: p.strategy,
+        }
+    }
+
+    /// Shard currently owning node index `idx`.
+    #[inline]
+    pub fn shard_of(&self, idx: usize) -> ShardId {
+        ShardId(self.of[idx].load(Ordering::Relaxed))
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.of.len()
+    }
+
+    /// Whether the map covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.of.is_empty()
+    }
+
+    /// Reassign node `idx` (rebalancer only: callers must hold the epoch
+    /// gate exclusively over a drained engine).
+    fn set(&self, idx: usize, dest: ShardId) {
+        self.of[idx].store(dest.0, Ordering::Release);
+    }
+
+    /// Materialize the current map as a plain [`Partition`].
+    pub fn snapshot(&self) -> Partition {
+        Partition {
+            of: (0..self.of.len()).map(|i| self.shard_of(i)).collect(),
+            shards: self.shards,
+            strategy: self.strategy,
+        }
+    }
+
+    /// Node count per shard under the current map.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.shards];
+        for s in &self.of {
+            sizes[s.load(Ordering::Relaxed) as usize] += 1;
+        }
+        sizes
     }
 }
 
@@ -135,6 +298,19 @@ enum ShardMsg<A: Aggregate> {
     /// cascade the removals (the sharded form of
     /// [`EngineCore::advance_time`]).
     Expire(u64),
+    /// Live-migration handoff, step 1 (sent by the rebalancer to each
+    /// node's *current* owner): clone the listed nodes' PAO state out of
+    /// this shard's slab and ship each to its destination shard as an
+    /// [`Install`](Self::Install); writer nodes also hand off their
+    /// window-expiration ownership. Only ever in flight while the
+    /// rebalancer holds the epoch gate exclusively over a drained engine,
+    /// so no write or delta can race the handoff.
+    Migrate(Vec<(OverlayId, ShardId)>),
+    /// Live-migration handoff, step 2 (sent by the old owner to the new):
+    /// install the handed-off PAO states into this shard's slab
+    /// ([`ShardedStore::relocate`]) and adopt ownership — including window
+    /// expiration for writers.
+    Install(Vec<(OverlayId, <A as Aggregate>::Partial)>),
     /// Terminate the worker.
     Stop,
 }
@@ -166,8 +342,9 @@ pub type ShardedCore<A> = EngineCore<A, ShardedStore<<A as Aggregate>::Partial>>
 /// Shard-owned, batch-ingesting multi-threaded engine.
 pub struct ShardedEngine<A: Aggregate> {
     core: Arc<ShardedCore<A>>,
-    partition: Arc<Partition>,
+    partition: Arc<LivePartition>,
     window: WindowSpec,
+    policy: RebalancePolicy,
     txs: Vec<Sender<ShardMsg<A>>>,
     pending: Arc<AtomicU64>,
     /// Per-shard deltas shipped to peers (indexed by sending shard).
@@ -176,13 +353,18 @@ pub struct ShardedEngine<A: Aggregate> {
     local: Arc<Vec<AtomicU64>>,
     /// Per-shard read requests served (indexed by owning shard).
     reads: Arc<Vec<AtomicU64>>,
-    /// Epoch gate for shard-executed reads: write submission holds it
-    /// shared, [`read_batch`](Self::read_batch) holds it exclusively while
-    /// it drains and evaluates — so an epoch-consistent read batch never
-    /// interleaves with a concurrently submitted epoch (the epoch-stamped
-    /// snapshot rule).
+    /// Epoch gate for shard-executed reads *and* live rebalancing: write
+    /// submission holds it shared; [`read_batch`](Self::read_batch) and
+    /// [`rebalance`](Self::rebalance) hold it exclusively while they drain
+    /// and operate — so an epoch-consistent read batch never interleaves
+    /// with a concurrently submitted epoch (the epoch-stamped snapshot
+    /// rule), and a migration never races a write.
     epoch_gate: RwLock<()>,
     epochs: AtomicU64,
+    /// Committed rebalances so far.
+    rebalances: AtomicU64,
+    /// Nodes migrated across all committed rebalances.
+    nodes_migrated: AtomicU64,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -207,14 +389,7 @@ impl<A: Aggregate> ShardedEngine<A> {
             }
             strategy => Partitioner::new(cfg.shards, strategy).partition(overlay.node_count()),
         };
-        Self::with_partition(
-            agg,
-            overlay,
-            decisions,
-            window,
-            partition,
-            cfg.channel_capacity,
-        )
+        Self::with_partition(agg, overlay, decisions, window, partition, cfg)
     }
 
     /// Build from a dataflow [`Plan`]. Reuses the partition the plan
@@ -224,43 +399,43 @@ impl<A: Aggregate> ShardedEngine<A> {
         let overlay = Arc::new(plan.overlay.clone());
         match &plan.partition {
             Some(p) if p.shards == cfg.shards && p.len() == overlay.node_count() => {
-                Self::with_partition(
-                    agg,
-                    overlay,
-                    &plan.decisions,
-                    window,
-                    p.clone(),
-                    cfg.channel_capacity,
-                )
+                Self::with_partition(agg, overlay, &plan.decisions, window, p.clone(), cfg)
             }
             _ => Self::new(agg, overlay, &plan.decisions, window, cfg),
         }
     }
 
-    /// Build over an explicit node partition.
+    /// Build over an explicit node partition (`cfg.shards` and
+    /// `cfg.strategy` are ignored — the partition *is* the map).
     ///
     /// # Panics
-    /// Panics if the partition does not cover every overlay node.
+    /// Panics if the partition does not cover every overlay node, or if
+    /// `cfg.channel_capacity` is smaller than the shard count (the
+    /// migration handoff needs one inbox slot per peer).
     pub fn with_partition(
         agg: A,
         overlay: Arc<Overlay>,
         decisions: &Decisions,
         window: WindowSpec,
         partition: Partition,
-        channel_capacity: usize,
+        cfg: &ShardedConfig,
     ) -> Self {
         assert_eq!(
             partition.len(),
             overlay.node_count(),
             "partition must cover every overlay node"
         );
-        assert!(channel_capacity > 0, "channel capacity must be positive");
+        let channel_capacity = cfg.channel_capacity;
+        assert!(
+            channel_capacity >= partition.shards.max(1),
+            "channel capacity must be at least the shard count"
+        );
         let store = ShardedStore::new(&partition, || agg.empty());
         let core = Arc::new(EngineCore::with_store(
             agg, overlay, decisions, window, store,
         ));
-        let partition = Arc::new(partition);
         let shards = partition.shards;
+        let partition = Arc::new(LivePartition::new(&partition));
         let mut txs = Vec::with_capacity(shards);
         let mut rxs = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -304,6 +479,7 @@ impl<A: Aggregate> ShardedEngine<A> {
             core,
             partition,
             window,
+            policy: cfg.rebalance,
             txs,
             pending,
             cross_out,
@@ -311,6 +487,8 @@ impl<A: Aggregate> ShardedEngine<A> {
             reads,
             epoch_gate: RwLock::new(()),
             epochs: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            nodes_migrated: AtomicU64::new(0),
             handles,
         }
     }
@@ -320,14 +498,20 @@ impl<A: Aggregate> ShardedEngine<A> {
         &self.core
     }
 
-    /// The node→shard assignment in use.
-    pub fn partition(&self) -> &Partition {
+    /// A snapshot of the node→shard assignment currently in use (live
+    /// rebalancing mutates the map, so this is a copy, not a reference).
+    pub fn partition(&self) -> Partition {
+        self.partition.snapshot()
+    }
+
+    /// The live node→shard map shared with the workers.
+    pub fn live_partition(&self) -> &LivePartition {
         &self.partition
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.partition.shards
+        self.partition.shards()
     }
 
     /// Route one batch of events into the shards and return
@@ -357,6 +541,12 @@ impl<A: Aggregate> ShardedEngine<A> {
         let mut reads_per_shard: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); self.shard_count()];
         let mut writes = 0;
         let mut reads = 0;
+        // Hold the epoch gate shared through routing *and* submission: the
+        // live node→shard map only changes under the exclusive gate, so a
+        // batch can never be routed with a map that a concurrent rebalance
+        // is rewriting, and an epoch-consistent read_batch never
+        // interleaves mid-epoch.
+        let gate = self.epoch_gate.read();
         for (i, e) in events.iter().enumerate() {
             let ts = base_ts + i as u64;
             match *e {
@@ -374,9 +564,6 @@ impl<A: Aggregate> ShardedEngine<A> {
                 }
             }
         }
-        // Hold the epoch gate shared during submission so an
-        // epoch-consistent read_batch never interleaves mid-epoch.
-        let _gate = self.epoch_gate.read();
         for (shard, group) in per_shard.into_iter().enumerate() {
             if !group.is_empty() {
                 self.pending.fetch_add(1, Ordering::AcqRel);
@@ -396,7 +583,14 @@ impl<A: Aggregate> ShardedEngine<A> {
                     .expect("shard worker alive");
             }
         }
-        self.epochs.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        drop(gate);
+        // Automatic §4.8 trigger: rebalance() re-takes the gate
+        // exclusively, so it must run after this epoch's shared hold is
+        // released.
+        if self.policy.every_epochs > 0 && epoch % self.policy.every_epochs == 0 {
+            self.rebalance();
+        }
         (writes, reads)
     }
 
@@ -536,6 +730,119 @@ impl<A: Aggregate> ShardedEngine<A> {
         self.local_applies() - before
     }
 
+    /// Re-partition the engine from **observed** load and live-migrate the
+    /// affected PAO state — the §4.8 loop closed: planning-time maps drift
+    /// as write rates move, so the map is refined against the traffic the
+    /// engine actually saw.
+    ///
+    /// The epoch-fenced protocol:
+    ///
+    /// 1. take the epoch gate exclusively (concurrent ingestion waits at
+    ///    the gate, exactly like [`read_batch`](Self::read_batch)) and
+    ///    [`drain`](Self::drain) — the engine is quiescent and equals the
+    ///    single-threaded replay of everything ingested so far;
+    /// 2. build the observed-rate affinity view
+    ///    ([`PushEdgeView::observed`] over the core's per-node applied-op
+    ///    counters) and run the bounded incremental refinement
+    ///    ([`refine_partition`]) off the *current* map;
+    /// 3. commit only if the modeled cut improvement clears the policy's
+    ///    [`min_cut_gain`](RebalancePolicy::min_cut_gain): flip the moved
+    ///    entries in the shared [`LivePartition`], then send each old
+    ///    owner a `ShardMsg::Migrate` — it clones the moved PAOs out of
+    ///    its slab and ships them to their new owners as
+    ///    `ShardMsg::Install`s, which relocate the state
+    ///    ([`ShardedStore::relocate`]) and hand off window-expiration
+    ///    ownership for writers;
+    /// 4. drain the handoff and release the gate.
+    ///
+    /// Differential answers are preserved through the whole dance:
+    /// epoch-consistent reads serialize with the gate and therefore only
+    /// ever observe the pre- or post-migration map over identical values,
+    /// and relaxed caller-thread reads resolve slots through the store's
+    /// atomically republished locations (old slots keep their value, see
+    /// [`ShardedStore::relocate`]), so no read can observe a torn PAO.
+    ///
+    /// Returns what happened; an uncommitted outcome migrated nothing.
+    /// Committed rebalances reset the observation window
+    /// ([`EngineCore::reset_observed`]) so the next interval measures
+    /// fresh drift rather than averaging over history.
+    pub fn rebalance(&self) -> RebalanceOutcome {
+        let _gate = self.epoch_gate.write();
+        self.drain();
+        let counts = self.core.observed_push_counts();
+        let view = PushEdgeView::observed(self.core.overlay(), |n| self.core.is_push(n), &counts);
+        let current = self.partition.snapshot();
+        let (refined, stats) = refine_partition(
+            &view,
+            &current,
+            &RefineConfig {
+                balance: self.policy.balance,
+                max_move_fraction: self.policy.max_move_fraction,
+                ..RefineConfig::default()
+            },
+        );
+        let committed = stats.moved > 0
+            && stats.cut_before > 0.0
+            && stats.gain_fraction() >= self.policy.min_cut_gain;
+        if committed {
+            // Flip the routing map first: nothing routes while the gate is
+            // held, and the moment it drops every new batch must reach the
+            // new owners.
+            let mut by_owner: Vec<Vec<(OverlayId, ShardId)>> = vec![Vec::new(); self.shard_count()];
+            for idx in 0..refined.len() {
+                let dest = refined.shard_of(idx);
+                if dest != current.shard_of(idx) {
+                    self.partition.set(idx, dest);
+                    by_owner[current.shard_of(idx).idx()].push((OverlayId(idx as u32), dest));
+                }
+            }
+            for (owner, moves) in by_owner.into_iter().enumerate() {
+                if !moves.is_empty() {
+                    self.pending.fetch_add(1, Ordering::AcqRel);
+                    self.txs[owner]
+                        .send(ShardMsg::Migrate(moves))
+                        .expect("shard worker alive");
+                }
+            }
+            self.drain();
+            self.rebalances.fetch_add(1, Ordering::AcqRel);
+            self.nodes_migrated
+                .fetch_add(stats.moved as u64, Ordering::AcqRel);
+            self.core.reset_observed();
+        }
+        RebalanceOutcome {
+            moved: if committed { stats.moved } else { 0 },
+            cut_before: stats.cut_before,
+            cut_after: stats.cut_after,
+            committed,
+        }
+    }
+
+    /// Committed rebalances so far.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances.load(Ordering::Acquire)
+    }
+
+    /// Total nodes live-migrated across all committed rebalances.
+    pub fn nodes_migrated(&self) -> u64 {
+        self.nodes_migrated.load(Ordering::Acquire)
+    }
+
+    /// PAO slots orphaned by migrations so far
+    /// ([`ShardedStore::orphaned_slots`]): each migrated node leaves its
+    /// old slab slot in place (tear-free handoff for concurrent relaxed
+    /// readers), so slab memory grows by one PAO per migration until a
+    /// compaction pass exists. Long-lived engines under an aggressive
+    /// automatic [`RebalancePolicy`] should monitor this.
+    pub fn orphaned_pao_slots(&self) -> u64 {
+        self.core.store().orphaned_slots()
+    }
+
+    /// The rebalance policy the engine runs under.
+    pub fn rebalance_policy(&self) -> RebalancePolicy {
+        self.policy
+    }
+
     /// Epoch barrier: block until every routed batch and all transitively
     /// generated cross-shard deltas have been applied.
     pub fn drain(&self) {
@@ -608,9 +915,11 @@ impl<A: Aggregate> Drop for ShardedEngine<A> {
 /// Per-shard worker state.
 struct ShardWorker<A: Aggregate> {
     core: Arc<ShardedCore<A>>,
-    partition: Arc<Partition>,
+    partition: Arc<LivePartition>,
     shard: ShardId,
-    /// Writer nodes this shard owns (window expiration targets).
+    /// Writer nodes this shard owns (window expiration targets). Live
+    /// migration hands entries off between workers via
+    /// [`ShardMsg::Migrate`]/[`ShardMsg::Install`].
     writers: Vec<OverlayId>,
     rx: Receiver<ShardMsg<A>>,
     txs: Vec<Sender<ShardMsg<A>>>,
@@ -621,7 +930,7 @@ struct ShardWorker<A: Aggregate> {
 }
 
 impl<A: Aggregate> ShardWorker<A> {
-    fn run(self) {
+    fn run(mut self) {
         let shards = self.partition.shards;
         // Per-destination-shard outboxes, reused across messages.
         let mut outbox: Vec<Vec<(OverlayId, DeltaOp)>> = vec![Vec::new(); shards];
@@ -689,7 +998,7 @@ impl<A: Aggregate> ShardWorker<A> {
 
     /// Apply one inbox message; returns `true` for [`ShardMsg::Stop`].
     fn handle(
-        &self,
+        &mut self,
         msg: ShardMsg<A>,
         owed: &mut u64,
         stack: &mut Vec<(OverlayId, DeltaOp)>,
@@ -757,6 +1066,54 @@ impl<A: Aggregate> ShardWorker<A> {
                 }
                 false
             }
+            ShardMsg::Migrate(moves) => {
+                *owed += 1;
+                // Clone the departing PAOs under one snapshot of this
+                // worker's own slab (this worker is its only writer, so
+                // the snapshot is exact).
+                let mut by_dest: Vec<Vec<(OverlayId, A::Partial)>> =
+                    vec![Vec::new(); self.partition.shards()];
+                {
+                    let snap = self.core.store().snapshot_shard(self.shard);
+                    for &(n, dest) in &moves {
+                        by_dest[dest.idx()].push((n, snap.with_pao(n.idx(), |p| p.clone())));
+                    }
+                }
+                // Hand off window-expiration ownership for moved writers.
+                if !self.writers.is_empty() {
+                    let moved: std::collections::HashSet<u32> =
+                        moves.iter().map(|&(n, _)| n.0).collect();
+                    self.writers.retain(|w| !moved.contains(&w.0));
+                }
+                // Ship the state to the new owners. A blocking send cannot
+                // deadlock here: migration only flows while the rebalancer
+                // holds the epoch gate over a drained engine, so each
+                // inbox carries at most one Migrate plus one Install per
+                // peer — within the constructor-asserted capacity floor.
+                for (dest, group) in by_dest.into_iter().enumerate() {
+                    if !group.is_empty() {
+                        self.pending.fetch_add(1, Ordering::AcqRel);
+                        self.txs[dest]
+                            .send(ShardMsg::Install(group))
+                            .expect("shard worker alive");
+                    }
+                }
+                false
+            }
+            ShardMsg::Install(group) => {
+                *owed += 1;
+                let overlay = self.core.overlay();
+                for (n, pao) in group {
+                    // Adopt the PAO into this worker's slab and republish
+                    // its location (the old slot keeps its value for
+                    // readers racing the flip).
+                    self.core.store().relocate(n.idx(), self.shard, pao);
+                    if !overlay.is_retired(n) && matches!(overlay.kind(n), OverlayKind::Writer(_)) {
+                        self.writers.push(n);
+                    }
+                }
+                false
+            }
             ShardMsg::Stop => true,
         }
     }
@@ -816,6 +1173,7 @@ mod tests {
                 shards,
                 strategy: PartitionStrategy::Hash,
                 channel_capacity: 64,
+                rebalance: RebalancePolicy::default(),
             },
         )
     }
@@ -926,6 +1284,7 @@ mod tests {
                 shards: 3,
                 strategy: PartitionStrategy::EdgeCut,
                 channel_capacity: 64,
+                rebalance: RebalancePolicy::default(),
             },
         );
         assert_eq!(eng.partition().strategy, PartitionStrategy::EdgeCut);
@@ -957,6 +1316,7 @@ mod tests {
                 shards: 4,
                 strategy: PartitionStrategy::Hash,
                 channel_capacity: 64,
+                rebalance: RebalancePolicy::default(),
             },
         );
         let reference = EngineCore::new(Sum, ov, &d, WindowSpec::Time(10));
@@ -1074,6 +1434,194 @@ mod tests {
     }
 
     #[test]
+    fn rebalance_preserves_answers_and_migrates_state() {
+        // Hash-partition the paper overlay (structure-blind, so observed
+        // traffic leaves plenty of cut to recover), ingest a stream, then
+        // force a rebalance and require identical answers afterwards —
+        // including through new writes applied by the *new* owners.
+        let (ov, d) = paper_parts();
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards: 4,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+                rebalance: RebalancePolicy {
+                    min_cut_gain: 0.0,
+                    max_move_fraction: 1.0,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+        let mut rng = SplitMix64::new(7);
+        let mut events = Vec::new();
+        for _ in 0..200 {
+            events.push(Event::Write {
+                node: NodeId(rng.index(7) as u32),
+                value: rng.range(0, 40) as i64,
+            });
+        }
+        for (ts, e) in events.iter().enumerate() {
+            if let Event::Write { node, value } = *e {
+                reference.write(node, value, ts as u64);
+            }
+        }
+        eng.ingest_epoch(&EventBatch::new(0, events));
+        let before = eng.partition();
+        let outcome = eng.rebalance();
+        assert_eq!(outcome.committed, outcome.moved > 0);
+        if outcome.committed {
+            assert!(outcome.cut_after < outcome.cut_before);
+            assert_eq!(eng.rebalances(), 1);
+            assert_eq!(eng.nodes_migrated(), outcome.moved as u64);
+            // Each migration orphans exactly one slot in the old slab.
+            assert_eq!(eng.orphaned_pao_slots(), outcome.moved as u64);
+            assert_ne!(eng.partition(), before, "committed map must differ");
+        }
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
+            assert_eq!(eng.read_service(NodeId(v)), reference.read(NodeId(v)));
+        }
+        // Post-migration writes are applied by the new owners.
+        for (ts, (node, value)) in [(2u32, 6i64), (4, 8), (5, 1)].into_iter().enumerate() {
+            eng.submit_write(NodeId(node), value, 1000 + ts as u64);
+            reference.write(NodeId(node), value, 1000 + ts as u64);
+        }
+        eng.drain();
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v} post");
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn rebalance_below_gain_threshold_is_a_noop() {
+        let (ov, d) = paper_parts();
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards: 2,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+                rebalance: RebalancePolicy {
+                    // An impossible bar: nothing may commit.
+                    min_cut_gain: 2.0,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        eng.submit_write(NodeId(2), 6, 0);
+        eng.drain();
+        let before = eng.partition();
+        let outcome = eng.rebalance();
+        assert!(!outcome.committed);
+        assert_eq!(outcome.moved, 0);
+        assert_eq!(eng.rebalances(), 0);
+        assert_eq!(eng.nodes_migrated(), 0);
+        assert_eq!(
+            eng.partition(),
+            before,
+            "uncommitted rebalance must not move"
+        );
+        eng.shutdown();
+    }
+
+    #[test]
+    fn every_n_epochs_policy_fires_automatically() {
+        let (ov, d) = paper_parts();
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards: 3,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+                rebalance: RebalancePolicy {
+                    every_epochs: 2,
+                    min_cut_gain: 0.0,
+                    max_move_fraction: 1.0,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+        let mut ts = 0u64;
+        for round in 0..6 {
+            let events: Vec<Event> = (0..7u32)
+                .map(|n| Event::Write {
+                    node: NodeId(n),
+                    value: (round * 7 + n) as i64,
+                })
+                .collect();
+            for (i, e) in events.iter().enumerate() {
+                if let Event::Write { node, value } = *e {
+                    reference.write(node, value, ts + i as u64);
+                }
+            }
+            eng.ingest_epoch(&EventBatch::new(ts, events));
+            ts += 7;
+        }
+        // 6 epochs at every_epochs=2 ⇒ 3 trigger points; at least the
+        // first (over a hash map with observed traffic) must commit.
+        assert!(eng.rebalances() >= 1, "auto trigger never committed");
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn migrated_writers_keep_expiring_through_their_new_owner() {
+        // Time windows: after a forced full rebalance, the writers' window
+        // expiration must have moved with them (the Migrate/Install
+        // handoff carries expiration ownership).
+        let (ov, d) = paper_parts();
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Time(10),
+            &ShardedConfig {
+                shards: 4,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+                rebalance: RebalancePolicy {
+                    min_cut_gain: 0.0,
+                    max_move_fraction: 1.0,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Time(10));
+        for (node, value, ts) in [(2u32, 5i64, 0u64), (3, 7, 5), (4, 2, 6)] {
+            eng.submit_write(NodeId(node), value, ts);
+            reference.write(NodeId(node), value, ts);
+        }
+        eng.drain();
+        let outcome = eng.rebalance();
+        assert!(outcome.committed, "forced policy must commit on a hash map");
+        // t = 12: the t=0 write expires — via the new owners' inboxes.
+        eng.advance_time_epoch(12);
+        reference.advance_time(12);
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
+        }
+        eng.advance_time_epoch(1000);
+        reference.advance_time(1000);
+        assert_eq!(eng.read(NodeId(0)), reference.read(NodeId(0)));
+        eng.shutdown();
+    }
+
+    #[test]
     fn read_batch_with_pull_readers_crosses_shards() {
         // All-pull decisions (writers still push): every read evaluates a
         // pull tree whose inputs are spread across shards by the hash
@@ -1090,6 +1638,7 @@ mod tests {
                 shards: 4,
                 strategy: PartitionStrategy::Hash,
                 channel_capacity: 64,
+                rebalance: RebalancePolicy::default(),
             },
         );
         let reference = EngineCore::new(Sum, ov, &d, WindowSpec::Tuple(1));

@@ -17,6 +17,7 @@
 
 use eagr_graph::{Partition, ShardId};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Storage of one partial aggregate object per overlay node.
 ///
@@ -91,12 +92,40 @@ impl<P: Send + Sync> PaoStore<P> for LockedStore<P> {
     }
 }
 
+/// Pack a `(shard, offset)` slot location into one atomic word so readers
+/// can resolve it with a single load while migration republishes it.
+#[inline]
+fn encode_loc(shard: u32, off: u32) -> u64 {
+    ((shard as u64) << 32) | off as u64
+}
+
+/// Inverse of [`encode_loc`].
+#[inline]
+fn decode_loc(packed: u64) -> (u32, u32) {
+    ((packed >> 32) as u32, packed as u32)
+}
+
 /// Shard-partitioned PAO slabs: slot `idx` lives at `slab[shard_of(idx)]
 /// [offset(idx)]`, and each slab is guarded by a single `RwLock`.
+///
+/// Slot locations are *migratable*: [`relocate`](Self::relocate) hands a
+/// node's PAO to another slab and atomically republishes its location, the
+/// storage half of live shard rebalancing. Each location is one atomic
+/// word (`shard << 32 | offset`), so concurrent readers racing a migration
+/// resolve either the old slot (which keeps the pre-handoff value — the
+/// handoff *copies* rather than drains, so there is no window where a
+/// reader can observe an emptied PAO) or the new slot with the same value.
 pub struct ShardedStore<P> {
-    /// Global index → (shard, offset-within-slab).
-    loc: Vec<(u32, u32)>,
+    /// Global index → packed (shard, offset-within-slab). See
+    /// [`encode_loc`].
+    loc: Vec<AtomicU64>,
     slabs: Vec<RwLock<Vec<P>>>,
+    /// Slots abandoned by [`relocate`](Self::relocate) — kept, not
+    /// reclaimed, so memory grows by one PAO per migration until a
+    /// compaction pass exists (ROADMAP follow-up). Exposed via
+    /// [`orphaned_slots`](Self::orphaned_slots) so long-lived engines
+    /// under an automatic rebalance policy can watch the accumulation.
+    orphans: AtomicU64,
 }
 
 impl<P: Send + Sync> ShardedStore<P> {
@@ -104,20 +133,24 @@ impl<P: Send + Sync> ShardedStore<P> {
     /// slot with `init`.
     pub fn new(partition: &Partition, mut init: impl FnMut() -> P) -> Self {
         let mut sizes = vec![0u32; partition.shards];
-        let loc: Vec<(u32, u32)> = partition
+        let loc: Vec<AtomicU64> = partition
             .of
             .iter()
             .map(|s| {
                 let off = sizes[s.idx()];
                 sizes[s.idx()] += 1;
-                (s.0, off)
+                AtomicU64::new(encode_loc(s.0, off))
             })
             .collect();
         let slabs = sizes
             .iter()
             .map(|&sz| RwLock::new((0..sz).map(|_| init()).collect()))
             .collect();
-        Self { loc, slabs }
+        Self {
+            loc,
+            slabs,
+            orphans: AtomicU64::new(0),
+        }
     }
 
     /// Number of shards.
@@ -125,10 +158,50 @@ impl<P: Send + Sync> ShardedStore<P> {
         self.slabs.len()
     }
 
+    /// Current packed location of global slot `idx`.
+    #[inline]
+    fn loc_of(&self, idx: usize) -> (u32, u32) {
+        decode_loc(self.loc[idx].load(Ordering::Acquire))
+    }
+
     /// Shard owning global slot `idx`.
     #[inline]
     pub fn shard_of(&self, idx: usize) -> ShardId {
-        ShardId(self.loc[idx].0)
+        ShardId(self.loc_of(idx).0)
+    }
+
+    /// Migrate global slot `idx` into `dest`'s slab, installing `value` as
+    /// its PAO (the handed-off state extracted by the old owner) at a
+    /// fresh offset, then republish the location.
+    ///
+    /// Publication order is the correctness argument: the value is in
+    /// place under the destination slab's write lock *before* the location
+    /// flips (`Release`), so any reader that observes the new location
+    /// (`Acquire`) finds the migrated state. Readers still holding the old
+    /// location read the old slot, which retains the pre-handoff value —
+    /// the slot becomes an orphan (never referenced again) rather than
+    /// being cleared, trading one PAO of memory per migration for a
+    /// tear-free handoff under concurrent relaxed reads. Orphans are never
+    /// reclaimed (a reader that loaded the old location has no bounded
+    /// lifetime, so the slot cannot safely be reused), which means slab
+    /// memory grows monotonically with total migrations — watch
+    /// [`orphaned_slots`](Self::orphaned_slots) on long-lived engines
+    /// that rebalance frequently; compaction is a recorded ROADMAP
+    /// follow-up.
+    pub fn relocate(&self, idx: usize, dest: ShardId, value: P) {
+        let mut slab = self.slabs[dest.idx()].write();
+        let off = slab.len() as u32;
+        slab.push(value);
+        drop(slab);
+        self.loc[idx].store(encode_loc(dest.0, off), Ordering::Release);
+        self.orphans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Slots orphaned by migrations so far (one per
+    /// [`relocate`](Self::relocate) call): the store's memory overhead
+    /// beyond one PAO per node, in PAOs.
+    pub fn orphaned_slots(&self) -> u64 {
+        self.orphans.load(Ordering::Relaxed)
     }
 
     /// Take the write lock of one shard's slab for the duration of a batch.
@@ -169,7 +242,7 @@ pub struct ShardSnapshot<'a, P> {
 impl<P: Send + Sync> PaoReader<P> for ShardSnapshot<'_, P> {
     #[inline]
     fn with_pao<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
-        let (shard, off) = self.store.loc[idx];
+        let (shard, off) = self.store.loc_of(idx);
         if shard == self.shard {
             f(&self.slab[off as usize])
         } else {
@@ -181,7 +254,7 @@ impl<P: Send + Sync> PaoReader<P> for ShardSnapshot<'_, P> {
 /// Exclusive access to one shard's PAO slab, indexed by global node index.
 pub struct ShardGuard<'a, P> {
     slab: RwLockWriteGuard<'a, Vec<P>>,
-    loc: &'a [(u32, u32)],
+    loc: &'a [AtomicU64],
     shard: u32,
 }
 
@@ -192,7 +265,7 @@ impl<P> ShardGuard<'_, P> {
     /// Panics if `idx` does not belong to the locked shard.
     #[inline]
     pub fn get_mut(&mut self, idx: usize) -> &mut P {
-        let (shard, off) = self.loc[idx];
+        let (shard, off) = decode_loc(self.loc[idx].load(Ordering::Acquire));
         assert_eq!(
             shard, self.shard,
             "node {idx} not owned by shard {}",
@@ -209,13 +282,13 @@ impl<P: Send + Sync> PaoStore<P> for ShardedStore<P> {
 
     #[inline]
     fn with_mut<R>(&self, idx: usize, f: impl FnOnce(&mut P) -> R) -> R {
-        let (shard, off) = self.loc[idx];
+        let (shard, off) = self.loc_of(idx);
         f(&mut self.slabs[shard as usize].write()[off as usize])
     }
 
     #[inline]
     fn with_read<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
-        let (shard, off) = self.loc[idx];
+        let (shard, off) = self.loc_of(idx);
         f(&self.slabs[shard as usize].read()[off as usize])
     }
 }
@@ -288,6 +361,44 @@ mod tests {
         let store = LockedStore::new(3, || 0i64);
         store.with_mut(1, |p| *p = 9);
         assert_eq!(StoreReader(&store).with_pao(1, |p| *p), 9);
+    }
+
+    #[test]
+    fn relocate_moves_state_and_republishes_location() {
+        let part = Partitioner::chunked(2, 4).partition(8);
+        let store = ShardedStore::new(&part, || 0i64);
+        for i in 0..8 {
+            store.with_mut(i, |p| *p = 10 + i as i64);
+        }
+        // Hand node 1 (shard 0 under chunk 4 / 2 shards) to shard 1 with
+        // its current value, the way the migration protocol does.
+        let v = store.with_read(1, |p| *p);
+        assert_eq!(store.shard_of(1), ShardId(0));
+        store.relocate(1, ShardId(1), v);
+        assert_eq!(store.shard_of(1), ShardId(1));
+        assert_eq!(store.with_read(1, |p| *p), 11);
+        // The new owner's guard now resolves it; writes land in the new slab.
+        {
+            let mut g = store.lock_shard(ShardId(1));
+            *g.get_mut(1) += 100;
+        }
+        assert_eq!(store.with_read(1, |p| *p), 111);
+        // Snapshots from both shards agree on every node.
+        for shard in [ShardId(0), ShardId(1)] {
+            let snap = store.snapshot_shard(shard);
+            assert_eq!(snap.with_pao(1, |p| *p), 111);
+            assert_eq!(snap.with_pao(0, |p| *p), 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned by shard")]
+    fn old_owner_guard_rejects_node_after_relocate() {
+        let part = Partitioner::chunked(2, 4).partition(8);
+        let store = ShardedStore::new(&part, || 0i64);
+        store.relocate(1, ShardId(1), 7);
+        let mut g = store.lock_shard(ShardId(0));
+        let _ = g.get_mut(1);
     }
 
     #[test]

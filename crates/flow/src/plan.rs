@@ -12,8 +12,8 @@ use crate::greedy::decide_greedy;
 use crate::split::split_for_partial_precomputation;
 use eagr_agg::CostModel;
 use eagr_graph::{
-    edge_cut_partition, EdgeCutConfig, Partition, PartitionStrategy, Partitioner, ShardId,
-    DEFAULT_CHUNK_SIZE,
+    edge_cut_partition, refine_partition, EdgeCutConfig, Partition, PartitionStrategy, Partitioner,
+    RefineConfig, RefineStats, ShardId, DEFAULT_CHUNK_SIZE,
 };
 use eagr_overlay::{Overlay, OverlayKind, PushEdgeView};
 
@@ -249,6 +249,55 @@ impl Plan {
         )
     }
 
+    /// The push-edge affinity view weighted by **observed** frequencies —
+    /// the live counterpart of [`push_view`](Self::push_view): same
+    /// structure, but every node's emission rate comes from the engine's
+    /// §4.8 observation window (`observed.fh`) instead of the
+    /// planning-time propagation. Silent nodes keep the same small floor
+    /// weight so structure still guides the partitioner where the window
+    /// saw nothing.
+    pub fn observed_push_view(&self, observed: &Frequencies) -> PushEdgeView {
+        assert_eq!(
+            observed.fh.len(),
+            self.overlay.node_count(),
+            "observed frequencies must cover every overlay node"
+        );
+        PushEdgeView::weighted(
+            &self.overlay,
+            |n| self.decisions.is_push(n),
+            |n| {
+                let fh = observed.fh[n.idx()];
+                if fh > 0.0 {
+                    fh
+                } else {
+                    1e-3
+                }
+            },
+        )
+    }
+
+    /// Re-derive the carried partition from observed frequencies: bounded
+    /// incremental refinement ([`refine_partition`]) of the current map
+    /// against [`observed_push_view`](Self::observed_push_view), in place.
+    /// This is the planner-side half of live shard rebalancing — the
+    /// engine's own `rebalance()` does the same off its raw counters, but
+    /// a caller holding a `Plan` (e.g. to respawn engines) can refresh the
+    /// map it hands out without replanning from scratch.
+    ///
+    /// Returns `None` when the plan carries no partition (nothing to
+    /// refine).
+    pub fn refine_partition_observed(
+        &mut self,
+        observed: &Frequencies,
+        cfg: &RefineConfig,
+    ) -> Option<RefineStats> {
+        let current = self.partition.as_ref()?;
+        let view = self.observed_push_view(observed);
+        let (refined, stats) = refine_partition(&view, current, cfg);
+        self.partition = Some(refined);
+        Some(stats)
+    }
+
     /// Re-run the §4.8 frontier adaptation with freshly observed
     /// frequencies. Returns the number of decision flips.
     pub fn adapt(
@@ -434,6 +483,74 @@ mod tests {
                 assert_eq!(part.shard_of(n.idx()), hash.shard_of(n.idx()));
             }
         }
+    }
+
+    #[test]
+    fn observed_refinement_recovers_a_drifted_hot_set() {
+        // Plan with uniform rates, then observe traffic concentrated on
+        // one writer's fan-out: the refined map must cut less of the
+        // observed traffic than the stale planning-time map.
+        let p = plan(
+            paper_overlay(),
+            &Rates::uniform(7, 1.0),
+            &CostModel::unit_sum(),
+            &PlannerConfig {
+                algorithm: DecisionAlgorithm::AllPush,
+                split: false,
+                writer_window: 1,
+                push_amplification: 2.0,
+            },
+        );
+        let mut p = p.with_partition(4, PartitionStrategy::Hash);
+        let n = p.overlay.node_count();
+        let hot = p.overlay.writers().next().unwrap().0;
+        let observed = Frequencies {
+            fh: (0..n)
+                .map(|i| if i == hot.idx() { 500.0 } else { 0.0 })
+                .collect(),
+            fl: vec![0.0; n],
+        };
+        let view = p.observed_push_view(&observed);
+        let before = view.cut_fraction(p.partition.as_ref().unwrap());
+        let stats = p
+            .refine_partition_observed(
+                &observed,
+                &RefineConfig {
+                    max_move_fraction: 1.0,
+                    ..RefineConfig::default()
+                },
+            )
+            .expect("plan carries a partition");
+        let after = view.cut_fraction(p.partition.as_ref().unwrap());
+        assert!(after <= before + 1e-9, "refinement worsened the cut");
+        assert!(stats.cut_after <= stats.cut_before);
+        // The hot writer's observed traffic dominates the view; if the
+        // stale hash map cut any of it, refinement recovers some.
+        if before > 0.0 {
+            assert!(stats.moved > 0, "a cut hot set must trigger moves");
+            assert!(
+                after < before,
+                "observed cut must shrink: {before} → {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn observed_refinement_without_partition_is_none() {
+        let mut p = plan(
+            paper_overlay(),
+            &Rates::uniform(7, 1.0),
+            &CostModel::unit_sum(),
+            &PlannerConfig::default(),
+        );
+        let n = p.overlay.node_count();
+        let observed = Frequencies {
+            fh: vec![1.0; n],
+            fl: vec![1.0; n],
+        };
+        assert!(p
+            .refine_partition_observed(&observed, &RefineConfig::default())
+            .is_none());
     }
 
     #[test]

@@ -18,4 +18,4 @@ pub mod workload;
 pub use batch::{batch_events, EventBatch};
 pub use graphs::{erdos_renyi, social_graph, web_graph, Dataset};
 pub use trace::{shifting_trace, TraceConfig};
-pub use workload::{generate_events, zipf_rates, Event, WorkloadConfig};
+pub use workload::{generate_events, rotating_hot_set, zipf_rates, Event, WorkloadConfig};

@@ -120,6 +120,54 @@ pub fn generate_events(n_nodes: usize, cfg: &WorkloadConfig) -> Vec<Event> {
         .collect()
 }
 
+/// A drifting workload: `phases` consecutive event streams sampled from
+/// the same Zipfian activity distribution, but with the **hot set rotated**
+/// between phases — the rank→node assignment shifts by `n / phases` nodes
+/// each phase, so the nodes that were hottest in phase `k` go cold in
+/// phase `k + 1` and a previously cold stretch takes over.
+///
+/// This is the workload a *planning-time* shard partition cannot survive:
+/// a map derived from phase-0 rates co-locates phase-0's hot fan-outs, and
+/// every rotation moves the delta traffic onto edges the map never
+/// optimized — exactly the §4.8 drift that live rebalancing (feeding the
+/// observed push counters back into the partition) is built to absorb.
+///
+/// Each phase contains `cfg.events` events (kind mix and value sampling as
+/// in [`generate_events`]); the whole trace is deterministic in
+/// `(n_nodes, cfg, phases)`.
+pub fn rotating_hot_set(n_nodes: usize, cfg: &WorkloadConfig, phases: usize) -> Vec<Vec<Event>> {
+    assert!(n_nodes > 0);
+    assert!(phases > 0);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let node_dist = Zipf::new(n_nodes, cfg.exponent);
+    let value_dist = Zipf::new(cfg.value_universe.max(1), cfg.value_exponent);
+    let mut ranks: Vec<u32> = (0..n_nodes as u32).collect();
+    rng.shuffle(&mut ranks);
+    let step = (n_nodes / phases).max(1);
+    let p_write = cfg.write_to_read / (1.0 + cfg.write_to_read);
+    (0..phases)
+        .map(|phase| {
+            let shift = (phase * step) % n_nodes;
+            (0..cfg.events)
+                .map(|_| {
+                    // Rotate which node holds each activity rank: rank r is
+                    // served by ranks[(r + shift) mod n].
+                    let rank = node_dist.sample(&mut rng);
+                    let node = NodeId(ranks[(rank + shift) % n_nodes]);
+                    if rng.chance(p_write) {
+                        Event::Write {
+                            node,
+                            value: value_dist.sample(&mut rng) as i64,
+                        }
+                    } else {
+                        Event::Read { node }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +222,39 @@ mod tests {
         let a = generate_events(64, &cfg);
         let b = generate_events(64, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rotating_hot_set_moves_the_write_hot_spot() {
+        let cfg = WorkloadConfig {
+            events: 30_000,
+            write_to_read: 1e9, // pure writes: the hot spot is a write hot spot
+            exponent: 1.2,
+            seed: 77,
+            ..Default::default()
+        };
+        let n = 120;
+        let phases = rotating_hot_set(n, &cfg, 3);
+        assert_eq!(phases.len(), 3);
+        let histo = |events: &[Event]| {
+            let mut h = vec![0usize; n];
+            for e in events {
+                h[e.node().0 as usize] += 1;
+            }
+            h
+        };
+        let h: Vec<Vec<usize>> = phases.iter().map(|p| histo(p)).collect();
+        for k in 0..2 {
+            let hot = h[k].iter().enumerate().max_by_key(|&(_, c)| *c).unwrap().0;
+            assert!(
+                (h[k + 1][hot] as f64) < 0.5 * h[k][hot] as f64,
+                "phase-{k} hot node {hot} must go cold: {} → {}",
+                h[k][hot],
+                h[k + 1][hot]
+            );
+        }
+        // Determinism.
+        assert_eq!(rotating_hot_set(n, &cfg, 3), phases);
     }
 
     #[test]

@@ -202,6 +202,210 @@ pub fn edge_cut_partition<G: AffinityGraph + ?Sized>(
     }
 }
 
+/// Tuning knobs of [`refine_partition`], the bounded incremental
+/// re-partitioner behind live shard rebalancing (§4.8: feed the observed
+/// push counters back into the placement).
+#[derive(Clone, Copy, Debug)]
+pub struct RefineConfig {
+    /// Maximum shard load as a multiple of the balanced load `n / shards`
+    /// (same meaning as [`EdgeCutConfig::balance`]).
+    pub balance: f64,
+    /// Upper bound on the fraction of nodes moved per call. Live
+    /// rebalancing migrates PAO state for every moved node, so the move
+    /// set must stay small: the refinement keeps the current map and only
+    /// relocates the highest-gain nodes instead of re-assigning from
+    /// scratch.
+    pub max_move_fraction: f64,
+    /// Minimum *absolute* affinity gain (weight moved off the cut) a node
+    /// must offer to be considered. Filters noise moves whose migration
+    /// cost would exceed their traffic savings.
+    pub min_gain: f64,
+    /// Candidate-selection passes. Each pass re-scores against the
+    /// assignment left by the previous one, so chains of dependent moves
+    /// (a node following its just-moved neighbor) are found.
+    pub passes: usize,
+    /// Fennel-style load-penalty weight γ: the score of moving a node to
+    /// shard `s` is `affinity(v, s) − γ · mean_affinity · load(s)/cap`.
+    /// `0` disables balance pressure beyond the hard cap.
+    pub gamma: f64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        Self {
+            balance: 1.1,
+            max_move_fraction: 0.15,
+            min_gain: 0.0,
+            passes: 2,
+            gamma: 1.0,
+        }
+    }
+}
+
+/// What [`refine_partition`] did: move count and the cut weight before and
+/// after (both measured on the affinity view handed in, so callers can
+/// apply a commit threshold before paying for state migration).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RefineStats {
+    /// Nodes whose shard changed.
+    pub moved: usize,
+    /// Cut weight of the starting partition.
+    pub cut_before: f64,
+    /// Cut weight of the refined partition.
+    pub cut_after: f64,
+}
+
+impl RefineStats {
+    /// Relative cut improvement in `[0, 1]` (`0` when nothing was cut to
+    /// begin with).
+    pub fn gain_fraction(&self) -> f64 {
+        if self.cut_before > 0.0 {
+            (self.cut_before - self.cut_after).max(0.0) / self.cut_before
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Incremental, bounded refinement of an existing partition against a
+/// (possibly re-weighted) affinity view — the planner-free half of live
+/// shard rebalancing.
+///
+/// Unlike [`edge_cut_partition`], which streams every node from scratch,
+/// this keeps `current` and relocates only the nodes with the largest
+/// positive cut gain, Fennel-style: each candidate is scored by
+/// `affinity(v, s) − γ · mean_affinity · load(s)/capacity`, candidates are
+/// applied best-gain-first under the balance cap, and the total move set
+/// is bounded by [`RefineConfig::max_move_fraction`]. Gains are
+/// re-validated at apply time against the evolving assignment, so a
+/// neighbor's earlier move can never turn a queued move harmful.
+///
+/// Deterministic: the same `(view, current, cfg)` always yields the same
+/// refined map. The result never has a larger cut than `current`.
+///
+/// # Panics
+/// Panics if `current` does not cover the view's node arena.
+pub fn refine_partition<G: AffinityGraph + ?Sized>(
+    g: &G,
+    current: &Partition,
+    cfg: &RefineConfig,
+) -> (Partition, RefineStats) {
+    let n = g.node_count();
+    assert_eq!(
+        current.len(),
+        n,
+        "partition must cover every node of the affinity view"
+    );
+    let shards = current.shards;
+    let cut_before = current.cut_weight(g);
+    let mut of = current.of.clone();
+    let mut load = current.shard_sizes();
+    let capacity = ((n as f64 / shards as f64) * cfg.balance.max(1.0))
+        .ceil()
+        .max(1.0);
+    let budget = ((n as f64 * cfg.max_move_fraction.clamp(0.0, 1.0)).floor() as usize).min(n);
+    // Mean per-node affinity mass, the γ penalty's scale (so γ is a pure
+    // knob, independent of the view's absolute weights).
+    let mean_aff = if n > 0 {
+        let total: f64 = (0..n)
+            .map(|v| g.neighbors(v).iter().map(|&(_, w)| w as f64).sum::<f64>())
+            .sum();
+        (total / n as f64).max(f64::MIN_POSITIVE)
+    } else {
+        1.0
+    };
+    let mut moved_total = 0usize;
+    let mut aff = vec![0.0f64; shards];
+    for _ in 0..cfg.passes.max(1) {
+        if moved_total >= budget {
+            break;
+        }
+        // Score every node against the current assignment of this pass.
+        let mut candidates: Vec<(f64, usize, ShardId)> = Vec::new();
+        for v in 0..n {
+            let nbrs = g.neighbors(v);
+            if nbrs.is_empty() {
+                continue; // an isolated node cannot change the cut
+            }
+            for a in aff.iter_mut() {
+                *a = 0.0;
+            }
+            for &(u, w) in nbrs {
+                aff[of[u as usize].idx()] += w as f64;
+            }
+            let cur = of[v].idx();
+            let mut best = cur;
+            let mut best_score = aff[cur] - cfg.gamma * mean_aff * (load[cur] as f64 / capacity);
+            for s in 0..shards {
+                if s == cur || load[s] as f64 + 1.0 > capacity {
+                    continue;
+                }
+                let score = aff[s] - cfg.gamma * mean_aff * (load[s] as f64 / capacity);
+                if score > best_score {
+                    best_score = score;
+                    best = s;
+                }
+            }
+            let gain = aff[best] - aff[cur];
+            if best != cur && gain > cfg.min_gain && gain > 0.0 {
+                candidates.push((gain, v, ShardId(best as u32)));
+            }
+        }
+        // Best-gain-first, deterministic tie-break on the node index.
+        candidates.sort_by(|(ga, va, _), (gb, vb, _)| gb.total_cmp(ga).then_with(|| va.cmp(vb)));
+        let mut moved_this_pass = 0usize;
+        for (_, v, dest) in candidates {
+            if moved_total >= budget {
+                break;
+            }
+            let cur = of[v].idx();
+            let d = dest.idx();
+            if d == cur || load[d] as f64 + 1.0 > capacity {
+                continue;
+            }
+            // Re-validate against the assignment as already mutated by
+            // earlier (higher-gain) moves in this pass.
+            for a in aff.iter_mut() {
+                *a = 0.0;
+            }
+            for &(u, w) in g.neighbors(v) {
+                aff[of[u as usize].idx()] += w as f64;
+            }
+            if aff[d] - aff[cur] <= cfg.min_gain.max(0.0) {
+                continue;
+            }
+            load[cur] -= 1;
+            load[d] += 1;
+            of[v] = dest;
+            moved_total += 1;
+            moved_this_pass += 1;
+        }
+        if moved_this_pass == 0 {
+            break;
+        }
+    }
+    let refined = Partition {
+        of,
+        shards,
+        strategy: current.strategy,
+    };
+    let cut_after = refined.cut_weight(g);
+    let moved = refined
+        .of
+        .iter()
+        .zip(&current.of)
+        .filter(|(a, b)| a != b)
+        .count();
+    (
+        refined,
+        RefineStats {
+            moved,
+            cut_before,
+            cut_after,
+        },
+    )
+}
+
 /// SplitMix64 finalizer: a full-avalanche bit mix, so consecutive indexes
 /// land on unrelated shards.
 #[inline]
@@ -522,6 +726,91 @@ mod tests {
         for i in 0..g.node_count() {
             assert!(a.shard_of(i).idx() < 3);
         }
+    }
+
+    #[test]
+    fn refine_repairs_a_scrambled_clique_partition() {
+        // 4 cliques of 20 onto 4 shards, starting from the structure-blind
+        // hash map: bounded refinement must strictly shrink the cut without
+        // a from-scratch reassignment.
+        let g = Adj::cliques(4, 20);
+        let start = Partitioner::hash(4).partition(g.node_count());
+        let cfg = RefineConfig {
+            max_move_fraction: 0.5,
+            passes: 4,
+            ..RefineConfig::default()
+        };
+        let (refined, stats) = refine_partition(&g, &start, &cfg);
+        assert_eq!(stats.cut_before, start.cut_weight(&g));
+        assert_eq!(stats.cut_after, refined.cut_weight(&g));
+        assert!(
+            stats.cut_after < stats.cut_before,
+            "refinement must improve the cut: {} → {}",
+            stats.cut_before,
+            stats.cut_after
+        );
+        assert!(stats.gain_fraction() > 0.2, "{:?}", stats);
+        assert!(stats.moved > 0);
+        assert_eq!(refined.len(), start.len());
+    }
+
+    #[test]
+    fn refine_never_worsens_the_cut() {
+        // Starting from the assigner's own output there is little to gain,
+        // but the bounded moves must never make the cut larger.
+        let g = Adj::cliques(6, 10);
+        let start = edge_cut_partition(&g, 3, &EdgeCutConfig::default());
+        let (_, stats) = refine_partition(&g, &start, &RefineConfig::default());
+        assert!(stats.cut_after <= stats.cut_before + 1e-9);
+    }
+
+    #[test]
+    fn refine_respects_move_budget_and_balance() {
+        let g = Adj::cliques(4, 25);
+        let start = Partitioner::hash(4).partition(g.node_count());
+        let cfg = RefineConfig {
+            max_move_fraction: 0.05, // at most 5 of 100 nodes
+            balance: 1.1,
+            passes: 8,
+            ..RefineConfig::default()
+        };
+        let (refined, stats) = refine_partition(&g, &start, &cfg);
+        assert!(stats.moved <= 5, "budget exceeded: {}", stats.moved);
+        // The cap binds move *targets*: a shard may keep a pre-existing
+        // overflow, but refinement must never grow any shard past
+        // max(cap, starting size).
+        let cap = ((100.0 / 4.0) * 1.1f64).ceil() as usize;
+        let start_sizes = start.shard_sizes();
+        for (s, &sz) in refined.shard_sizes().iter().enumerate() {
+            let bound = cap.max(start_sizes[s]);
+            assert!(sz <= bound, "shard {s} holds {sz} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn refine_is_deterministic_and_keeps_strategy() {
+        let g = Adj::cliques(5, 12);
+        let start = Partitioner::chunked(3, 7).partition(g.node_count());
+        let cfg = RefineConfig::default();
+        let (a, sa) = refine_partition(&g, &start, &cfg);
+        let (b, sb) = refine_partition(&g, &start, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(a.strategy, start.strategy);
+    }
+
+    #[test]
+    fn refine_zero_budget_is_identity() {
+        let g = Adj::cliques(3, 10);
+        let start = Partitioner::hash(3).partition(g.node_count());
+        let cfg = RefineConfig {
+            max_move_fraction: 0.0,
+            ..RefineConfig::default()
+        };
+        let (refined, stats) = refine_partition(&g, &start, &cfg);
+        assert_eq!(refined, start);
+        assert_eq!(stats.moved, 0);
+        assert_eq!(stats.gain_fraction(), 0.0);
     }
 
     #[test]

@@ -75,6 +75,39 @@ impl PushEdgeView {
         }
     }
 
+    /// The push topology weighted by **observed** per-node delta activity:
+    /// `applied[n.idx()]` is the number of delta ops actually applied at
+    /// `n` over the observation window (the engine's §4.8 push counters),
+    /// which is exactly the number of deltas `n` re-emitted along each of
+    /// its outgoing push edges. This is the affinity input of *live* shard
+    /// rebalancing — real traffic, not the planning-time `fh` prior.
+    ///
+    /// Nodes with zero observed activity keep a small floor weight
+    /// (`1e-3`) so pure structure still guides the partitioner for parts
+    /// of the overlay the window never touched.
+    ///
+    /// # Panics
+    /// Panics if `applied` does not cover every overlay node.
+    pub fn observed(
+        overlay: &Overlay,
+        is_push: impl Fn(OverlayId) -> bool,
+        applied: &[u64],
+    ) -> Self {
+        assert_eq!(
+            applied.len(),
+            overlay.node_count(),
+            "observed counters must cover every overlay node"
+        );
+        Self::weighted(overlay, is_push, |n| {
+            let c = applied[n.idx()] as f64;
+            if c > 0.0 {
+                c
+            } else {
+                1e-3
+            }
+        })
+    }
+
     /// Number of (directed) push edges in the view.
     pub fn edge_count(&self) -> usize {
         self.edges
@@ -148,6 +181,39 @@ mod tests {
         let fan_out = ov.outputs(hot).len() as f64;
         let rest = (ov.edge_count() as f64) - fan_out;
         assert!((view.total_weight() - (rest + 10.0 * fan_out)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observed_view_weights_follow_counters() {
+        let ov = paper_overlay();
+        let n = ov.node_count();
+        let hot = ov.writers().next().unwrap().0;
+        let mut applied = vec![0u64; n];
+        applied[hot.idx()] = 25;
+        let view = PushEdgeView::observed(&ov, |_| true, &applied);
+        // The hot writer's fan-out carries its counter; everyone else sits
+        // at the structural floor.
+        let fan_out = ov.outputs(hot).len() as f64;
+        let rest = (ov.edge_count() as f64 - fan_out) * 1e-3;
+        assert!(
+            (view.total_weight() - (25.0 * fan_out + rest)).abs() < 1e-6,
+            "total {} vs expected {}",
+            view.total_weight(),
+            25.0 * fan_out + rest
+        );
+        // The observed view stays a valid affinity input: a derived
+        // edge-cut covers every node and scores within [0, 1].
+        let ec = edge_cut_partition(&view, 3, &EdgeCutConfig::default());
+        assert_eq!(ec.len(), n);
+        let f = view.cut_fraction(&ec);
+        assert!((0.0..=1.0).contains(&f), "cut fraction {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "observed counters must cover")]
+    fn observed_view_rejects_short_counter_slices() {
+        let ov = paper_overlay();
+        let _ = PushEdgeView::observed(&ov, |_| true, &[1, 2, 3]);
     }
 
     #[test]

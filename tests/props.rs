@@ -8,7 +8,7 @@
 //! * engine ≡ oracle on arbitrary event interleavings.
 
 use eagr::agg::{Aggregate, Count, Distinct, Max, Min, Sum, TopK, WindowBuffer, WindowSpec};
-use eagr::exec::{Engine, EngineCore, ShardedConfig, ShardedEngine};
+use eagr::exec::{Engine, EngineCore, RebalancePolicy, ShardedConfig, ShardedEngine};
 use eagr::flow::{decide_maxflow, node_costs, propagate_frequencies, Decisions, Rates};
 use eagr::gen::{batch_events, Event};
 use eagr::graph::{BipartiteGraph, DataGraph, Neighborhood, NodeId, PartitionStrategy};
@@ -248,7 +248,12 @@ proptest! {
                 Arc::clone(ov),
                 d,
                 WindowSpec::Tuple(1),
-                &ShardedConfig { shards, strategy, channel_capacity: 64 },
+                &ShardedConfig {
+                    shards,
+                    strategy,
+                    channel_capacity: 64,
+                    rebalance: RebalancePolicy::default(),
+                },
             );
             let stream: Vec<Event> = events
                 .iter()
@@ -303,6 +308,76 @@ proptest! {
             1 => check(Count, &ov, &d, shards, strategy, &events, batch_size),
             _ => check(Max, &ov, &d, shards, strategy, &events, batch_size),
         }
+    }
+
+    #[test]
+    fn rebalance_during_ingest_preserves_differential(
+        seed in 0u64..60,
+        shards in 2usize..5,
+        events in proptest::collection::vec((0u32..30, -50i64..50), 20..250),
+        batch_size in 4usize..48,
+        rebalance_every in 1usize..5,
+    ) {
+        // Live migration fuzz: interleave forced rebalances (threshold 0,
+        // unbounded moves) with ingestion epochs at arbitrary batch sizes.
+        // However the hot set and the map dance, the drained engine must
+        // equal the single-threaded replay, point reads and shard-executed
+        // batches alike. The nightly soak job runs this with
+        // PROPTEST_CASES raised ~10× so migration races get real fuzz
+        // time.
+        let g = eagr::gen::social_graph(30, 3, seed);
+        let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+        let d = Decisions::all_push(&ov);
+        let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+        let sharded = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+                rebalance: RebalancePolicy {
+                    min_cut_gain: 0.0,
+                    max_move_fraction: 1.0,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        let stream: Vec<Event> = events
+            .iter()
+            .map(|&(n, v)| Event::Write { node: NodeId(n), value: v })
+            .collect();
+        for (ts, e) in stream.iter().enumerate() {
+            if let Event::Write { node, value } = *e {
+                reference.write(node, value, ts as u64);
+            }
+        }
+        for (i, batch) in batch_events(&stream, batch_size, 0).iter().enumerate() {
+            sharded.ingest_epoch(batch);
+            if i % rebalance_every == rebalance_every - 1 {
+                sharded.rebalance();
+            }
+        }
+        let nodes: Vec<NodeId> = (0..30u32).map(NodeId).collect();
+        let served = sharded.read_batch(&nodes);
+        for (i, &v) in nodes.iter().enumerate() {
+            prop_assert_eq!(
+                sharded.read(v),
+                reference.read(v),
+                "point read {:?} diverged after migrations",
+                v
+            );
+            prop_assert_eq!(
+                served[i].clone(),
+                reference.read(v),
+                "shard-executed read {:?} diverged after migrations",
+                v
+            );
+        }
+        sharded.shutdown();
     }
 
     // ---------- end-to-end ----------

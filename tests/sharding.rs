@@ -2,7 +2,7 @@
 //! delivery, edge-cut delta reduction, inbox-routed window expiration, and
 //! epoch-drain completeness under concurrent reads.
 
-use eagr::exec::{EngineCore, ShardedConfig, ShardedEngine};
+use eagr::exec::{EngineCore, RebalancePolicy, ShardedConfig, ShardedEngine};
 use eagr::flow::Decisions;
 use eagr::gen::{batch_events, generate_events, social_graph, Dataset, Event, WorkloadConfig};
 use eagr::graph::{BipartiteGraph, PartitionStrategy, Partitioner};
@@ -34,6 +34,7 @@ fn sharded_over(
             shards,
             strategy,
             channel_capacity: 256,
+            rebalance: RebalancePolicy::default(),
         },
     )
 }
@@ -70,7 +71,7 @@ fn engine_partition_matches_standalone_partitioner() {
     let strategy = PartitionStrategy::Chunk { chunk_size: 32 };
     let eng = sharded_over(&ov, &d, 4, strategy);
     let expect = Partitioner::new(4, strategy).partition(ov.node_count());
-    assert_eq!(*eng.partition(), expect);
+    assert_eq!(eng.partition(), expect);
     eng.shutdown();
 }
 
@@ -148,6 +149,7 @@ fn chunk_locality_reduces_cross_shard_traffic_or_stays_correct() {
                 shards: 4,
                 strategy,
                 channel_capacity: 256,
+                rebalance: RebalancePolicy::default(),
             },
         );
         for batch in batch_events(&events, 512, 0) {
@@ -220,6 +222,243 @@ fn edge_cut_reduces_cross_shard_deltas_vs_hash() {
     );
 }
 
+// ---------- live rebalancing ----------
+
+#[test]
+fn rebalancing_under_rotated_hot_set_cuts_cross_deltas_vs_stale_map() {
+    // The §4.8 drift scenario: a map tuned to phase-0 traffic goes stale
+    // when the Zipf hot set rotates. A frozen engine keeps shipping the
+    // stale map's cross-shard deltas; a RebalancePolicy-enabled engine
+    // re-partitions from observed load at phase boundaries and must ship
+    // ≥ 20% fewer cross-shard deltas over the rotated phases — with
+    // identical answers (differential against the single-threaded
+    // reference at the end).
+    let g = Dataset::LiveJournalLike.build(0.125, 0xF14F);
+    let n = g.id_bound();
+    let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+    let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+    let d = Decisions::all_push(&ov);
+    let phases = eagr::gen::rotating_hot_set(
+        n,
+        &WorkloadConfig {
+            events: 10_000,
+            write_to_read: 1e9,
+            exponent: 1.2, // skewed enough that hot fan-outs dominate
+            seed: 0xD21F7,
+            ..Default::default()
+        },
+        3,
+    );
+    let batch = 1000;
+    // Tune a map to phase-0 *observed* traffic: ingest phase 0 into a
+    // throwaway engine and let one forced rebalance bake the counters into
+    // the map. This is "the planning-time map" both contenders start from.
+    let stale_map = {
+        let tuner = sharded_over(&ov, &d, 4, PartitionStrategy::EdgeCut);
+        for b in batch_events(&phases[0], batch, 0) {
+            tuner.ingest_epoch(&b);
+        }
+        let out = tuner.rebalance();
+        assert!(out.committed, "phase-0 tuning rebalance must commit");
+        let map = tuner.partition();
+        tuner.shutdown();
+        map
+    };
+    let build = |policy: RebalancePolicy| {
+        ShardedEngine::with_partition(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            stale_map.clone(),
+            &ShardedConfig {
+                shards: 4,
+                strategy: PartitionStrategy::EdgeCut,
+                channel_capacity: 256,
+                rebalance: policy,
+            },
+        )
+    };
+    let frozen = build(RebalancePolicy::manual());
+    // Re-tune every 2 ingestion epochs (2 000 events): the policy must
+    // adapt *within* a phase — rebalancing only at phase boundaries would
+    // leave the map permanently one rotation behind.
+    let rebalanced = build(RebalancePolicy {
+        every_epochs: 2,
+        min_cut_gain: 0.01,
+        max_move_fraction: 0.5,
+        ..RebalancePolicy::default()
+    });
+    let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+    let mut ts = 0u64;
+    // Rotated phases only: the contenders start on equal footing.
+    let mut frozen_cross = 0u64;
+    let mut rebalanced_cross = 0u64;
+    for (k, phase) in phases.iter().enumerate() {
+        let f0 = frozen.cross_shard_deltas();
+        let r0 = rebalanced.cross_shard_deltas();
+        for b in batch_events(phase, batch, ts) {
+            frozen.ingest_epoch(&b);
+            rebalanced.ingest_epoch(&b);
+            for (e, t) in b.iter_timed() {
+                if let Event::Write { node, value } = *e {
+                    reference.write(node, value, t);
+                }
+            }
+        }
+        ts += phase.len() as u64;
+        if k > 0 {
+            frozen_cross += frozen.cross_shard_deltas() - f0;
+            rebalanced_cross += rebalanced.cross_shard_deltas() - r0;
+        }
+    }
+    assert!(
+        rebalanced.rebalances() >= 1,
+        "the every-N-epochs policy must have committed at least once"
+    );
+    assert!(
+        rebalanced.nodes_migrated() > 0,
+        "a committed rebalance migrates state"
+    );
+    assert!(
+        (rebalanced_cross as f64) <= 0.8 * frozen_cross as f64,
+        "live rebalancing must cut ≥20% of post-rotation cross-shard deltas: \
+         frozen={frozen_cross}, rebalanced={rebalanced_cross}"
+    );
+    for v in g.nodes() {
+        let want = reference.read(v);
+        assert_eq!(frozen.read(v), want, "frozen node {v:?}");
+        assert_eq!(rebalanced.read(v), want, "rebalanced node {v:?}");
+    }
+    frozen.shutdown();
+    rebalanced.shutdown();
+}
+
+#[test]
+fn read_batch_stays_epoch_consistent_across_live_migrations() {
+    // The migration differential: a reader thread hammers epoch-consistent
+    // read_batch while the main thread ingests epochs *and* rebalances
+    // between them. Every observed batch must still equal the
+    // single-threaded reference at some epoch boundary — a migration can
+    // never tear an answer — and the final state must equal the full
+    // replay.
+    let (g, ov, d) = all_push_parts(100, 61);
+    let eng = Arc::new(ShardedEngine::new(
+        Sum,
+        Arc::clone(&ov),
+        &d,
+        WindowSpec::Tuple(1),
+        &ShardedConfig {
+            shards: 4,
+            strategy: PartitionStrategy::Hash,
+            channel_capacity: 256,
+            rebalance: RebalancePolicy {
+                min_cut_gain: 0.0,
+                max_move_fraction: 1.0,
+                ..RebalancePolicy::default()
+            },
+        },
+    ));
+    let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+    let events = generate_events(
+        100,
+        &WorkloadConfig {
+            events: 4000,
+            write_to_read: 1e9,
+            seed: 62,
+            ..Default::default()
+        },
+    );
+    let probes: Vec<NodeId> = g.nodes().collect();
+    let batches = batch_events(&events, 200, 0);
+    let mut boundaries: Vec<Vec<Option<i64>>> = Vec::with_capacity(batches.len() + 1);
+    boundaries.push(probes.iter().map(|&v| reference.read(v)).collect());
+    for b in &batches {
+        for (e, ts) in b.iter_timed() {
+            if let Event::Write { node, value } = *e {
+                reference.write(node, value, ts);
+            }
+        }
+        boundaries.push(probes.iter().map(|&v| reference.read(v)).collect());
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let observed = std::thread::scope(|s| {
+        let reader_eng = Arc::clone(&eng);
+        let reader_stop = Arc::clone(&stop);
+        let reader_probes = probes.clone();
+        let reader = s.spawn(move || {
+            let mut seen = Vec::new();
+            while !reader_stop.load(Ordering::Relaxed) {
+                seen.push(reader_eng.read_batch(&reader_probes));
+            }
+            seen
+        });
+        for (i, b) in batches.iter().enumerate() {
+            eng.ingest_epoch(b);
+            // Rebalance every few epochs, concurrently with the reader.
+            if i % 5 == 4 {
+                eng.rebalance();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().expect("reader thread")
+    });
+    assert!(
+        eng.rebalances() >= 1,
+        "forced-threshold rebalances must commit at least once"
+    );
+    for (i, snap) in observed.iter().enumerate() {
+        assert!(
+            boundaries.contains(snap),
+            "observed batch {i} matches no epoch boundary (torn by migration)"
+        );
+    }
+    let last = eng.read_batch(&probes);
+    assert_eq!(&last, boundaries.last().unwrap(), "final state diverged");
+    // Relaxed caller-thread reads agree too once everything is drained.
+    for (i, &v) in probes.iter().enumerate() {
+        assert_eq!(eng.read(v), last[i], "relaxed read {v:?}");
+    }
+    match Arc::try_unwrap(eng) {
+        Ok(e) => e.shutdown(),
+        Err(_) => panic!("engine still shared"),
+    }
+}
+
+#[test]
+fn facade_rebalance_policy_round_trip() {
+    // The facade surface: a RebalancePolicy set on the builder reaches the
+    // engine, EagrSystem::rebalance() works manually, and answers keep
+    // matching the single-threaded facade across rebalances.
+    let g = social_graph(120, 4, 63);
+    let events = generate_events(
+        120,
+        &WorkloadConfig {
+            events: 3000,
+            write_to_read: 1e9,
+            seed: 64,
+            ..Default::default()
+        },
+    );
+    let single = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+    let sharded = EagrSystem::builder(EgoQuery::new(Sum))
+        .execution(eagr::ExecutionMode::Sharded { shards: 4 })
+        .rebalance(RebalancePolicy {
+            min_cut_gain: 0.0,
+            max_move_fraction: 1.0,
+            ..RebalancePolicy::default()
+        })
+        .build(&g);
+    assert!(single.rebalance().is_none(), "local modes have no map");
+    single.ingest(&events);
+    sharded.ingest(&events);
+    let outcome = sharded.rebalance().expect("sharded mode rebalances");
+    let eng = sharded.sharded_engine().expect("sharded runtime");
+    assert_eq!(outcome.committed, eng.rebalances() == 1);
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    assert_eq!(single.read_batch(&nodes), sharded.read_batch(&nodes));
+}
+
 // ---------- inbox-routed window expiration ----------
 
 #[test]
@@ -243,6 +482,7 @@ fn advance_time_runs_concurrently_with_sharded_ingest() {
             shards: 4,
             strategy: PartitionStrategy::EdgeCut,
             channel_capacity: 256,
+            rebalance: RebalancePolicy::default(),
         },
     ));
     let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, window);

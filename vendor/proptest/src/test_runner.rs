@@ -7,16 +7,38 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// The `PROPTEST_CASES` environment override: when set to a positive
+/// integer it replaces every test's case count — how nightly soak CI
+/// multiplies fuzz time without touching the code.
+///
+/// Deliberate divergence from upstream proptest: there the env var only
+/// feeds `Default` and an explicit `with_cases(n)` wins over it; here the
+/// env wins over *both*, because the soak job relies on overriding the
+/// in-code `with_cases(64)` budgets. Do not "fix" this to upstream
+/// precedence without also changing how `bench-nightly.yml` scales the
+/// case count.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .filter(|&c| c > 0)
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 256 }
+        Self {
+            cases: env_cases().unwrap_or(256),
+        }
     }
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases per test.
+    /// A config running `cases` cases per test (`PROPTEST_CASES` in the
+    /// environment overrides it, exactly like upstream proptest).
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
