@@ -114,6 +114,7 @@ fn main() {
             "BENCH_fig14_rebalance.json" => {
                 check_fig14_rebalance(&baseline, &current, &mut failures)
             }
+            "BENCH_fig_multiquery.json" => check_fig_multiquery(&baseline, &current, &mut failures),
             // Unknown artifacts only gate on presence (checked above).
             _ => {}
         }
@@ -261,6 +262,69 @@ fn check_fig14(baseline: &Json, current: &Json, failures: &mut Vec<String>) {
             }
             (None, _) => failures.push(format!("fig14: {engine} rows missing in baseline")),
         }
+    }
+}
+
+/// fig_multiquery: PAO reuse on warm attach. Every invariant here is a
+/// deterministic structural fact of the current run (the overlay and the
+/// attach diff depend only on the graph seed and the coverage bounds,
+/// never on timing), so the gate is hard — no tolerance:
+///
+/// * the cold build materializes a nonzero PAO count;
+/// * every warm-attach coverage level the baseline recorded is still
+///   emitted, materializes **strictly fewer** PAOs than the cold build,
+///   and reuses at least one live PAO (`reuse_fraction > 0`);
+/// * the churn scenario still completes with a positive attach rate.
+///
+/// Attach latency and churn throughput are hardware-dependent and are
+/// deliberately not gated.
+fn check_fig_multiquery(baseline: &Json, current: &Json, failures: &mut Vec<String>) {
+    let cold = find_row(current, &[("row", "cold-build")], &[]).and_then(|r| num(r, "paos"));
+    let Some(cold) = cold.filter(|&p| p > 0.0) else {
+        failures.push("fig_multiquery: missing or empty cold-build row".into());
+        return;
+    };
+    let coverages: Vec<f64> = rows(baseline)
+        .iter()
+        .filter(|r| r.get("row").and_then(Json::as_str) == Some("warm-attach"))
+        .filter_map(|r| num(r, "coverage_pct"))
+        .collect();
+    if coverages.is_empty() {
+        failures.push("fig_multiquery: baseline has no warm-attach rows".into());
+    }
+    for &pct in &coverages {
+        let Some(row) = find_row(current, &[("row", "warm-attach")], &[("coverage_pct", pct)])
+        else {
+            failures.push(format!(
+                "fig_multiquery: warm-attach row at {pct}% coverage missing from current artifact"
+            ));
+            continue;
+        };
+        match (num(row, "materialized"), num(row, "reuse_fraction")) {
+            (Some(mat), Some(reuse)) => {
+                if mat >= cold {
+                    failures.push(format!(
+                        "fig_multiquery: warm attach at {pct}% no longer beats the cold build: \
+                         materialized={mat:.0} >= cold={cold:.0}"
+                    ));
+                }
+                if reuse <= 0.0 {
+                    failures.push(format!(
+                        "fig_multiquery: PAO reuse lost at {pct}% coverage: \
+                         reuse_fraction={reuse:.3}"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "fig_multiquery: warm-attach row at {pct}% lacks materialized/reuse_fraction"
+            )),
+        }
+    }
+    let churn_ok = find_row(current, &[("row", "churn")], &[])
+        .and_then(|r| num(r, "attaches_per_s"))
+        .is_some_and(|a| a > 0.0);
+    if !churn_ok {
+        failures.push("fig_multiquery: churn row missing or attach rate not positive".into());
     }
 }
 

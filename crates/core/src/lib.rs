@@ -38,11 +38,15 @@
 
 pub mod oracle;
 pub mod query;
+pub(crate) mod registry;
 pub mod system;
 
 pub use oracle::NaiveOracle;
 pub use query::{EgoQuery, NodePredicate, QueryMode};
-pub use system::{EagrSystem, ExecutionMode, OverlayAlgorithm, SystemBuilder, SystemStats};
+pub use registry::{AttachReport, DetachReport, IngestReport, RegistryStats};
+pub use system::{
+    EagrSystem, ExecutionMode, OverlayAlgorithm, QueryHandle, SystemBuilder, SystemStats,
+};
 
 pub use eagr_agg as agg;
 pub use eagr_exec as exec;
@@ -56,7 +60,10 @@ pub use eagr_util as util;
 pub mod prelude {
     pub use crate::oracle::NaiveOracle;
     pub use crate::query::{EgoQuery, QueryMode};
-    pub use crate::system::{EagrSystem, ExecutionMode, OverlayAlgorithm, SystemStats};
+    pub use crate::registry::{AttachReport, DetachReport, IngestReport, RegistryStats};
+    pub use crate::system::{
+        EagrSystem, ExecutionMode, OverlayAlgorithm, QueryHandle, SystemStats,
+    };
     pub use eagr_agg::{
         Aggregate, Avg, CostModel, Count, Distinct, Max, Min, Sum, TopK, WindowSpec,
     };

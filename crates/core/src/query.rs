@@ -36,6 +36,20 @@ pub struct EgoQuery<A: Aggregate> {
     pub mode: QueryMode,
 }
 
+impl<A: Aggregate> std::fmt::Debug for EgoQuery<A> {
+    /// Manual impl: the predicate is an opaque `Arc<dyn Fn>`; the aggregate
+    /// prints by name. Registered queries are loggable this way.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EgoQuery")
+            .field("aggregate", &self.aggregate.name())
+            .field("window", &self.window)
+            .field("neighborhood", &self.neighborhood)
+            .field("predicate", &"<pred>")
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
 impl<A: Aggregate> EgoQuery<A> {
     /// A query over every node's 1-hop in-neighborhood with the latest
     /// value per neighbor (the paper's running example ⟨F, c=1, N, true⟩).

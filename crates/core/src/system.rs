@@ -1,18 +1,30 @@
 //! The one-stop EAGr system facade: data graph + query → bipartite graph →
-//! overlay → dataflow plan → execution engine.
+//! overlay → dataflow plan → execution engine — plus the multi-query
+//! registry: further queries [`attach`](EagrSystem::attach) to the running
+//! system, sharing already-materialized overlay state where their plans
+//! overlap, and [`detach`](EagrSystem::detach) without tearing down state
+//! another query still reads.
 
 use crate::query::{EgoQuery, QueryMode};
-use eagr_agg::{Aggregate, CostModel};
+use crate::registry::{
+    AttachReport, DetachReport, IngestReport, QueryEntry, Registry, RegistryStats, Runtime,
+    Stratum, WriteHistory,
+};
+use eagr_agg::{Aggregate, CostModel, WindowBuffer, WindowSpec};
 use eagr_exec::{
     AdaptiveEngine, EngineCore, ParallelConfig, ParallelEngine, RebalanceOutcome, RebalancePolicy,
     ShardedConfig, ShardedEngine,
 };
-use eagr_flow::{plan, DecisionAlgorithm, Plan, PlannerConfig, Rates};
+use eagr_flow::{extend_decisions, plan, DecisionAlgorithm, Decisions, Plan, PlannerConfig, Rates};
 use eagr_gen::{Event, EventBatch};
-use eagr_graph::{BipartiteGraph, DataGraph, NodeId};
-use eagr_overlay::{build_iob, build_vnm, metrics, IobConfig, IterationStats, Overlay, VnmConfig};
+use eagr_graph::{BipartiteGraph, DataGraph, NodeId, PartitionStrategy};
+use eagr_overlay::{
+    build_iob, build_vnm, extend_with_readers, metrics, used_subtree, IobConfig, IterationStats,
+    Overlay, OverlayId, OverlayKind, RefCounts, VnmConfig,
+};
+use eagr_util::FastSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// How a compiled system executes its workload.
 #[derive(Clone, Copy, Debug)]
@@ -66,18 +78,41 @@ pub enum OverlayAlgorithm {
 /// [`SystemBuilder::stream_horizon`]).
 const DEFAULT_STREAM_HORIZON: f64 = 10_000.0;
 
+/// Default per-node write-history ring capacity (see
+/// [`SystemBuilder::history`]): enough to exactly backfill the common
+/// tuple windows at attach time without holding the whole stream.
+const DEFAULT_HISTORY_CAP: usize = 64;
+
+/// Everything about a build that is *not* the query itself — kept on the
+/// system so [`EagrSystem::attach`] compiles new strata and rebuilds
+/// runtimes with the same knobs the primary build used.
+#[derive(Clone, Debug)]
+pub(crate) struct BuildConfig {
+    pub(crate) overlay_algorithm: OverlayAlgorithm,
+    pub(crate) decision_algorithm: DecisionAlgorithm,
+    pub(crate) execution: ExecutionMode,
+    pub(crate) rates: Option<Rates>,
+    pub(crate) cost: Option<CostModel>,
+    pub(crate) split: bool,
+    pub(crate) writer_window: Option<usize>,
+    pub(crate) stream_horizon: f64,
+    pub(crate) rebalance: RebalancePolicy,
+    pub(crate) history: usize,
+}
+
 /// Builder for an [`EagrSystem`].
 pub struct SystemBuilder<A: Aggregate> {
     query: EgoQuery<A>,
-    overlay_algorithm: OverlayAlgorithm,
-    decision_algorithm: DecisionAlgorithm,
-    execution: ExecutionMode,
-    rates: Option<Rates>,
-    cost: Option<CostModel>,
-    split: bool,
-    writer_window: Option<usize>,
-    stream_horizon: f64,
-    rebalance: RebalancePolicy,
+    config: BuildConfig,
+}
+
+impl<A: Aggregate> std::fmt::Debug for SystemBuilder<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("query", &self.query)
+            .field("config", &self.config)
+            .finish()
+    }
 }
 
 impl<A: Aggregate + Clone> SystemBuilder<A> {
@@ -85,52 +120,55 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     pub fn new(query: EgoQuery<A>) -> Self {
         Self {
             query,
-            overlay_algorithm: OverlayAlgorithm::Vnma,
-            decision_algorithm: DecisionAlgorithm::MaxFlow,
-            execution: ExecutionMode::SingleThreaded,
-            rates: None,
-            cost: None,
-            split: true,
-            writer_window: None,
-            stream_horizon: DEFAULT_STREAM_HORIZON,
-            rebalance: RebalancePolicy::default(),
+            config: BuildConfig {
+                overlay_algorithm: OverlayAlgorithm::Vnma,
+                decision_algorithm: DecisionAlgorithm::MaxFlow,
+                execution: ExecutionMode::SingleThreaded,
+                rates: None,
+                cost: None,
+                split: true,
+                writer_window: None,
+                stream_horizon: DEFAULT_STREAM_HORIZON,
+                rebalance: RebalancePolicy::default(),
+                history: DEFAULT_HISTORY_CAP,
+            },
         }
     }
 
     /// Choose the execution mode (default single-threaded).
     pub fn execution(mut self, mode: ExecutionMode) -> Self {
-        self.execution = mode;
+        self.config.execution = mode;
         self
     }
 
     /// Choose the overlay construction algorithm (default VNM_A).
     pub fn overlay(mut self, alg: OverlayAlgorithm) -> Self {
-        self.overlay_algorithm = alg;
+        self.config.overlay_algorithm = alg;
         self
     }
 
     /// Choose the dataflow decision procedure (default max-flow).
     pub fn decisions(mut self, alg: DecisionAlgorithm) -> Self {
-        self.decision_algorithm = alg;
+        self.config.decision_algorithm = alg;
         self
     }
 
     /// Provide expected read/write rates (default: uniform 1:1).
     pub fn rates(mut self, rates: Rates) -> Self {
-        self.rates = Some(rates);
+        self.config.rates = Some(rates);
         self
     }
 
     /// Provide a cost model (default: derived from the aggregate's declared
     /// `H`/`L`).
     pub fn cost_model(mut self, cost: CostModel) -> Self {
-        self.cost = Some(cost);
+        self.config.cost = Some(cost);
         self
     }
 
     /// Enable/disable §4.7 node splitting (default on).
     pub fn split(mut self, on: bool) -> Self {
-        self.split = on;
+        self.config.split = on;
         self
     }
 
@@ -138,7 +176,7 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     /// (default: manual-only — [`EagrSystem::rebalance`] works, nothing
     /// fires automatically). Ignored by the local modes.
     pub fn rebalance(mut self, policy: RebalancePolicy) -> Self {
-        self.rebalance = policy;
+        self.config.rebalance = policy;
         self
     }
 
@@ -150,7 +188,7 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     /// [`stream_horizon`](Self::stream_horizon)), so a running aggregate's
     /// pull cost reflects the whole history it would re-scan.
     pub fn writer_window(mut self, w: usize) -> Self {
-        self.writer_window = Some(w);
+        self.config.writer_window = Some(w);
         self
     }
 
@@ -159,7 +197,17 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     /// [`writer_window`](Self::writer_window) is not set explicitly
     /// (default: 10 000).
     pub fn stream_horizon(mut self, horizon: f64) -> Self {
-        self.stream_horizon = horizon;
+        self.config.stream_horizon = horizon;
+        self
+    }
+
+    /// Per-node write-history ring capacity (default 64; `0` disables).
+    /// [`EagrSystem::attach`] replays this history into the window buffers
+    /// of writers the new query introduces mid-stream; a deeper ring makes
+    /// more attaches *exact* ([`crate::AttachReport::backfilled_writers`])
+    /// at the cost of `O(cap)` memory per written node.
+    pub fn history(mut self, cap: usize) -> Self {
+        self.config.history = cap;
         self
     }
 
@@ -168,141 +216,263 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     where
         A::Output: Send,
     {
-        let props = self.query.aggregate.props();
-        let pred = Arc::clone(&self.query.predicate);
-        let ag = BipartiteGraph::build(graph, &self.query.neighborhood, move |v| pred(v));
-
-        let (overlay, construction) = match &self.overlay_algorithm {
-            OverlayAlgorithm::Direct => (Overlay::direct_from_bipartite(&ag), Vec::new()),
-            OverlayAlgorithm::Vnm { chunk_size } => {
-                build_vnm(&ag, &VnmConfig::vnm(*chunk_size, props))
-            }
-            OverlayAlgorithm::Vnma => build_vnm(&ag, &VnmConfig::vnma(props)),
-            OverlayAlgorithm::Vnmn => build_vnm(&ag, &VnmConfig::vnmn(props)),
-            OverlayAlgorithm::Vnmd => build_vnm(&ag, &VnmConfig::vnmd(props)),
-            OverlayAlgorithm::Iob => build_iob(&ag, &IobConfig::default()),
-        };
-
-        let rates = self
-            .rates
-            .unwrap_or_else(|| Rates::uniform(graph.id_bound(), 1.0));
-        let cost = self
-            .cost
-            .unwrap_or_else(|| CostModel::from_aggregate(&self.query.aggregate));
-        // Window fill for the §4.2 cost model: explicit hint, or estimated
-        // from the window spec and the mean write rate. Landmark windows
-        // fill with the writer's whole history (rate × stream horizon) —
-        // pricing them as one value made pull plans look absurdly cheap
-        // for running aggregates.
-        let writer_window = self.writer_window.unwrap_or_else(|| {
-            let positive: Vec<f64> = rates.write.iter().copied().filter(|&w| w > 0.0).collect();
-            let mean_rate = if positive.is_empty() {
-                1.0
-            } else {
-                positive.iter().sum::<f64>() / positive.len() as f64
-            };
-            let interval = if mean_rate > 0.0 {
-                1.0 / mean_rate
-            } else {
-                1.0
-            };
-            self.query
-                .window
-                .expected_size(interval, self.stream_horizon)
-                .round()
-                .max(1.0) as usize
-        });
-        // Continuous queries must keep every result up to date: all push.
-        let algorithm = match self.query.mode {
-            QueryMode::Continuous => DecisionAlgorithm::AllPush,
-            QueryMode::QuasiContinuous => self.decision_algorithm,
-        };
-        let mut p = plan(
-            overlay,
-            &rates,
-            &cost,
-            &PlannerConfig {
-                algorithm,
-                split: self.split,
-                writer_window,
-                push_amplification: 2.0,
-            },
-        );
-        let runtime = match self.execution {
-            ExecutionMode::SingleThreaded => {
-                let core = EngineCore::new(
-                    self.query.aggregate.clone(),
-                    Arc::new(p.overlay.clone()),
-                    &p.decisions,
-                    self.query.window,
-                );
-                Runtime::Local(Arc::new(core))
-            }
-            ExecutionMode::TwoPool(cfg) => {
-                let core = Arc::new(EngineCore::new(
-                    self.query.aggregate.clone(),
-                    Arc::new(p.overlay.clone()),
-                    &p.decisions,
-                    self.query.window,
-                ));
-                let engine = ParallelEngine::new(Arc::clone(&core), cfg);
-                Runtime::TwoPool { core, engine }
-            }
-            ExecutionMode::Sharded { shards } => {
-                let cfg = ShardedConfig {
-                    rebalance: self.rebalance,
-                    ..ShardedConfig::with_shards(shards.max(1))
-                };
-                // The plan carries the partition so planner and engine
-                // agree on shard ownership; the planner scores hash, chunk,
-                // and edge-cut candidates by modeled cross-shard delta
-                // volume and keeps the cheapest.
-                p = p.with_auto_partition(cfg.shards);
-                let engine = ShardedEngine::from_plan(
-                    &p,
-                    self.query.aggregate.clone(),
-                    self.query.window,
-                    &cfg,
-                );
-                Runtime::Sharded(engine)
-            }
-        };
-        EagrSystem {
-            runtime,
-            plan: p,
-            bipartite: ag,
+        let SystemBuilder { query, config } = self;
+        let Compiled {
+            mut stratum,
+            plan,
+            bipartite,
             construction,
             cost,
             writer_window,
-            clock: AtomicU64::new(0),
+        } = compile_stratum(&config, &query, graph);
+
+        // Register the primary query (handle id 0) with the registry so
+        // the multi-query machinery — refcounts, handle-scoped reads,
+        // detach — treats it exactly like any attached query.
+        let mut readers: Vec<NodeId> = stratum.overlay.readers().map(|(_, v)| v).collect();
+        readers.sort_unstable();
+        let roots: Vec<OverlayId> = stratum.overlay.readers().map(|(id, _)| id).collect();
+        let used = used_subtree(&stratum.overlay, &roots);
+        stratum.refs.ensure_len(stratum.overlay.node_count());
+        stratum.refs.acquire(&used);
+        stratum.queries = 1;
+        let report = AttachReport {
+            shared_stratum: false,
+            fresh_paos: stratum.overlay.live_node_count(),
+            ..Default::default()
+        };
+
+        let mut registry = Registry::new();
+        registry.strata.push(Some(stratum));
+        registry.queries.insert(
+            0,
+            QueryEntry {
+                stratum: 0,
+                readers,
+                used,
+                report,
+            },
+        );
+
+        EagrSystem {
+            inner: Arc::new(SystemInner {
+                registry: RwLock::new(registry),
+                graph: graph.clone(),
+                history: Mutex::new(WriteHistory::new(config.history)),
+                clock: AtomicU64::new(0),
+                next_query: AtomicU64::new(1),
+                config,
+            }),
+            plan,
+            bipartite,
+            construction,
+            cost,
+            writer_window,
         }
     }
 }
 
-/// The engine a compiled system dispatches to, per [`ExecutionMode`].
-enum Runtime<A: Aggregate> {
-    /// Synchronous execution on the shared core.
-    Local(Arc<EngineCore<A>>),
-    /// Shared core + resident two-pool engine for batch ingestion.
-    TwoPool {
-        core: Arc<EngineCore<A>>,
-        engine: ParallelEngine<A>,
-    },
-    /// Shard-owned runtime (PAOs live in shard slabs inside the engine).
-    Sharded(ShardedEngine<A>),
-}
-
-/// A compiled, runnable EAGr instance.
-pub struct EagrSystem<A: Aggregate> {
-    runtime: Runtime<A>,
+/// A cold stratum compilation: the full paper pipeline (bipartite graph →
+/// overlay → plan → engine) plus the planner by-products the facade keeps
+/// as construction-time snapshots.
+struct Compiled<A: Aggregate> {
+    stratum: Stratum<A>,
     plan: Plan,
     bipartite: BipartiteGraph,
     construction: Vec<IterationStats>,
     cost: CostModel,
     writer_window: usize,
+}
+
+fn compile_stratum<A: Aggregate + Clone>(
+    cfg: &BuildConfig,
+    query: &EgoQuery<A>,
+    graph: &DataGraph,
+) -> Compiled<A>
+where
+    A::Output: Send,
+{
+    let props = query.aggregate.props();
+    let pred = Arc::clone(&query.predicate);
+    let ag = BipartiteGraph::build(graph, &query.neighborhood, move |v| pred(v));
+
+    let (overlay, construction) = match &cfg.overlay_algorithm {
+        OverlayAlgorithm::Direct => (Overlay::direct_from_bipartite(&ag), Vec::new()),
+        OverlayAlgorithm::Vnm { chunk_size } => build_vnm(&ag, &VnmConfig::vnm(*chunk_size, props)),
+        OverlayAlgorithm::Vnma => build_vnm(&ag, &VnmConfig::vnma(props)),
+        OverlayAlgorithm::Vnmn => build_vnm(&ag, &VnmConfig::vnmn(props)),
+        OverlayAlgorithm::Vnmd => build_vnm(&ag, &VnmConfig::vnmd(props)),
+        OverlayAlgorithm::Iob => build_iob(&ag, &IobConfig::default()),
+    };
+
+    let rates = cfg
+        .rates
+        .clone()
+        .unwrap_or_else(|| Rates::uniform(graph.id_bound(), 1.0));
+    let cost = cfg
+        .cost
+        .unwrap_or_else(|| CostModel::from_aggregate(&query.aggregate));
+    // Window fill for the §4.2 cost model: explicit hint, or estimated
+    // from the window spec and the mean write rate. Landmark windows
+    // fill with the writer's whole history (rate × stream horizon) —
+    // pricing them as one value made pull plans look absurdly cheap
+    // for running aggregates.
+    let writer_window = cfg.writer_window.unwrap_or_else(|| {
+        let positive: Vec<f64> = rates.write.iter().copied().filter(|&w| w > 0.0).collect();
+        let mean_rate = if positive.is_empty() {
+            1.0
+        } else {
+            positive.iter().sum::<f64>() / positive.len() as f64
+        };
+        let interval = if mean_rate > 0.0 {
+            1.0 / mean_rate
+        } else {
+            1.0
+        };
+        query
+            .window
+            .expected_size(interval, cfg.stream_horizon)
+            .round()
+            .max(1.0) as usize
+    });
+    // Continuous queries must keep every result up to date: all push.
+    let algorithm = match query.mode {
+        QueryMode::Continuous => DecisionAlgorithm::AllPush,
+        QueryMode::QuasiContinuous => cfg.decision_algorithm,
+    };
+    let mut p = plan(
+        overlay,
+        &rates,
+        &cost,
+        &PlannerConfig {
+            algorithm,
+            split: cfg.split,
+            writer_window,
+            push_amplification: 2.0,
+        },
+    );
+    let runtime = match cfg.execution {
+        ExecutionMode::SingleThreaded => {
+            let core = EngineCore::new(
+                query.aggregate.clone(),
+                Arc::new(p.overlay.clone()),
+                &p.decisions,
+                query.window,
+            );
+            Runtime::Local(Arc::new(core))
+        }
+        ExecutionMode::TwoPool(tp) => {
+            let core = Arc::new(EngineCore::new(
+                query.aggregate.clone(),
+                Arc::new(p.overlay.clone()),
+                &p.decisions,
+                query.window,
+            ));
+            let engine = ParallelEngine::new(Arc::clone(&core), tp);
+            Runtime::TwoPool { core, engine }
+        }
+        ExecutionMode::Sharded { shards } => {
+            let scfg = ShardedConfig {
+                rebalance: cfg.rebalance,
+                ..ShardedConfig::with_shards(shards.max(1))
+            };
+            // The plan carries the partition so planner and engine
+            // agree on shard ownership; the planner scores hash, chunk,
+            // and edge-cut candidates by modeled cross-shard delta
+            // volume and keeps the cheapest.
+            p = p.with_auto_partition(scfg.shards);
+            let engine = ShardedEngine::from_plan(&p, query.aggregate.clone(), query.window, &scfg);
+            Runtime::Sharded(Arc::new(engine))
+        }
+    };
+    Compiled {
+        stratum: Stratum {
+            agg: query.aggregate.clone(),
+            window: query.window,
+            neighborhood: query.neighborhood.clone(),
+            overlay: p.overlay.clone(),
+            decisions: p.decisions.clone(),
+            runtime,
+            refs: RefCounts::new(),
+            queries: 0,
+        },
+        plan: p,
+        bipartite: ag,
+        construction,
+        cost,
+        writer_window,
+    }
+}
+
+/// Rebuild a stratum's runtime over a grown (or shrunk) overlay. Unlike
+/// [`compile_stratum`] this re-freezes an overlay that was extended in
+/// place — no planner run, no partition carry: decisions were extended
+/// incrementally ([`extend_decisions`]) and the sharded engine re-derives
+/// an edge-cut partition from the new push topology.
+fn rebuild_runtime<A: Aggregate + Clone>(
+    cfg: &BuildConfig,
+    agg: &A,
+    overlay: Arc<Overlay>,
+    decisions: &Decisions,
+    window: WindowSpec,
+) -> Runtime<A>
+where
+    A::Output: Send,
+{
+    match cfg.execution {
+        ExecutionMode::SingleThreaded => Runtime::Local(Arc::new(EngineCore::new(
+            agg.clone(),
+            overlay,
+            decisions,
+            window,
+        ))),
+        ExecutionMode::TwoPool(tp) => {
+            let core = Arc::new(EngineCore::new(agg.clone(), overlay, decisions, window));
+            let engine = ParallelEngine::new(Arc::clone(&core), tp);
+            Runtime::TwoPool { core, engine }
+        }
+        ExecutionMode::Sharded { shards } => {
+            let scfg = ShardedConfig {
+                rebalance: cfg.rebalance,
+                strategy: PartitionStrategy::EdgeCut,
+                ..ShardedConfig::with_shards(shards.max(1))
+            };
+            Runtime::Sharded(Arc::new(ShardedEngine::new(
+                agg.clone(),
+                overlay,
+                decisions,
+                window,
+                &scfg,
+            )))
+        }
+    }
+}
+
+/// Shared mutable state behind an [`EagrSystem`] and every
+/// [`QueryHandle`] cloned off it.
+///
+/// Lock order: `registry` before `history` — every path that takes both
+/// takes the registry lock first.
+pub(crate) struct SystemInner<A: Aggregate> {
+    pub(crate) registry: RwLock<Registry<A>>,
+    pub(crate) graph: DataGraph,
+    pub(crate) history: Mutex<WriteHistory>,
     /// Timestamp source for [`EagrSystem::ingest`]: events are stamped
     /// with consecutive stream positions across calls.
-    clock: AtomicU64,
+    pub(crate) clock: AtomicU64,
+    pub(crate) next_query: AtomicU64,
+    pub(crate) config: BuildConfig,
+}
+
+/// A compiled, runnable EAGr instance serving one or more registered
+/// queries (see [`attach`](EagrSystem::attach)).
+pub struct EagrSystem<A: Aggregate> {
+    inner: Arc<SystemInner<A>>,
+    plan: Plan,
+    bipartite: BipartiteGraph,
+    construction: Vec<IterationStats>,
+    cost: CostModel,
+    writer_window: usize,
 }
 
 /// Structural summary of a compiled system.
@@ -327,6 +497,97 @@ pub struct SystemStats {
     pub modeled_cost: f64,
 }
 
+/// A live handle on one registered query (see [`EagrSystem::attach`]).
+///
+/// Reads are *handle-scoped*: [`read`](Self::read) answers only for data
+/// nodes this query's predicate selected, even when the underlying stratum
+/// serves other queries with wider reader sets. Handles are cheap to clone
+/// (an `Arc` + id) and stay valid — but answer `None` — after
+/// [`detach`](EagrSystem::detach).
+pub struct QueryHandle<A: Aggregate> {
+    inner: Arc<SystemInner<A>>,
+    id: u64,
+}
+
+impl<A: Aggregate> Clone for QueryHandle<A> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            id: self.id,
+        }
+    }
+}
+
+impl<A: Aggregate> std::fmt::Debug for QueryHandle<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("id", &self.id)
+            .field("attached", &self.is_attached())
+            .finish()
+    }
+}
+
+impl<A: Aggregate> QueryHandle<A> {
+    /// The registry id of this query (`0` is the primary build query).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the query is still registered (false after detach).
+    pub fn is_attached(&self) -> bool {
+        self.inner
+            .registry
+            .read()
+            .unwrap()
+            .queries
+            .contains_key(&self.id)
+    }
+
+    /// What attaching this query reused vs. materialized (`None` once
+    /// detached).
+    pub fn attach_report(&self) -> Option<AttachReport> {
+        self.inner
+            .registry
+            .read()
+            .unwrap()
+            .queries
+            .get(&self.id)
+            .map(|e| e.report)
+    }
+
+    /// Evaluate this query at `v`. `None` when `v` is outside the query's
+    /// reader set or the handle is detached. Epoch-consistent in sharded
+    /// mode (routed through the shard inboxes, same as
+    /// [`EagrSystem::read`]).
+    pub fn read(&self, v: NodeId) -> Option<A::Output> {
+        let reg = self.inner.registry.read().unwrap();
+        let entry = reg.queries.get(&self.id)?;
+        entry.readers.binary_search(&v).ok()?;
+        let st = reg.strata[entry.stratum].as_ref()?;
+        st.runtime.read(v)
+    }
+
+    /// Evaluate this query at a batch of nodes; result `i` answers
+    /// `nodes[i]` (`None` outside the query's reader set, everywhere when
+    /// detached).
+    pub fn read_batch(&self, nodes: &[NodeId]) -> Vec<Option<A::Output>> {
+        let reg = self.inner.registry.read().unwrap();
+        let Some(entry) = reg.queries.get(&self.id) else {
+            return vec![None; nodes.len()];
+        };
+        let Some(st) = reg.strata[entry.stratum].as_ref() else {
+            return vec![None; nodes.len()];
+        };
+        let mut out = st.runtime.read_batch(nodes);
+        for (i, v) in nodes.iter().enumerate() {
+            if entry.readers.binary_search(v).is_err() {
+                out[i] = None;
+            }
+        }
+        out
+    }
+}
+
 impl<A: Aggregate> EagrSystem<A> {
     /// Start building a system for a query.
     pub fn builder(query: EgoQuery<A>) -> SystemBuilder<A>
@@ -336,7 +597,280 @@ impl<A: Aggregate> EagrSystem<A> {
         SystemBuilder::new(query)
     }
 
-    /// Apply a content update (a *write* on `v`).
+    /// A handle on the primary query the system was built with (id 0) —
+    /// the same handle-scoped read surface attached queries get.
+    pub fn handle(&self) -> QueryHandle<A> {
+        QueryHandle {
+            inner: Arc::clone(&self.inner),
+            id: 0,
+        }
+    }
+
+    /// Register an additional query against the *running* system.
+    ///
+    /// The new query's plan is diffed against the live overlay state. When
+    /// a compatible **stratum** exists — same window spec, same
+    /// neighborhood shape (filtered neighborhoods compare by filter
+    /// pointer identity) — the overlay is extended *in place*: existing
+    /// readers, writers, and partial aggregation nodes are reused with
+    /// their already-materialized PAOs and window buffers (§3's
+    /// aggregation sharing, exercised at runtime), and only the delta is
+    /// materialized. Otherwise a cold stratum is compiled through the full
+    /// planner pipeline. Either way, writers the query introduces
+    /// mid-stream are backfilled from the bounded write-history ring
+    /// ([`SystemBuilder::history`]).
+    ///
+    /// The returned [`QueryHandle`] scopes reads to this query's reader
+    /// set; [`QueryHandle::attach_report`] says what was reused. Shared
+    /// ingestion ([`ingest`](Self::ingest) / [`write`](Self::write)) feeds
+    /// every registered query.
+    ///
+    /// Caveat: stratum compatibility does not inspect the aggregate
+    /// *instance* — a query joining a warm stratum is served by that
+    /// stratum's aggregate (e.g. attaching `TopK::new(10)` onto a
+    /// `TopK::new(5)` stratum answers with the stratum's `k = 5`). Use a
+    /// distinct window or neighborhood to force a separate stratum when
+    /// parameterized aggregates differ.
+    pub fn attach(&self, query: EgoQuery<A>) -> QueryHandle<A>
+    where
+        A: Clone,
+        A::Output: Send,
+    {
+        let id = self.inner.next_query.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.clock.load(Ordering::Relaxed);
+        let mut reg = self.inner.registry.write().unwrap();
+
+        // The query's reader set and per-reader input lists — the same
+        // shape `BipartiteGraph::build` produces for a cold compile.
+        let mut wants: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+        for v in self.inner.graph.nodes() {
+            if !(query.predicate)(v) {
+                continue;
+            }
+            let mut list = query.neighborhood.select(&self.inner.graph, v);
+            if list.is_empty() {
+                continue;
+            }
+            list.sort_unstable();
+            list.dedup();
+            wants.push((v, list));
+        }
+        let mut readers: Vec<NodeId> = wants.iter().map(|&(r, _)| r).collect();
+        readers.sort_unstable();
+
+        let (si, mut report) = match reg.find_compatible(query.window, &query.neighborhood) {
+            Some(si) => {
+                let st = reg.strata[si].as_mut().expect("compatible stratum is live");
+                // Quiesce so the exported state is epoch-consistent.
+                st.runtime.quiesce();
+                let outcome = extend_with_readers(&mut st.overlay, &wants);
+                let mut fresh: Vec<OverlayId> = outcome
+                    .new_writers
+                    .iter()
+                    .chain(&outcome.new_readers)
+                    .copied()
+                    .collect();
+                fresh.sort_unstable();
+                let (decisions, upgraded) = extend_decisions(&st.overlay, &st.decisions, &fresh);
+                st.decisions = decisions;
+
+                // Fresh writers answer over history they never saw live.
+                let mut backfill: Vec<(OverlayId, WindowBuffer)> = Vec::new();
+                let (mut backfilled, mut cold) = (0usize, 0usize);
+                {
+                    let history = self.inner.history.lock().unwrap();
+                    for &wid in &outcome.new_writers {
+                        let OverlayKind::Writer(w) = st.overlay.kind(wid) else {
+                            continue;
+                        };
+                        let (buf, exact) = history.backfill(w, st.window, now);
+                        if exact {
+                            backfilled += 1;
+                        } else {
+                            cold += 1;
+                        }
+                        if !buf.is_empty() {
+                            backfill.push((wid, buf));
+                        }
+                    }
+                }
+
+                // Carry warm state across the rebuild by index (overlay
+                // ids are append-only stable under extension), then
+                // materialize only the delta.
+                let carried = st.runtime.export_state();
+                let runtime = rebuild_runtime(
+                    &self.inner.config,
+                    &st.agg,
+                    Arc::new(st.overlay.clone()),
+                    &st.decisions,
+                    st.window,
+                );
+                let fresh_push: FastSet<OverlayId> =
+                    fresh.iter().chain(&upgraded).copied().collect();
+                runtime.seed(Some(&carried), &backfill, &fresh_push);
+                st.runtime = runtime;
+                st.refs.ensure_len(st.overlay.node_count());
+                (
+                    si,
+                    AttachReport {
+                        shared_stratum: true,
+                        fresh_paos: fresh.len(),
+                        reused_paos: 0, // filled from the used subtree below
+                        reused_partials: outcome.reused_partials,
+                        upgraded: upgraded.len(),
+                        backfilled_writers: backfilled,
+                        cold_writers: cold,
+                    },
+                )
+            }
+            None => {
+                let compiled = compile_stratum(&self.inner.config, &query, &self.inner.graph);
+                let st = compiled.stratum;
+                // A cold stratum starts mid-stream: backfill *every*
+                // writer from history, then materialize the whole push
+                // region in topological order.
+                let mut backfill: Vec<(OverlayId, WindowBuffer)> = Vec::new();
+                let (mut backfilled, mut cold) = (0usize, 0usize);
+                {
+                    let history = self.inner.history.lock().unwrap();
+                    for (wid, w) in st.overlay.writers() {
+                        let (buf, exact) = history.backfill(w, st.window, now);
+                        if exact {
+                            backfilled += 1;
+                        } else {
+                            cold += 1;
+                        }
+                        if !buf.is_empty() {
+                            backfill.push((wid, buf));
+                        }
+                    }
+                }
+                let fresh_push: FastSet<OverlayId> = st.overlay.ids().collect();
+                st.runtime.seed(None, &backfill, &fresh_push);
+                let fresh_count = st.overlay.live_node_count();
+                let si = match reg.strata.iter().position(Option::is_none) {
+                    Some(slot) => {
+                        reg.strata[slot] = Some(st);
+                        slot
+                    }
+                    None => {
+                        reg.strata.push(Some(st));
+                        reg.strata.len() - 1
+                    }
+                };
+                (
+                    si,
+                    AttachReport {
+                        shared_stratum: false,
+                        fresh_paos: fresh_count,
+                        backfilled_writers: backfilled,
+                        cold_writers: cold,
+                        ..Default::default()
+                    },
+                )
+            }
+        };
+
+        // Common registration: acquire references on the query's
+        // transitive input closure so detach of *other* queries can never
+        // retire anything this one reads.
+        let st = reg.strata[si].as_mut().expect("target stratum is live");
+        let roots: Vec<OverlayId> = readers
+            .iter()
+            .filter_map(|&r| st.overlay.reader(r))
+            .collect();
+        let used = used_subtree(&st.overlay, &roots);
+        st.refs.ensure_len(st.overlay.node_count());
+        st.refs.acquire(&used);
+        st.queries += 1;
+        report.reused_paos = used
+            .len()
+            .saturating_sub(report.fresh_paos + report.upgraded);
+        reg.queries.insert(
+            id,
+            QueryEntry {
+                stratum: si,
+                readers,
+                used,
+                report,
+            },
+        );
+        QueryHandle {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
+    }
+
+    /// Deregister a query. Reference-counted: overlay nodes (and their
+    /// PAOs) shared with remaining queries stay untouched; nodes only this
+    /// query read are retired and the stratum's runtime is rebuilt around
+    /// the survivors (warm state carried by index). Dropping the last
+    /// query of a stratum tears the whole stratum down.
+    ///
+    /// Detaching an already-detached handle is a no-op returning a default
+    /// (all-zero) report.
+    pub fn detach(&self, handle: QueryHandle<A>) -> DetachReport
+    where
+        A: Clone,
+        A::Output: Send,
+    {
+        let mut reg = self.inner.registry.write().unwrap();
+        let Some(entry) = reg.queries.remove(&handle.id) else {
+            return DetachReport::default();
+        };
+        let si = entry.stratum;
+        let st = reg.strata[si].as_mut().expect("entry's stratum is live");
+        st.queries -= 1;
+        let zeroed = st.refs.release(&entry.used);
+        if st.queries == 0 {
+            let retired = st.overlay.live_node_count();
+            reg.strata[si] = None; // drops overlay + engine
+            return DetachReport {
+                retired_paos: retired,
+                retained_paos: 0,
+                stratum_dropped: true,
+            };
+        }
+        if zeroed.is_empty() {
+            return DetachReport {
+                retired_paos: 0,
+                retained_paos: entry.used.len(),
+                stratum_dropped: false,
+            };
+        }
+        // Safe to retire: every remaining query holds a reference on every
+        // node of its own used subtree, so a zero-count node is upstream
+        // of no surviving reader.
+        st.runtime.quiesce();
+        let carried = st.runtime.export_state();
+        for &n in &zeroed {
+            st.overlay.retire_node(n);
+        }
+        let runtime = rebuild_runtime(
+            &self.inner.config,
+            &st.agg,
+            Arc::new(st.overlay.clone()),
+            &st.decisions,
+            st.window,
+        );
+        runtime.seed(Some(&carried), &[], &FastSet::default());
+        st.runtime = runtime;
+        DetachReport {
+            retired_paos: zeroed.len(),
+            retained_paos: entry.used.len() - zeroed.len(),
+            stratum_dropped: false,
+        }
+    }
+
+    /// Registry-level summary: live strata, attached queries, live overlay
+    /// nodes across strata.
+    pub fn registry_stats(&self) -> RegistryStats {
+        self.inner.registry.read().unwrap().stats()
+    }
+
+    /// Apply a content update (a *write* on `v`) — fans out to **every**
+    /// registered query's stratum.
     ///
     /// Synchronous in the local modes; in [`ExecutionMode::Sharded`] the
     /// write is routed to its owning shard and drained (one single-event
@@ -347,18 +881,26 @@ impl<A: Aggregate> EagrSystem<A> {
         // Keep the ingest clock ahead of explicitly timestamped point
         // writes (same guard as `apply_batch`): a later `ingest` must
         // never re-issue `ts` or stamp events before it.
-        self.clock.fetch_max(ts + 1, Ordering::Relaxed);
-        match &self.runtime {
-            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.write(v, value, ts),
-            Runtime::Sharded(eng) => {
-                eng.submit_write(v, value, ts);
-                eng.drain();
-                0
+        self.inner.clock.fetch_max(ts + 1, Ordering::Relaxed);
+        let reg = self.inner.registry.read().unwrap();
+        self.inner.history.lock().unwrap().record(v, value, ts);
+        let mut applied = 0;
+        for st in reg.live() {
+            match &st.runtime {
+                Runtime::Local(core) | Runtime::TwoPool { core, .. } => {
+                    applied += core.write(v, value, ts);
+                }
+                Runtime::Sharded(eng) => {
+                    eng.submit_write(v, value, ts);
+                    eng.drain();
+                }
             }
         }
+        applied
     }
 
-    /// Evaluate the query at `v` (a *read* on `v`).
+    /// Evaluate the primary query at `v` (a *read* on `v`). For attached
+    /// queries, read through their [`QueryHandle`] instead.
     ///
     /// Synchronous on the shared core in the local modes. In
     /// [`ExecutionMode::Sharded`] the read is routed to the shard worker
@@ -371,14 +913,12 @@ impl<A: Aggregate> EagrSystem<A> {
     /// [`read_relaxed`](Self::read_relaxed) for cheap polling that
     /// tolerates mid-epoch state.
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
-        match &self.runtime {
-            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.read(v),
-            Runtime::Sharded(eng) => eng.read_service(v),
-        }
+        let reg = self.inner.registry.read().unwrap();
+        reg.primary().and_then(|st| st.runtime.read(v))
     }
 
-    /// Evaluate the query at `v` without consistency guarantees: identical
-    /// to [`read`](Self::read) in the local modes, but in
+    /// Evaluate the primary query at `v` without consistency guarantees:
+    /// identical to [`read`](Self::read) in the local modes, but in
     /// [`ExecutionMode::Sharded`] it evaluates on the calling thread
     /// through the slab read locks ([`ShardedEngine::read`]) — no epoch
     /// gate, no drain, no pause of concurrent ingestion. Between epochs it
@@ -386,14 +926,17 @@ impl<A: Aggregate> EagrSystem<A> {
     /// the paper accepts); after a drain it equals [`read`](Self::read).
     /// The right choice for hot polling loops and monitoring probes.
     pub fn read_relaxed(&self, v: NodeId) -> Option<A::Output> {
-        match &self.runtime {
+        let reg = self.inner.registry.read().unwrap();
+        let st = reg.primary()?;
+        match &st.runtime {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.read(v),
             Runtime::Sharded(eng) => eng.read(v),
         }
     }
 
-    /// Evaluate a batch of reads; result `i` answers the query at
-    /// `nodes[i]` (`None` when the node has no reader).
+    /// Evaluate a batch of reads against the primary query; result `i`
+    /// answers the query at `nodes[i]` (`None` when the node has no
+    /// reader).
     ///
     /// Mode-aware routing: the local modes evaluate synchronously on the
     /// shared core; [`ExecutionMode::Sharded`] fans the batch out to the
@@ -402,15 +945,15 @@ impl<A: Aggregate> EagrSystem<A> {
     /// the worker's own slab — epoch-consistent even under concurrent
     /// ingestion.
     pub fn read_batch(&self, nodes: &[NodeId]) -> Vec<Option<A::Output>> {
-        match &self.runtime {
-            Runtime::Local(core) | Runtime::TwoPool { core, .. } => {
-                nodes.iter().map(|&v| core.read(v)).collect()
-            }
-            Runtime::Sharded(eng) => eng.read_batch(nodes),
+        let reg = self.inner.registry.read().unwrap();
+        match reg.primary() {
+            Some(st) => st.runtime.read_batch(nodes),
+            None => vec![None; nodes.len()],
         }
     }
 
-    /// Expire time-window values. Returns PAO updates performed.
+    /// Expire time-window values across **every** registered query's
+    /// stratum. Returns PAO updates performed, summed across strata.
     ///
     /// In [`ExecutionMode::Sharded`] the sweep is routed through the shard
     /// inboxes — each owning worker expires its own writers' windows — and
@@ -419,20 +962,24 @@ impl<A: Aggregate> EagrSystem<A> {
     /// returned count then covers everything applied while the sweep
     /// drained, including concurrently ingested writes.
     pub fn advance_time(&self, ts: u64) -> usize {
-        match &self.runtime {
-            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.advance_time(ts),
-            Runtime::Sharded(eng) => eng.advance_time_epoch(ts) as usize,
-        }
+        let reg = self.inner.registry.read().unwrap();
+        reg.live()
+            .map(|st| match &st.runtime {
+                Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.advance_time(ts),
+                Runtime::Sharded(eng) => eng.advance_time_epoch(ts) as usize,
+            })
+            .sum()
     }
 
     /// Apply one timestamped batch through the mode's batch path and wait
-    /// for it to be fully applied; returns `(writes, reads)` executed.
+    /// for it to be fully applied; returns an [`IngestReport`] of events
+    /// executed (each event counted once, however many queries it feeds).
     ///
     /// * single-threaded — synchronous replay;
     /// * two-pool — writes become queued micro-tasks, fire-and-forget
     ///   reads go to the read pool, then the pools are drained;
     /// * sharded — one ingestion epoch ([`ShardedEngine::ingest_epoch`]).
-    pub fn write_batch(&self, batch: &EventBatch) -> (usize, usize)
+    pub fn write_batch(&self, batch: &EventBatch) -> IngestReport
     where
         A::Output: Send,
     {
@@ -441,69 +988,84 @@ impl<A: Aggregate> EagrSystem<A> {
 
     /// Ingest a run of events through the mode's batch path, stamping them
     /// with consecutive stream positions (continuing across calls);
-    /// returns `(writes, reads)` executed. Equivalent to
+    /// returns an [`IngestReport`]. Equivalent to
     /// [`write_batch`](Self::write_batch) with an automatic base
-    /// timestamp.
-    pub fn ingest(&self, events: &[Event]) -> (usize, usize)
+    /// timestamp. The shared stream feeds every registered query.
+    pub fn ingest(&self, events: &[Event]) -> IngestReport
     where
         A::Output: Send,
     {
-        let base_ts = self.clock.fetch_add(events.len() as u64, Ordering::Relaxed);
+        let base_ts = self
+            .inner
+            .clock
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
         self.apply_batch(events, base_ts)
     }
 
     /// The shared borrowing batch path behind [`write_batch`](Self::write_batch)
     /// and [`ingest`](Self::ingest); event `i` carries `base_ts + i`.
-    fn apply_batch(&self, events: &[Event], base_ts: u64) -> (usize, usize)
+    fn apply_batch(&self, events: &[Event], base_ts: u64) -> IngestReport
     where
         A::Output: Send,
     {
         // Keep the ingest clock ahead of explicitly timestamped batches so
         // mixed use of write_batch and ingest stays monotonic.
-        self.clock
+        self.inner
+            .clock
             .fetch_max(base_ts + events.len() as u64, Ordering::Relaxed);
-        match &self.runtime {
-            Runtime::Local(core) => {
-                let mut writes = 0;
-                let mut reads = 0;
-                for (i, e) in events.iter().enumerate() {
-                    match *e {
-                        Event::Write { node, value } => {
-                            core.write(node, value, base_ts + i as u64);
-                            writes += 1;
-                        }
-                        Event::Read { node } => {
-                            std::hint::black_box(core.read(node));
-                            reads += 1;
-                        }
-                    }
+        let reg = self.inner.registry.read().unwrap();
+        {
+            let mut history = self.inner.history.lock().unwrap();
+            for (i, e) in events.iter().enumerate() {
+                if let Event::Write { node, value } = *e {
+                    history.record(node, value, base_ts + i as u64);
                 }
-                (writes, reads)
             }
-            Runtime::TwoPool { engine, .. } => {
-                let mut writes = 0;
-                let mut reads = 0;
-                for (i, e) in events.iter().enumerate() {
-                    match *e {
-                        Event::Write { node, value } => {
-                            engine.submit_write(node, value, base_ts + i as u64);
-                            writes += 1;
-                        }
-                        Event::Read { node } => {
-                            engine.submit_read(node);
-                            reads += 1;
-                        }
-                    }
-                }
-                engine.drain();
-                (writes, reads)
-            }
-            Runtime::Sharded(eng) => eng.ingest_epoch_at(events, base_ts),
         }
+        let mut report = IngestReport::default();
+        for e in events {
+            match e {
+                Event::Write { .. } => report.writes += 1,
+                Event::Read { .. } => report.reads += 1,
+            }
+        }
+        for st in reg.live() {
+            match &st.runtime {
+                Runtime::Local(core) => {
+                    for (i, e) in events.iter().enumerate() {
+                        match *e {
+                            Event::Write { node, value } => {
+                                core.write(node, value, base_ts + i as u64);
+                            }
+                            Event::Read { node } => {
+                                std::hint::black_box(core.read(node));
+                            }
+                        }
+                    }
+                }
+                Runtime::TwoPool { engine, .. } => {
+                    for (i, e) in events.iter().enumerate() {
+                        match *e {
+                            Event::Write { node, value } => {
+                                engine.submit_write(node, value, base_ts + i as u64);
+                            }
+                            Event::Read { node } => {
+                                engine.submit_read(node);
+                            }
+                        }
+                    }
+                    engine.drain();
+                }
+                Runtime::Sharded(eng) => {
+                    let _ = eng.ingest_epoch_at(events, base_ts);
+                }
+            }
+        }
+        report
     }
 
-    /// Apply a generated event stream; returns (writes, reads) executed.
-    pub fn run_events(&self, events: &[Event]) -> (usize, usize)
+    /// Apply a generated event stream; returns an [`IngestReport`].
+    pub fn run_events(&self, events: &[Event]) -> IngestReport
     where
         A::Output: Send,
     {
@@ -513,28 +1075,32 @@ impl<A: Aggregate> EagrSystem<A> {
     /// Current stream position of the [`ingest`](Self::ingest) clock: the
     /// timestamp the next auto-stamped event will receive.
     pub fn stream_position(&self) -> u64 {
-        self.clock.load(Ordering::Relaxed)
+        self.inner.clock.load(Ordering::Relaxed)
     }
 
-    /// The shared engine core (for parallel or adaptive execution).
+    /// The primary stratum's shared engine core (for parallel or adaptive
+    /// execution).
     ///
     /// # Panics
     /// Panics in [`ExecutionMode::Sharded`], where PAO state lives in
     /// shard slabs — use [`sharded_engine`](Self::sharded_engine) instead.
-    pub fn core(&self) -> &Arc<EngineCore<A>> {
-        match &self.runtime {
-            Runtime::Local(core) | Runtime::TwoPool { core, .. } => core,
+    pub fn core(&self) -> Arc<EngineCore<A>> {
+        let reg = self.inner.registry.read().unwrap();
+        let st = reg.primary().expect("no live stratum");
+        match &st.runtime {
+            Runtime::Local(core) | Runtime::TwoPool { core, .. } => Arc::clone(core),
             Runtime::Sharded(_) => {
                 panic!("core() requires a local execution mode; use sharded_engine()")
             }
         }
     }
 
-    /// The resident sharded engine, when built with
+    /// The primary stratum's resident sharded engine, when built with
     /// [`ExecutionMode::Sharded`].
-    pub fn sharded_engine(&self) -> Option<&ShardedEngine<A>> {
-        match &self.runtime {
-            Runtime::Sharded(eng) => Some(eng),
+    pub fn sharded_engine(&self) -> Option<Arc<ShardedEngine<A>>> {
+        let reg = self.inner.registry.read().unwrap();
+        match &reg.primary()?.runtime {
+            Runtime::Sharded(eng) => Some(Arc::clone(eng)),
             _ => None,
         }
     }
@@ -554,31 +1120,29 @@ impl<A: Aggregate> EagrSystem<A> {
     where
         A::Output: Send,
     {
-        ParallelEngine::new(Arc::clone(self.core()), cfg)
+        ParallelEngine::new(self.core(), cfg)
     }
 
     /// Wrap the engine with §4.8 runtime adaptation (local modes only; see
     /// [`core`](Self::core)).
     pub fn adaptive(&self, check_every: u64) -> AdaptiveEngine<A> {
-        AdaptiveEngine::new(
-            Arc::clone(self.core()),
-            self.cost,
-            self.writer_window,
-            check_every,
-        )
+        AdaptiveEngine::new(self.core(), self.cost, self.writer_window, check_every)
     }
 
-    /// The compiled overlay.
+    /// The overlay the primary query compiled to (a construction-time
+    /// snapshot: live attach/detach extends the registry's copy, not
+    /// this one — see [`registry_stats`](Self::registry_stats)).
     pub fn overlay(&self) -> &Overlay {
         &self.plan.overlay
     }
 
-    /// The dataflow plan.
+    /// The primary query's dataflow plan (construction-time snapshot).
     pub fn plan(&self) -> &Plan {
         &self.plan
     }
 
-    /// The bipartite writer/reader graph the overlay was compiled from.
+    /// The bipartite writer/reader graph the primary overlay was compiled
+    /// from.
     pub fn bipartite(&self) -> &BipartiteGraph {
         &self.bipartite
     }
@@ -588,7 +1152,7 @@ impl<A: Aggregate> EagrSystem<A> {
         &self.construction
     }
 
-    /// Structural summary.
+    /// Structural summary of the primary build.
     pub fn stats(&self) -> SystemStats {
         SystemStats {
             bipartite_edges: self.bipartite.edge_count(),
@@ -820,8 +1384,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        let (w, r) = sys.ingest(&events);
-        assert_eq!(w + r, 2000);
+        let report = sys.ingest(&events);
+        assert_eq!(report.total(), 2000);
         // Point ops remain synchronous on the shared core.
         sys.write(NodeId(0), 5, 1_000_000);
         let _ = sys.read(NodeId(1));
@@ -963,7 +1527,178 @@ mod tests {
                 ..Default::default()
             },
         );
-        let (w, r) = sys.run_events(&events);
-        assert_eq!(w + r, 1000);
+        let report = sys.run_events(&events);
+        assert_eq!(report.writes + report.reads, 1000);
+    }
+
+    // --- multi-query registry ------------------------------------------
+
+    #[test]
+    fn builder_debug_prints_window_state() {
+        let b = EagrSystem::builder(EgoQuery::new(Sum).window(WindowSpec::Time(30)));
+        let s = format!("{b:?}");
+        assert!(s.contains("Time(30)"), "{s}");
+        assert!(s.contains("SystemBuilder"), "{s}");
+    }
+
+    #[test]
+    fn attach_overlapping_query_shares_stratum_and_reuses_paos() {
+        let g = social_graph(150, 4, 21);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        let events = generate_events(
+            150,
+            &WorkloadConfig {
+                events: 2000,
+                write_to_read: 1e9,
+                seed: 22,
+                ..Default::default()
+            },
+        );
+        sys.ingest(&events);
+        // Same window + neighborhood, narrower predicate: total overlap.
+        let h = sys.attach(EgoQuery::new(Sum).filter(|v| v.0 < 50));
+        let report = h.attach_report().expect("attached");
+        assert!(report.shared_stratum, "{report:?}");
+        assert_eq!(report.fresh_paos, 0, "total overlap needs nothing new");
+        assert!(report.reused_paos > 0, "{report:?}");
+        assert!(report.reuse_fraction() > 0.99, "{report:?}");
+        let stats = sys.registry_stats();
+        assert_eq!(stats.strata, 1);
+        assert_eq!(stats.queries, 2);
+        // Handle-scoped: in-set nodes answer like the primary, out-of-set
+        // nodes answer None even though the stratum has their readers.
+        for v in 0..150u32 {
+            let got = h.read(NodeId(v));
+            if v < 50 {
+                assert_eq!(got, sys.read(NodeId(v)), "node {v}");
+            } else {
+                assert_eq!(got, None, "node {v} outside the query's readers");
+            }
+        }
+    }
+
+    #[test]
+    fn attach_incompatible_window_compiles_cold_stratum() {
+        let g = social_graph(100, 3, 23);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        let h = sys.attach(EgoQuery::new(Sum).window(WindowSpec::Time(40)));
+        let report = h.attach_report().expect("attached");
+        assert!(!report.shared_stratum);
+        assert!(report.fresh_paos > 0);
+        assert_eq!(report.reused_paos, 0);
+        assert_eq!(sys.registry_stats().strata, 2);
+        let d = sys.detach(h);
+        assert!(d.stratum_dropped);
+        assert_eq!(sys.registry_stats().strata, 1);
+    }
+
+    #[test]
+    fn detach_keeps_shared_state_for_remaining_queries() {
+        let g = social_graph(120, 4, 25);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        let events = generate_events(
+            120,
+            &WorkloadConfig {
+                events: 1500,
+                write_to_read: 1e9,
+                seed: 26,
+                ..Default::default()
+            },
+        );
+        sys.ingest(&events);
+        let h = sys.attach(EgoQuery::new(Sum).filter(|v| v.0 < 40));
+        let before: Vec<_> = (0..120u32).map(|v| sys.read(NodeId(v))).collect();
+        let d = sys.detach(h.clone());
+        assert!(!d.stratum_dropped, "primary query still lives here");
+        assert!(!h.is_attached());
+        assert_eq!(h.read(NodeId(3)), None, "detached handle answers None");
+        // The primary query's answers are untouched by the detach.
+        for v in 0..120u32 {
+            assert_eq!(sys.read(NodeId(v)), before[v as usize], "node {v}");
+        }
+        // Detach twice is a harmless no-op.
+        assert_eq!(sys.detach(h), DetachReport::default());
+    }
+
+    #[test]
+    fn attached_query_tracks_shared_ingest() {
+        let g = social_graph(90, 3, 27);
+        for mode in [
+            ExecutionMode::SingleThreaded,
+            ExecutionMode::Sharded { shards: 3 },
+        ] {
+            let sys = EagrSystem::builder(EgoQuery::new(Sum))
+                .execution(mode)
+                .build(&g);
+            let h = sys.attach(EgoQuery::new(Sum).filter(|v| v.0 % 2 == 0));
+            let events = generate_events(
+                90,
+                &WorkloadConfig {
+                    events: 1200,
+                    write_to_read: 1e9,
+                    seed: 28,
+                    ..Default::default()
+                },
+            );
+            sys.ingest(&events);
+            // Post-attach ingest feeds both queries; where both answer,
+            // the shared stratum must answer identically.
+            for v in (0..90u32).step_by(2) {
+                assert_eq!(h.read(NodeId(v)), sys.read(NodeId(v)), "{mode:?} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn attach_backfills_fresh_writers_from_history() {
+        // Primary query only reads node 0's neighborhood; the attached
+        // query reads everyone, so most writers are fresh at attach time
+        // and must be reconstructed from the write-history ring.
+        let g = social_graph(60, 3, 29);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum).filter(|v| v.0 == 0)).build(&g);
+        let events = generate_events(
+            60,
+            &WorkloadConfig {
+                events: 900,
+                write_to_read: 1e9,
+                seed: 30,
+                ..Default::default()
+            },
+        );
+        sys.ingest(&events);
+        let h = sys.attach(EgoQuery::new(Sum));
+        let report = h.attach_report().expect("attached");
+        assert!(report.shared_stratum);
+        assert!(report.backfilled_writers > 0, "{report:?}");
+        assert_eq!(report.cold_writers, 0, "Tuple(1) backfill is exact");
+        // Reference: a cold system replaying the same stream.
+        let reference = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        reference.ingest(&events);
+        for v in 0..60u32 {
+            assert_eq!(h.read(NodeId(v)), reference.read(NodeId(v)), "node {v}");
+        }
+    }
+
+    #[test]
+    fn query_handle_read_batch_scopes_to_reader_set() {
+        let g = social_graph(70, 3, 33);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        let events = generate_events(
+            70,
+            &WorkloadConfig {
+                events: 800,
+                write_to_read: 1e9,
+                seed: 34,
+                ..Default::default()
+            },
+        );
+        sys.ingest(&events);
+        let h = sys.attach(EgoQuery::new(Sum).filter(|v| v.0 < 10));
+        let nodes: Vec<NodeId> = (0..70u32).map(NodeId).collect();
+        let batch = h.read_batch(&nodes);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(batch[i], h.read(v), "batch vs point at {v:?}");
+        }
+        assert!(batch[20..].iter().all(Option::is_none));
     }
 }

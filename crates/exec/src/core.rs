@@ -371,6 +371,19 @@ impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
             .collect()
     }
 
+    /// Per-node read/evaluation counts since the last
+    /// [`reset_observed`](Self::reset_observed), indexed by overlay node —
+    /// the `reads_served` observable. Together with
+    /// [`observed_push_counts`](Self::observed_push_counts) this feeds the
+    /// read-aware rebalance affinity view
+    /// ([`eagr_overlay::PushEdgeView::observed_with_reads`]).
+    pub fn observed_pull_counts(&self) -> Vec<u64> {
+        self.pulled
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Reset the observation window.
     pub fn reset_observed(&self) {
         for c in &self.pushed {
@@ -381,10 +394,112 @@ impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
         }
     }
 
+    /// Exponentially decay the observation window: every push/pull counter
+    /// is scaled by `factor` (clamped to `[0, 1]`). Rebalancing uses this
+    /// instead of a hard [`reset_observed`](Self::reset_observed) so the
+    /// affinity view keeps a fading memory of older traffic — slow drift
+    /// accumulates evidence across windows instead of re-deciding from a
+    /// blank slate each epoch, which is what caused rebalance thrash.
+    pub fn decay_observed(&self, factor: f64) {
+        let factor = factor.clamp(0.0, 1.0);
+        for c in self.pushed.iter().chain(self.pulled.iter()) {
+            let v = c.load(Ordering::Relaxed);
+            c.store((v as f64 * factor) as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Total PAO updates applied so far (micro-task count).
     pub fn total_pushes(&self) -> u64 {
         self.pushed.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
+
+    /// Snapshot every live node's runtime state — writer window buffers
+    /// and PAO slots — for carrying across an engine rebuild (multi-query
+    /// attach/detach re-instantiates the runtime over an extended overlay;
+    /// ids are append-only stable, so state transfers by index).
+    pub fn export_state(&self) -> EngineState<A::Partial> {
+        let windows = self
+            .windows
+            .iter()
+            .map(|w| w.as_ref().map(|m| m.lock().clone()))
+            .collect();
+        let paos = (0..self.overlay.node_count())
+            .map(|i| {
+                if self.overlay.is_retired(OverlayId(i as u32)) {
+                    None
+                } else {
+                    Some(self.store.with_read(i, |p| p.clone()))
+                }
+            })
+            .collect();
+        EngineState { windows, paos }
+    }
+
+    /// Install a previously [`export_state`](Self::export_state)ed
+    /// snapshot. Slots the snapshot lacks (or that this engine has no
+    /// window for — non-writers, retired nodes) are left at their initial
+    /// state. The snapshot may be shorter than this engine's arena (an
+    /// extension appended nodes); extra nodes keep their fresh state.
+    pub fn install_state(&self, state: &EngineState<A::Partial>) {
+        for (idx, buf) in state.windows.iter().enumerate() {
+            if let (Some(buf), Some(slot)) = (buf, self.windows.get(idx).and_then(Option::as_ref)) {
+                *slot.lock() = buf.clone();
+            }
+        }
+        for (idx, pao) in state.paos.iter().enumerate() {
+            if idx >= self.store.len() {
+                break;
+            }
+            if let Some(pao) = pao {
+                if !self.overlay.is_retired(OverlayId(idx as u32)) {
+                    self.store.with_mut(idx, |p| *p = pao.clone());
+                }
+            }
+        }
+    }
+
+    /// Replace a writer's window buffer (attach-time backfill from the
+    /// write history ring). No-op if `wid` has no window (not a live
+    /// writer).
+    pub fn install_window(&self, wid: OverlayId, buf: &WindowBuffer) {
+        if let Some(slot) = self.windows.get(wid.idx()).and_then(Option::as_ref) {
+            *slot.lock() = buf.clone();
+        }
+    }
+
+    /// Rebuild a writer's PAO from its current window contents (after a
+    /// backfill installed the window). The PAO of a push writer is exactly
+    /// the fold of `Insert` over its in-window values.
+    pub fn rebuild_writer_pao(&self, wid: OverlayId) {
+        let Some(slot) = self.windows.get(wid.idx()).and_then(Option::as_ref) else {
+            return;
+        };
+        let values: Vec<i64> = slot.lock().values().collect();
+        let mut fresh = self.agg.empty();
+        for v in values {
+            self.agg.insert(&mut fresh, v);
+        }
+        self.store.with_mut(wid.idx(), |p| *p = fresh);
+    }
+
+    /// Materialize a non-writer push node's PAO from its upstream state
+    /// (same computation a pull read would do). Attach materializes fresh
+    /// and pull→push-upgraded nodes in topological order with this.
+    pub fn materialize(&self, n: OverlayId) {
+        let fresh = self.eval_pull(n);
+        self.store.with_mut(n.idx(), |p| *p = fresh);
+    }
+}
+
+/// A by-index snapshot of an engine's mutable runtime state (window
+/// buffers + PAOs), produced by [`EngineCore::export_state`] and consumed
+/// by [`EngineCore::install_state`] on a freshly built engine over the
+/// same (or an extended) overlay arena.
+pub struct EngineState<P> {
+    /// Per-slot window buffers (`None` for non-writers / retired nodes).
+    pub windows: Vec<Option<WindowBuffer>>,
+    /// Per-slot PAO clones (`None` for retired nodes).
+    pub paos: Vec<Option<P>>,
 }
 
 #[cfg(test)]
@@ -503,6 +618,27 @@ mod tests {
         core.reset_observed();
         let obs2 = core.observed_frequencies();
         assert_eq!(obs2.fl[rid.idx()], 0.0);
+    }
+
+    #[test]
+    fn decay_scales_counters_instead_of_clearing() {
+        let core = paper_core(Decisions::all_pull);
+        replay_paper_streams(&core);
+        for _ in 0..8 {
+            core.read(NodeId(0));
+        }
+        let rid = core.overlay().reader(NodeId(0)).unwrap();
+        assert_eq!(core.observed_pull_counts()[rid.idx()], 8);
+        core.decay_observed(0.5);
+        // Half the window survives — the fading memory that keeps slow
+        // drift visible across rebalance epochs.
+        assert_eq!(core.observed_pull_counts()[rid.idx()], 4);
+        // Out-of-range factors clamp: 2.0 acts like 1.0 (no growth)…
+        core.decay_observed(2.0);
+        assert_eq!(core.observed_pull_counts()[rid.idx()], 4);
+        // …and 0.0 is the old reset behavior.
+        core.decay_observed(0.0);
+        assert_eq!(core.observed_pull_counts()[rid.idx()], 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod parallel;
 pub mod sharded;
 pub mod store;
 
-pub use crate::core::EngineCore;
+pub use crate::core::{EngineCore, EngineState};
 pub use adaptive::AdaptiveEngine;
 pub use engine::Engine;
 pub use metrics::{throughput, LatencyRecorder};

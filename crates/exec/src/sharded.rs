@@ -113,6 +113,12 @@ pub struct RebalancePolicy {
     /// Shard-load balance cap, as a multiple of the perfectly balanced
     /// load (forwarded to [`RefineConfig::balance`]).
     pub balance: f64,
+    /// Observation-window decay applied after a committed rebalance:
+    /// counters are scaled by this factor ([`EngineCore::decay_observed`])
+    /// instead of zeroed, so the affinity view keeps a fading memory of
+    /// older traffic and slow drift doesn't thrash the rebalancer. `0.0`
+    /// recovers the old reset-on-rebalance behavior; `1.0` never forgets.
+    pub decay: f64,
 }
 
 impl RebalancePolicy {
@@ -139,6 +145,7 @@ impl Default for RebalancePolicy {
             min_cut_gain: 0.05,
             max_move_fraction: 0.15,
             balance: 1.1,
+            decay: 0.5,
         }
     }
 }
@@ -763,14 +770,23 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// [`ShardedStore::relocate`]), so no read can observe a torn PAO.
     ///
     /// Returns what happened; an uncommitted outcome migrated nothing.
-    /// Committed rebalances reset the observation window
-    /// ([`EngineCore::reset_observed`]) so the next interval measures
-    /// fresh drift rather than averaging over history.
+    /// Committed rebalances *decay* the observation window
+    /// ([`EngineCore::decay_observed`] by [`RebalancePolicy::decay`])
+    /// rather than zeroing it, so the next interval blends fresh drift
+    /// with a fading memory of history. The affinity view folds observed
+    /// reads in ([`PushEdgeView::observed_with_reads`]) so pull-heavy
+    /// readers migrate toward their inputs, not just push traffic.
     pub fn rebalance(&self) -> RebalanceOutcome {
         let _gate = self.epoch_gate.write();
         self.drain();
         let counts = self.core.observed_push_counts();
-        let view = PushEdgeView::observed(self.core.overlay(), |n| self.core.is_push(n), &counts);
+        let pulls = self.core.observed_pull_counts();
+        let view = PushEdgeView::observed_with_reads(
+            self.core.overlay(),
+            |n| self.core.is_push(n),
+            &counts,
+            &pulls,
+        );
         let current = self.partition.snapshot();
         let (refined, stats) = refine_partition(
             &view,
@@ -808,7 +824,7 @@ impl<A: Aggregate> ShardedEngine<A> {
             self.rebalances.fetch_add(1, Ordering::AcqRel);
             self.nodes_migrated
                 .fetch_add(stats.moved as u64, Ordering::AcqRel);
-            self.core.reset_observed();
+            self.core.decay_observed(self.policy.decay);
         }
         RebalanceOutcome {
             moved: if committed { stats.moved } else { 0 },

@@ -1,0 +1,118 @@
+//! Plan diffing against a live overlay (multi-query attach).
+//!
+//! When a query attaches to a running system, the overlay has already been
+//! extended in place ([`eagr_overlay::extend`]) and the existing nodes keep
+//! the dataflow decisions the planner gave them — re-running the global
+//! min-cut would flip decisions across the *whole* overlay and force a
+//! full re-materialization, defeating the point of sharing. Instead,
+//! [`extend_decisions`] computes only the delta:
+//!
+//! * every fresh node (new writer, new reader) is annotated **push** —
+//!   cheap to keep incrementally current, and it avoids read-time
+//!   recursion into subtrees whose hot/cold profile is still unknown
+//!   (the §4.8 adaptive controller can demote them later);
+//! * the **frontier constraint** is then restored by closure: a push
+//!   node's entire transitive input set must be push, because the
+//!   execution cascade ships deltas only to push consumers and pull nodes
+//!   never re-emit — a push node with a pull input would silently miss
+//!   contributions. Any pull node reachable upstream of a push node is
+//!   upgraded, and reported so the engine can materialize it.
+
+use crate::decide::{Decision, Decisions};
+use eagr_overlay::{Overlay, OverlayId};
+
+/// Extend `old` decisions to cover an overlay that grew by `fresh` nodes.
+///
+/// Returns the new decision vector (fresh nodes push, everything else kept)
+/// plus the list of *pre-existing* nodes upgraded pull→push by the frontier
+/// closure — their PAOs are stale-empty and must be materialized (in
+/// topological order) before the next read.
+pub fn extend_decisions(
+    ov: &Overlay,
+    old: &Decisions,
+    fresh: &[OverlayId],
+) -> (Decisions, Vec<OverlayId>) {
+    let n = ov.node_count();
+    let mut of = old.of.clone();
+    of.resize(n, Decision::Pull);
+    for &f in fresh {
+        of[f.idx()] = Decision::Push;
+    }
+    // Restore the frontier invariant: close the push set over transitive
+    // inputs. Seeding from every push node makes this idempotent even if
+    // the inherited decisions were already closed (they are, for
+    // planner-produced decisions — writers are always push and the min-cut
+    // keeps the push region upstream-closed).
+    let mut upgraded = Vec::new();
+    let mut stack: Vec<OverlayId> = ov
+        .ids()
+        .filter(|&n| of[n.idx()] == Decision::Push)
+        .collect();
+    while let Some(node) = stack.pop() {
+        for &(src, _sign) in ov.inputs(node) {
+            if of[src.idx()] == Decision::Pull {
+                of[src.idx()] = Decision::Push;
+                if !fresh.contains(&src) {
+                    upgraded.push(src);
+                }
+                stack.push(src);
+            }
+        }
+    }
+    upgraded.sort_unstable();
+    (Decisions { of }, upgraded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eagr_agg::Sign;
+    use eagr_graph::NodeId;
+
+    #[test]
+    fn fresh_nodes_become_push_and_old_survive() {
+        let mut ov = Overlay::default();
+        let wa = ov.add_writer(NodeId(0));
+        let r = ov.add_reader(NodeId(1));
+        ov.add_edge(wa, r, Sign::Pos);
+        let old = Decisions {
+            of: vec![Decision::Push, Decision::Pull],
+        };
+        let wb = ov.add_writer(NodeId(2));
+        let r2 = ov.add_reader(NodeId(3));
+        ov.add_edge(wb, r2, Sign::Pos);
+        let (d, upgraded) = extend_decisions(&ov, &old, &[wb, r2]);
+        assert_eq!(d.of.len(), 4);
+        assert_eq!(d.of[wa.idx()], Decision::Push);
+        assert_eq!(d.of[r.idx()], Decision::Pull, "existing pull reader kept");
+        assert_eq!(d.of[wb.idx()], Decision::Push);
+        assert_eq!(d.of[r2.idx()], Decision::Push);
+        assert!(upgraded.is_empty());
+    }
+
+    #[test]
+    fn push_reader_over_pull_partial_upgrades_the_subtree() {
+        let mut ov = Overlay::default();
+        let wa = ov.add_writer(NodeId(0));
+        let wb = ov.add_writer(NodeId(1));
+        let p = ov.add_partial(&[wa, wb]);
+        let r = ov.add_reader(NodeId(2));
+        ov.add_edge(p, r, Sign::Pos);
+        // Planner left the partial (and its reader) pull.
+        let old = Decisions {
+            of: vec![
+                Decision::Push,
+                Decision::Push,
+                Decision::Pull,
+                Decision::Pull,
+            ],
+        };
+        // A fresh push reader reuses the pull partial.
+        let r2 = ov.add_reader(NodeId(3));
+        ov.add_edge(p, r2, Sign::Pos);
+        let (d, upgraded) = extend_decisions(&ov, &old, &[r2]);
+        assert_eq!(d.of[p.idx()], Decision::Push, "frontier closure upgrades p");
+        assert_eq!(upgraded, vec![p]);
+        assert_eq!(d.of[r.idx()], Decision::Pull, "old reader untouched");
+    }
+}

@@ -12,6 +12,7 @@
 //! * [`plan`](mod@plan) — a one-call planner tying the pieces together.
 
 pub mod adaptive;
+pub mod attach;
 pub mod decide;
 pub mod greedy;
 pub mod maxflow;
@@ -19,6 +20,7 @@ pub mod plan;
 pub mod split;
 
 pub use adaptive::{adapt_frontier, frontier, FrontierSide};
+pub use attach::extend_decisions;
 pub use decide::{
     decide_maxflow, dmp_weights, node_costs, propagate_frequencies, prune, Decision,
     DecisionOutcome, Decisions, Frequencies, PruneStats, Rates,

@@ -1,0 +1,351 @@
+//! Live overlay extension for multi-query attach (§3's aggregation sharing
+//! exercised at *runtime*, not just at plan time).
+//!
+//! When a new ego-centric query attaches to a running system whose overlay
+//! already serves other queries with the same window and neighborhood, the
+//! new query's readers can reuse two kinds of existing structure:
+//!
+//! * **writers** — a data node that already has a writer keeps it; its
+//!   window buffer and PAO are already warm;
+//! * **partial aggregation nodes** — any live partial whose coverage is a
+//!   subset of the new reader's (remaining) input set contributes its
+//!   already-materialized PAO with a single positive edge, exactly the
+//!   sharing opportunity §3 mines at plan time.
+//!
+//! [`extend_with_readers`] appends the delta (fresh writers, fresh readers,
+//! edges) to an overlay in place. The arena is append-only under extension —
+//! existing [`OverlayId`]s stay valid, which is what lets the engine carry
+//! PAO state across an attach by index.
+//!
+//! [`used_subtree`] computes the transitive input closure of a query's
+//! readers — the set of overlay nodes whose state the query depends on —
+//! and [`RefCounts`] tracks per-node query reference counts so detach can
+//! retire exactly the nodes no remaining query reads (the ISSUE's "dropping
+//! one query never tears down PAOs another still reads").
+
+use crate::overlay::{Overlay, OverlayId, OverlayKind};
+use eagr_agg::Sign;
+use eagr_graph::NodeId;
+use eagr_util::{FastMap, FastSet};
+
+/// What [`extend_with_readers`] added to (and reused from) the overlay.
+#[derive(Clone, Debug, Default)]
+pub struct ExtendOutcome {
+    /// Overlay ids of writers created for data nodes that had none.
+    pub new_writers: Vec<OverlayId>,
+    /// Overlay ids of readers created for the attaching query.
+    pub new_readers: Vec<OverlayId>,
+    /// Readers the new query shares verbatim with an existing query
+    /// (same data node, same stratum ⇒ same answer stream).
+    pub reused_readers: usize,
+    /// Existing partial aggregation nodes wired into fresh readers.
+    pub reused_partials: usize,
+    /// Writer inputs satisfied through reused partials rather than fresh
+    /// direct edges — the numerator of the PAO-reuse fraction.
+    pub covered_by_reuse: usize,
+    /// Fresh direct writer → reader edges.
+    pub direct_edges: usize,
+}
+
+impl ExtendOutcome {
+    /// Fraction of the fresh readers' input slots served by
+    /// already-materialized PAOs (reused partials) instead of new direct
+    /// edges. `0` when the extension added no reader inputs at all.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.covered_by_reuse + self.direct_edges;
+        if total == 0 {
+            0.0
+        } else {
+            self.covered_by_reuse as f64 / total as f64
+        }
+    }
+}
+
+/// Extend a live overlay with readers for an attaching query.
+///
+/// `wants` lists `(reader data node, its neighborhood input nodes)` pairs —
+/// the same shape [`eagr_graph::BipartiteGraph::build`] produces. Pairs
+/// whose input list is empty are skipped (nothing to aggregate), and pairs
+/// whose data node already has a reader are counted as reused and left
+/// untouched: within one stratum (same window + neighborhood) an existing
+/// reader already computes exactly the attaching query's answer.
+///
+/// For each genuinely new reader the extension (a) creates writers for
+/// input nodes that lack one, then (b) greedily wires in existing partial
+/// aggregation nodes — largest coverage first, pairwise disjoint, each
+/// fully contained in the still-uncovered input set — and (c) connects the
+/// remainder with direct writer edges. Greedy subset cover is the same
+/// shape as IOB's cover step (§3.2.5), restricted to already-existing
+/// partials.
+///
+/// Only partials whose input coverages partition their own coverage are
+/// reused (each covered writer contributes exactly once), keeping the
+/// §2.2.1 net-contribution invariant for duplicate-sensitive aggregates.
+pub fn extend_with_readers(ov: &mut Overlay, wants: &[(NodeId, Vec<NodeId>)]) -> ExtendOutcome {
+    let mut out = ExtendOutcome::default();
+
+    // Index live, reusable partials by covered data-node id. A partial is
+    // reusable when every input edge is positive and its inputs' coverages
+    // partition its own coverage (no internal duplication).
+    let mut by_cover: FastMap<u32, Vec<OverlayId>> = FastMap::default();
+    for p in ov.ids().collect::<Vec<_>>() {
+        if !matches!(ov.kind(p), OverlayKind::Partial) {
+            continue;
+        }
+        let cov = ov.coverage(p);
+        if cov.is_empty() {
+            continue;
+        }
+        let all_pos = ov.inputs(p).iter().all(|&(_, s)| s == Sign::Pos);
+        let input_cov: usize = ov
+            .inputs(p)
+            .iter()
+            .map(|&(i, _)| ov.coverage(i).len())
+            .sum();
+        if !all_pos || input_cov != cov.len() {
+            continue;
+        }
+        for &w in cov {
+            by_cover.entry(w).or_default().push(p);
+        }
+    }
+
+    for (r, neighbors) in wants {
+        if neighbors.is_empty() {
+            continue; // mirror BipartiteGraph::build — nothing to aggregate
+        }
+        if ov.reader(*r).is_some() {
+            out.reused_readers += 1;
+            continue;
+        }
+        for &w in neighbors {
+            if ov.writer(w).is_none() {
+                out.new_writers.push(ov.add_writer(w));
+            }
+        }
+        let rid = ov.add_reader(*r);
+        out.new_readers.push(rid);
+
+        let mut remaining: FastSet<u32> = neighbors.iter().map(|w| w.0).collect();
+        // Candidate partials: any that cover at least one wanted writer and
+        // sit entirely inside the wanted set.
+        let mut cands: Vec<OverlayId> = Vec::new();
+        let mut seen: FastSet<OverlayId> = FastSet::default();
+        for &w in remaining.iter() {
+            for &p in by_cover.get(&w).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(p) && ov.coverage(p).iter().all(|c| remaining.contains(c)) {
+                    cands.push(p);
+                }
+            }
+        }
+        // Largest first; id as deterministic tie-break.
+        cands.sort_by_key(|&p| (std::cmp::Reverse(ov.coverage(p).len()), p.0));
+        for p in cands {
+            let cov = ov.coverage(p);
+            if cov.len() > remaining.len() || !cov.iter().all(|c| remaining.contains(c)) {
+                continue; // an earlier (larger) pick already claimed part of it
+            }
+            for c in cov {
+                remaining.remove(c);
+            }
+            out.covered_by_reuse += ov.coverage(p).len();
+            out.reused_partials += 1;
+            ov.add_edge(p, rid, Sign::Pos);
+        }
+        for &w in neighbors {
+            if remaining.remove(&w.0) {
+                let wid = ov.writer(w).expect("writer ensured above");
+                ov.add_edge(wid, rid, Sign::Pos);
+                out.direct_edges += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The transitive input closure of `roots`: every overlay node whose state
+/// the rooted readers depend on, along edges of *either* sign (a negative
+/// edge's source PAO is subtracted at read time and must stay alive too).
+/// Returned sorted and deduplicated; includes the roots themselves.
+pub fn used_subtree(ov: &Overlay, roots: &[OverlayId]) -> Vec<OverlayId> {
+    let mut seen: FastSet<OverlayId> = FastSet::default();
+    let mut stack: Vec<OverlayId> = Vec::new();
+    for &r in roots {
+        if !ov.is_retired(r) && seen.insert(r) {
+            stack.push(r);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        for &(src, _sign) in ov.inputs(n) {
+            if seen.insert(src) {
+                stack.push(src);
+            }
+        }
+    }
+    let mut used: Vec<OverlayId> = seen.into_iter().collect();
+    used.sort_unstable();
+    used
+}
+
+/// Per-overlay-node query reference counts. Each attached query acquires
+/// its [`used_subtree`]; detach releases it and learns which nodes dropped
+/// to zero (safe to retire: any live downstream reader would still hold a
+/// reference on every node upstream of it).
+#[derive(Clone, Debug, Default)]
+pub struct RefCounts {
+    counts: Vec<u32>,
+}
+
+impl RefCounts {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow to cover at least `n` overlay slots (new slots start at zero).
+    pub fn ensure_len(&mut self, n: usize) {
+        if self.counts.len() < n {
+            self.counts.resize(n, 0);
+        }
+    }
+
+    /// Current count for a node (zero if never acquired).
+    pub fn count(&self, n: OverlayId) -> u32 {
+        self.counts.get(n.idx()).copied().unwrap_or(0)
+    }
+
+    /// Increment every node in `nodes` (deduplicated by the caller;
+    /// [`used_subtree`] output already is).
+    pub fn acquire(&mut self, nodes: &[OverlayId]) {
+        if let Some(max) = nodes.iter().map(|n| n.idx()).max() {
+            self.ensure_len(max + 1);
+        }
+        for n in nodes {
+            self.counts[n.idx()] += 1;
+        }
+    }
+
+    /// Decrement every node in `nodes`; returns the nodes that reached
+    /// zero, in ascending id order.
+    pub fn release(&mut self, nodes: &[OverlayId]) -> Vec<OverlayId> {
+        let mut zeroed = Vec::new();
+        for &n in nodes {
+            let c = &mut self.counts[n.idx()];
+            debug_assert!(*c > 0, "release of unacquired node {n:?}");
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                zeroed.push(n);
+            }
+        }
+        zeroed.sort_unstable();
+        zeroed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// writers a=0,b=1,c=2 · partial p={a,b} · reader r3 = p + c.
+    fn base_overlay() -> (Overlay, OverlayId, [OverlayId; 3]) {
+        let mut ov = Overlay::default();
+        let wa = ov.add_writer(NodeId(0));
+        let wb = ov.add_writer(NodeId(1));
+        let wc = ov.add_writer(NodeId(2));
+        let p = ov.add_partial(&[wa, wb]);
+        let r = ov.add_reader(NodeId(3));
+        ov.add_edge(p, r, Sign::Pos);
+        ov.add_edge(wc, r, Sign::Pos);
+        (ov, p, [wa, wb, wc])
+    }
+
+    #[test]
+    fn extension_reuses_covering_partial_and_adds_delta() {
+        let (mut ov, p, [wa, wb, _]) = base_overlay();
+        let before = ov.live_node_count();
+        // New reader over {a, b, d}: reuses p, adds writer d + one direct edge.
+        let out = extend_with_readers(
+            &mut ov,
+            &[(NodeId(4), vec![NodeId(0), NodeId(1), NodeId(9)])],
+        );
+        assert_eq!(out.new_writers.len(), 1);
+        assert_eq!(out.new_readers.len(), 1);
+        assert_eq!(out.reused_partials, 1);
+        assert_eq!(out.covered_by_reuse, 2);
+        assert_eq!(out.direct_edges, 1);
+        assert!(out.reuse_fraction() > 0.5);
+        assert_eq!(ov.live_node_count(), before + 2);
+        let rid = out.new_readers[0];
+        let mut ins: Vec<OverlayId> = ov.inputs(rid).iter().map(|&(i, _)| i).collect();
+        ins.sort_unstable();
+        let mut expect = vec![p, out.new_writers[0]];
+        expect.sort_unstable();
+        assert_eq!(ins, expect);
+        // Existing ids untouched.
+        assert_eq!(ov.writer(NodeId(0)), Some(wa));
+        assert_eq!(ov.writer(NodeId(1)), Some(wb));
+    }
+
+    #[test]
+    fn existing_reader_is_shared_not_duplicated() {
+        let (mut ov, _, _) = base_overlay();
+        let before = ov.live_node_count();
+        let out = extend_with_readers(&mut ov, &[(NodeId(3), vec![NodeId(0), NodeId(2)])]);
+        assert_eq!(out.reused_readers, 1);
+        assert!(out.new_readers.is_empty());
+        assert_eq!(ov.live_node_count(), before);
+    }
+
+    #[test]
+    fn empty_neighborhoods_are_skipped() {
+        let (mut ov, _, _) = base_overlay();
+        let out = extend_with_readers(&mut ov, &[(NodeId(7), vec![])]);
+        assert!(out.new_readers.is_empty() && out.new_writers.is_empty());
+        assert!(ov.reader(NodeId(7)).is_none());
+    }
+
+    #[test]
+    fn disjoint_greedy_never_double_counts() {
+        let mut ov = Overlay::default();
+        let ws: Vec<OverlayId> = (0..4).map(|i| ov.add_writer(NodeId(i))).collect();
+        let big = ov.add_partial(&[ws[0], ws[1], ws[2]]);
+        let small = ov.add_partial(&[ws[1], ws[2]]); // overlaps big
+        let out = extend_with_readers(
+            &mut ov,
+            &[(NodeId(10), (0..4).map(NodeId).collect::<Vec<_>>())],
+        );
+        // big (3) picked first; small overlaps it and must be skipped.
+        assert_eq!(out.reused_partials, 1);
+        assert_eq!(out.covered_by_reuse, 3);
+        assert_eq!(out.direct_edges, 1);
+        let rid = out.new_readers[0];
+        let ins: Vec<OverlayId> = ov.inputs(rid).iter().map(|&(i, _)| i).collect();
+        assert!(ins.contains(&big) && !ins.contains(&small));
+    }
+
+    #[test]
+    fn used_subtree_closes_over_both_signs() {
+        let mut ov = Overlay::default();
+        let wa = ov.add_writer(NodeId(0));
+        let wb = ov.add_writer(NodeId(1));
+        let p = ov.add_partial(&[wa, wb]);
+        let r = ov.add_reader(NodeId(2));
+        ov.add_edge(p, r, Sign::Pos);
+        ov.add_edge(wb, r, Sign::Neg); // superset-minus shape
+        let used = used_subtree(&ov, &[r]);
+        assert_eq!(used, vec![wa, wb, p, r]);
+    }
+
+    #[test]
+    fn refcounts_release_reports_zeroed_nodes_only() {
+        let mut rc = RefCounts::new();
+        let a = OverlayId(0);
+        let b = OverlayId(1);
+        rc.acquire(&[a, b]);
+        rc.acquire(&[a]);
+        assert_eq!(rc.count(a), 2);
+        assert_eq!(rc.release(&[a, b]), vec![b]);
+        assert_eq!(rc.release(&[a]), vec![a]);
+        assert_eq!(rc.count(a), 0);
+    }
+}

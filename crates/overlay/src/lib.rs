@@ -10,6 +10,8 @@
 //! * [`iob`] — Incremental Overlay Building via greedy exact set cover
 //!   (§3.2.5), also the engine behind dynamic maintenance.
 //! * [`dynamic`] — incremental overlay updates on data-graph changes (§3.3).
+//! * [`extend`](mod@extend) — live overlay extension + per-node refcounts
+//!   for multi-query attach/detach (§3 sharing at runtime).
 //! * [`metrics`] — sharing index, depth CDFs, construction cost accounting.
 //! * [`pushview`] — the weighted push-edge affinity view consumed by the
 //!   edge-cut shard partitioner.
@@ -17,6 +19,7 @@
 //!   §2.2.1 invariant.
 
 pub mod dynamic;
+pub mod extend;
 pub mod fptree;
 pub mod iob;
 pub mod metrics;
@@ -27,6 +30,7 @@ pub mod validate;
 pub mod vnm;
 
 pub use dynamic::{DynamicConfig, DynamicOverlay};
+pub use extend::{extend_with_readers, used_subtree, ExtendOutcome, RefCounts};
 pub use iob::{build_iob, IobConfig, IobState};
 pub use metrics::IterationStats;
 pub use overlay::{Overlay, OverlayId, OverlayKind, SignedEdge};

@@ -81,6 +81,16 @@ pub struct Overlay {
     dead: Vec<bool>,
 }
 
+impl Default for Overlay {
+    /// An empty overlay (no nodes, zero bipartite denominator); grown via
+    /// [`add_writer`](Self::add_writer) / [`add_reader`](Self::add_reader)
+    /// / [`add_partial`](Self::add_partial) — used by tests and by live
+    /// extension ([`crate::extend`]).
+    fn default() -> Self {
+        Self::empty(0)
+    }
+}
+
 impl Overlay {
     /// The *direct* overlay for a bipartite graph: one writer per active
     /// writer, one reader per reader, and a positive edge writer → reader

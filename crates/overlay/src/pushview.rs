@@ -108,6 +108,47 @@ impl PushEdgeView {
         })
     }
 
+    /// The observed push topology *plus* pull-affinity edges: on top of
+    /// [`observed`](Self::observed), every live pull node `n` that actually
+    /// served reads (`pulled[n.idx()] > 0`) gains a symmetric edge to each
+    /// of its inputs, weighted by its read count. A pull read walks the
+    /// node's inputs on every evaluation, so a pull-heavy reader placed
+    /// away from its inputs pays a cross-shard snapshot per input per read
+    /// — folding `reads_served` into the affinity view lets the §4.8
+    /// rebalancer migrate such readers toward their inputs.
+    ///
+    /// # Panics
+    /// Panics if `applied` or `pulled` does not cover every overlay node.
+    pub fn observed_with_reads(
+        overlay: &Overlay,
+        is_push: impl Fn(OverlayId) -> bool,
+        applied: &[u64],
+        pulled: &[u64],
+    ) -> Self {
+        assert_eq!(
+            pulled.len(),
+            overlay.node_count(),
+            "pull counters must cover every overlay node"
+        );
+        let mut view = Self::observed(overlay, &is_push, applied);
+        for n in overlay.ids() {
+            if is_push(n) {
+                continue; // push reads are local finalizes; no input walk
+            }
+            let w = pulled[n.idx()] as f32;
+            if w == 0.0 {
+                continue;
+            }
+            for &(src, _sign) in overlay.inputs(n) {
+                view.adj[n.idx()].push((src.0, w));
+                view.adj[src.idx()].push((n.0, w));
+                view.edges += 1;
+                view.total_weight += w as f64;
+            }
+        }
+        view
+    }
+
     /// Number of (directed) push edges in the view.
     pub fn edge_count(&self) -> usize {
         self.edges
@@ -207,6 +248,39 @@ mod tests {
         assert_eq!(ec.len(), n);
         let f = view.cut_fraction(&ec);
         assert!((0.0..=1.0).contains(&f), "cut fraction {f}");
+    }
+
+    #[test]
+    fn read_affinity_adds_pull_input_edges() {
+        let ov = paper_overlay();
+        let n = ov.node_count();
+        // One pull reader served reads; everything else is push.
+        let (reader, _) = ov.readers().next().unwrap();
+        let is_push = |id: OverlayId| id != reader;
+        let applied = vec![1u64; n];
+        let mut pulled = vec![0u64; n];
+        pulled[reader.idx()] = 40;
+        let base = PushEdgeView::observed(&ov, is_push, &applied);
+        let view = PushEdgeView::observed_with_reads(&ov, is_push, &applied, &pulled);
+        // Each of the reader's inputs gains one symmetric affinity edge
+        // weighted by the read count.
+        let fan_in = ov.inputs(reader).len();
+        assert_eq!(view.edge_count(), base.edge_count() + fan_in);
+        assert!(
+            (view.total_weight() - (base.total_weight() + 40.0 * fan_in as f64)).abs() < 1e-6,
+            "read weight must fold into the affinity view"
+        );
+        // A reader that served no reads adds nothing.
+        let idle = PushEdgeView::observed_with_reads(&ov, is_push, &applied, &vec![0u64; n]);
+        assert_eq!(idle.edge_count(), base.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "pull counters must cover")]
+    fn read_affinity_rejects_short_pull_slices() {
+        let ov = paper_overlay();
+        let applied = vec![0u64; ov.node_count()];
+        let _ = PushEdgeView::observed_with_reads(&ov, |_| true, &applied, &[7]);
     }
 
     #[test]

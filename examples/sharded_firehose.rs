@@ -26,12 +26,12 @@ fn run(label: &str, g: &DataGraph, mode: ExecutionMode, epochs: &[eagr::gen::Eve
     let t_all = Instant::now();
     for (i, epoch) in epochs.iter().enumerate() {
         let t0 = Instant::now();
-        let (w, r) = sys.write_batch(epoch);
+        let report = sys.write_batch(epoch);
         let rate = epoch.len() as f64 / t0.elapsed().as_secs_f64();
         rates.push(rate);
         println!(
-            "  epoch {i:>2}: {w:>6} writes {r:>5} reads  {:>10.0} ops/s",
-            rate
+            "  epoch {i:>2}: {:>6} writes {:>5} reads  {rate:>10.0} ops/s",
+            report.writes, report.reads
         );
     }
     let total =

@@ -53,7 +53,8 @@ fn main() {
         },
     );
     let t1 = Instant::now();
-    let (posts, loads) = sys.run_events(&events);
+    let report = sys.run_events(&events);
+    let (posts, loads) = (report.writes, report.reads);
     let dt = t1.elapsed();
     println!(
         "replayed {posts} posts + {loads} feed loads in {:.2?} ({:.0} ops/s)",

@@ -20,7 +20,7 @@ fn build_core(n: usize, seed: u64, all_push: bool) -> (DataGraph, Arc<EngineCore
             DecisionAlgorithm::MaxFlow
         })
         .build(&g);
-    (g, Arc::clone(sys.core()))
+    (g, sys.core())
 }
 
 #[test]
@@ -32,7 +32,7 @@ fn parallel_converges_to_sequential_all_push() {
             .overlay(OverlayAlgorithm::Vnma)
             .decisions(DecisionAlgorithm::AllPush)
             .build(&g);
-        (0, Arc::clone(sys.core()))
+        (0, sys.core())
     };
     let events = generate_events(
         n,

@@ -713,9 +713,9 @@ fn interleaved_reads_and_writes_through_the_facade() {
     let mut writes = 0;
     let mut reads = 0;
     for batch in batch_events(&events, 256, 0) {
-        let (w, r) = sys.write_batch(&batch);
-        writes += w;
-        reads += r;
+        let report = sys.write_batch(&batch);
+        writes += report.writes;
+        reads += report.reads;
     }
     assert_eq!(reads, events.iter().filter(|e| !e.is_write()).count());
     assert!(writes > 0);
