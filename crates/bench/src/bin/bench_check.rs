@@ -425,4 +425,32 @@ fn check_fig14_rebalance(baseline: &Json, current: &Json, failures: &mut Vec<Str
         }
         _ => failures.push("fig14_rebalance: throughput rows missing".into()),
     }
+    // During-migration ingest throughput relative to steady-state: the
+    // two-phase protocol's reason to exist. Presence and ≥1 committed
+    // migration are hard (deterministic) invariants; the ratio itself is
+    // tracked against the baseline under the usual 25% tolerance — it is
+    // a timing observable, not a deterministic one.
+    let migration_ratio = |doc: &Json| -> Option<f64> {
+        let r = find_row(doc, &[("engine", "migration-concurrency")], &[])?;
+        Some(num(r, "during_migration_ingest_ops")? / num(r, "steady_ingest_ops")?)
+    };
+    let migrations = find_row(current, &[("engine", "migration-concurrency")], &[])
+        .and_then(|r| num(r, "migrations_committed"))
+        .unwrap_or(0.0);
+    if migrations < 1.0 {
+        failures.push(
+            "fig14_rebalance: no migration committed during the concurrent-ingest run".into(),
+        );
+    }
+    match (migration_ratio(baseline), migration_ratio(current)) {
+        (Some(base), Some(cur)) => {
+            if cur < throughput_bar(base) {
+                failures.push(format!(
+                    "fig14_rebalance: >25% regression of during-migration/steady ingest \
+                     throughput: {cur:.3} vs baseline {base:.3}"
+                ));
+            }
+        }
+        _ => failures.push("fig14_rebalance: during-migration throughput row missing".into()),
+    }
 }

@@ -68,7 +68,7 @@ pub mod prelude {
         Aggregate, Avg, CostModel, Count, Distinct, Max, Min, Sum, TopK, WindowSpec,
     };
     pub use eagr_exec::{
-        throughput, LatencyRecorder, ParallelConfig, RebalanceOutcome, RebalancePolicy,
+        throughput, LatencyRecorder, MigrationReport, ParallelConfig, RebalancePolicy,
         ShardedConfig,
     };
     pub use eagr_flow::{DecisionAlgorithm, Rates};

@@ -118,6 +118,15 @@ pub struct RegistryStats {
     pub queries: usize,
     /// Live overlay nodes summed across strata.
     pub live_nodes: usize,
+    /// Committed live migrations summed across sharded strata (see
+    /// [`ShardedEngine::rebalances`](eagr_exec::ShardedEngine::rebalances)).
+    pub rebalances: u64,
+    /// Overlay nodes moved across shards by those migrations.
+    pub nodes_migrated: u64,
+    /// Slab slots currently orphaned by migration, awaiting compaction.
+    pub orphaned_pao_slots: u64,
+    /// Orphaned slab slots reclaimed by compaction so far.
+    pub slots_reclaimed: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -401,10 +410,20 @@ impl<A: Aggregate> Registry<A> {
     }
 
     pub(crate) fn stats(&self) -> RegistryStats {
-        RegistryStats {
+        let mut stats = RegistryStats {
             strata: self.live().count(),
             queries: self.queries.len(),
             live_nodes: self.live().map(|s| s.overlay.live_node_count()).sum(),
+            ..RegistryStats::default()
+        };
+        for s in self.live() {
+            if let Runtime::Sharded(eng) = &s.runtime {
+                stats.rebalances += eng.rebalances();
+                stats.nodes_migrated += eng.nodes_migrated();
+                stats.orphaned_pao_slots += eng.orphaned_pao_slots();
+                stats.slots_reclaimed += eng.slots_reclaimed();
+            }
         }
+        stats
     }
 }

@@ -12,7 +12,7 @@ use crate::registry::{
 };
 use eagr_agg::{Aggregate, CostModel, WindowBuffer, WindowSpec};
 use eagr_exec::{
-    AdaptiveEngine, EngineCore, ParallelConfig, ParallelEngine, RebalanceOutcome, RebalancePolicy,
+    AdaptiveEngine, EngineCore, MigrationReport, ParallelConfig, ParallelEngine, RebalancePolicy,
     ShardedConfig, ShardedEngine,
 };
 use eagr_flow::{extend_decisions, plan, DecisionAlgorithm, Decisions, Plan, PlannerConfig, Rates};
@@ -1107,11 +1107,20 @@ impl<A: Aggregate> EagrSystem<A> {
 
     /// Manually trigger one live shard rebalance
     /// ([`ShardedEngine::rebalance`]): refine the node→shard map from
-    /// observed load and migrate the affected PAO state, epoch-fenced
-    /// against concurrent ingestion and reads. `None` in the local modes
+    /// observed load and migrate the affected PAO state with the two-phase
+    /// copy-then-flip protocol — ingestion keeps running through the copy;
+    /// only the final flip is epoch-fenced. `None` in the local modes
     /// (there is nothing to rebalance).
-    pub fn rebalance(&self) -> Option<RebalanceOutcome> {
+    pub fn rebalance(&self) -> Option<MigrationReport> {
         self.sharded_engine().map(|eng| eng.rebalance())
+    }
+
+    /// Compact the sharded PAO slabs, reclaiming slots orphaned by past
+    /// migrations ([`ShardedEngine::compact`]). Returns the number of
+    /// slots reclaimed; `None` in the local modes (local stores have no
+    /// slabs to compact).
+    pub fn compact(&self) -> Option<u64> {
+        self.sharded_engine().map(|eng| eng.compact())
     }
 
     /// Spawn a multi-threaded engine over this system's state (local

@@ -213,6 +213,24 @@ impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
         }
     }
 
+    /// Replay buffered migration deltas into a staged PAO (phase 2 of the
+    /// two-phase migration): apply each op in arrival order to `pao`,
+    /// which lives *outside* the store — it is the copy the rebalancer
+    /// extracted from the old owner's slab in phase 1, about to be
+    /// installed at the new owner via `relocate`. The observed-push
+    /// counters are deliberately not touched: the old owner already
+    /// recorded each of these ops when it applied them to the live slot,
+    /// so re-recording would double-count §4.8 affinity evidence. Returns
+    /// the number of ops replayed.
+    pub fn replay_ops(&self, pao: &mut A::Partial, ops: impl IntoIterator<Item = DeltaOp>) -> u64 {
+        let mut n = 0;
+        for op in ops {
+            op.apply(&self.agg, pao);
+            n += 1;
+        }
+        n
+    }
+
     /// Advance one writer's window to `ts` and return the expirations as
     /// `Remove` delta ops, *without* applying them. Public so shard-owning
     /// workers can expire the windows of their own writers and route the
@@ -639,6 +657,21 @@ mod tests {
         // …and 0.0 is the old reset behavior.
         core.decay_observed(0.0);
         assert_eq!(core.observed_pull_counts()[rid.idx()], 0);
+    }
+
+    #[test]
+    fn replay_ops_applies_in_order_without_recording() {
+        let core = paper_core(Decisions::all_push);
+        let before = core.total_pushes();
+        let mut pao = 10i64;
+        let n = core.replay_ops(
+            &mut pao,
+            [DeltaOp::Insert(5), DeltaOp::Remove(3), DeltaOp::Insert(1)],
+        );
+        assert_eq!(n, 3);
+        assert_eq!(pao, 13);
+        // Replay must not re-bump the observed-push counters.
+        assert_eq!(core.total_pushes(), before);
     }
 
     #[test]

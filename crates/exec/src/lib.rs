@@ -29,7 +29,7 @@ pub use engine::Engine;
 pub use metrics::{throughput, LatencyRecorder};
 pub use parallel::{ParallelConfig, ParallelEngine};
 pub use sharded::{
-    LivePartition, RebalanceOutcome, RebalancePolicy, ShardStats, ShardedConfig, ShardedCore,
-    ShardedEngine,
+    LivePartition, MapSnapshot, MigrationReport, RebalancePolicy, ShardStats, ShardedConfig,
+    ShardedCore, ShardedEngine,
 };
 pub use store::{LockedStore, PaoReader, PaoStore, ShardSnapshot, ShardedStore, StoreReader};

@@ -57,16 +57,24 @@
 //! from (planner-derived or index-based), write rates drift away from the
 //! rates it was derived under, so [`ShardedEngine::rebalance`] refines the
 //! map against the *observed* per-node delta counters and migrates the
-//! affected PAO state between slabs under an epoch fence — concurrent
-//! ingestion waits at the gate, epoch-consistent reads serialize with the
-//! handoff, and relaxed reads resolve through atomically republished slot
-//! locations, so answers are identical before, during, and after a
-//! migration. A [`RebalancePolicy`] on [`ShardedConfig`] can fire the loop
-//! automatically every N ingestion epochs, committing only when the
-//! modeled cut improvement clears a threshold.
+//! affected PAO state between slabs with a **two-phase, nearly
+//! pause-free** protocol: phase 1 copies departing PAOs out of the old
+//! owners' slabs while ingestion keeps flowing (deltas landing on
+//! in-flight nodes are buffered in bounded per-worker side-logs), and
+//! phase 2 takes the epoch gate exclusively only for the flip — drain,
+//! replay the side-logs into the staged copies, republish slot locations
+//! and the routing map atomically, release. Epoch-consistent reads
+//! serialize with the flip, and relaxed reads resolve through atomically
+//! republished slot locations, so answers are identical before, during,
+//! and after a migration. Slab compaction piggybacks on the same fence so
+//! orphaned slots are reclaimed. A [`RebalancePolicy`] on
+//! [`ShardedConfig`] can fire the loop automatically every N ingestion
+//! epochs, committing only when the modeled cut improvement clears a
+//! threshold; a trigger that fires while a migration is already in flight
+//! coalesces into it instead of stacking a second fence.
 
 use crate::core::EngineCore;
-use crate::store::{PaoReader, ShardedStore};
+use crate::store::{PaoReader, PaoStore, ShardedStore};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eagr_agg::{Aggregate, DeltaOp, WindowSpec};
 use eagr_flow::{Decisions, Plan};
@@ -77,7 +85,7 @@ use eagr_graph::{
 };
 use eagr_overlay::{Overlay, OverlayId, OverlayKind, PushEdgeView};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -91,17 +99,23 @@ use std::thread::JoinHandle;
 /// [`min_cut_gain`](Self::min_cut_gain) — a rebalance that would barely
 /// help is skipped before any state moves.
 ///
-/// Memory note: every migrated node permanently orphans one PAO slot in
-/// its old slab (see [`ShardedEngine::orphaned_pao_slots`]), so an
-/// aggressive `every_epochs` on a perpetually drifting stream grows slab
-/// memory without bound until compaction lands (ROADMAP follow-up); size
-/// `min_cut_gain`/`max_move_fraction` accordingly on long-lived engines.
+/// Migration is two-phase ([`ShardedEngine::rebalance`]): the copy runs
+/// concurrently with ingestion, and the epoch gate is held exclusively
+/// only for the flip. Deltas that land on in-flight nodes during the copy
+/// are buffered in per-worker side-logs bounded by
+/// [`side_log_bound`](Self::side_log_bound); each migrated node orphans
+/// one PAO slot in its old slab, reclaimed by slab compaction inside the
+/// flip fence once [`compact_after_orphans`](Self::compact_after_orphans)
+/// slots have accumulated (or on demand via
+/// [`ShardedEngine::compact`]).
 #[derive(Clone, Copy, Debug)]
 pub struct RebalancePolicy {
     /// Trigger a rebalance automatically after every `every_epochs`
     /// ingestion epochs ([`ShardedEngine::ingest`] calls). `0` disables
     /// the automatic trigger; [`ShardedEngine::rebalance`] stays available
-    /// manually.
+    /// manually. A trigger that fires while a migration is already in
+    /// flight coalesces into it (see
+    /// [`ShardedEngine::coalesced_rebalances`]).
     pub every_epochs: u64,
     /// Required relative cut improvement (fraction of the current observed
     /// cut weight) for a refinement to be committed. Below it the
@@ -119,6 +133,19 @@ pub struct RebalancePolicy {
     /// older traffic and slow drift doesn't thrash the rebalancer. `0.0`
     /// recovers the old reset-on-rebalance behavior; `1.0` never forgets.
     pub decay: f64,
+    /// Per-worker bound on the migration side-log, in buffered delta ops.
+    /// During a phase-1 copy, ops that land on departing nodes are
+    /// buffered so phase 2 can replay them into the staged copies; a
+    /// worker whose log fills stops buffering, and the flip falls back to
+    /// re-copying that worker's departing PAOs under the fence (correct,
+    /// just a longer fence for that shard).
+    pub side_log_bound: usize,
+    /// Auto-compaction trigger: when a committed flip leaves at least this
+    /// many orphaned PAO slots ([`ShardedEngine::orphaned_pao_slots`]),
+    /// slab compaction runs inside the same fence and reclaims them all.
+    /// `0` disables auto-compaction ([`ShardedEngine::compact`] stays
+    /// available manually).
+    pub compact_after_orphans: u64,
 }
 
 impl RebalancePolicy {
@@ -146,24 +173,59 @@ impl Default for RebalancePolicy {
             max_move_fraction: 0.15,
             balance: 1.1,
             decay: 0.5,
+            side_log_bound: 1 << 16,
+            compact_after_orphans: 4096,
         }
     }
 }
 
-/// What one [`ShardedEngine::rebalance`] call did.
+/// What one [`ShardedEngine::rebalance`] (or
+/// [`migrate_to`](ShardedEngine::migrate_to)) call did.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct RebalanceOutcome {
-    /// Nodes whose PAO state was migrated to a new owning shard (0 when
-    /// the refinement found nothing worth moving or the gain threshold was
-    /// not met).
-    pub moved: usize,
-    /// Observed-traffic cut weight of the map before refinement.
+pub struct MigrationReport {
+    /// Nodes whose PAO state was copied to a new owning shard (0 when the
+    /// refinement found nothing worth moving, the gain threshold was not
+    /// met, or the call coalesced into an in-flight migration).
+    pub nodes_copied: usize,
+    /// Side-logged delta ops replayed into the staged copies at the flip —
+    /// the write traffic that landed on in-flight nodes while the phase-1
+    /// copy ran concurrently with ingestion.
+    pub deltas_replayed: u64,
+    /// Exclusive epoch-gate acquisitions the migration needed: `1` for a
+    /// committed flip (compaction piggybacks inside it), `0` otherwise.
+    /// The old stop-the-world protocol held the gate for the entire
+    /// drain + copy + flip; now only the flip is fenced.
+    pub fence_epochs: u64,
+    /// Ingestion epochs admitted *during* the concurrent phase-1 copy —
+    /// direct evidence the copy did not stall writers.
+    pub copy_epochs: u64,
+    /// Orphaned PAO slots reclaimed by the compaction pass piggybacked on
+    /// the flip fence (0 when below the policy trigger).
+    pub slots_reclaimed: u64,
+    /// Observed-traffic cut weight of the map before refinement (0 for
+    /// [`migrate_to`](ShardedEngine::migrate_to), which skips refinement).
     pub cut_before: f64,
     /// Observed-traffic cut weight of the refined map (equals the final
     /// map only when `committed`).
     pub cut_after: f64,
-    /// Whether the refined map was installed and state migrated.
+    /// Whether a flip was installed and state migrated.
     pub committed: bool,
+}
+
+impl MigrationReport {
+    /// A report for a call that migrated nothing.
+    fn skipped(cut_before: f64, cut_after: f64) -> Self {
+        Self {
+            nodes_copied: 0,
+            deltas_replayed: 0,
+            fence_epochs: 0,
+            copy_epochs: 0,
+            slots_reclaimed: 0,
+            cut_before,
+            cut_after,
+            committed: false,
+        }
+    }
 }
 
 /// Configuration of the sharded runtime.
@@ -221,6 +283,13 @@ pub struct LivePartition {
     of: Vec<AtomicU32>,
     shards: usize,
     strategy: PartitionStrategy,
+    /// Immutable copy of the map, rebuilt by [`publish`](Self::publish)
+    /// after every flip, so batch routing resolves the whole batch against
+    /// one `Arc` snapshot instead of one atomic load per event.
+    cached: RwLock<Arc<Vec<u32>>>,
+    /// Bumped by every [`publish`](Self::publish): lets a routing loop
+    /// assert its snapshot stayed current for the whole batch.
+    generation: AtomicU64,
 }
 
 impl LivePartition {
@@ -229,6 +298,8 @@ impl LivePartition {
             of: p.of.iter().map(|s| AtomicU32::new(s.0)).collect(),
             shards: p.shards,
             strategy: p.strategy,
+            cached: RwLock::new(Arc::new(p.of.iter().map(|s| s.0).collect())),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -254,9 +325,37 @@ impl LivePartition {
     }
 
     /// Reassign node `idx` (rebalancer only: callers must hold the epoch
-    /// gate exclusively over a drained engine).
+    /// gate exclusively over a drained engine, and call
+    /// [`publish`](Self::publish) before releasing it).
     fn set(&self, idx: usize, dest: ShardId) {
         self.of[idx].store(dest.0, Ordering::Release);
+    }
+
+    /// Rebuild the cached snapshot from the live entries and bump the map
+    /// generation. Rebalancer only, same locking contract as
+    /// [`set`](Self::set).
+    fn publish(&self) {
+        let snap: Arc<Vec<u32>> =
+            Arc::new(self.of.iter().map(|s| s.load(Ordering::Acquire)).collect());
+        *self.cached.write() = snap;
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The current map generation (bumped by every committed flip).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// One `Arc` snapshot of the whole map, pinned to its generation.
+    /// Batch routing resolves every event against this instead of issuing
+    /// one atomic load per event; under the shared epoch gate the map
+    /// cannot change, so the snapshot stays exact for the whole batch
+    /// (asserted via [`MapSnapshot::generation`]).
+    pub fn load(&self) -> MapSnapshot {
+        MapSnapshot {
+            of: Arc::clone(&self.cached.read()),
+            generation: self.generation.load(Ordering::Acquire),
+        }
     }
 
     /// Materialize the current map as a plain [`Partition`].
@@ -278,8 +377,57 @@ impl LivePartition {
     }
 }
 
+/// An immutable, generation-stamped snapshot of a [`LivePartition`] (see
+/// [`LivePartition::load`]).
+pub struct MapSnapshot {
+    of: Arc<Vec<u32>>,
+    generation: u64,
+}
+
+impl MapSnapshot {
+    /// Shard owning node index `idx` under this snapshot.
+    #[inline]
+    pub fn shard_of(&self, idx: usize) -> ShardId {
+        ShardId(self.of[idx])
+    }
+
+    /// The map generation this snapshot was taken at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
 /// One shard's answers to a read batch: `(result slot, answer)` pairs.
 type ReadReplies<A> = Vec<(usize, Option<<A as Aggregate>::Output>)>;
+
+/// One shard's reply to a phase-1 [`ShardMsg::Copy`]: the origin shard
+/// plus `(node, destination, staged PAO clone)` for every departing node.
+type CopyReply<A> = (
+    ShardId,
+    Vec<(OverlayId, ShardId, <A as Aggregate>::Partial)>,
+);
+
+/// One shard's reply to a phase-2 [`ShardMsg::EndCopy`]: the origin
+/// shard, its side-log in arrival order, and whether the log overflowed
+/// (in which case it is empty and the staged copies from that shard must
+/// be re-copied under the fence).
+type SideLogReply = (ShardId, Vec<(OverlayId, DeltaOp)>, bool);
+
+/// Per-worker migration side-log, active between a [`ShardMsg::Copy`] and
+/// the matching [`ShardMsg::EndCopy`]: every delta op the worker applies
+/// to a departing node is buffered (bounded) so the flip can replay it
+/// into the staged copy.
+struct SideLog {
+    /// Departing nodes this worker is the current owner of.
+    nodes: std::collections::HashSet<u32>,
+    /// Buffered `(node, op)` in arrival order.
+    log: Vec<(OverlayId, DeltaOp)>,
+    /// Capacity bound ([`RebalancePolicy::side_log_bound`]).
+    bound: usize,
+    /// Set once the bound is hit; the log is discarded and phase 2 falls
+    /// back to re-copying this shard's departing PAOs under the fence.
+    overflowed: bool,
+}
 
 /// Messages flowing into one shard's inbox.
 enum ShardMsg<A: Aggregate> {
@@ -305,19 +453,34 @@ enum ShardMsg<A: Aggregate> {
     /// cascade the removals (the sharded form of
     /// [`EngineCore::advance_time`]).
     Expire(u64),
-    /// Live-migration handoff, step 1 (sent by the rebalancer to each
-    /// node's *current* owner): clone the listed nodes' PAO state out of
-    /// this shard's slab and ship each to its destination shard as an
-    /// [`Install`](Self::Install); writer nodes also hand off their
-    /// window-expiration ownership. Only ever in flight while the
-    /// rebalancer holds the epoch gate exclusively over a drained engine,
-    /// so no write or delta can race the handoff.
-    Migrate(Vec<(OverlayId, ShardId)>),
-    /// Live-migration handoff, step 2 (sent by the old owner to the new):
-    /// install the handed-off PAO states into this shard's slab
-    /// ([`ShardedStore::relocate`]) and adopt ownership — including window
-    /// expiration for writers.
-    Install(Vec<(OverlayId, <A as Aggregate>::Partial)>),
+    /// Migration phase 1 (sent by the rebalancer to each departing node's
+    /// *current* owner, with ingestion still flowing): clone the listed
+    /// nodes' PAOs out of this shard's slab and reply with the staged
+    /// copies, then start side-logging every subsequent op applied to
+    /// them. Snapshot and side-log activation happen inside one message
+    /// handler on the owning worker, so every op is either in the copy or
+    /// in the log — never both, never neither.
+    Copy {
+        /// `(departing node, destination shard)` for nodes this shard owns.
+        moves: Vec<(OverlayId, ShardId)>,
+        /// Staged-copy return channel (sized so the send never blocks).
+        reply: Sender<CopyReply<A>>,
+    },
+    /// Migration phase 2 (sent under the exclusive epoch gate over a
+    /// drained engine): stop side-logging and reply with the buffered
+    /// deltas. On `commit`, also drop window-expiration ownership of the
+    /// departing writers (their new owners receive
+    /// [`Adopt`](Self::Adopt)); an aborted migration keeps them.
+    EndCopy {
+        /// Whether the flip is going ahead.
+        commit: bool,
+        /// Side-log return channel (sized so the send never blocks).
+        reply: Sender<SideLogReply>,
+    },
+    /// Migration phase 2, after the flip: adopt window-expiration
+    /// ownership of the listed writers (their PAOs were already installed
+    /// by the rebalancer via [`ShardedStore::relocate`]).
+    Adopt(Vec<OverlayId>),
     /// Terminate the worker.
     Stop,
 }
@@ -360,18 +523,27 @@ pub struct ShardedEngine<A: Aggregate> {
     local: Arc<Vec<AtomicU64>>,
     /// Per-shard read requests served (indexed by owning shard).
     reads: Arc<Vec<AtomicU64>>,
-    /// Epoch gate for shard-executed reads *and* live rebalancing: write
-    /// submission holds it shared; [`read_batch`](Self::read_batch) and
-    /// [`rebalance`](Self::rebalance) hold it exclusively while they drain
-    /// and operate — so an epoch-consistent read batch never interleaves
-    /// with a concurrently submitted epoch (the epoch-stamped snapshot
-    /// rule), and a migration never races a write.
+    /// Epoch gate for shard-executed reads *and* the migration flip:
+    /// write submission holds it shared; [`read_batch`](Self::read_batch)
+    /// holds it exclusively while it drains and reads, and a migration
+    /// holds it exclusively *only for phase 2* (drain, side-log replay,
+    /// map flip, optional compaction) — the phase-1 copy runs concurrently
+    /// with ingestion.
     epoch_gate: RwLock<()>,
     epochs: AtomicU64,
     /// Committed rebalances so far.
     rebalances: AtomicU64,
     /// Nodes migrated across all committed rebalances.
     nodes_migrated: AtomicU64,
+    /// Single-flight migration guard: set for the duration of one
+    /// `rebalance`/`migrate_to` call; losers coalesce instead of stacking.
+    migrating: AtomicBool,
+    /// Rebalance calls (manual or auto-trigger) that coalesced into an
+    /// in-flight migration instead of running.
+    coalesced: AtomicU64,
+    /// Orphaned PAO slots reclaimed by compaction across the engine's
+    /// lifetime.
+    slots_reclaimed: AtomicU64,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -475,6 +647,8 @@ impl<A: Aggregate> ShardedEngine<A> {
                 cross_out: Arc::clone(&cross_out),
                 local: Arc::clone(&local),
                 reads: Arc::clone(&reads),
+                side: None,
+                side_log_bound: cfg.rebalance.side_log_bound,
             };
             let h = std::thread::Builder::new()
                 .name(format!("eagr-shard-{shard}"))
@@ -496,6 +670,9 @@ impl<A: Aggregate> ShardedEngine<A> {
             epochs: AtomicU64::new(0),
             rebalances: AtomicU64::new(0),
             nodes_migrated: AtomicU64::new(0),
+            migrating: AtomicBool::new(false),
+            coalesced: AtomicU64::new(0),
+            slots_reclaimed: AtomicU64::new(0),
             handles,
         }
     }
@@ -554,23 +731,32 @@ impl<A: Aggregate> ShardedEngine<A> {
         // is rewriting, and an epoch-consistent read_batch never
         // interleaves mid-epoch.
         let gate = self.epoch_gate.read();
+        // One map snapshot for the whole batch instead of one atomic load
+        // per event; the generation assert below pins that every event was
+        // routed against a single published map.
+        let map = self.partition.load();
         for (i, e) in events.iter().enumerate() {
             let ts = base_ts + i as u64;
             match *e {
                 Event::Write { node, value } => {
                     if let Some(wid) = overlay.writer(node) {
-                        per_shard[self.partition.shard_of(wid.idx()).idx()].push((wid, value, ts));
+                        per_shard[map.shard_of(wid.idx()).idx()].push((wid, value, ts));
                     }
                     writes += 1;
                 }
                 Event::Read { node } => {
                     if let Some(rid) = overlay.reader(node) {
-                        reads_per_shard[self.partition.shard_of(rid.idx()).idx()].push((i, node));
+                        reads_per_shard[map.shard_of(rid.idx()).idx()].push((i, node));
                     }
                     reads += 1;
                 }
             }
         }
+        assert_eq!(
+            map.generation(),
+            self.partition.generation(),
+            "partition map flipped while a routing batch held the shared epoch gate"
+        );
         for (shard, group) in per_shard.into_iter().enumerate() {
             if !group.is_empty() {
                 self.pending.fetch_add(1, Ordering::AcqRel);
@@ -592,9 +778,10 @@ impl<A: Aggregate> ShardedEngine<A> {
         }
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
         drop(gate);
-        // Automatic §4.8 trigger: rebalance() re-takes the gate
-        // exclusively, so it must run after this epoch's shared hold is
-        // released.
+        // Automatic §4.8 trigger: the flip re-takes the gate exclusively,
+        // so it must run after this epoch's shared hold is released. If
+        // another thread's migration is already in flight, rebalance()
+        // coalesces into it instead of stacking a second fence.
         if self.policy.every_epochs > 0 && epoch % self.policy.every_epochs == 0 {
             self.rebalance();
         }
@@ -742,43 +929,53 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// as write rates move, so the map is refined against the traffic the
     /// engine actually saw.
     ///
-    /// The epoch-fenced protocol:
+    /// Migration is **two-phase** and nearly pause-free:
     ///
-    /// 1. take the epoch gate exclusively (concurrent ingestion waits at
-    ///    the gate, exactly like [`read_batch`](Self::read_batch)) and
-    ///    [`drain`](Self::drain) — the engine is quiescent and equals the
-    ///    single-threaded replay of everything ingested so far;
-    /// 2. build the observed-rate affinity view
-    ///    ([`PushEdgeView::observed`] over the core's per-node applied-op
-    ///    counters) and run the bounded incremental refinement
-    ///    ([`refine_partition`]) off the *current* map;
-    /// 3. commit only if the modeled cut improvement clears the policy's
-    ///    [`min_cut_gain`](RebalancePolicy::min_cut_gain): flip the moved
-    ///    entries in the shared [`LivePartition`], then send each old
-    ///    owner a `ShardMsg::Migrate` — it clones the moved PAOs out of
-    ///    its slab and ships them to their new owners as
-    ///    `ShardMsg::Install`s, which relocate the state
-    ///    ([`ShardedStore::relocate`]) and hand off window-expiration
-    ///    ownership for writers;
-    /// 4. drain the handoff and release the gate.
+    /// 1. *Refine (no gate).* Settle in-flight work ([`drain`](Self::drain)
+    ///    — concurrent submitters are not blocked; this is not the fence),
+    ///    build the observed-rate affinity view
+    ///    ([`PushEdgeView::observed_with_reads`] over the core's applied-op
+    ///    and read counters) and run the bounded incremental refinement
+    ///    ([`refine_partition`]) off the *current* map. Commit only if the
+    ///    modeled cut improvement clears the policy's
+    ///    [`min_cut_gain`](RebalancePolicy::min_cut_gain).
+    /// 2. *Phase-1 copy (no gate — ingestion keeps flowing).* Each
+    ///    departing node's current owner clones its PAO out of the slab
+    ///    and starts side-logging every subsequent op applied to it
+    ///    (bounded by [`RebalancePolicy::side_log_bound`]). Snapshot and
+    ///    log activation happen inside one inbox message on the owning
+    ///    worker, so each op lands in exactly one of copy or log.
+    /// 3. *Phase-2 flip (the only fence).* Take the epoch gate
+    ///    exclusively, drain, collect the side-logs, replay them into the
+    ///    staged copies ([`EngineCore::replay_ops`]; an overflowed shard's
+    ///    nodes are re-copied exactly instead), install every copy at its
+    ///    new owner ([`ShardedStore::relocate`]), publish the new routing
+    ///    map, hand window-expiration ownership of moved writers to their
+    ///    new owners, optionally compact the slabs
+    ///    ([`RebalancePolicy::compact_after_orphans`]), release.
     ///
-    /// Differential answers are preserved through the whole dance:
-    /// epoch-consistent reads serialize with the gate and therefore only
-    /// ever observe the pre- or post-migration map over identical values,
-    /// and relaxed caller-thread reads resolve slots through the store's
-    /// atomically republished locations (old slots keep their value, see
-    /// [`ShardedStore::relocate`]), so no read can observe a torn PAO.
+    /// Differential answers are preserved through the whole dance: during
+    /// the copy the routing map is unchanged, so old owners keep applying
+    /// (and logging) every op; epoch-consistent reads serialize with the
+    /// flip and therefore only ever observe the pre- or post-migration map
+    /// over identical values; and relaxed caller-thread reads resolve
+    /// slots through the store's atomically republished (and revalidated)
+    /// locations, so no read can observe a torn PAO.
     ///
-    /// Returns what happened; an uncommitted outcome migrated nothing.
+    /// Only one migration can be in flight: a call racing another —
+    /// including the automatic every-N-epochs trigger firing mid-copy —
+    /// returns immediately with an uncommitted [`MigrationReport`] and
+    /// bumps [`coalesced_rebalances`](Self::coalesced_rebalances), so
+    /// fences never stack and nothing is double-drained.
+    ///
     /// Committed rebalances *decay* the observation window
     /// ([`EngineCore::decay_observed`] by [`RebalancePolicy::decay`])
     /// rather than zeroing it, so the next interval blends fresh drift
-    /// with a fading memory of history. The affinity view folds observed
-    /// reads in ([`PushEdgeView::observed_with_reads`]) so pull-heavy
-    /// readers migrate toward their inputs, not just push traffic.
-    pub fn rebalance(&self) -> RebalanceOutcome {
-        let _gate = self.epoch_gate.write();
-        self.drain();
+    /// with a fading memory of history.
+    pub fn rebalance(&self) -> MigrationReport {
+        let Some(flight) = MigrationFlight::begin(self) else {
+            return MigrationReport::skipped(0.0, 0.0);
+        };
         let counts = self.core.observed_push_counts();
         let pulls = self.core.observed_pull_counts();
         let view = PushEdgeView::observed_with_reads(
@@ -800,37 +997,186 @@ impl<A: Aggregate> ShardedEngine<A> {
         let committed = stats.moved > 0
             && stats.cut_before > 0.0
             && stats.gain_fraction() >= self.policy.min_cut_gain;
-        if committed {
-            // Flip the routing map first: nothing routes while the gate is
-            // held, and the moment it drops every new batch must reach the
-            // new owners.
-            let mut by_owner: Vec<Vec<(OverlayId, ShardId)>> = vec![Vec::new(); self.shard_count()];
-            for idx in 0..refined.len() {
-                let dest = refined.shard_of(idx);
-                if dest != current.shard_of(idx) {
-                    self.partition.set(idx, dest);
-                    by_owner[current.shard_of(idx).idx()].push((OverlayId(idx as u32), dest));
-                }
-            }
-            for (owner, moves) in by_owner.into_iter().enumerate() {
-                if !moves.is_empty() {
-                    self.pending.fetch_add(1, Ordering::AcqRel);
-                    self.txs[owner]
-                        .send(ShardMsg::Migrate(moves))
-                        .expect("shard worker alive");
-                }
-            }
-            self.drain();
-            self.rebalances.fetch_add(1, Ordering::AcqRel);
-            self.nodes_migrated
-                .fetch_add(stats.moved as u64, Ordering::AcqRel);
-            self.core.decay_observed(self.policy.decay);
+        if !committed {
+            return MigrationReport::skipped(stats.cut_before, stats.cut_after);
         }
-        RebalanceOutcome {
-            moved: if committed { stats.moved } else { 0 },
-            cut_before: stats.cut_before,
-            cut_after: stats.cut_after,
-            committed,
+        let moves: Vec<(OverlayId, ShardId)> = (0..refined.len())
+            .filter_map(|idx| {
+                let dest = refined.shard_of(idx);
+                (dest != current.shard_of(idx)).then_some((OverlayId(idx as u32), dest))
+            })
+            .collect();
+        let mut report = flight.execute(moves);
+        report.cut_before = stats.cut_before;
+        report.cut_after = stats.cut_after;
+        self.core.decay_observed(self.policy.decay);
+        report
+    }
+
+    /// Migrate the engine to an **explicit** target node→shard map with
+    /// the same two-phase protocol as [`rebalance`](Self::rebalance),
+    /// skipping the observed-load refinement: every node whose current
+    /// owner differs from `target`'s is copied concurrently with
+    /// ingestion and flipped under the single phase-2 fence. Commits
+    /// whenever at least one node moves (`cut_before`/`cut_after` are 0 —
+    /// no affinity view is consulted), and does not decay the observation
+    /// window. This is the planner-driven entry point (and what the drift
+    /// bench uses to keep a migration continuously in flight).
+    ///
+    /// Coalesces exactly like `rebalance` when another migration is
+    /// already in flight.
+    ///
+    /// # Panics
+    /// Panics if `target` does not cover every overlay node or names a
+    /// shard outside the engine's shard count.
+    pub fn migrate_to(&self, target: &Partition) -> MigrationReport {
+        assert_eq!(
+            target.len(),
+            self.partition.len(),
+            "target partition must cover every overlay node"
+        );
+        let Some(flight) = MigrationFlight::begin(self) else {
+            return MigrationReport::skipped(0.0, 0.0);
+        };
+        let current = self.partition.snapshot();
+        let moves: Vec<(OverlayId, ShardId)> = (0..target.len())
+            .filter_map(|idx| {
+                let dest = target.shard_of(idx);
+                assert!(dest.idx() < self.shard_count(), "target shard out of range");
+                (dest != current.shard_of(idx)).then_some((OverlayId(idx as u32), dest))
+            })
+            .collect();
+        flight.execute(moves)
+    }
+
+    /// The two-phase migration body (phase-1 concurrent copy + phase-2
+    /// fenced flip) for an explicit move set. Caller holds the
+    /// single-flight guard; `moves` lists `(node, destination)` pairs
+    /// whose destination differs from the current owner.
+    fn execute_migration(&self, moves: Vec<(OverlayId, ShardId)>) -> MigrationReport {
+        if moves.is_empty() {
+            return MigrationReport::skipped(0.0, 0.0);
+        }
+        // Settle in-flight work so the staged copies start from an epoch
+        // boundary; concurrent submitters are not blocked.
+        self.drain();
+        let epochs_at_copy = self.epochs();
+        // ---- Phase 1: copy + side-log, concurrent with ingestion. ----
+        let mut by_owner: Vec<Vec<(OverlayId, ShardId)>> = vec![Vec::new(); self.shard_count()];
+        for &(n, dest) in &moves {
+            by_owner[self.partition.shard_of(n.idx()).idx()].push((n, dest));
+        }
+        let (copy_tx, copy_rx) = bounded::<CopyReply<A>>(self.shard_count());
+        let mut involved = Vec::new();
+        for (owner, group) in by_owner.into_iter().enumerate() {
+            if !group.is_empty() {
+                involved.push(owner);
+                self.pending.fetch_add(1, Ordering::AcqRel);
+                self.txs[owner]
+                    .send(ShardMsg::Copy {
+                        moves: group,
+                        reply: copy_tx.clone(),
+                    })
+                    .expect("shard worker alive");
+            }
+        }
+        drop(copy_tx);
+        // (origin shard, node, destination, staged PAO)
+        let mut staged: Vec<(ShardId, OverlayId, ShardId, A::Partial)> =
+            Vec::with_capacity(moves.len());
+        for _ in 0..involved.len() {
+            let (origin, group) = copy_rx.recv().expect("shard worker replies to Copy");
+            staged.extend(
+                group
+                    .into_iter()
+                    .map(|(n, dest, pao)| (origin, n, dest, pao)),
+            );
+        }
+        let copy_epochs = self.epochs() - epochs_at_copy;
+        // ---- Phase 2: the flip — the only fenced section. ----
+        let gate = self.epoch_gate.write();
+        self.drain();
+        let (log_tx, log_rx) = bounded::<SideLogReply>(self.shard_count());
+        for &owner in &involved {
+            self.pending.fetch_add(1, Ordering::AcqRel);
+            self.txs[owner]
+                .send(ShardMsg::EndCopy {
+                    commit: true,
+                    reply: log_tx.clone(),
+                })
+                .expect("shard worker alive");
+        }
+        drop(log_tx);
+        let mut log_by_node: std::collections::HashMap<u32, Vec<DeltaOp>> =
+            std::collections::HashMap::new();
+        let mut overflowed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for _ in 0..involved.len() {
+            let (origin, log, over) = log_rx.recv().expect("shard worker replies to EndCopy");
+            if over {
+                overflowed.insert(origin.0);
+            } else {
+                for (n, op) in log {
+                    log_by_node.entry(n.0).or_default().push(op);
+                }
+            }
+        }
+        self.drain();
+        let store = self.core.store();
+        let mut deltas_replayed = 0u64;
+        let nodes_copied = staged.len();
+        for (origin, n, dest, mut pao) in staged {
+            if overflowed.contains(&origin.0) {
+                // The side-log was dropped: the live slot (fully applied,
+                // engine drained under the fence) is the exact value.
+                pao = store.with_read(n.idx(), |p| p.clone());
+            } else if let Some(ops) = log_by_node.remove(&n.0) {
+                deltas_replayed += self.core.replay_ops(&mut pao, ops);
+            }
+            store.relocate(n.idx(), dest, pao);
+            self.partition.set(n.idx(), dest);
+        }
+        self.partition.publish();
+        // Hand window-expiration ownership to the new owners (old owners
+        // dropped theirs at EndCopy). Expirations can't interleave: they
+        // need the shared gate.
+        let overlay = self.core.overlay();
+        let mut adopt: Vec<Vec<OverlayId>> = vec![Vec::new(); self.shard_count()];
+        for &(n, dest) in &moves {
+            if !overlay.is_retired(n) && matches!(overlay.kind(n), OverlayKind::Writer(_)) {
+                adopt[dest.idx()].push(n);
+            }
+        }
+        for (dest, writers) in adopt.into_iter().enumerate() {
+            if !writers.is_empty() {
+                self.pending.fetch_add(1, Ordering::AcqRel);
+                self.txs[dest]
+                    .send(ShardMsg::Adopt(writers))
+                    .expect("shard worker alive");
+            }
+        }
+        self.drain();
+        let slots_reclaimed = if self.policy.compact_after_orphans > 0
+            && store.orphaned_slots() >= self.policy.compact_after_orphans
+        {
+            let r = store.compact();
+            self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
+            r
+        } else {
+            0
+        };
+        drop(gate);
+        self.rebalances.fetch_add(1, Ordering::AcqRel);
+        self.nodes_migrated
+            .fetch_add(nodes_copied as u64, Ordering::AcqRel);
+        MigrationReport {
+            nodes_copied,
+            deltas_replayed,
+            fence_epochs: 1,
+            copy_epochs,
+            slots_reclaimed,
+            cut_before: 0.0,
+            cut_after: 0.0,
+            committed: true,
         }
     }
 
@@ -844,14 +1190,48 @@ impl<A: Aggregate> ShardedEngine<A> {
         self.nodes_migrated.load(Ordering::Acquire)
     }
 
-    /// PAO slots orphaned by migrations so far
+    /// Rebalance calls (manual or every-N-epochs auto-trigger) that found
+    /// another migration already in flight and coalesced into it instead
+    /// of running — the re-entry discipline that keeps fences from
+    /// stacking.
+    pub fn coalesced_rebalances(&self) -> u64 {
+        self.coalesced.load(Ordering::Acquire)
+    }
+
+    /// Whether a migration (phase 1 or 2) is currently in flight.
+    pub fn migration_in_flight(&self) -> bool {
+        self.migrating.load(Ordering::Acquire)
+    }
+
+    /// PAO slots orphaned by migrations since the last compaction
     /// ([`ShardedStore::orphaned_slots`]): each migrated node leaves its
     /// old slab slot in place (tear-free handoff for concurrent relaxed
-    /// readers), so slab memory grows by one PAO per migration until a
-    /// compaction pass exists. Long-lived engines under an aggressive
-    /// automatic [`RebalancePolicy`] should monitor this.
+    /// readers) until a compaction pass — automatic once
+    /// [`RebalancePolicy::compact_after_orphans`] accumulate, or manual
+    /// via [`compact`](Self::compact) — reclaims them.
     pub fn orphaned_pao_slots(&self) -> u64 {
         self.core.store().orphaned_slots()
+    }
+
+    /// Orphaned PAO slots reclaimed by compaction across the engine's
+    /// lifetime (auto-compactions piggybacked on migration fences plus
+    /// manual [`compact`](Self::compact) calls).
+    pub fn slots_reclaimed(&self) -> u64 {
+        self.slots_reclaimed.load(Ordering::Acquire)
+    }
+
+    /// Compact the PAO slabs now: take the epoch gate exclusively, drain,
+    /// repack every slab in place ([`ShardedStore::compact`]) and release.
+    /// Returns the orphaned slots reclaimed;
+    /// [`orphaned_pao_slots`](Self::orphaned_pao_slots) is 0 afterwards.
+    /// Concurrent relaxed readers are safe throughout: they revalidate
+    /// slot locations under the slab locks.
+    pub fn compact(&self) -> u64 {
+        let _gate = self.epoch_gate.write();
+        self.drain();
+        let r = self.core.store().compact();
+        self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
+        r
     }
 
     /// The rebalance policy the engine runs under.
@@ -917,6 +1297,39 @@ impl<A: Aggregate> ShardedEngine<A> {
     }
 }
 
+/// RAII single-flight migration guard: [`begin`](Self::begin) wins the
+/// CAS on [`ShardedEngine::migrating`] or records a coalesced call;
+/// dropping the guard releases the flag (unwind-safe, so a panicking
+/// migration doesn't wedge every later rebalance into coalescing).
+struct MigrationFlight<'a, A: Aggregate> {
+    eng: &'a ShardedEngine<A>,
+}
+
+impl<'a, A: Aggregate> MigrationFlight<'a, A> {
+    fn begin(eng: &'a ShardedEngine<A>) -> Option<Self> {
+        if eng
+            .migrating
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            Some(Self { eng })
+        } else {
+            eng.coalesced.fetch_add(1, Ordering::AcqRel);
+            None
+        }
+    }
+
+    fn execute(&self, moves: Vec<(OverlayId, ShardId)>) -> MigrationReport {
+        self.eng.execute_migration(moves)
+    }
+}
+
+impl<A: Aggregate> Drop for MigrationFlight<'_, A> {
+    fn drop(&mut self) {
+        self.eng.migrating.store(false, Ordering::Release);
+    }
+}
+
 impl<A: Aggregate> Drop for ShardedEngine<A> {
     /// Workers hold each other's senders, so dropping the engine's own
     /// senders alone would never disconnect the inboxes; send explicit
@@ -935,7 +1348,7 @@ struct ShardWorker<A: Aggregate> {
     shard: ShardId,
     /// Writer nodes this shard owns (window expiration targets). Live
     /// migration hands entries off between workers via
-    /// [`ShardMsg::Migrate`]/[`ShardMsg::Install`].
+    /// [`ShardMsg::EndCopy`] (disown) and [`ShardMsg::Adopt`].
     writers: Vec<OverlayId>,
     rx: Receiver<ShardMsg<A>>,
     txs: Vec<Sender<ShardMsg<A>>>,
@@ -943,6 +1356,11 @@ struct ShardWorker<A: Aggregate> {
     cross_out: Arc<Vec<AtomicU64>>,
     local: Arc<Vec<AtomicU64>>,
     reads: Arc<Vec<AtomicU64>>,
+    /// Active migration side-log (between [`ShardMsg::Copy`] and
+    /// [`ShardMsg::EndCopy`]); `None` outside a phase-1 copy.
+    side: Option<SideLog>,
+    /// [`RebalancePolicy::side_log_bound`], captured at construction.
+    side_log_bound: usize,
 }
 
 impl<A: Aggregate> ShardWorker<A> {
@@ -1023,9 +1441,10 @@ impl<A: Aggregate> ShardWorker<A> {
         match msg {
             ShardMsg::Writes(group) => {
                 *owed += 1;
-                let mut slab = self.core.store().lock_shard(self.shard);
+                let core = Arc::clone(&self.core);
+                let mut slab = core.store().lock_shard(self.shard);
                 for (wid, value, ts) in group {
-                    for op in self.core.window_ops(wid, value, ts) {
+                    for op in core.window_ops(wid, value, ts) {
                         stack.push((wid, op));
                         self.cascade(&mut slab, stack, outbox);
                     }
@@ -1034,7 +1453,8 @@ impl<A: Aggregate> ShardWorker<A> {
             }
             ShardMsg::Deltas(group) => {
                 *owed += 1;
-                let mut slab = self.core.store().lock_shard(self.shard);
+                let core = Arc::clone(&self.core);
+                let mut slab = core.store().lock_shard(self.shard);
                 for (n, op) in group {
                     stack.push((n, op));
                     self.cascade(&mut slab, stack, outbox);
@@ -1073,57 +1493,65 @@ impl<A: Aggregate> ShardWorker<A> {
             }
             ShardMsg::Expire(ts) => {
                 *owed += 1;
-                let mut slab = self.core.store().lock_shard(self.shard);
-                for &wid in &self.writers {
-                    for op in self.core.expire_ops(wid, ts) {
+                let core = Arc::clone(&self.core);
+                let mut slab = core.store().lock_shard(self.shard);
+                let writers = self.writers.clone();
+                for wid in writers {
+                    for op in core.expire_ops(wid, ts) {
                         stack.push((wid, op));
                         self.cascade(&mut slab, stack, outbox);
                     }
                 }
                 false
             }
-            ShardMsg::Migrate(moves) => {
+            ShardMsg::Copy { moves, reply } => {
                 *owed += 1;
-                // Clone the departing PAOs under one snapshot of this
-                // worker's own slab (this worker is its only writer, so
-                // the snapshot is exact).
-                let mut by_dest: Vec<Vec<(OverlayId, A::Partial)>> =
-                    vec![Vec::new(); self.partition.shards()];
+                // Phase-1 copy: clone the departing PAOs under one read
+                // snapshot of this worker's own slab (this worker is its
+                // only writer, so the snapshot is exact), then activate
+                // the side-log — all inside this one handler, so every op
+                // at a departing node lands in exactly one of copy or log.
+                let mut paos = Vec::with_capacity(moves.len());
                 {
                     let snap = self.core.store().snapshot_shard(self.shard);
                     for &(n, dest) in &moves {
-                        by_dest[dest.idx()].push((n, snap.with_pao(n.idx(), |p| p.clone())));
+                        paos.push((n, dest, snap.with_pao(n.idx(), |p| p.clone())));
                     }
                 }
-                // Hand off window-expiration ownership for moved writers.
-                if !self.writers.is_empty() {
-                    let moved: std::collections::HashSet<u32> =
-                        moves.iter().map(|&(n, _)| n.0).collect();
-                    self.writers.retain(|w| !moved.contains(&w.0));
-                }
-                // Ship the state to the new owners. A blocking send cannot
-                // deadlock here: migration only flows while the rebalancer
-                // holds the epoch gate over a drained engine, so each
-                // inbox carries at most one Migrate plus one Install per
-                // peer — within the constructor-asserted capacity floor.
-                for (dest, group) in by_dest.into_iter().enumerate() {
-                    if !group.is_empty() {
-                        self.pending.fetch_add(1, Ordering::AcqRel);
-                        self.txs[dest]
-                            .send(ShardMsg::Install(group))
-                            .expect("shard worker alive");
-                    }
-                }
+                self.side = Some(SideLog {
+                    nodes: moves.iter().map(|&(n, _)| n.0).collect(),
+                    log: Vec::new(),
+                    bound: self.side_log_bound,
+                    overflowed: false,
+                });
+                // The rebalancer's reply channel holds one slot per shard,
+                // so this send can't block; a dropped receiver means the
+                // migration was abandoned.
+                let _ = reply.send((self.shard, paos));
                 false
             }
-            ShardMsg::Install(group) => {
+            ShardMsg::EndCopy { commit, reply } => {
+                *owed += 1;
+                let side = self.side.take();
+                let (log, overflowed) = match side {
+                    Some(side) => {
+                        if commit && !self.writers.is_empty() {
+                            // Disown window expiration for the departing
+                            // writers; their new owners Adopt them under
+                            // the same fence.
+                            self.writers.retain(|w| !side.nodes.contains(&w.0));
+                        }
+                        (side.log, side.overflowed)
+                    }
+                    None => (Vec::new(), false),
+                };
+                let _ = reply.send((self.shard, log, overflowed));
+                false
+            }
+            ShardMsg::Adopt(writers) => {
                 *owed += 1;
                 let overlay = self.core.overlay();
-                for (n, pao) in group {
-                    // Adopt the PAO into this worker's slab and republish
-                    // its location (the old slot keeps its value for
-                    // readers racing the flip).
-                    self.core.store().relocate(n.idx(), self.shard, pao);
+                for n in writers {
                     if !overlay.is_retired(n) && matches!(overlay.kind(n), OverlayKind::Writer(_)) {
                         self.writers.push(n);
                     }
@@ -1136,21 +1564,38 @@ impl<A: Aggregate> ShardWorker<A> {
 
     /// Apply every stacked op owned by this shard, following push edges:
     /// same-shard consumers are applied in the same slab pass, cross-shard
-    /// consumers accumulate in the outboxes.
+    /// consumers accumulate in the outboxes. During a phase-1 copy, ops
+    /// applied to departing nodes are additionally buffered in the
+    /// side-log (bounded) so the flip can replay them into the staged
+    /// copies.
     fn cascade(
-        &self,
+        &mut self,
         slab: &mut crate::store::ShardGuard<'_, A::Partial>,
         stack: &mut Vec<(OverlayId, DeltaOp)>,
         outbox: &mut [Vec<(OverlayId, DeltaOp)>],
     ) {
-        let agg = self.core.aggregate();
-        let overlay = self.core.overlay();
+        let core = Arc::clone(&self.core);
+        let agg = core.aggregate();
+        let overlay = core.overlay();
         while let Some((n, op)) = stack.pop() {
             op.apply(agg, slab.get_mut(n.idx()));
-            self.core.record_push(n);
+            core.record_push(n);
             self.local[self.shard.idx()].fetch_add(1, Ordering::Relaxed);
+            if let Some(side) = self.side.as_mut() {
+                if !side.overflowed && side.nodes.contains(&n.0) {
+                    if side.log.len() < side.bound {
+                        side.log.push((n, op));
+                    } else {
+                        // Bound hit: stop buffering — the flip falls back
+                        // to re-copying this shard's departing PAOs under
+                        // the fence.
+                        side.overflowed = true;
+                        side.log = Vec::new();
+                    }
+                }
+            }
             for &(t, sign) in overlay.outputs(n) {
-                if self.core.is_push(t) {
+                if core.is_push(t) {
                     let routed = op.signed(sign);
                     let dest = self.partition.shard_of(t.idx());
                     if dest == self.shard {
@@ -1489,13 +1934,19 @@ mod tests {
         eng.ingest_epoch(&EventBatch::new(0, events));
         let before = eng.partition();
         let outcome = eng.rebalance();
-        assert_eq!(outcome.committed, outcome.moved > 0);
+        assert_eq!(outcome.committed, outcome.nodes_copied > 0);
         if outcome.committed {
             assert!(outcome.cut_after < outcome.cut_before);
+            // Only the flip is fenced.
+            assert_eq!(outcome.fence_epochs, 1);
             assert_eq!(eng.rebalances(), 1);
-            assert_eq!(eng.nodes_migrated(), outcome.moved as u64);
-            // Each migration orphans exactly one slot in the old slab.
-            assert_eq!(eng.orphaned_pao_slots(), outcome.moved as u64);
+            assert_eq!(eng.nodes_migrated(), outcome.nodes_copied as u64);
+            // Each migration orphans exactly one slot in the old slab
+            // (nothing ingested mid-copy, so no deltas were replayed and
+            // the default policy doesn't compact at this scale).
+            assert_eq!(outcome.deltas_replayed, 0);
+            assert_eq!(outcome.slots_reclaimed, 0);
+            assert_eq!(eng.orphaned_pao_slots(), outcome.nodes_copied as u64);
             assert_ne!(eng.partition(), before, "committed map must differ");
         }
         for v in 0..7u32 {
@@ -1538,13 +1989,194 @@ mod tests {
         let before = eng.partition();
         let outcome = eng.rebalance();
         assert!(!outcome.committed);
-        assert_eq!(outcome.moved, 0);
+        assert_eq!(outcome.nodes_copied, 0);
+        // An uncommitted rebalance never takes the exclusive gate at all.
+        assert_eq!(outcome.fence_epochs, 0);
         assert_eq!(eng.rebalances(), 0);
         assert_eq!(eng.nodes_migrated(), 0);
         assert_eq!(
             eng.partition(),
             before,
             "uncommitted rebalance must not move"
+        );
+        eng.shutdown();
+    }
+
+    #[test]
+    fn compact_reclaims_migration_orphans_and_preserves_answers() {
+        let (ov, d) = paper_parts();
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards: 4,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+                rebalance: RebalancePolicy {
+                    min_cut_gain: 0.0,
+                    max_move_fraction: 1.0,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+        let mut rng = SplitMix64::new(11);
+        let mut events = Vec::new();
+        for _ in 0..150 {
+            events.push(Event::Write {
+                node: NodeId(rng.index(7) as u32),
+                value: rng.range(0, 30) as i64,
+            });
+        }
+        for (ts, e) in events.iter().enumerate() {
+            if let Event::Write { node, value } = *e {
+                reference.write(node, value, ts as u64);
+            }
+        }
+        eng.ingest_epoch(&EventBatch::new(0, events));
+        let report = eng.rebalance();
+        assert!(report.committed, "forced policy must commit on a hash map");
+        assert!(eng.orphaned_pao_slots() > 0);
+        let reclaimed = eng.compact();
+        assert_eq!(reclaimed, report.nodes_copied as u64);
+        assert_eq!(
+            eng.orphaned_pao_slots(),
+            0,
+            "compaction reclaims all orphans"
+        );
+        assert_eq!(eng.slots_reclaimed(), reclaimed);
+        // Answers and post-compaction writes are unaffected.
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
+            assert_eq!(eng.read_service(NodeId(v)), reference.read(NodeId(v)));
+        }
+        for (ts, (node, value)) in [(2u32, 6i64), (4, 8), (5, 1)].into_iter().enumerate() {
+            eng.submit_write(NodeId(node), value, 1000 + ts as u64);
+            reference.write(NodeId(node), value, 1000 + ts as u64);
+        }
+        eng.drain();
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v} post");
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn auto_compaction_piggybacks_on_the_flip_fence() {
+        let (ov, d) = paper_parts();
+        let eng = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards: 4,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+                rebalance: RebalancePolicy {
+                    min_cut_gain: 0.0,
+                    max_move_fraction: 1.0,
+                    // Any orphan triggers compaction inside the fence.
+                    compact_after_orphans: 1,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        for n in 0..7u32 {
+            eng.submit_write(NodeId(n), n as i64 + 1, n as u64);
+        }
+        eng.drain();
+        let report = eng.rebalance();
+        assert!(report.committed);
+        assert_eq!(report.slots_reclaimed, report.nodes_copied as u64);
+        assert_eq!(eng.orphaned_pao_slots(), 0);
+        assert_eq!(eng.slots_reclaimed(), report.slots_reclaimed);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn migrate_to_explicit_target_and_back_preserves_answers() {
+        let (ov, d) = paper_parts();
+        let eng = sharded(3);
+        let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+        for n in 0..7u32 {
+            eng.submit_write(NodeId(n), 3 * n as i64 + 2, n as u64);
+            reference.write(NodeId(n), 3 * n as i64 + 2, n as u64);
+        }
+        eng.drain();
+        let original = eng.partition();
+        // Rotate every node to the next shard.
+        let mut rotated = original.clone();
+        for s in rotated.of.iter_mut() {
+            *s = ShardId((s.0 + 1) % 3);
+        }
+        let there = eng.migrate_to(&rotated);
+        assert!(there.committed);
+        assert_eq!(there.nodes_copied, original.len());
+        assert_eq!(there.fence_epochs, 1);
+        assert_eq!(eng.partition(), rotated);
+        let back = eng.migrate_to(&original);
+        assert!(back.committed);
+        assert_eq!(eng.partition(), original);
+        // Same target again: nothing to move, nothing fenced.
+        let noop = eng.migrate_to(&original);
+        assert!(!noop.committed);
+        assert_eq!(noop.fence_epochs, 0);
+        // State survived the round trip, including new writes.
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
+        }
+        for n in 0..7u32 {
+            eng.submit_write(NodeId(n), 100 + n as i64, 1000 + n as u64);
+            reference.write(NodeId(n), 100 + n as i64, 1000 + n as u64);
+        }
+        eng.drain();
+        for v in 0..7u32 {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v} post");
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn rebalance_coalesces_while_a_migration_is_in_flight() {
+        // Thread A ping-pongs explicit migrations; the main thread fires
+        // rebalance() whenever one is in flight. Every such call must
+        // coalesce (single-flight CAS) rather than stack a second fence.
+        let eng = sharded(3);
+        for n in 0..7u32 {
+            eng.submit_write(NodeId(n), n as i64, n as u64);
+        }
+        eng.drain();
+        let a = eng.partition();
+        let mut b = a.clone();
+        for s in b.of.iter_mut() {
+            *s = ShardId((s.0 + 1) % 3);
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    eng.migrate_to(&b);
+                    eng.migrate_to(&a);
+                }
+            });
+            let mut attempts = 0u64;
+            while eng.coalesced_rebalances() == 0 && attempts < 100_000 {
+                if eng.migration_in_flight() {
+                    let r = eng.rebalance();
+                    if !r.committed && r.fence_epochs == 0 {
+                        attempts += 1;
+                    }
+                }
+                std::hint::spin_loop();
+            }
+            stop.store(true, Ordering::Release);
+        });
+        assert!(
+            eng.coalesced_rebalances() > 0,
+            "a rebalance racing an in-flight migration must coalesce"
         );
         eng.shutdown();
     }

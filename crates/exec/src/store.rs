@@ -179,15 +179,12 @@ impl<P: Send + Sync> ShardedStore<P> {
     /// flips (`Release`), so any reader that observes the new location
     /// (`Acquire`) finds the migrated state. Readers still holding the old
     /// location read the old slot, which retains the pre-handoff value —
-    /// the slot becomes an orphan (never referenced again) rather than
-    /// being cleared, trading one PAO of memory per migration for a
-    /// tear-free handoff under concurrent relaxed reads. Orphans are never
-    /// reclaimed (a reader that loaded the old location has no bounded
-    /// lifetime, so the slot cannot safely be reused), which means slab
-    /// memory grows monotonically with total migrations — watch
-    /// [`orphaned_slots`](Self::orphaned_slots) on long-lived engines
-    /// that rebalance frequently; compaction is a recorded ROADMAP
-    /// follow-up.
+    /// the slot becomes an orphan rather than being cleared, trading one
+    /// PAO of memory per migration for a tear-free handoff under
+    /// concurrent relaxed reads. Orphans persist until the next
+    /// [`compact`](Self::compact) pass repacks the slabs; readers that
+    /// loaded a stale location revalidate it under the slab lock (see
+    /// [`PaoStore::with_read`] for this type), so reuse is safe.
     pub fn relocate(&self, idx: usize, dest: ShardId, value: P) {
         let mut slab = self.slabs[dest.idx()].write();
         let off = slab.len() as u32;
@@ -197,11 +194,68 @@ impl<P: Send + Sync> ShardedStore<P> {
         self.orphans.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Slots orphaned by migrations so far (one per
+    /// Slots orphaned by migrations since the last compaction (one per
     /// [`relocate`](Self::relocate) call): the store's memory overhead
-    /// beyond one PAO per node, in PAOs.
+    /// beyond one PAO per node, in PAOs. [`compact`](Self::compact)
+    /// returns this to zero.
     pub fn orphaned_slots(&self) -> u64 {
         self.orphans.load(Ordering::Relaxed)
+    }
+
+    /// Repack every slab in place, dropping orphaned slots and
+    /// republishing the surviving slots' locations. Returns the number of
+    /// slots reclaimed.
+    ///
+    /// Each slab is compacted under its own write lock: live slots are
+    /// swapped down over orphans, their locations re-stored *before* the
+    /// lock is released, and the tail truncated. A concurrent relaxed
+    /// reader that loaded a pre-compaction location blocks on that slab
+    /// lock and then revalidates the location (the retry loop in this
+    /// type's [`PaoStore::with_read`]/[`PaoStore::with_mut`]), so it can
+    /// never index a moved or truncated slot. Slots are only ever
+    /// reassigned under the slab write lock, which is what makes the
+    /// revalidation sound.
+    ///
+    /// Callers must ensure no [`ShardGuard`] or [`ShardSnapshot`] is held
+    /// across the call (the sharded engine runs compaction under its
+    /// exclusive epoch gate with all workers drained), otherwise this
+    /// deadlocks on the slab lock.
+    pub fn compact(&self) -> u64 {
+        // One pass over the location table groups live slots by shard.
+        let mut live: Vec<Vec<(u32, usize)>> = vec![Vec::new(); self.slabs.len()];
+        for (idx, loc) in self.loc.iter().enumerate() {
+            let (shard, off) = decode_loc(loc.load(Ordering::Acquire));
+            live[shard as usize].push((off, idx));
+        }
+        let mut reclaimed = 0u64;
+        for (shard, mut slots) in live.into_iter().enumerate() {
+            let mut slab = self.slabs[shard].write();
+            slots.sort_unstable();
+            let mut w = 0u32;
+            for (off, idx) in slots {
+                if off != w {
+                    slab.swap(w as usize, off as usize);
+                    self.loc[idx].store(encode_loc(shard as u32, w), Ordering::Release);
+                }
+                w += 1;
+            }
+            reclaimed += (slab.len() - w as usize) as u64;
+            slab.truncate(w as usize);
+        }
+        let mut seen = self.orphans.load(Ordering::Relaxed);
+        loop {
+            let next = seen.saturating_sub(reclaimed);
+            match self.orphans.compare_exchange_weak(
+                seen,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => seen = cur,
+            }
+        }
+        reclaimed
     }
 
     /// Take the write lock of one shard's slab for the duration of a batch.
@@ -280,16 +334,34 @@ impl<P: Send + Sync> PaoStore<P> for ShardedStore<P> {
         self.loc.len()
     }
 
+    // Both accessors revalidate the location after acquiring the slab
+    // lock: a migration or compaction may republish the slot between the
+    // load and the lock, and compaction reuses offsets, so indexing with a
+    // stale location would read the wrong PAO (or past the truncated
+    // tail). Locations only change under the owning slab's write lock, so
+    // a location that still matches once the lock is held is current.
     #[inline]
     fn with_mut<R>(&self, idx: usize, f: impl FnOnce(&mut P) -> R) -> R {
-        let (shard, off) = self.loc_of(idx);
-        f(&mut self.slabs[shard as usize].write()[off as usize])
+        loop {
+            let packed = self.loc[idx].load(Ordering::Acquire);
+            let (shard, off) = decode_loc(packed);
+            let mut slab = self.slabs[shard as usize].write();
+            if self.loc[idx].load(Ordering::Acquire) == packed {
+                return f(&mut slab[off as usize]);
+            }
+        }
     }
 
     #[inline]
     fn with_read<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
-        let (shard, off) = self.loc_of(idx);
-        f(&self.slabs[shard as usize].read()[off as usize])
+        loop {
+            let packed = self.loc[idx].load(Ordering::Acquire);
+            let (shard, off) = decode_loc(packed);
+            let slab = self.slabs[shard as usize].read();
+            if self.loc[idx].load(Ordering::Acquire) == packed {
+                return f(&slab[off as usize]);
+            }
+        }
     }
 }
 
@@ -389,6 +461,40 @@ mod tests {
             assert_eq!(snap.with_pao(1, |p| *p), 111);
             assert_eq!(snap.with_pao(0, |p| *p), 10);
         }
+    }
+
+    #[test]
+    fn compact_reclaims_orphans_and_preserves_values() {
+        let part = Partitioner::chunked(2, 4).partition(8);
+        let store = ShardedStore::new(&part, || 0i64);
+        for i in 0..8 {
+            store.with_mut(i, |p| *p = 10 + i as i64);
+        }
+        // Shuffle ownership around: 3 relocations, 3 orphans.
+        store.relocate(1, ShardId(1), store.with_read(1, |p| *p));
+        store.relocate(5, ShardId(0), store.with_read(5, |p| *p));
+        store.relocate(1, ShardId(0), store.with_read(1, |p| *p));
+        assert_eq!(store.orphaned_slots(), 3);
+        assert_eq!(store.compact(), 3);
+        assert_eq!(store.orphaned_slots(), 0);
+        for i in 0..8 {
+            assert_eq!(store.with_read(i, |p| *p), 10 + i as i64);
+        }
+        // Slabs hold exactly one slot per live node.
+        let total: usize = (0..store.shard_count())
+            .map(|s| store.slabs[s].read().len())
+            .sum();
+        assert_eq!(total, store.len());
+        // Writes through the new owners still land.
+        {
+            let mut g = store.lock_shard(ShardId(0));
+            *g.get_mut(1) += 100;
+            *g.get_mut(5) += 100;
+        }
+        assert_eq!(store.with_read(1, |p| *p), 111);
+        assert_eq!(store.with_read(5, |p| *p), 115);
+        // Idempotent with nothing to reclaim.
+        assert_eq!(store.compact(), 0);
     }
 
     #[test]

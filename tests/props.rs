@@ -380,6 +380,99 @@ proptest! {
         sharded.shutdown();
     }
 
+    #[test]
+    fn migration_during_concurrent_ingest_preserves_differential(
+        seed in 0u64..60,
+        shards in 2usize..5,
+        events in proptest::collection::vec((0u32..30, -50i64..50), 20..250),
+        batch_size in 4usize..48,
+    ) {
+        // Two-phase migration fuzz: an ingester thread streams the whole
+        // workload while the main thread hammers the migration machinery —
+        // observed-load rebalances, explicit ping-pong migrations, and
+        // fence-piggybacked compaction (compact_after_orphans=1). Phase-1
+        // copies therefore run with writes genuinely in flight, so the
+        // side-log capture/replay path is exercised for real. The drained
+        // engine must equal the single-threaded replay exactly. The
+        // nightly soak job runs this with PROPTEST_CASES raised ~10× so
+        // the copy/flip races get real fuzz time.
+        let g = eagr::gen::social_graph(30, 3, seed);
+        let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        let ov = Arc::new(Overlay::direct_from_bipartite(&ag));
+        let d = Decisions::all_push(&ov);
+        let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+        let sharded = ShardedEngine::new(
+            Sum,
+            Arc::clone(&ov),
+            &d,
+            WindowSpec::Tuple(1),
+            &ShardedConfig {
+                shards,
+                strategy: PartitionStrategy::Hash,
+                channel_capacity: 64,
+                rebalance: RebalancePolicy {
+                    min_cut_gain: 0.0,
+                    max_move_fraction: 1.0,
+                    compact_after_orphans: 1,
+                    ..RebalancePolicy::default()
+                },
+            },
+        );
+        let stream: Vec<Event> = events
+            .iter()
+            .map(|&(n, v)| Event::Write { node: NodeId(n), value: v })
+            .collect();
+        for (ts, e) in stream.iter().enumerate() {
+            if let Event::Write { node, value } = *e {
+                reference.write(node, value, ts as u64);
+            }
+        }
+        let a = sharded.partition();
+        let mut b = a.clone();
+        for s in b.of.iter_mut() {
+            s.0 = (s.0 + 1) % shards as u32;
+        }
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for batch in batch_events(&stream, batch_size, 0) {
+                    sharded.ingest_epoch(&batch);
+                }
+                done.store(true, std::sync::atomic::Ordering::Release);
+            });
+            while !done.load(std::sync::atomic::Ordering::Acquire) {
+                sharded.migrate_to(&b);
+                sharded.migrate_to(&a);
+                sharded.rebalance();
+            }
+        });
+        sharded.drain();
+        let nodes: Vec<NodeId> = (0..30u32).map(NodeId).collect();
+        let served = sharded.read_batch(&nodes);
+        for (i, &v) in nodes.iter().enumerate() {
+            prop_assert_eq!(
+                sharded.read(v),
+                reference.read(v),
+                "point read {:?} diverged under concurrent migration",
+                v
+            );
+            prop_assert_eq!(
+                served[i].clone(),
+                reference.read(v),
+                "shard-executed read {:?} diverged under concurrent migration",
+                v
+            );
+        }
+        // Fence-piggybacked compaction fired on every committed migration;
+        // a final sweep must leave zero orphans and identical answers.
+        sharded.compact();
+        prop_assert_eq!(sharded.orphaned_pao_slots(), 0);
+        for &v in &nodes {
+            prop_assert_eq!(sharded.read(v), reference.read(v));
+        }
+        sharded.shutdown();
+    }
+
     // ---------- end-to-end ----------
 
     #[test]

@@ -732,3 +732,227 @@ fn interleaved_reads_and_writes_through_the_facade() {
         }
     }
 }
+
+// ---------- two-phase migration: compaction and coalescing ----------
+
+#[test]
+fn compaction_reclaims_orphans_with_relaxed_readers_racing_the_flip() {
+    // Satellite 3a: migrations orphan slab slots; compaction must return
+    // `orphaned_pao_slots` to 0 while relaxed caller-thread readers race
+    // both the flips and the repack. Readers revalidate slot locations, so
+    // no read may tear or panic, and the drained end state must equal the
+    // single-threaded reference.
+    let (g, ov, d) = all_push_parts(100, 71);
+    let eng = Arc::new(ShardedEngine::new(
+        Sum,
+        Arc::clone(&ov),
+        &d,
+        WindowSpec::Tuple(1),
+        &ShardedConfig {
+            shards: 4,
+            strategy: PartitionStrategy::Hash,
+            channel_capacity: 256,
+            rebalance: RebalancePolicy {
+                min_cut_gain: 0.0,
+                max_move_fraction: 1.0,
+                ..RebalancePolicy::default()
+            },
+        },
+    ));
+    let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+    let events = generate_events(
+        100,
+        &WorkloadConfig {
+            events: 4000,
+            write_to_read: 1e9,
+            seed: 72,
+            ..Default::default()
+        },
+    );
+    let probes: Vec<NodeId> = g.nodes().collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let reader_eng = Arc::clone(&eng);
+            let reader_stop = Arc::clone(&stop);
+            let reader_probes = probes.clone();
+            s.spawn(move || {
+                while !reader_stop.load(Ordering::Relaxed) {
+                    for &v in reader_probes.iter().skip(t) {
+                        // Relaxed read: any epoch- or mid-epoch state is
+                        // admissible; the point is it never tears.
+                        let _ = reader_eng.read(v);
+                    }
+                }
+            });
+        }
+        let mut compacted = 0u64;
+        for (i, b) in batch_events(&events, 200, 0).iter().enumerate() {
+            eng.ingest_epoch(b);
+            for (e, ts) in b.iter_timed() {
+                if let Event::Write { node, value } = *e {
+                    reference.write(node, value, ts);
+                }
+            }
+            if i % 4 == 3 {
+                eng.rebalance();
+            }
+            if i % 8 == 7 {
+                compacted += eng.compact();
+            }
+        }
+        assert!(eng.rebalances() >= 1, "forced rebalances must commit");
+        assert!(compacted > 0, "migrations must have orphaned slots");
+        let tail = eng.compact();
+        assert_eq!(
+            eng.orphaned_pao_slots(),
+            0,
+            "compaction reclaims every orphan"
+        );
+        assert_eq!(eng.slots_reclaimed(), compacted + tail);
+        stop.store(true, Ordering::Relaxed);
+    });
+    eng.drain();
+    for v in g.nodes() {
+        assert_eq!(eng.read(v), reference.read(v), "node {v:?}");
+    }
+    match Arc::try_unwrap(eng) {
+        Ok(e) => e.shutdown(),
+        Err(_) => panic!("engine still shared"),
+    }
+}
+
+#[test]
+fn concurrent_auto_rebalance_triggers_coalesce_not_stack() {
+    // Satellite 6 regression: with every_epochs=1, two ingester threads
+    // fire the auto-rebalance trigger concurrently. Triggers landing while
+    // another migration is in flight must coalesce (single-flight CAS) —
+    // never stack a second drain or overlap two copies — and the drained
+    // state must still equal the single-threaded reference.
+    let (g, ov, d) = all_push_parts(100, 81);
+    let eng = Arc::new(ShardedEngine::new(
+        Sum,
+        Arc::clone(&ov),
+        &d,
+        WindowSpec::Tuple(1),
+        &ShardedConfig {
+            shards: 4,
+            strategy: PartitionStrategy::Hash,
+            channel_capacity: 256,
+            rebalance: RebalancePolicy {
+                every_epochs: 1,
+                min_cut_gain: 0.0,
+                max_move_fraction: 1.0,
+                ..RebalancePolicy::default()
+            },
+        },
+    ));
+    let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
+    let events = generate_events(
+        100,
+        &WorkloadConfig {
+            events: 6000,
+            write_to_read: 1e9,
+            seed: 82,
+            ..Default::default()
+        },
+    );
+    // Disjoint writer sets per thread keep per-writer op order (and thus
+    // the final tuple-window state) deterministic under 2-thread ingest.
+    let halves: Vec<Vec<eagr::gen::Event>> = (0..2)
+        .map(|t| {
+            events
+                .iter()
+                .filter(|e| match e {
+                    Event::Write { node, .. } => node.0 as usize % 2 == t,
+                    _ => false,
+                })
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let mut batch_count = 0usize;
+    std::thread::scope(|s| {
+        for (t, half) in halves.iter().enumerate() {
+            batch_count += half.len().div_ceil(100);
+            let eng = Arc::clone(&eng);
+            s.spawn(move || {
+                for b in batch_events(half, 100, (t as u64) << 32) {
+                    // every_epochs=1: this triggers a rebalance attempt on
+                    // the ingesting thread after every single batch.
+                    eng.ingest_epoch(&b);
+                }
+            });
+        }
+    });
+    for (t, half) in halves.iter().enumerate() {
+        for b in batch_events(half, 100, (t as u64) << 32) {
+            for (e, ts) in b.iter_timed() {
+                if let Event::Write { node, value } = *e {
+                    reference.write(node, value, ts);
+                }
+            }
+        }
+    }
+    eng.drain();
+    // Conservation: every trigger either ran to completion (committed or
+    // not) or coalesced against an in-flight migration — and commits can
+    // never exceed the number of triggers fired.
+    assert!(eng.rebalances() >= 1, "forced policy must commit");
+    assert!(
+        eng.rebalances() + eng.coalesced_rebalances() <= batch_count as u64,
+        "more outcomes ({} commits + {} coalesced) than triggers ({batch_count})",
+        eng.rebalances(),
+        eng.coalesced_rebalances(),
+    );
+    for v in g.nodes() {
+        assert_eq!(eng.read(v), reference.read(v), "node {v:?}");
+    }
+    match Arc::try_unwrap(eng) {
+        Ok(e) => e.shutdown(),
+        Err(_) => panic!("engine still shared"),
+    }
+}
+
+#[test]
+fn facade_surfaces_migration_and_compaction_counters() {
+    // MigrationReport flows out of EagrSystem::rebalance(), the registry
+    // rolls migration/compaction counters across sharded strata, and
+    // EagrSystem::compact() reclaims what migrations orphaned.
+    let g = social_graph(120, 4, 91);
+    let events = generate_events(
+        120,
+        &WorkloadConfig {
+            events: 3000,
+            write_to_read: 1e9,
+            seed: 92,
+            ..Default::default()
+        },
+    );
+    let sys = EagrSystem::builder(EgoQuery::new(Sum))
+        .execution(eagr::ExecutionMode::Sharded { shards: 4 })
+        .rebalance(RebalancePolicy {
+            min_cut_gain: 0.0,
+            max_move_fraction: 1.0,
+            ..RebalancePolicy::default()
+        })
+        .build(&g);
+    sys.ingest(&events);
+    let report = sys.rebalance().expect("sharded mode rebalances");
+    assert!(report.committed);
+    assert_eq!(report.fence_epochs, 1);
+    let stats = sys.registry_stats();
+    assert_eq!(stats.rebalances, 1);
+    assert_eq!(stats.nodes_migrated, report.nodes_copied as u64);
+    assert_eq!(stats.orphaned_pao_slots, report.nodes_copied as u64);
+    assert_eq!(stats.slots_reclaimed, 0);
+    let reclaimed = sys.compact().expect("sharded mode compacts");
+    assert_eq!(reclaimed, report.nodes_copied as u64);
+    let after = sys.registry_stats();
+    assert_eq!(after.orphaned_pao_slots, 0);
+    assert_eq!(after.slots_reclaimed, reclaimed);
+    // Local modes have neither a map nor slabs.
+    let local = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+    assert!(local.rebalance().is_none());
+    assert!(local.compact().is_none());
+}
