@@ -59,6 +59,7 @@ fn measured_rates(events: &[Event], n: usize) -> Rates {
         match *e {
             Event::Write { node, .. } => rates.write[node.idx()] += 1.0,
             Event::Read { node } => rates.read[node.idx()] += 1.0,
+            _ => {}
         }
     }
     rates
@@ -74,6 +75,7 @@ fn run_events<A: Aggregate>(core: &EngineCore<A>, events: &[Event], ts0: u64) ->
             Event::Read { node } => {
                 std::hint::black_box(core.read(node));
             }
+            _ => {}
         }
     }
     t.elapsed().as_secs_f64()
@@ -289,6 +291,7 @@ fn fig13d() {
                 match *e {
                     Event::Write { node, value } => eng.submit_write(node, value, i as u64),
                     Event::Read { node } => eng.submit_read(node),
+                    _ => {}
                 }
             }
             eng.drain();

@@ -74,6 +74,7 @@ fn run_plan<A: Aggregate + Clone>(
             Event::Read { node } => {
                 std::hint::black_box(core.read(node));
             }
+            _ => {}
         }
     }
     events.len() as f64 / t0.elapsed().as_secs_f64()

@@ -115,6 +115,7 @@ fn main() {
                 check_fig14_rebalance(&baseline, &current, &mut failures)
             }
             "BENCH_fig_multiquery.json" => check_fig_multiquery(&baseline, &current, &mut failures),
+            "BENCH_fig_churn.json" => check_fig_churn(&baseline, &current, &mut failures),
             // Unknown artifacts only gate on presence (checked above).
             _ => {}
         }
@@ -325,6 +326,79 @@ fn check_fig_multiquery(baseline: &Json, current: &Json, failures: &mut Vec<Stri
         .is_some_and(|a| a > 0.0);
     if !churn_ok {
         failures.push("fig_multiquery: churn row missing or attach rate not positive".into());
+    }
+}
+
+/// fig_churn: the sharded hot path under streaming topology mutations.
+///
+/// Hard (deterministic) invariants of the current run:
+///
+/// * every `(churn_pct, engine)` row the baseline recorded is still
+///   emitted;
+/// * every sharded row reports `answers_match == 1` — the sharded system
+///   equals the single-threaded reference on the same mixed stream, at
+///   every churn level;
+/// * every nonzero churn level applied mutations and ran at least one
+///   topology epoch (the repair path cannot silently stop running).
+///
+/// Throughput shape: the sharded ops/s at each churn level, normalized
+/// by the same run's 0%-churn sharded row (hardware-independent), under
+/// the usual 25% tolerance — churn overhead must not quietly explode.
+fn check_fig_churn(baseline: &Json, current: &Json, failures: &mut Vec<String>) {
+    for base_row in rows(baseline) {
+        let engine = base_row.get("engine").and_then(Json::as_str).unwrap_or("");
+        let Some(pct) = num(base_row, "churn_pct") else {
+            continue;
+        };
+        let Some(row) = find_row(current, &[("engine", engine)], &[("churn_pct", pct)]) else {
+            failures.push(format!(
+                "fig_churn: baseline row missing from current artifact: {engine} at {pct}%"
+            ));
+            continue;
+        };
+        if engine == "sharded" && num(row, "answers_match") != Some(1.0) {
+            failures.push(format!(
+                "fig_churn: sharded answers diverged from the single-threaded \
+                 reference at {pct}% churn"
+            ));
+        }
+        if pct > 0.0 {
+            if !num(row, "mutations").is_some_and(|m| m > 0.0) {
+                failures.push(format!("fig_churn: no mutations applied at {pct}% churn"));
+            }
+            if !num(row, "topo_epochs").is_some_and(|e| e >= 1.0) {
+                failures.push(format!("fig_churn: no topology epoch ran at {pct}% churn"));
+            }
+        }
+    }
+    let sharded_ops = |doc: &Json, pct: f64| -> Option<f64> {
+        find_row(doc, &[("engine", "sharded")], &[("churn_pct", pct)])
+            .and_then(|r| num(r, "ops_per_s"))
+    };
+    let (Some(base_zero), Some(cur_zero)) = (sharded_ops(baseline, 0.0), sharded_ops(current, 0.0))
+    else {
+        failures.push("fig_churn: missing 0%-churn sharded normalization row".into());
+        return;
+    };
+    let pcts: Vec<f64> = rows(baseline)
+        .iter()
+        .filter(|r| r.get("engine").and_then(Json::as_str) == Some("sharded"))
+        .filter_map(|r| num(r, "churn_pct"))
+        .filter(|&p| p > 0.0)
+        .collect();
+    for pct in pcts {
+        match (sharded_ops(baseline, pct), sharded_ops(current, pct)) {
+            (Some(base), Some(cur)) => {
+                let (base_ratio, cur_ratio) = (base / base_zero, cur / cur_zero);
+                if cur_ratio < throughput_bar(base_ratio) {
+                    failures.push(format!(
+                        "fig_churn: >25% regression of churn-adjusted throughput at {pct}%: \
+                         {cur_ratio:.3}x of content-only vs baseline {base_ratio:.3}x"
+                    ));
+                }
+            }
+            _ => failures.push(format!("fig_churn: sharded row missing at {pct}% churn")),
+        }
     }
 }
 

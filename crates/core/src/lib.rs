@@ -43,7 +43,7 @@ pub mod system;
 
 pub use oracle::NaiveOracle;
 pub use query::{EgoQuery, NodePredicate, QueryMode};
-pub use registry::{AttachReport, DetachReport, IngestReport, RegistryStats};
+pub use registry::{AttachReport, DetachReport, IngestReport, RegistryStats, TopoReport};
 pub use system::{
     EagrSystem, ExecutionMode, OverlayAlgorithm, QueryHandle, SystemBuilder, SystemStats,
 };
@@ -60,7 +60,9 @@ pub use eagr_util as util;
 pub mod prelude {
     pub use crate::oracle::NaiveOracle;
     pub use crate::query::{EgoQuery, QueryMode};
-    pub use crate::registry::{AttachReport, DetachReport, IngestReport, RegistryStats};
+    pub use crate::registry::{
+        AttachReport, DetachReport, IngestReport, RegistryStats, TopoReport,
+    };
     pub use crate::system::{
         EagrSystem, ExecutionMode, OverlayAlgorithm, QueryHandle, SystemStats,
     };

@@ -39,12 +39,49 @@ pub struct IngestReport {
     pub writes: usize,
     /// Read events evaluated.
     pub reads: usize,
+    /// Topology mutations in the batch (edge/node churn), counted once per
+    /// event regardless of execution mode or per-stratum validity — see
+    /// [`TopoReport`] for what actually applied.
+    pub mutations: usize,
 }
 
 impl IngestReport {
     /// Total events processed.
     pub fn total(&self) -> usize {
-        self.writes + self.reads
+        self.writes + self.reads + self.mutations
+    }
+}
+
+/// What the dynamic-topology path has done so far, accumulated across
+/// every mutation run ([`EagrSystem::mutate_topology`](crate::system::EagrSystem::mutate_topology)
+/// and topology runs inside mixed [`ingest`](crate::system::EagrSystem::ingest)
+/// batches) and reported in [`RegistryStats::topo`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TopoReport {
+    /// Mutation runs applied (each run is one topology epoch per stratum).
+    pub epochs: u64,
+    /// Mutations applied to the shared data graph.
+    pub applied: u64,
+    /// Mutations skipped as invalid against the live graph (duplicate
+    /// edge, missing endpoint, already-removed node, …).
+    pub skipped: u64,
+    /// Overlay nodes appended by incremental repair, summed across strata.
+    pub fresh_overlay_nodes: u64,
+    /// Overlay nodes retired by repair, summed across strata.
+    pub retired_overlay_nodes: u64,
+    /// Push nodes rematerialized after repair (fresh + upgraded + dirty
+    /// closure), summed across strata.
+    pub rematerialized: u64,
+}
+
+impl TopoReport {
+    pub(crate) fn absorb(&mut self, other: &TopoReport) {
+        self.epochs += other.epochs;
+        self.applied += other.applied;
+        self.skipped += other.skipped;
+        self.fresh_overlay_nodes += other.fresh_overlay_nodes;
+        self.retired_overlay_nodes += other.retired_overlay_nodes;
+        self.rematerialized += other.rematerialized;
     }
 }
 
@@ -127,6 +164,9 @@ pub struct RegistryStats {
     pub orphaned_pao_slots: u64,
     /// Orphaned slab slots reclaimed by compaction so far.
     pub slots_reclaimed: u64,
+    /// Cumulative dynamic-topology activity (mutation runs, churn applied,
+    /// overlay repair volume).
+    pub topo: TopoReport,
 }
 
 // ---------------------------------------------------------------------------
@@ -276,7 +316,7 @@ impl<A: Aggregate> Runtime<A> {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => {
                 seed_core(core, carried, backfill, fresh_push)
             }
-            Runtime::Sharded(eng) => seed_core(eng.core(), carried, backfill, fresh_push),
+            Runtime::Sharded(eng) => seed_core(&eng.core(), carried, backfill, fresh_push),
         }
     }
 }
@@ -381,6 +421,8 @@ pub(crate) struct Registry<A: Aggregate> {
     /// Slot per stratum; `None` once dropped (indices stay stable).
     pub(crate) strata: Vec<Option<Stratum<A>>>,
     pub(crate) queries: FastMap<u64, QueryEntry>,
+    /// Cumulative dynamic-topology activity.
+    pub(crate) topo: TopoReport,
 }
 
 impl<A: Aggregate> Registry<A> {
@@ -388,6 +430,7 @@ impl<A: Aggregate> Registry<A> {
         Self {
             strata: Vec::new(),
             queries: FastMap::default(),
+            topo: TopoReport::default(),
         }
     }
 
@@ -414,6 +457,7 @@ impl<A: Aggregate> Registry<A> {
             strata: self.live().count(),
             queries: self.queries.len(),
             live_nodes: self.live().map(|s| s.overlay.live_node_count()).sum(),
+            topo: self.topo,
             ..RegistryStats::default()
         };
         for s in self.live() {

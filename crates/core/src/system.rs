@@ -8,19 +8,23 @@
 use crate::query::{EgoQuery, QueryMode};
 use crate::registry::{
     AttachReport, DetachReport, IngestReport, QueryEntry, Registry, RegistryStats, Runtime,
-    Stratum, WriteHistory,
+    Stratum, TopoReport, WriteHistory,
 };
 use eagr_agg::{Aggregate, CostModel, WindowBuffer, WindowSpec};
 use eagr_exec::{
     AdaptiveEngine, EngineCore, MigrationReport, ParallelConfig, ParallelEngine, RebalancePolicy,
     ShardedConfig, ShardedEngine,
 };
-use eagr_flow::{extend_decisions, plan, DecisionAlgorithm, Decisions, Plan, PlannerConfig, Rates};
+use eagr_flow::{
+    extend_decisions, plan, topo_plan_delta, DecisionAlgorithm, Decisions, Plan, PlannerConfig,
+    Rates,
+};
 use eagr_gen::{Event, EventBatch};
 use eagr_graph::{BipartiteGraph, DataGraph, NodeId, PartitionStrategy};
 use eagr_overlay::{
-    build_iob, build_vnm, extend_with_readers, metrics, used_subtree, IobConfig, IterationStats,
-    Overlay, OverlayId, OverlayKind, RefCounts, VnmConfig,
+    build_iob, build_vnm, extend_with_readers, metrics, used_subtree, DynamicConfig,
+    DynamicOverlay, IobConfig, IterationStats, Overlay, OverlayId, OverlayKind, RefCounts,
+    VnmConfig,
 };
 use eagr_util::FastSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -257,7 +261,7 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
         EagrSystem {
             inner: Arc::new(SystemInner {
                 registry: RwLock::new(registry),
-                graph: graph.clone(),
+                graph: RwLock::new(graph.clone()),
                 history: Mutex::new(WriteHistory::new(config.history)),
                 clock: AtomicU64::new(0),
                 next_query: AtomicU64::new(1),
@@ -451,11 +455,14 @@ where
 /// Shared mutable state behind an [`EagrSystem`] and every
 /// [`QueryHandle`] cloned off it.
 ///
-/// Lock order: `registry` before `history` — every path that takes both
-/// takes the registry lock first.
+/// Lock order: `registry` before `graph` before `history` — every path
+/// that takes more than one takes them in that order.
 pub(crate) struct SystemInner<A: Aggregate> {
     pub(crate) registry: RwLock<Registry<A>>,
-    pub(crate) graph: DataGraph,
+    /// The live data graph. Topology mutations
+    /// ([`EagrSystem::mutate_topology`], mutation runs inside
+    /// [`EagrSystem::ingest`]) rewrite it under the write lock.
+    pub(crate) graph: RwLock<DataGraph>,
     pub(crate) history: Mutex<WriteHistory>,
     /// Timestamp source for [`EagrSystem::ingest`]: events are stamped
     /// with consecutive stream positions across calls.
@@ -639,15 +646,16 @@ impl<A: Aggregate> EagrSystem<A> {
         let id = self.inner.next_query.fetch_add(1, Ordering::Relaxed);
         let now = self.inner.clock.load(Ordering::Relaxed);
         let mut reg = self.inner.registry.write().unwrap();
+        let graph = self.inner.graph.read().unwrap();
 
         // The query's reader set and per-reader input lists — the same
         // shape `BipartiteGraph::build` produces for a cold compile.
         let mut wants: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
-        for v in self.inner.graph.nodes() {
+        for v in graph.nodes() {
             if !(query.predicate)(v) {
                 continue;
             }
-            let mut list = query.neighborhood.select(&self.inner.graph, v);
+            let mut list = query.neighborhood.select(&graph, v);
             if list.is_empty() {
                 continue;
             }
@@ -725,7 +733,7 @@ impl<A: Aggregate> EagrSystem<A> {
                 )
             }
             None => {
-                let compiled = compile_stratum(&self.inner.config, &query, &self.inner.graph);
+                let compiled = compile_stratum(&self.inner.config, &query, &graph);
                 let st = compiled.stratum;
                 // A cold stratum starts mid-stream: backfill *every*
                 // writer from history, then materialize the whole push
@@ -981,6 +989,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// * sharded — one ingestion epoch ([`ShardedEngine::ingest_epoch`]).
     pub fn write_batch(&self, batch: &EventBatch) -> IngestReport
     where
+        A: Clone,
         A::Output: Send,
     {
         self.apply_batch(&batch.events, batch.base_ts)
@@ -993,6 +1002,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// timestamp. The shared stream feeds every registered query.
     pub fn ingest(&self, events: &[Event]) -> IngestReport
     where
+        A: Clone,
         A::Output: Send,
     {
         let base_ts = self
@@ -1004,8 +1014,15 @@ impl<A: Aggregate> EagrSystem<A> {
 
     /// The shared borrowing batch path behind [`write_batch`](Self::write_batch)
     /// and [`ingest`](Self::ingest); event `i` carries `base_ts + i`.
+    ///
+    /// The stream is split into maximal content/topology runs at the same
+    /// positions in every mode: content runs go down the mode's batch
+    /// path, each topology run becomes one repair epoch
+    /// ([`apply_topo_run`](Self::apply_topo_run)) between them, so a write
+    /// after a mutation always executes on the mutated topology.
     fn apply_batch(&self, events: &[Event], base_ts: u64) -> IngestReport
     where
+        A: Clone,
         A::Output: Send,
     {
         // Keep the ingest clock ahead of explicitly timestamped batches so
@@ -1013,6 +1030,31 @@ impl<A: Aggregate> EagrSystem<A> {
         self.inner
             .clock
             .fetch_max(base_ts + events.len() as u64, Ordering::Relaxed);
+        let mut report = IngestReport::default();
+        let mut i = 0;
+        while i < events.len() {
+            let topo = events[i].is_topo();
+            let start = i;
+            while i < events.len() && events[i].is_topo() == topo {
+                i += 1;
+            }
+            let run = &events[start..i];
+            if topo {
+                report.mutations += run.len();
+                self.apply_topo_run(run);
+            } else {
+                self.apply_content_run(run, base_ts + start as u64, &mut report);
+            }
+        }
+        report
+    }
+
+    /// One maximal run of content (write/read) events down the mode's
+    /// batch path; event `i` of the run carries `base_ts + i`.
+    fn apply_content_run(&self, events: &[Event], base_ts: u64, report: &mut IngestReport)
+    where
+        A::Output: Send,
+    {
         let reg = self.inner.registry.read().unwrap();
         {
             let mut history = self.inner.history.lock().unwrap();
@@ -1022,11 +1064,11 @@ impl<A: Aggregate> EagrSystem<A> {
                 }
             }
         }
-        let mut report = IngestReport::default();
         for e in events {
             match e {
                 Event::Write { .. } => report.writes += 1,
                 Event::Read { .. } => report.reads += 1,
+                _ => unreachable!("content runs contain no topology mutations"),
             }
         }
         for st in reg.live() {
@@ -1040,6 +1082,7 @@ impl<A: Aggregate> EagrSystem<A> {
                             Event::Read { node } => {
                                 std::hint::black_box(core.read(node));
                             }
+                            _ => {}
                         }
                     }
                 }
@@ -1052,6 +1095,7 @@ impl<A: Aggregate> EagrSystem<A> {
                             Event::Read { node } => {
                                 engine.submit_read(node);
                             }
+                            _ => {}
                         }
                     }
                     engine.drain();
@@ -1061,12 +1105,188 @@ impl<A: Aggregate> EagrSystem<A> {
                 }
             }
         }
-        report
+    }
+
+    /// Apply a run of topology mutations (edge/node churn) outside an
+    /// ingest stream: the same path a mutation run embedded in
+    /// [`ingest`](Self::ingest) takes. Invalid mutations — duplicate
+    /// edges, dead endpoints, already-removed nodes — are counted as
+    /// `skipped`, never errors, so generated churn streams replay safely.
+    /// Content events in `muts` are skipped too.
+    ///
+    /// Returns what this run did; cumulative totals live in
+    /// [`registry_stats`](Self::registry_stats) under
+    /// [`RegistryStats::topo`].
+    pub fn mutate_topology(&self, muts: &[Event]) -> TopoReport
+    where
+        A: Clone,
+        A::Output: Send,
+    {
+        self.apply_topo_run(muts)
+    }
+
+    /// Apply one maximal run of topology mutations: validate against the
+    /// shared graph, repair every stratum's overlay incrementally (§3.3
+    /// via [`DynamicOverlay`]), map each repair to a plan delta
+    /// ([`topo_plan_delta`] — no planner re-run), and move each runtime
+    /// onto the repaired topology. The sharded engine swaps cores in
+    /// place through [`ShardedEngine::apply_topo`] (workers keep running
+    /// across the epoch); the local modes rebuild and re-seed from
+    /// carried state.
+    fn apply_topo_run(&self, muts: &[Event]) -> TopoReport
+    where
+        A: Clone,
+        A::Output: Send,
+    {
+        let mut reg = self.inner.registry.write().unwrap();
+        let mut graph = self.inner.graph.write().unwrap();
+        let now = self.inner.clock.load(Ordering::Relaxed);
+        let mut run = TopoReport::default();
+        // Validate once against a scratch clone of the shared graph so
+        // every stratum — and every execution mode — replays the same
+        // applied subsequence.
+        let mut probe = graph.clone();
+        let mut valid: Vec<Event> = Vec::with_capacity(muts.len());
+        for &e in muts {
+            let ok = match e {
+                Event::AddEdge { from, to } => {
+                    probe.contains(from) && probe.contains(to) && probe.add_edge(from, to)
+                }
+                Event::RemoveEdge { from, to } => {
+                    probe.contains(from) && probe.contains(to) && probe.remove_edge(from, to)
+                }
+                Event::AddNode { node } => {
+                    // Ids are append-only; a mutation naming a bound id
+                    // (live or tombstoned) is a replayed duplicate.
+                    if node.idx() < probe.id_bound() {
+                        false
+                    } else {
+                        while probe.id_bound() <= node.idx() {
+                            probe.add_node();
+                        }
+                        true
+                    }
+                }
+                Event::RemoveNode { node } => {
+                    if probe.contains(node) {
+                        probe.remove_node(node);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                // Content events never belong in a topology run.
+                Event::Write { .. } | Event::Read { .. } => false,
+            };
+            if ok {
+                valid.push(e);
+            } else {
+                run.skipped += 1;
+            }
+        }
+        run.applied = valid.len() as u64;
+        if !valid.is_empty() {
+            run.epochs = 1;
+            for slot in reg.strata.iter_mut() {
+                let Some(st) = slot.as_mut() else { continue };
+                st.runtime.quiesce();
+                // Each stratum replays against its own clone of the
+                // pre-mutation graph: the repair diffs neighborhoods
+                // before/after, so it must start from the before-state.
+                let mut g = graph.clone();
+                let mut dyn_ov = DynamicOverlay::new(
+                    st.overlay.clone(),
+                    st.neighborhood.clone(),
+                    st.agg.props(),
+                    DynamicConfig::default(),
+                );
+                let old_n = st.overlay.node_count();
+                for &e in &valid {
+                    match e {
+                        Event::AddEdge { from, to } => {
+                            dyn_ov.add_edge(&mut g, from, to);
+                        }
+                        Event::RemoveEdge { from, to } => {
+                            dyn_ov.remove_edge(&mut g, from, to);
+                        }
+                        Event::AddNode { node } => {
+                            while g.id_bound() <= node.idx() {
+                                dyn_ov.add_node(&mut g);
+                            }
+                        }
+                        Event::RemoveNode { node } => dyn_ov.remove_node(&mut g, node),
+                        Event::Write { .. } | Event::Read { .. } => {}
+                    }
+                }
+                let dirty = dyn_ov.take_dirty();
+                let overlay = dyn_ov.into_overlay();
+                let fresh: Vec<OverlayId> = (old_n..overlay.node_count())
+                    .map(|i| OverlayId(i as u32))
+                    .filter(|&n| !overlay.is_retired(n))
+                    .collect();
+                let retired = (0..old_n)
+                    .map(|i| OverlayId(i as u32))
+                    .filter(|&n| overlay.is_retired(n) && !st.overlay.is_retired(n))
+                    .count();
+                let delta = topo_plan_delta(&overlay, &st.decisions, &fresh, &dirty);
+                // Writers born mid-stream answer over history they never
+                // saw arrive.
+                let mut backfill: Vec<(OverlayId, WindowBuffer)> = Vec::new();
+                {
+                    let history = self.inner.history.lock().unwrap();
+                    for &wid in &fresh {
+                        if let OverlayKind::Writer(w) = overlay.kind(wid) {
+                            let (buf, _exact) = history.backfill(w, st.window, now);
+                            if !buf.is_empty() {
+                                backfill.push((wid, buf));
+                            }
+                        }
+                    }
+                }
+                let frozen = Arc::new(overlay.clone());
+                match &st.runtime {
+                    Runtime::Sharded(eng) => {
+                        let rep = eng.apply_topo(
+                            st.agg.clone(),
+                            frozen,
+                            &delta.decisions,
+                            &backfill,
+                            &delta.materialize,
+                        );
+                        run.rematerialized += rep.rematerialized as u64;
+                    }
+                    _ => {
+                        let carried = st.runtime.export_state();
+                        let runtime = rebuild_runtime(
+                            &self.inner.config,
+                            &st.agg,
+                            frozen,
+                            &delta.decisions,
+                            st.window,
+                        );
+                        runtime.seed(Some(&carried), &backfill, &delta.materialize);
+                        st.runtime = runtime;
+                        run.rematerialized += delta.materialize.len() as u64;
+                    }
+                }
+                run.fresh_overlay_nodes += fresh.len() as u64;
+                run.retired_overlay_nodes += retired as u64;
+                st.overlay = overlay;
+                st.decisions = delta.decisions;
+                st.refs.ensure_len(st.overlay.node_count());
+            }
+        }
+        // Publish to the shared graph (the probe already replayed exactly
+        // the valid subsequence).
+        *graph = probe;
+        reg.topo.absorb(&run);
+        run
     }
 
     /// Apply a generated event stream; returns an [`IngestReport`].
     pub fn run_events(&self, events: &[Event]) -> IngestReport
     where
+        A: Clone,
         A::Output: Send,
     {
         self.ingest(events)
@@ -1709,5 +1929,172 @@ mod tests {
             assert_eq!(batch[i], h.read(v), "batch vs point at {v:?}");
         }
         assert!(batch[20..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn mutate_topology_reports_and_answers() {
+        let n = 24u32;
+        let g = social_graph(n as usize, 3, 5);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum))
+            .overlay(OverlayAlgorithm::Vnma)
+            .build(&g);
+        let writes: Vec<Event> = (0..n)
+            .map(|v| Event::Write {
+                node: NodeId(v),
+                value: v as i64 + 1,
+            })
+            .collect();
+        sys.ingest(&writes);
+
+        // Pick a non-adjacent live pair and an existing edge deterministically.
+        let absent = g
+            .nodes()
+            .flat_map(|u| g.nodes().map(move |v| (u, v)))
+            .find(|&(u, v)| u != v && !g.has_edge(u, v))
+            .expect("sparse graph has a missing edge");
+        let present = g.edges().next().expect("graph has edges");
+        let muts = [
+            Event::AddNode { node: NodeId(n) },
+            Event::AddEdge {
+                from: NodeId(n),
+                to: absent.1,
+            },
+            Event::AddEdge {
+                from: absent.0,
+                to: absent.1,
+            },
+            // Replayed duplicate: the edge now exists — skipped.
+            Event::AddEdge {
+                from: absent.0,
+                to: absent.1,
+            },
+            Event::RemoveEdge {
+                from: present.0,
+                to: present.1,
+            },
+            // Dead edge: just removed — skipped.
+            Event::RemoveEdge {
+                from: present.0,
+                to: present.1,
+            },
+        ];
+        let rep = sys.mutate_topology(&muts);
+        assert_eq!(rep.applied, 4);
+        assert_eq!(rep.skipped, 2);
+        assert_eq!(rep.epochs, 1);
+        assert!(rep.fresh_overlay_nodes > 0, "new node grows the overlay");
+        let stats = sys.registry_stats();
+        assert_eq!(stats.topo.applied, 4);
+        assert_eq!(stats.topo.epochs, 1);
+
+        // The mutated graph, mirrored for the oracle.
+        let mut gm = g.clone();
+        let fresh = gm.add_node();
+        assert_eq!(fresh, NodeId(n));
+        gm.add_edge(NodeId(n), absent.1);
+        gm.add_edge(absent.0, absent.1);
+        gm.remove_edge(present.0, present.1);
+        // The fresh writer participates immediately.
+        sys.write(NodeId(n), 1000, n as u64 + 1);
+        let mut oracle = NaiveOracle::new(Sum, WindowSpec::Tuple(1), Neighborhood::In);
+        for (ts, e) in writes.iter().enumerate() {
+            if let Event::Write { node, value } = *e {
+                oracle.write(node, value, ts as u64);
+            }
+        }
+        oracle.write(NodeId(n), 1000, n as u64 + 1);
+        for v in gm.nodes() {
+            if let Some(got) = sys.read(v) {
+                assert_eq!(got, oracle.read(&gm, v), "node {v:?} after repair");
+            }
+        }
+    }
+
+    #[test]
+    fn removed_node_stops_answering_and_contributing() {
+        let g = social_graph(20, 3, 11);
+        let sys = EagrSystem::builder(EgoQuery::new(Sum)).build(&g);
+        let writes: Vec<Event> = (0..20u32)
+            .map(|v| Event::Write {
+                node: NodeId(v),
+                value: 1,
+            })
+            .collect();
+        sys.ingest(&writes);
+        let victim = NodeId(3);
+        let rep = sys.mutate_topology(&[Event::RemoveNode { node: victim }]);
+        assert_eq!(rep.applied, 1);
+        assert!(rep.retired_overlay_nodes > 0);
+        assert_eq!(sys.read(victim), None, "retired reader answers nothing");
+        let mut gm = g.clone();
+        gm.remove_node(victim);
+        let mut oracle = NaiveOracle::new(Sum, WindowSpec::Tuple(1), Neighborhood::In);
+        for (ts, e) in writes.iter().enumerate() {
+            if let Event::Write { node, value } = *e {
+                if node != victim {
+                    oracle.write(node, value, ts as u64);
+                }
+            }
+        }
+        for v in gm.nodes() {
+            if let Some(got) = sys.read(v) {
+                assert_eq!(got, oracle.read(&gm, v), "node {v:?} after removal");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_stream_agrees_across_modes() {
+        use eagr_gen::{churn_stream, ChurnConfig};
+        let n = 40;
+        let g = social_graph(n, 3, 7);
+        let epochs = churn_stream(
+            &g,
+            &ChurnConfig {
+                epochs: 3,
+                epoch_events: 300,
+                churn_fraction: 0.08,
+                node_churn: 0.25,
+                seed: 77,
+                ..Default::default()
+            },
+        );
+        let build = |mode| {
+            EagrSystem::builder(EgoQuery::new(Sum))
+                .overlay(OverlayAlgorithm::Vnma)
+                .execution(mode)
+                .build(&g)
+        };
+        let local = build(ExecutionMode::SingleThreaded);
+        let pooled = build(ExecutionMode::TwoPool(ParallelConfig {
+            write_threads: 2,
+            read_threads: 1,
+        }));
+        let sharded = build(ExecutionMode::Sharded { shards: 3 });
+        let mut bound = g.id_bound();
+        for batch in &epochs {
+            let rl = local.ingest(batch);
+            let rp = pooled.ingest(batch);
+            let rs = sharded.ingest(batch);
+            assert_eq!(rl, rp, "local vs two-pool ingest report");
+            assert_eq!(rl, rs, "local vs sharded ingest report");
+            assert!(rl.mutations > 0, "churn epochs carry mutations");
+            for e in batch {
+                if let Event::AddNode { node } = *e {
+                    bound = bound.max(node.idx() + 1);
+                }
+            }
+            let nodes: Vec<NodeId> = (0..bound as u32).map(NodeId).collect();
+            let vl = local.read_batch(&nodes);
+            let vp = pooled.read_batch(&nodes);
+            let vs = sharded.read_batch(&nodes);
+            assert_eq!(vl, vp, "local vs two-pool answers under churn");
+            assert_eq!(vl, vs, "local vs sharded answers under churn");
+        }
+        let tl = local.registry_stats().topo;
+        let ts = sharded.registry_stats().topo;
+        assert_eq!(tl, ts, "topology accounting agrees across modes");
+        assert!(tl.epochs >= epochs.len() as u64);
+        assert!(tl.applied > 0);
     }
 }

@@ -30,6 +30,6 @@ pub use metrics::{throughput, LatencyRecorder};
 pub use parallel::{ParallelConfig, ParallelEngine};
 pub use sharded::{
     LivePartition, MapSnapshot, MigrationReport, RebalancePolicy, ShardStats, ShardedConfig,
-    ShardedCore, ShardedEngine,
+    ShardedCore, ShardedEngine, TopoEpochReport,
 };
 pub use store::{LockedStore, PaoReader, PaoStore, ShardSnapshot, ShardedStore, StoreReader};

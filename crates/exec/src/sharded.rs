@@ -76,14 +76,15 @@
 use crate::core::EngineCore;
 use crate::store::{PaoReader, PaoStore, ShardedStore};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use eagr_agg::{Aggregate, DeltaOp, WindowSpec};
+use eagr_agg::{Aggregate, DeltaOp, WindowBuffer, WindowSpec};
 use eagr_flow::{Decisions, Plan};
 use eagr_gen::{Event, EventBatch};
 use eagr_graph::{
-    edge_cut_partition, refine_partition, EdgeCutConfig, NodeId, Partition, PartitionStrategy,
-    Partitioner, RefineConfig, ShardId, DEFAULT_CHUNK_SIZE,
+    edge_cut_partition, hash_shard, refine_partition, EdgeCutConfig, NodeId, Partition,
+    PartitionStrategy, Partitioner, RefineConfig, ShardId, DEFAULT_CHUNK_SIZE,
 };
 use eagr_overlay::{Overlay, OverlayId, OverlayKind, PushEdgeView};
+use eagr_util::FastSet;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -303,10 +304,18 @@ impl LivePartition {
         }
     }
 
-    /// Shard currently owning node index `idx`.
+    /// Shard currently owning node index `idx`. An index beyond the map —
+    /// a node added to the topology that the map has not been extended to
+    /// cover yet — falls back to the deterministic hash assignment
+    /// ([`hash_shard`]), the same fallback [`Partition::shard_of`] uses, so
+    /// routing never panics on a fresh node and every router agrees on its
+    /// owner.
     #[inline]
     pub fn shard_of(&self, idx: usize) -> ShardId {
-        ShardId(self.of[idx].load(Ordering::Relaxed))
+        match self.of.get(idx) {
+            Some(s) => ShardId(s.load(Ordering::Relaxed)),
+            None => hash_shard(idx, self.shards),
+        }
     }
 
     /// Number of shards.
@@ -354,6 +363,7 @@ impl LivePartition {
     pub fn load(&self) -> MapSnapshot {
         MapSnapshot {
             of: Arc::clone(&self.cached.read()),
+            shards: self.shards,
             generation: self.generation.load(Ordering::Acquire),
         }
     }
@@ -381,14 +391,19 @@ impl LivePartition {
 /// [`LivePartition::load`]).
 pub struct MapSnapshot {
     of: Arc<Vec<u32>>,
+    shards: usize,
     generation: u64,
 }
 
 impl MapSnapshot {
-    /// Shard owning node index `idx` under this snapshot.
+    /// Shard owning node index `idx` under this snapshot, with the same
+    /// out-of-range hash fallback as [`LivePartition::shard_of`].
     #[inline]
     pub fn shard_of(&self, idx: usize) -> ShardId {
-        ShardId(self.of[idx])
+        match self.of.get(idx) {
+            Some(&s) => ShardId(s),
+            None => hash_shard(idx, self.shards),
+        }
     }
 
     /// The map generation this snapshot was taken at.
@@ -481,8 +496,25 @@ enum ShardMsg<A: Aggregate> {
     /// ownership of the listed writers (their PAOs were already installed
     /// by the rebalancer via [`ShardedStore::relocate`]).
     Adopt(Vec<OverlayId>),
+    /// Topology epoch ([`ShardedEngine::apply_topo`], sent under the
+    /// exclusive epoch gate over a drained engine): swap the worker's core
+    /// and routing-map handles for the rebuilt ones and take over the new
+    /// window-expiration writer set. Travels through the same inbox +
+    /// `pending` protocol as every other message, so the topology change
+    /// drains like an epoch — no worker restart, no re-plan.
+    Topo(Arc<TopoSwap<A>>),
     /// Terminate the worker.
     Stop,
+}
+
+/// The payload of a [`ShardMsg::Topo`]: everything a worker holds that a
+/// topology epoch replaces. One `Arc` shared by all shards; each worker
+/// clones its own writer list out of it.
+struct TopoSwap<A: Aggregate> {
+    core: Arc<ShardedCore<A>>,
+    partition: Arc<LivePartition>,
+    /// Window-expiration ownership under the new map, indexed by shard.
+    writers_by_shard: Vec<Vec<OverlayId>>,
 }
 
 /// Per-shard runtime counters ([`ShardedEngine::shard_stats`]): how much
@@ -509,10 +541,33 @@ pub struct ShardStats {
 /// The sharded core type: an [`EngineCore`] over shard-slab PAO storage.
 pub type ShardedCore<A> = EngineCore<A, ShardedStore<<A as Aggregate>::Partial>>;
 
+/// What one [`ShardedEngine::apply_topo`] call changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TopoEpochReport {
+    /// Overlay ids appended since the previous topology (live or not).
+    pub fresh_nodes: usize,
+    /// Nodes retired by this epoch (includes nodes added and removed
+    /// within the same mutation run).
+    pub retired_nodes: usize,
+    /// Push nodes whose PAOs were rebuilt before workers resumed (fresh,
+    /// upgraded, and repair-dirtied nodes plus backfilled writers).
+    pub rematerialized: usize,
+    /// Slab slots orphaned by retirement into the compaction path.
+    pub orphaned_slots: u64,
+    /// Orphans reclaimed by the compaction pass piggybacked on this
+    /// epoch's fence (0 when below the policy trigger).
+    pub slots_reclaimed: u64,
+}
+
 /// Shard-owned, batch-ingesting multi-threaded engine.
 pub struct ShardedEngine<A: Aggregate> {
-    core: Arc<ShardedCore<A>>,
-    partition: Arc<LivePartition>,
+    /// The live core. Replaced wholesale by a topology epoch
+    /// ([`apply_topo`](Self::apply_topo)) under the exclusive epoch gate;
+    /// every entry point clones the `Arc` once per call, so in-flight work
+    /// always sees one consistent core/map pair.
+    core: RwLock<Arc<ShardedCore<A>>>,
+    /// The live node→shard map, swapped together with the core.
+    partition: RwLock<Arc<LivePartition>>,
     window: WindowSpec,
     policy: RebalancePolicy,
     txs: Vec<Sender<ShardMsg<A>>>,
@@ -544,6 +599,8 @@ pub struct ShardedEngine<A: Aggregate> {
     /// Orphaned PAO slots reclaimed by compaction across the engine's
     /// lifetime.
     slots_reclaimed: AtomicU64,
+    /// Topology epochs applied ([`apply_topo`](Self::apply_topo)).
+    topo_epochs: AtomicU64,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -657,8 +714,8 @@ impl<A: Aggregate> ShardedEngine<A> {
             handles.push(h);
         }
         Self {
-            core,
-            partition,
+            core: RwLock::new(core),
+            partition: RwLock::new(partition),
             window,
             policy: cfg.rebalance,
             txs,
@@ -673,29 +730,38 @@ impl<A: Aggregate> ShardedEngine<A> {
             migrating: AtomicBool::new(false),
             coalesced: AtomicU64::new(0),
             slots_reclaimed: AtomicU64::new(0),
+            topo_epochs: AtomicU64::new(0),
             handles,
         }
     }
 
-    /// The shared core (shard-slab storage).
-    pub fn core(&self) -> &Arc<ShardedCore<A>> {
-        &self.core
+    /// The shared core (shard-slab storage) — an owned handle, since a
+    /// topology epoch can replace the core under callers holding one.
+    pub fn core(&self) -> Arc<ShardedCore<A>> {
+        Arc::clone(&self.core.read())
+    }
+
+    /// The live node→shard map shared with the workers — an owned handle,
+    /// like [`core`](Self::core).
+    fn partition_ref(&self) -> Arc<LivePartition> {
+        Arc::clone(&self.partition.read())
     }
 
     /// A snapshot of the node→shard assignment currently in use (live
     /// rebalancing mutates the map, so this is a copy, not a reference).
     pub fn partition(&self) -> Partition {
-        self.partition.snapshot()
+        self.partition_ref().snapshot()
     }
 
     /// The live node→shard map shared with the workers.
-    pub fn live_partition(&self) -> &LivePartition {
-        &self.partition
+    pub fn live_partition(&self) -> Arc<LivePartition> {
+        self.partition_ref()
     }
 
-    /// Number of shards.
+    /// Number of shards (fixed for the engine's lifetime — topology epochs
+    /// replace the map, never the shard count).
     pub fn shard_count(&self) -> usize {
-        self.partition.shards()
+        self.txs.len()
     }
 
     /// Route one batch of events into the shards and return
@@ -720,7 +786,6 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// Borrowing equivalent of [`ingest`](Self::ingest): event `i` carries
     /// timestamp `base_ts + i`.
     pub fn ingest_at(&self, events: &[Event], base_ts: u64) -> (usize, usize) {
-        let overlay = self.core.overlay();
         let mut per_shard: Vec<Vec<(OverlayId, i64, u64)>> = vec![Vec::new(); self.shard_count()];
         let mut reads_per_shard: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); self.shard_count()];
         let mut writes = 0;
@@ -729,12 +794,16 @@ impl<A: Aggregate> ShardedEngine<A> {
         // live node→shard map only changes under the exclusive gate, so a
         // batch can never be routed with a map that a concurrent rebalance
         // is rewriting, and an epoch-consistent read_batch never
-        // interleaves mid-epoch.
+        // interleaves mid-epoch. Cloning the core/map handles under the
+        // gate also pins one consistent pair against topology epochs.
         let gate = self.epoch_gate.read();
+        let core = self.core();
+        let partition = self.partition_ref();
+        let overlay = core.overlay();
         // One map snapshot for the whole batch instead of one atomic load
         // per event; the generation assert below pins that every event was
         // routed against a single published map.
-        let map = self.partition.load();
+        let map = partition.load();
         for (i, e) in events.iter().enumerate() {
             let ts = base_ts + i as u64;
             match *e {
@@ -750,11 +819,22 @@ impl<A: Aggregate> ShardedEngine<A> {
                     }
                     reads += 1;
                 }
+                Event::AddEdge { .. }
+                | Event::RemoveEdge { .. }
+                | Event::AddNode { .. }
+                | Event::RemoveNode { .. } => {
+                    // Topology mutations never ride the shared-gate hot
+                    // path: the facade splits them out of the stream and
+                    // applies them through `apply_topo` (an exclusive topo
+                    // epoch). A mutation reaching this routing loop is
+                    // consumed and dropped, mirroring how a write to a
+                    // writerless node is consumed.
+                }
             }
         }
         assert_eq!(
             map.generation(),
-            self.partition.generation(),
+            partition.generation(),
             "partition map flipped while a routing batch held the shared epoch gate"
         );
         for (shard, group) in per_shard.into_iter().enumerate() {
@@ -805,10 +885,11 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// Route a single write (convenience; prefer [`ingest`](Self::ingest)
     /// for throughput).
     pub fn submit_write(&self, v: NodeId, value: i64, ts: u64) {
-        if let Some(wid) = self.core.overlay().writer(v) {
-            let _gate = self.epoch_gate.read();
+        let _gate = self.epoch_gate.read();
+        let core = self.core();
+        if let Some(wid) = core.overlay().writer(v) {
             self.pending.fetch_add(1, Ordering::AcqRel);
-            self.txs[self.partition.shard_of(wid.idx()).idx()]
+            self.txs[self.partition_ref().shard_of(wid.idx()).idx()]
                 .send(ShardMsg::Writes(vec![(wid, value, ts)]))
                 .expect("shard worker alive");
         }
@@ -820,7 +901,7 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// epoch-consistent reads use [`read_batch`](Self::read_batch) /
     /// [`read_service`](Self::read_service).
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
-        self.core.read(v)
+        self.core().read(v)
     }
 
     /// Evaluate a batch of reads **on the shard workers**, epoch-
@@ -845,12 +926,14 @@ impl<A: Aggregate> ShardedEngine<A> {
     pub fn read_batch(&self, nodes: &[NodeId]) -> Vec<Option<A::Output>> {
         let _gate = self.epoch_gate.write();
         self.drain();
-        let overlay = self.core.overlay();
+        let core = self.core();
+        let partition = self.partition_ref();
+        let overlay = core.overlay();
         let mut results: Vec<Option<A::Output>> = vec![None; nodes.len()];
         let mut per_shard: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); self.shard_count()];
         for (i, &v) in nodes.iter().enumerate() {
             if let Some(rid) = overlay.reader(v) {
-                per_shard[self.partition.shard_of(rid.idx()).idx()].push((i, v));
+                per_shard[partition.shard_of(rid.idx()).idx()].push((i, v));
             }
         }
         let (reply, replies) = bounded::<ReadReplies<A>>(self.shard_count());
@@ -976,15 +1059,14 @@ impl<A: Aggregate> ShardedEngine<A> {
         let Some(flight) = MigrationFlight::begin(self) else {
             return MigrationReport::skipped(0.0, 0.0);
         };
-        let counts = self.core.observed_push_counts();
-        let pulls = self.core.observed_pull_counts();
-        let view = PushEdgeView::observed_with_reads(
-            self.core.overlay(),
-            |n| self.core.is_push(n),
-            &counts,
-            &pulls,
-        );
-        let current = self.partition.snapshot();
+        // The single-flight guard keeps topology epochs out, so this pair
+        // stays current for the whole migration.
+        let core = self.core();
+        let counts = core.observed_push_counts();
+        let pulls = core.observed_pull_counts();
+        let view =
+            PushEdgeView::observed_with_reads(core.overlay(), |n| core.is_push(n), &counts, &pulls);
+        let current = self.partition_ref().snapshot();
         let (refined, stats) = refine_partition(
             &view,
             &current,
@@ -1009,7 +1091,7 @@ impl<A: Aggregate> ShardedEngine<A> {
         let mut report = flight.execute(moves);
         report.cut_before = stats.cut_before;
         report.cut_after = stats.cut_after;
-        self.core.decay_observed(self.policy.decay);
+        core.decay_observed(self.policy.decay);
         report
     }
 
@@ -1030,15 +1112,15 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// Panics if `target` does not cover every overlay node or names a
     /// shard outside the engine's shard count.
     pub fn migrate_to(&self, target: &Partition) -> MigrationReport {
-        assert_eq!(
-            target.len(),
-            self.partition.len(),
-            "target partition must cover every overlay node"
-        );
         let Some(flight) = MigrationFlight::begin(self) else {
             return MigrationReport::skipped(0.0, 0.0);
         };
-        let current = self.partition.snapshot();
+        let current = self.partition_ref().snapshot();
+        assert_eq!(
+            target.len(),
+            current.len(),
+            "target partition must cover every overlay node"
+        );
         let moves: Vec<(OverlayId, ShardId)> = (0..target.len())
             .filter_map(|idx| {
                 let dest = target.shard_of(idx);
@@ -1049,6 +1131,179 @@ impl<A: Aggregate> ShardedEngine<A> {
         flight.execute(moves)
     }
 
+    /// Apply one **topology epoch**: swap the engine onto a repaired
+    /// overlay + extended decisions without restarting workers or
+    /// re-running the planner.
+    ///
+    /// `overlay` is the incrementally repaired overlay (ids append-only:
+    /// it must extend the current one — retirements tombstone in place,
+    /// they never renumber). `decisions` covers every id (see
+    /// [`eagr_flow::topo_plan_delta`]); `backfill` carries window history
+    /// for fresh writers; `materialize` is the plan delta's stale-PAO set.
+    ///
+    /// Protocol: acquire the migration single-flight guard (topology
+    /// epochs and live migrations serialize — both rewrite the map), take
+    /// the epoch gate exclusively, drain, then
+    ///
+    /// 1. export the old core's window + PAO state;
+    /// 2. extend the node→shard map: each fresh node is assigned online by
+    ///    its overlay-neighbor affinity ([`Partition::assign_online`]) —
+    ///    no global re-partition;
+    /// 3. build the new core over fresh slabs, reinstall carried state,
+    ///    backfill fresh writers, and rematerialize the `materialize` set
+    ///    in topological order;
+    /// 4. tombstone every retired node's slab slot
+    ///    ([`ShardedStore::retire_slot`]) so compaction reclaims it;
+    /// 5. publish the new core/map pair and ship a `ShardMsg::Topo` swap
+    ///    through every shard inbox — drained like an epoch, so when this
+    ///    returns every worker routes against the new topology.
+    ///
+    /// Compaction piggybacks on the fence exactly like a migration flip
+    /// when the orphan count clears the policy trigger.
+    ///
+    /// # Panics
+    /// Panics if `overlay` has fewer ids than the current one or
+    /// `decisions` does not cover it.
+    pub fn apply_topo(
+        &self,
+        agg: A,
+        overlay: Arc<Overlay>,
+        decisions: &Decisions,
+        backfill: &[(OverlayId, WindowBuffer)],
+        materialize: &FastSet<OverlayId>,
+    ) -> TopoEpochReport {
+        let flight = MigrationFlight::acquire(self);
+        let gate = self.epoch_gate.write();
+        self.drain();
+        let old_core = self.core();
+        let old_partition = self.partition_ref();
+        let old_overlay = old_core.overlay();
+        let old_n = old_overlay.node_count();
+        let new_n = overlay.node_count();
+        assert!(
+            new_n >= old_n,
+            "overlay ids are append-only: the repaired overlay must extend the current one"
+        );
+        let carried = old_core.export_state();
+        // Extend the map online: score each fresh node against the shards
+        // of its already-assigned overlay neighbors (LDG-style streaming
+        // assignment) instead of re-partitioning globally.
+        let mut part = old_partition.snapshot();
+        for idx in old_n..new_n {
+            let id = OverlayId(idx as u32);
+            let affinity: Vec<(u32, f32)> = if overlay.is_retired(id) {
+                Vec::new()
+            } else {
+                overlay
+                    .inputs(id)
+                    .iter()
+                    .chain(overlay.outputs(id).iter())
+                    .filter(|&&(nb, _)| nb.idx() < idx)
+                    .map(|&(nb, _)| (nb.0, 1.0))
+                    .collect()
+            };
+            part.assign_online(idx, &affinity);
+        }
+        let store = ShardedStore::new(&part, || agg.empty());
+        let new_core = Arc::new(EngineCore::with_store(
+            agg,
+            Arc::clone(&overlay),
+            decisions,
+            self.window,
+            store,
+        ));
+        // Seed exactly like a registry rebuild: carried state, fresh-writer
+        // backfill, then rematerialize the stale-PAO set writers-first.
+        new_core.install_state(&carried);
+        let mut backfilled: FastSet<OverlayId> = FastSet::default();
+        for (wid, buf) in backfill {
+            if !overlay.is_retired(*wid) {
+                new_core.install_window(*wid, buf);
+                backfilled.insert(*wid);
+            }
+        }
+        let mut rematerialized = 0usize;
+        if !materialize.is_empty() || !backfilled.is_empty() {
+            for n in overlay.topo_order() {
+                if overlay.is_retired(n) || !new_core.is_push(n) {
+                    continue;
+                }
+                if !materialize.contains(&n) && !backfilled.contains(&n) {
+                    continue;
+                }
+                if matches!(overlay.kind(n), OverlayKind::Writer(_)) {
+                    new_core.rebuild_writer_pao(n);
+                } else {
+                    new_core.materialize(n);
+                }
+                rematerialized += 1;
+            }
+        }
+        // Tombstone retired slots so compaction sweeps them; the fresh
+        // store re-allocated a slot for every id, including long-retired
+        // ones, so all of them orphan again here.
+        let mut orphaned = 0u64;
+        let mut retired_nodes = 0usize;
+        for idx in 0..new_n {
+            let id = OverlayId(idx as u32);
+            if overlay.is_retired(id) {
+                new_core.store().retire_slot(idx);
+                orphaned += 1;
+                if idx >= old_n || !old_overlay.is_retired(id) {
+                    retired_nodes += 1;
+                }
+            }
+        }
+        let new_partition = Arc::new(LivePartition::new(&part));
+        let mut writers_by_shard: Vec<Vec<OverlayId>> = vec![Vec::new(); self.shard_count()];
+        for (wid, _) in overlay.writers() {
+            writers_by_shard[new_partition.shard_of(wid.idx()).idx()].push(wid);
+        }
+        *self.core.write() = Arc::clone(&new_core);
+        *self.partition.write() = Arc::clone(&new_partition);
+        // Swap the worker-held handles through the inboxes. Under the
+        // exclusive gate over a drained engine the inboxes are otherwise
+        // empty (ingest needs the shared gate, epoch reads the exclusive
+        // one, migrations the flight guard we hold), so the swap is the
+        // only message each worker sees this epoch.
+        let swap = Arc::new(TopoSwap {
+            core: Arc::clone(&new_core),
+            partition: new_partition,
+            writers_by_shard,
+        });
+        for tx in &self.txs {
+            self.pending.fetch_add(1, Ordering::AcqRel);
+            tx.send(ShardMsg::Topo(Arc::clone(&swap)))
+                .expect("shard worker alive");
+        }
+        self.drain();
+        let store = new_core.store();
+        let slots_reclaimed = if self.policy.compact_after_orphans > 0
+            && store.orphaned_slots() >= self.policy.compact_after_orphans
+        {
+            let r = store.compact();
+            self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
+            r
+        } else {
+            0
+        };
+        drop(gate);
+        drop(flight);
+        self.topo_epochs.fetch_add(1, Ordering::AcqRel);
+        TopoEpochReport {
+            fresh_nodes: new_n - old_n,
+            retired_nodes,
+            rematerialized,
+            orphaned_slots: orphaned,
+            slots_reclaimed,
+        }
+    }
+
+    /// Topology epochs applied so far ([`apply_topo`](Self::apply_topo)).
+    pub fn topo_epochs(&self) -> u64 {
+        self.topo_epochs.load(Ordering::Acquire)
+    }
+
     /// The two-phase migration body (phase-1 concurrent copy + phase-2
     /// fenced flip) for an explicit move set. Caller holds the
     /// single-flight guard; `moves` lists `(node, destination)` pairs
@@ -1057,6 +1312,10 @@ impl<A: Aggregate> ShardedEngine<A> {
         if moves.is_empty() {
             return MigrationReport::skipped(0.0, 0.0);
         }
+        // The caller holds the single-flight guard, so topology epochs
+        // cannot replace this pair mid-migration.
+        let core = self.core();
+        let partition = self.partition_ref();
         // Settle in-flight work so the staged copies start from an epoch
         // boundary; concurrent submitters are not blocked.
         self.drain();
@@ -1064,7 +1323,7 @@ impl<A: Aggregate> ShardedEngine<A> {
         // ---- Phase 1: copy + side-log, concurrent with ingestion. ----
         let mut by_owner: Vec<Vec<(OverlayId, ShardId)>> = vec![Vec::new(); self.shard_count()];
         for &(n, dest) in &moves {
-            by_owner[self.partition.shard_of(n.idx()).idx()].push((n, dest));
+            by_owner[partition.shard_of(n.idx()).idx()].push((n, dest));
         }
         let (copy_tx, copy_rx) = bounded::<CopyReply<A>>(self.shard_count());
         let mut involved = Vec::new();
@@ -1121,7 +1380,7 @@ impl<A: Aggregate> ShardedEngine<A> {
             }
         }
         self.drain();
-        let store = self.core.store();
+        let store = core.store();
         let mut deltas_replayed = 0u64;
         let nodes_copied = staged.len();
         for (origin, n, dest, mut pao) in staged {
@@ -1130,16 +1389,16 @@ impl<A: Aggregate> ShardedEngine<A> {
                 // engine drained under the fence) is the exact value.
                 pao = store.with_read(n.idx(), |p| p.clone());
             } else if let Some(ops) = log_by_node.remove(&n.0) {
-                deltas_replayed += self.core.replay_ops(&mut pao, ops);
+                deltas_replayed += core.replay_ops(&mut pao, ops);
             }
             store.relocate(n.idx(), dest, pao);
-            self.partition.set(n.idx(), dest);
+            partition.set(n.idx(), dest);
         }
-        self.partition.publish();
+        partition.publish();
         // Hand window-expiration ownership to the new owners (old owners
         // dropped theirs at EndCopy). Expirations can't interleave: they
         // need the shared gate.
-        let overlay = self.core.overlay();
+        let overlay = core.overlay();
         let mut adopt: Vec<Vec<OverlayId>> = vec![Vec::new(); self.shard_count()];
         for &(n, dest) in &moves {
             if !overlay.is_retired(n) && matches!(overlay.kind(n), OverlayKind::Writer(_)) {
@@ -1210,7 +1469,8 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// [`RebalancePolicy::compact_after_orphans`] accumulate, or manual
     /// via [`compact`](Self::compact) — reclaims them.
     pub fn orphaned_pao_slots(&self) -> u64 {
-        self.core.store().orphaned_slots()
+        let core = self.core();
+        core.store().orphaned_slots()
     }
 
     /// Orphaned PAO slots reclaimed by compaction across the engine's
@@ -1229,7 +1489,8 @@ impl<A: Aggregate> ShardedEngine<A> {
     pub fn compact(&self) -> u64 {
         let _gate = self.epoch_gate.write();
         self.drain();
-        let r = self.core.store().compact();
+        let core = self.core();
+        let r = core.store().compact();
         self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
         r
     }
@@ -1269,7 +1530,7 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// reads served, plus the node count each shard owns. Meaningful after
     /// a [`drain`](Self::drain); between epochs the numbers are in flight.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        let sizes = self.partition.shard_sizes();
+        let sizes = self.partition_ref().shard_sizes();
         (0..self.shard_count())
             .map(|s| ShardStats {
                 shard: ShardId(s as u32),
@@ -1317,6 +1578,22 @@ impl<'a, A: Aggregate> MigrationFlight<'a, A> {
             eng.coalesced.fetch_add(1, Ordering::AcqRel);
             None
         }
+    }
+
+    /// Win the flag unconditionally, spinning until any in-flight
+    /// migration finishes — the topology-epoch entry point, which must
+    /// serialize with migrations rather than coalesce into them. Safe to
+    /// spin here: the engine's gate is not held, so an in-flight
+    /// migration's fenced phase can complete.
+    fn acquire(eng: &'a ShardedEngine<A>) -> Self {
+        while eng
+            .migrating
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            std::thread::yield_now();
+        }
+        Self { eng }
     }
 
     fn execute(&self, moves: Vec<(OverlayId, ShardId)>) -> MigrationReport {
@@ -1556,6 +1833,17 @@ impl<A: Aggregate> ShardWorker<A> {
                         self.writers.push(n);
                     }
                 }
+                false
+            }
+            ShardMsg::Topo(up) => {
+                *owed += 1;
+                // Swap onto the rebuilt topology. Any active side-log is
+                // void: a topology epoch serializes with migrations via the
+                // single-flight guard, so none can be mid-copy here.
+                self.core = Arc::clone(&up.core);
+                self.partition = Arc::clone(&up.partition);
+                self.writers = up.writers_by_shard[self.shard.idx()].clone();
+                self.side = None;
                 false
             }
             ShardMsg::Stop => true,
@@ -2302,6 +2590,160 @@ mod tests {
         for (i, &v) in nodes.iter().enumerate() {
             assert_eq!(got[i], reference.read(v), "pull reader {v:?}");
         }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_nodes_route_by_hash_fallback() {
+        let eng = sharded(3);
+        let live = eng.live_partition();
+        let n = live.len();
+        // Beyond the map: deterministic hash assignment, in range.
+        assert_eq!(live.shard_of(n + 5), hash_shard(n + 5, 3));
+        assert!(live.shard_of(n + 5).idx() < 3);
+        let snap = live.load();
+        assert_eq!(snap.shard_of(n + 5), hash_shard(n + 5, 3));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn apply_topo_extends_retires_and_preserves_answers() {
+        use eagr_agg::Sign;
+        use eagr_flow::topo_plan_delta;
+
+        let eng = sharded(3);
+        let events: Vec<Event> = (0..7u32)
+            .map(|n| Event::Write {
+                node: NodeId(n),
+                value: (n + 1) as i64,
+            })
+            .collect();
+        eng.ingest_epoch(&EventBatch::new(0, events));
+        let before: Vec<Option<i64>> = (0..7u32).map(|v| eng.read(NodeId(v))).collect();
+
+        // Repair the overlay in place: a fresh writer for data node 7
+        // feeding a fresh reader for data node 8 *and* reader 0's existing
+        // ego net, and retire reader 6.
+        let (ov, d) = paper_parts();
+        let mut ov2 = (*ov).clone();
+        let r0 = ov2.reader(NodeId(0)).unwrap();
+        let r6 = ov2.reader(NodeId(6)).unwrap();
+        let w = ov2.add_writer(NodeId(7));
+        let r = ov2.add_reader(NodeId(8));
+        ov2.add_edge(w, r, Sign::Pos);
+        ov2.add_edge(w, r0, Sign::Pos);
+        ov2.retire_node(r6);
+        let mut dirty = FastSet::default();
+        dirty.insert(r0); // the repair rewired its input list
+        let delta = topo_plan_delta(&ov2, &d, &[w, r], &dirty);
+
+        let report = eng.apply_topo(
+            Sum,
+            Arc::new(ov2),
+            &delta.decisions,
+            &[],
+            &delta.materialize,
+        );
+        assert_eq!(report.fresh_nodes, 2);
+        assert_eq!(report.retired_nodes, 1);
+        assert!(report.rematerialized >= 2, "fresh w/r and rewired r0");
+        assert_eq!(report.orphaned_slots, 1);
+        assert_eq!(report.slots_reclaimed, 0, "below the compaction trigger");
+        assert_eq!(eng.topo_epochs(), 1);
+
+        // Carried state: every surviving reader answers as before (the
+        // fresh writer holds no value yet, so the rewired net is unchanged).
+        for v in 0..6u32 {
+            assert_eq!(eng.read(NodeId(v)), before[v as usize], "reader {v}");
+        }
+        // The retired reader is gone and its slab slot is tombstoned into
+        // the compaction path.
+        assert_eq!(eng.read(NodeId(6)), None);
+        let core = eng.core();
+        assert!(core.store().is_retired_slot(r6.idx()));
+        assert_eq!(eng.orphaned_pao_slots(), 1);
+
+        // The new topology is live on the hot path: a write to the fresh
+        // writer flows to the fresh reader and into reader 0's rewired net
+        // through the shard inboxes — no re-plan, no worker restart.
+        eng.ingest_epoch(&EventBatch::new(
+            100,
+            vec![Event::Write {
+                node: NodeId(7),
+                value: 40,
+            }],
+        ));
+        assert_eq!(eng.read(NodeId(8)), Some(40));
+        assert_eq!(eng.read(NodeId(0)), before[0].map(|x| x + 40));
+        let reclaimed = eng.compact();
+        assert_eq!(reclaimed, 1, "the tombstoned slot is reclaimable");
+        assert_eq!(eng.read(NodeId(8)), Some(40), "answers survive compaction");
+        eng.shutdown();
+    }
+
+    #[test]
+    fn topo_epochs_interleave_with_ingest_and_match_reference() {
+        use eagr_agg::Sign;
+        use eagr_flow::topo_plan_delta;
+
+        // Alternate write batches with single-node topology growth and
+        // check every epoch against a fresh single-threaded reference.
+        let (ov, d) = paper_parts();
+        let eng = sharded(3);
+        let mut overlay = (*ov).clone();
+        let mut decisions = d;
+        let mut rng = SplitMix64::new(7);
+        let mut writes: Vec<(NodeId, i64, u64)> = Vec::new();
+        let mut ts = 0u64;
+        let mut nodes = 7u32;
+        for round in 0..6 {
+            let events: Vec<Event> = (0..40)
+                .map(|_| Event::Write {
+                    node: NodeId(rng.index(nodes as usize) as u32),
+                    value: rng.range(0, 20) as i64,
+                })
+                .collect();
+            for (i, e) in events.iter().enumerate() {
+                if let Event::Write { node, value } = *e {
+                    writes.push((node, value, ts + i as u64));
+                }
+            }
+            eng.ingest(&EventBatch::new(ts, events));
+            ts += 40;
+            // Grow: fresh writer + reader over it, wired into one existing
+            // reader's net as well.
+            let w = overlay.add_writer(NodeId(nodes));
+            let rd = overlay.add_reader(NodeId(nodes + 1));
+            overlay.add_edge(w, rd, Sign::Pos);
+            let target = overlay.reader(NodeId(round as u32)).unwrap();
+            overlay.add_edge(w, target, Sign::Pos);
+            nodes += 2;
+            let mut dirty = FastSet::default();
+            dirty.insert(target);
+            let delta = topo_plan_delta(&overlay, &decisions, &[w, rd], &dirty);
+            decisions = delta.decisions.clone();
+            eng.apply_topo(
+                Sum,
+                Arc::new(overlay.clone()),
+                &delta.decisions,
+                &[],
+                &delta.materialize,
+            );
+        }
+        eng.drain();
+        let reference = EngineCore::new(
+            Sum,
+            Arc::new(overlay.clone()),
+            &decisions,
+            WindowSpec::Tuple(1),
+        );
+        for &(node, value, t) in &writes {
+            reference.write(node, value, t);
+        }
+        for v in 0..nodes {
+            assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "reader {v}");
+        }
+        assert_eq!(eng.topo_epochs(), 6);
         eng.shutdown();
     }
 }

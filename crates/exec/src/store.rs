@@ -99,6 +99,13 @@ fn encode_loc(shard: u32, off: u32) -> u64 {
     ((shard as u64) << 32) | off as u64
 }
 
+/// Sentinel shard marking a retired slot ([`ShardedStore::retire_slot`]):
+/// the node left the overlay, so no slab holds state for it and any access
+/// through the store is a bug (retired overlay nodes are unreachable — the
+/// overlay's writer/reader lookups return `None` and retirement removed
+/// every edge that could cascade into them).
+const TOMBSTONE_SHARD: u32 = u32::MAX;
+
 /// Inverse of [`encode_loc`].
 #[inline]
 fn decode_loc(packed: u64) -> (u32, u32) {
@@ -202,6 +209,25 @@ impl<P: Send + Sync> ShardedStore<P> {
         self.orphans.load(Ordering::Relaxed)
     }
 
+    /// Retire global slot `idx`: its overlay node left the graph, so its
+    /// slab slot is abandoned into the same orphan accounting migrations
+    /// use and reclaimed by the next [`compact`](Self::compact) pass. The
+    /// location is replaced with a tombstone; any subsequent access through
+    /// the store panics (retired overlay nodes are unreachable, so an
+    /// access is a routing bug, not a race). Idempotent.
+    pub fn retire_slot(&self, idx: usize) {
+        let packed = self.loc[idx].swap(encode_loc(TOMBSTONE_SHARD, 0), Ordering::AcqRel);
+        if decode_loc(packed).0 != TOMBSTONE_SHARD {
+            self.orphans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether global slot `idx` has been retired
+    /// ([`retire_slot`](Self::retire_slot)).
+    pub fn is_retired_slot(&self, idx: usize) -> bool {
+        self.loc_of(idx).0 == TOMBSTONE_SHARD
+    }
+
     /// Repack every slab in place, dropping orphaned slots and
     /// republishing the surviving slots' locations. Returns the number of
     /// slots reclaimed.
@@ -221,10 +247,16 @@ impl<P: Send + Sync> ShardedStore<P> {
     /// exclusive epoch gate with all workers drained), otherwise this
     /// deadlocks on the slab lock.
     pub fn compact(&self) -> u64 {
-        // One pass over the location table groups live slots by shard.
+        // One pass over the location table groups live slots by shard;
+        // tombstoned slots ([`retire_slot`](Self::retire_slot)) point at no
+        // slab, so the slab slots they abandoned simply never make the live
+        // list and get swept with the migration orphans below.
         let mut live: Vec<Vec<(u32, usize)>> = vec![Vec::new(); self.slabs.len()];
         for (idx, loc) in self.loc.iter().enumerate() {
             let (shard, off) = decode_loc(loc.load(Ordering::Acquire));
+            if shard == TOMBSTONE_SHARD {
+                continue;
+            }
             live[shard as usize].push((off, idx));
         }
         let mut reclaimed = 0u64;
@@ -495,6 +527,31 @@ mod tests {
         assert_eq!(store.with_read(5, |p| *p), 115);
         // Idempotent with nothing to reclaim.
         assert_eq!(store.compact(), 0);
+    }
+
+    #[test]
+    fn retire_slot_orphans_into_compaction() {
+        let part = Partitioner::chunked(2, 4).partition(8);
+        let store = ShardedStore::new(&part, || 0i64);
+        for i in 0..8 {
+            store.with_mut(i, |p| *p = 10 + i as i64);
+        }
+        store.retire_slot(3);
+        store.retire_slot(6);
+        store.retire_slot(3); // idempotent
+        assert!(store.is_retired_slot(3));
+        assert!(!store.is_retired_slot(0));
+        assert_eq!(store.orphaned_slots(), 2);
+        assert_eq!(store.compact(), 2);
+        assert_eq!(store.orphaned_slots(), 0);
+        // Live slots keep their values and stay writable.
+        for i in [0, 1, 2, 4, 5, 7] {
+            assert_eq!(store.with_read(i, |p| *p), 10 + i as i64);
+        }
+        let total: usize = (0..store.shard_count())
+            .map(|s| store.slabs[s].read().len())
+            .sum();
+        assert_eq!(total, 6, "retired slots reclaimed from the slabs");
     }
 
     #[test]

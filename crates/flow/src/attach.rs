@@ -20,6 +20,7 @@
 
 use crate::decide::{Decision, Decisions};
 use eagr_overlay::{Overlay, OverlayId};
+use eagr_util::FastSet;
 
 /// Extend `old` decisions to cover an overlay that grew by `fresh` nodes.
 ///
@@ -61,6 +62,71 @@ pub fn extend_decisions(
     }
     upgraded.sort_unstable();
     (Decisions { of }, upgraded)
+}
+
+/// The plan delta produced by a topology-mutation epoch: how the decision
+/// vector extends over the repaired overlay and which push nodes must be
+/// rematerialized before the next read.
+#[derive(Clone, Debug)]
+pub struct TopoDelta {
+    /// The extended decision vector (fresh nodes push, old kept, frontier
+    /// closed).
+    pub decisions: Decisions,
+    /// Pre-existing nodes upgraded pull→push by the frontier closure.
+    pub upgraded: Vec<OverlayId>,
+    /// Every push node whose stored PAO is stale or absent: fresh nodes,
+    /// upgraded nodes, repair-rewired (`dirty`) nodes, and the downstream
+    /// push closure of the dirty set (a stale partial poisons everything it
+    /// feeds). Walk the overlay's topological order restricted to this set
+    /// when rematerializing.
+    pub materialize: FastSet<OverlayId>,
+}
+
+/// Map an incremental overlay repair to a plan delta, the same way
+/// [`extend_decisions`] diffs for multi-query attach: decisions are extended
+/// (never globally re-planned — that is the point of streaming topology
+/// through the hot path), and the rematerialization set is the union of
+/// fresh, upgraded, and dirty nodes, closed downstream over push edges.
+///
+/// `fresh` is the repair's appended overlay ids (still live), `dirty` the
+/// [`DynamicOverlay::take_dirty`](eagr_overlay::DynamicOverlay::take_dirty)
+/// seeds; retired ids in either are ignored.
+pub fn topo_plan_delta(
+    ov: &Overlay,
+    old: &Decisions,
+    fresh: &[OverlayId],
+    dirty: &FastSet<OverlayId>,
+) -> TopoDelta {
+    let (decisions, upgraded) = extend_decisions(ov, old, fresh);
+    let mut materialize: FastSet<OverlayId> = FastSet::default();
+    let mut stack: Vec<OverlayId> = Vec::new();
+    for &n in fresh.iter().chain(upgraded.iter()) {
+        if !ov.is_retired(n) && materialize.insert(n) {
+            stack.push(n);
+        }
+    }
+    for &n in dirty {
+        if !ov.is_retired(n) && materialize.insert(n) {
+            stack.push(n);
+        }
+    }
+    // Downstream closure: a node rebuilt from scratch also invalidates every
+    // push consumer that folded its old value in. Pull consumers recompute
+    // at read time and stop the walk (their consumers, by the frontier
+    // invariant, are pull too).
+    while let Some(n) = stack.pop() {
+        for &(t, _sign) in ov.outputs(n) {
+            if decisions.of[t.idx()] == Decision::Push && materialize.insert(t) {
+                stack.push(t);
+            }
+        }
+    }
+    materialize.retain(|&n| decisions.of[n.idx()] == Decision::Push);
+    TopoDelta {
+        decisions,
+        upgraded,
+        materialize,
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +180,55 @@ mod tests {
         assert_eq!(d.of[p.idx()], Decision::Push, "frontier closure upgrades p");
         assert_eq!(upgraded, vec![p]);
         assert_eq!(d.of[r.idx()], Decision::Pull, "old reader untouched");
+    }
+
+    #[test]
+    fn topo_delta_closes_dirty_downstream_over_push() {
+        // wa, wb → p → r (all push); wc direct → r.
+        let mut ov = Overlay::default();
+        let wa = ov.add_writer(NodeId(0));
+        let wb = ov.add_writer(NodeId(1));
+        let p = ov.add_partial(&[wa, wb]);
+        let r = ov.add_reader(NodeId(2));
+        ov.add_edge(p, r, Sign::Pos);
+        let wc = ov.add_writer(NodeId(3));
+        ov.add_edge(wc, r, Sign::Pos);
+        let old = Decisions {
+            of: vec![Decision::Push; 5],
+        };
+        // A repair rewired p's inputs: p is dirty, and the stale value it
+        // fed into r makes r stale too.
+        let mut dirty = FastSet::default();
+        dirty.insert(p);
+        let delta = topo_plan_delta(&ov, &old, &[], &dirty);
+        assert!(delta.materialize.contains(&p));
+        assert!(delta.materialize.contains(&r), "downstream closure");
+        assert!(!delta.materialize.contains(&wa), "upstream untouched");
+        assert!(!delta.materialize.contains(&wc));
+        assert!(delta.upgraded.is_empty());
+    }
+
+    #[test]
+    fn topo_delta_ignores_retired_and_pull_dirty() {
+        let mut ov = Overlay::default();
+        let wa = ov.add_writer(NodeId(0));
+        let r = ov.add_reader(NodeId(1));
+        ov.add_edge(wa, r, Sign::Pos);
+        let gone = ov.add_reader(NodeId(2));
+        ov.add_edge(wa, gone, Sign::Pos);
+        ov.retire_node(gone);
+        let old = Decisions {
+            of: vec![Decision::Push, Decision::Pull, Decision::Pull],
+        };
+        let mut dirty = FastSet::default();
+        dirty.insert(gone); // retired: ignored
+        dirty.insert(r); // pull: nothing stored, nothing to rebuild
+        let delta = topo_plan_delta(&ov, &old, &[], &dirty);
+        assert!(delta.materialize.is_empty());
+        // Fresh nodes still enter the set.
+        let w2 = ov.add_writer(NodeId(3));
+        ov.add_edge(w2, r, Sign::Pos);
+        let delta = topo_plan_delta(&ov, &old, &[w2], &FastSet::default());
+        assert!(delta.materialize.contains(&w2));
     }
 }

@@ -20,7 +20,7 @@ pub mod plan;
 pub mod split;
 
 pub use adaptive::{adapt_frontier, frontier, FrontierSide};
-pub use attach::extend_decisions;
+pub use attach::{extend_decisions, topo_plan_delta, TopoDelta};
 pub use decide::{
     decide_maxflow, dmp_weights, node_costs, propagate_frequencies, prune, Decision,
     DecisionOutcome, Decisions, Frequencies, PruneStats, Rates,

@@ -74,6 +74,8 @@ pub fn shifting_trace(n_nodes: usize, cfg: &TraceConfig) -> Vec<Event> {
                     node: eagr_graph::NodeId(target),
                 });
             }
+            // generate_events emits no topology mutations.
+            _ => events.push(e),
         }
     }
     events

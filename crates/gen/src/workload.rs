@@ -9,10 +9,16 @@
 //! engine input).
 
 use eagr_flow::Rates;
-use eagr_graph::NodeId;
+use eagr_graph::{DataGraph, NodeId};
 use eagr_util::{SplitMix64, Zipf};
 
 /// One workload event.
+///
+/// Besides the classic content events (`Write`/`Read`), the stream can
+/// carry *topology mutations* — the dynamic-graph workload of the paper's
+/// title. Mutations ride in the same ordered stream as content events and
+/// are applied by the system between the content runs that surround them
+/// (`EagrSystem::ingest` splits mixed batches into maximal runs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A content update at a node (the value models a topic/metric).
@@ -27,19 +33,61 @@ pub enum Event {
         /// Queried node.
         node: NodeId,
     },
+    /// Insert the directed data-graph edge `from → to`.
+    AddEdge {
+        /// Source node.
+        from: NodeId,
+        /// Target node.
+        to: NodeId,
+    },
+    /// Delete the directed data-graph edge `from → to`.
+    RemoveEdge {
+        /// Source node.
+        from: NodeId,
+        /// Target node.
+        to: NodeId,
+    },
+    /// Add a fresh, initially isolated data node. `node` is the id the
+    /// generator expects the graph to assign (ids are sequential); the
+    /// system grows the graph until `node` exists, which keeps replays of
+    /// the same stream deterministic across execution modes.
+    AddNode {
+        /// The expected id of the new node.
+        node: NodeId,
+    },
+    /// Remove a data node and every edge incident to it.
+    RemoveNode {
+        /// Removed node.
+        node: NodeId,
+    },
 }
 
 impl Event {
-    /// The node the event touches.
+    /// The node the event touches (the source node for edge events).
     pub fn node(&self) -> NodeId {
         match *self {
-            Event::Write { node, .. } | Event::Read { node } => node,
+            Event::Write { node, .. }
+            | Event::Read { node }
+            | Event::AddNode { node }
+            | Event::RemoveNode { node } => node,
+            Event::AddEdge { from, .. } | Event::RemoveEdge { from, .. } => from,
         }
     }
 
     /// Whether this is a write.
     pub fn is_write(&self) -> bool {
         matches!(self, Event::Write { .. })
+    }
+
+    /// Whether this is a topology mutation (edge/node churn).
+    pub fn is_topo(&self) -> bool {
+        matches!(
+            self,
+            Event::AddEdge { .. }
+                | Event::RemoveEdge { .. }
+                | Event::AddNode { .. }
+                | Event::RemoveNode { .. }
+        )
     }
 }
 
@@ -168,6 +216,189 @@ pub fn rotating_hot_set(n_nodes: usize, cfg: &WorkloadConfig, phases: usize) -> 
         .collect()
 }
 
+/// Configuration for [`churn_stream`]: a mixed content + topology-churn
+/// workload in the edge-stream style of StreamWorks — every epoch mutates
+/// a fixed fraction of the *current* edge set while writes and reads keep
+/// flowing.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Number of epochs (one inner event vector per epoch).
+    pub epochs: usize,
+    /// Content events (writes + reads) per epoch.
+    pub epoch_events: usize,
+    /// Fraction of the current edge count mutated per epoch (Fig-style
+    /// sweeps use 0.01 / 0.05 / 0.10).
+    pub churn_fraction: f64,
+    /// Fraction of churn operations that are node add/remove pairs
+    /// instead of edge flips (0 disables node churn).
+    pub node_churn: f64,
+    /// Write:read ratio of the content events.
+    pub write_to_read: f64,
+    /// Zipf exponent of node activity.
+    pub exponent: f64,
+    /// Number of distinct stream values.
+    pub value_universe: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 4,
+            epoch_events: 1000,
+            churn_fraction: 0.05,
+            node_churn: 0.1,
+            write_to_read: 4.0,
+            exponent: 1.0,
+            value_universe: 1000,
+            seed: 0xC4_09,
+        }
+    }
+}
+
+/// Generate a churn workload over `g`: per epoch, `churn_fraction ×
+/// |E|` topology mutations interleaved with `epoch_events` Zipfian
+/// writes/reads. Mutations are generated against a private mirror of the
+/// evolving graph, so every emitted event is valid *at its stream
+/// position* when the stream is applied in order from `g`'s initial state:
+/// removed edges exist, added edges are fresh, content events target live
+/// nodes, and [`Event::AddNode`] ids match the sequential ids the graph
+/// will assign. Deterministic in `(g, cfg)`.
+pub fn churn_stream(g: &DataGraph, cfg: &ChurnConfig) -> Vec<Vec<Event>> {
+    assert!(cfg.epochs > 0);
+    assert!((0.0..=1.0).contains(&cfg.churn_fraction));
+    let mut mirror = g.clone();
+    let mut edges: Vec<(NodeId, NodeId)> = mirror.edges().collect();
+    let mut rng = SplitMix64::new(cfg.seed);
+    let value_dist = Zipf::new(cfg.value_universe.max(1), 1.0);
+    let p_write = cfg.write_to_read / (1.0 + cfg.write_to_read);
+    let min_live = (g.node_count() / 2).max(2);
+
+    // Sample a live node, Zipf-skewed over the current id space.
+    let sample_live = |mirror: &DataGraph, rng: &mut SplitMix64| -> NodeId {
+        let bound = mirror.id_bound().max(1);
+        let dist = Zipf::new(bound, cfg.exponent);
+        for _ in 0..64 {
+            let v = NodeId(dist.sample(rng) as u32);
+            if mirror.contains(v) {
+                return v;
+            }
+        }
+        // Dense fallback: linear scan from a random start.
+        let start = rng.index(bound) as u32;
+        for d in 0..bound as u32 {
+            let v = NodeId((start + d) % bound as u32);
+            if mirror.contains(v) {
+                return v;
+            }
+        }
+        unreachable!("graph has no live nodes");
+    };
+
+    (0..cfg.epochs)
+        .map(|_| {
+            let n_churn = ((edges.len() as f64 * cfg.churn_fraction).ceil() as usize).max(1);
+            let slots = cfg.epoch_events + n_churn;
+            let mut out = Vec::with_capacity(slots + 2);
+            let (mut churn_left, mut content_left) = (n_churn, cfg.epoch_events);
+            for _ in 0..slots {
+                let pick_churn = churn_left > 0
+                    && (content_left == 0
+                        || rng.chance(churn_left as f64 / (churn_left + content_left) as f64));
+                if pick_churn {
+                    churn_left -= 1;
+                    if rng.chance(cfg.node_churn) {
+                        if rng.chance(0.5) && mirror.node_count() > min_live {
+                            let v = sample_live(&mirror, &mut rng);
+                            mirror.remove_node(v);
+                            out.push(Event::RemoveNode { node: v });
+                        } else {
+                            let v = mirror.add_node();
+                            out.push(Event::AddNode { node: v });
+                            // Wire the newcomer in so it participates.
+                            let u = sample_live(&mirror, &mut rng);
+                            if u != v && mirror.add_edge(u, v) {
+                                edges.push((u, v));
+                                out.push(Event::AddEdge { from: u, to: v });
+                            }
+                        }
+                    } else if rng.chance(0.5) && !edges.is_empty() {
+                        // Remove a random existing edge; entries go stale
+                        // when node churn removed them behind our back.
+                        let mut removed = false;
+                        for _ in 0..32 {
+                            if edges.is_empty() {
+                                break;
+                            }
+                            let i = rng.index(edges.len());
+                            let (u, v) = edges.swap_remove(i);
+                            if mirror.contains(u) && mirror.contains(v) && mirror.remove_edge(u, v)
+                            {
+                                out.push(Event::RemoveEdge { from: u, to: v });
+                                removed = true;
+                                break;
+                            }
+                        }
+                        if !removed {
+                            continue;
+                        }
+                    } else {
+                        let u = sample_live(&mirror, &mut rng);
+                        let v = sample_live(&mirror, &mut rng);
+                        if u != v && mirror.add_edge(u, v) {
+                            edges.push((u, v));
+                            out.push(Event::AddEdge { from: u, to: v });
+                        }
+                    }
+                } else {
+                    content_left -= 1;
+                    let node = sample_live(&mirror, &mut rng);
+                    if rng.chance(p_write) {
+                        out.push(Event::Write {
+                            node,
+                            value: value_dist.sample(&mut rng) as i64,
+                        });
+                    } else {
+                        out.push(Event::Read { node });
+                    }
+                }
+            }
+            // Every epoch is contractually a churn epoch, but each churn
+            // slot above may no-op on unlucky samples (self-loop, already
+            // present edge, stale removal candidates). Force one edge flip
+            // — or, against a complete live subgraph, a node add — so
+            // downstream accounting can rely on `mutations > 0` per epoch.
+            if !out.iter().any(Event::is_topo) {
+                let mut forced = false;
+                for _ in 0..64 {
+                    let u = sample_live(&mirror, &mut rng);
+                    let v = sample_live(&mirror, &mut rng);
+                    if u != v && mirror.add_edge(u, v) {
+                        edges.push((u, v));
+                        out.push(Event::AddEdge { from: u, to: v });
+                        forced = true;
+                        break;
+                    }
+                }
+                while !forced && !edges.is_empty() {
+                    let i = rng.index(edges.len());
+                    let (u, v) = edges.swap_remove(i);
+                    if mirror.contains(u) && mirror.contains(v) && mirror.remove_edge(u, v) {
+                        out.push(Event::RemoveEdge { from: u, to: v });
+                        forced = true;
+                    }
+                }
+                if !forced {
+                    let v = mirror.add_node();
+                    out.push(Event::AddNode { node: v });
+                }
+            }
+            out
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +486,52 @@ mod tests {
         }
         // Determinism.
         assert_eq!(rotating_hot_set(n, &cfg, 3), phases);
+    }
+
+    #[test]
+    fn churn_stream_is_valid_and_deterministic() {
+        let g = crate::graphs::social_graph(150, 4, 9);
+        let cfg = ChurnConfig {
+            epochs: 3,
+            epoch_events: 400,
+            churn_fraction: 0.08,
+            node_churn: 0.2,
+            ..Default::default()
+        };
+        let stream = churn_stream(&g, &cfg);
+        assert_eq!(stream.len(), 3);
+        assert_eq!(stream, churn_stream(&g, &cfg));
+        // Replaying the stream in order from g must hit only valid states.
+        let mut replay = g.clone();
+        let mut topo = 0usize;
+        for epoch in &stream {
+            for e in epoch {
+                match *e {
+                    Event::Write { node, .. } | Event::Read { node } => {
+                        assert!(replay.contains(node), "content on dead node {node:?}");
+                    }
+                    Event::AddEdge { from, to } => {
+                        topo += 1;
+                        assert!(replay.contains(from) && replay.contains(to));
+                        assert!(replay.add_edge(from, to), "duplicate edge {from:?}→{to:?}");
+                    }
+                    Event::RemoveEdge { from, to } => {
+                        topo += 1;
+                        assert!(replay.remove_edge(from, to), "missing edge {from:?}→{to:?}");
+                    }
+                    Event::AddNode { node } => {
+                        topo += 1;
+                        assert_eq!(replay.add_node(), node, "AddNode id mismatch");
+                    }
+                    Event::RemoveNode { node } => {
+                        topo += 1;
+                        assert!(replay.contains(node));
+                        replay.remove_node(node);
+                    }
+                }
+            }
+        }
+        assert!(topo > 0, "churn stream must contain mutations");
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub use csr::CsrSnapshot;
 pub use data_graph::{paper_example_graph, DataGraph, NodeId};
 pub use neighborhood::Neighborhood;
 pub use partition::{
-    edge_cut_partition, refine_partition, AffinityGraph, EdgeCutConfig, Partition,
-    PartitionStrategy, Partitioner, RefineConfig, RefineStats, ShardId, DEFAULT_CHUNK_SIZE,
+    edge_cut_partition, hash_shard, refine_partition, refine_partition_live, AffinityGraph,
+    EdgeCutConfig, Partition, PartitionStrategy, Partitioner, RefineConfig, RefineStats, ShardId,
+    DEFAULT_CHUNK_SIZE,
 };

@@ -290,27 +290,59 @@ pub fn refine_partition<G: AffinityGraph + ?Sized>(
     current: &Partition,
     cfg: &RefineConfig,
 ) -> (Partition, RefineStats) {
+    refine_partition_live(g, current, None, cfg)
+}
+
+/// [`refine_partition`] with node removals folded in: `live[v] == false`
+/// marks a retired arena slot. Dead nodes keep their (now meaningless) map
+/// entry but are never move candidates and — the part that matters — stop
+/// counting toward shard load, so a shard whose nodes churned away frees
+/// real capacity for the balance cap instead of hoarding phantom load.
+/// `live == None` treats every slot as live.
+///
+/// # Panics
+/// Panics if `current` (or `live`, when given) does not cover the view's
+/// node arena.
+pub fn refine_partition_live<G: AffinityGraph + ?Sized>(
+    g: &G,
+    current: &Partition,
+    live: Option<&[bool]>,
+    cfg: &RefineConfig,
+) -> (Partition, RefineStats) {
     let n = g.node_count();
     assert_eq!(
         current.len(),
         n,
         "partition must cover every node of the affinity view"
     );
+    if let Some(live) = live {
+        assert_eq!(live.len(), n, "liveness mask must cover the arena");
+    }
+    let is_live = |v: usize| live.is_none_or(|l| l[v]);
     let shards = current.shards;
     let cut_before = current.cut_weight(g);
     let mut of = current.of.clone();
-    let mut load = current.shard_sizes();
-    let capacity = ((n as f64 / shards as f64) * cfg.balance.max(1.0))
+    let mut load = vec![0usize; shards];
+    let mut live_n = 0usize;
+    for v in 0..n {
+        if is_live(v) {
+            load[of[v].idx()] += 1;
+            live_n += 1;
+        }
+    }
+    let capacity = ((live_n as f64 / shards as f64) * cfg.balance.max(1.0))
         .ceil()
         .max(1.0);
-    let budget = ((n as f64 * cfg.max_move_fraction.clamp(0.0, 1.0)).floor() as usize).min(n);
+    let budget =
+        ((live_n as f64 * cfg.max_move_fraction.clamp(0.0, 1.0)).floor() as usize).min(live_n);
     // Mean per-node affinity mass, the γ penalty's scale (so γ is a pure
     // knob, independent of the view's absolute weights).
-    let mean_aff = if n > 0 {
+    let mean_aff = if live_n > 0 {
         let total: f64 = (0..n)
+            .filter(|&v| is_live(v))
             .map(|v| g.neighbors(v).iter().map(|&(_, w)| w as f64).sum::<f64>())
             .sum();
-        (total / n as f64).max(f64::MIN_POSITIVE)
+        (total / live_n as f64).max(f64::MIN_POSITIVE)
     } else {
         1.0
     };
@@ -323,6 +355,9 @@ pub fn refine_partition<G: AffinityGraph + ?Sized>(
         // Score every node against the current assignment of this pass.
         let mut candidates: Vec<(f64, usize, ShardId)> = Vec::new();
         for v in 0..n {
+            if !is_live(v) {
+                continue; // retired slots never move
+            }
             let nbrs = g.neighbors(v);
             if nbrs.is_empty() {
                 continue; // an isolated node cannot change the cut
@@ -414,6 +449,23 @@ fn mix(x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Stateless hash assignment of an index to one of `shards` shards — the
+/// [`PartitionStrategy::Hash`] formula as a free function. This is the
+/// shared *fallback route* for node indexes beyond a materialized map's
+/// length (nodes born after the map was built): every layer that routes by
+/// index (the engine's live map, its per-batch snapshots, and
+/// [`Partition::shard_of`] itself) falls back to this same formula, so an
+/// out-of-range index has one well-defined owner everywhere instead of a
+/// panic or a silent misroute.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+#[inline]
+pub fn hash_shard(idx: usize, shards: usize) -> ShardId {
+    assert!(shards > 0, "at least one shard");
+    ShardId((mix(idx as u64) % shards as u64) as u32)
 }
 
 /// Maps node indexes to [`ShardId`]s. Pure and deterministic: the same
@@ -509,10 +561,61 @@ pub struct Partition {
 }
 
 impl Partition {
-    /// Shard owning node index `idx`.
+    /// Shard owning node index `idx`. Indexes beyond the materialized map
+    /// (nodes born after the map was built) fall back to the stateless
+    /// [`hash_shard`] assignment instead of panicking, so routing stays
+    /// total under topology growth.
     #[inline]
     pub fn shard_of(&self, idx: usize) -> ShardId {
-        self.of[idx]
+        match self.of.get(idx) {
+            Some(&s) => s,
+            None => hash_shard(idx, self.shards),
+        }
+    }
+
+    /// Assign one node *online*, LDG-style, extending the map as needed:
+    /// the node goes to the shard maximizing `affinity × (1 −
+    /// load/capacity)` over its already-assigned neighbors (`affinity` is
+    /// `(neighbor index, weight)` pairs; out-of-map neighbors are scored at
+    /// their [`hash_shard`] fallback), or to the least-loaded shard when it
+    /// has none — the same scoring [`edge_cut_partition`] streams with,
+    /// applied to a single late arrival. Any gap below `node` is filled
+    /// with the hash fallback (matching what [`shard_of`](Self::shard_of)
+    /// already answered for those indexes). Idempotent: an already-mapped
+    /// `node` keeps its assignment.
+    pub fn assign_online(&mut self, node: usize, affinity: &[(u32, f32)]) -> ShardId {
+        if let Some(&s) = self.of.get(node) {
+            return s;
+        }
+        while self.of.len() < node {
+            let gap = self.of.len();
+            self.of.push(hash_shard(gap, self.shards));
+        }
+        let load = self.shard_sizes();
+        let capacity = (((self.of.len() + 1) as f64 / self.shards as f64) * 1.1)
+            .ceil()
+            .max(1.0);
+        let mut score = vec![0.0f64; self.shards];
+        for &(u, w) in affinity {
+            let owner = self.shard_of(u as usize);
+            score[owner.idx()] += w as f64;
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for s in 0..self.shards {
+            let penalty = 1.0 - (load[s] as f64 / capacity).min(1.0);
+            let sc = if score[s] > 0.0 {
+                score[s] * penalty
+            } else {
+                penalty * 1e-9
+            };
+            if sc > best_score {
+                best_score = sc;
+                best = s;
+            }
+        }
+        self.of.push(ShardId(best as u32));
+        ShardId(best as u32)
     }
 
     /// Number of nodes covered.
@@ -822,5 +925,93 @@ mod tests {
         let sizes = part.shard_sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         assert!(sizes.iter().all(|&s| s <= 4));
+    }
+
+    #[test]
+    fn out_of_range_shard_of_falls_back_to_hash() {
+        let part = Partitioner::chunked(4, 8).partition(32);
+        for idx in 32..200 {
+            let s = part.shard_of(idx);
+            assert_eq!(s, hash_shard(idx, 4), "idx {idx}");
+            assert!(s.idx() < 4);
+        }
+        // In-range indexes still answer from the map.
+        assert_eq!(part.shard_of(0), part.of[0]);
+    }
+
+    #[test]
+    fn assign_online_prefers_neighbor_shard_and_extends_map() {
+        let mut part = Partitioner::hash(4).partition(16);
+        let home = part.shard_of(3);
+        // A node whose whole affinity mass sits on node 3's shard joins it.
+        let s = part.assign_online(16, &[(3, 5.0)]);
+        assert_eq!(s, home);
+        assert_eq!(part.len(), 17);
+        assert_eq!(part.shard_of(16), home);
+        // Idempotent.
+        assert_eq!(part.assign_online(16, &[]), home);
+        assert_eq!(part.len(), 17);
+        // Gaps are filled with the hash fallback shard_of already answered.
+        let expect_gap = part.shard_of(18);
+        part.assign_online(20, &[]);
+        assert_eq!(part.len(), 21);
+        assert_eq!(part.shard_of(18), expect_gap);
+    }
+
+    #[test]
+    fn assign_online_without_affinity_balances_load() {
+        let mut part = Partition {
+            of: Vec::new(),
+            shards: 3,
+            strategy: PartitionStrategy::EdgeCut,
+        };
+        for v in 0..30 {
+            part.assign_online(v, &[]);
+        }
+        let sizes = part.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 30);
+        assert!(sizes.iter().all(|&s| s >= 8), "{sizes:?}");
+    }
+
+    #[test]
+    fn refine_live_ignores_retired_load() {
+        // Shard 0 is stuffed with dead slots; with liveness folded in, a
+        // live node pulled toward shard 0 can still move there.
+        let g = Adj({
+            let mut adj = vec![Vec::new(); 24];
+            // Node 23 (on shard 1 initially) is attached to nodes 0..4.
+            for u in 0..4u32 {
+                adj[23].push((u, 10.0f32));
+                adj[u as usize].push((23, 10.0f32));
+            }
+            adj
+        });
+        let mut of = vec![ShardId(0); 24];
+        // Nodes 12..23 live on shard 1, the target sits there too.
+        for slot in of.iter_mut().skip(12) {
+            *slot = ShardId(1);
+        }
+        let current = Partition {
+            of,
+            shards: 2,
+            strategy: PartitionStrategy::EdgeCut,
+        };
+        // Kill most of shard 0's load: only its first 5 slots are live.
+        let mut live = vec![false; 24];
+        for (v, l) in live.iter_mut().enumerate() {
+            if !(5..12).contains(&v) {
+                *l = true;
+            }
+        }
+        let cfg = RefineConfig {
+            max_move_fraction: 0.5,
+            ..RefineConfig::default()
+        };
+        let (refined, stats) = refine_partition_live(&g, &current, Some(&live), &cfg);
+        assert_eq!(refined.shard_of(23), ShardId(0), "{stats:?}");
+        // Dead slots never move.
+        for v in 5..12 {
+            assert_eq!(refined.shard_of(v), current.shard_of(v));
+        }
     }
 }

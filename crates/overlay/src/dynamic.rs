@@ -57,6 +57,15 @@ pub struct DynamicOverlay {
     cfg: DynamicConfig,
     /// Direct writer→reader edges accumulated by repairs, per reader.
     direct_edges: FastMap<OverlayId, usize>,
+    /// Pre-existing overlay nodes whose *input list* a repair rewired —
+    /// their materialized PAOs are stale and the engine must rebuild them
+    /// (and everything downstream) before serving reads. Fresh nodes are
+    /// not tracked here: the caller already knows them from the arena
+    /// growing (ids are append-only). Restructuring carves
+    /// ([`IobState::cover`]) are *not* dirty: a carve replaces a subset of
+    /// a node's inputs with one fresh partial aggregating exactly that
+    /// subset, so the node's net value is unchanged.
+    dirty: FastSet<OverlayId>,
 }
 
 impl DynamicOverlay {
@@ -74,6 +83,7 @@ impl DynamicOverlay {
             props,
             cfg,
             direct_edges: FastMap::default(),
+            dirty: FastSet::default(),
         }
     }
 
@@ -85,6 +95,20 @@ impl DynamicOverlay {
     /// Consume self, returning the overlay.
     pub fn into_overlay(self) -> Overlay {
         self.state.overlay
+    }
+
+    /// Pre-existing nodes whose inputs were rewired since the last
+    /// [`take_dirty`](Self::take_dirty) (may include since-retired ids —
+    /// filter with [`Overlay::is_retired`]). These are *seeds*: a stale
+    /// partial makes everything downstream stale too, so the engine-side
+    /// repair expands the set along output edges before rematerializing.
+    pub fn dirty(&self) -> &FastSet<OverlayId> {
+        &self.dirty
+    }
+
+    /// Drain the dirty-node set accumulated by repairs.
+    pub fn take_dirty(&mut self) -> FastSet<OverlayId> {
+        std::mem::take(&mut self.dirty)
     }
 
     /// Readers whose neighborhood may involve the edge `(u, v)` — a safe
@@ -166,6 +190,17 @@ impl DynamicOverlay {
             self.direct_edges.remove(&rid);
         }
         if let Some(wid) = self.state.overlay.writer(u) {
+            // Everything the writer fed loses an input: those partials (and
+            // readers) hold PAOs that still include the retired writer's
+            // contribution, so mark them stale before the edges vanish.
+            let fed: Vec<OverlayId> = self
+                .state
+                .overlay
+                .outputs(wid)
+                .iter()
+                .map(|&(t, _)| t)
+                .collect();
+            self.dirty.extend(fed);
             self.state.purge_writer_coverage(u.0);
             self.state.overlay.retire_node(wid);
         }
@@ -209,6 +244,8 @@ impl DynamicOverlay {
                 self.state.gc_orphans();
                 continue;
             }
+            // The repair below rewires this pre-existing reader's inputs.
+            self.dirty.insert(rid);
             if !added.is_empty() {
                 self.handle_added(rid, &added);
                 let ws: Vec<u32> = added.iter().map(|w| w.0).collect();
@@ -392,6 +429,7 @@ impl DynamicOverlay {
     }
 
     fn rebuild_reader_with(&mut self, rid: OverlayId, targets: &FastSet<NodeId>) {
+        self.dirty.insert(rid);
         let old: Vec<(OverlayId, Sign)> = self.state.overlay.inputs(rid).to_vec();
         for (f, s) in old {
             self.state.overlay.remove_edge(f, rid, s);
@@ -537,6 +575,38 @@ mod tests {
         dynov2.remove_edge(&mut g2, NodeId(1), NodeId(0));
         dynov2.add_edge(&mut g2, NodeId(1), NodeId(0));
         check(&dynov2, &g2, &nbh);
+    }
+
+    #[test]
+    fn repairs_mark_rewired_nodes_dirty() {
+        let (mut g, mut dynov, _nbh) = setup();
+        assert!(dynov.dirty().is_empty(), "fresh wrapper starts clean");
+
+        // Edge churn: the repaired reader's inputs were rewired.
+        dynov.add_edge(&mut g, NodeId(6), NodeId(0));
+        let rid = dynov.overlay().reader(NodeId(0)).unwrap();
+        assert!(dynov.dirty().contains(&rid), "repaired reader is dirty");
+
+        // take_dirty drains.
+        let drained = dynov.take_dirty();
+        assert!(drained.contains(&rid));
+        assert!(dynov.dirty().is_empty());
+
+        // Removing a writer node dirties everything it fed — readers and
+        // shared partials whose stored PAOs still include its contribution.
+        let wid = dynov.overlay().writer(NodeId(3)).unwrap();
+        let fed: Vec<OverlayId> = dynov
+            .overlay()
+            .outputs(wid)
+            .iter()
+            .map(|&(t, _)| t)
+            .collect();
+        assert!(!fed.is_empty(), "fixture writer d feeds someone");
+        dynov.remove_node(&mut g, NodeId(3));
+        let dirty = dynov.take_dirty();
+        for t in fed {
+            assert!(dirty.contains(&t), "downstream {t:?} must be dirty");
+        }
     }
 
     #[test]

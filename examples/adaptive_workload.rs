@@ -42,6 +42,8 @@ fn run(label: &str, g: &DataGraph, trace: &[Event], adapt_every: Option<u64>) ->
                         std::hint::black_box(sys.read(node));
                     }
                 }
+                // generate_events emits no topology mutations.
+                _ => unreachable!(),
             }
             ts += 1;
         }

@@ -81,6 +81,8 @@ fn parallel_with_mixed_plan_and_interleaved_reads() {
         match *e {
             Event::Write { node, value } => eng.submit_write(node, value, ts as u64),
             Event::Read { node } => eng.submit_read(node),
+            // generate_events emits no topology mutations.
+            _ => unreachable!(),
         }
     }
     eng.drain();
@@ -211,6 +213,8 @@ fn adaptive_engine_correct_through_workload_shift() {
                         assert_eq!(got, oracle.read(&g, node), "ts {ts}");
                     }
                 }
+                // generate_events emits no topology mutations.
+                _ => unreachable!(),
             }
             ts += 1;
         }

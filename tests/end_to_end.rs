@@ -38,6 +38,8 @@ fn trend_feed_scenario_with_splitting() {
                     assert_eq!(got, oracle.read(&g, node));
                 }
             }
+            // generate_events emits no topology mutations.
+            _ => unreachable!(),
         }
     }
     let st = sys.stats();
@@ -81,6 +83,8 @@ fn time_windows_with_expiry() {
                     assert_eq!(got, oracle.read(&g, node), "at ts {ts}");
                 }
             }
+            // generate_events emits no topology mutations.
+            _ => unreachable!(),
         }
     }
 }
@@ -119,6 +123,8 @@ fn wide_tuple_windows() {
                     }
                 }
             }
+            // generate_events emits no topology mutations.
+            _ => unreachable!(),
         }
     }
 }

@@ -56,6 +56,8 @@ fn replay_and_check<A>(
                     );
                 }
             }
+            // generate_events emits no topology mutations.
+            _ => unreachable!(),
         }
     }
     // Final sweep over every reader.

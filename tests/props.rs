@@ -473,6 +473,173 @@ proptest! {
         sharded.shutdown();
     }
 
+    // ---------- dynamic topology ----------
+
+    #[test]
+    fn dynamic_overlay_repair_equals_fresh_rebuild(
+        seed in 0u64..50,
+        ops in proptest::collection::vec((0u8..4, any::<u32>(), any::<u32>()), 1..40),
+        writes in proptest::collection::vec((any::<u32>(), -50i64..50), 10..120),
+    ) {
+        // Incremental repair differential: drive an arbitrary mutation
+        // sequence through DynamicOverlay, then check the repaired overlay
+        // against (a) a from-scratch rebuild over the mutated graph — any
+        // node the fresh overlay serves, the repaired one must serve with
+        // the same answer — and (b) the naive oracle as ground truth for
+        // everything the repaired overlay serves.
+        use eagr::overlay::{DynamicConfig, DynamicOverlay};
+        let mut g = eagr::gen::social_graph(30, 3, seed);
+        let props = eagr::agg::AggProps {
+            duplicate_insensitive: false,
+            subtractable: true,
+        };
+        let ag0 = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        let (ov0, _) = build_vnm(&ag0, &VnmConfig::vnma(props));
+        let mut dyn_ov =
+            DynamicOverlay::new(ov0, Neighborhood::In, props, DynamicConfig::default());
+        for &(pick, a, b) in &ops {
+            match pick {
+                0 => {
+                    let bound = g.id_bound() as u32;
+                    let (u, v) = (NodeId(a % bound), NodeId(b % bound));
+                    if u != v && g.contains(u) && g.contains(v) {
+                        dyn_ov.add_edge(&mut g, u, v);
+                    }
+                }
+                1 => {
+                    let edges: Vec<_> = g.edges().collect();
+                    if !edges.is_empty() {
+                        let (u, v) = edges[a as usize % edges.len()];
+                        dyn_ov.remove_edge(&mut g, u, v);
+                    }
+                }
+                2 => {
+                    dyn_ov.add_node(&mut g);
+                }
+                _ => {
+                    let bound = g.id_bound() as u32;
+                    let v = NodeId(a % bound);
+                    if g.contains(v) && g.node_count() > 2 {
+                        dyn_ov.remove_node(&mut g, v);
+                    }
+                }
+            }
+        }
+        let repaired = Arc::new(dyn_ov.into_overlay());
+        let ag = BipartiteGraph::build(&g, &Neighborhood::In, |_| true);
+        let fresh = Arc::new(Overlay::direct_from_bipartite(&ag));
+        let dr = Decisions::all_push(&repaired);
+        let df = Decisions::all_push(&fresh);
+        let er = EngineCore::new(Sum, Arc::clone(&repaired), &dr, WindowSpec::Tuple(1));
+        let ef = EngineCore::new(Sum, Arc::clone(&fresh), &df, WindowSpec::Tuple(1));
+        let mut oracle = NaiveOracle::new(Sum, WindowSpec::Tuple(1), Neighborhood::In);
+        for (ts, &(n, v)) in writes.iter().enumerate() {
+            let bound = g.id_bound() as u32;
+            let node = NodeId(n % bound);
+            if g.contains(node) {
+                er.write(node, v, ts as u64);
+                ef.write(node, v, ts as u64);
+                oracle.write(node, v, ts as u64);
+            }
+        }
+        for v in g.nodes() {
+            let from_fresh = ef.read(v);
+            let from_repair = er.read(v);
+            if from_fresh.is_some() {
+                prop_assert_eq!(
+                    from_repair.clone(),
+                    from_fresh,
+                    "node {:?}: repaired overlay diverged from fresh rebuild",
+                    v
+                );
+            }
+            if let Some(got) = from_repair {
+                prop_assert_eq!(got, oracle.read(&g, v), "node {:?} vs oracle", v);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_during_concurrent_ingest_matches_reference(
+        seed in 0u64..40,
+        shards in 2usize..5,
+        epochs in 2usize..4,
+        epoch_events in 40usize..120,
+        churn_pct in 1u32..11,
+    ) {
+        // Sustained-churn differential through the facade: the same mixed
+        // content/mutation stream goes through a sharded system — while a
+        // prober thread hammers relaxed reads — and the single-threaded
+        // reference. After every epoch both must agree on every answer and
+        // on the mutation accounting. The nightly soak job runs this with
+        // PROPTEST_CASES raised ~10x so topology epochs race real
+        // concurrent traffic.
+        use eagr::gen::{churn_stream, ChurnConfig};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let g = eagr::gen::social_graph(30, 3, seed);
+        let stream = churn_stream(
+            &g,
+            &ChurnConfig {
+                epochs,
+                epoch_events,
+                churn_fraction: churn_pct as f64 / 100.0,
+                node_churn: 0.2,
+                seed: seed.wrapping_mul(0x9E37_79B9),
+                ..Default::default()
+            },
+        );
+        let build = |mode| {
+            EagrSystem::builder(EgoQuery::new(Sum))
+                .overlay(OverlayAlgorithm::Vnma)
+                .execution(mode)
+                .build(&g)
+        };
+        let reference = build(eagr::ExecutionMode::SingleThreaded);
+        let sharded = build(eagr::ExecutionMode::Sharded { shards });
+        let mut bound = g.id_bound();
+        for batch in &stream {
+            for e in batch {
+                if let Event::AddNode { node } = *e {
+                    bound = bound.max(node.idx() + 1);
+                }
+            }
+        }
+        let done = AtomicBool::new(false);
+        // Raised on every exit path — including assertion panics — so the
+        // prober can't outlive the scope and wedge the join.
+        struct StopOnDrop<'a>(&'a AtomicBool);
+        impl Drop for StopOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+        std::thread::scope(|scope| {
+            let _stop = StopOnDrop(&done);
+            scope.spawn(|| {
+                // Probe gently: a hot spin would monopolize a single-core
+                // box and starve the ingest thread it races against.
+                let mut i = 0u32;
+                while !done.load(Ordering::Acquire) {
+                    std::hint::black_box(sharded.read_relaxed(NodeId(i % bound as u32)));
+                    i = i.wrapping_add(1);
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            });
+            for batch in &stream {
+                let rr = reference.ingest(batch);
+                let rs = sharded.ingest(batch);
+                assert_eq!(rr, rs, "ingest reports diverged");
+                assert!(rr.mutations > 0, "churn epochs carry mutations");
+            }
+        });
+        let nodes: Vec<NodeId> = (0..bound as u32).map(NodeId).collect();
+        prop_assert_eq!(sharded.read_batch(&nodes), reference.read_batch(&nodes));
+        prop_assert_eq!(
+            sharded.registry_stats().topo,
+            reference.registry_stats().topo
+        );
+    }
+
     // ---------- end-to-end ----------
 
     #[test]
