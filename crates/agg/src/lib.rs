@@ -21,6 +21,8 @@
 //! tuple-based, §2.1) in [`window`]; the push/pull cost functions `H(k)` and
 //! `L(k)` with their calibration routine (§4.2) in [`cost`].
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod builtins;
 pub mod cost;

@@ -59,7 +59,10 @@ fn measured_rates(events: &[Event], n: usize) -> Rates {
         match *e {
             Event::Write { node, .. } => rates.write[node.idx()] += 1.0,
             Event::Read { node } => rates.read[node.idx()] += 1.0,
-            _ => {}
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => {}
         }
     }
     rates
@@ -75,7 +78,10 @@ fn run_events<A: Aggregate>(core: &EngineCore<A>, events: &[Event], ts0: u64) ->
             Event::Read { node } => {
                 std::hint::black_box(core.read(node));
             }
-            _ => {}
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => {}
         }
     }
     t.elapsed().as_secs_f64()
@@ -291,7 +297,10 @@ fn fig13d() {
                 match *e {
                     Event::Write { node, value } => eng.submit_write(node, value, i as u64),
                     Event::Read { node } => eng.submit_read(node),
-                    _ => {}
+                    Event::AddEdge { .. }
+                    | Event::RemoveEdge { .. }
+                    | Event::AddNode { .. }
+                    | Event::RemoveNode { .. } => {}
                 }
             }
             eng.drain();

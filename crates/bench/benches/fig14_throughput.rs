@@ -74,7 +74,10 @@ fn run_plan<A: Aggregate + Clone>(
             Event::Read { node } => {
                 std::hint::black_box(core.read(node));
             }
-            _ => {}
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => {}
         }
     }
     events.len() as f64 / t0.elapsed().as_secs_f64()
@@ -554,7 +557,11 @@ fn fig14e() {
                     .iter()
                     .filter_map(|e| match *e {
                         Event::Read { node } => Some(node),
-                        _ => None,
+                        Event::Write { .. }
+                        | Event::AddEdge { .. }
+                        | Event::RemoveEdge { .. }
+                        | Event::AddNode { .. }
+                        | Event::RemoveNode { .. } => None,
                     })
                     .collect();
                 (writes, reads)

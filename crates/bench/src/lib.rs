@@ -12,6 +12,8 @@
 //! --bench fig14_throughput -- --quick`) divides the scale by four — the
 //! smoke mode nightly CI uses to keep bench code from rotting.
 
+#![forbid(unsafe_code)]
+
 use eagr::agg::AggProps;
 use std::io::Write as _;
 

@@ -36,6 +36,8 @@
 //! | [`exec`] | single-threaded, two-pool, and sharded engines; runtime adaptation; metrics | §2.2.2 |
 //! | [`gen`] | synthetic graphs, Zipfian workloads, event batches, shifting traces | §5.1 |
 
+#![forbid(unsafe_code)]
+
 pub mod oracle;
 pub mod query;
 pub(crate) mod registry;

@@ -27,8 +27,9 @@ use eagr_overlay::{
     VnmConfig,
 };
 use eagr_util::FastSet;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
 /// How a compiled system executes its workload.
 #[derive(Clone, Copy, Debug)]
@@ -260,9 +261,9 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
 
         EagrSystem {
             inner: Arc::new(SystemInner {
-                registry: RwLock::new(registry),
-                graph: RwLock::new(graph.clone()),
-                history: Mutex::new(WriteHistory::new(config.history)),
+                registry: RwLock::named(registry, "registry"),
+                graph: RwLock::named(graph.clone(), "graph"),
+                history: Mutex::named(WriteHistory::new(config.history), "history"),
                 clock: AtomicU64::new(0),
                 next_query: AtomicU64::new(1),
                 config,
@@ -542,12 +543,7 @@ impl<A: Aggregate> QueryHandle<A> {
 
     /// Whether the query is still registered (false after detach).
     pub fn is_attached(&self) -> bool {
-        self.inner
-            .registry
-            .read()
-            .unwrap()
-            .queries
-            .contains_key(&self.id)
+        self.inner.registry.read().queries.contains_key(&self.id)
     }
 
     /// What attaching this query reused vs. materialized (`None` once
@@ -556,7 +552,6 @@ impl<A: Aggregate> QueryHandle<A> {
         self.inner
             .registry
             .read()
-            .unwrap()
             .queries
             .get(&self.id)
             .map(|e| e.report)
@@ -567,7 +562,7 @@ impl<A: Aggregate> QueryHandle<A> {
     /// mode (routed through the shard inboxes, same as
     /// [`EagrSystem::read`]).
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         let entry = reg.queries.get(&self.id)?;
         entry.readers.binary_search(&v).ok()?;
         let st = reg.strata[entry.stratum].as_ref()?;
@@ -578,7 +573,7 @@ impl<A: Aggregate> QueryHandle<A> {
     /// `nodes[i]` (`None` outside the query's reader set, everywhere when
     /// detached).
     pub fn read_batch(&self, nodes: &[NodeId]) -> Vec<Option<A::Output>> {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         let Some(entry) = reg.queries.get(&self.id) else {
             return vec![None; nodes.len()];
         };
@@ -645,8 +640,8 @@ impl<A: Aggregate> EagrSystem<A> {
     {
         let id = self.inner.next_query.fetch_add(1, Ordering::Relaxed);
         let now = self.inner.clock.load(Ordering::Relaxed);
-        let mut reg = self.inner.registry.write().unwrap();
-        let graph = self.inner.graph.read().unwrap();
+        let mut reg = self.inner.registry.write();
+        let graph = self.inner.graph.read();
 
         // The query's reader set and per-reader input lists — the same
         // shape `BipartiteGraph::build` produces for a cold compile.
@@ -686,7 +681,7 @@ impl<A: Aggregate> EagrSystem<A> {
                 let mut backfill: Vec<(OverlayId, WindowBuffer)> = Vec::new();
                 let (mut backfilled, mut cold) = (0usize, 0usize);
                 {
-                    let history = self.inner.history.lock().unwrap();
+                    let history = self.inner.history.lock();
                     for &wid in &outcome.new_writers {
                         let OverlayKind::Writer(w) = st.overlay.kind(wid) else {
                             continue;
@@ -741,7 +736,7 @@ impl<A: Aggregate> EagrSystem<A> {
                 let mut backfill: Vec<(OverlayId, WindowBuffer)> = Vec::new();
                 let (mut backfilled, mut cold) = (0usize, 0usize);
                 {
-                    let history = self.inner.history.lock().unwrap();
+                    let history = self.inner.history.lock();
                     for (wid, w) in st.overlay.writers() {
                         let (buf, exact) = history.backfill(w, st.window, now);
                         if exact {
@@ -823,7 +818,7 @@ impl<A: Aggregate> EagrSystem<A> {
         A: Clone,
         A::Output: Send,
     {
-        let mut reg = self.inner.registry.write().unwrap();
+        let mut reg = self.inner.registry.write();
         let Some(entry) = reg.queries.remove(&handle.id) else {
             return DetachReport::default();
         };
@@ -874,7 +869,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// Registry-level summary: live strata, attached queries, live overlay
     /// nodes across strata.
     pub fn registry_stats(&self) -> RegistryStats {
-        self.inner.registry.read().unwrap().stats()
+        self.inner.registry.read().stats()
     }
 
     /// Apply a content update (a *write* on `v`) — fans out to **every**
@@ -890,8 +885,8 @@ impl<A: Aggregate> EagrSystem<A> {
         // writes (same guard as `apply_batch`): a later `ingest` must
         // never re-issue `ts` or stamp events before it.
         self.inner.clock.fetch_max(ts + 1, Ordering::Relaxed);
-        let reg = self.inner.registry.read().unwrap();
-        self.inner.history.lock().unwrap().record(v, value, ts);
+        let reg = self.inner.registry.read();
+        self.inner.history.lock().record(v, value, ts);
         let mut applied = 0;
         for st in reg.live() {
             match &st.runtime {
@@ -921,7 +916,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// [`read_relaxed`](Self::read_relaxed) for cheap polling that
     /// tolerates mid-epoch state.
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         reg.primary().and_then(|st| st.runtime.read(v))
     }
 
@@ -934,7 +929,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// the paper accepts); after a drain it equals [`read`](Self::read).
     /// The right choice for hot polling loops and monitoring probes.
     pub fn read_relaxed(&self, v: NodeId) -> Option<A::Output> {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         let st = reg.primary()?;
         match &st.runtime {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.read(v),
@@ -953,7 +948,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// the worker's own slab — epoch-consistent even under concurrent
     /// ingestion.
     pub fn read_batch(&self, nodes: &[NodeId]) -> Vec<Option<A::Output>> {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         match reg.primary() {
             Some(st) => st.runtime.read_batch(nodes),
             None => vec![None; nodes.len()],
@@ -970,7 +965,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// returned count then covers everything applied while the sweep
     /// drained, including concurrently ingested writes.
     pub fn advance_time(&self, ts: u64) -> usize {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         reg.live()
             .map(|st| match &st.runtime {
                 Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.advance_time(ts),
@@ -1055,9 +1050,9 @@ impl<A: Aggregate> EagrSystem<A> {
     where
         A::Output: Send,
     {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         {
-            let mut history = self.inner.history.lock().unwrap();
+            let mut history = self.inner.history.lock();
             for (i, e) in events.iter().enumerate() {
                 if let Event::Write { node, value } = *e {
                     history.record(node, value, base_ts + i as u64);
@@ -1068,7 +1063,12 @@ impl<A: Aggregate> EagrSystem<A> {
             match e {
                 Event::Write { .. } => report.writes += 1,
                 Event::Read { .. } => report.reads += 1,
-                _ => unreachable!("content runs contain no topology mutations"),
+                Event::AddEdge { .. }
+                | Event::RemoveEdge { .. }
+                | Event::AddNode { .. }
+                | Event::RemoveNode { .. } => {
+                    unreachable!("content runs contain no topology mutations")
+                }
             }
         }
         for st in reg.live() {
@@ -1082,7 +1082,10 @@ impl<A: Aggregate> EagrSystem<A> {
                             Event::Read { node } => {
                                 std::hint::black_box(core.read(node));
                             }
-                            _ => {}
+                            Event::AddEdge { .. }
+                            | Event::RemoveEdge { .. }
+                            | Event::AddNode { .. }
+                            | Event::RemoveNode { .. } => {}
                         }
                     }
                 }
@@ -1095,7 +1098,10 @@ impl<A: Aggregate> EagrSystem<A> {
                             Event::Read { node } => {
                                 engine.submit_read(node);
                             }
-                            _ => {}
+                            Event::AddEdge { .. }
+                            | Event::RemoveEdge { .. }
+                            | Event::AddNode { .. }
+                            | Event::RemoveNode { .. } => {}
                         }
                     }
                     engine.drain();
@@ -1138,8 +1144,8 @@ impl<A: Aggregate> EagrSystem<A> {
         A: Clone,
         A::Output: Send,
     {
-        let mut reg = self.inner.registry.write().unwrap();
-        let mut graph = self.inner.graph.write().unwrap();
+        let mut reg = self.inner.registry.write();
+        let mut graph = self.inner.graph.write();
         let now = self.inner.clock.load(Ordering::Relaxed);
         let mut run = TopoReport::default();
         // Validate once against a scratch clone of the shared graph so
@@ -1233,7 +1239,7 @@ impl<A: Aggregate> EagrSystem<A> {
                 // saw arrive.
                 let mut backfill: Vec<(OverlayId, WindowBuffer)> = Vec::new();
                 {
-                    let history = self.inner.history.lock().unwrap();
+                    let history = self.inner.history.lock();
                     for &wid in &fresh {
                         if let OverlayKind::Writer(w) = overlay.kind(wid) {
                             let (buf, _exact) = history.backfill(w, st.window, now);
@@ -1305,7 +1311,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// Panics in [`ExecutionMode::Sharded`], where PAO state lives in
     /// shard slabs — use [`sharded_engine`](Self::sharded_engine) instead.
     pub fn core(&self) -> Arc<EngineCore<A>> {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         let st = reg.primary().expect("no live stratum");
         match &st.runtime {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => Arc::clone(core),
@@ -1318,7 +1324,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// The primary stratum's resident sharded engine, when built with
     /// [`ExecutionMode::Sharded`].
     pub fn sharded_engine(&self) -> Option<Arc<ShardedEngine<A>>> {
-        let reg = self.inner.registry.read().unwrap();
+        let reg = self.inner.registry.read();
         match &reg.primary()?.runtime {
             Runtime::Sharded(eng) => Some(Arc::clone(eng)),
             _ => None,

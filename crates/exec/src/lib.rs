@@ -15,6 +15,8 @@
 //! * [`adaptive`] — the §4.8 runtime decision adaptation.
 //! * [`metrics`] — latency recording and throughput computation.
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod core;
 pub mod engine;

@@ -151,7 +151,7 @@ impl<P: Send + Sync> ShardedStore<P> {
             .collect();
         let slabs = sizes
             .iter()
-            .map(|&sz| RwLock::new((0..sz).map(|_| init()).collect()))
+            .map(|&sz| RwLock::named((0..sz).map(|_| init()).collect(), "slab"))
             .collect();
         Self {
             loc,
@@ -384,7 +384,12 @@ impl<P: Send + Sync> PaoStore<P> for ShardedStore<P> {
         }
     }
 
+    // Callers may already hold a *shared* slab lock: `ShardSnapshot::with_pao`
+    // resolves foreign (cross-shard pull) slots through here while its own
+    // shard's read guard is live. That nesting is shared-shared at the same
+    // rank, which the lock-order rail's SHARED_REENTRANT exception permits.
     #[inline]
+    // lint: holds(slab)
     fn with_read<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
         loop {
             let packed = self.loc[idx].load(Ordering::Acquire);

@@ -11,6 +11,8 @@
 //! * [`adaptive`] — frontier monitoring and decision flipping (§4.8).
 //! * [`plan`](mod@plan) — a one-call planner tying the pieces together.
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod attach;
 pub mod decide;

@@ -10,6 +10,8 @@
 //! * [`trace`] — the two-phase shifting trace standing in for the EPA-HTTP
 //!   packet trace of Fig 13(a).
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod graphs;
 pub mod trace;

@@ -74,8 +74,11 @@ pub fn shifting_trace(n_nodes: usize, cfg: &TraceConfig) -> Vec<Event> {
                     node: eagr_graph::NodeId(target),
                 });
             }
-            // generate_events emits no topology mutations.
-            _ => events.push(e),
+            // generate_events emits no topology mutations; pass through.
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => events.push(e),
         }
     }
     events

@@ -13,6 +13,8 @@
 //! * [`partition`] — node→shard assignment ([`Partitioner`], [`Partition`])
 //!   for the sharded engine runtime.
 
+#![forbid(unsafe_code)]
+
 pub mod bipartite;
 pub mod csr;
 pub mod data_graph;

@@ -1,0 +1,189 @@
+//! The inline annotation grammar for justified exceptions.
+//!
+//! Two directives, both written as ordinary line comments:
+//!
+//! ```text
+//! // lint: allow(<rule>, <reason>)
+//! // lint: holds(<lock>)
+//! ```
+//!
+//! `allow` suppresses one rule's diagnostics on the line it anchors to —
+//! the same line for a trailing comment, the next code line for a
+//! standalone comment — and **requires** a non-empty written reason.
+//! `holds` declares that a function is only ever called while the named
+//! lock (a name from the shared [`LOCK_ORDER`] table) is already held, so
+//! rule R1 seeds its analysis of that function's body accordingly.
+//!
+//! A `// lint:` comment that does not parse, names an unknown rule or
+//! lock, or carries an empty reason is itself a diagnostic (rule
+//! `annotation`) — annotations are part of the checked surface, not an
+//! escape hatch from it.
+//!
+//! [`LOCK_ORDER`]: parking_lot::lock_order::LOCK_ORDER
+
+use crate::lexer::Lexed;
+use parking_lot::lock_order::LOCK_ORDER;
+
+/// Every rule id an `allow` may name.
+pub const KNOWN_RULES: &[&str] = &[
+    "lock-order",
+    "channel-discipline",
+    "panic-free",
+    "protocol-exhaustive",
+    "atomic-policy",
+    "safety-comment",
+    "annotation",
+];
+
+/// A parsed directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Directive {
+    /// `allow(<rule>, <reason>)`
+    Allow { rule: String, reason: String },
+    /// `holds(<lock>)`
+    Holds { lock: String },
+}
+
+/// A directive anchored to the source line it governs.
+#[derive(Clone, Debug)]
+pub struct Anchored {
+    pub directive: Directive,
+    pub line: u32,
+}
+
+/// Render a directive back to its canonical comment form. Inverse of
+/// [`parse_directive`] (see the round-trip test in `tests/fixtures.rs`).
+pub fn format_directive(d: &Directive) -> String {
+    match d {
+        Directive::Allow { rule, reason } => format!("// lint: allow({rule}, {reason})"),
+        Directive::Holds { lock } => format!("// lint: holds({lock})"),
+    }
+}
+
+/// Parse one comment body (the text after `//`). Returns:
+/// - `None` — not a lint directive at all (ordinary comment),
+/// - `Some(Ok(d))` — a well-formed directive,
+/// - `Some(Err(msg))` — a `// lint:` comment that does not conform.
+pub fn parse_directive(comment_text: &str) -> Option<Result<Directive, String>> {
+    let t = comment_text.trim();
+    let rest = t.strip_prefix("lint:")?.trim();
+    if let Some(body) = call_body(rest, "allow") {
+        let Some((rule, reason)) = body.split_once(',') else {
+            return Some(Err(
+                "allow needs a reason: `lint: allow(<rule>, <reason>)`".into()
+            ));
+        };
+        let rule = rule.trim();
+        let reason = reason.trim().trim_matches('"').trim();
+        if !KNOWN_RULES.contains(&rule) {
+            return Some(Err(format!(
+                "unknown rule `{rule}` in allow (known: {})",
+                KNOWN_RULES.join(", ")
+            )));
+        }
+        if reason.is_empty() {
+            return Some(Err(format!(
+                "allow({rule}) has an empty reason — write down why the exception is sound"
+            )));
+        }
+        return Some(Ok(Directive::Allow {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        }));
+    }
+    if let Some(body) = call_body(rest, "holds") {
+        let lock = body.trim();
+        if !LOCK_ORDER.contains(&lock) {
+            return Some(Err(format!(
+                "unknown lock `{lock}` in holds (declared order: {})",
+                LOCK_ORDER.join(" → ")
+            )));
+        }
+        return Some(Ok(Directive::Holds {
+            lock: lock.to_string(),
+        }));
+    }
+    Some(Err(
+        "unknown lint directive — expected `allow(<rule>, <reason>)` or `holds(<lock>)`".into(),
+    ))
+}
+
+/// If `s` is `<head>(<body>)`, return the body.
+fn call_body<'a>(s: &'a str, head: &str) -> Option<&'a str> {
+    let inner = s.strip_prefix(head)?.trim_start();
+    let inner = inner.strip_prefix('(')?;
+    inner.strip_suffix(')')
+}
+
+/// Extract every directive from a lexed file and anchor it. A trailing
+/// comment anchors to its own line; a standalone comment anchors to the
+/// line of the first token after it. Malformed directives come back as
+/// `(line, message)` pairs for the caller to turn into diagnostics.
+pub fn extract(lexed: &Lexed) -> (Vec<Anchored>, Vec<(u32, String)>) {
+    let mut anchored = Vec::new();
+    let mut errors = Vec::new();
+    // Token start lines, ascending, for "next code line" anchoring. Skip
+    // nothing: any token counts as code.
+    let token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    for c in &lexed.comments {
+        let Some(parsed) = parse_directive(&c.text) else {
+            continue;
+        };
+        match parsed {
+            Err(msg) => errors.push((c.line, msg)),
+            Ok(directive) => {
+                let line = if c.trailing {
+                    c.line
+                } else {
+                    token_lines
+                        .iter()
+                        .copied()
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line)
+                };
+                anchored.push(Anchored { directive, line });
+            }
+        }
+    }
+    (anchored, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_anchors_to_same_line_standalone_to_next() {
+        let src = "\
+let a = 1; // lint: allow(panic-free, test body)
+// lint: allow(lock-order, deliberate inversion)
+let b = 2;
+";
+        let (anns, errs) = extract(&lex(src));
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].line, 1);
+        assert_eq!(anns[1].line, 3);
+    }
+
+    #[test]
+    fn malformed_directives_are_errors() {
+        for bad in [
+            "// lint: allow(panic-free)",        // no reason
+            "// lint: allow(panic-free, )",      // empty reason
+            "// lint: allow(no-such-rule, x)",   // unknown rule
+            "// lint: holds(doorknob)",          // unknown lock
+            "// lint: disable(everything, pls)", // unknown directive
+        ] {
+            let (_, errs) = extract(&lex(bad));
+            assert_eq!(errs.len(), 1, "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (anns, errs) = extract(&lex("// just words about lint things\nlet x = 1;"));
+        assert!(anns.is_empty() && errs.is_empty());
+    }
+}

@@ -1,0 +1,391 @@
+//! A comment/string/char-literal aware tokenizer for Rust source.
+//!
+//! This is deliberately **not** a Rust parser: the rules in
+//! [`crate::rules`] are lexical pattern matchers over a token stream, and
+//! all they need from the lexer is that text inside comments, string
+//! literals, char literals, and lifetimes can never be mistaken for code.
+//! Brace/paren/bracket tokens survive as punctuation so the rules can do
+//! their own nesting arithmetic on a stream that is guaranteed free of
+//! quoted impostors.
+
+/// What a token is, as far as the rules care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`match`, `fn`, `registry`, `_`, ...).
+    Ident,
+    /// Punctuation. Multi-char operators the rules depend on (`=>`, `::`,
+    /// `->`) are fused into one token; everything else is one char.
+    Punct,
+    /// String literal (cooked, raw, byte, any `#` depth), as one token.
+    Str,
+    /// Char or byte-char literal, as one token.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// One comment with its 1-based starting line. `trailing` is true when
+/// code precedes the comment on the same line — that decides which line an
+/// annotation in the comment anchors to (see [`crate::annotations`]).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub trailing: bool,
+}
+
+/// Output of [`lex`]: the token stream plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unterminated literals are closed at end of
+/// input, which is good enough for linting (rustc itself rejects them).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+    // Whether any token has been emitted on the current line; decides
+    // `Comment::trailing`.
+    let mut code_on_line = false;
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            code_on_line = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..j].iter().collect(),
+                line,
+                trailing: code_on_line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let trailing = code_on_line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '\n' {
+                    line += 1;
+                }
+                text.push(b[j]);
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+                trailing,
+            });
+            if line > start_line {
+                code_on_line = false;
+            }
+            i = j;
+            continue;
+        }
+        // String literals, including raw/byte prefixes: ", r", b", br"/rb"
+        // with any number of #s after the r.
+        if let Some((end, lines)) = string_literal_end(&b, i) {
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: b[i..end].iter().collect(),
+                line,
+            });
+            line += lines;
+            code_on_line = true;
+            i = end;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let (kind, end) = char_or_lifetime(&b, i);
+            out.tokens.push(Token {
+                kind,
+                text: b[i..end].iter().collect(),
+                line,
+            });
+            code_on_line = true;
+            i = end;
+            continue;
+        }
+        // Identifier / keyword (raw identifiers r#name arrive here because
+        // string_literal_end refused them).
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            code_on_line = true;
+            i = j;
+            continue;
+        }
+        // Number. Does not consume `.` so `0..n` and method calls survive;
+        // `1.5` lexes as three tokens, which no rule cares about.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (is_ident_continue(b[j])) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Num,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            code_on_line = true;
+            i = j;
+            continue;
+        }
+        // Punctuation, fusing the operators the rules match on.
+        let fused = match (c, b.get(i + 1)) {
+            ('=', Some('>')) => Some("=>"),
+            (':', Some(':')) => Some("::"),
+            ('-', Some('>')) => Some("->"),
+            _ => None,
+        };
+        let (text, len) = match fused {
+            Some(t) => (t.to_string(), 2),
+            None => (c.to_string(), 1),
+        };
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text,
+            line,
+        });
+        code_on_line = true;
+        i += len;
+    }
+    out
+}
+
+/// If a string literal starts at `i`, return `(end_index, newlines_inside)`.
+fn string_literal_end(b: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = b.len();
+    let mut j = i;
+    // Optional byte/raw prefix, either order (`br` is real Rust, `rb` is
+    // not, but accepting it costs nothing).
+    let mut raw = false;
+    if j < n && (b[j] == 'b' || b[j] == 'r') {
+        if b[j] == 'r' {
+            raw = true;
+        }
+        j += 1;
+        if j < n && (b[j] == 'b' || b[j] == 'r') && b[j] != b[i] {
+            if b[j] == 'r' {
+                raw = true;
+            }
+            j += 1;
+        }
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while j < n && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if j >= n || b[j] != '"' {
+        return None; // not a string (e.g. plain ident `r`, raw ident `r#x`)
+    }
+    if raw && hashes == 0 && j == i {
+        // unreachable shape; keep the guard explicit
+        return None;
+    }
+    j += 1;
+    let mut lines = 0u32;
+    while j < n {
+        if b[j] == '\n' {
+            lines += 1;
+            j += 1;
+            continue;
+        }
+        if !raw && b[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == '"' {
+            if raw {
+                // need `hashes` #s to close
+                let mut k = 0usize;
+                while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some((j + 1 + hashes, lines));
+                }
+            } else {
+                return Some((j + 1, lines));
+            }
+        }
+        j += 1;
+    }
+    Some((n, lines)) // unterminated: close at EOF
+}
+
+/// Classify the `'`-introduced item at `i`: char literal or lifetime.
+/// Returns `(kind, end_index)`.
+fn char_or_lifetime(b: &[char], i: usize) -> (TokKind, usize) {
+    let n = b.len();
+    if i + 1 >= n {
+        return (TokKind::Char, n);
+    }
+    let next = b[i + 1];
+    if next == '\\' {
+        // Escaped char literal: skip the escape head, then scan to the
+        // closing quote (covers \n, \', \u{...}).
+        let mut j = i + 3;
+        while j < n && b[j] != '\'' && b[j] != '\n' {
+            j += 1;
+        }
+        return (TokKind::Char, (j + 1).min(n));
+    }
+    if is_ident_start(next) || next.is_ascii_digit() {
+        // Ident-ish run: 'a' is a char only if exactly one char then a
+        // closing quote; otherwise it is a lifetime ('a, 'static, '_).
+        let mut j = i + 1;
+        while j < n && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        if j == i + 2 && j < n && b[j] == '\'' {
+            return (TokKind::Char, j + 1);
+        }
+        return (TokKind::Lifetime, j);
+    }
+    // Non-ident char literal: '.', ' ', '€', ...
+    let mut j = i + 1;
+    while j < n && b[j] != '\'' && b[j] != '\n' {
+        j += 1;
+    }
+    (TokKind::Char, (j + 1).min(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let l = lex("let x = 1; // registry.lock()\n/* graph.read() */ y");
+        assert_eq!(
+            idents("let x = 1; // registry.lock()\n y"),
+            ["let", "x", "y"]
+        );
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(l.comments[0].text.contains("registry.lock()"));
+    }
+
+    #[test]
+    fn strings_and_chars_hide_their_contents() {
+        let src = r##"let s = "a.lock()"; let r = r#"b { } "quote" "#; let c = '{'; let lt: &'static str = s;"##;
+        let l = lex(src);
+        assert!(!idents(src).iter().any(|t| t == "lock"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Char).count(),
+            1
+        );
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        // The `{` inside the char literal must not look like punctuation.
+        assert_eq!(l.tokens.iter().filter(|t| t.is_punct("{")).count(), 0);
+    }
+
+    #[test]
+    fn fused_operators() {
+        let l = lex("match x { _ => a::b }");
+        let puncts: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, ["{", "=>", "::", "}"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let l = lex("a\n/* x /* y */ z */\nb");
+        assert_eq!(l.tokens[0].line, 1);
+        assert_eq!(l.tokens[1].line, 3);
+        assert_eq!(l.comments.len(), 1);
+        assert!(!l.comments[0].trailing);
+    }
+}

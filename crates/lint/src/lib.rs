@@ -1,0 +1,118 @@
+//! `eagr-lint` — the workspace's concurrency-protocol linter.
+//!
+//! Eight PRs of the sharded EAGr runtime accreted a real concurrency
+//! protocol: a global lock acquisition order, an epoch-gate
+//! shared/exclusive discipline, `try_send`-with-inbox-service deadlock
+//! freedom, panic-free worker loops, exhaustive protocol-enum matches,
+//! and a per-atomic memory-ordering contract. This crate turns those
+//! prose invariants into machine-checked rules.
+//!
+//! The analysis is deliberately lexical — a comment/string/char-aware
+//! tokenizer ([`lexer`]), function/impl/scope region extraction, and
+//! pattern matching over the token stream ([`rules`]) — because the
+//! invariants are lexically recognizable and a full parser would add a
+//! dependency this workspace does not allow. Justified exceptions are
+//! written inline with the [`annotations`] grammar and carry a mandatory
+//! reason.
+//!
+//! The pass runs three ways, all from one entry point
+//! ([`scan_workspace`]):
+//!
+//! 1. `cargo run -p eagr-lint` — the CLI, used by the CI `lint` job;
+//! 2. `crates/lint/tests/workspace.rs` — a `#[test]`, so plain
+//!    `cargo test` (tier-1) fails on a protocol violation;
+//! 3. fixture tests (`crates/lint/tests/fixtures.rs`) prove each rule
+//!    fires on a known-bad snippet and stays quiet on an annotated one.
+//!
+//! The static rules are paired with dynamic rails: the vendored
+//! `parking_lot`'s debug-build held-lock tracker enforces the same
+//! [`LOCK_ORDER`] table at runtime (the table is defined there and
+//! re-exported here, so the two can never drift), and a nightly
+//! ThreadSanitizer job runs the concurrency suites.
+//!
+//! [`LOCK_ORDER`]: parking_lot::lock_order::LOCK_ORDER
+
+#![forbid(unsafe_code)]
+
+pub mod annotations;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_source, Diagnostic, ATOMIC_POLICY};
+
+// Re-exported so the static R1 rule and the runtime tracker share one
+// policy table by construction.
+pub use parking_lot::lock_order::{LOCK_ORDER, SHARED_REENTRANT};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A finding located in a file.
+#[derive(Clone, Debug)]
+pub struct FileDiagnostic {
+    pub path: PathBuf,
+    pub diag: Diagnostic,
+}
+
+impl std::fmt::Display for FileDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.diag.line,
+            self.diag.rule,
+            self.diag.message
+        )
+    }
+}
+
+/// Result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub diagnostics: Vec<FileDiagnostic>,
+}
+
+/// Scan every `.rs` file under `root` (skipping `target/` and `.git/`)
+/// with the full rule set. Paths in the report are relative to `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        for diag in check_source(&text) {
+            report.diagnostics.push(FileDiagnostic {
+                path: rel.clone(),
+                diag,
+            });
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.diag.line).cmp(&(&b.path, b.diag.line)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! CLI for the workspace linter: `eagr-lint [ROOT]`.
+//!
+//! Scans every `.rs` file under ROOT (default: the current directory),
+//! prints one `path:line: [rule] message` per finding, and exits non-zero
+//! when there are any — the CI `lint` job is exactly this invocation.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let report = match eagr_lint::scan_workspace(Path::new(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("eagr-lint: failed to scan {root}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "eagr-lint: {} files clean (rules: lock-order, channel-discipline, panic-free, \
+             protocol-exhaustive, atomic-policy, safety-comment, annotation)",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "eagr-lint: {} violation(s) in {} files scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,817 @@
+//! The rule set. Each rule is a lexical pattern matcher over the token
+//! stream produced by [`crate::lexer`], scoped by the regions extracted in
+//! the private `regions` module: function bodies, `impl` blocks, and
+//! `thread::scope` call bodies.
+//!
+//! | id                    | invariant                                                        |
+//! |-----------------------|------------------------------------------------------------------|
+//! | `lock-order`          | R1: nested named-lock acquisitions respect [`LOCK_ORDER`]        |
+//! | `channel-discipline`  | R2: shard-worker paths only `try_send` cross-shard               |
+//! | `panic-free`          | R3: no `unwrap`/`expect`/`panic!`/`unreachable!` in worker loops or `thread::scope` bodies |
+//! | `protocol-exhaustive` | R4: no `_ =>` wildcard arms on `ShardMsg`/`Event` matches        |
+//! | `atomic-policy`       | R5: named atomics use the ordering [`ATOMIC_POLICY`] declares    |
+//! | `safety-comment`      | R-SAFETY: every `unsafe` carries a nearby `// SAFETY:` comment   |
+//! | `annotation`          | the `// lint:` grammar itself is well-formed                     |
+//!
+//! [`LOCK_ORDER`]: parking_lot::lock_order::LOCK_ORDER
+
+use crate::annotations::{self, Anchored, Directive};
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+use parking_lot::lock_order::{rank_of, LOCK_ORDER, SHARED_REENTRANT};
+
+/// One finding. `line` is 1-based in the scanned file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// R5's checked-in policy: `(atomic field name, method, allowed orderings)`.
+/// Only atomics named here are checked; an entry's orderings are the only
+/// ones permitted for that `(name, method)` pair, and a method missing for
+/// a named atomic is itself a violation. The table encodes the protocol:
+/// cross-thread completion counters publish with `AcqRel`/`Acquire`
+/// (epoch-drain and migration accounting must be visible at the fence),
+/// slot-location words publish with `Release`/`Acquire` (readers must see
+/// the PAO move), and pure statistics stay `Relaxed`.
+pub const ATOMIC_POLICY: &[(&str, &str, &[&str])] = &[
+    // epoch-drain pending-work counter (engine ↔ shard workers)
+    ("pending", "fetch_add", &["AcqRel"]),
+    ("pending", "fetch_sub", &["AcqRel"]),
+    ("pending", "load", &["Acquire"]),
+    // stream clock: monotonic watermark, observers tolerate staleness
+    ("clock", "fetch_max", &["Relaxed"]),
+    ("clock", "fetch_add", &["Relaxed"]),
+    ("clock", "load", &["Relaxed"]),
+    // LivePartition generation: readers revalidate snapshots against it
+    ("generation", "fetch_add", &["AcqRel"]),
+    ("generation", "load", &["Acquire"]),
+    // single-flight migration guard
+    ("migrating", "compare_exchange", &["AcqRel", "Acquire"]),
+    ("migrating", "store", &["Release"]),
+    ("migrating", "load", &["Acquire"]),
+    // worker/prober shutdown flags
+    ("stop", "store", &["Release"]),
+    ("stop", "load", &["Acquire"]),
+    ("done", "store", &["Release"]),
+    ("done", "load", &["Acquire"]),
+    // PAO slot-location words (shard, offset) — publish the move
+    ("loc", "store", &["Release"]),
+    ("loc", "load", &["Acquire"]),
+    ("loc", "swap", &["AcqRel"]),
+    // LivePartition owner array
+    ("of", "store", &["Release"]),
+    ("of", "load", &["Acquire"]),
+    // orphaned-slot statistic (reclaimed lazily, exactness not required)
+    ("orphans", "fetch_add", &["Relaxed"]),
+    ("orphans", "load", &["Relaxed"]),
+    ("orphans", "compare_exchange_weak", &["Relaxed"]),
+    // epoch counters: statistics
+    ("epochs", "fetch_add", &["Relaxed"]),
+    ("epochs", "load", &["Relaxed"]),
+    ("topo_epochs", "fetch_add", &["AcqRel"]),
+    ("topo_epochs", "load", &["Acquire"]),
+    // migration accounting, read after the fence
+    ("rebalances", "fetch_add", &["AcqRel"]),
+    ("rebalances", "load", &["Acquire"]),
+    ("nodes_migrated", "fetch_add", &["AcqRel"]),
+    ("nodes_migrated", "load", &["Acquire"]),
+    ("coalesced", "fetch_add", &["AcqRel"]),
+    ("coalesced", "load", &["Acquire"]),
+    ("flips_total", "fetch_add", &["Relaxed"]),
+    ("flips_total", "load", &["Relaxed"]),
+    ("slots_reclaimed", "fetch_add", &["AcqRel"]),
+    ("slots_reclaimed", "load", &["Acquire"]),
+    ("reads_done", "fetch_add", &["AcqRel"]),
+    ("reads_done", "load", &["Acquire"]),
+    // per-shard work counters, read under the stats snapshot
+    ("cross_out", "fetch_add", &["AcqRel"]),
+    ("cross_out", "load", &["Acquire"]),
+    ("reads", "fetch_add", &["AcqRel"]),
+    ("reads", "load", &["Acquire"]),
+    ("local", "fetch_add", &["Relaxed"]),
+    ("local", "load", &["Acquire"]),
+    // push/pull decision flags (SeqCst: flipped during replanning races)
+    ("push_flag", "swap", &["SeqCst"]),
+    ("push_flag", "load", &["Relaxed"]),
+    // facade id/counter sources
+    ("next_query", "fetch_add", &["Relaxed"]),
+    ("ops", "fetch_add", &["Relaxed"]),
+];
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Lock names recognized by R1, mapping receiver identifier → declared
+/// lock name (the slab vector field is `slabs`).
+fn lock_name_of(recv: &str) -> Option<&'static str> {
+    if recv == "slabs" {
+        return Some("slab");
+    }
+    LOCK_ORDER.iter().find(|&&n| n == recv).copied()
+}
+
+/// Protocol enums whose matches R4 requires to stay exhaustive.
+const PROTOCOL_ENUMS: &[&str] = &["ShardMsg", "Event"];
+
+mod regions {
+    use super::{TokKind, Token};
+
+    /// A function body (token indices of its `{`/`}`) plus what R2/R3 need
+    /// to know about it.
+    pub struct FnRegion {
+        pub open: usize,
+        pub close: usize,
+        /// Line of the `fn` keyword (annotations between here and the body
+        /// open line attach to the function).
+        pub sig_line: u32,
+        pub body_open_line: u32,
+        /// True when the enclosing `impl` is for `ShardWorker`.
+        pub in_shard_worker: bool,
+    }
+
+    /// A `scope(...)` call's argument list (token indices of its `(`/`)`).
+    pub struct ScopeRegion {
+        pub open: usize,
+        pub close: usize,
+        pub open_line: u32,
+    }
+
+    /// Walk forward from an opening delimiter, returning the index of its
+    /// matching closer (or `len` when unterminated).
+    pub fn matching(tokens: &[Token], open: usize, open_text: &str, close_text: &str) -> usize {
+        let mut depth = 0usize;
+        for (i, t) in tokens.iter().enumerate().skip(open) {
+            if t.is_punct(open_text) {
+                depth += 1;
+            } else if t.is_punct(close_text) {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        tokens.len()
+    }
+
+    /// Extract `impl` block spans with the implemented type's name.
+    fn impl_regions(tokens: &[Token]) -> Vec<(usize, usize, String)> {
+        let mut out = Vec::new();
+        let n = tokens.len();
+        for i in 0..n {
+            if !tokens[i].is_ident("impl") {
+                continue;
+            }
+            // Header: skip generics, honor `for` (trait impls name the
+            // self type after it), stop at the body `{`.
+            let mut angle = 0i32;
+            let mut self_ty: Option<String> = None;
+            let mut j = i + 1;
+            while j < n {
+                let t = &tokens[j];
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if angle == 0 {
+                    if t.is_punct("{") {
+                        break;
+                    }
+                    if t.is_punct(";") {
+                        // `impl Trait` in a type position; not a block
+                        j = n;
+                        break;
+                    }
+                    if t.is_ident("for") {
+                        self_ty = None;
+                    } else if t.kind == TokKind::Ident
+                        && self_ty.is_none()
+                        && !matches!(t.text.as_str(), "where" | "dyn" | "const" | "unsafe")
+                    {
+                        self_ty = Some(t.text.clone());
+                    }
+                }
+                j += 1;
+            }
+            if j >= n {
+                continue;
+            }
+            let close = matching(tokens, j, "{", "}");
+            out.push((j, close, self_ty.unwrap_or_default()));
+        }
+        out
+    }
+
+    /// Extract every function body, tagged with its enclosing impl.
+    pub fn fn_regions(tokens: &[Token]) -> Vec<FnRegion> {
+        let impls = impl_regions(tokens);
+        let mut out = Vec::new();
+        let n = tokens.len();
+        for i in 0..n {
+            if !tokens[i].is_ident("fn") {
+                continue;
+            }
+            // Find the body `{`: first brace outside parens/angles, unless
+            // a `;` ends the signature first (trait method declaration).
+            let mut paren = 0i32;
+            let mut angle = 0i32;
+            let mut j = i + 1;
+            let mut open = None;
+            while j < n {
+                let t = &tokens[j];
+                if t.is_punct("(") || t.is_punct("[") {
+                    paren += 1;
+                } else if t.is_punct(")") || t.is_punct("]") {
+                    paren -= 1;
+                } else if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if paren == 0 && angle <= 0 {
+                    if t.is_punct("{") {
+                        open = Some(j);
+                        break;
+                    }
+                    if t.is_punct(";") {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let Some(open) = open else { continue };
+            let close = matching(tokens, open, "{", "}");
+            let in_shard_worker = impls
+                .iter()
+                .any(|&(o, c, ref name)| o < open && close <= c && name == "ShardWorker");
+            out.push(FnRegion {
+                open,
+                close,
+                sig_line: tokens[i].line,
+                body_open_line: tokens[open].line,
+                in_shard_worker,
+            });
+        }
+        out
+    }
+
+    /// Extract every `scope(...)` call's argument span.
+    pub fn scope_regions(tokens: &[Token]) -> Vec<ScopeRegion> {
+        let mut out = Vec::new();
+        for i in 0..tokens.len().saturating_sub(1) {
+            if tokens[i].is_ident("scope") && tokens[i + 1].is_punct("(") {
+                let close = matching(tokens, i + 1, "(", ")");
+                out.push(ScopeRegion {
+                    open: i + 1,
+                    close,
+                    open_line: tokens[i].line,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Walk back from the token before a `.` to the receiver's trailing
+/// identifier, stepping over one `[...]` index. `self.slabs[s].write()`
+/// resolves to `slabs`; a call result (`store().lock_shard(...)`) resolves
+/// to `None`.
+fn receiver_ident(tokens: &[Token], before_dot: usize) -> Option<&str> {
+    let mut j = before_dot;
+    if tokens[j].is_punct("]") {
+        let mut depth = 0i32;
+        loop {
+            if tokens[j].is_punct("]") {
+                depth += 1;
+            } else if tokens[j].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    (tokens[j].kind == TokKind::Ident).then(|| tokens[j].text.as_str())
+}
+
+/// A candidate finding plus an optional extra line where an `allow` also
+/// suppresses it (R3 uses the enclosing scope's opening line).
+struct Candidate {
+    diag: Diagnostic,
+    alt_anchor: Option<u32>,
+}
+
+/// Run every rule over one lexed file. `annotations` must come from the
+/// same file. Returned diagnostics are already filtered through the
+/// `allow` annotations and sorted by line.
+pub fn check(lexed: &Lexed, anns: &[Anchored], ann_errors: &[(u32, String)]) -> Vec<Diagnostic> {
+    let tokens = &lexed.tokens;
+    let fns = regions::fn_regions(tokens);
+    let scopes = regions::scope_regions(tokens);
+    let mut cands: Vec<Candidate> = Vec::new();
+
+    for (line, msg) in ann_errors {
+        cands.push(Candidate {
+            diag: Diagnostic {
+                rule: "annotation",
+                line: *line,
+                message: msg.clone(),
+            },
+            alt_anchor: None,
+        });
+    }
+
+    for f in &fns {
+        let holds: Vec<&str> = anns
+            .iter()
+            .filter_map(|a| match &a.directive {
+                Directive::Holds { lock } if a.line >= f.sig_line && a.line <= f.body_open_line => {
+                    Some(lock.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        rule_lock_order(tokens, f, &holds, &mut cands);
+        if f.in_shard_worker {
+            rule_channel_discipline(tokens, f.open, f.close, &mut cands);
+            rule_panic_free(
+                tokens,
+                f.open,
+                f.close,
+                "shard-worker loop",
+                None,
+                &mut cands,
+            );
+        }
+    }
+    for s in &scopes {
+        rule_panic_free(
+            tokens,
+            s.open,
+            s.close,
+            "thread::scope body",
+            Some(s.open_line),
+            &mut cands,
+        );
+    }
+    rule_protocol_exhaustive(tokens, &mut cands);
+    rule_atomic_policy(tokens, &mut cands);
+    rule_safety_comment(tokens, &lexed.comments, &mut cands);
+
+    // Suppression: an `allow(rule, ...)` anchored at the finding's line
+    // (or its alternate anchor) silences it. `annotation` findings are
+    // never suppressible — the grammar itself must stay well-formed.
+    let allowed = |rule: &str, line: u32| {
+        anns.iter().any(|a| match &a.directive {
+            Directive::Allow { rule: r, .. } => r == rule && a.line == line,
+            _ => false,
+        })
+    };
+    let mut out: Vec<Diagnostic> = cands
+        .into_iter()
+        .filter(|c| {
+            c.diag.rule == "annotation"
+                || !(allowed(c.diag.rule, c.diag.line)
+                    || c.alt_anchor.is_some_and(|l| allowed(c.diag.rule, l)))
+        })
+        .map(|c| c.diag)
+        .collect();
+    out.sort_by_key(|d| (d.line, d.rule));
+    out.dedup();
+    out
+}
+
+/// R1: within one function body, track which named locks are held and
+/// flag acquisitions that violate the declared order. Guards bound with
+/// `let` live until `drop(binding)` or the end of their block; unbound
+/// (temporary) guards live to the end of the statement. `holds`
+/// pre-populates the held set from `// lint: holds(...)` annotations.
+fn rule_lock_order(
+    tokens: &[Token],
+    f: &regions::FnRegion,
+    holds: &[&str],
+    cands: &mut Vec<Candidate>,
+) {
+    struct Held {
+        rank: usize,
+        name: &'static str,
+        shared: bool,
+        depth: i32,
+        binding: Option<String>,
+        temp: bool,
+    }
+    let mut held: Vec<Held> = holds
+        .iter()
+        .filter_map(|&l| {
+            lock_name_of(l).map(|name| Held {
+                rank: rank_of(name),
+                name,
+                shared: true,
+                depth: 0,
+                binding: None,
+                temp: false,
+            })
+        })
+        .collect();
+    let mut depth = 0i32;
+    let mut pending_binding: Option<String> = None;
+    let mut i = f.open;
+    while i < f.close {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            held.retain(|h| h.depth <= depth);
+        } else if t.is_punct(";") {
+            held.retain(|h| !h.temp);
+            pending_binding = None;
+        } else if t.is_ident("let") {
+            // `let [mut] name = ...`
+            let mut j = i + 1;
+            if j < f.close && tokens[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < f.close && tokens[j].kind == TokKind::Ident {
+                pending_binding = Some(tokens[j].text.clone());
+            }
+        } else if t.is_ident("drop")
+            && i + 2 < f.close
+            && tokens[i + 1].is_punct("(")
+            && tokens[i + 2].kind == TokKind::Ident
+            && i + 3 < f.close
+            && tokens[i + 3].is_punct(")")
+        {
+            let g = &tokens[i + 2].text;
+            if let Some(p) = held.iter().rposition(|h| h.binding.as_ref() == Some(g)) {
+                held.remove(p);
+            }
+        } else if t.is_punct(".") && i + 1 < f.close && tokens[i + 1].kind == TokKind::Ident {
+            let method = tokens[i + 1].text.as_str();
+            // `.lock()` / `.read()` / `.write()` with *empty* parens — a
+            // call with arguments is not a guard acquisition. The second
+            // element is the index of the call's closing paren.
+            let acquisition = match method {
+                "lock" | "read" | "write"
+                    if i + 3 < f.close
+                        && tokens[i + 2].is_punct("(")
+                        && tokens[i + 3].is_punct(")") =>
+                {
+                    receiver_ident(tokens, i - 1)
+                        .and_then(lock_name_of)
+                        .map(|name| (name, method == "read", i + 3))
+                }
+                // Store helpers that acquire a slab lock internally.
+                "lock_shard" if i + 2 < f.close && tokens[i + 2].is_punct("(") => {
+                    Some(("slab", false, regions::matching(tokens, i + 2, "(", ")")))
+                }
+                "snapshot_shard" if i + 2 < f.close && tokens[i + 2].is_punct("(") => {
+                    Some(("slab", true, regions::matching(tokens, i + 2, "(", ")")))
+                }
+                _ => None,
+            };
+            if let Some((name, shared, call_close)) = acquisition {
+                let rank = rank_of(name);
+                for h in &held {
+                    let reentrant_ok =
+                        h.rank == rank && shared && h.shared && SHARED_REENTRANT.contains(&name);
+                    if h.rank > rank || (h.rank == rank && !reentrant_ok) {
+                        cands.push(Candidate {
+                            diag: Diagnostic {
+                                rule: "lock-order",
+                                line: t.line,
+                                message: format!(
+                                    "acquiring `{name}` (rank {rank}, {}) while `{}` (rank {}, {}) \
+                                     is held; declared order: {}",
+                                    if shared { "shared" } else { "exclusive" },
+                                    h.name,
+                                    h.rank,
+                                    if h.shared { "shared" } else { "exclusive" },
+                                    LOCK_ORDER.join(" → ")
+                                ),
+                            },
+                            alt_anchor: None,
+                        });
+                    }
+                }
+                // The `let` binding owns the guard only when the call is
+                // the whole initializer (`let g = x.read();`); a longer
+                // chain (`let n = x.read().len();`) drops the guard at the
+                // end of the statement like any temporary.
+                let direct = call_close + 1 < f.close && tokens[call_close + 1].is_punct(";");
+                let binding = if direct { pending_binding.take() } else { None };
+                let temp = binding.is_none();
+                held.push(Held {
+                    rank,
+                    name,
+                    shared,
+                    depth,
+                    binding,
+                    temp,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// R2: inside shard-worker functions, a bare `.send(` is the deadlock the
+/// bounded-channel protocol exists to prevent — cross-shard traffic must
+/// go through `try_send` with inbox service on `Full`.
+fn rule_channel_discipline(
+    tokens: &[Token],
+    open: usize,
+    close: usize,
+    cands: &mut Vec<Candidate>,
+) {
+    for i in open..close.saturating_sub(1) {
+        if tokens[i].is_punct(".")
+            && tokens[i + 1].is_ident("send")
+            && i + 2 < close
+            && tokens[i + 2].is_punct("(")
+        {
+            cands.push(Candidate {
+                diag: Diagnostic {
+                    rule: "channel-discipline",
+                    line: tokens[i + 1].line,
+                    message: "blocking `.send` on a shard-worker code path — use `try_send` \
+                              and service the inbox on `Full`, or annotate why this channel \
+                              cannot participate in a cycle"
+                        .into(),
+                },
+                alt_anchor: None,
+            });
+        }
+    }
+}
+
+/// R3: panic sites inside regions that must not panic (a panicking shard
+/// worker or scope thread wedges everyone joined on it). An
+/// `allow(panic-free, ...)` on the `scope(` line covers that whole body.
+fn rule_panic_free(
+    tokens: &[Token],
+    open: usize,
+    close: usize,
+    region: &str,
+    region_anchor: Option<u32>,
+    cands: &mut Vec<Candidate>,
+) {
+    let mut push = |line: u32, what: &str| {
+        cands.push(Candidate {
+            diag: Diagnostic {
+                rule: "panic-free",
+                line,
+                message: format!(
+                    "`{what}` inside a {region} — handle the error or annotate the reason \
+                     this cannot panic (a panic here wedges the scope join)"
+                ),
+            },
+            alt_anchor: region_anchor,
+        });
+    };
+    for i in open..close {
+        let t = &tokens[i];
+        if t.is_punct(".")
+            && i + 1 < close
+            && (tokens[i + 1].is_ident("unwrap") || tokens[i + 1].is_ident("expect"))
+        {
+            push(tokens[i + 1].line, &tokens[i + 1].text.clone());
+        }
+        if (t.is_ident("panic") || t.is_ident("unreachable"))
+            && i + 1 < close
+            && tokens[i + 1].is_punct("!")
+        {
+            push(t.line, &format!("{}!", t.text));
+        }
+    }
+}
+
+/// R4: a `match` whose arms name `ShardMsg::`/`Event::` variants must not
+/// also have a bare `_` arm — new protocol variants must force every site
+/// to choose, not fall through silently.
+fn rule_protocol_exhaustive(tokens: &[Token], cands: &mut Vec<Candidate>) {
+    let n = tokens.len();
+    for m in 0..n {
+        if !tokens[m].is_ident("match") {
+            continue;
+        }
+        // Find the match body `{` (struct literals cannot appear unparenthesized
+        // in a scrutinee, so the first top-level `{` is the body).
+        let mut depth = 0i32;
+        let mut body = None;
+        for (j, t) in tokens.iter().enumerate().take(n).skip(m + 1) {
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("{") {
+                body = Some(j);
+                break;
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            }
+        }
+        let Some(body) = body else { continue };
+        let end = regions::matching(tokens, body, "{", "}");
+        // Parse arms: pattern tokens up to `=>` at arm depth 0, then skip
+        // the arm's value.
+        let mut protocol_match = false;
+        let mut wildcard_lines: Vec<u32> = Vec::new();
+        let mut i = body + 1;
+        while i < end {
+            // pattern
+            let pat_start = i;
+            let mut depth = 0i32;
+            while i < end {
+                let t = &tokens[i];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct("=>") {
+                    break;
+                }
+                i += 1;
+            }
+            if i >= end {
+                break;
+            }
+            let pat = &tokens[pat_start..i];
+            if pat
+                .windows(2)
+                .any(|w| PROTOCOL_ENUMS.contains(&w[0].text.as_str()) && w[1].is_punct("::"))
+            {
+                protocol_match = true;
+            }
+            if pat.len() == 1 && pat[0].is_ident("_") {
+                wildcard_lines.push(pat[0].line);
+            }
+            // value: a block, or an expression up to `,` at depth 0
+            i += 1; // past `=>`
+            if i < end && tokens[i].is_punct("{") {
+                i = regions::matching(tokens, i, "{", "}") + 1;
+                if i < end && tokens[i].is_punct(",") {
+                    i += 1;
+                }
+            } else {
+                let mut depth = 0i32;
+                while i < end {
+                    let t = &tokens[i];
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        depth += 1;
+                    } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(",") {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if protocol_match {
+            for line in wildcard_lines {
+                cands.push(Candidate {
+                    diag: Diagnostic {
+                        rule: "protocol-exhaustive",
+                        line,
+                        message: "wildcard `_ =>` arm in a match over a protocol enum \
+                                  (ShardMsg/Event) — list the variants so new protocol \
+                                  messages force a decision at this site"
+                            .into(),
+                    },
+                    alt_anchor: None,
+                });
+            }
+        }
+    }
+}
+
+/// R5: named atomics must use the orderings [`ATOMIC_POLICY`] declares.
+fn rule_atomic_policy(tokens: &[Token], cands: &mut Vec<Candidate>) {
+    let n = tokens.len();
+    for i in 1..n {
+        if !tokens[i - 1].is_punct(".") || tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        let method = tokens[i].text.as_str();
+        if !ATOMIC_METHODS.contains(&method) {
+            continue;
+        }
+        if i + 1 >= n || !tokens[i + 1].is_punct("(") {
+            continue;
+        }
+        let Some(recv) = receiver_ident(tokens, i - 2) else {
+            continue;
+        };
+        if !ATOMIC_POLICY.iter().any(|&(name, _, _)| name == recv) {
+            continue; // not a named atomic
+        }
+        let close = regions::matching(tokens, i + 1, "(", ")");
+        // Collect every `Ordering::X` inside the call.
+        let mut orderings: Vec<(&str, u32)> = Vec::new();
+        for j in (i + 2)..close.min(n) {
+            if tokens[j].is_ident("Ordering")
+                && j + 2 < n
+                && tokens[j + 1].is_punct("::")
+                && tokens[j + 2].kind == TokKind::Ident
+            {
+                orderings.push((tokens[j + 2].text.as_str(), tokens[j + 2].line));
+            }
+        }
+        if orderings.is_empty() {
+            continue; // no explicit ordering in sight (e.g. not an atomic after all)
+        }
+        let recv = recv.to_string();
+        match ATOMIC_POLICY
+            .iter()
+            .find(|&&(name, m, _)| name == recv && m == method)
+        {
+            None => cands.push(Candidate {
+                diag: Diagnostic {
+                    rule: "atomic-policy",
+                    line: tokens[i].line,
+                    message: format!(
+                        "`{recv}.{method}` is not declared in the atomic-ordering policy \
+                         table — add the (name, method, orderings) row to \
+                         eagr_lint::rules::ATOMIC_POLICY or rename the atomic"
+                    ),
+                },
+                alt_anchor: None,
+            }),
+            Some(&(_, _, allowed)) => {
+                for (ord, line) in orderings {
+                    if !allowed.contains(&ord) {
+                        cands.push(Candidate {
+                            diag: Diagnostic {
+                                rule: "atomic-policy",
+                                line,
+                                message: format!(
+                                    "`{recv}.{method}` uses Ordering::{ord}; policy allows \
+                                     [{}]",
+                                    allowed.join(", ")
+                                ),
+                            },
+                            alt_anchor: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// R-SAFETY: every `unsafe` token needs a `// SAFETY:` comment on the same
+/// line or within the three lines above it. Workspace crates forbid unsafe
+/// outright; this rule exists for vendor/, which stays exempt from
+/// `forbid` but not from justification.
+fn rule_safety_comment(tokens: &[Token], comments: &[Comment], cands: &mut Vec<Candidate>) {
+    for t in tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let justified = comments.iter().any(|c| {
+            c.text.to_uppercase().contains("SAFETY") && c.line <= t.line && c.line + 3 >= t.line
+        });
+        if !justified {
+            cands.push(Candidate {
+                diag: Diagnostic {
+                    rule: "safety-comment",
+                    line: t.line,
+                    message: "`unsafe` without a nearby `// SAFETY:` comment — state the \
+                              invariant that makes this sound"
+                        .into(),
+                },
+                alt_anchor: None,
+            });
+        }
+    }
+}
+
+/// Convenience used by the library entry point and the fixture tests:
+/// lex + extract annotations + run all rules.
+pub fn check_source(src: &str) -> Vec<Diagnostic> {
+    let lexed = crate::lexer::lex(src);
+    let (anns, errs) = annotations::extract(&lexed);
+    check(&lexed, &anns, &errs)
+}

@@ -1,0 +1,25 @@
+//! The workspace self-scan as a tier-1 test: `cargo test` fails on any
+//! protocol violation anywhere in the repository, with the same findings
+//! the `eagr-lint` binary and the CI `lint` job would print.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = eagr_lint::scan_workspace(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    if !report.diagnostics.is_empty() {
+        let listing: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+        panic!(
+            "eagr-lint found {} violation(s):\n{}\n\nFix the code or add a \
+             `// lint: allow(<rule>, <reason>)` with a written justification.",
+            listing.len(),
+            listing.join("\n")
+        );
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`validate`](mod@validate) — net-contribution validation of the
 //!   §2.2.1 invariant.
 
+#![forbid(unsafe_code)]
+
 pub mod dynamic;
 pub mod extend;
 pub mod fptree;

@@ -13,6 +13,8 @@
 //! * [`stats`] — online statistics and percentile summaries used by the
 //!   execution engine's latency/throughput instrumentation.
 
+#![forbid(unsafe_code)]
+
 pub mod hash;
 pub mod rng;
 pub mod stats;

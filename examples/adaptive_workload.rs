@@ -42,8 +42,12 @@ fn run(label: &str, g: &DataGraph, trace: &[Event], adapt_every: Option<u64>) ->
                         std::hint::black_box(sys.read(node));
                     }
                 }
-                // generate_events emits no topology mutations.
-                _ => unreachable!(),
+                Event::AddEdge { .. }
+                | Event::RemoveEdge { .. }
+                | Event::AddNode { .. }
+                | Event::RemoveNode { .. } => {
+                    unreachable!("generate_events emits no topology mutations")
+                }
             }
             ts += 1;
         }

@@ -81,8 +81,12 @@ fn parallel_with_mixed_plan_and_interleaved_reads() {
         match *e {
             Event::Write { node, value } => eng.submit_write(node, value, ts as u64),
             Event::Read { node } => eng.submit_read(node),
-            // generate_events emits no topology mutations.
-            _ => unreachable!(),
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => {
+                unreachable!("generate_events emits no topology mutations")
+            }
         }
     }
     eng.drain();
@@ -213,11 +217,57 @@ fn adaptive_engine_correct_through_workload_shift() {
                         assert_eq!(got, oracle.read(&g, node), "ts {ts}");
                     }
                 }
-                // generate_events emits no topology mutations.
-                _ => unreachable!(),
+                Event::AddEdge { .. }
+                | Event::RemoveEdge { .. }
+                | Event::AddNode { .. }
+                | Event::RemoveNode { .. } => {
+                    unreachable!("generate_events emits no topology mutations")
+                }
             }
             ts += 1;
         }
     }
     assert!(adaptive.total_flips() > 0, "shift must trigger adaptation");
+}
+
+/// The runtime half of the lock-order rail (vendored `parking_lot`'s
+/// debug-build held-lock tracker): an AB-BA acquisition pattern that would
+/// classically *deadlock* two threads instead panics at the inverted call
+/// site, naming both locks — the failure is loud, attributable, and
+/// CI-visible rather than a hung test job.
+#[test]
+#[cfg_attr(
+    not(debug_assertions),
+    ignore = "the lock-order tracker is compiled out in release builds"
+)]
+fn lock_order_inversion_fails_loudly_instead_of_deadlocking() {
+    use parking_lot::{lock_order, RwLock};
+
+    let registry = Arc::new(RwLock::named(0u32, "registry"));
+    let graph = Arc::new(RwLock::named(0u32, "graph"));
+
+    // Declared order: a thread may take `registry` then `graph`.
+    {
+        let _r = registry.read();
+        let _g = graph.read();
+        assert_eq!(lock_order::held_names(), vec!["registry", "graph"]);
+    }
+    assert!(lock_order::held_names().is_empty());
+
+    // The inverting thread (graph → registry) must panic before blocking,
+    // even with the other half of the classic deadlock running.
+    let (r2, g2) = (Arc::clone(&registry), Arc::clone(&graph));
+    let inverted = std::thread::spawn(move || {
+        let _g = g2.write();
+        // lint: allow(lock-order, deliberate AB-BA inversion — this test asserts the tracker panics before the deadlock can form)
+        let _r = r2.read();
+    });
+    let err = inverted
+        .join()
+        .expect_err("inversion must panic, not deadlock");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("lock-order violation") && msg.contains("`registry`"),
+        "panic must name the violation and the lock: {msg}"
+    );
 }

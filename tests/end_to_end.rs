@@ -38,8 +38,12 @@ fn trend_feed_scenario_with_splitting() {
                     assert_eq!(got, oracle.read(&g, node));
                 }
             }
-            // generate_events emits no topology mutations.
-            _ => unreachable!(),
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => {
+                unreachable!("generate_events emits no topology mutations")
+            }
         }
     }
     let st = sys.stats();
@@ -83,8 +87,12 @@ fn time_windows_with_expiry() {
                     assert_eq!(got, oracle.read(&g, node), "at ts {ts}");
                 }
             }
-            // generate_events emits no topology mutations.
-            _ => unreachable!(),
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => {
+                unreachable!("generate_events emits no topology mutations")
+            }
         }
     }
 }
@@ -123,8 +131,12 @@ fn wide_tuple_windows() {
                     }
                 }
             }
-            // generate_events emits no topology mutations.
-            _ => unreachable!(),
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => {
+                unreachable!("generate_events emits no topology mutations")
+            }
         }
     }
 }

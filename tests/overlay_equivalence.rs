@@ -56,8 +56,12 @@ fn replay_and_check<A>(
                     );
                 }
             }
-            // generate_events emits no topology mutations.
-            _ => unreachable!(),
+            Event::AddEdge { .. }
+            | Event::RemoveEdge { .. }
+            | Event::AddNode { .. }
+            | Event::RemoveNode { .. } => {
+                unreachable!("generate_events emits no topology mutations")
+            }
         }
     }
     // Final sweep over every reader.

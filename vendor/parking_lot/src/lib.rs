@@ -4,84 +4,195 @@
 //! uses: `lock()` / `read()` / `write()` return guards directly (no
 //! `Result`). Poisoning — which parking_lot does not have — is ignored by
 //! recovering the inner guard.
+//!
+//! On top of the stand-in API this vendor copy carries the workspace's
+//! **runtime lock-order rail** ([`lock_order`]): locks constructed with
+//! [`Mutex::named`] / [`RwLock::named`] participate, in debug builds, in a
+//! per-thread held-lock tracker that panics on an acquisition violating the
+//! declared order — *before* blocking, so a protocol inversion fails loudly
+//! at the offending call site instead of deadlocking two threads. The same
+//! order is enforced statically by `eagr-lint` rule R1, which re-exports
+//! [`lock_order::LOCK_ORDER`] as its policy table so the two rails cannot
+//! drift apart.
 
 use std::sync::{self, TryLockError};
 
+pub mod lock_order;
+
+use lock_order::Held;
+
 /// Mutual exclusion lock with a poison-free `lock()`.
 #[derive(Default, Debug)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    name: Option<&'static str>,
+    inner: sync::Mutex<T>,
+}
 
-/// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// RAII guard returned by [`Mutex::lock`]. Wraps the std guard so that, in
+/// debug builds, dropping it also pops the lock from the thread's
+/// [`lock_order`] held set.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Field order is load-bearing: the inner guard must release the lock
+    // before the held-set entry pops.
+    inner: sync::MutexGuard<'a, T>,
+    _held: Held,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Self(sync::Mutex::new(value))
+        Self {
+            name: None,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Create a mutex registered with the [`lock_order`] rail under `name`
+    /// (a name listed in [`lock_order::LOCK_ORDER`]). Debug builds assert
+    /// the declared acquisition order on every `lock()`.
+    pub const fn named(value: T, name: &'static str) -> Self {
+        Self {
+            name: Some(name),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        let held = lock_order::acquire(self.name, false);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            _held: held,
+        }
     }
 
     /// Acquire the lock only if it is immediately available.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        // A try-acquisition can never deadlock, but a successful one still
+        // enters the held set so later blocking acquisitions see it.
+        Some(MutexGuard {
+            inner: g,
+            _held: lock_order::acquire(self.name, false),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 /// Reader-writer lock with poison-free `read()` / `write()`.
 #[derive(Default, Debug)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    name: Option<&'static str>,
+    inner: sync::RwLock<T>,
+}
 
 /// Shared-access guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _held: Held,
+}
+
 /// Exclusive-access guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _held: Held,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        Self(sync::RwLock::new(value))
+        Self {
+            name: None,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Create a lock registered with the [`lock_order`] rail under `name`
+    /// (a name listed in [`lock_order::LOCK_ORDER`]). Debug builds assert
+    /// the declared acquisition order on every `read()` / `write()`.
+    pub const fn named(value: T, name: &'static str) -> Self {
+        Self {
+            name: Some(name),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        let held = lock_order::acquire(self.name, true);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            _held: held,
+        }
     }
 
     /// Acquire exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        let held = lock_order::acquire(self.name, false);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            _held: held,
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -119,5 +230,14 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(5);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 5);
     }
 }

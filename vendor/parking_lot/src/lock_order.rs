@@ -1,0 +1,222 @@
+//! The workspace's **runtime lock-order rail**.
+//!
+//! The sharded engine's concurrency protocol pins a global acquisition
+//! order over its named locks (see [`LOCK_ORDER`]). Locks constructed with
+//! [`Mutex::named`](crate::Mutex::named) /
+//! [`RwLock::named`](crate::RwLock::named) register here: in debug builds
+//! every acquisition checks the caller's per-thread held set against the
+//! declared order and **panics before blocking** when the order is
+//! violated — an inversion that would deadlock two threads instead fails
+//! loudly at the offending call site, with both lock names in the message.
+//! Release builds compile the whole tracker away to a no-op.
+//!
+//! The same table is the policy behind `eagr-lint` rule **R1** (the static
+//! half of the rail): the lint crate re-exports [`LOCK_ORDER`], so the
+//! static analyzer and the runtime tracker can never disagree about the
+//! protocol.
+
+/// The declared acquisition order, least-first: a thread holding a lock at
+/// rank *i* may only acquire locks at rank *> i*. The chain is a total
+/// order (the simplest DAG), covering every named lock in the workspace:
+///
+/// | name        | guards                                                   |
+/// |-------------|----------------------------------------------------------|
+/// | `registry`  | the facade's query registry (`EagrSystem`)               |
+/// | `graph`     | the facade's data graph                                  |
+/// | `history`   | the write-history backfill ring                          |
+/// | `epoch_gate`| sharded-engine epoch gate (shared=submit, excl=flip)     |
+/// | `core`      | the sharded engine's live core handle                    |
+/// | `partition` | the sharded engine's live node→shard map handle          |
+/// | `cached`    | `LivePartition`'s published map snapshot                 |
+/// | `slab`      | one shard's PAO slab (`ShardedStore`)                    |
+pub const LOCK_ORDER: &[&str] = &[
+    "registry",
+    "graph",
+    "history",
+    "epoch_gate",
+    "core",
+    "partition",
+    "cached",
+    "slab",
+];
+
+/// Names whose **shared** (read) acquisitions may nest at the same rank:
+/// a shard worker serving a read batch holds its own slab's read snapshot
+/// while resolving cross-shard pull inputs through foreign slabs' read
+/// locks. Exclusive acquisitions never nest at equal rank.
+pub const SHARED_REENTRANT: &[&str] = &["slab"];
+
+/// Rank of `name` in [`LOCK_ORDER`].
+///
+/// # Panics
+/// Panics when `name` is not a declared lock name — constructing a named
+/// lock outside the protocol table is a configuration bug.
+pub fn rank_of(name: &str) -> usize {
+    LOCK_ORDER
+        .iter()
+        .position(|&n| n == name)
+        .unwrap_or_else(|| panic!("lock name `{name}` is not in lock_order::LOCK_ORDER"))
+}
+
+#[cfg(debug_assertions)]
+mod tracker {
+    use super::{rank_of, LOCK_ORDER, SHARED_REENTRANT};
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// `(rank, name, shared)` for every named lock this thread holds,
+        /// in acquisition order.
+        static HELD: RefCell<Vec<(usize, &'static str, bool)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Entry in the held set, popped when the owning guard drops.
+    pub struct Held {
+        entry: Option<(&'static str, bool)>,
+    }
+
+    pub fn acquire(name: Option<&'static str>, shared: bool) -> Held {
+        let Some(name) = name else {
+            return Held { entry: None };
+        };
+        let rank = rank_of(name);
+        // `try_with` so guards dropped during thread teardown (after TLS
+        // destruction) stay silent instead of aborting.
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            for &(r, n, s) in held.iter() {
+                let same_rank_shared_ok =
+                    r == rank && shared && s && n == name && SHARED_REENTRANT.contains(&name);
+                if r > rank || (r == rank && !same_rank_shared_ok) {
+                    panic!(
+                        "lock-order violation: acquiring `{name}` (rank {rank}, {}) while \
+                         holding `{n}` (rank {r}, {}); declared order: {}",
+                        if shared { "shared" } else { "exclusive" },
+                        if s { "shared" } else { "exclusive" },
+                        LOCK_ORDER.join(" → ")
+                    );
+                }
+            }
+            held.push((rank, name, shared));
+        });
+        Held {
+            entry: Some((name, shared)),
+        }
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            if let Some((name, shared)) = self.entry.take() {
+                let _ = HELD.try_with(|held| {
+                    let mut held = held.borrow_mut();
+                    if let Some(i) = held.iter().rposition(|&(_, n, s)| n == name && s == shared) {
+                        held.remove(i);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Names of the named locks the current thread holds, in acquisition
+    /// order (test observability).
+    pub fn held_names() -> Vec<&'static str> {
+        HELD.try_with(|held| held.borrow().iter().map(|&(_, n, _)| n).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod tracker {
+    /// Release builds: zero-sized, no tracking.
+    pub struct Held;
+
+    #[inline(always)]
+    pub fn acquire(_name: Option<&'static str>, _shared: bool) -> Held {
+        Held
+    }
+
+    /// Names of the named locks the current thread holds (always empty in
+    /// release builds — the tracker is compiled out).
+    pub fn held_names() -> Vec<&'static str> {
+        Vec::new()
+    }
+}
+
+pub use tracker::{acquire, held_names, Held};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mutex, RwLock};
+
+    #[test]
+    fn order_table_is_duplicate_free() {
+        for (i, a) in LOCK_ORDER.iter().enumerate() {
+            assert_eq!(rank_of(a), i);
+        }
+        for name in SHARED_REENTRANT {
+            // Every reentrancy exception must name a declared lock.
+            rank_of(name);
+        }
+    }
+
+    #[test]
+    fn in_order_acquisition_is_clean() {
+        let a = Mutex::named(0, "registry");
+        let b = RwLock::named(0, "graph");
+        let g1 = a.lock();
+        let g2 = b.read();
+        if cfg!(debug_assertions) {
+            assert_eq!(held_names(), vec!["registry", "graph"]);
+        }
+        drop(g2);
+        drop(g1);
+        assert!(held_names().is_empty());
+    }
+
+    #[test]
+    fn unnamed_locks_are_exempt() {
+        let a = Mutex::named(0, "slab");
+        let b = Mutex::new(0);
+        let _g1 = a.lock();
+        let _g2 = b.lock(); // no rank, no check
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "tracker compiled out in release")]
+    fn inversion_panics_instead_of_deadlocking() {
+        let res = std::thread::spawn(|| {
+            let graph = RwLock::named(0, "graph");
+            let registry = RwLock::named(0, "registry");
+            let _g = graph.write();
+            // lint: allow(lock-order, deliberate inversion — this test asserts the runtime tracker panics on it)
+            let _r = registry.read(); // rank 0 after rank 1: inversion
+        })
+        .join();
+        let err = res.expect_err("inversion must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order violation"), "got: {msg}");
+        assert!(
+            msg.contains("`registry`") && msg.contains("`graph`"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "tracker compiled out in release")]
+    fn shared_slab_reentrancy_is_allowed_but_exclusive_is_not() {
+        let a = RwLock::named(0, "slab");
+        let b = RwLock::named(0, "slab");
+        {
+            let _r1 = a.read();
+            let _r2 = b.read(); // shared + shared on `slab`: allowed
+        }
+        let res = std::thread::spawn(|| {
+            let a = RwLock::named(0, "slab");
+            let b = RwLock::named(0, "slab");
+            let _w = a.write();
+            let _r = b.read(); // exclusive already held: not reentrant
+        })
+        .join();
+        assert!(res.is_err(), "exclusive same-rank nesting must panic");
+    }
+}
