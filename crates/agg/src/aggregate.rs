@@ -86,6 +86,18 @@ pub trait Aggregate: Send + Sync + 'static {
     fn partial_size_bytes(&self, _p: &Self::Partial) -> usize {
         std::mem::size_of::<Self::Partial>()
     }
+
+    /// Wire codecs for this aggregate's `Partial`/`Output` types, or `None`
+    /// if the aggregate cannot cross a process boundary. The in-process
+    /// sharded transport never consults this; the Unix-socket transport
+    /// refuses to launch without it. All builtins except `TopK` return
+    /// hooks.
+    fn wire_hooks(&self) -> Option<crate::wire::WireHooks<Self>>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,9 @@ impl Aggregate for Distinct {
     fn partial_size_bytes(&self, p: &Self::Partial) -> usize {
         std::mem::size_of::<Self::Partial>() + p.capacity() * 24
     }
+    fn wire_hooks(&self) -> Option<crate::wire::WireHooks<Self>> {
+        Some(crate::wire::WireHooks::auto("DISTINCT"))
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,9 @@ macro_rules! extremum_aggregate {
             fn partial_size_bytes(&self, p: &MultisetPao) -> usize {
                 std::mem::size_of::<MultisetPao>() + p.len() * 32
             }
+            fn wire_hooks(&self) -> Option<crate::wire::WireHooks<Self>> {
+                Some(crate::wire::WireHooks::auto($strname))
+            }
         }
     };
 }

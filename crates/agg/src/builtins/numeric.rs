@@ -49,6 +49,9 @@ impl Aggregate for Sum {
     fn pull_cost(&self, k: usize) -> f64 {
         k as f64
     }
+    fn wire_hooks(&self) -> Option<crate::wire::WireHooks<Self>> {
+        Some(crate::wire::WireHooks::auto("SUM"))
+    }
 }
 
 /// COUNT of in-window values.
@@ -95,6 +98,9 @@ impl Aggregate for Count {
     }
     fn pull_cost(&self, k: usize) -> f64 {
         k as f64
+    }
+    fn wire_hooks(&self) -> Option<crate::wire::WireHooks<Self>> {
+        Some(crate::wire::WireHooks::auto("COUNT"))
     }
 }
 
@@ -155,6 +161,9 @@ impl Aggregate for Avg {
     }
     fn pull_cost(&self, k: usize) -> f64 {
         k as f64
+    }
+    fn wire_hooks(&self) -> Option<crate::wire::WireHooks<Self>> {
+        Some(crate::wire::WireHooks::auto("AVG"))
     }
 }
 

@@ -28,9 +28,11 @@ pub mod builtins;
 pub mod cost;
 pub mod op;
 pub mod window;
+pub mod wire;
 
 pub use aggregate::{AggProps, Aggregate};
 pub use builtins::{Avg, Count, Distinct, Max, Min, Sum, TopK};
 pub use cost::{calibrate, CostFn, CostModel};
 pub use op::{DeltaOp, Sign};
 pub use window::{WindowBuffer, WindowSpec};
+pub use wire::WireHooks;

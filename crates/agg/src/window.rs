@@ -92,6 +92,24 @@ impl WindowBuffer {
         self.buf.iter().map(|&(_, v)| v)
     }
 
+    /// Iterate over in-window `(timestamp, value)` entries (oldest first).
+    /// This is the wire-encoding view: [`from_entries`](Self::from_entries)
+    /// rebuilds an identical buffer from it on the far side of a socket.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Rebuild a buffer from its spec and `(timestamp, value)` entries as
+    /// produced by [`entries`](Self::entries) (oldest first). The entries
+    /// are installed verbatim — callers must pass a sequence that already
+    /// respects the spec, which any [`entries`](Self::entries) output does.
+    pub fn from_entries(spec: WindowSpec, entries: impl IntoIterator<Item = (u64, i64)>) -> Self {
+        Self {
+            spec,
+            buf: entries.into_iter().collect(),
+        }
+    }
+
     /// Record a write at time `now`; expired values are appended to
     /// `expired`. Timestamps must be non-decreasing across calls.
     pub fn push(&mut self, now: u64, value: i64, expired: &mut Vec<i64>) {

@@ -1,0 +1,208 @@
+//! [`Wire`] codecs for the aggregation layer, plus [`WireHooks`] — the
+//! per-aggregate codec vtable the multi-process shard transport uses to ship
+//! PAO partials and query outputs between the coordinator and shard hosts.
+//!
+//! An [`Aggregate`] opts into process transport by returning hooks from
+//! [`Aggregate::wire_hooks`]; every builtin except [`TopK`](crate::TopK)
+//! does (TopK partials embed per-instance configuration, left for a future
+//! PR). Aggregates without hooks still run fine on the in-process transport
+//! — nothing there ever serializes.
+
+use crate::aggregate::Aggregate;
+use crate::op::{DeltaOp, Sign};
+use crate::window::{WindowBuffer, WindowSpec};
+use eagr_util::wire::{Wire, WireError};
+
+impl Wire for Sign {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Sign::Pos => 0,
+            Sign::Neg => 1,
+        });
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Sign::Pos),
+            1 => Ok(Sign::Neg),
+            tag => Err(WireError::BadTag { what: "Sign", tag }),
+        }
+    }
+}
+
+impl Wire for DeltaOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DeltaOp::Insert(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            DeltaOp::Remove(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(DeltaOp::Insert(i64::decode(buf)?)),
+            1 => Ok(DeltaOp::Remove(i64::decode(buf)?)),
+            tag => Err(WireError::BadTag {
+                what: "DeltaOp",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for WindowSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WindowSpec::Tuple(c) => {
+                out.push(0);
+                c.encode(out);
+            }
+            WindowSpec::Time(t) => {
+                out.push(1);
+                t.encode(out);
+            }
+            WindowSpec::Unbounded => out.push(2),
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(WindowSpec::Tuple(usize::decode(buf)?)),
+            1 => Ok(WindowSpec::Time(u64::decode(buf)?)),
+            2 => Ok(WindowSpec::Unbounded),
+            tag => Err(WireError::BadTag {
+                what: "WindowSpec",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for WindowBuffer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.spec().encode(out);
+        self.len().encode(out);
+        for (t, v) in self.entries() {
+            t.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let spec = WindowSpec::decode(buf)?;
+        let n = usize::decode(buf)?;
+        let mut entries = Vec::with_capacity(n.min(buf.len()));
+        for _ in 0..n {
+            entries.push(<(u64, i64)>::decode(buf)?);
+        }
+        Ok(WindowBuffer::from_entries(spec, entries))
+    }
+}
+
+impl Wire for crate::builtins::AvgPao {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sum.encode(out);
+        self.count.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Self {
+            sum: i64::decode(buf)?,
+            count: i64::decode(buf)?,
+        })
+    }
+}
+
+/// Codec vtable for one aggregate: how to put its `Partial` and `Output`
+/// types on the wire, plus the name shard-host processes dispatch on.
+///
+/// Held as plain function pointers so the sharded engine can stash one
+/// per-instance without making [`Aggregate`] itself depend on [`Wire`]
+/// bounds (which would infect every generic signature in exec).
+pub struct WireHooks<A: Aggregate + ?Sized> {
+    /// Dispatch name the `eagr-shard-host` binary matches on; by convention
+    /// the aggregate's [`Aggregate::name`].
+    pub name: &'static str,
+    /// Encode a PAO partial.
+    pub enc_partial: fn(&A::Partial, &mut Vec<u8>),
+    /// Decode a PAO partial.
+    pub dec_partial: fn(&mut &[u8]) -> Result<A::Partial, WireError>,
+    /// Encode a query output.
+    pub enc_output: fn(&A::Output, &mut Vec<u8>),
+    /// Decode a query output.
+    pub dec_output: fn(&mut &[u8]) -> Result<A::Output, WireError>,
+}
+
+impl<A: Aggregate + ?Sized> Clone for WireHooks<A> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<A: Aggregate + ?Sized> Copy for WireHooks<A> {}
+
+impl<A: Aggregate + ?Sized> std::fmt::Debug for WireHooks<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireHooks")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl<A: Aggregate> WireHooks<A>
+where
+    A::Partial: Wire,
+    A::Output: Wire,
+{
+    /// Derive hooks from the `Wire` impls of the aggregate's associated
+    /// types. This is all any builtin needs.
+    pub fn auto(name: &'static str) -> Self {
+        Self {
+            name,
+            enc_partial: <A::Partial as Wire>::encode,
+            dec_partial: <A::Partial as Wire>::decode,
+            enc_output: <A::Output as Wire>::encode,
+            dec_output: <A::Output as Wire>::decode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::Sum;
+
+    #[test]
+    fn ops_round_trip() {
+        for op in [DeltaOp::Insert(-3), DeltaOp::Remove(i64::MAX)] {
+            assert_eq!(DeltaOp::from_wire(&op.to_wire()).unwrap(), op);
+        }
+        for s in [Sign::Pos, Sign::Neg] {
+            assert_eq!(Sign::from_wire(&s.to_wire()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn window_buffer_round_trips() {
+        let mut w = WindowBuffer::new(WindowSpec::Time(10));
+        let mut expired = Vec::new();
+        w.push(1, 5, &mut expired);
+        w.push(4, -2, &mut expired);
+        let back = WindowBuffer::from_wire(&w.to_wire()).unwrap();
+        assert_eq!(back.spec(), w.spec());
+        assert_eq!(
+            back.entries().collect::<Vec<_>>(),
+            w.entries().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hooks_encode_partials() {
+        let hooks = Sum.wire_hooks().expect("SUM is wire-capable");
+        let mut bytes = Vec::new();
+        (hooks.enc_partial)(&42i64, &mut bytes);
+        let mut cursor = &bytes[..];
+        assert_eq!((hooks.dec_partial)(&mut cursor).unwrap(), 42);
+        assert!(cursor.is_empty());
+    }
+}

@@ -14,6 +14,7 @@
 use eagr::agg::{Aggregate, CostModel, Max, Sum, TopK, WindowSpec};
 use eagr::exec::{
     EngineCore, ParallelConfig, ParallelEngine, RebalancePolicy, ShardedConfig, ShardedEngine,
+    TransportKind,
 };
 use eagr::flow::{plan, DecisionAlgorithm, Decisions, PlannerConfig, Rates};
 use eagr::gen::{
@@ -425,18 +426,18 @@ fn fig14d() {
                     Arc::clone(&ov),
                     &decisions,
                     WindowSpec::Tuple(1),
-                    &ShardedConfig {
-                        shards,
-                        strategy,
-                        channel_capacity: 1 << 12,
-                        rebalance: RebalancePolicy::default(),
-                    },
+                    &ShardedConfig::builder()
+                        .shards(shards)
+                        .strategy(strategy)
+                        .channel_capacity(1 << 12)
+                        .rebalance(RebalancePolicy::default())
+                        .build(),
                 );
                 let t0 = Instant::now();
                 for b in &batches {
-                    eng.ingest(b);
+                    eng.ingest(b).unwrap();
                 }
-                eng.drain();
+                eng.drain().unwrap();
                 let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
                 cross = eng.cross_shard_deltas();
                 local = eng.local_applies();
@@ -464,9 +465,71 @@ fn fig14d() {
             ]));
         }
     }
+    // (4) Sharded ingestion over the process transport: one
+    // `eagr-shard-host` OS process per shard, length-prefixed frames over
+    // Unix-domain sockets. The `processes` field records the live host
+    // PID count so the artifact itself certifies the rows ran across
+    // real process boundaries. These rows are coverage-gated (they must
+    // keep appearing) but excluded from the throughput-ratio gate: on a
+    // shared runner socket IPC scheduling noise swamps any sane
+    // tolerance, and the transport's correctness is gated by the
+    // differential tests in `tests/transport.rs` instead.
+    match eagr::exec::transport::process::host_binary_path() {
+        Err(e) => {
+            println!("\nskipping sharded-proc rows (no shard-host binary): {e}");
+            println!("build it with `cargo build --release -p eagr-shard-host` for full coverage.");
+        }
+        Ok(_) => {
+            for shards in [2usize, 4] {
+                let batches = batch_events(&events, batch, 0);
+                let mut cross = 0u64;
+                let mut processes = 0usize;
+                let ops = best_ops(|| {
+                    let eng = ShardedEngine::new(
+                        Sum,
+                        Arc::clone(&ov),
+                        &decisions,
+                        WindowSpec::Tuple(1),
+                        &ShardedConfig::builder()
+                            .shards(shards)
+                            .strategy(PartitionStrategy::Hash)
+                            .channel_capacity(1 << 12)
+                            .rebalance(RebalancePolicy::default())
+                            .transport(TransportKind::Process)
+                            .build(),
+                    );
+                    processes = eng.host_pids().len();
+                    let t0 = Instant::now();
+                    for b in &batches {
+                        eng.ingest(b).unwrap();
+                    }
+                    eng.drain().unwrap();
+                    let ops = events.len() as f64 / t0.elapsed().as_secs_f64();
+                    cross = eng.cross_shard_deltas();
+                    eng.shutdown();
+                    ops
+                });
+                t.row(&[
+                    &format!("sharded-proc x{shards} (hash, {processes} procs)"),
+                    &format!("{ops:.0}"),
+                    &format!("{:.2}x", ops / single),
+                    &format!("{cross}"),
+                ]);
+                rows.push(Json::obj(vec![
+                    ("engine", Json::Str("sharded-proc".into())),
+                    ("shards", Json::Num(shards as f64)),
+                    ("strategy", Json::Str("hash".into())),
+                    ("processes", Json::Num(processes as f64)),
+                    ("ops_per_s", Json::Num(ops)),
+                    ("cross_shard_deltas", Json::Num(cross as f64)),
+                ]));
+            }
+        }
+    }
     println!("\nexpect: sharded ingestion ≫ two-pool per-event (no per-PAO locks, no per-op");
     println!("channel round-trips); edge-cut ships the fewest cross-shard deltas, then chunk,");
-    println!("then hash — identical answers in all cases.");
+    println!("then hash — identical answers in all cases; sharded-proc pays socket-frame");
+    println!("codec + relay costs for process isolation.");
     write_json_artifact(
         "fig14",
         &Json::obj(vec![
@@ -575,20 +638,20 @@ fn fig14e() {
                     &p,
                     Sum,
                     WindowSpec::Tuple(1),
-                    &ShardedConfig {
-                        shards: 4,
-                        strategy: PartitionStrategy::Hash,
-                        channel_capacity: 1 << 12,
-                        rebalance: RebalancePolicy::default(),
-                    },
+                    &ShardedConfig::builder()
+                        .shards(4)
+                        .strategy(PartitionStrategy::Hash)
+                        .channel_capacity(1 << 12)
+                        .rebalance(RebalancePolicy::default())
+                        .build(),
                 );
                 let t0 = Instant::now();
                 let mut ts = 0u64;
                 for (writes, reads) in &split {
-                    eng.ingest_epoch_at(writes, ts);
+                    eng.ingest_epoch_at(writes, ts).unwrap();
                     ts += writes.len() as u64;
                     if shard_reads {
-                        std::hint::black_box(eng.read_batch(reads));
+                        std::hint::black_box(eng.read_batch(reads).unwrap());
                     } else {
                         for &v in reads {
                             std::hint::black_box(eng.read(v));
@@ -696,21 +759,21 @@ fn fig14f() {
             Arc::clone(&ov),
             &decisions,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards,
-                strategy: PartitionStrategy::EdgeCut,
-                channel_capacity: 1 << 12,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(shards)
+                .strategy(PartitionStrategy::EdgeCut)
+                .channel_capacity(1 << 12)
+                .rebalance(RebalancePolicy {
                     min_cut_gain: 0.0,
                     max_move_fraction: 1.0,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
         for b in batch_events(&phases[0], batch, 0) {
-            tuner.ingest_epoch(&b);
+            tuner.ingest_epoch(&b).unwrap();
         }
-        tuner.rebalance();
+        tuner.rebalance().unwrap();
         let map = tuner.partition();
         tuner.shutdown();
         map
@@ -745,19 +808,19 @@ fn fig14f() {
                 &decisions,
                 WindowSpec::Tuple(1),
                 stale_map.clone(),
-                &ShardedConfig {
-                    shards,
-                    strategy: PartitionStrategy::EdgeCut,
-                    channel_capacity: 1 << 12,
-                    rebalance: policy,
-                },
+                &ShardedConfig::builder()
+                    .shards(shards)
+                    .strategy(PartitionStrategy::EdgeCut)
+                    .channel_capacity(1 << 12)
+                    .rebalance(policy)
+                    .build(),
             );
             let mut ts = 0u64;
             for (k, phase) in phases.iter().enumerate() {
                 let c0 = eng.cross_shard_deltas();
                 let t0 = Instant::now();
                 for b in batch_events(phase, batch, ts) {
-                    eng.ingest_epoch(&b);
+                    eng.ingest_epoch(&b).unwrap();
                 }
                 let ops = phase.len() as f64 / t0.elapsed().as_secs_f64();
                 ts += phase.len() as u64;
@@ -817,27 +880,28 @@ fn fig14f() {
                 &decisions,
                 WindowSpec::Tuple(1),
                 stale_map.clone(),
-                &ShardedConfig {
-                    shards,
-                    strategy: PartitionStrategy::EdgeCut,
-                    channel_capacity: 1 << 12,
-                    rebalance: RebalancePolicy::manual(),
-                },
+                &ShardedConfig::builder()
+                    .shards(shards)
+                    .strategy(PartitionStrategy::EdgeCut)
+                    .channel_capacity(1 << 12)
+                    .rebalance(RebalancePolicy::manual())
+                    .build(),
             );
             let done = std::sync::atomic::AtomicBool::new(false);
             let mut ops = 0.0;
+            // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
             std::thread::scope(|scope| {
                 if migrate {
                     scope.spawn(|| {
                         while !done.load(std::sync::atomic::Ordering::Acquire) {
-                            eng.migrate_to(&alt_map);
-                            eng.migrate_to(&stale_map);
+                            eng.migrate_to(&alt_map).unwrap();
+                            eng.migrate_to(&stale_map).unwrap();
                         }
                     });
                 }
                 let t0 = Instant::now();
                 for b in batch_events(&drift, batch, 0) {
-                    eng.ingest_epoch(&b);
+                    eng.ingest_epoch(&b).unwrap();
                 }
                 ops = drift.len() as f64 / t0.elapsed().as_secs_f64();
                 done.store(true, std::sync::atomic::Ordering::Release);

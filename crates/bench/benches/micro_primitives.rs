@@ -265,19 +265,19 @@ fn bench_write_ingestion(c: &mut Criterion) {
             Arc::clone(&ov),
             &decisions,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards,
-                strategy: PartitionStrategy::Chunk { chunk_size: 64 },
-                channel_capacity: 1 << 12,
-                rebalance: RebalancePolicy::default(),
-            },
+            &ShardedConfig::builder()
+                .shards(shards)
+                .strategy(PartitionStrategy::Chunk { chunk_size: 64 })
+                .channel_capacity(1 << 12)
+                .rebalance(RebalancePolicy::default())
+                .build(),
         );
         let mut ts = 0u64;
         group.bench_function(format!("batched_sharded_x{shards}_epoch"), |b| {
             b.iter(|| {
                 // Borrowing entry point: no per-iteration batch clone, so
                 // the timed region matches the per-event variants.
-                eng.ingest_epoch_at(&batch, ts);
+                eng.ingest_epoch_at(&batch, ts).unwrap();
                 ts += batch.len() as u64;
             })
         });

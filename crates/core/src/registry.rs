@@ -19,7 +19,7 @@
 //! stream progresses, same as any newly deployed query would).
 
 use eagr_agg::{Aggregate, WindowBuffer, WindowSpec};
-use eagr_exec::{EngineCore, EngineState, ParallelEngine, ShardedEngine};
+use eagr_exec::{EngineCore, EngineState, ParallelEngine, ShardedEngine, TransportError};
 use eagr_flow::Decisions;
 use eagr_graph::{Neighborhood, NodeId};
 use eagr_overlay::{Overlay, OverlayId, OverlayKind, RefCounts};
@@ -252,6 +252,16 @@ impl WriteHistory {
 /// [`ExecutionMode`](crate::system::ExecutionMode). Engines sit behind
 /// `Arc` so attach/detach can rebuild a stratum's runtime while handles
 /// hold clones of the registry lock only, never of the engine.
+/// The facade's transport-failure policy: the sharded engine reports
+/// shard-peer loss as a typed [`TransportError`], and callers that can
+/// recover handle the `Result` on [`ShardedEngine`] directly. The facade's
+/// own synchronous API has no error channel, so it treats a dead shard
+/// runtime as fatal — with the transport's first-cause diagnostics, unlike
+/// the blind per-send panics this replaced.
+pub(crate) fn transport_ok<T>(r: Result<T, TransportError>) -> T {
+    r.unwrap_or_else(|e| panic!("sharded runtime lost its shard transport: {e}"))
+}
+
 pub(crate) enum Runtime<A: Aggregate> {
     /// Synchronous execution on the shared core.
     Local(Arc<EngineCore<A>>),
@@ -272,7 +282,7 @@ impl<A: Aggregate> Runtime<A> {
         match self {
             Runtime::Local(_) => {}
             Runtime::TwoPool { engine, .. } => engine.drain(),
-            Runtime::Sharded(eng) => eng.drain(),
+            Runtime::Sharded(eng) => transport_ok(eng.drain()),
         }
     }
 
@@ -280,7 +290,7 @@ impl<A: Aggregate> Runtime<A> {
     pub(crate) fn read(&self, v: NodeId) -> Option<A::Output> {
         match self {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.read(v),
-            Runtime::Sharded(eng) => eng.read_service(v),
+            Runtime::Sharded(eng) => transport_ok(eng.read_service(v)),
         }
     }
 
@@ -291,7 +301,7 @@ impl<A: Aggregate> Runtime<A> {
             Runtime::Local(core) | Runtime::TwoPool { core, .. } => {
                 nodes.iter().map(|&v| core.read(v)).collect()
             }
-            Runtime::Sharded(eng) => eng.read_batch(nodes),
+            Runtime::Sharded(eng) => transport_ok(eng.read_batch(nodes)),
         }
     }
 

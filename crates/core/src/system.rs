@@ -7,13 +7,13 @@
 
 use crate::query::{EgoQuery, QueryMode};
 use crate::registry::{
-    AttachReport, DetachReport, IngestReport, QueryEntry, Registry, RegistryStats, Runtime,
-    Stratum, TopoReport, WriteHistory,
+    transport_ok, AttachReport, DetachReport, IngestReport, QueryEntry, Registry, RegistryStats,
+    Runtime, Stratum, TopoReport, WriteHistory,
 };
 use eagr_agg::{Aggregate, CostModel, WindowBuffer, WindowSpec};
 use eagr_exec::{
     AdaptiveEngine, EngineCore, MigrationReport, ParallelConfig, ParallelEngine, RebalancePolicy,
-    ShardedConfig, ShardedEngine,
+    ShardedConfig, ShardedEngine, TransportKind,
 };
 use eagr_flow::{
     extend_decisions, plan, topo_plan_delta, DecisionAlgorithm, Decisions, Plan, PlannerConfig,
@@ -103,6 +103,7 @@ pub(crate) struct BuildConfig {
     pub(crate) stream_horizon: f64,
     pub(crate) rebalance: RebalancePolicy,
     pub(crate) history: usize,
+    pub(crate) transport: TransportKind,
 }
 
 /// Builder for an [`EagrSystem`].
@@ -136,6 +137,7 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
                 stream_horizon: DEFAULT_STREAM_HORIZON,
                 rebalance: RebalancePolicy::default(),
                 history: DEFAULT_HISTORY_CAP,
+                transport: TransportKind::default(),
             },
         }
     }
@@ -182,6 +184,18 @@ impl<A: Aggregate + Clone> SystemBuilder<A> {
     /// fires automatically). Ignored by the local modes.
     pub fn rebalance(mut self, policy: RebalancePolicy) -> Self {
         self.config.rebalance = policy;
+        self
+    }
+
+    /// Shard transport for [`ExecutionMode::Sharded`] (default
+    /// in-process worker threads). [`TransportKind::Process`] launches one
+    /// `eagr-shard-host` OS process per shard and requires the query's
+    /// aggregate to provide [`eagr_agg::Aggregate::wire_hooks`]; building
+    /// the system panics (with the transport's launch error) when the host
+    /// binary cannot be found or an aggregate cannot cross the wire.
+    /// Ignored by the local modes.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.config.transport = transport;
         self
     }
 
@@ -377,10 +391,11 @@ where
             Runtime::TwoPool { core, engine }
         }
         ExecutionMode::Sharded { shards } => {
-            let scfg = ShardedConfig {
-                rebalance: cfg.rebalance,
-                ..ShardedConfig::with_shards(shards.max(1))
-            };
+            let scfg = ShardedConfig::builder()
+                .shards(shards.max(1))
+                .rebalance(cfg.rebalance)
+                .transport(cfg.transport)
+                .build();
             // The plan carries the partition so planner and engine
             // agree on shard ownership; the planner scores hash, chunk,
             // and edge-cut candidates by modeled cross-shard delta
@@ -437,11 +452,12 @@ where
             Runtime::TwoPool { core, engine }
         }
         ExecutionMode::Sharded { shards } => {
-            let scfg = ShardedConfig {
-                rebalance: cfg.rebalance,
-                strategy: PartitionStrategy::EdgeCut,
-                ..ShardedConfig::with_shards(shards.max(1))
-            };
+            let scfg = ShardedConfig::builder()
+                .shards(shards.max(1))
+                .strategy(PartitionStrategy::EdgeCut)
+                .rebalance(cfg.rebalance)
+                .transport(cfg.transport)
+                .build();
             Runtime::Sharded(Arc::new(ShardedEngine::new(
                 agg.clone(),
                 overlay,
@@ -894,8 +910,8 @@ impl<A: Aggregate> EagrSystem<A> {
                     applied += core.write(v, value, ts);
                 }
                 Runtime::Sharded(eng) => {
-                    eng.submit_write(v, value, ts);
-                    eng.drain();
+                    transport_ok(eng.submit_write(v, value, ts));
+                    transport_ok(eng.drain());
                 }
             }
         }
@@ -969,7 +985,7 @@ impl<A: Aggregate> EagrSystem<A> {
         reg.live()
             .map(|st| match &st.runtime {
                 Runtime::Local(core) | Runtime::TwoPool { core, .. } => core.advance_time(ts),
-                Runtime::Sharded(eng) => eng.advance_time_epoch(ts) as usize,
+                Runtime::Sharded(eng) => transport_ok(eng.advance_time_epoch(ts)) as usize,
             })
             .sum()
     }
@@ -1107,7 +1123,7 @@ impl<A: Aggregate> EagrSystem<A> {
                     engine.drain();
                 }
                 Runtime::Sharded(eng) => {
-                    let _ = eng.ingest_epoch_at(events, base_ts);
+                    let _ = transport_ok(eng.ingest_epoch_at(events, base_ts));
                 }
             }
         }
@@ -1252,13 +1268,13 @@ impl<A: Aggregate> EagrSystem<A> {
                 let frozen = Arc::new(overlay.clone());
                 match &st.runtime {
                     Runtime::Sharded(eng) => {
-                        let rep = eng.apply_topo(
+                        let rep = transport_ok(eng.apply_topo(
                             st.agg.clone(),
                             frozen,
                             &delta.decisions,
                             &backfill,
                             &delta.materialize,
-                        );
+                        ));
                         run.rematerialized += rep.rematerialized as u64;
                     }
                     _ => {
@@ -1338,7 +1354,8 @@ impl<A: Aggregate> EagrSystem<A> {
     /// only the final flip is epoch-fenced. `None` in the local modes
     /// (there is nothing to rebalance).
     pub fn rebalance(&self) -> Option<MigrationReport> {
-        self.sharded_engine().map(|eng| eng.rebalance())
+        self.sharded_engine()
+            .map(|eng| transport_ok(eng.rebalance()))
     }
 
     /// Compact the sharded PAO slabs, reclaiming slots orphaned by past
@@ -1346,7 +1363,7 @@ impl<A: Aggregate> EagrSystem<A> {
     /// slots reclaimed; `None` in the local modes (local stores have no
     /// slabs to compact).
     pub fn compact(&self) -> Option<u64> {
-        self.sharded_engine().map(|eng| eng.compact())
+        self.sharded_engine().map(|eng| transport_ok(eng.compact()))
     }
 
     /// Spawn a multi-threaded engine over this system's state (local

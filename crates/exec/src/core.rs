@@ -485,6 +485,16 @@ impl<A: Aggregate, S: PaoStore<A::Partial>> EngineCore<A, S> {
         }
     }
 
+    /// Clone one writer's window buffer (`None` if `wid` has no window) —
+    /// the per-slot counterpart of [`export_state`](Self::export_state),
+    /// used when migrating a single slot between shard hosts.
+    pub fn export_window(&self, wid: OverlayId) -> Option<WindowBuffer> {
+        self.windows
+            .get(wid.idx())
+            .and_then(Option::as_ref)
+            .map(|slot| slot.lock().clone())
+    }
+
     /// Rebuild a writer's PAO from its current window contents (after a
     /// backfill installed the window). The PAO of a push writer is exactly
     /// the fold of `Insert` over its in-window values.

@@ -13,6 +13,9 @@
 //!   disjoint PAO shards and exchange batched cross-shard deltas over
 //!   bounded channels, drained in epochs.
 //! * [`adaptive`] — the §4.8 runtime decision adaptation.
+//! * [`transport`] — the [`transport::ShardTransport`] seam under the
+//!   sharded runtime: in-process worker threads (default) or
+//!   `eagr-shard-host` OS processes over Unix-domain sockets.
 //! * [`metrics`] — latency recording and throughput computation.
 
 #![forbid(unsafe_code)]
@@ -24,6 +27,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod sharded;
 pub mod store;
+pub mod transport;
 
 pub use crate::core::{EngineCore, EngineState};
 pub use adaptive::AdaptiveEngine;
@@ -31,7 +35,9 @@ pub use engine::Engine;
 pub use metrics::{throughput, LatencyRecorder};
 pub use parallel::{ParallelConfig, ParallelEngine};
 pub use sharded::{
-    LivePartition, MapSnapshot, MigrationReport, RebalancePolicy, ShardStats, ShardedConfig,
-    ShardedCore, ShardedEngine, TopoEpochReport,
+    LivePartition, MapSnapshot, MigrationReport, ReadReplies, RebalancePolicy, ShardMsg,
+    ShardStats, ShardedConfig, ShardedConfigBuilder, ShardedCore, ShardedEngine, TopoEpochReport,
+    TopoSwap,
 };
 pub use store::{LockedStore, PaoReader, PaoStore, ShardSnapshot, ShardedStore, StoreReader};
+pub use transport::{PlanUpdate, ShardTransport, SlotState, TransportError, TransportKind};

@@ -73,8 +73,9 @@
 //! threshold; a trigger that fires while a migration is already in flight
 //! coalesces into it instead of stacking a second fence.
 
-use crate::core::EngineCore;
+use crate::core::{EngineCore, EngineState};
 use crate::store::{PaoReader, PaoStore, ShardedStore};
+use crate::transport::{PlanUpdate, ShardTransport, SlotState, TransportError, TransportKind};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use eagr_agg::{Aggregate, DeltaOp, WindowBuffer, WindowSpec};
 use eagr_flow::{Decisions, Plan};
@@ -84,8 +85,8 @@ use eagr_graph::{
     PartitionStrategy, Partitioner, RefineConfig, ShardId, DEFAULT_CHUNK_SIZE,
 };
 use eagr_overlay::{Overlay, OverlayId, OverlayKind, PushEdgeView};
-use eagr_util::FastSet;
-use parking_lot::RwLock;
+use eagr_util::{FastMap, FastSet};
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -230,17 +231,27 @@ impl MigrationReport {
 }
 
 /// Configuration of the sharded runtime.
+///
+/// Prefer [`ShardedConfig::builder`] over struct literals: the builder
+/// starts from the defaults, so configs stay source-compatible when new
+/// knobs (like [`transport`](Self::transport)) are added.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardedConfig {
-    /// Number of shards = number of owning worker threads.
+    /// Number of shards = number of owning worker threads (or shard-host
+    /// processes under [`TransportKind::Process`]).
     pub shards: usize,
     /// Node→shard assignment strategy.
     pub strategy: PartitionStrategy,
     /// Capacity of each shard's inbox (messages, each carrying a batch).
     /// Senders block when an inbox is full — bounded-channel backpressure.
+    /// (The socket transport queues frames instead of blocking; the bound
+    /// applies to the in-process mesh.)
     pub channel_capacity: usize,
     /// Live rebalancing policy (default: manual-only).
     pub rebalance: RebalancePolicy,
+    /// Which [`ShardTransport`] the engine launches the shard mesh on
+    /// (default: [`TransportKind::InProcess`]).
+    pub transport: TransportKind,
 }
 
 impl ShardedConfig {
@@ -250,6 +261,57 @@ impl ShardedConfig {
             shards,
             ..Self::default()
         }
+    }
+
+    /// Start a builder pre-populated with the defaults.
+    pub fn builder() -> ShardedConfigBuilder {
+        ShardedConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ShardedConfig`] (see [`ShardedConfig::builder`]): set only
+/// the knobs you care about, inherit defaults for the rest.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfigBuilder {
+    cfg: ShardedConfig,
+}
+
+impl ShardedConfigBuilder {
+    /// Number of shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Node→shard assignment strategy.
+    pub fn strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Per-shard inbox capacity.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.channel_capacity = capacity;
+        self
+    }
+
+    /// Live rebalancing policy.
+    pub fn rebalance(mut self, policy: RebalancePolicy) -> Self {
+        self.cfg.rebalance = policy;
+        self
+    }
+
+    /// Transport kind (in-process worker threads vs shard-host processes).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.cfg.transport = transport;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> ShardedConfig {
+        self.cfg
     }
 }
 
@@ -267,6 +329,7 @@ impl Default for ShardedConfig {
             },
             channel_capacity: 1 << 12,
             rebalance: RebalancePolicy::default(),
+            transport: TransportKind::default(),
         }
     }
 }
@@ -413,11 +476,11 @@ impl MapSnapshot {
 }
 
 /// One shard's answers to a read batch: `(result slot, answer)` pairs.
-type ReadReplies<A> = Vec<(usize, Option<<A as Aggregate>::Output>)>;
+pub type ReadReplies<A> = Vec<(usize, Option<<A as Aggregate>::Output>)>;
 
 /// One shard's reply to a phase-1 [`ShardMsg::Copy`]: the origin shard
 /// plus `(node, destination, staged PAO clone)` for every departing node.
-type CopyReply<A> = (
+pub type CopyReply<A> = (
     ShardId,
     Vec<(OverlayId, ShardId, <A as Aggregate>::Partial)>,
 );
@@ -426,7 +489,7 @@ type CopyReply<A> = (
 /// shard, its side-log in arrival order, and whether the log overflowed
 /// (in which case it is empty and the staged copies from that shard must
 /// be re-copied under the fence).
-type SideLogReply = (ShardId, Vec<(OverlayId, DeltaOp)>, bool);
+pub type SideLogReply = (ShardId, Vec<(OverlayId, DeltaOp)>, bool);
 
 /// Per-worker migration side-log, active between a [`ShardMsg::Copy`] and
 /// the matching [`ShardMsg::EndCopy`]: every delta op the worker applies
@@ -444,8 +507,15 @@ struct SideLog {
     overflowed: bool,
 }
 
-/// Messages flowing into one shard's inbox.
-enum ShardMsg<A: Aggregate> {
+/// Messages flowing into one shard's inbox — the protocol a
+/// [`ShardTransport`] carries. The in-process transport moves these
+/// values over crossbeam channels untouched; the socket transport maps
+/// the data-plane variants onto [`crate::transport::codec`] frames (reply
+/// channels become request-id correlation tokens) and rejects the
+/// migration-protocol variants, which have no meaning across processes
+/// (the engine drives process-mode migration through the transport's
+/// state-plane methods instead).
+pub enum ShardMsg<A: Aggregate> {
     /// Writes whose *writer node* the shard owns: `(writer, value, ts)` in
     /// submission order.
     Writes(Vec<(OverlayId, i64, u64)>),
@@ -510,7 +580,7 @@ enum ShardMsg<A: Aggregate> {
 /// The payload of a [`ShardMsg::Topo`]: everything a worker holds that a
 /// topology epoch replaces. One `Arc` shared by all shards; each worker
 /// clones its own writer list out of it.
-struct TopoSwap<A: Aggregate> {
+pub struct TopoSwap<A: Aggregate> {
     core: Arc<ShardedCore<A>>,
     partition: Arc<LivePartition>,
     /// Window-expiration ownership under the new map, indexed by shard.
@@ -570,7 +640,9 @@ pub struct ShardedEngine<A: Aggregate> {
     partition: RwLock<Arc<LivePartition>>,
     window: WindowSpec,
     policy: RebalancePolicy,
-    txs: Vec<Sender<ShardMsg<A>>>,
+    /// The communication backend: the in-process channel mesh or the
+    /// multi-process socket star ([`ShardTransport`]).
+    transport: Box<dyn ShardTransport<A>>,
     pending: Arc<AtomicU64>,
     /// Per-shard deltas shipped to peers (indexed by sending shard).
     cross_out: Arc<Vec<AtomicU64>>,
@@ -601,7 +673,6 @@ pub struct ShardedEngine<A: Aggregate> {
     slots_reclaimed: AtomicU64,
     /// Topology epochs applied ([`apply_topo`](Self::apply_topo)).
     topo_epochs: AtomicU64,
-    handles: Vec<JoinHandle<()>>,
 }
 
 impl<A: Aggregate> ShardedEngine<A> {
@@ -645,9 +716,14 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// `cfg.strategy` are ignored — the partition *is* the map).
     ///
     /// # Panics
-    /// Panics if the partition does not cover every overlay node, or if
+    /// Panics if the partition does not cover every overlay node, if
     /// `cfg.channel_capacity` is smaller than the shard count (the
-    /// migration handoff needs one inbox slot per peer).
+    /// migration handoff needs one inbox slot per peer), or if the
+    /// configured transport fails to launch (e.g.
+    /// [`TransportKind::Process`] for an aggregate without
+    /// [`Aggregate::wire_hooks`], or an unreachable host binary) — use
+    /// [`try_with_partition`](Self::try_with_partition) to surface launch
+    /// failures as a [`TransportError`] instead.
     pub fn with_partition(
         agg: A,
         overlay: Arc<Overlay>,
@@ -656,6 +732,26 @@ impl<A: Aggregate> ShardedEngine<A> {
         partition: Partition,
         cfg: &ShardedConfig,
     ) -> Self {
+        match Self::try_with_partition(agg, overlay, decisions, window, partition, cfg) {
+            Ok(engine) => engine,
+            // lint: allow(panic-free, the documented infallible constructor surface; try_with_partition is the Result-returning form)
+            Err(e) => panic!("sharded engine transport launch failed: {e}"),
+        }
+    }
+
+    /// Fallible form of [`with_partition`](Self::with_partition): transport
+    /// launch failures (host spawn/connect errors, missing wire hooks)
+    /// come back as a [`TransportError`] instead of panicking. The
+    /// partition-coverage and channel-capacity preconditions still panic —
+    /// those are caller bugs, not runtime conditions.
+    pub fn try_with_partition(
+        agg: A,
+        overlay: Arc<Overlay>,
+        decisions: &Decisions,
+        window: WindowSpec,
+        partition: Partition,
+        cfg: &ShardedConfig,
+    ) -> Result<Self, TransportError> {
         assert_eq!(
             partition.len(),
             overlay.node_count(),
@@ -671,14 +767,8 @@ impl<A: Aggregate> ShardedEngine<A> {
             agg, overlay, decisions, window, store,
         ));
         let shards = partition.shards;
-        let partition = Arc::new(LivePartition::new(&partition));
-        let mut txs = Vec::with_capacity(shards);
-        let mut rxs = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = bounded::<ShardMsg<A>>(channel_capacity);
-            txs.push(tx);
-            rxs.push(rx);
-        }
+        let plain = partition;
+        let partition = Arc::new(LivePartition::new(&plain));
         let pending = Arc::new(AtomicU64::new(0));
         let cross_out: Arc<Vec<AtomicU64>> =
             Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
@@ -691,34 +781,43 @@ impl<A: Aggregate> ShardedEngine<A> {
         for (wid, _) in core.overlay().writers() {
             writers_by_shard[partition.shard_of(wid.idx()).idx()].push(wid);
         }
-        let mut handles = Vec::with_capacity(shards);
-        for (shard, rx) in rxs.into_iter().enumerate() {
-            let worker = ShardWorker {
-                core: Arc::clone(&core),
-                partition: Arc::clone(&partition),
-                shard: ShardId(shard as u32),
-                writers: std::mem::take(&mut writers_by_shard[shard]),
-                rx,
-                txs: txs.clone(),
-                pending: Arc::clone(&pending),
-                cross_out: Arc::clone(&cross_out),
-                local: Arc::clone(&local),
-                reads: Arc::clone(&reads),
-                side: None,
-                side_log_bound: cfg.rebalance.side_log_bound,
-            };
-            let h = std::thread::Builder::new()
-                .name(format!("eagr-shard-{shard}"))
-                .spawn(move || worker.run())
-                .expect("spawn shard worker");
-            handles.push(h);
-        }
-        Self {
+        let transport: Box<dyn ShardTransport<A>> = match cfg.transport {
+            TransportKind::InProcess => Box::new(InProcessTransport::launch(
+                Arc::clone(&core),
+                Arc::clone(&partition),
+                writers_by_shard,
+                Arc::clone(&pending),
+                Arc::clone(&cross_out),
+                Arc::clone(&local),
+                Arc::clone(&reads),
+                channel_capacity,
+                cfg.rebalance.side_log_bound,
+            )),
+            #[cfg(unix)]
+            TransportKind::Process => {
+                Box::new(crate::transport::process::ProcessTransport::launch(
+                    &core,
+                    &plain,
+                    window,
+                    Arc::clone(&pending),
+                    Arc::clone(&cross_out),
+                    Arc::clone(&local),
+                    Arc::clone(&reads),
+                )?)
+            }
+            #[cfg(not(unix))]
+            TransportKind::Process => {
+                return Err(TransportError::Unsupported(
+                    "process transport requires Unix-domain sockets",
+                ))
+            }
+        };
+        Ok(Self {
             core: RwLock::named(core, "core"),
             partition: RwLock::named(partition, "partition"),
             window,
             policy: cfg.rebalance,
-            txs,
+            transport,
             pending,
             cross_out,
             local,
@@ -731,8 +830,7 @@ impl<A: Aggregate> ShardedEngine<A> {
             coalesced: AtomicU64::new(0),
             slots_reclaimed: AtomicU64::new(0),
             topo_epochs: AtomicU64::new(0),
-            handles,
-        }
+        })
     }
 
     /// The shared core (shard-slab storage) — an owned handle, since a
@@ -761,7 +859,32 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// Number of shards (fixed for the engine's lifetime — topology epochs
     /// replace the map, never the shard count).
     pub fn shard_count(&self) -> usize {
-        self.txs.len()
+        self.transport.shards()
+    }
+
+    /// Which transport the engine is running on.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
+    }
+
+    /// OS process ids of the shard host peers, one per shard — empty on
+    /// the in-process transport (workers are threads of this process).
+    pub fn host_pids(&self) -> Vec<u32> {
+        self.transport.host_pids()
+    }
+
+    /// Send one pending-counted message: the counter is incremented
+    /// *before* the message becomes visible to the receiver (its decrement
+    /// must never race ahead) and rolled back if the transport rejects it.
+    fn send_counted(&self, shard: usize, msg: ShardMsg<A>) -> Result<(), TransportError> {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        match self.transport.send(shard, msg) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                Err(e)
+            }
+        }
     }
 
     /// Route one batch of events into the shards and return
@@ -779,13 +902,23 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// Per-writer ordering is preserved for batches submitted from one
     /// thread: a writer's updates always travel to the same shard inbox in
     /// submission order.
-    pub fn ingest(&self, batch: &EventBatch) -> (usize, usize) {
+    ///
+    /// # Errors
+    /// [`TransportError`] when a shard peer is unreachable (a worker
+    /// thread exited, or a shard-host process died). The in-process
+    /// transport only fails during shutdown races; the socket transport
+    /// surfaces real process/socket failures here instead of panicking.
+    pub fn ingest(&self, batch: &EventBatch) -> Result<(usize, usize), TransportError> {
         self.ingest_at(&batch.events, batch.base_ts)
     }
 
     /// Borrowing equivalent of [`ingest`](Self::ingest): event `i` carries
     /// timestamp `base_ts + i`.
-    pub fn ingest_at(&self, events: &[Event], base_ts: u64) -> (usize, usize) {
+    pub fn ingest_at(
+        &self,
+        events: &[Event],
+        base_ts: u64,
+    ) -> Result<(usize, usize), TransportError> {
         let mut per_shard: Vec<Vec<(OverlayId, i64, u64)>> = vec![Vec::new(); self.shard_count()];
         let mut reads_per_shard: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); self.shard_count()];
         let mut writes = 0;
@@ -839,21 +972,18 @@ impl<A: Aggregate> ShardedEngine<A> {
         );
         for (shard, group) in per_shard.into_iter().enumerate() {
             if !group.is_empty() {
-                self.pending.fetch_add(1, Ordering::AcqRel);
-                self.txs[shard]
-                    .send(ShardMsg::Writes(group))
-                    .expect("shard worker alive");
+                self.send_counted(shard, ShardMsg::Writes(group))?;
             }
         }
         for (shard, targets) in reads_per_shard.into_iter().enumerate() {
             if !targets.is_empty() {
-                self.pending.fetch_add(1, Ordering::AcqRel);
-                self.txs[shard]
-                    .send(ShardMsg::Reads {
+                self.send_counted(
+                    shard,
+                    ShardMsg::Reads {
                         targets,
                         reply: None,
-                    })
-                    .expect("shard worker alive");
+                    },
+                )?;
             }
         }
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
@@ -863,36 +993,39 @@ impl<A: Aggregate> ShardedEngine<A> {
         // another thread's migration is already in flight, rebalance()
         // coalesces into it instead of stacking a second fence.
         if self.policy.every_epochs > 0 && epoch % self.policy.every_epochs == 0 {
-            self.rebalance();
+            self.rebalance()?;
         }
-        (writes, reads)
+        Ok((writes, reads))
     }
 
     /// Ingest a batch and drain it — one full epoch.
-    pub fn ingest_epoch(&self, batch: &EventBatch) -> (usize, usize) {
-        let counts = self.ingest(batch);
-        self.drain();
-        counts
+    pub fn ingest_epoch(&self, batch: &EventBatch) -> Result<(usize, usize), TransportError> {
+        let counts = self.ingest(batch)?;
+        self.drain()?;
+        Ok(counts)
     }
 
     /// Borrowing equivalent of [`ingest_epoch`](Self::ingest_epoch).
-    pub fn ingest_epoch_at(&self, events: &[Event], base_ts: u64) -> (usize, usize) {
-        let counts = self.ingest_at(events, base_ts);
-        self.drain();
-        counts
+    pub fn ingest_epoch_at(
+        &self,
+        events: &[Event],
+        base_ts: u64,
+    ) -> Result<(usize, usize), TransportError> {
+        let counts = self.ingest_at(events, base_ts)?;
+        self.drain()?;
+        Ok(counts)
     }
 
     /// Route a single write (convenience; prefer [`ingest`](Self::ingest)
     /// for throughput).
-    pub fn submit_write(&self, v: NodeId, value: i64, ts: u64) {
+    pub fn submit_write(&self, v: NodeId, value: i64, ts: u64) -> Result<(), TransportError> {
         let _gate = self.epoch_gate.read();
         let core = self.core();
         if let Some(wid) = core.overlay().writer(v) {
-            self.pending.fetch_add(1, Ordering::AcqRel);
-            self.txs[self.partition_ref().shard_of(wid.idx()).idx()]
-                .send(ShardMsg::Writes(vec![(wid, value, ts)]))
-                .expect("shard worker alive");
+            let shard = self.partition_ref().shard_of(wid.idx()).idx();
+            self.send_counted(shard, ShardMsg::Writes(vec![(wid, value, ts)]))?;
         }
+        Ok(())
     }
 
     /// Evaluate a read on the calling thread. Between
@@ -900,8 +1033,68 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// writes (the paper's relaxed consistency). For shard-executed,
     /// epoch-consistent reads use [`read_batch`](Self::read_batch) /
     /// [`read_service`](Self::read_service).
+    ///
+    /// Under [`TransportKind::Process`] the PAO state lives in the shard
+    /// hosts, so this delegates to [`try_read`](Self::try_read) and maps a
+    /// transport failure to `None`; call `try_read` directly to
+    /// distinguish "no reader" from "host died".
     pub fn read(&self, v: NodeId) -> Option<A::Output> {
-        self.core().read(v)
+        match self.transport.kind() {
+            TransportKind::InProcess => self.core().read(v),
+            TransportKind::Process => self.try_read(v).unwrap_or(None),
+        }
+    }
+
+    /// Fallible form of [`read`](Self::read) (same relaxed mid-epoch
+    /// consistency). In-process it cannot fail; under
+    /// [`TransportKind::Process`] the needed push PAOs are fetched from
+    /// their owning hosts ([`ShardTransport::fetch_paos`]) and the
+    /// finalize/pull evaluation runs on the calling thread.
+    pub fn try_read(&self, v: NodeId) -> Result<Option<A::Output>, TransportError> {
+        let core = self.core();
+        match self.transport.kind() {
+            TransportKind::InProcess => Ok(core.read(v)),
+            TransportKind::Process => {
+                let Some(rid) = core.overlay().reader(v) else {
+                    return Ok(None);
+                };
+                let mut needed: FastSet<u32> = FastSet::default();
+                if core.is_push(rid) {
+                    needed.insert(rid.0);
+                } else {
+                    collect_pull_slots(&core, rid, &mut needed);
+                }
+                let reader = self.fetch_pao_reader(&core, &needed)?;
+                Ok(core.read_via(v, &reader))
+            }
+        }
+    }
+
+    /// Fetch the listed push-PAO slots from their owning shard hosts and
+    /// wrap them in a [`PaoReader`] for coordinator-side evaluation
+    /// (process transport only).
+    fn fetch_pao_reader(
+        &self,
+        core: &ShardedCore<A>,
+        needed: &FastSet<u32>,
+    ) -> Result<FetchedPaos<A::Partial>, TransportError> {
+        let partition = self.partition_ref();
+        let mut by_owner: Vec<Vec<u32>> = vec![Vec::new(); self.shard_count()];
+        for &slot in needed.iter() {
+            by_owner[partition.shard_of(slot as usize).idx()].push(slot);
+        }
+        let mut paos: FastMap<u32, A::Partial> = FastMap::default();
+        for (shard, slots) in by_owner.into_iter().enumerate() {
+            if !slots.is_empty() {
+                for (slot, pao) in self.transport.fetch_paos(shard, &slots)? {
+                    paos.insert(slot, pao);
+                }
+            }
+        }
+        Ok(FetchedPaos {
+            paos,
+            empty: core.aggregate().empty(),
+        })
     }
 
     /// Evaluate a batch of reads **on the shard workers**, epoch-
@@ -923,49 +1116,78 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// subtrees through the foreign slabs' read locks. The caller thread
     /// only routes requests and collects replies; it never evaluates
     /// shard-owned PAO state.
-    pub fn read_batch(&self, nodes: &[NodeId]) -> Vec<Option<A::Output>> {
+    pub fn read_batch(&self, nodes: &[NodeId]) -> Result<Vec<Option<A::Output>>, TransportError> {
         let _gate = self.epoch_gate.write();
-        self.drain();
+        self.drain()?;
         let core = self.core();
         let partition = self.partition_ref();
         let overlay = core.overlay();
         let mut results: Vec<Option<A::Output>> = vec![None; nodes.len()];
+        // Under the process transport, pull-decided readers are evaluated
+        // on the coordinator over fetched push PAOs (a shard host holds
+        // only its own slots, so it cannot resolve a cross-shard pull
+        // tree); push-decided readers ship to their owning host like any
+        // in-process read. The engine is drained under the exclusive gate
+        // either way, so both paths answer from the same epoch boundary.
+        let process = self.transport.kind() == TransportKind::Process;
         let mut per_shard: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); self.shard_count()];
+        let mut pull_targets: Vec<(usize, NodeId)> = Vec::new();
         for (i, &v) in nodes.iter().enumerate() {
             if let Some(rid) = overlay.reader(v) {
-                per_shard[partition.shard_of(rid.idx()).idx()].push((i, v));
+                if process && !core.is_push(rid) {
+                    pull_targets.push((i, v));
+                } else {
+                    per_shard[partition.shard_of(rid.idx()).idx()].push((i, v));
+                }
             }
         }
         let (reply, replies) = bounded::<ReadReplies<A>>(self.shard_count());
         let mut outstanding = 0usize;
         for (shard, targets) in per_shard.into_iter().enumerate() {
             if !targets.is_empty() {
-                self.pending.fetch_add(1, Ordering::AcqRel);
-                self.txs[shard]
-                    .send(ShardMsg::Reads {
+                self.send_counted(
+                    shard,
+                    ShardMsg::Reads {
                         targets,
                         reply: Some(reply.clone()),
-                    })
-                    .expect("shard worker alive");
+                    },
+                )?;
                 outstanding += 1;
             }
         }
         drop(reply);
         for _ in 0..outstanding {
-            for (slot, answer) in replies.recv().expect("shard worker replies") {
+            let answers = replies.recv().map_err(|_| TransportError::Closed {
+                shard: None,
+                detail: "shard peer dropped a read-reply channel".to_string(),
+            })?;
+            for (slot, answer) in answers {
                 results[slot] = answer;
             }
         }
-        results
+        if !pull_targets.is_empty() {
+            let mut needed: FastSet<u32> = FastSet::default();
+            for &(_, v) in &pull_targets {
+                if let Some(rid) = overlay.reader(v) {
+                    collect_pull_slots(&core, rid, &mut needed);
+                }
+            }
+            let reader = self.fetch_pao_reader(&core, &needed)?;
+            for (i, v) in pull_targets {
+                results[i] = core.read_via(v, &reader);
+            }
+        }
+        Ok(results)
     }
 
     /// Evaluate one read on the shard worker owning its reader — the
     /// single-request form of [`read_batch`](Self::read_batch), with the
     /// same epoch-consistent semantics.
-    pub fn read_service(&self, v: NodeId) -> Option<A::Output> {
-        self.read_batch(std::slice::from_ref(&v))
+    pub fn read_service(&self, v: NodeId) -> Result<Option<A::Output>, TransportError> {
+        Ok(self
+            .read_batch(std::slice::from_ref(&v))?
             .pop()
-            .unwrap_or(None)
+            .unwrap_or(None))
     }
 
     /// Total read requests served by the shard workers so far.
@@ -982,29 +1204,29 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// after the writes submitted before it. Call [`drain`](Self::drain)
     /// (or use [`advance_time_epoch`](Self::advance_time_epoch)) to wait
     /// for the sweep to be fully applied.
-    pub fn advance_time(&self, ts: u64) {
+    pub fn advance_time(&self, ts: u64) -> Result<(), TransportError> {
         // Only time windows ever expire by clock (WindowBuffer::advance is
         // a no-op otherwise): skip the slab-locking per-writer sweep
         // entirely for tuple/unbounded windows.
         if !matches!(self.window, WindowSpec::Time(_)) {
-            return;
+            return Ok(());
         }
         let _gate = self.epoch_gate.read();
-        for tx in &self.txs {
-            self.pending.fetch_add(1, Ordering::AcqRel);
-            tx.send(ShardMsg::Expire(ts)).expect("shard worker alive");
+        for shard in 0..self.shard_count() {
+            self.send_counted(shard, ShardMsg::Expire(ts))?;
         }
+        Ok(())
     }
 
     /// [`advance_time`](Self::advance_time) followed by a drain; returns
     /// the PAO updates applied while the sweep drained (includes any
     /// concurrently ingested writes — an exact per-sweep count would
     /// require stopping the world).
-    pub fn advance_time_epoch(&self, ts: u64) -> u64 {
+    pub fn advance_time_epoch(&self, ts: u64) -> Result<u64, TransportError> {
         let before = self.local_applies();
-        self.advance_time(ts);
-        self.drain();
-        self.local_applies() - before
+        self.advance_time(ts)?;
+        self.drain()?;
+        Ok(self.local_applies() - before)
     }
 
     /// Re-partition the engine from **observed** load and live-migrate the
@@ -1055,15 +1277,20 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// ([`EngineCore::decay_observed`] by [`RebalancePolicy::decay`])
     /// rather than zeroing it, so the next interval blends fresh drift
     /// with a fading memory of history.
-    pub fn rebalance(&self) -> MigrationReport {
+    pub fn rebalance(&self) -> Result<MigrationReport, TransportError> {
         let Some(flight) = MigrationFlight::begin(self) else {
-            return MigrationReport::skipped(0.0, 0.0);
+            return Ok(MigrationReport::skipped(0.0, 0.0));
         };
         // The single-flight guard keeps topology epochs out, so this pair
         // stays current for the whole migration.
         let core = self.core();
-        let counts = core.observed_push_counts();
-        let pulls = core.observed_pull_counts();
+        // Observed counters live where the ops are applied: on the
+        // coordinator core in-process, on the shard hosts over the socket
+        // transport (summed element-wise here).
+        let (counts, pulls) = match self.transport.kind() {
+            TransportKind::InProcess => (core.observed_push_counts(), core.observed_pull_counts()),
+            TransportKind::Process => self.transport.observed_counts()?,
+        };
         let view =
             PushEdgeView::observed_with_reads(core.overlay(), |n| core.is_push(n), &counts, &pulls);
         let current = self.partition_ref().snapshot();
@@ -1080,7 +1307,7 @@ impl<A: Aggregate> ShardedEngine<A> {
             && stats.cut_before > 0.0
             && stats.gain_fraction() >= self.policy.min_cut_gain;
         if !committed {
-            return MigrationReport::skipped(stats.cut_before, stats.cut_after);
+            return Ok(MigrationReport::skipped(stats.cut_before, stats.cut_after));
         }
         let moves: Vec<(OverlayId, ShardId)> = (0..refined.len())
             .filter_map(|idx| {
@@ -1088,11 +1315,14 @@ impl<A: Aggregate> ShardedEngine<A> {
                 (dest != current.shard_of(idx)).then_some((OverlayId(idx as u32), dest))
             })
             .collect();
-        let mut report = flight.execute(moves);
+        let mut report = flight.execute(moves)?;
         report.cut_before = stats.cut_before;
         report.cut_after = stats.cut_after;
-        core.decay_observed(self.policy.decay);
-        report
+        match self.transport.kind() {
+            TransportKind::InProcess => core.decay_observed(self.policy.decay),
+            TransportKind::Process => self.transport.decay_observed(self.policy.decay)?,
+        }
+        Ok(report)
     }
 
     /// Migrate the engine to an **explicit** target node→shard map with
@@ -1111,9 +1341,9 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// # Panics
     /// Panics if `target` does not cover every overlay node or names a
     /// shard outside the engine's shard count.
-    pub fn migrate_to(&self, target: &Partition) -> MigrationReport {
+    pub fn migrate_to(&self, target: &Partition) -> Result<MigrationReport, TransportError> {
         let Some(flight) = MigrationFlight::begin(self) else {
-            return MigrationReport::skipped(0.0, 0.0);
+            return Ok(MigrationReport::skipped(0.0, 0.0));
         };
         let current = self.partition_ref().snapshot();
         assert_eq!(
@@ -1129,6 +1359,18 @@ impl<A: Aggregate> ShardedEngine<A> {
             })
             .collect();
         flight.execute(moves)
+    }
+
+    /// Gather the slots a process-mode resync or epoch needs: under the
+    /// socket transport the coordinator core is a stale mirror between
+    /// fences, so state-rewriting paths first pull every shard's owned
+    /// state back in ([`ShardTransport::fetch_state`]) before exporting.
+    fn resync_from_hosts(&self, core: &ShardedCore<A>) -> Result<(), TransportError> {
+        for shard in 0..self.shard_count() {
+            let st = self.transport.fetch_state(shard)?;
+            core.install_state(&st);
+        }
+        Ok(())
     }
 
     /// Apply one **topology epoch**: swap the engine onto a repaired
@@ -1171,11 +1413,16 @@ impl<A: Aggregate> ShardedEngine<A> {
         decisions: &Decisions,
         backfill: &[(OverlayId, WindowBuffer)],
         materialize: &FastSet<OverlayId>,
-    ) -> TopoEpochReport {
+    ) -> Result<TopoEpochReport, TransportError> {
         let flight = MigrationFlight::acquire(self);
         let gate = self.epoch_gate.write();
-        self.drain();
+        self.drain()?;
         let old_core = self.core();
+        if self.transport.kind() == TransportKind::Process {
+            // The hosts hold the live PAO/window state; pull it into the
+            // coordinator mirror so export_state below carries reality.
+            self.resync_from_hosts(&old_core)?;
+        }
         let old_partition = self.partition_ref();
         let old_overlay = old_core.overlay();
         let old_n = old_overlay.node_count();
@@ -1261,42 +1508,99 @@ impl<A: Aggregate> ShardedEngine<A> {
         }
         *self.core.write() = Arc::clone(&new_core);
         *self.partition.write() = Arc::clone(&new_partition);
-        // Swap the worker-held handles through the inboxes. Under the
-        // exclusive gate over a drained engine the inboxes are otherwise
-        // empty (ingest needs the shared gate, epoch reads the exclusive
-        // one, migrations the flight guard we hold), so the swap is the
-        // only message each worker sees this epoch.
-        let swap = Arc::new(TopoSwap {
-            core: Arc::clone(&new_core),
-            partition: new_partition,
-            writers_by_shard,
-        });
-        for tx in &self.txs {
-            self.pending.fetch_add(1, Ordering::AcqRel);
-            tx.send(ShardMsg::Topo(Arc::clone(&swap)))
-                .expect("shard worker alive");
+        match self.transport.kind() {
+            TransportKind::InProcess => {
+                // Swap the worker-held handles through the inboxes. Under
+                // the exclusive gate over a drained engine the inboxes are
+                // otherwise empty (ingest needs the shared gate, epoch
+                // reads the exclusive one, migrations the flight guard we
+                // hold), so the swap is the only message each worker sees
+                // this epoch.
+                let swap = Arc::new(TopoSwap {
+                    core: Arc::clone(&new_core),
+                    partition: new_partition,
+                    writers_by_shard,
+                });
+                for shard in 0..self.shard_count() {
+                    self.send_counted(shard, ShardMsg::Topo(Arc::clone(&swap)))?;
+                }
+                self.drain()?;
+            }
+            TransportKind::Process => {
+                // Hosts can't share the Arc-swapped core: ship each one a
+                // serialized plan plus the slice of rebuilt state it owns
+                // under the new map, and let it rebuild its engine locally.
+                let mut full = new_core.export_state();
+                let map_vec: Vec<u32> = (0..part.len()).map(|i| part.shard_of(i).0).collect();
+                for shard in 0..self.shard_count() {
+                    let owned = EngineState {
+                        windows: full
+                            .windows
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, w)| {
+                                (map_vec.get(i).copied() == Some(shard as u32))
+                                    .then(|| w.take())
+                                    .flatten()
+                            })
+                            .collect(),
+                        paos: full
+                            .paos
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, p)| {
+                                (map_vec.get(i).copied() == Some(shard as u32))
+                                    .then(|| p.take())
+                                    .flatten()
+                            })
+                            .collect(),
+                    };
+                    let plan = PlanUpdate {
+                        overlay: Arc::clone(&overlay),
+                        decisions: new_core.decisions(),
+                        window: self.window,
+                        map: map_vec.clone(),
+                        state: owned,
+                    };
+                    self.transport.swap_plan(shard, &plan)?;
+                }
+            }
         }
-        self.drain();
-        let store = new_core.store();
-        let slots_reclaimed = if self.policy.compact_after_orphans > 0
-            && store.orphaned_slots() >= self.policy.compact_after_orphans
-        {
-            let r = store.compact();
-            self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
-            r
-        } else {
-            0
+        let slots_reclaimed = match self.transport.kind() {
+            TransportKind::InProcess => {
+                let store = new_core.store();
+                if self.policy.compact_after_orphans > 0
+                    && store.orphaned_slots() >= self.policy.compact_after_orphans
+                {
+                    let r = store.compact();
+                    self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
+                    r
+                } else {
+                    0
+                }
+            }
+            TransportKind::Process => {
+                if self.policy.compact_after_orphans > 0
+                    && self.transport.orphaned_slots()? >= self.policy.compact_after_orphans
+                {
+                    let r = self.transport.compact_shards()?;
+                    self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
+                    r
+                } else {
+                    0
+                }
+            }
         };
         drop(gate);
         drop(flight);
         self.topo_epochs.fetch_add(1, Ordering::AcqRel);
-        TopoEpochReport {
+        Ok(TopoEpochReport {
             fresh_nodes: new_n - old_n,
             retired_nodes,
             rematerialized,
             orphaned_slots: orphaned,
             slots_reclaimed,
-        }
+        })
     }
 
     /// Topology epochs applied so far ([`apply_topo`](Self::apply_topo)).
@@ -1308,9 +1612,15 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// fenced flip) for an explicit move set. Caller holds the
     /// single-flight guard; `moves` lists `(node, destination)` pairs
     /// whose destination differs from the current owner.
-    fn execute_migration(&self, moves: Vec<(OverlayId, ShardId)>) -> MigrationReport {
+    fn execute_migration(
+        &self,
+        moves: Vec<(OverlayId, ShardId)>,
+    ) -> Result<MigrationReport, TransportError> {
         if moves.is_empty() {
-            return MigrationReport::skipped(0.0, 0.0);
+            return Ok(MigrationReport::skipped(0.0, 0.0));
+        }
+        if self.transport.kind() == TransportKind::Process {
+            return self.execute_migration_fenced(moves);
         }
         // The caller holds the single-flight guard, so topology epochs
         // cannot replace this pair mid-migration.
@@ -1318,7 +1628,7 @@ impl<A: Aggregate> ShardedEngine<A> {
         let partition = self.partition_ref();
         // Settle in-flight work so the staged copies start from an epoch
         // boundary; concurrent submitters are not blocked.
-        self.drain();
+        self.drain()?;
         let epochs_at_copy = self.epochs();
         // ---- Phase 1: copy + side-log, concurrent with ingestion. ----
         let mut by_owner: Vec<Vec<(OverlayId, ShardId)>> = vec![Vec::new(); self.shard_count()];
@@ -1330,13 +1640,13 @@ impl<A: Aggregate> ShardedEngine<A> {
         for (owner, group) in by_owner.into_iter().enumerate() {
             if !group.is_empty() {
                 involved.push(owner);
-                self.pending.fetch_add(1, Ordering::AcqRel);
-                self.txs[owner]
-                    .send(ShardMsg::Copy {
+                self.send_counted(
+                    owner,
+                    ShardMsg::Copy {
                         moves: group,
                         reply: copy_tx.clone(),
-                    })
-                    .expect("shard worker alive");
+                    },
+                )?;
             }
         }
         drop(copy_tx);
@@ -1344,7 +1654,10 @@ impl<A: Aggregate> ShardedEngine<A> {
         let mut staged: Vec<(ShardId, OverlayId, ShardId, A::Partial)> =
             Vec::with_capacity(moves.len());
         for _ in 0..involved.len() {
-            let (origin, group) = copy_rx.recv().expect("shard worker replies to Copy");
+            let (origin, group) = copy_rx.recv().map_err(|_| TransportError::Closed {
+                shard: None,
+                detail: "shard worker dropped its Copy reply".to_string(),
+            })?;
             staged.extend(
                 group
                     .into_iter()
@@ -1354,23 +1667,26 @@ impl<A: Aggregate> ShardedEngine<A> {
         let copy_epochs = self.epochs() - epochs_at_copy;
         // ---- Phase 2: the flip — the only fenced section. ----
         let gate = self.epoch_gate.write();
-        self.drain();
+        self.drain()?;
         let (log_tx, log_rx) = bounded::<SideLogReply>(self.shard_count());
         for &owner in &involved {
-            self.pending.fetch_add(1, Ordering::AcqRel);
-            self.txs[owner]
-                .send(ShardMsg::EndCopy {
+            self.send_counted(
+                owner,
+                ShardMsg::EndCopy {
                     commit: true,
                     reply: log_tx.clone(),
-                })
-                .expect("shard worker alive");
+                },
+            )?;
         }
         drop(log_tx);
         let mut log_by_node: std::collections::HashMap<u32, Vec<DeltaOp>> =
             std::collections::HashMap::new();
         let mut overflowed: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for _ in 0..involved.len() {
-            let (origin, log, over) = log_rx.recv().expect("shard worker replies to EndCopy");
+            let (origin, log, over) = log_rx.recv().map_err(|_| TransportError::Closed {
+                shard: None,
+                detail: "shard worker dropped its EndCopy reply".to_string(),
+            })?;
             if over {
                 overflowed.insert(origin.0);
             } else {
@@ -1379,7 +1695,7 @@ impl<A: Aggregate> ShardedEngine<A> {
                 }
             }
         }
-        self.drain();
+        self.drain()?;
         let store = core.store();
         let mut deltas_replayed = 0u64;
         let nodes_copied = staged.len();
@@ -1407,13 +1723,10 @@ impl<A: Aggregate> ShardedEngine<A> {
         }
         for (dest, writers) in adopt.into_iter().enumerate() {
             if !writers.is_empty() {
-                self.pending.fetch_add(1, Ordering::AcqRel);
-                self.txs[dest]
-                    .send(ShardMsg::Adopt(writers))
-                    .expect("shard worker alive");
+                self.send_counted(dest, ShardMsg::Adopt(writers))?;
             }
         }
-        self.drain();
+        self.drain()?;
         let slots_reclaimed = if self.policy.compact_after_orphans > 0
             && store.orphaned_slots() >= self.policy.compact_after_orphans
         {
@@ -1427,7 +1740,7 @@ impl<A: Aggregate> ShardedEngine<A> {
         self.rebalances.fetch_add(1, Ordering::AcqRel);
         self.nodes_migrated
             .fetch_add(nodes_copied as u64, Ordering::AcqRel);
-        MigrationReport {
+        Ok(MigrationReport {
             nodes_copied,
             deltas_replayed,
             fence_epochs: 1,
@@ -1436,7 +1749,85 @@ impl<A: Aggregate> ShardedEngine<A> {
             cut_before: 0.0,
             cut_after: 0.0,
             committed: true,
+        })
+    }
+
+    /// Process-transport migration: a **single-phase fenced** move. The
+    /// concurrent copy + side-log protocol needs shared-memory side-log
+    /// handoff, so over sockets the engine instead takes the exclusive
+    /// gate, drains, pulls each moving slot's full state from its owner
+    /// ([`ShardTransport::fetch_slots`]), installs it at the destination
+    /// host ([`ShardTransport::install_slots`]), republishes the routing
+    /// map everywhere ([`ShardTransport::map_update`] — which also hands
+    /// over window-expiration ownership), and releases. Drained under the
+    /// fence, the fetched state is exact — no deltas ever need replaying
+    /// (`deltas_replayed` is always 0 in process mode), at the cost of a
+    /// longer fence than the in-process two-phase flip.
+    fn execute_migration_fenced(
+        &self,
+        moves: Vec<(OverlayId, ShardId)>,
+    ) -> Result<MigrationReport, TransportError> {
+        let partition = self.partition_ref();
+        let gate = self.epoch_gate.write();
+        self.drain()?;
+        let mut by_owner: Vec<Vec<(OverlayId, ShardId)>> = vec![Vec::new(); self.shard_count()];
+        for &(n, dest) in &moves {
+            by_owner[partition.shard_of(n.idx()).idx()].push((n, dest));
         }
+        let mut by_dest: Vec<Vec<SlotState<A>>> = vec![Vec::new(); self.shard_count()];
+        for (owner, group) in by_owner.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let slots: Vec<u32> = group.iter().map(|&(n, _)| n.0).collect();
+            let fetched = self.transport.fetch_slots(owner, &slots)?;
+            for (slot, pao, win) in fetched {
+                let dest = group
+                    .iter()
+                    .find(|&&(n, _)| n.0 == slot)
+                    .map(|&(_, d)| d)
+                    .expect("fetched slot is one we asked for");
+                by_dest[dest.idx()].push((slot, pao, win));
+            }
+        }
+        let nodes_copied = by_dest.iter().map(Vec::len).sum::<usize>();
+        for (dest, slots) in by_dest.into_iter().enumerate() {
+            if !slots.is_empty() {
+                self.transport.install_slots(dest, slots)?;
+            }
+        }
+        // Publish the new map locally (coordinator routing) and remotely
+        // (host routing + expiration-writer recompute) only after every
+        // destination holds the state.
+        let pairs: Vec<(u32, u32)> = moves.iter().map(|&(n, d)| (n.0, d.0)).collect();
+        for &(n, dest) in &moves {
+            partition.set(n.idx(), dest);
+        }
+        partition.publish();
+        self.transport.map_update(&pairs)?;
+        let slots_reclaimed = if self.policy.compact_after_orphans > 0
+            && self.transport.orphaned_slots()? >= self.policy.compact_after_orphans
+        {
+            let r = self.transport.compact_shards()?;
+            self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
+            r
+        } else {
+            0
+        };
+        drop(gate);
+        self.rebalances.fetch_add(1, Ordering::AcqRel);
+        self.nodes_migrated
+            .fetch_add(nodes_copied as u64, Ordering::AcqRel);
+        Ok(MigrationReport {
+            nodes_copied,
+            deltas_replayed: 0,
+            fence_epochs: 1,
+            copy_epochs: 0,
+            slots_reclaimed,
+            cut_before: 0.0,
+            cut_after: 0.0,
+            committed: true,
+        })
     }
 
     /// Committed rebalances so far.
@@ -1469,8 +1860,10 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// [`RebalancePolicy::compact_after_orphans`] accumulate, or manual
     /// via [`compact`](Self::compact) — reclaims them.
     pub fn orphaned_pao_slots(&self) -> u64 {
-        let core = self.core();
-        core.store().orphaned_slots()
+        match self.transport.kind() {
+            TransportKind::InProcess => self.core().store().orphaned_slots(),
+            TransportKind::Process => self.transport.orphaned_slots().unwrap_or(0),
+        }
     }
 
     /// Orphaned PAO slots reclaimed by compaction across the engine's
@@ -1486,13 +1879,15 @@ impl<A: Aggregate> ShardedEngine<A> {
     /// [`orphaned_pao_slots`](Self::orphaned_pao_slots) is 0 afterwards.
     /// Concurrent relaxed readers are safe throughout: they revalidate
     /// slot locations under the slab locks.
-    pub fn compact(&self) -> u64 {
+    pub fn compact(&self) -> Result<u64, TransportError> {
         let _gate = self.epoch_gate.write();
-        self.drain();
-        let core = self.core();
-        let r = core.store().compact();
+        self.drain()?;
+        let r = match self.transport.kind() {
+            TransportKind::InProcess => self.core().store().compact(),
+            TransportKind::Process => self.transport.compact_shards()?,
+        };
         self.slots_reclaimed.fetch_add(r, Ordering::AcqRel);
-        r
+        Ok(r)
     }
 
     /// The rebalance policy the engine runs under.
@@ -1501,11 +1896,16 @@ impl<A: Aggregate> ShardedEngine<A> {
     }
 
     /// Epoch barrier: block until every routed batch and all transitively
-    /// generated cross-shard deltas have been applied.
-    pub fn drain(&self) {
+    /// generated cross-shard deltas have been applied. A dead shard peer
+    /// (worker thread or host process) surfaces as
+    /// [`TransportError::Closed`] instead of an infinite spin — the
+    /// barrier polls [`ShardTransport::healthy`] while it waits.
+    pub fn drain(&self) -> Result<(), TransportError> {
         while self.pending.load(Ordering::Acquire) != 0 {
+            self.transport.healthy()?;
             std::thread::yield_now();
         }
+        Ok(())
     }
 
     /// Number of [`ingest`](Self::ingest) calls so far.
@@ -1542,19 +1942,11 @@ impl<A: Aggregate> ShardedEngine<A> {
             .collect()
     }
 
-    /// Drain, stop the workers, and join them.
-    pub fn shutdown(mut self) {
-        self.drain();
-        self.stop_workers();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-
-    fn stop_workers(&self) {
-        for tx in &self.txs {
-            let _ = tx.send(ShardMsg::Stop);
-        }
+    /// Drain (best effort — a dead peer can't be drained), stop every
+    /// shard peer, and wait for it to exit.
+    pub fn shutdown(self) {
+        let _ = self.drain();
+        self.transport.shutdown();
     }
 }
 
@@ -1596,7 +1988,7 @@ impl<'a, A: Aggregate> MigrationFlight<'a, A> {
         Self { eng }
     }
 
-    fn execute(&self, moves: Vec<(OverlayId, ShardId)>) -> MigrationReport {
+    fn execute(&self, moves: Vec<(OverlayId, ShardId)>) -> Result<MigrationReport, TransportError> {
         self.eng.execute_migration(moves)
     }
 }
@@ -1608,13 +2000,14 @@ impl<A: Aggregate> Drop for MigrationFlight<'_, A> {
 }
 
 impl<A: Aggregate> Drop for ShardedEngine<A> {
-    /// Workers hold each other's senders, so dropping the engine's own
-    /// senders alone would never disconnect the inboxes; send explicit
-    /// stops (without joining) so the threads exit.
+    /// In-process workers hold each other's senders, so dropping the
+    /// engine's own channel ends alone would never disconnect the inboxes
+    /// (and host processes would linger); send explicit stops (without
+    /// joining) so every peer exits. Idempotent after
+    /// [`shutdown`](Self::shutdown) — transports ignore stops to peers
+    /// that are already gone.
     fn drop(&mut self) {
-        if !self.handles.is_empty() {
-            self.stop_workers();
-        }
+        self.transport.stop();
     }
 }
 
@@ -1901,6 +2294,134 @@ impl<A: Aggregate> ShardWorker<A> {
     }
 }
 
+/// Collect every **push** PAO slot a pull-decided node transitively reads
+/// from — the slot set [`ShardedEngine::try_read`] must fetch from the
+/// owning shard hosts before evaluating the pull tree coordinator-side.
+/// Mirrors [`EngineCore::read_via`]'s recursion without evaluating.
+fn collect_pull_slots<A: Aggregate>(core: &ShardedCore<A>, n: OverlayId, out: &mut FastSet<u32>) {
+    for &(f, _) in core.overlay().inputs(n) {
+        if core.is_push(f) {
+            out.insert(f.0);
+        } else {
+            collect_pull_slots(core, f, out);
+        }
+    }
+}
+
+/// A [`PaoReader`] over PAOs fetched from shard hosts
+/// ([`ShardTransport::fetch_paos`]); slots outside the fetched set resolve
+/// to the aggregate's empty partial (they only arise for untouched inputs,
+/// whose slab state is also empty).
+struct FetchedPaos<P> {
+    paos: FastMap<u32, P>,
+    empty: P,
+}
+
+impl<P> PaoReader<P> for FetchedPaos<P> {
+    fn with_pao<R>(&self, idx: usize, f: impl FnOnce(&P) -> R) -> R {
+        f(self.paos.get(&(idx as u32)).unwrap_or(&self.empty))
+    }
+}
+
+/// The in-process [`ShardTransport`]: one owning worker thread per shard,
+/// crossbeam bounded channels in between — the pre-trait engine runtime,
+/// verbatim, behind the transport seam. All state-plane methods return
+/// [`TransportError::Unsupported`]; the engine reaches its shared store
+/// directly in this mode.
+struct InProcessTransport<A: Aggregate> {
+    txs: Vec<Sender<ShardMsg<A>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<A: Aggregate> InProcessTransport<A> {
+    /// Spawn one [`ShardWorker`] per shard over a fresh channel mesh.
+    /// Workers hold each other's senders (cross-shard delta forwarding),
+    /// so they never disconnect by dropping alone — `stop` sends explicit
+    /// [`ShardMsg::Stop`]s.
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        core: Arc<ShardedCore<A>>,
+        partition: Arc<LivePartition>,
+        mut writers_by_shard: Vec<Vec<OverlayId>>,
+        pending: Arc<AtomicU64>,
+        cross_out: Arc<Vec<AtomicU64>>,
+        local: Arc<Vec<AtomicU64>>,
+        reads: Arc<Vec<AtomicU64>>,
+        channel_capacity: usize,
+        side_log_bound: usize,
+    ) -> Self {
+        let shards = writers_by_shard.len();
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..shards)
+            .map(|_| bounded::<ShardMsg<A>>(channel_capacity))
+            .unzip();
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, rx) in rxs.into_iter().enumerate() {
+            let worker = ShardWorker {
+                core: Arc::clone(&core),
+                partition: Arc::clone(&partition),
+                shard: ShardId(shard as u32),
+                writers: std::mem::take(&mut writers_by_shard[shard]),
+                rx,
+                txs: txs.clone(),
+                pending: Arc::clone(&pending),
+                cross_out: Arc::clone(&cross_out),
+                local: Arc::clone(&local),
+                reads: Arc::clone(&reads),
+                side: None,
+                side_log_bound,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("eagr-shard-{shard}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker thread"),
+            );
+        }
+        Self {
+            txs,
+            handles: Mutex::named(handles, "inproc_handles"),
+        }
+    }
+}
+
+impl<A: Aggregate> ShardTransport<A> for InProcessTransport<A> {
+    fn kind(&self) -> TransportKind {
+        TransportKind::InProcess
+    }
+
+    fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send(&self, shard: usize, msg: ShardMsg<A>) -> Result<(), TransportError> {
+        self.txs[shard]
+            .send(msg)
+            .map_err(|_| TransportError::Closed {
+                shard: Some(shard),
+                detail: "shard worker exited".to_string(),
+            })
+    }
+
+    fn healthy(&self) -> Result<(), TransportError> {
+        // Workers only exit on Stop; a full inbox is backpressure, not
+        // death. Nothing to probe.
+        Ok(())
+    }
+
+    fn stop(&self) {
+        for tx in &self.txs {
+            let _ = tx.send(ShardMsg::Stop);
+        }
+    }
+
+    fn shutdown(&self) {
+        self.stop();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1922,12 +2443,11 @@ mod tests {
             ov,
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy::default(),
-            },
+            &ShardedConfig::builder()
+                .shards(shards)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .build(),
         )
     }
 
@@ -1952,7 +2472,7 @@ mod tests {
                 });
             }
         }
-        eng.ingest_epoch(&EventBatch::new(0, events));
+        eng.ingest_epoch(&EventBatch::new(0, events)).unwrap();
         let want = [19, 10, 30, 30, 23, 30, 30];
         for (v, &w) in want.iter().enumerate() {
             assert_eq!(eng.read(NodeId(v as u32)), Some(w), "reader {v}");
@@ -1980,10 +2500,10 @@ mod tests {
                     reference.write(node, value, ts + i as u64);
                 }
             }
-            eng.ingest(&EventBatch::new(ts, events));
+            eng.ingest(&EventBatch::new(ts, events)).unwrap();
             ts += 50;
         }
-        eng.drain();
+        eng.drain().unwrap();
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "reader {v}");
         }
@@ -2001,7 +2521,7 @@ mod tests {
                 value: 1,
             })
             .collect();
-        eng.ingest_epoch(&EventBatch::new(0, events));
+        eng.ingest_epoch(&EventBatch::new(0, events)).unwrap();
         assert!(eng.cross_shard_deltas() > 0, "expected cross-shard traffic");
         eng.shutdown();
     }
@@ -2009,9 +2529,9 @@ mod tests {
     #[test]
     fn single_shard_degenerates_to_local_execution() {
         let eng = sharded(1);
-        eng.submit_write(NodeId(2), 6, 0);
-        eng.submit_write(NodeId(2), 9, 1);
-        eng.drain();
+        eng.submit_write(NodeId(2), 6, 0).unwrap();
+        eng.submit_write(NodeId(2), 9, 1).unwrap();
+        eng.drain().unwrap();
         assert_eq!(eng.read(NodeId(0)), Some(9));
         assert_eq!(eng.cross_shard_deltas(), 0);
         eng.shutdown();
@@ -2020,8 +2540,8 @@ mod tests {
     #[test]
     fn drop_without_shutdown_stops_workers() {
         let eng = sharded(2);
-        eng.submit_write(NodeId(2), 6, 0);
-        eng.drain();
+        eng.submit_write(NodeId(2), 6, 0).unwrap();
+        eng.drain().unwrap();
         drop(eng); // must not hang or leak a deadlocked worker
     }
 
@@ -2033,12 +2553,11 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards: 3,
-                strategy: PartitionStrategy::EdgeCut,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy::default(),
-            },
+            &ShardedConfig::builder()
+                .shards(3)
+                .strategy(PartitionStrategy::EdgeCut)
+                .channel_capacity(64)
+                .build(),
         );
         assert_eq!(eng.partition().strategy, PartitionStrategy::EdgeCut);
         assert_eq!(eng.partition().len(), ov.node_count());
@@ -2048,9 +2567,9 @@ mod tests {
             .enumerate()
         {
             reference.write(NodeId(node), value, ts as u64);
-            eng.submit_write(NodeId(node), value, ts as u64);
+            eng.submit_write(NodeId(node), value, ts as u64).unwrap();
         }
-        eng.drain();
+        eng.drain().unwrap();
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "reader {v}");
         }
@@ -2065,29 +2584,28 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Time(10),
-            &ShardedConfig {
-                shards: 4,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy::default(),
-            },
+            &ShardedConfig::builder()
+                .shards(4)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .build(),
         );
         let reference = EngineCore::new(Sum, ov, &d, WindowSpec::Time(10));
         for (node, value, ts) in [(2u32, 5i64, 0u64), (3, 7, 5)] {
-            eng.submit_write(NodeId(node), value, ts);
+            eng.submit_write(NodeId(node), value, ts).unwrap();
             reference.write(NodeId(node), value, ts);
         }
-        eng.drain();
+        eng.drain().unwrap();
         assert_eq!(eng.read(NodeId(0)), Some(12));
         // t = 11: the t=0 write expires everywhere, including across shards.
-        let applied = eng.advance_time_epoch(11);
+        let applied = eng.advance_time_epoch(11).unwrap();
         reference.advance_time(11);
         assert!(applied > 0, "expiration must apply PAO updates");
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "reader {v}");
         }
         // Advancing past everything empties the windows identically.
-        eng.advance_time_epoch(1000);
+        eng.advance_time_epoch(1000).unwrap();
         reference.advance_time(1000);
         assert_eq!(eng.read(NodeId(0)), Some(0));
         assert_eq!(eng.read(NodeId(0)), reference.read(NodeId(0)));
@@ -2103,7 +2621,7 @@ mod tests {
                 value: 1,
             })
             .collect();
-        eng.ingest_epoch(&EventBatch::new(0, events));
+        eng.ingest_epoch(&EventBatch::new(0, events)).unwrap();
         let stats = eng.shard_stats();
         assert_eq!(stats.len(), 4);
         let nodes: usize = stats.iter().map(|s| s.nodes).sum();
@@ -2127,13 +2645,13 @@ mod tests {
                 value: 2 * n as i64 + 1,
             })
             .collect();
-        eng.ingest_epoch(&EventBatch::new(0, events));
+        eng.ingest_epoch(&EventBatch::new(0, events)).unwrap();
         let nodes: Vec<NodeId> = (0..7u32).map(NodeId).collect();
-        let batch = eng.read_batch(&nodes);
+        let batch = eng.read_batch(&nodes).unwrap();
         assert_eq!(batch.len(), 7);
         for (i, &v) in nodes.iter().enumerate() {
             assert_eq!(batch[i], eng.read(v), "node {v:?}");
-            assert_eq!(eng.read_service(v), eng.read(v), "node {v:?}");
+            assert_eq!(eng.read_service(v).unwrap(), eng.read(v), "node {v:?}");
         }
         // Every answered request was served by a shard worker.
         assert!(eng.reads_served() > 0);
@@ -2152,8 +2670,8 @@ mod tests {
             })
             .collect();
         // No explicit drain: read_batch must settle the epoch itself.
-        eng.ingest(&EventBatch::new(0, events));
-        let answers = eng.read_batch(&[NodeId(0)]);
+        eng.ingest(&EventBatch::new(0, events)).unwrap();
+        let answers = eng.read_batch(&[NodeId(0)]).unwrap();
         assert_eq!(answers, vec![Some(40)]); // a sums {c, d, e, f}, 10 each
         eng.shutdown();
     }
@@ -2161,7 +2679,7 @@ mod tests {
     #[test]
     fn read_batch_reports_none_for_nodes_without_reader() {
         let eng = sharded(2);
-        let answers = eng.read_batch(&[NodeId(1000), NodeId(0)]);
+        let answers = eng.read_batch(&[NodeId(1000), NodeId(0)]).unwrap();
         assert_eq!(answers[0], None);
         assert_eq!(answers[1], Some(0));
         eng.shutdown();
@@ -2178,7 +2696,7 @@ mod tests {
             });
             events.push(Event::Read { node: NodeId(n) });
         }
-        let (w, r) = eng.ingest_epoch(&EventBatch::new(0, events));
+        let (w, r) = eng.ingest_epoch(&EventBatch::new(0, events)).unwrap();
         assert_eq!((w, r), (7, 7));
         // Every read event was evaluated by its owning worker, not the
         // caller thread.
@@ -2198,16 +2716,16 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards: 4,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(4)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .rebalance(RebalancePolicy {
                     min_cut_gain: 0.0,
                     max_move_fraction: 1.0,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
         let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
         let mut rng = SplitMix64::new(7);
@@ -2223,9 +2741,9 @@ mod tests {
                 reference.write(node, value, ts as u64);
             }
         }
-        eng.ingest_epoch(&EventBatch::new(0, events));
+        eng.ingest_epoch(&EventBatch::new(0, events)).unwrap();
         let before = eng.partition();
-        let outcome = eng.rebalance();
+        let outcome = eng.rebalance().unwrap();
         assert_eq!(outcome.committed, outcome.nodes_copied > 0);
         if outcome.committed {
             assert!(outcome.cut_after < outcome.cut_before);
@@ -2243,14 +2761,18 @@ mod tests {
         }
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
-            assert_eq!(eng.read_service(NodeId(v)), reference.read(NodeId(v)));
+            assert_eq!(
+                eng.read_service(NodeId(v)).unwrap(),
+                reference.read(NodeId(v))
+            );
         }
         // Post-migration writes are applied by the new owners.
         for (ts, (node, value)) in [(2u32, 6i64), (4, 8), (5, 1)].into_iter().enumerate() {
-            eng.submit_write(NodeId(node), value, 1000 + ts as u64);
+            eng.submit_write(NodeId(node), value, 1000 + ts as u64)
+                .unwrap();
             reference.write(NodeId(node), value, 1000 + ts as u64);
         }
-        eng.drain();
+        eng.drain().unwrap();
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v} post");
         }
@@ -2265,21 +2787,21 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards: 2,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(2)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .rebalance(RebalancePolicy {
                     // An impossible bar: nothing may commit.
                     min_cut_gain: 2.0,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
-        eng.submit_write(NodeId(2), 6, 0);
-        eng.drain();
+        eng.submit_write(NodeId(2), 6, 0).unwrap();
+        eng.drain().unwrap();
         let before = eng.partition();
-        let outcome = eng.rebalance();
+        let outcome = eng.rebalance().unwrap();
         assert!(!outcome.committed);
         assert_eq!(outcome.nodes_copied, 0);
         // An uncommitted rebalance never takes the exclusive gate at all.
@@ -2302,16 +2824,16 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards: 4,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(4)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .rebalance(RebalancePolicy {
                     min_cut_gain: 0.0,
                     max_move_fraction: 1.0,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
         let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
         let mut rng = SplitMix64::new(11);
@@ -2327,11 +2849,11 @@ mod tests {
                 reference.write(node, value, ts as u64);
             }
         }
-        eng.ingest_epoch(&EventBatch::new(0, events));
-        let report = eng.rebalance();
+        eng.ingest_epoch(&EventBatch::new(0, events)).unwrap();
+        let report = eng.rebalance().unwrap();
         assert!(report.committed, "forced policy must commit on a hash map");
         assert!(eng.orphaned_pao_slots() > 0);
-        let reclaimed = eng.compact();
+        let reclaimed = eng.compact().unwrap();
         assert_eq!(reclaimed, report.nodes_copied as u64);
         assert_eq!(
             eng.orphaned_pao_slots(),
@@ -2342,13 +2864,17 @@ mod tests {
         // Answers and post-compaction writes are unaffected.
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
-            assert_eq!(eng.read_service(NodeId(v)), reference.read(NodeId(v)));
+            assert_eq!(
+                eng.read_service(NodeId(v)).unwrap(),
+                reference.read(NodeId(v))
+            );
         }
         for (ts, (node, value)) in [(2u32, 6i64), (4, 8), (5, 1)].into_iter().enumerate() {
-            eng.submit_write(NodeId(node), value, 1000 + ts as u64);
+            eng.submit_write(NodeId(node), value, 1000 + ts as u64)
+                .unwrap();
             reference.write(NodeId(node), value, 1000 + ts as u64);
         }
-        eng.drain();
+        eng.drain().unwrap();
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v} post");
         }
@@ -2363,24 +2889,24 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards: 4,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(4)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .rebalance(RebalancePolicy {
                     min_cut_gain: 0.0,
                     max_move_fraction: 1.0,
                     // Any orphan triggers compaction inside the fence.
                     compact_after_orphans: 1,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
         for n in 0..7u32 {
-            eng.submit_write(NodeId(n), n as i64 + 1, n as u64);
+            eng.submit_write(NodeId(n), n as i64 + 1, n as u64).unwrap();
         }
-        eng.drain();
-        let report = eng.rebalance();
+        eng.drain().unwrap();
+        let report = eng.rebalance().unwrap();
         assert!(report.committed);
         assert_eq!(report.slots_reclaimed, report.nodes_copied as u64);
         assert_eq!(eng.orphaned_pao_slots(), 0);
@@ -2394,26 +2920,27 @@ mod tests {
         let eng = sharded(3);
         let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
         for n in 0..7u32 {
-            eng.submit_write(NodeId(n), 3 * n as i64 + 2, n as u64);
+            eng.submit_write(NodeId(n), 3 * n as i64 + 2, n as u64)
+                .unwrap();
             reference.write(NodeId(n), 3 * n as i64 + 2, n as u64);
         }
-        eng.drain();
+        eng.drain().unwrap();
         let original = eng.partition();
         // Rotate every node to the next shard.
         let mut rotated = original.clone();
         for s in rotated.of.iter_mut() {
             *s = ShardId((s.0 + 1) % 3);
         }
-        let there = eng.migrate_to(&rotated);
+        let there = eng.migrate_to(&rotated).unwrap();
         assert!(there.committed);
         assert_eq!(there.nodes_copied, original.len());
         assert_eq!(there.fence_epochs, 1);
         assert_eq!(eng.partition(), rotated);
-        let back = eng.migrate_to(&original);
+        let back = eng.migrate_to(&original).unwrap();
         assert!(back.committed);
         assert_eq!(eng.partition(), original);
         // Same target again: nothing to move, nothing fenced.
-        let noop = eng.migrate_to(&original);
+        let noop = eng.migrate_to(&original).unwrap();
         assert!(!noop.committed);
         assert_eq!(noop.fence_epochs, 0);
         // State survived the round trip, including new writes.
@@ -2421,10 +2948,11 @@ mod tests {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
         }
         for n in 0..7u32 {
-            eng.submit_write(NodeId(n), 100 + n as i64, 1000 + n as u64);
+            eng.submit_write(NodeId(n), 100 + n as i64, 1000 + n as u64)
+                .unwrap();
             reference.write(NodeId(n), 100 + n as i64, 1000 + n as u64);
         }
-        eng.drain();
+        eng.drain().unwrap();
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v} post");
         }
@@ -2438,26 +2966,27 @@ mod tests {
         // coalesce (single-flight CAS) rather than stack a second fence.
         let eng = sharded(3);
         for n in 0..7u32 {
-            eng.submit_write(NodeId(n), n as i64, n as u64);
+            eng.submit_write(NodeId(n), n as i64, n as u64).unwrap();
         }
-        eng.drain();
+        eng.drain().unwrap();
         let a = eng.partition();
         let mut b = a.clone();
         for s in b.of.iter_mut() {
             *s = ShardId((s.0 + 1) % 3);
         }
         let stop = AtomicBool::new(false);
+        // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 while !stop.load(Ordering::Acquire) {
-                    eng.migrate_to(&b);
-                    eng.migrate_to(&a);
+                    let _ = eng.migrate_to(&b);
+                    let _ = eng.migrate_to(&a);
                 }
             });
             let mut attempts = 0u64;
             while eng.coalesced_rebalances() == 0 && attempts < 100_000 {
                 if eng.migration_in_flight() {
-                    let r = eng.rebalance();
+                    let r = eng.rebalance().unwrap();
                     if !r.committed && r.fence_epochs == 0 {
                         attempts += 1;
                     }
@@ -2481,17 +3010,17 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards: 3,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(3)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .rebalance(RebalancePolicy {
                     every_epochs: 2,
                     min_cut_gain: 0.0,
                     max_move_fraction: 1.0,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
         let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
         let mut ts = 0u64;
@@ -2507,7 +3036,7 @@ mod tests {
                     reference.write(node, value, ts + i as u64);
                 }
             }
-            eng.ingest_epoch(&EventBatch::new(ts, events));
+            eng.ingest_epoch(&EventBatch::new(ts, events)).unwrap();
             ts += 7;
         }
         // 6 epochs at every_epochs=2 ⇒ 3 trigger points; at least the
@@ -2530,32 +3059,32 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Time(10),
-            &ShardedConfig {
-                shards: 4,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(4)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .rebalance(RebalancePolicy {
                     min_cut_gain: 0.0,
                     max_move_fraction: 1.0,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
         let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Time(10));
         for (node, value, ts) in [(2u32, 5i64, 0u64), (3, 7, 5), (4, 2, 6)] {
-            eng.submit_write(NodeId(node), value, ts);
+            eng.submit_write(NodeId(node), value, ts).unwrap();
             reference.write(NodeId(node), value, ts);
         }
-        eng.drain();
-        let outcome = eng.rebalance();
+        eng.drain().unwrap();
+        let outcome = eng.rebalance().unwrap();
         assert!(outcome.committed, "forced policy must commit on a hash map");
         // t = 12: the t=0 write expires — via the new owners' inboxes.
-        eng.advance_time_epoch(12);
+        eng.advance_time_epoch(12).unwrap();
         reference.advance_time(12);
         for v in 0..7u32 {
             assert_eq!(eng.read(NodeId(v)), reference.read(NodeId(v)), "{v}");
         }
-        eng.advance_time_epoch(1000);
+        eng.advance_time_epoch(1000).unwrap();
         reference.advance_time(1000);
         assert_eq!(eng.read(NodeId(0)), reference.read(NodeId(0)));
         eng.shutdown();
@@ -2574,12 +3103,11 @@ mod tests {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards: 4,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy::default(),
-            },
+            &ShardedConfig::builder()
+                .shards(4)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .build(),
         );
         let reference = EngineCore::new(Sum, ov, &d, WindowSpec::Tuple(1));
         for (ts, (node, value)) in [(2u32, 6i64), (3, 8), (4, 5), (5, 3), (6, 9)]
@@ -2587,10 +3115,10 @@ mod tests {
             .enumerate()
         {
             reference.write(NodeId(node), value, ts as u64);
-            eng.submit_write(NodeId(node), value, ts as u64);
+            eng.submit_write(NodeId(node), value, ts as u64).unwrap();
         }
         let nodes: Vec<NodeId> = (0..7u32).map(NodeId).collect();
-        let got = eng.read_batch(&nodes);
+        let got = eng.read_batch(&nodes).unwrap();
         for (i, &v) in nodes.iter().enumerate() {
             assert_eq!(got[i], reference.read(v), "pull reader {v:?}");
         }
@@ -2622,7 +3150,7 @@ mod tests {
                 value: (n + 1) as i64,
             })
             .collect();
-        eng.ingest_epoch(&EventBatch::new(0, events));
+        eng.ingest_epoch(&EventBatch::new(0, events)).unwrap();
         let before: Vec<Option<i64>> = (0..7u32).map(|v| eng.read(NodeId(v))).collect();
 
         // Repair the overlay in place: a fresh writer for data node 7
@@ -2641,13 +3169,15 @@ mod tests {
         dirty.insert(r0); // the repair rewired its input list
         let delta = topo_plan_delta(&ov2, &d, &[w, r], &dirty);
 
-        let report = eng.apply_topo(
-            Sum,
-            Arc::new(ov2),
-            &delta.decisions,
-            &[],
-            &delta.materialize,
-        );
+        let report = eng
+            .apply_topo(
+                Sum,
+                Arc::new(ov2),
+                &delta.decisions,
+                &[],
+                &delta.materialize,
+            )
+            .unwrap();
         assert_eq!(report.fresh_nodes, 2);
         assert_eq!(report.retired_nodes, 1);
         assert!(report.rematerialized >= 2, "fresh w/r and rewired r0");
@@ -2676,10 +3206,11 @@ mod tests {
                 node: NodeId(7),
                 value: 40,
             }],
-        ));
+        ))
+        .unwrap();
         assert_eq!(eng.read(NodeId(8)), Some(40));
         assert_eq!(eng.read(NodeId(0)), before[0].map(|x| x + 40));
-        let reclaimed = eng.compact();
+        let reclaimed = eng.compact().unwrap();
         assert_eq!(reclaimed, 1, "the tombstoned slot is reclaimable");
         assert_eq!(eng.read(NodeId(8)), Some(40), "answers survive compaction");
         eng.shutdown();
@@ -2712,7 +3243,7 @@ mod tests {
                     writes.push((node, value, ts + i as u64));
                 }
             }
-            eng.ingest(&EventBatch::new(ts, events));
+            eng.ingest(&EventBatch::new(ts, events)).unwrap();
             ts += 40;
             // Grow: fresh writer + reader over it, wired into one existing
             // reader's net as well.
@@ -2732,9 +3263,10 @@ mod tests {
                 &delta.decisions,
                 &[],
                 &delta.materialize,
-            );
+            )
+            .unwrap();
         }
-        eng.drain();
+        eng.drain().unwrap();
         let reference = EngineCore::new(
             Sum,
             Arc::new(overlay.clone()),

@@ -1,0 +1,702 @@
+//! The length-prefixed wire protocol spoken between the sharded
+//! coordinator and `eagr-shard-host` processes.
+//!
+//! Every frame is a `u32` little-endian length prefix followed by that many
+//! payload bytes ([`eagr_util::wire::write_frame`] /
+//! [`eagr_util::wire::read_frame`]), and every payload starts with a one-byte
+//! message tag. Aggregate-typed values (`A::Partial`, `A::Output`) are
+//! encoded through the aggregate's [`WireHooks`] function table, so the
+//! protocol is generic over any aggregate that implements
+//! [`eagr_agg::Aggregate::wire_hooks`].
+//!
+//! [`WireMsg`] is the coordinator→host direction: it is the byte-stream
+//! image of [`crate::sharded::ShardMsg`] (reply channels become `req_id`
+//! correlation tokens) plus the state-plane requests that have no
+//! in-process message equivalent (slot fetch/install, counter collection,
+//! plan swaps). [`HostMsg`] is the host→coordinator direction: forwarded
+//! cross-shard deltas, per-message `Applied` acknowledgements carrying
+//! counter deltas, and `req_id`-correlated replies.
+//!
+//! ## Ordering contract
+//!
+//! A host processes frames strictly in order and, for every *counted*
+//! message (`Writes`, `Deltas`, `Reads`, `Expire`), writes any
+//! [`HostMsg::Fwd`] frames **before** the closing [`HostMsg::Applied`].
+//! Because each socket is FIFO, the coordinator's pump re-increments the
+//! engine's `pending` counter for every forwarded batch before it sees the
+//! decrement for the message that produced it — which is exactly the
+//! invariant the in-process workers maintain with their outbox flush, and
+//! what makes `pending == 0` mean "quiescent" in both transports.
+
+use crate::core::EngineState;
+use eagr_agg::{Aggregate, DeltaOp, WindowBuffer, WindowSpec, WireHooks};
+use eagr_flow::Decisions;
+use eagr_graph::NodeId;
+use eagr_overlay::{Overlay, OverlayId};
+use eagr_util::wire::{Wire, WireError};
+
+/// A shard host's launch / swap plan: the overlay, the push/pull
+/// decisions, and the full node→shard map.
+#[derive(Clone, Debug)]
+pub struct WirePlan {
+    /// The aggregation overlay shared by every shard.
+    pub overlay: Overlay,
+    /// Push/pull decision per overlay id.
+    pub decisions: Decisions,
+    /// Node→shard map (`map[slot] == owning shard`).
+    pub map: Vec<u32>,
+}
+
+impl Wire for WirePlan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.overlay.encode(out);
+        self.decisions.encode(out);
+        self.map.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(WirePlan {
+            overlay: Overlay::decode(buf)?,
+            decisions: Decisions::decode(buf)?,
+            map: Vec::<u32>::decode(buf)?,
+        })
+    }
+}
+
+/// The first frame the coordinator sends on a fresh host socket. It is
+/// deliberately aggregate-independent: the host reads it, dispatches on
+/// [`InitHeader::aggregate`] to a monomorphic worker loop, and only then
+/// decodes aggregate-typed frames.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitHeader {
+    /// This host's shard index.
+    pub shard: u32,
+    /// Total shard count.
+    pub shards: u32,
+    /// Aggregate name ([`WireHooks::name`]) selecting the host's
+    /// monomorphic loop.
+    pub aggregate: String,
+    /// Window semantics, fixed for the engine's lifetime.
+    pub window: WindowSpec,
+}
+
+impl Wire for InitHeader {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.shard.encode(out);
+        self.shards.encode(out);
+        self.aggregate.encode(out);
+        self.window.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(InitHeader {
+            shard: u32::decode(buf)?,
+            shards: u32::decode(buf)?,
+            aggregate: String::decode(buf)?,
+            window: WindowSpec::decode(buf)?,
+        })
+    }
+}
+
+/// One migratable slot: `(overlay slot, PAO partial, window buffer if the
+/// slot is a writer)`. Mirrors [`crate::transport::SlotState`].
+pub type WireSlot<A> = (u32, <A as Aggregate>::Partial, Option<WindowBuffer>);
+
+/// Coordinator→host frames.
+///
+/// `Writes`/`Deltas`/`Reads`/`Expire` are the data plane (each is
+/// acknowledged by one [`HostMsg::Applied`]); the remaining variants are
+/// synchronous state-plane requests correlated by `req_id`.
+pub enum WireMsg<A: Aggregate> {
+    /// Raw writer updates `(writer slot, value, timestamp)` owned by this
+    /// shard.
+    Writes(Vec<(OverlayId, i64, u64)>),
+    /// Cross-shard deltas relayed from another shard.
+    Deltas(Vec<(OverlayId, DeltaOp)>),
+    /// Evaluate reads for the listed `(batch position, node)` targets.
+    /// `want_reply` selects between a [`HostMsg::ReadReplies`] answer and
+    /// fire-and-forget evaluation (read-servicing throughput accounting).
+    Reads {
+        /// Correlation token (0 when `want_reply` is false).
+        req_id: u64,
+        /// `(position in the caller's batch, node to read)`.
+        targets: Vec<(u64, NodeId)>,
+        /// Whether the host must send the answers back.
+        want_reply: bool,
+    },
+    /// Expire window entries older than the timestamp on every writer this
+    /// shard owns.
+    Expire(u64),
+    /// Fetch PAO partial clones for the listed slots.
+    FetchPaos {
+        /// Correlation token.
+        req_id: u64,
+        /// Overlay slot indices to fetch.
+        slots: Vec<u32>,
+    },
+    /// Fetch full migratable state (PAO + window) for the listed slots.
+    FetchSlots {
+        /// Correlation token.
+        req_id: u64,
+        /// Overlay slot indices to fetch.
+        slots: Vec<u32>,
+    },
+    /// Install migrated slots into this shard's slab.
+    InstallSlots {
+        /// Correlation token.
+        req_id: u64,
+        /// The slots to adopt.
+        slots: Vec<WireSlot<A>>,
+    },
+    /// Point updates to the node→shard map (`(slot, new shard)`).
+    MapSet {
+        /// Correlation token.
+        req_id: u64,
+        /// Map updates.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Export this shard's owned engine state (topology-epoch resync).
+    FetchState {
+        /// Correlation token.
+        req_id: u64,
+    },
+    /// Report observed push/pull counters.
+    Counts {
+        /// Correlation token.
+        req_id: u64,
+    },
+    /// Decay observed counters by `factor`.
+    Decay {
+        /// Correlation token.
+        req_id: u64,
+        /// Multiplicative decay factor.
+        factor: f64,
+    },
+    /// Compact this shard's slabs.
+    Compact {
+        /// Correlation token.
+        req_id: u64,
+    },
+    /// Count orphaned slab slots.
+    Orphans {
+        /// Correlation token.
+        req_id: u64,
+    },
+    /// Swap in a new topology plan plus the state slice this shard owns
+    /// under it.
+    Swap {
+        /// Correlation token.
+        req_id: u64,
+        /// The new overlay/decisions/map. Boxed (with `state`) so the rare
+        /// topology swap doesn't inflate every data-plane message.
+        plan: Box<WirePlan>,
+        /// Carried state for owned slots (others `None`).
+        state: Box<EngineState<A::Partial>>,
+    },
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// Host→coordinator frames.
+pub enum HostMsg<A: Aggregate> {
+    /// Handshake acknowledgement: the plan decoded and the engine core is
+    /// built.
+    Ready,
+    /// Cross-shard deltas for the coordinator to relay to `dest`. Always
+    /// written *before* the [`HostMsg::Applied`] of the message that
+    /// produced them.
+    Fwd {
+        /// Destination shard.
+        dest: u32,
+        /// The signed delta batch.
+        deltas: Vec<(OverlayId, DeltaOp)>,
+    },
+    /// One counted message finished; carries this message's counter
+    /// deltas so the coordinator's per-shard stats stay exact.
+    Applied {
+        /// Local PAO applications performed.
+        local: u64,
+        /// Cross-shard deltas emitted (batches' element total).
+        cross: u64,
+        /// Reads served.
+        reads: u64,
+    },
+    /// Answers for a [`WireMsg::Reads`] request.
+    ReadReplies {
+        /// Correlation token.
+        req_id: u64,
+        /// `(batch position, answer)` pairs.
+        answers: Vec<(u64, Option<A::Output>)>,
+    },
+    /// Reply to [`WireMsg::FetchPaos`].
+    Paos {
+        /// Correlation token.
+        req_id: u64,
+        /// `(slot, partial)` clones.
+        paos: Vec<(u32, A::Partial)>,
+    },
+    /// Reply to [`WireMsg::FetchSlots`].
+    Slots {
+        /// Correlation token.
+        req_id: u64,
+        /// Full slot state.
+        slots: Vec<WireSlot<A>>,
+    },
+    /// Reply to [`WireMsg::FetchState`].
+    State {
+        /// Correlation token.
+        req_id: u64,
+        /// Owned-slot engine state.
+        state: EngineState<A::Partial>,
+    },
+    /// Reply to [`WireMsg::Counts`].
+    CountsReply {
+        /// Correlation token.
+        req_id: u64,
+        /// Observed push counters (full overlay length).
+        pushed: Vec<u64>,
+        /// Observed pull counters (full overlay length).
+        pulled: Vec<u64>,
+    },
+    /// Reply to [`WireMsg::Compact`] / [`WireMsg::Orphans`]: a single
+    /// numeric result.
+    Num {
+        /// Correlation token.
+        req_id: u64,
+        /// Slots reclaimed / orphaned-slot count.
+        value: u64,
+    },
+    /// Generic success acknowledgement (install, map-set, decay, swap).
+    Ok {
+        /// Correlation token.
+        req_id: u64,
+    },
+}
+
+fn encode_state<A: Aggregate>(
+    state: &EngineState<A::Partial>,
+    hooks: &WireHooks<A>,
+    out: &mut Vec<u8>,
+) {
+    state.windows.encode(out);
+    state.paos.len().encode(out);
+    for pao in &state.paos {
+        match pao {
+            Some(p) => {
+                out.push(1);
+                (hooks.enc_partial)(p, out);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+fn decode_state<A: Aggregate>(
+    buf: &mut &[u8],
+    hooks: &WireHooks<A>,
+) -> Result<EngineState<A::Partial>, WireError> {
+    let windows = Vec::<Option<WindowBuffer>>::decode(buf)?;
+    let n = usize::decode(buf)?;
+    let mut paos = Vec::with_capacity(n.min(buf.len()));
+    for _ in 0..n {
+        paos.push(match u8::decode(buf)? {
+            0 => None,
+            1 => Some((hooks.dec_partial)(buf)?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "EngineState pao option",
+                    tag,
+                })
+            }
+        });
+    }
+    Ok(EngineState { windows, paos })
+}
+
+fn encode_wire_slots<A: Aggregate>(slots: &[WireSlot<A>], hooks: &WireHooks<A>, out: &mut Vec<u8>) {
+    slots.len().encode(out);
+    for (slot, pao, window) in slots {
+        slot.encode(out);
+        (hooks.enc_partial)(pao, out);
+        window.encode(out);
+    }
+}
+
+fn decode_wire_slots<A: Aggregate>(
+    buf: &mut &[u8],
+    hooks: &WireHooks<A>,
+) -> Result<Vec<WireSlot<A>>, WireError> {
+    let n = usize::decode(buf)?;
+    let mut slots = Vec::with_capacity(n.min(buf.len()));
+    for _ in 0..n {
+        slots.push((
+            u32::decode(buf)?,
+            (hooks.dec_partial)(buf)?,
+            Option::<WindowBuffer>::decode(buf)?,
+        ));
+    }
+    Ok(slots)
+}
+
+impl<A: Aggregate> WireMsg<A> {
+    /// Encode into `out` (appends; does not include the frame length
+    /// prefix).
+    pub fn encode(&self, hooks: &WireHooks<A>, out: &mut Vec<u8>) {
+        match self {
+            WireMsg::Writes(group) => {
+                out.push(0);
+                group.encode(out);
+            }
+            WireMsg::Deltas(group) => {
+                out.push(1);
+                group.encode(out);
+            }
+            WireMsg::Reads {
+                req_id,
+                targets,
+                want_reply,
+            } => {
+                out.push(2);
+                req_id.encode(out);
+                targets.encode(out);
+                want_reply.encode(out);
+            }
+            WireMsg::Expire(ts) => {
+                out.push(3);
+                ts.encode(out);
+            }
+            WireMsg::FetchPaos { req_id, slots } => {
+                out.push(4);
+                req_id.encode(out);
+                slots.encode(out);
+            }
+            WireMsg::FetchSlots { req_id, slots } => {
+                out.push(5);
+                req_id.encode(out);
+                slots.encode(out);
+            }
+            WireMsg::InstallSlots { req_id, slots } => {
+                out.push(6);
+                req_id.encode(out);
+                encode_wire_slots(slots, hooks, out);
+            }
+            WireMsg::MapSet { req_id, pairs } => {
+                out.push(7);
+                req_id.encode(out);
+                pairs.encode(out);
+            }
+            WireMsg::FetchState { req_id } => {
+                out.push(8);
+                req_id.encode(out);
+            }
+            WireMsg::Counts { req_id } => {
+                out.push(9);
+                req_id.encode(out);
+            }
+            WireMsg::Decay { req_id, factor } => {
+                out.push(10);
+                req_id.encode(out);
+                factor.encode(out);
+            }
+            WireMsg::Compact { req_id } => {
+                out.push(11);
+                req_id.encode(out);
+            }
+            WireMsg::Orphans { req_id } => {
+                out.push(12);
+                req_id.encode(out);
+            }
+            WireMsg::Swap {
+                req_id,
+                plan,
+                state,
+            } => {
+                out.push(13);
+                req_id.encode(out);
+                plan.encode(out);
+                encode_state(state, hooks, out);
+            }
+            WireMsg::Stop => out.push(14),
+        }
+    }
+
+    /// Decode one message from `buf`, consuming it fully.
+    pub fn decode(buf: &mut &[u8], hooks: &WireHooks<A>) -> Result<Self, WireError> {
+        let msg = match u8::decode(buf)? {
+            0 => WireMsg::Writes(Wire::decode(buf)?),
+            1 => WireMsg::Deltas(Wire::decode(buf)?),
+            2 => WireMsg::Reads {
+                req_id: u64::decode(buf)?,
+                targets: Wire::decode(buf)?,
+                want_reply: bool::decode(buf)?,
+            },
+            3 => WireMsg::Expire(u64::decode(buf)?),
+            4 => WireMsg::FetchPaos {
+                req_id: u64::decode(buf)?,
+                slots: Wire::decode(buf)?,
+            },
+            5 => WireMsg::FetchSlots {
+                req_id: u64::decode(buf)?,
+                slots: Wire::decode(buf)?,
+            },
+            6 => WireMsg::InstallSlots {
+                req_id: u64::decode(buf)?,
+                slots: decode_wire_slots(buf, hooks)?,
+            },
+            7 => WireMsg::MapSet {
+                req_id: u64::decode(buf)?,
+                pairs: Wire::decode(buf)?,
+            },
+            8 => WireMsg::FetchState {
+                req_id: u64::decode(buf)?,
+            },
+            9 => WireMsg::Counts {
+                req_id: u64::decode(buf)?,
+            },
+            10 => WireMsg::Decay {
+                req_id: u64::decode(buf)?,
+                factor: f64::decode(buf)?,
+            },
+            11 => WireMsg::Compact {
+                req_id: u64::decode(buf)?,
+            },
+            12 => WireMsg::Orphans {
+                req_id: u64::decode(buf)?,
+            },
+            13 => WireMsg::Swap {
+                req_id: u64::decode(buf)?,
+                plan: Box::new(WirePlan::decode(buf)?),
+                state: Box::new(decode_state(buf, hooks)?),
+            },
+            14 => WireMsg::Stop,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "WireMsg",
+                    tag,
+                })
+            }
+        };
+        Ok(msg)
+    }
+}
+
+impl<A: Aggregate> HostMsg<A> {
+    /// Encode into `out` (appends; does not include the frame length
+    /// prefix).
+    pub fn encode(&self, hooks: &WireHooks<A>, out: &mut Vec<u8>) {
+        match self {
+            HostMsg::Ready => out.push(0),
+            HostMsg::Fwd { dest, deltas } => {
+                out.push(1);
+                dest.encode(out);
+                deltas.encode(out);
+            }
+            HostMsg::Applied {
+                local,
+                cross,
+                reads,
+            } => {
+                out.push(2);
+                local.encode(out);
+                cross.encode(out);
+                reads.encode(out);
+            }
+            HostMsg::ReadReplies { req_id, answers } => {
+                out.push(3);
+                req_id.encode(out);
+                answers.len().encode(out);
+                for (pos, ans) in answers {
+                    pos.encode(out);
+                    match ans {
+                        Some(v) => {
+                            out.push(1);
+                            (hooks.enc_output)(v, out);
+                        }
+                        None => out.push(0),
+                    }
+                }
+            }
+            HostMsg::Paos { req_id, paos } => {
+                out.push(4);
+                req_id.encode(out);
+                paos.len().encode(out);
+                for (slot, pao) in paos {
+                    slot.encode(out);
+                    (hooks.enc_partial)(pao, out);
+                }
+            }
+            HostMsg::Slots { req_id, slots } => {
+                out.push(5);
+                req_id.encode(out);
+                encode_wire_slots(slots, hooks, out);
+            }
+            HostMsg::State { req_id, state } => {
+                out.push(6);
+                req_id.encode(out);
+                encode_state(state, hooks, out);
+            }
+            HostMsg::CountsReply {
+                req_id,
+                pushed,
+                pulled,
+            } => {
+                out.push(7);
+                req_id.encode(out);
+                pushed.encode(out);
+                pulled.encode(out);
+            }
+            HostMsg::Num { req_id, value } => {
+                out.push(8);
+                req_id.encode(out);
+                value.encode(out);
+            }
+            HostMsg::Ok { req_id } => {
+                out.push(9);
+                req_id.encode(out);
+            }
+        }
+    }
+
+    /// Decode one message from `buf`, consuming it fully.
+    pub fn decode(buf: &mut &[u8], hooks: &WireHooks<A>) -> Result<Self, WireError> {
+        let msg = match u8::decode(buf)? {
+            0 => HostMsg::Ready,
+            1 => HostMsg::Fwd {
+                dest: u32::decode(buf)?,
+                deltas: Wire::decode(buf)?,
+            },
+            2 => HostMsg::Applied {
+                local: u64::decode(buf)?,
+                cross: u64::decode(buf)?,
+                reads: u64::decode(buf)?,
+            },
+            3 => {
+                let req_id = u64::decode(buf)?;
+                let n = usize::decode(buf)?;
+                let mut answers = Vec::with_capacity(n.min(buf.len()));
+                for _ in 0..n {
+                    let pos = u64::decode(buf)?;
+                    let ans = match u8::decode(buf)? {
+                        0 => None,
+                        1 => Some((hooks.dec_output)(buf)?),
+                        tag => {
+                            return Err(WireError::BadTag {
+                                what: "ReadReplies option",
+                                tag,
+                            })
+                        }
+                    };
+                    answers.push((pos, ans));
+                }
+                HostMsg::ReadReplies { req_id, answers }
+            }
+            4 => {
+                let req_id = u64::decode(buf)?;
+                let n = usize::decode(buf)?;
+                let mut paos = Vec::with_capacity(n.min(buf.len()));
+                for _ in 0..n {
+                    paos.push((u32::decode(buf)?, (hooks.dec_partial)(buf)?));
+                }
+                HostMsg::Paos { req_id, paos }
+            }
+            5 => HostMsg::Slots {
+                req_id: u64::decode(buf)?,
+                slots: decode_wire_slots(buf, hooks)?,
+            },
+            6 => HostMsg::State {
+                req_id: u64::decode(buf)?,
+                state: decode_state(buf, hooks)?,
+            },
+            7 => HostMsg::CountsReply {
+                req_id: u64::decode(buf)?,
+                pushed: Wire::decode(buf)?,
+                pulled: Wire::decode(buf)?,
+            },
+            8 => HostMsg::Num {
+                req_id: u64::decode(buf)?,
+                value: u64::decode(buf)?,
+            },
+            9 => HostMsg::Ok {
+                req_id: u64::decode(buf)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "HostMsg",
+                    tag,
+                })
+            }
+        };
+        Ok(msg)
+    }
+
+    /// The `req_id` correlation token, when this message is a reply.
+    pub fn req_id(&self) -> Option<u64> {
+        match self {
+            HostMsg::ReadReplies { req_id, .. }
+            | HostMsg::Paos { req_id, .. }
+            | HostMsg::Slots { req_id, .. }
+            | HostMsg::State { req_id, .. }
+            | HostMsg::CountsReply { req_id, .. }
+            | HostMsg::Num { req_id, .. }
+            | HostMsg::Ok { req_id } => Some(*req_id),
+            _ => None,
+        }
+    }
+
+    /// The variant name, for protocol-violation diagnostics (the payload
+    /// types carry no `Debug` bound).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            HostMsg::Ready => "Ready",
+            HostMsg::Fwd { .. } => "Fwd",
+            HostMsg::Applied { .. } => "Applied",
+            HostMsg::ReadReplies { .. } => "ReadReplies",
+            HostMsg::Paos { .. } => "Paos",
+            HostMsg::Slots { .. } => "Slots",
+            HostMsg::State { .. } => "State",
+            HostMsg::CountsReply { .. } => "CountsReply",
+            HostMsg::Num { .. } => "Num",
+            HostMsg::Ok { .. } => "Ok",
+        }
+    }
+}
+
+/// Encode `msg` to a fresh payload buffer.
+pub fn wire_msg_bytes<A: Aggregate>(msg: &WireMsg<A>, hooks: &WireHooks<A>) -> Vec<u8> {
+    let mut out = Vec::new();
+    msg.encode(hooks, &mut out);
+    out
+}
+
+/// Encode `msg` to a fresh payload buffer.
+pub fn host_msg_bytes<A: Aggregate>(msg: &HostMsg<A>, hooks: &WireHooks<A>) -> Vec<u8> {
+    let mut out = Vec::new();
+    msg.encode(hooks, &mut out);
+    out
+}
+
+/// Decode a full payload buffer as a [`WireMsg`], rejecting trailing bytes.
+pub fn wire_msg_from<A: Aggregate>(
+    payload: &[u8],
+    hooks: &WireHooks<A>,
+) -> Result<WireMsg<A>, WireError> {
+    let mut buf = payload;
+    let msg = WireMsg::decode(&mut buf, hooks)?;
+    if buf.is_empty() {
+        Ok(msg)
+    } else {
+        Err(WireError::TrailingBytes(buf.len()))
+    }
+}
+
+/// Decode a full payload buffer as a [`HostMsg`], rejecting trailing bytes.
+pub fn host_msg_from<A: Aggregate>(
+    payload: &[u8],
+    hooks: &WireHooks<A>,
+) -> Result<HostMsg<A>, WireError> {
+    let mut buf = payload;
+    let msg = HostMsg::decode(&mut buf, hooks)?;
+    if buf.is_empty() {
+        Ok(msg)
+    } else {
+        Err(WireError::TrailingBytes(buf.len()))
+    }
+}

@@ -20,6 +20,7 @@ pub mod greedy;
 pub mod maxflow;
 pub mod plan;
 pub mod split;
+pub mod wire;
 
 pub use adaptive::{adapt_frontier, frontier, FrontierSide};
 pub use attach::{extend_decisions, topo_plan_delta, TopoDelta};

@@ -1,0 +1,50 @@
+//! [`Wire`] codecs for dataflow decisions. Shard hosts receive the
+//! coordinator's [`Decisions`] in their launch plan (and on topology swaps)
+//! so push/pull routing agrees byte-for-byte across processes.
+
+use crate::decide::{Decision, Decisions};
+use eagr_util::wire::{Wire, WireError};
+
+impl Wire for Decision {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Decision::Push => 0,
+            Decision::Pull => 1,
+        });
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Decision::Push),
+            1 => Ok(Decision::Pull),
+            tag => Err(WireError::BadTag {
+                what: "Decision",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Decisions {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.of.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Decisions {
+            of: Wire::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_round_trip() {
+        let d = Decisions {
+            of: vec![Decision::Push, Decision::Pull, Decision::Push],
+        };
+        let back = Decisions::from_wire(&d.to_wire()).unwrap();
+        assert_eq!(back.of, d.of);
+    }
+}

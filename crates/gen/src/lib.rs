@@ -15,6 +15,7 @@
 pub mod batch;
 pub mod graphs;
 pub mod trace;
+pub mod wire;
 pub mod workload;
 
 pub use batch::{batch_events, EventBatch};

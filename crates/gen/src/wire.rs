@@ -1,0 +1,96 @@
+//! [`Wire`] codec for workload [`Event`]s — the codec-friendly event shape
+//! used when an event stream crosses a process boundary (e.g. driving a
+//! shard host fleet from a generator process, or replaying a captured
+//! stream against the socket transport in the differential tests).
+
+use crate::workload::Event;
+use eagr_graph::NodeId;
+use eagr_util::wire::{Wire, WireError};
+
+impl Wire for Event {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Event::Write { node, value } => {
+                out.push(0);
+                node.encode(out);
+                value.encode(out);
+            }
+            Event::Read { node } => {
+                out.push(1);
+                node.encode(out);
+            }
+            Event::AddEdge { from, to } => {
+                out.push(2);
+                from.encode(out);
+                to.encode(out);
+            }
+            Event::RemoveEdge { from, to } => {
+                out.push(3);
+                from.encode(out);
+                to.encode(out);
+            }
+            Event::AddNode { node } => {
+                out.push(4);
+                node.encode(out);
+            }
+            Event::RemoveNode { node } => {
+                out.push(5);
+                node.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Event::Write {
+                node: NodeId::decode(buf)?,
+                value: i64::decode(buf)?,
+            }),
+            1 => Ok(Event::Read {
+                node: NodeId::decode(buf)?,
+            }),
+            2 => Ok(Event::AddEdge {
+                from: NodeId::decode(buf)?,
+                to: NodeId::decode(buf)?,
+            }),
+            3 => Ok(Event::RemoveEdge {
+                from: NodeId::decode(buf)?,
+                to: NodeId::decode(buf)?,
+            }),
+            4 => Ok(Event::AddNode {
+                node: NodeId::decode(buf)?,
+            }),
+            5 => Ok(Event::RemoveNode {
+                node: NodeId::decode(buf)?,
+            }),
+            tag => Err(WireError::BadTag { what: "Event", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip() {
+        let events = [
+            Event::Write {
+                node: NodeId(3),
+                value: -9,
+            },
+            Event::Read { node: NodeId(0) },
+            Event::AddEdge {
+                from: NodeId(1),
+                to: NodeId(2),
+            },
+            Event::RemoveEdge {
+                from: NodeId(2),
+                to: NodeId(1),
+            },
+            Event::AddNode { node: NodeId(7) },
+            Event::RemoveNode { node: NodeId(7) },
+        ];
+        let stream: Vec<Event> = events.to_vec();
+        assert_eq!(Vec::<Event>::from_wire(&stream.to_wire()).unwrap(), stream);
+    }
+}

@@ -20,6 +20,7 @@ pub mod csr;
 pub mod data_graph;
 pub mod neighborhood;
 pub mod partition;
+pub mod wire;
 
 pub use bipartite::BipartiteGraph;
 pub use csr::CsrSnapshot;

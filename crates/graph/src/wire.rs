@@ -1,0 +1,90 @@
+//! [`Wire`] codecs for the graph-layer types that cross process boundaries:
+//! node/shard ids, partition strategies, and materialized partitions. The
+//! shard-host launch plan ships a full [`Partition`] so every host routes
+//! cross-shard deltas with the same map the coordinator holds.
+
+use crate::data_graph::NodeId;
+use crate::partition::{Partition, PartitionStrategy, ShardId};
+use eagr_util::wire::{Wire, WireError};
+
+impl Wire for NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(NodeId(u32::decode(buf)?))
+    }
+}
+
+impl Wire for ShardId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ShardId(u32::decode(buf)?))
+    }
+}
+
+impl Wire for PartitionStrategy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PartitionStrategy::Hash => out.push(0),
+            PartitionStrategy::Chunk { chunk_size } => {
+                out.push(1);
+                chunk_size.encode(out);
+            }
+            PartitionStrategy::EdgeCut => out.push(2),
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(PartitionStrategy::Hash),
+            1 => Ok(PartitionStrategy::Chunk {
+                chunk_size: usize::decode(buf)?,
+            }),
+            2 => Ok(PartitionStrategy::EdgeCut),
+            tag => Err(WireError::BadTag {
+                what: "PartitionStrategy",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Partition {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.of.encode(out);
+        self.shards.encode(out);
+        self.strategy.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Partition {
+            of: Vec::<ShardId>::decode(buf)?,
+            shards: usize::decode(buf)?,
+            strategy: PartitionStrategy::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_round_trips() {
+        let p = Partition {
+            of: vec![ShardId(0), ShardId(2), ShardId(1)],
+            shards: 3,
+            strategy: PartitionStrategy::Chunk { chunk_size: 64 },
+        };
+        assert_eq!(Partition::from_wire(&p.to_wire()).unwrap(), p);
+        for s in [
+            PartitionStrategy::Hash,
+            PartitionStrategy::EdgeCut,
+            PartitionStrategy::Chunk { chunk_size: 7 },
+        ] {
+            assert_eq!(PartitionStrategy::from_wire(&s.to_wire()).unwrap(), s);
+        }
+        assert_eq!(NodeId::from_wire(&NodeId(9).to_wire()).unwrap(), NodeId(9));
+    }
+}

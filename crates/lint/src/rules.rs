@@ -6,7 +6,7 @@
 //! | id                    | invariant                                                        |
 //! |-----------------------|------------------------------------------------------------------|
 //! | `lock-order`          | R1: nested named-lock acquisitions respect [`LOCK_ORDER`]        |
-//! | `channel-discipline`  | R2: shard-worker paths only `try_send` cross-shard               |
+//! | `channel-discipline`  | R2: shard-worker and transport paths only `try_send` (writer queues exempt) |
 //! | `panic-free`          | R3: no `unwrap`/`expect`/`panic!`/`unreachable!` in worker loops or `thread::scope` bodies |
 //! | `protocol-exhaustive` | R4: no `_ =>` wildcard arms on `ShardMsg`/`Event` matches        |
 //! | `atomic-policy`       | R5: named atomics use the ordering [`ATOMIC_POLICY`] declares    |
@@ -98,6 +98,19 @@ pub const ATOMIC_POLICY: &[(&str, &str, &[&str])] = &[
     // facade id/counter sources
     ("next_query", "fetch_add", &["Relaxed"]),
     ("ops", "fetch_add", &["Relaxed"]),
+    // process-transport liveness: first fatal error wins the swap; every
+    // engine call revalidates through `check()` before touching the wire
+    ("dead", "swap", &["AcqRel"]),
+    ("dead", "load", &["Acquire"]),
+    // cooperative transport shutdown flag (pumps treat EOF as clean only
+    // after they observe it)
+    ("stopping", "store", &["Release"]),
+    ("stopping", "load", &["Acquire"]),
+    // state-plane request-id source: uniqueness only, replies correlate
+    // through the mutex-guarded reply tables
+    ("next_req", "fetch_add", &["Relaxed"]),
+    // socket-path uniquifier: pure id source
+    ("SOCKET_COUNTER", "fetch_add", &["Relaxed"]),
 ];
 
 const ATOMIC_METHODS: &[&str] = &[
@@ -127,6 +140,21 @@ fn lock_name_of(recv: &str) -> Option<&'static str> {
 /// Protocol enums whose matches R4 requires to stay exhaustive.
 const PROTOCOL_ENUMS: &[&str] = &["ShardMsg", "Event"];
 
+/// R2's coverage beyond `ShardWorker`: transport-side regions where a
+/// blocking send could close the relay cycle (engine → host → coordinator
+/// pump → host). Impl blocks are matched by self-type name, the pump
+/// thread's body by function name.
+const TRANSPORT_IMPLS: &[&str] = &["ProcessTransport"];
+const TRANSPORT_FNS: &[&str] = &["pump_loop", "writer_loop"];
+
+/// Receivers transport code may `.send` on freely: the per-host writer
+/// queues (`outs`) are unbounded by construction, so a sender never blocks
+/// on a slow peer's socket — the property that makes the coordinator relay
+/// deadlock-free. Everything else (rendezvous reply channels included)
+/// needs `try_send` or an annotated reason it cannot participate in a
+/// cycle.
+const TRANSPORT_UNBOUNDED: &[&str] = &["outs"];
+
 mod regions {
     use super::{TokKind, Token};
 
@@ -141,6 +169,9 @@ mod regions {
         pub body_open_line: u32,
         /// True when the enclosing `impl` is for `ShardWorker`.
         pub in_shard_worker: bool,
+        /// True when the function is transport-side relay/pump code (see
+        /// [`super::TRANSPORT_IMPLS`] / [`super::TRANSPORT_FNS`]).
+        pub in_transport: bool,
     }
 
     /// A `scope(...)` call's argument list (token indices of its `(`/`)`).
@@ -253,15 +284,25 @@ mod regions {
             }
             let Some(open) = open else { continue };
             let close = matching(tokens, open, "{", "}");
+            let fn_name = tokens
+                .get(i + 1)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .unwrap_or("");
             let in_shard_worker = impls
                 .iter()
                 .any(|&(o, c, ref name)| o < open && close <= c && name == "ShardWorker");
+            let in_transport = super::TRANSPORT_FNS.contains(&fn_name)
+                || impls.iter().any(|&(o, c, ref name)| {
+                    o < open && close <= c && super::TRANSPORT_IMPLS.contains(&name.as_str())
+                });
             out.push(FnRegion {
                 open,
                 close,
                 sig_line: tokens[i].line,
                 body_open_line: tokens[open].line,
                 in_shard_worker,
+                in_transport,
             });
         }
         out
@@ -353,13 +394,23 @@ pub fn check(lexed: &Lexed, anns: &[Anchored], ann_errors: &[(u32, String)]) -> 
             .collect();
         rule_lock_order(tokens, f, &holds, &mut cands);
         if f.in_shard_worker {
-            rule_channel_discipline(tokens, f.open, f.close, &mut cands);
+            rule_channel_discipline(tokens, f.open, f.close, &[], "shard-worker", &mut cands);
             rule_panic_free(
                 tokens,
                 f.open,
                 f.close,
                 "shard-worker loop",
                 None,
+                &mut cands,
+            );
+        }
+        if f.in_transport && !f.in_shard_worker {
+            rule_channel_discipline(
+                tokens,
+                f.open,
+                f.close,
+                TRANSPORT_UNBOUNDED,
+                "transport",
                 &mut cands,
             );
         }
@@ -537,11 +588,16 @@ fn rule_lock_order(
 
 /// R2: inside shard-worker functions, a bare `.send(` is the deadlock the
 /// bounded-channel protocol exists to prevent — cross-shard traffic must
-/// go through `try_send` with inbox service on `Full`.
+/// go through `try_send` with inbox service on `Full`. The same check
+/// covers transport relay/pump code ([`TRANSPORT_IMPLS`]/
+/// [`TRANSPORT_FNS`]), where `sanctioned` exempts the unbounded writer
+/// queues ([`TRANSPORT_UNBOUNDED`]) that make the relay deadlock-free.
 fn rule_channel_discipline(
     tokens: &[Token],
     open: usize,
     close: usize,
+    sanctioned: &[&str],
+    region: &str,
     cands: &mut Vec<Candidate>,
 ) {
     for i in open..close.saturating_sub(1) {
@@ -550,14 +606,18 @@ fn rule_channel_discipline(
             && i + 2 < close
             && tokens[i + 2].is_punct("(")
         {
+            if i > 0 && receiver_ident(tokens, i - 1).is_some_and(|r| sanctioned.contains(&r)) {
+                continue;
+            }
             cands.push(Candidate {
                 diag: Diagnostic {
                     rule: "channel-discipline",
                     line: tokens[i + 1].line,
-                    message: "blocking `.send` on a shard-worker code path — use `try_send` \
-                              and service the inbox on `Full`, or annotate why this channel \
-                              cannot participate in a cycle"
-                        .into(),
+                    message: format!(
+                        "blocking `.send` on a {region} code path — use `try_send` (servicing \
+                         the inbox on `Full`), route payloads through an unbounded writer \
+                         queue, or annotate why this channel cannot participate in a cycle"
+                    ),
                 },
                 alt_anchor: None,
             });

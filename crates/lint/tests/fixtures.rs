@@ -108,6 +108,36 @@ fn r2_try_send_annotated_and_non_worker_pass() {
     expect_clean("impl Engine {\n    fn run(&self) {\n        self.txs[0].send(msg);\n    }\n}\n");
 }
 
+#[test]
+fn r2_transport_regions_are_covered() {
+    // A bare send on a non-sanctioned channel inside a ProcessTransport
+    // impl is a relay-cycle hazard.
+    expect_one(
+        "impl<A: Aggregate> ProcessTransport<A> {\n    fn relay(&self) {\n        tx.send(reply);\n    }\n}\n",
+        "channel-discipline",
+        3,
+    );
+    // So is one inside the pump thread's free function.
+    expect_one(
+        "fn pump_loop(shard: usize) {\n    tx.send(reply);\n}\n",
+        "channel-discipline",
+        2,
+    );
+}
+
+#[test]
+fn r2_transport_writer_queue_and_annotated_pass() {
+    // The unbounded writer queues are the sanctioned non-blocking path.
+    expect_clean(
+        "impl<A: Aggregate> ProcessTransport<A> {\n    fn enqueue(&self) {\n        self.shared.outs[shard].send(payload);\n    }\n}\n",
+    );
+    expect_clean("fn pump_loop(shard: usize) {\n    shared.outs[dest].send(payload);\n}\n");
+    // Rendezvous replies carry an annotation explaining the acyclicity.
+    expect_clean(
+        "fn pump_loop(shard: usize) {\n    // lint: allow(channel-discipline, fixture rendezvous reply cannot cycle)\n    tx.send(reply);\n}\n",
+    );
+}
+
 // ---------------------------------------------------------------- R3
 
 #[test]
@@ -200,6 +230,25 @@ fn r5_declared_ordering_unnamed_atomic_and_annotated_pass() {
     expect_clean(
         "fn f(&self) {\n    // lint: allow(atomic-policy, fixture — suppression must work for R5 too)\n    self.pending.fetch_add(1, Ordering::Relaxed);\n}\n",
     );
+}
+
+#[test]
+fn r5_transport_atomics_are_in_the_policy() {
+    // The transport liveness/shutdown words publish with Release/Acquire.
+    expect_one(
+        "fn f(&self) {\n    self.dead.swap(true, Ordering::Relaxed);\n}\n",
+        "atomic-policy",
+        2,
+    );
+    expect_one(
+        "fn f(&self) {\n    shared.stopping.store(true, Ordering::Relaxed);\n}\n",
+        "atomic-policy",
+        2,
+    );
+    expect_clean("fn f(&self) {\n    self.dead.swap(true, Ordering::AcqRel);\n}\n");
+    expect_clean("fn f(&self) {\n    shared.stopping.load(Ordering::Acquire);\n}\n");
+    // Pure id sources stay Relaxed.
+    expect_clean("fn f(&self) {\n    self.shared.next_req.fetch_add(1, Ordering::Relaxed);\n}\n");
 }
 
 // ---------------------------------------------------------------- R-SAFETY

@@ -401,6 +401,78 @@ impl Overlay {
     }
 }
 
+// --- wire codecs -----------------------------------------------------------
+//
+// The multi-process shard transport ships the whole overlay to each shard
+// host at launch (and again on a topology swap), so hosts route cascades
+// with exactly the coordinator's structure. The impls live here because the
+// fields are private — the encoding *is* the struct, field for field.
+
+use eagr_util::wire::{Wire, WireError};
+
+impl Wire for OverlayId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(OverlayId(u32::decode(buf)?))
+    }
+}
+
+impl Wire for OverlayKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OverlayKind::Writer(n) => {
+                out.push(0);
+                n.encode(out);
+            }
+            OverlayKind::Reader(n) => {
+                out.push(1);
+                n.encode(out);
+            }
+            OverlayKind::Partial => out.push(2),
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(OverlayKind::Writer(NodeId::decode(buf)?)),
+            1 => Ok(OverlayKind::Reader(NodeId::decode(buf)?)),
+            2 => Ok(OverlayKind::Partial),
+            tag => Err(WireError::BadTag {
+                what: "OverlayKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for Overlay {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kinds.encode(out);
+        self.inputs.encode(out);
+        self.outputs.encode(out);
+        self.writer_ids.encode(out);
+        self.reader_ids.encode(out);
+        self.coverage.encode(out);
+        self.ag_edge_count.encode(out);
+        self.edge_count.encode(out);
+        self.dead.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Overlay {
+            kinds: Wire::decode(buf)?,
+            inputs: Wire::decode(buf)?,
+            outputs: Wire::decode(buf)?,
+            writer_ids: Wire::decode(buf)?,
+            reader_ids: Wire::decode(buf)?,
+            coverage: Wire::decode(buf)?,
+            ag_edge_count: Wire::decode(buf)?,
+            edge_count: Wire::decode(buf)?,
+            dead: Wire::decode(buf)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

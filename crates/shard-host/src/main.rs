@@ -1,0 +1,19 @@
+//! `eagr-shard-host` — one OS process owning one shard of the sharded
+//! EAGr engine.
+//!
+//! Spawned by the coordinator (a [`eagr_exec::ShardedEngine`] built with
+//! [`eagr_exec::TransportKind::Process`]) with the coordinator's
+//! Unix-socket path as the only argument; all further configuration
+//! arrives over the socket during the handshake. Not intended to be run
+//! by hand.
+
+#[cfg(unix)]
+fn main() {
+    std::process::exit(eagr_exec::transport::host::host_main());
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("eagr-shard-host requires Unix-domain sockets");
+    std::process::exit(2);
+}

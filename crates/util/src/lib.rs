@@ -11,16 +11,20 @@
 //! * [`zipf`] — a Zipfian sampler (read/write activity in the paper is
 //!   modeled as Zipfian, §5.1),
 //! * [`stats`] — online statistics and percentile summaries used by the
-//!   execution engine's latency/throughput instrumentation.
+//!   execution engine's latency/throughput instrumentation,
+//! * [`wire`] — the std-only length-prefixed binary codec the multi-process
+//!   shard transport speaks (no serde anywhere in the workspace).
 
 #![forbid(unsafe_code)]
 
 pub mod hash;
 pub mod rng;
 pub mod stats;
+pub mod wire;
 pub mod zipf;
 
 pub use hash::{FastHasher, FastMap, FastSet};
 pub use rng::SplitMix64;
 pub use stats::{percentile, LatencySummary, OnlineStats};
+pub use wire::{read_frame, write_frame, Wire, WireError};
 pub use zipf::Zipf;

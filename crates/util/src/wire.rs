@@ -1,0 +1,370 @@
+//! `Wire` — a tiny, std-only, length-prefixed binary codec.
+//!
+//! The multi-process sharded runtime (exec's `ShardTransport`) ships shard
+//! protocol messages across Unix sockets. Nothing in the workspace may pull
+//! serde, so this module defines the minimal self-describing-free encoding
+//! every wire-crossing type implements by hand:
+//!
+//! - fixed-width little-endian integers (`u8`/`u32`/`u64`/`i64`/`f64`),
+//! - `usize` encoded as `u64` (checked on decode),
+//! - `bool` as one byte (`0`/`1`, anything else is a decode error),
+//! - `String` / `Vec<T>` / `BTreeMap<K, V>` as a `u64` length followed by
+//!   elements,
+//! - `Option<T>` as a presence byte followed by the payload,
+//! - tuples as their fields in order.
+//!
+//! Frames on a stream are `u32` little-endian payload length followed by the
+//! payload bytes ([`write_frame`] / [`read_frame`]). Decoding is strict:
+//! trailing bytes, truncated input, or out-of-range tags all produce a
+//! [`WireError`] instead of a panic, so a corrupt or hostile peer can never
+//! poison the coordinator process.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+/// Hard cap on a single frame (64 MiB). A length prefix beyond this is
+/// treated as stream corruption rather than an allocation request.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Decode-side failure: truncated input, bad tag, or a value out of range
+/// for the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A decoded value was out of range (e.g. a `u64` length that does not
+    /// fit `usize`, or a frame beyond [`MAX_FRAME_LEN`]).
+    OutOfRange(&'static str),
+    /// A payload decoded cleanly but left trailing bytes.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire: truncated input"),
+            WireError::BadTag { what, tag } => write!(f, "wire: bad tag {tag} for {what}"),
+            WireError::OutOfRange(what) => write!(f, "wire: value out of range for {what}"),
+            WireError::TrailingBytes(n) => write!(f, "wire: {n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A type that can encode itself to bytes and decode itself back.
+///
+/// `decode` consumes from the front of `buf`, advancing the slice; composite
+/// types chain field decodes. The round-trip law — `decode(encode(x)) == x`
+/// with the whole buffer consumed — is property-tested in
+/// `crates/exec/tests/wire_roundtrip.rs`.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one value from the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode from a complete buffer, rejecting trailing bytes.
+    fn from_wire(mut buf: &[u8]) -> Result<Self, WireError> {
+        let v = Self::decode(&mut buf)?;
+        if buf.is_empty() {
+            Ok(v)
+        } else {
+            Err(WireError::TrailingBytes(buf.len()))
+        }
+    }
+}
+
+/// Split `n` bytes off the front of `buf`.
+pub fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+macro_rules! fixed_int {
+    ($ty:ty, $n:expr) => {
+        impl Wire for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                let b = take(buf, $n)?;
+                let mut arr = [0u8; $n];
+                arr.copy_from_slice(b);
+                Ok(<$ty>::from_le_bytes(arr))
+            }
+        }
+    };
+}
+
+fixed_int!(u8, 1);
+fixed_int!(u16, 2);
+fixed_int!(u32, 4);
+fixed_int!(u64, 8);
+fixed_int!(i64, 8);
+
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::decode(buf)?))
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        usize::try_from(u64::decode(buf)?).map_err(|_| WireError::OutOfRange("usize"))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = usize::decode(buf)?;
+        let b = take(buf, n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::OutOfRange("utf-8 string"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = usize::decode(buf)?;
+        // A hostile length must not drive allocation: cap the pre-reserve by
+        // what the remaining buffer could possibly hold (1 byte/element min).
+        let mut v = Vec::with_capacity(n.min(buf.len()));
+        for _ in 0..n {
+            v.push(T::decode(buf)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(WireError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<K, V> Wire for crate::hash::FastMap<K, V>
+where
+    K: Wire + Ord + Eq + std::hash::Hash + Clone,
+    V: Wire + Clone,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Hash maps iterate in arbitrary order; sort by key so equal maps
+        // encode to equal bytes (the round-trip proptest relies on this).
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries.len().encode(out);
+        for (k, v) in entries {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = usize::decode(buf)?;
+        let mut m = Self::default();
+        for _ in 0..n {
+            let k = K::decode(buf)?;
+            let v = V::decode(buf)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let n = usize::decode(buf)?;
+        let mut m = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode(buf)?;
+            let v = V::decode(buf)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+macro_rules! tuple_wire {
+    ($($name:ident),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.encode(out);)+
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                Ok(($($name::decode(buf)?,)+))
+            }
+        }
+    };
+}
+
+tuple_wire!(A, B);
+tuple_wire!(A, B, C);
+tuple_wire!(A, B, C, D);
+
+/// Write one length-prefixed frame (`u32` LE payload length, then payload).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "frame exceeds u32 length")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on clean EOF (no bytes
+/// of a next frame read), an error on mid-frame EOF or an oversized length.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_wire();
+        assert_eq!(T::from_wire(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        rt(0u8);
+        rt(255u8);
+        rt(0xdead_beefu32);
+        rt(u64::MAX);
+        rt(i64::MIN);
+        rt(-1.5f64);
+        rt(usize::MAX);
+        rt(true);
+        rt(false);
+        rt(String::from("héllo"));
+        rt(vec![1u32, 2, 3]);
+        rt(Option::<u64>::None);
+        rt(Some(7i64));
+        rt((1u32, -2i64, String::from("x")));
+        rt(BTreeMap::from([(1i64, 2i64), (-3, 4)]));
+    }
+
+    #[test]
+    fn strictness() {
+        assert_eq!(u32::from_wire(&[1, 2]), Err(WireError::Truncated));
+        assert_eq!(
+            bool::from_wire(&[9]),
+            Err(WireError::BadTag {
+                what: "bool",
+                tag: 9
+            })
+        );
+        assert_eq!(u8::from_wire(&[1, 2]), Err(WireError::TrailingBytes(1)));
+        // Hostile length: claims 2^60 elements with an empty tail.
+        let mut evil = Vec::new();
+        (1u64 << 60).encode(&mut evil);
+        assert_eq!(Vec::<u8>::from_wire(&evil), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abc").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        let mut r = &stream[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"abc"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+}

@@ -248,12 +248,11 @@ proptest! {
                 Arc::clone(ov),
                 d,
                 WindowSpec::Tuple(1),
-                &ShardedConfig {
-                    shards,
-                    strategy,
-                    channel_capacity: 64,
-                    rebalance: RebalancePolicy::default(),
-                },
+                &ShardedConfig::builder()
+                    .shards(shards)
+                    .strategy(strategy)
+                    .channel_capacity(64)
+                    .build(),
             );
             let stream: Vec<Event> = events
                 .iter()
@@ -265,9 +264,9 @@ proptest! {
                 }
             }
             for batch in batch_events(&stream, batch_size, 0) {
-                sharded.ingest(&batch);
+                sharded.ingest(&batch).unwrap();
             }
-            sharded.drain();
+            sharded.drain().unwrap();
             for n in 0..30u32 {
                 assert_eq!(
                     sharded.read(NodeId(n)),
@@ -279,7 +278,7 @@ proptest! {
             // whole batch is evaluated by the owning workers (push
             // finalizes and pull trees alike), never the caller thread.
             let nodes: Vec<NodeId> = (0..30u32).map(NodeId).collect();
-            let served = sharded.read_batch(&nodes);
+            let served = sharded.read_batch(&nodes).unwrap();
             for (i, &v) in nodes.iter().enumerate() {
                 assert_eq!(
                     served[i],
@@ -335,16 +334,16 @@ proptest! {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(shards)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .rebalance(RebalancePolicy {
                     min_cut_gain: 0.0,
                     max_move_fraction: 1.0,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
         let stream: Vec<Event> = events
             .iter()
@@ -356,13 +355,13 @@ proptest! {
             }
         }
         for (i, batch) in batch_events(&stream, batch_size, 0).iter().enumerate() {
-            sharded.ingest_epoch(batch);
+            sharded.ingest_epoch(batch).unwrap();
             if i % rebalance_every == rebalance_every - 1 {
-                sharded.rebalance();
+                sharded.rebalance().unwrap();
             }
         }
         let nodes: Vec<NodeId> = (0..30u32).map(NodeId).collect();
-        let served = sharded.read_batch(&nodes);
+        let served = sharded.read_batch(&nodes).unwrap();
         for (i, &v) in nodes.iter().enumerate() {
             prop_assert_eq!(
                 sharded.read(v),
@@ -406,17 +405,17 @@ proptest! {
             Arc::clone(&ov),
             &d,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards,
-                strategy: PartitionStrategy::Hash,
-                channel_capacity: 64,
-                rebalance: RebalancePolicy {
+            &ShardedConfig::builder()
+                .shards(shards)
+                .strategy(PartitionStrategy::Hash)
+                .channel_capacity(64)
+                .rebalance(RebalancePolicy {
                     min_cut_gain: 0.0,
                     max_move_fraction: 1.0,
                     compact_after_orphans: 1,
                     ..RebalancePolicy::default()
-                },
-            },
+                })
+                .build(),
         );
         let stream: Vec<Event> = events
             .iter()
@@ -433,22 +432,23 @@ proptest! {
             s.0 = (s.0 + 1) % shards as u32;
         }
         let done = std::sync::atomic::AtomicBool::new(false);
+        // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 for batch in batch_events(&stream, batch_size, 0) {
-                    sharded.ingest_epoch(&batch);
+                    sharded.ingest_epoch(&batch).unwrap();
                 }
                 done.store(true, std::sync::atomic::Ordering::Release);
             });
             while !done.load(std::sync::atomic::Ordering::Acquire) {
-                sharded.migrate_to(&b);
-                sharded.migrate_to(&a);
-                sharded.rebalance();
+                sharded.migrate_to(&b).unwrap();
+                sharded.migrate_to(&a).unwrap();
+                sharded.rebalance().unwrap();
             }
         });
-        sharded.drain();
+        sharded.drain().unwrap();
         let nodes: Vec<NodeId> = (0..30u32).map(NodeId).collect();
-        let served = sharded.read_batch(&nodes);
+        let served = sharded.read_batch(&nodes).unwrap();
         for (i, &v) in nodes.iter().enumerate() {
             prop_assert_eq!(
                 sharded.read(v),
@@ -465,7 +465,7 @@ proptest! {
         }
         // Fence-piggybacked compaction fired on every committed migration;
         // a final sweep must leave zero orphans and identical answers.
-        sharded.compact();
+        sharded.compact().unwrap();
         prop_assert_eq!(sharded.orphaned_pao_slots(), 0);
         for &v in &nodes {
             prop_assert_eq!(sharded.read(v), reference.read(v));

@@ -30,12 +30,11 @@ fn sharded_over(
         Arc::clone(ov),
         d,
         WindowSpec::Tuple(1),
-        &ShardedConfig {
-            shards,
-            strategy,
-            channel_capacity: 256,
-            rebalance: RebalancePolicy::default(),
-        },
+        &ShardedConfig::builder()
+            .shards(shards)
+            .strategy(strategy)
+            .channel_capacity(256)
+            .build(),
     )
 }
 
@@ -100,9 +99,9 @@ fn cross_shard_pushes_are_delivered_exactly() {
         }
     }
     for batch in batch_events(&events, 640, 0) {
-        eng.ingest(&batch);
+        eng.ingest(&batch).unwrap();
     }
-    eng.drain();
+    eng.drain().unwrap();
     assert!(
         eng.cross_shard_deltas() > 0,
         "a 4-shard hash partition of a social graph must ship cross-shard deltas"
@@ -145,17 +144,16 @@ fn chunk_locality_reduces_cross_shard_traffic_or_stays_correct() {
             Arc::new(plan.overlay.clone()),
             &plan.decisions,
             WindowSpec::Tuple(1),
-            &ShardedConfig {
-                shards: 4,
-                strategy,
-                channel_capacity: 256,
-                rebalance: RebalancePolicy::default(),
-            },
+            &ShardedConfig::builder()
+                .shards(4)
+                .strategy(strategy)
+                .channel_capacity(256)
+                .build(),
         );
         for batch in batch_events(&events, 512, 0) {
-            eng.ingest(&batch);
+            eng.ingest(&batch).unwrap();
         }
-        eng.drain();
+        eng.drain().unwrap();
         let mut reads = Vec::new();
         for v in g.nodes() {
             reads.push(eng.read(v));
@@ -201,9 +199,9 @@ fn edge_cut_reduces_cross_shard_deltas_vs_hash() {
     for strategy in [PartitionStrategy::Hash, PartitionStrategy::EdgeCut] {
         let eng = sharded_over(&ov, &d, 4, strategy);
         for batch in batch_events(&events, 1024, 0) {
-            eng.ingest(&batch);
+            eng.ingest(&batch).unwrap();
         }
-        eng.drain();
+        eng.drain().unwrap();
         cross.push(eng.cross_shard_deltas());
         answers.push(g.nodes().map(|v| eng.read(v)).collect::<Vec<_>>());
         // Locality changes where ops run, never how many run.
@@ -256,9 +254,9 @@ fn rebalancing_under_rotated_hot_set_cuts_cross_deltas_vs_stale_map() {
     let stale_map = {
         let tuner = sharded_over(&ov, &d, 4, PartitionStrategy::EdgeCut);
         for b in batch_events(&phases[0], batch, 0) {
-            tuner.ingest_epoch(&b);
+            tuner.ingest_epoch(&b).unwrap();
         }
-        let out = tuner.rebalance();
+        let out = tuner.rebalance().unwrap();
         assert!(out.committed, "phase-0 tuning rebalance must commit");
         let map = tuner.partition();
         tuner.shutdown();
@@ -271,12 +269,12 @@ fn rebalancing_under_rotated_hot_set_cuts_cross_deltas_vs_stale_map() {
             &d,
             WindowSpec::Tuple(1),
             stale_map.clone(),
-            &ShardedConfig {
-                shards: 4,
-                strategy: PartitionStrategy::EdgeCut,
-                channel_capacity: 256,
-                rebalance: policy,
-            },
+            &ShardedConfig::builder()
+                .shards(4)
+                .strategy(PartitionStrategy::EdgeCut)
+                .channel_capacity(256)
+                .rebalance(policy)
+                .build(),
         )
     };
     let frozen = build(RebalancePolicy::manual());
@@ -298,8 +296,8 @@ fn rebalancing_under_rotated_hot_set_cuts_cross_deltas_vs_stale_map() {
         let f0 = frozen.cross_shard_deltas();
         let r0 = rebalanced.cross_shard_deltas();
         for b in batch_events(phase, batch, ts) {
-            frozen.ingest_epoch(&b);
-            rebalanced.ingest_epoch(&b);
+            frozen.ingest_epoch(&b).unwrap();
+            rebalanced.ingest_epoch(&b).unwrap();
             for (e, t) in b.iter_timed() {
                 if let Event::Write { node, value } = *e {
                     reference.write(node, value, t);
@@ -348,16 +346,16 @@ fn read_batch_stays_epoch_consistent_across_live_migrations() {
         Arc::clone(&ov),
         &d,
         WindowSpec::Tuple(1),
-        &ShardedConfig {
-            shards: 4,
-            strategy: PartitionStrategy::Hash,
-            channel_capacity: 256,
-            rebalance: RebalancePolicy {
+        &ShardedConfig::builder()
+            .shards(4)
+            .strategy(PartitionStrategy::Hash)
+            .channel_capacity(256)
+            .rebalance(RebalancePolicy {
                 min_cut_gain: 0.0,
                 max_move_fraction: 1.0,
                 ..RebalancePolicy::default()
-            },
-        },
+            })
+            .build(),
     ));
     let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
     let events = generate_events(
@@ -382,6 +380,7 @@ fn read_batch_stays_epoch_consistent_across_live_migrations() {
         boundaries.push(probes.iter().map(|&v| reference.read(v)).collect());
     }
     let stop = Arc::new(AtomicBool::new(false));
+    // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
     let observed = std::thread::scope(|s| {
         let reader_eng = Arc::clone(&eng);
         let reader_stop = Arc::clone(&stop);
@@ -389,15 +388,15 @@ fn read_batch_stays_epoch_consistent_across_live_migrations() {
         let reader = s.spawn(move || {
             let mut seen = Vec::new();
             while !reader_stop.load(Ordering::Acquire) {
-                seen.push(reader_eng.read_batch(&reader_probes));
+                seen.push(reader_eng.read_batch(&reader_probes).unwrap());
             }
             seen
         });
         for (i, b) in batches.iter().enumerate() {
-            eng.ingest_epoch(b);
+            eng.ingest_epoch(b).unwrap();
             // Rebalance every few epochs, concurrently with the reader.
             if i % 5 == 4 {
-                eng.rebalance();
+                eng.rebalance().unwrap();
             }
         }
         stop.store(true, Ordering::Release);
@@ -414,7 +413,7 @@ fn read_batch_stays_epoch_consistent_across_live_migrations() {
             "observed batch {i} matches no epoch boundary (torn by migration)"
         );
     }
-    let last = eng.read_batch(&probes);
+    let last = eng.read_batch(&probes).unwrap();
     assert_eq!(&last, boundaries.last().unwrap(), "final state diverged");
     // Relaxed caller-thread reads agree too once everything is drained.
     for (i, &v) in probes.iter().enumerate() {
@@ -479,12 +478,11 @@ fn advance_time_runs_concurrently_with_sharded_ingest() {
         Arc::clone(&ov),
         &d,
         window,
-        &ShardedConfig {
-            shards: 4,
-            strategy: PartitionStrategy::EdgeCut,
-            channel_capacity: 256,
-            rebalance: RebalancePolicy::default(),
-        },
+        &ShardedConfig::builder()
+            .shards(4)
+            .strategy(PartitionStrategy::EdgeCut)
+            .channel_capacity(256)
+            .build(),
     ));
     let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, window);
     let events = generate_events(
@@ -504,23 +502,24 @@ fn advance_time_runs_concurrently_with_sharded_ingest() {
     }
     reference.advance_time(final_ts);
     let stop = Arc::new(AtomicBool::new(false));
+    // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
     std::thread::scope(|s| {
         let sweeper = Arc::clone(&eng);
         let stop_flag = Arc::clone(&stop);
         s.spawn(move || {
             let mut ts = 0u64;
             while !stop_flag.load(Ordering::Relaxed) {
-                sweeper.advance_time(ts.min(final_ts));
+                sweeper.advance_time(ts.min(final_ts)).unwrap();
                 ts += 97;
                 std::thread::yield_now();
             }
         });
         for batch in batch_events(&events, 300, 0) {
-            eng.ingest(&batch);
+            eng.ingest(&batch).unwrap();
         }
         stop.store(true, Ordering::Release);
     });
-    eng.advance_time_epoch(final_ts);
+    eng.advance_time_epoch(final_ts).unwrap();
     for v in g.nodes() {
         assert_eq!(eng.read(v), reference.read(v), "node {v:?} after sweeps");
     }
@@ -566,6 +565,7 @@ fn read_batch_is_epoch_consistent_under_concurrent_ingest() {
         boundaries.push(probes.iter().map(|&v| reference.read(v)).collect());
     }
     let stop = Arc::new(AtomicBool::new(false));
+    // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
     let observed = std::thread::scope(|s| {
         let reader_eng = Arc::clone(&eng);
         let reader_stop = Arc::clone(&stop);
@@ -573,12 +573,12 @@ fn read_batch_is_epoch_consistent_under_concurrent_ingest() {
         let reader = s.spawn(move || {
             let mut seen = Vec::new();
             while !reader_stop.load(Ordering::Acquire) {
-                seen.push(reader_eng.read_batch(&reader_probes));
+                seen.push(reader_eng.read_batch(&reader_probes).unwrap());
             }
             seen
         });
         for b in &batches {
-            eng.ingest_epoch(b);
+            eng.ingest_epoch(b).unwrap();
         }
         stop.store(true, Ordering::Release);
         // lint: allow(panic-free, join after the stop flag — a reader panic propagates here as the test failure and no other thread is left to wedge)
@@ -595,7 +595,7 @@ fn read_batch_is_epoch_consistent_under_concurrent_ingest() {
         );
     }
     // After everything drained, the service answers the final boundary.
-    let last = eng.read_batch(&probes);
+    let last = eng.read_batch(&probes).unwrap();
     assert_eq!(&last, boundaries.last().unwrap(), "final state diverged");
     assert!(eng.reads_served() > 0);
     match Arc::try_unwrap(eng) {
@@ -661,6 +661,7 @@ fn drain_completes_while_readers_hammer_the_engine() {
         }
     }
     let stop = Arc::new(AtomicBool::new(false));
+    // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
     std::thread::scope(|s| {
         // Concurrent readers: results mid-epoch are relaxed (may be
         // partial) but must never deadlock or crash, and drain() must
@@ -678,7 +679,7 @@ fn drain_completes_while_readers_hammer_the_engine() {
             });
         }
         for batch in batch_events(&events, 500, 0) {
-            eng.ingest_epoch(&batch); // drain inside the epoch loop
+            eng.ingest_epoch(&batch).unwrap(); // drain inside the epoch loop
         }
         stop.store(true, Ordering::Release);
     });
@@ -750,16 +751,16 @@ fn compaction_reclaims_orphans_with_relaxed_readers_racing_the_flip() {
         Arc::clone(&ov),
         &d,
         WindowSpec::Tuple(1),
-        &ShardedConfig {
-            shards: 4,
-            strategy: PartitionStrategy::Hash,
-            channel_capacity: 256,
-            rebalance: RebalancePolicy {
+        &ShardedConfig::builder()
+            .shards(4)
+            .strategy(PartitionStrategy::Hash)
+            .channel_capacity(256)
+            .rebalance(RebalancePolicy {
                 min_cut_gain: 0.0,
                 max_move_fraction: 1.0,
                 ..RebalancePolicy::default()
-            },
-        },
+            })
+            .build(),
     ));
     let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
     let events = generate_events(
@@ -773,6 +774,7 @@ fn compaction_reclaims_orphans_with_relaxed_readers_racing_the_flip() {
     );
     let probes: Vec<NodeId> = g.nodes().collect();
     let stop = Arc::new(AtomicBool::new(false));
+    // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
     std::thread::scope(|s| {
         for t in 0..2 {
             let reader_eng = Arc::clone(&eng);
@@ -790,22 +792,22 @@ fn compaction_reclaims_orphans_with_relaxed_readers_racing_the_flip() {
         }
         let mut compacted = 0u64;
         for (i, b) in batch_events(&events, 200, 0).iter().enumerate() {
-            eng.ingest_epoch(b);
+            eng.ingest_epoch(b).unwrap();
             for (e, ts) in b.iter_timed() {
                 if let Event::Write { node, value } = *e {
                     reference.write(node, value, ts);
                 }
             }
             if i % 4 == 3 {
-                eng.rebalance();
+                eng.rebalance().unwrap();
             }
             if i % 8 == 7 {
-                compacted += eng.compact();
+                compacted += eng.compact().unwrap();
             }
         }
         assert!(eng.rebalances() >= 1, "forced rebalances must commit");
         assert!(compacted > 0, "migrations must have orphaned slots");
-        let tail = eng.compact();
+        let tail = eng.compact().unwrap();
         assert_eq!(
             eng.orphaned_pao_slots(),
             0,
@@ -814,7 +816,7 @@ fn compaction_reclaims_orphans_with_relaxed_readers_racing_the_flip() {
         assert_eq!(eng.slots_reclaimed(), compacted + tail);
         stop.store(true, Ordering::Release);
     });
-    eng.drain();
+    eng.drain().unwrap();
     for v in g.nodes() {
         assert_eq!(eng.read(v), reference.read(v), "node {v:?}");
     }
@@ -837,17 +839,17 @@ fn concurrent_auto_rebalance_triggers_coalesce_not_stack() {
         Arc::clone(&ov),
         &d,
         WindowSpec::Tuple(1),
-        &ShardedConfig {
-            shards: 4,
-            strategy: PartitionStrategy::Hash,
-            channel_capacity: 256,
-            rebalance: RebalancePolicy {
+        &ShardedConfig::builder()
+            .shards(4)
+            .strategy(PartitionStrategy::Hash)
+            .channel_capacity(256)
+            .rebalance(RebalancePolicy {
                 every_epochs: 1,
                 min_cut_gain: 0.0,
                 max_move_fraction: 1.0,
                 ..RebalancePolicy::default()
-            },
-        },
+            })
+            .build(),
     ));
     let reference = EngineCore::new(Sum, Arc::clone(&ov), &d, WindowSpec::Tuple(1));
     let events = generate_events(
@@ -878,6 +880,7 @@ fn concurrent_auto_rebalance_triggers_coalesce_not_stack() {
         })
         .collect();
     let mut batch_count = 0usize;
+    // lint: allow(panic-free, in-process transport Results cannot fail while workers are alive; an unwrap propagates as the test failure at the scope join)
     std::thread::scope(|s| {
         for (t, half) in halves.iter().enumerate() {
             batch_count += half.len().div_ceil(100);
@@ -886,7 +889,7 @@ fn concurrent_auto_rebalance_triggers_coalesce_not_stack() {
                 for b in batch_events(half, 100, (t as u64) << 32) {
                     // every_epochs=1: this triggers a rebalance attempt on
                     // the ingesting thread after every single batch.
-                    eng.ingest_epoch(&b);
+                    eng.ingest_epoch(&b).unwrap();
                 }
             });
         }
@@ -900,7 +903,7 @@ fn concurrent_auto_rebalance_triggers_coalesce_not_stack() {
             }
         }
     }
-    eng.drain();
+    eng.drain().unwrap();
     // Conservation: every trigger either ran to completion (committed or
     // not) or coalesced against an in-flight migration — and commits can
     // never exceed the number of triggers fired.

@@ -29,6 +29,20 @@
 /// | `partition` | the sharded engine's live node→shard map handle          |
 /// | `cached`    | `LivePartition`'s published map snapshot                 |
 /// | `slab`      | one shard's PAO slab (`ShardedStore`)                    |
+///
+/// Transport-internal locks rank after every engine lock — they are leaf
+/// acquisitions taken with engine locks (gate/core/partition) possibly
+/// held, and never the other way around:
+///
+/// | name                | guards                                              |
+/// |---------------------|-----------------------------------------------------|
+/// | `inproc_handles`    | in-process transport's worker join handles          |
+/// | `proc_dead_reason`  | process transport's first-fatal-error cell          |
+/// | `proc_read_replies` | in-flight read-reply channels by `req_id`           |
+/// | `proc_replies`      | in-flight state-plane reply channels by `req_id`    |
+/// | `proc_child`        | one shard host's `Child` process handle             |
+/// | `proc_writer`       | one shard host's writer-thread join handle          |
+/// | `proc_pump`         | one shard host's pump-thread join handle            |
 pub const LOCK_ORDER: &[&str] = &[
     "registry",
     "graph",
@@ -38,6 +52,13 @@ pub const LOCK_ORDER: &[&str] = &[
     "partition",
     "cached",
     "slab",
+    "inproc_handles",
+    "proc_dead_reason",
+    "proc_read_replies",
+    "proc_replies",
+    "proc_child",
+    "proc_writer",
+    "proc_pump",
 ];
 
 /// Names whose **shared** (read) acquisitions may nest at the same rank:
